@@ -1,0 +1,176 @@
+//! Generalization hierarchies for attribute values.
+//!
+//! k-anonymity \[Sam01\] replaces quasi-identifier values by progressively
+//! coarser generalizations. A [`Hierarchy`] maps a value and a level to
+//! its generalization; level 0 is the raw value, the top level is full
+//! suppression (`*`).
+
+use paradise_engine::Value;
+
+/// The suppression marker used throughout the crate.
+pub const SUPPRESSED: &str = "*";
+
+/// A generalization hierarchy for one attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Hierarchy {
+    /// Numeric values are bucketed into intervals; `granularities[i]`
+    /// is the bucket width at level `i+1` (level 0 = raw). The level
+    /// after the last granularity is suppression.
+    ///
+    /// Example with `[1.0, 10.0]`: level 0 → `3.7`, level 1 → `[3,4)`,
+    /// level 2 → `[0,10)`, level 3 → `*`.
+    Numeric {
+        /// Bucket widths, strictly increasing.
+        granularities: Vec<f64>,
+    },
+    /// Categorical values are generalized along an explicit taxonomy:
+    /// each level maps a value to its ancestor label.
+    /// `parents[i]` maps level-i labels to level-(i+1) labels.
+    Taxonomy {
+        /// One map per generalization step: `value → parent label`.
+        parents: Vec<Vec<(String, String)>>,
+    },
+    /// Only two levels: raw and suppressed.
+    SuppressOnly,
+}
+
+impl Hierarchy {
+    /// A numeric hierarchy with the given widths.
+    pub fn numeric(granularities: &[f64]) -> Self {
+        Hierarchy::Numeric { granularities: granularities.to_vec() }
+    }
+
+    /// Number of levels including raw (0) and suppression (top).
+    pub fn levels(&self) -> usize {
+        match self {
+            Hierarchy::Numeric { granularities } => granularities.len() + 2,
+            Hierarchy::Taxonomy { parents } => parents.len() + 2,
+            Hierarchy::SuppressOnly => 2,
+        }
+    }
+
+    /// The highest level index (full suppression).
+    pub fn max_level(&self) -> usize {
+        self.levels() - 1
+    }
+
+    /// Generalize `value` to `level`. Levels beyond the top clamp to
+    /// suppression. NULL stays NULL at every level.
+    pub fn generalize(&self, value: &Value, level: usize) -> Value {
+        if level == 0 || value.is_null() {
+            return value.clone();
+        }
+        if level >= self.max_level() {
+            return Value::Str(SUPPRESSED.to_string());
+        }
+        match self {
+            Hierarchy::Numeric { granularities } => {
+                let Some(x) = value.as_f64() else {
+                    return Value::Str(SUPPRESSED.to_string());
+                };
+                let width = granularities[level - 1];
+                if width <= 0.0 {
+                    return Value::Str(SUPPRESSED.to_string());
+                }
+                let lo = (x / width).floor() * width;
+                let hi = lo + width;
+                Value::Str(format_interval(lo, hi))
+            }
+            Hierarchy::Taxonomy { parents } => {
+                let mut label = match value {
+                    Value::Str(s) => s.clone(),
+                    other => other.to_string(),
+                };
+                for map in parents.iter().take(level) {
+                    match map.iter().find(|(from, _)| *from == label) {
+                        Some((_, to)) => label = to.clone(),
+                        None => return Value::Str(SUPPRESSED.to_string()),
+                    }
+                }
+                Value::Str(label)
+            }
+            Hierarchy::SuppressOnly => Value::Str(SUPPRESSED.to_string()),
+        }
+    }
+}
+
+/// Render a half-open numeric interval, trimming `.0` for integral ends.
+fn format_interval(lo: f64, hi: f64) -> String {
+    fn fmt(x: f64) -> String {
+        if x.fract() == 0.0 && x.abs() < 1e15 {
+            format!("{}", x as i64)
+        } else {
+            format!("{x}")
+        }
+    }
+    format!("[{},{})", fmt(lo), fmt(hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_levels() {
+        let h = Hierarchy::numeric(&[1.0, 10.0]);
+        assert_eq!(h.levels(), 4);
+        let v = Value::Float(3.7);
+        assert_eq!(h.generalize(&v, 0), Value::Float(3.7));
+        assert_eq!(h.generalize(&v, 1), Value::Str("[3,4)".into()));
+        assert_eq!(h.generalize(&v, 2), Value::Str("[0,10)".into()));
+        assert_eq!(h.generalize(&v, 3), Value::Str("*".into()));
+        assert_eq!(h.generalize(&v, 99), Value::Str("*".into()));
+    }
+
+    #[test]
+    fn numeric_negative_values() {
+        let h = Hierarchy::numeric(&[10.0]);
+        assert_eq!(h.generalize(&Value::Float(-3.0), 1), Value::Str("[-10,0)".into()));
+    }
+
+    #[test]
+    fn null_stays_null() {
+        let h = Hierarchy::numeric(&[1.0]);
+        assert_eq!(h.generalize(&Value::Null, 2), Value::Null);
+    }
+
+    #[test]
+    fn non_numeric_in_numeric_hierarchy_suppresses() {
+        let h = Hierarchy::numeric(&[1.0]);
+        assert_eq!(h.generalize(&Value::Str("oops".into()), 1), Value::Str("*".into()));
+    }
+
+    #[test]
+    fn taxonomy_walks_parents() {
+        let h = Hierarchy::Taxonomy {
+            parents: vec![
+                vec![
+                    ("lecture".into(), "meeting".into()),
+                    ("standup".into(), "meeting".into()),
+                    ("lunch".into(), "break".into()),
+                ],
+                vec![("meeting".into(), "activity".into()), ("break".into(), "activity".into())],
+            ],
+        };
+        let v = Value::Str("lecture".into());
+        assert_eq!(h.generalize(&v, 1), Value::Str("meeting".into()));
+        assert_eq!(h.generalize(&v, 2), Value::Str("activity".into()));
+        assert_eq!(h.generalize(&v, 3), Value::Str("*".into()));
+        // unknown label suppresses
+        assert_eq!(h.generalize(&Value::Str("nap".into()), 1), Value::Str("*".into()));
+    }
+
+    #[test]
+    fn suppress_only() {
+        let h = Hierarchy::SuppressOnly;
+        assert_eq!(h.levels(), 2);
+        assert_eq!(h.generalize(&Value::Int(5), 0), Value::Int(5));
+        assert_eq!(h.generalize(&Value::Int(5), 1), Value::Str("*".into()));
+    }
+
+    #[test]
+    fn interval_formatting() {
+        assert_eq!(format_interval(0.0, 10.0), "[0,10)");
+        assert_eq!(format_interval(2.5, 3.0), "[2.5,3)");
+    }
+}

@@ -1,0 +1,449 @@
+//! k-anonymity \[Sam01\]: tuple-wise anonymization.
+//!
+//! Two algorithms are provided:
+//!
+//! * [`generalize_to_k`] — Samarati-style uniform generalization: walk
+//!   the per-attribute level lattice (minimal total level first) until
+//!   every equivalence class reaches size ≥ k, optionally suppressing up
+//!   to `max_suppressed` outlier tuples;
+//! * [`mondrian`] — the multidimensional median-partitioning algorithm
+//!   (LeFevre et al.): recursively split on the QID with the widest
+//!   normalised range until partitions would fall under k, then recode
+//!   each partition's QID values to their range/set.
+
+use std::collections::HashMap;
+
+use paradise_engine::{Frame, GroupKey, Value};
+
+use crate::error::{AnonError, AnonResult};
+use crate::hierarchy::{Hierarchy, SUPPRESSED};
+
+/// Outcome of a k-anonymization run.
+#[derive(Debug, Clone)]
+pub struct KAnonResult {
+    /// The anonymized table (same shape as the input).
+    pub frame: Frame,
+    /// Chosen generalization level per QID (generalization algorithm) or
+    /// empty (Mondrian).
+    pub levels: Vec<usize>,
+    /// Number of fully suppressed tuples.
+    pub suppressed: usize,
+}
+
+/// Configuration for [`generalize_to_k`].
+#[derive(Debug, Clone)]
+pub struct GeneralizeConfig {
+    /// Quasi-identifier column indices with their hierarchies.
+    pub qids: Vec<(usize, Hierarchy)>,
+    /// Required minimum class size.
+    pub k: usize,
+    /// Tuples allowed to be suppressed instead of generalising further.
+    pub max_suppressed: usize,
+}
+
+/// Samarati-style uniform generalization.
+///
+/// Enumerates level vectors in order of increasing total level; for each,
+/// checks whether generalising every QID to its level leaves at most
+/// `max_suppressed` tuples in classes smaller than `k`. Those tuples are
+/// suppressed (all QID cells → `*`).
+pub fn generalize_to_k(frame: &Frame, config: &GeneralizeConfig) -> AnonResult<KAnonResult> {
+    if config.k == 0 {
+        return Err(AnonError::BadParameter("k must be ≥ 1".into()));
+    }
+    for (c, _) in &config.qids {
+        if *c >= frame.schema.len() {
+            return Err(AnonError::BadColumn(*c));
+        }
+    }
+    if frame.len() < config.k && frame.len() > config.max_suppressed {
+        return Err(AnonError::Infeasible(format!(
+            "table has {} rows, fewer than k = {}",
+            frame.len(),
+            config.k
+        )));
+    }
+
+    let max_levels: Vec<usize> = config.qids.iter().map(|(_, h)| h.max_level()).collect();
+    let total_max: usize = max_levels.iter().sum();
+
+    for total in 0..=total_max {
+        let mut candidates = level_vectors(&max_levels, total);
+        // deterministic order: prefer generalising later QIDs first
+        candidates.sort();
+        for levels in candidates {
+            if let Some(result) = try_levels(frame, config, &levels)? {
+                return Ok(result);
+            }
+        }
+    }
+    Err(AnonError::Infeasible(format!(
+        "cannot reach {}-anonymity even at full generalization with {} suppressions",
+        config.k, config.max_suppressed
+    )))
+}
+
+/// All vectors `v` with `v[i] <= max[i]` and `Σv = total`.
+fn level_vectors(max: &[usize], total: usize) -> Vec<Vec<usize>> {
+    fn rec(max: &[usize], total: usize, acc: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if max.is_empty() {
+            if total == 0 {
+                out.push(acc.clone());
+            }
+            return;
+        }
+        let cap = max[0].min(total);
+        for v in 0..=cap {
+            acc.push(v);
+            rec(&max[1..], total - v, acc, out);
+            acc.pop();
+        }
+    }
+    let mut out = Vec::new();
+    rec(max, total, &mut Vec::new(), &mut out);
+    out
+}
+
+fn try_levels(
+    frame: &Frame,
+    config: &GeneralizeConfig,
+    levels: &[usize],
+) -> AnonResult<Option<KAnonResult>> {
+    // generalize QID cells
+    let mut anonymized = frame.clone();
+    for (qi, (col, hierarchy)) in config.qids.iter().enumerate() {
+        for row in &mut anonymized.rows {
+            row[*col] = hierarchy.generalize(&row[*col], levels[qi]);
+        }
+    }
+    // class sizes
+    let qid_cols: Vec<usize> = config.qids.iter().map(|(c, _)| *c).collect();
+    let mut classes: HashMap<Vec<GroupKey>, Vec<usize>> = HashMap::new();
+    for (ri, row) in anonymized.rows.iter().enumerate() {
+        let key: Vec<GroupKey> = qid_cols.iter().map(|&c| row[c].group_key()).collect();
+        classes.entry(key).or_default().push(ri);
+    }
+    let undersized: Vec<usize> = classes
+        .values()
+        .filter(|rows| rows.len() < config.k)
+        .flat_map(|rows| rows.iter().copied())
+        .collect();
+    if undersized.len() > config.max_suppressed {
+        return Ok(None);
+    }
+    let suppressed = undersized.len();
+    for ri in undersized {
+        for &c in &qid_cols {
+            anonymized.rows[ri][c] = Value::Str(SUPPRESSED.to_string());
+        }
+    }
+    Ok(Some(KAnonResult { frame: anonymized, levels: levels.to_vec(), suppressed }))
+}
+
+/// Mondrian multidimensional k-anonymity over numeric QIDs.
+///
+/// Categorical QID values are handled by suppression-to-set recoding:
+/// a partition's categorical column is recoded to the sorted set of its
+/// distinct values (or `*` if more than 5 distinct values remain).
+pub fn mondrian(frame: &Frame, qid_columns: &[usize], k: usize) -> AnonResult<KAnonResult> {
+    if k == 0 {
+        return Err(AnonError::BadParameter("k must be ≥ 1".into()));
+    }
+    for &c in qid_columns {
+        if c >= frame.schema.len() {
+            return Err(AnonError::BadColumn(c));
+        }
+    }
+    if frame.len() < k {
+        return Err(AnonError::Infeasible(format!(
+            "table has {} rows, fewer than k = {}",
+            frame.len(),
+            k
+        )));
+    }
+    let mut anonymized = frame.clone();
+    let indices: Vec<usize> = (0..frame.len()).collect();
+    let mut partitions: Vec<Vec<usize>> = Vec::new();
+    split_partition(frame, qid_columns, k, indices, &mut partitions);
+    for part in &partitions {
+        recode_partition(&mut anonymized, qid_columns, part);
+    }
+    Ok(KAnonResult { frame: anonymized, levels: Vec::new(), suppressed: 0 })
+}
+
+fn split_partition(
+    frame: &Frame,
+    qids: &[usize],
+    k: usize,
+    indices: Vec<usize>,
+    out: &mut Vec<Vec<usize>>,
+) {
+    if indices.len() < 2 * k {
+        out.push(indices);
+        return;
+    }
+    // choose the numeric QID with the widest normalised range
+    let mut best: Option<(usize, f64)> = None;
+    for &c in qids {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        let mut numeric = true;
+        for &ri in &indices {
+            match frame.rows[ri][c].as_f64() {
+                Some(x) => {
+                    lo = lo.min(x);
+                    hi = hi.max(x);
+                }
+                None => {
+                    numeric = false;
+                    break;
+                }
+            }
+        }
+        if numeric && hi > lo {
+            let range = hi - lo;
+            if best.map(|(_, r)| range > r).unwrap_or(true) {
+                best = Some((c, range));
+            }
+        }
+    }
+    let Some((split_col, _)) = best else {
+        out.push(indices);
+        return;
+    };
+    // median split (strict less / greater-equal)
+    let mut values: Vec<f64> = indices
+        .iter()
+        .map(|&ri| frame.rows[ri][split_col].as_f64().expect("checked numeric"))
+        .collect();
+    values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in QIDs"));
+    let median = values[values.len() / 2];
+    let (left, right): (Vec<usize>, Vec<usize>) = indices
+        .iter()
+        .partition(|&&ri| frame.rows[ri][split_col].as_f64().expect("numeric") < median);
+    if left.len() < k || right.len() < k {
+        out.push(indices);
+        return;
+    }
+    split_partition(frame, qids, k, left, out);
+    split_partition(frame, qids, k, right, out);
+}
+
+/// Recode one partition's QID columns to range/set labels — shared with
+/// the l-diversity variant in [`crate::ldiv`].
+pub(crate) fn recode_partition_public(frame: &mut Frame, qids: &[usize], indices: &[usize]) {
+    recode_partition(frame, qids, indices)
+}
+
+fn recode_partition(frame: &mut Frame, qids: &[usize], indices: &[usize]) {
+    for &c in qids {
+        // numeric range recoding when all values are numeric
+        let numeric: Option<(f64, f64)> = {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            let mut ok = true;
+            for &ri in indices {
+                match frame.rows[ri][c].as_f64() {
+                    Some(x) => {
+                        lo = lo.min(x);
+                        hi = hi.max(x);
+                    }
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok && indices.is_empty() {
+                ok = false;
+            }
+            ok.then_some((lo, hi))
+        };
+        match numeric {
+            Some((lo, hi)) if lo == hi => {
+                // singleton range: keep the value as-is
+            }
+            Some((lo, hi)) => {
+                let label = Value::Str(format!(
+                    "[{},{}]",
+                    trim_float(lo),
+                    trim_float(hi)
+                ));
+                for &ri in indices {
+                    frame.rows[ri][c] = label.clone();
+                }
+            }
+            None => {
+                // categorical set recoding
+                let mut distinct: Vec<String> = Vec::new();
+                for &ri in indices {
+                    let s = frame.rows[ri][c].to_string();
+                    if !distinct.contains(&s) {
+                        distinct.push(s);
+                    }
+                }
+                distinct.sort();
+                let label = if distinct.len() == 1 {
+                    continue;
+                } else if distinct.len() > 5 {
+                    Value::Str(SUPPRESSED.to_string())
+                } else {
+                    Value::Str(format!("{{{}}}", distinct.join(",")))
+                };
+                for &ri in indices {
+                    frame.rows[ri][c] = label.clone();
+                }
+            }
+        }
+    }
+}
+
+fn trim_float(x: f64) -> String {
+    if x.fract() == 0.0 && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::achieved_k;
+    use paradise_engine::{DataType, Schema};
+
+    fn people() -> Frame {
+        // age, zip, condition — the classic k-anonymity example shape
+        let schema = Schema::from_pairs(&[
+            ("age", DataType::Integer),
+            ("zip", DataType::Integer),
+            ("condition", DataType::Text),
+        ]);
+        let rows = vec![
+            vec![Value::Int(25), Value::Int(18051), Value::Str("flu".into())],
+            vec![Value::Int(27), Value::Int(18051), Value::Str("cold".into())],
+            vec![Value::Int(34), Value::Int(18059), Value::Str("flu".into())],
+            vec![Value::Int(36), Value::Int(18059), Value::Str("ok".into())],
+            vec![Value::Int(52), Value::Int(18107), Value::Str("ok".into())],
+            vec![Value::Int(57), Value::Int(18107), Value::Str("flu".into())],
+        ];
+        Frame::new(schema, rows).unwrap()
+    }
+
+    fn age_zip_config(k: usize, max_suppressed: usize) -> GeneralizeConfig {
+        GeneralizeConfig {
+            qids: vec![
+                (0, Hierarchy::numeric(&[10.0, 50.0])),
+                (1, Hierarchy::numeric(&[10.0, 100.0])),
+            ],
+            k,
+            max_suppressed,
+        }
+    }
+
+    #[test]
+    fn generalization_reaches_k2() {
+        let r = generalize_to_k(&people(), &age_zip_config(2, 0)).unwrap();
+        assert_eq!(r.suppressed, 0);
+        let k = achieved_k(&r.frame, &[0, 1]).unwrap().unwrap();
+        assert!(k >= 2, "achieved k = {k}");
+        // sensitive column untouched
+        assert_eq!(r.frame.rows[0][2], Value::Str("flu".into()));
+    }
+
+    #[test]
+    fn generalization_is_minimal_for_k1() {
+        // k=1 holds trivially at level 0
+        let r = generalize_to_k(&people(), &age_zip_config(1, 0)).unwrap();
+        assert_eq!(r.levels, vec![0, 0]);
+        assert_eq!(r.frame, people());
+    }
+
+    #[test]
+    fn suppression_budget_helps() {
+        // k=3: classes of 2 need either more generalization or suppression
+        let no_budget = generalize_to_k(&people(), &age_zip_config(3, 0)).unwrap();
+        let with_budget = generalize_to_k(&people(), &age_zip_config(3, 6)).unwrap();
+        // with a generous budget, a *lower* generalization level suffices
+        let total_no: usize = no_budget.levels.iter().sum();
+        let total_with: usize = with_budget.levels.iter().sum();
+        assert!(total_with <= total_no);
+    }
+
+    #[test]
+    fn infeasible_when_k_exceeds_rows() {
+        let err = generalize_to_k(&people(), &age_zip_config(7, 0)).unwrap_err();
+        assert!(matches!(err, AnonError::Infeasible(_)));
+    }
+
+    #[test]
+    fn k_zero_is_bad_parameter() {
+        assert!(matches!(
+            generalize_to_k(&people(), &age_zip_config(0, 0)),
+            Err(AnonError::BadParameter(_))
+        ));
+        assert!(matches!(mondrian(&people(), &[0], 0), Err(AnonError::BadParameter(_))));
+    }
+
+    #[test]
+    fn mondrian_reaches_k() {
+        for k in [2, 3] {
+            let r = mondrian(&people(), &[0, 1], k).unwrap();
+            let achieved = achieved_k(&r.frame, &[0, 1]).unwrap().unwrap();
+            assert!(achieved >= k, "k={k} achieved={achieved}");
+            assert_eq!(r.frame.len(), people().len());
+        }
+    }
+
+    #[test]
+    fn mondrian_preserves_sensitive_values() {
+        let r = mondrian(&people(), &[0, 1], 2).unwrap();
+        let conditions: Vec<Value> = r.frame.rows.iter().map(|row| row[2].clone()).collect();
+        let original: Vec<Value> = people().rows.iter().map(|row| row[2].clone()).collect();
+        assert_eq!(conditions, original);
+    }
+
+    #[test]
+    fn mondrian_recodes_to_ranges() {
+        let r = mondrian(&people(), &[0], 3).unwrap();
+        // ages split at median 36: [25,34] and [36,57]
+        let first = r.frame.rows[0][0].to_string();
+        assert!(first.starts_with('['), "expected interval, got {first}");
+    }
+
+    #[test]
+    fn mondrian_with_k_equal_rows_gives_one_class() {
+        let r = mondrian(&people(), &[0, 1], 6).unwrap();
+        let k = achieved_k(&r.frame, &[0, 1]).unwrap().unwrap();
+        assert_eq!(k, 6);
+    }
+
+    #[test]
+    fn mondrian_categorical_recoding() {
+        let schema = Schema::from_pairs(&[("room", DataType::Text)]);
+        let rows = vec![
+            vec![Value::Str("lab".into())],
+            vec![Value::Str("office".into())],
+            vec![Value::Str("lab".into())],
+            vec![Value::Str("office".into())],
+        ];
+        let f = Frame::new(schema, rows).unwrap();
+        let r = mondrian(&f, &[0], 2).unwrap();
+        // single partition (categorical can't split) → set recoding
+        assert_eq!(r.frame.rows[0][0], Value::Str("{lab,office}".into()));
+    }
+
+    #[test]
+    fn bad_column_is_error() {
+        assert!(matches!(mondrian(&people(), &[9], 2), Err(AnonError::BadColumn(9))));
+    }
+
+    #[test]
+    fn level_vectors_enumeration() {
+        let vs = level_vectors(&[2, 1], 2);
+        assert!(vs.contains(&vec![2, 0]));
+        assert!(vs.contains(&vec![1, 1]));
+        assert!(!vs.contains(&vec![0, 2])); // exceeds max[1]
+        assert_eq!(level_vectors(&[1, 1], 0), vec![vec![0, 0]]);
+    }
+}

@@ -1,0 +1,325 @@
+//! l-diversity (Machanavajjhala et al.) — one of the "similar concepts"
+//! the paper groups with k-anonymity (§3.2). k-anonymity alone leaves a
+//! class vulnerable when all its sensitive values coincide; l-diversity
+//! additionally requires every equivalence class to contain at least `l`
+//! "well-represented" sensitive values.
+//!
+//! Provided here: the distinct-l and entropy-l checks, plus an enforcing
+//! anonymizer that extends Mondrian partitioning with an l-diversity
+//! split condition.
+
+use std::collections::HashMap;
+
+use paradise_engine::{Frame, GroupKey};
+
+use crate::error::{AnonError, AnonResult};
+
+/// Distinct l-diversity of an anonymized table: the minimum, over all
+/// equivalence classes (by QID columns), of the number of distinct
+/// sensitive values. `None` for an empty table.
+pub fn distinct_l(
+    frame: &Frame,
+    qid_columns: &[usize],
+    sensitive: usize,
+) -> AnonResult<Option<usize>> {
+    let classes = classes_of(frame, qid_columns, sensitive)?;
+    Ok(classes
+        .values()
+        .map(|sens| {
+            let mut distinct: Vec<&GroupKey> = Vec::new();
+            for s in sens {
+                if !distinct.contains(&s) {
+                    distinct.push(s);
+                }
+            }
+            distinct.len()
+        })
+        .min())
+}
+
+/// Entropy l-diversity: `min over classes of exp(H(class))` where `H` is
+/// the Shannon entropy (nats) of the sensitive-value distribution.
+/// A table satisfies entropy ℓ-diversity when the returned value ≥ ℓ.
+pub fn entropy_l(
+    frame: &Frame,
+    qid_columns: &[usize],
+    sensitive: usize,
+) -> AnonResult<Option<f64>> {
+    let classes = classes_of(frame, qid_columns, sensitive)?;
+    let mut min_exp_h: Option<f64> = None;
+    for sens in classes.values() {
+        let mut hist: HashMap<&GroupKey, usize> = HashMap::new();
+        for s in sens {
+            *hist.entry(s).or_insert(0) += 1;
+        }
+        let n = sens.len() as f64;
+        let h: f64 = hist
+            .values()
+            .map(|&c| {
+                let p = c as f64 / n;
+                -p * p.ln()
+            })
+            .sum();
+        let exp_h = h.exp();
+        min_exp_h = Some(match min_exp_h {
+            Some(cur) => cur.min(exp_h),
+            None => exp_h,
+        });
+    }
+    Ok(min_exp_h)
+}
+
+fn classes_of(
+    frame: &Frame,
+    qid_columns: &[usize],
+    sensitive: usize,
+) -> AnonResult<HashMap<Vec<GroupKey>, Vec<GroupKey>>> {
+    for &c in qid_columns.iter().chain(std::iter::once(&sensitive)) {
+        if c >= frame.schema.len() {
+            return Err(AnonError::BadColumn(c));
+        }
+    }
+    let mut classes: HashMap<Vec<GroupKey>, Vec<GroupKey>> = HashMap::new();
+    for row in &frame.rows {
+        let key: Vec<GroupKey> = qid_columns.iter().map(|&c| row[c].group_key()).collect();
+        classes.entry(key).or_default().push(row[sensitive].group_key());
+    }
+    Ok(classes)
+}
+
+/// Mondrian-style anonymization that guarantees **both** k-anonymity and
+/// distinct l-diversity: a median split is taken only when both halves
+/// keep ≥ k rows *and* ≥ l distinct sensitive values.
+pub fn mondrian_l_diverse(
+    frame: &Frame,
+    qid_columns: &[usize],
+    sensitive: usize,
+    k: usize,
+    l: usize,
+) -> AnonResult<crate::kanon::KAnonResult> {
+    if k == 0 || l == 0 {
+        return Err(AnonError::BadParameter("k and l must be ≥ 1".into()));
+    }
+    for &c in qid_columns.iter().chain(std::iter::once(&sensitive)) {
+        if c >= frame.schema.len() {
+            return Err(AnonError::BadColumn(c));
+        }
+    }
+    let whole: Vec<usize> = (0..frame.len()).collect();
+    if frame.len() < k || distinct_count(frame, &whole, sensitive) < l {
+        return Err(AnonError::Infeasible(format!(
+            "table cannot satisfy k={k}, l={l}: {} rows, {} distinct sensitive values",
+            frame.len(),
+            distinct_count(frame, &whole, sensitive)
+        )));
+    }
+    let mut anonymized = frame.clone();
+    let mut partitions: Vec<Vec<usize>> = Vec::new();
+    split(frame, qid_columns, sensitive, k, l, whole, &mut partitions);
+    for part in &partitions {
+        crate::kanon::recode_partition_public(&mut anonymized, qid_columns, part);
+    }
+    Ok(crate::kanon::KAnonResult { frame: anonymized, levels: Vec::new(), suppressed: 0 })
+}
+
+fn distinct_count(frame: &Frame, indices: &[usize], sensitive: usize) -> usize {
+    let mut seen: Vec<GroupKey> = Vec::new();
+    for &ri in indices {
+        let key = frame.rows[ri][sensitive].group_key();
+        if !seen.contains(&key) {
+            seen.push(key);
+        }
+    }
+    seen.len()
+}
+
+fn split(
+    frame: &Frame,
+    qids: &[usize],
+    sensitive: usize,
+    k: usize,
+    l: usize,
+    indices: Vec<usize>,
+    out: &mut Vec<Vec<usize>>,
+) {
+    if indices.len() < 2 * k {
+        out.push(indices);
+        return;
+    }
+    // widest numeric QID
+    let mut best: Option<(usize, f64)> = None;
+    for &c in qids {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        let mut numeric = true;
+        for &ri in &indices {
+            match frame.rows[ri][c].as_f64() {
+                Some(x) => {
+                    lo = lo.min(x);
+                    hi = hi.max(x);
+                }
+                None => {
+                    numeric = false;
+                    break;
+                }
+            }
+        }
+        if numeric && hi > lo {
+            let range = hi - lo;
+            if best.map(|(_, r)| range > r).unwrap_or(true) {
+                best = Some((c, range));
+            }
+        }
+    }
+    let Some((split_col, _)) = best else {
+        out.push(indices);
+        return;
+    };
+    let mut values: Vec<f64> = indices
+        .iter()
+        .map(|&ri| frame.rows[ri][split_col].as_f64().expect("numeric"))
+        .collect();
+    values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let median = values[values.len() / 2];
+    let (left, right): (Vec<usize>, Vec<usize>) = indices
+        .iter()
+        .partition(|&&ri| frame.rows[ri][split_col].as_f64().expect("numeric") < median);
+    let feasible = left.len() >= k
+        && right.len() >= k
+        && distinct_count(frame, &left, sensitive) >= l
+        && distinct_count(frame, &right, sensitive) >= l;
+    if !feasible {
+        out.push(indices);
+        return;
+    }
+    split(frame, qids, sensitive, k, l, left, out);
+    split(frame, qids, sensitive, k, l, right, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::achieved_k;
+    use paradise_engine::{DataType, Schema, Value};
+
+    fn medical() -> Frame {
+        let schema = Schema::from_pairs(&[
+            ("age", DataType::Integer),
+            ("zip", DataType::Integer),
+            ("condition", DataType::Text),
+        ]);
+        let conditions = ["flu", "cold", "ok", "flu", "ok", "cold", "flu", "ok"];
+        let rows = (0..8)
+            .map(|i| {
+                vec![
+                    Value::Int(20 + i * 5),
+                    Value::Int(18000 + i % 4),
+                    Value::Str(conditions[i as usize].to_string()),
+                ]
+            })
+            .collect();
+        Frame::new(schema, rows).unwrap()
+    }
+
+    #[test]
+    fn distinct_l_measures_worst_class() {
+        // one class, three conditions → l = 3
+        let uniform = {
+            let mut f = medical();
+            for row in &mut f.rows {
+                row[0] = Value::Int(30);
+                row[1] = Value::Int(18000);
+            }
+            f
+        };
+        assert_eq!(distinct_l(&uniform, &[0, 1], 2).unwrap(), Some(3));
+        // fully distinct QIDs → classes of 1 → l = 1
+        assert_eq!(distinct_l(&medical(), &[0], 2).unwrap(), Some(1));
+    }
+
+    #[test]
+    fn entropy_l_bounds_distinct_l() {
+        let uniform = {
+            let mut f = medical();
+            for row in &mut f.rows {
+                row[0] = Value::Int(30);
+            }
+            f
+        };
+        let e = entropy_l(&uniform, &[0], 2).unwrap().unwrap();
+        let d = distinct_l(&uniform, &[0], 2).unwrap().unwrap();
+        // exp(H) ≤ number of distinct values
+        assert!(e <= d as f64 + 1e-9, "exp(H)={e} > distinct={d}");
+        assert!(e > 1.0);
+    }
+
+    #[test]
+    fn mondrian_l_diverse_guarantees_both() {
+        let f = medical();
+        let result = mondrian_l_diverse(&f, &[0, 1], 2, 2, 2).unwrap();
+        let k = achieved_k(&result.frame, &[0, 1]).unwrap().unwrap();
+        let l = distinct_l(&result.frame, &[0, 1], 2).unwrap().unwrap();
+        assert!(k >= 2, "k = {k}");
+        assert!(l >= 2, "l = {l}");
+        // sensitive column untouched
+        for (a, b) in f.rows.iter().zip(&result.frame.rows) {
+            assert_eq!(a[2], b[2]);
+        }
+    }
+
+    #[test]
+    fn infeasible_l_errors() {
+        let f = medical(); // only 3 distinct conditions
+        assert!(matches!(
+            mondrian_l_diverse(&f, &[0, 1], 2, 2, 4),
+            Err(AnonError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let f = medical();
+        assert!(matches!(
+            mondrian_l_diverse(&f, &[0], 2, 0, 1),
+            Err(AnonError::BadParameter(_))
+        ));
+        assert!(matches!(distinct_l(&f, &[9], 2), Err(AnonError::BadColumn(9))));
+        assert!(matches!(entropy_l(&f, &[0], 9), Err(AnonError::BadColumn(9))));
+    }
+
+    #[test]
+    fn empty_table_yields_none() {
+        let f = Frame::empty(
+            Schema::from_pairs(&[("a", DataType::Integer), ("s", DataType::Text)]),
+        );
+        assert_eq!(distinct_l(&f, &[0], 1).unwrap(), None);
+        assert_eq!(entropy_l(&f, &[0], 1).unwrap(), None);
+    }
+
+    #[test]
+    fn l_diverse_split_is_coarser_than_plain_mondrian() {
+        // with a skewed sensitive distribution the l-diversity condition
+        // blocks splits that plain Mondrian would take
+        let schema = Schema::from_pairs(&[
+            ("v", DataType::Integer),
+            ("s", DataType::Text),
+        ]);
+        let rows: Vec<Vec<Value>> = (0..16)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Str(if i < 8 { "a".to_string() } else { "b".to_string() }),
+                ]
+            })
+            .collect();
+        let f = Frame::new(schema, rows).unwrap();
+        let plain = crate::kanon::mondrian(&f, &[0], 2).unwrap();
+        let diverse = mondrian_l_diverse(&f, &[0], 1, 2, 2).unwrap();
+        // plain mondrian may create classes where s is constant;
+        // the diverse variant must not
+        let l_plain = distinct_l(&plain.frame, &[0], 1).unwrap().unwrap();
+        let l_diverse = distinct_l(&diverse.frame, &[0], 1).unwrap().unwrap();
+        assert_eq!(l_plain, 1);
+        assert!(l_diverse >= 2);
+    }
+}

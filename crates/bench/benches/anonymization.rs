@@ -1,0 +1,58 @@
+//! Anonymization scaling — the EXP-GP algorithms under criterion.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use paradise_anon::{
+    direct_distance, generalize_to_k, kl_divergence, mondrian, slice, GeneralizeConfig,
+    Hierarchy, SlicingConfig,
+};
+use paradise_nodes::{SmartRoomConfig, SmartRoomSim};
+
+fn bench_anon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("anonymization");
+    for rows in [500usize, 2_000] {
+        let config =
+            SmartRoomConfig { persons: 5, switch_probability: 0.02, ..Default::default() };
+        let frame = SmartRoomSim::with_config(8, config).ubisense_tagged(rows / 5);
+
+        group.bench_with_input(BenchmarkId::new("mondrian_k5", rows), &frame, |b, f| {
+            b.iter(|| mondrian(black_box(f), &[1, 2, 4], 5).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("slicing_b8", rows), &frame, |b, f| {
+            let cfg = SlicingConfig {
+                column_groups: vec![vec![0], vec![1, 2, 3], vec![4, 5]],
+                bucket_size: 8,
+                seed: 3,
+            };
+            b.iter(|| slice(black_box(f), &cfg).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("generalize_k3", rows), &frame, |b, f| {
+            let cfg = GeneralizeConfig {
+                qids: vec![
+                    (1, Hierarchy::numeric(&[1.0, 5.0])),
+                    (2, Hierarchy::numeric(&[1.0, 5.0])),
+                ],
+                k: 3,
+                max_suppressed: rows / 10,
+            };
+            b.iter(|| generalize_to_k(black_box(f), &cfg).unwrap())
+        });
+
+        let anonymized = mondrian(&frame, &[1, 2, 4], 5).unwrap().frame;
+        group.bench_with_input(
+            BenchmarkId::new("direct_distance", rows),
+            &(frame.clone(), anonymized.clone()),
+            |b, (orig, anon)| b.iter(|| direct_distance(black_box(orig), black_box(anon)).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("kl_divergence", rows),
+            &(frame, anonymized),
+            |b, (orig, anon)| {
+                b.iter(|| kl_divergence(black_box(orig), black_box(anon), &[1, 2]).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_anon);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Query containment check cost — the paper's open-problem component.
+
+use std::collections::HashMap;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use paradise_core::ConjunctiveQuery;
+use paradise_sql::parse_query;
+
+fn schemas() -> HashMap<String, Vec<String>> {
+    let mut m = HashMap::new();
+    m.insert(
+        "stream".to_string(),
+        vec!["x".to_string(), "y".to_string(), "z".to_string(), "t".to_string()],
+    );
+    m
+}
+
+fn bench_containment(c: &mut Criterion) {
+    let schemas = schemas();
+    let cq = |sql: &str| {
+        ConjunctiveQuery::from_query(&parse_query(sql).unwrap(), &schemas).unwrap()
+    };
+    let revealed = cq("SELECT x, y, t FROM stream");
+    let simple_attack = cq("SELECT x, y, t FROM stream WHERE z = 1");
+    // a 4-way self-join makes the homomorphism search non-trivial
+    let join_attack = cq(
+        "SELECT a.x, a.y, a.t FROM stream a \
+         JOIN stream b ON a.t = b.t \
+         JOIN stream c ON b.x = c.x \
+         JOIN stream d ON c.y = d.y",
+    );
+
+    let mut group = c.benchmark_group("containment");
+    group.bench_function("convert_spj_to_cq", |b| {
+        let q = parse_query("SELECT x, y, t FROM stream WHERE z = 1").unwrap();
+        b.iter(|| ConjunctiveQuery::from_query(black_box(&q), &schemas).unwrap())
+    });
+    group.bench_function("simple_containment", |b| {
+        b.iter(|| black_box(&simple_attack).is_contained_in(black_box(&revealed)))
+    });
+    group.bench_function("four_way_join_containment", |b| {
+        b.iter(|| black_box(&join_attack).is_contained_in(black_box(&revealed)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_containment);
+criterion_main!(benches);

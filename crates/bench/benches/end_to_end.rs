@@ -1,0 +1,27 @@
+//! End-to-end pipeline latency: the whole Figure 2 chain at several
+//! data scales, vs. the ship-raw-to-cloud baseline.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use paradise_bench::{paper_original, paper_processor};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(20);
+    for rows in [1_000usize, 5_000, 20_000] {
+        group.bench_with_input(BenchmarkId::new("paradise", rows), &rows, |b, &rows| {
+            b.iter_batched(
+                || paper_processor(42, 10, rows / 10),
+                |mut p| p.run("ActionFilter", black_box(&paper_original())).unwrap(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("cloud_baseline", rows), &rows, |b, &rows| {
+            let p = paper_processor(42, 10, rows / 10);
+            b.iter(|| p.cloud_baseline(black_box(&paper_original())).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Engine operator microbenchmarks: filter, projection, group-by,
+//! window, join — the per-level workloads of the vertical hierarchy.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use paradise_bench::meeting_stream;
+use paradise_engine::{Catalog, Executor};
+use paradise_sql::parse_query;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    for rows in [1_000usize, 10_000] {
+        let frame = meeting_stream(9, 10, rows / 10);
+        let mut catalog = Catalog::new();
+        catalog.register("stream", frame).unwrap();
+        let executor = Executor::new(&catalog);
+
+        let cases = [
+            ("filter", "SELECT * FROM stream WHERE z < 2"),
+            ("project", "SELECT x, t FROM stream"),
+            ("group_by", "SELECT x, AVG(z) AS za FROM stream GROUP BY x HAVING SUM(z) > 1"),
+            (
+                "window",
+                "SELECT SUM(z) OVER (PARTITION BY x ORDER BY t) FROM stream",
+            ),
+            ("sort_limit", "SELECT t FROM stream ORDER BY t DESC LIMIT 10"),
+            (
+                "regression",
+                "SELECT regr_intercept(y, x) AS ri, regr_slope(y, x) AS rs FROM stream",
+            ),
+        ];
+        for (name, sql) in cases {
+            let query = parse_query(sql).unwrap();
+            group.bench_with_input(BenchmarkId::new(name, rows), &query, |b, q| {
+                b.iter(|| executor.execute(black_box(q)).unwrap())
+            });
+        }
+    }
+
+    // join at appliance scale (small inputs: appliances join device tables)
+    let left = meeting_stream(3, 4, 50);
+    let right = meeting_stream(4, 4, 50);
+    let mut catalog = Catalog::new();
+    catalog.register("a", left).unwrap();
+    catalog.register("b", right).unwrap();
+    let executor = Executor::new(&catalog);
+    let join = parse_query("SELECT a.x, b.y FROM a JOIN b ON a.t = b.t").unwrap();
+    group.bench_function("join_200x200", |b| {
+        b.iter(|| executor.execute(black_box(&join)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Vertical fragmentation and chain-assignment latency — EXP-F3's engine.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use paradise_bench::paper_rewritten;
+use paradise_core::{assign_to_chain, fragment_query, AssignmentPolicy};
+use paradise_nodes::ProcessingChain;
+use paradise_sql::parse_query;
+
+fn bench_fragmentation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fragmentation");
+    let rewritten = paper_rewritten();
+    group.bench_function("paper_usecase", |b| {
+        b.iter(|| fragment_query(black_box(&rewritten)).unwrap())
+    });
+
+    let chain = ProcessingChain::apartment();
+    let plan = fragment_query(&rewritten).unwrap();
+    group.bench_function("assign_spread", |b| {
+        b.iter(|| assign_to_chain(black_box(&plan), &chain, AssignmentPolicy::Spread).unwrap())
+    });
+    group.bench_function("assign_stack", |b| {
+        b.iter(|| assign_to_chain(black_box(&plan), &chain, AssignmentPolicy::Stack).unwrap())
+    });
+
+    let deep = parse_query(
+        "SELECT za FROM (SELECT za FROM (SELECT za FROM \
+         (SELECT x, AVG(z) AS za FROM stream WHERE z < 2 AND x > y GROUP BY x)))",
+    )
+    .unwrap();
+    group.bench_function("deep_nesting", |b| {
+        b.iter(|| fragment_query(black_box(&deep)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fragmentation);
+criterion_main!(benches);

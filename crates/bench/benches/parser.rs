@@ -1,0 +1,29 @@
+//! Parser throughput on the paper's queries and the corpus.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use paradise_bench::{query_corpus, PAPER_ORIGINAL, PAPER_REWRITTEN};
+use paradise_sql::parse_query;
+
+fn bench_parser(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parser");
+    group.bench_function("paper_original", |b| {
+        b.iter(|| parse_query(black_box(PAPER_ORIGINAL)).unwrap())
+    });
+    group.bench_function("paper_rewritten", |b| {
+        b.iter(|| parse_query(black_box(PAPER_REWRITTEN)).unwrap())
+    });
+    group.bench_function("corpus_13_queries", |b| {
+        b.iter(|| {
+            for (_, sql) in query_corpus() {
+                black_box(parse_query(black_box(sql)).unwrap());
+            }
+        })
+    });
+    // render the rewritten query back to SQL
+    let q = parse_query(PAPER_REWRITTEN).unwrap();
+    group.bench_function("render", |b| b.iter(|| black_box(&q).to_string()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_parser);
+criterion_main!(benches);

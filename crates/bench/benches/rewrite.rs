@@ -1,0 +1,38 @@
+//! Preprocessor (query rewriting) latency — EXP-PRE's engine.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use paradise_bench::paper_original;
+use paradise_core::{preprocess, PreprocessOptions};
+use paradise_policy::figure4_policy;
+use paradise_sql::parse_query;
+
+fn bench_rewrite(c: &mut Criterion) {
+    let policy = figure4_policy();
+    let module = policy.module("ActionFilter").unwrap();
+    let options = PreprocessOptions::default();
+
+    let mut group = c.benchmark_group("rewrite");
+    let original = paper_original();
+    group.bench_function("paper_usecase", |b| {
+        b.iter(|| preprocess(black_box(&original), module, &options).unwrap())
+    });
+
+    let flat = parse_query("SELECT x, y, z, t FROM stream").unwrap();
+    group.bench_function("flat_query", |b| {
+        b.iter(|| preprocess(black_box(&flat), module, &options).unwrap())
+    });
+
+    // deep nesting: rename propagation across 6 levels
+    let deep = parse_query(
+        "SELECT z FROM (SELECT z FROM (SELECT z FROM (SELECT z FROM \
+         (SELECT z FROM (SELECT x, y, z, t FROM stream)))))",
+    )
+    .unwrap();
+    group.bench_function("deep_nesting_6_levels", |b| {
+        b.iter(|| preprocess(black_box(&deep), module, &options).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rewrite);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Shared scenario builders for the experiment harness and the
+//! criterion benches.
+
+use paradise_core::{ProcessingChain, Processor};
+use paradise_engine::Frame;
+use paradise_nodes::{SmartRoomConfig, SmartRoomSim};
+use paradise_policy::figure4_policy;
+use paradise_sql::ast::Query;
+use paradise_sql::parse_query;
+
+/// The paper's original query (§4.2, the SQL inside the R call).
+pub const PAPER_ORIGINAL: &str =
+    "SELECT regr_intercept(y, x) OVER (PARTITION BY z ORDER BY t) \
+     FROM (SELECT x, y, z, t FROM stream)";
+
+/// The paper's rewritten query (§4.2).
+pub const PAPER_REWRITTEN: &str =
+    "SELECT regr_intercept(y, x) OVER (PARTITION BY zAVG ORDER BY t) \
+     FROM (SELECT x, y, AVG(z) AS zAVG, t FROM stream \
+     WHERE x > y AND z < 2 GROUP BY x, y HAVING SUM(z) > 100)";
+
+/// Parse the paper's original query.
+pub fn paper_original() -> Query {
+    parse_query(PAPER_ORIGINAL).expect("static query parses")
+}
+
+/// Parse the paper's rewritten query.
+pub fn paper_rewritten() -> Query {
+    parse_query(PAPER_REWRITTEN).expect("static query parses")
+}
+
+/// Meeting-room position data at a given scale (rows ≈ persons × steps).
+pub fn meeting_stream(seed: u64, persons: usize, steps: usize) -> Frame {
+    let config = SmartRoomConfig { persons, switch_probability: 0.003, ..Default::default() };
+    SmartRoomSim::with_config(seed, config).ubisense_positions(steps)
+}
+
+/// A ready-to-run processor for the §4.2 scenario with `rows ≈ persons ×
+/// steps` of simulated data at the sensor.
+pub fn paper_processor(seed: u64, persons: usize, steps: usize) -> Processor {
+    let mut processor = Processor::new(ProcessingChain::apartment())
+        .with_policy("ActionFilter", figure4_policy().modules.remove(0));
+    processor
+        .install_source("motion-sensor", "stream", meeting_stream(seed, persons, steps))
+        .expect("sensor node exists");
+    processor
+}
+
+/// A corpus of queries spanning every capability level, used by the
+/// Table 1 experiment and several benches.
+pub fn query_corpus() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("const filter scan", "SELECT * FROM stream WHERE z < 2"),
+        ("plain scan", "SELECT * FROM stream"),
+        ("projection", "SELECT x, y FROM stream"),
+        ("attr comparison", "SELECT x, y FROM stream WHERE x > y"),
+        ("arithmetic filter", "SELECT x FROM stream WHERE x + 1 > 2"),
+        ("aggregation", "SELECT AVG(z) FROM stream"),
+        (
+            "group by + having",
+            "SELECT x, AVG(z) AS za FROM stream GROUP BY x HAVING SUM(z) > 10",
+        ),
+        ("join", "SELECT a.x FROM stream a JOIN stream b ON a.t = b.t"),
+        ("order + limit", "SELECT x FROM stream ORDER BY x LIMIT 5"),
+        ("subquery", "SELECT x FROM (SELECT x FROM stream)"),
+        ("set operation", "SELECT x FROM stream UNION SELECT y FROM stream"),
+        (
+            "window regression",
+            "SELECT regr_intercept(y, x) OVER (PARTITION BY z ORDER BY t) FROM stream",
+        ),
+        ("udf / ML", "SELECT filterByClass(z) FROM stream"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_builders_work() {
+        let frame = meeting_stream(1, 2, 10);
+        assert_eq!(frame.len(), 20);
+        let mut p = paper_processor(1, 2, 10);
+        assert!(p.run("ActionFilter", &paper_original()).is_ok());
+    }
+
+    #[test]
+    fn corpus_parses() {
+        for (name, sql) in query_corpus() {
+            assert!(parse_query(sql).is_ok(), "{name}: {sql}");
+        }
+    }
+}

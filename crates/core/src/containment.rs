@@ -1,0 +1,488 @@
+//! Conjunctive-query containment (the paper's declared open problem,
+//! §4.1/§5): decide whether a privacy-violating query `Q↓` can still be
+//! answered from the reduced data `d'` — "this open problem results in a
+//! query containment problem".
+//!
+//! We implement the classical CQ containment test: `Q1 ⊆ Q2` iff there is
+//! a homomorphism from `Q2` to `Q1` (Chandra–Merkurjev/Chandra–Merlin),
+//! found by backtracking over atom mappings on the canonical ("frozen")
+//! database of `Q1`. SPJ queries with equality predicates convert to CQs
+//! via [`ConjunctiveQuery::from_query`] given the relation schemas.
+
+use std::collections::{BTreeMap, HashMap};
+
+use paradise_sql::ast::{BinaryOp, Expr, Literal, Query, SelectItem, TableRef};
+
+use crate::error::{CoreError, CoreResult};
+
+/// A term of a conjunctive query: variable or constant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Term {
+    /// Named variable.
+    Var(String),
+    /// Constant (frozen literal).
+    Const(Literal),
+}
+
+impl Term {
+    /// Is this term a variable (vs. a constant)?
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+}
+
+/// One body atom `R(t1, …, tn)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Atom {
+    /// Relation name (case-folded).
+    pub relation: String,
+    /// Positional arguments.
+    pub args: Vec<Term>,
+}
+
+/// A conjunctive query `head(x̄) :- body`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConjunctiveQuery {
+    /// Head (answer) terms.
+    pub head: Vec<Term>,
+    /// Body atoms.
+    pub atoms: Vec<Atom>,
+}
+
+impl ConjunctiveQuery {
+    /// Convert a flat SPJ query to a CQ.
+    ///
+    /// Requirements: single block (no nesting/unions/aggregates), named
+    /// base tables (joins allowed), projection of plain columns, WHERE
+    /// restricted to conjunctions of `col = col` and `col = const`.
+    /// `schemas` maps relation name → ordered column list.
+    pub fn from_query(
+        query: &Query,
+        schemas: &HashMap<String, Vec<String>>,
+    ) -> CoreResult<ConjunctiveQuery> {
+        if !query.unions.is_empty() || !query.group_by.is_empty() || query.having.is_some() {
+            return Err(CoreError::UnsupportedQuery(
+                "CQ conversion needs a plain SPJ query".into(),
+            ));
+        }
+        // collect (occurrence alias, relation) pairs
+        let mut occurrences: Vec<(String, String)> = Vec::new();
+        let mut join_predicates: Vec<Expr> = Vec::new();
+        fn walk_tables(
+            t: &TableRef,
+            occ: &mut Vec<(String, String)>,
+            preds: &mut Vec<Expr>,
+        ) -> CoreResult<()> {
+            match t {
+                TableRef::Table { name, alias } => {
+                    let visible = alias.clone().unwrap_or_else(|| name.clone());
+                    occ.push((visible.to_ascii_lowercase(), name.to_ascii_lowercase()));
+                    Ok(())
+                }
+                TableRef::Join { left, right, on, .. } => {
+                    walk_tables(left, occ, preds)?;
+                    walk_tables(right, occ, preds)?;
+                    if let Some(on) = on {
+                        preds.push(on.clone());
+                    }
+                    Ok(())
+                }
+                TableRef::Subquery { .. } => Err(CoreError::UnsupportedQuery(
+                    "CQ conversion does not handle derived tables".into(),
+                )),
+            }
+        }
+        match &query.from {
+            Some(t) => walk_tables(t, &mut occurrences, &mut join_predicates)?,
+            None => {
+                return Err(CoreError::UnsupportedQuery("CQ needs a FROM clause".into()))
+            }
+        }
+
+        // variable per (occurrence, column); union-find for equalities
+        let mut var_of: BTreeMap<(String, String), String> = BTreeMap::new();
+        let mut atoms = Vec::new();
+        for (i, (visible, relation)) in occurrences.iter().enumerate() {
+            let columns = schemas.get(relation).ok_or_else(|| {
+                CoreError::UnsupportedQuery(format!("unknown relation {relation:?} in CQ schemas"))
+            })?;
+            let args = columns
+                .iter()
+                .map(|c| {
+                    let var = format!("v{}_{}", i, c.to_ascii_lowercase());
+                    var_of.insert((visible.clone(), c.to_ascii_lowercase()), var.clone());
+                    Term::Var(var)
+                })
+                .collect();
+            atoms.push(Atom { relation: relation.clone(), args });
+        }
+
+        let resolve = |col: &paradise_sql::ast::ColumnRef,
+                       var_of: &BTreeMap<(String, String), String>|
+         -> CoreResult<String> {
+            let lc = col.name.to_ascii_lowercase();
+            match &col.qualifier {
+                Some(q) => var_of
+                    .get(&(q.to_ascii_lowercase(), lc))
+                    .cloned()
+                    .ok_or_else(|| {
+                        CoreError::UnsupportedQuery(format!("unknown column {q}.{}", col.name))
+                    }),
+                None => {
+                    let matches: Vec<&String> = var_of
+                        .iter()
+                        .filter(|((_, c), _)| *c == lc)
+                        .map(|(_, v)| v)
+                        .collect();
+                    match matches.len() {
+                        1 => Ok(matches[0].clone()),
+                        0 => Err(CoreError::UnsupportedQuery(format!(
+                            "unknown column {}",
+                            col.name
+                        ))),
+                        _ => Err(CoreError::UnsupportedQuery(format!(
+                            "ambiguous column {} in CQ conversion",
+                            col.name
+                        ))),
+                    }
+                }
+            }
+        };
+
+        // substitution map from equality predicates
+        let mut subst: HashMap<String, Term> = HashMap::new();
+        let mut all_preds: Vec<&Expr> = join_predicates.iter().collect();
+        let where_conjuncts: Vec<&Expr> = query
+            .where_clause
+            .as_ref()
+            .map(|w| w.conjuncts())
+            .unwrap_or_default();
+        all_preds.extend(where_conjuncts);
+
+        fn walk_term(t: &Term, subst: &HashMap<String, Term>) -> Term {
+            match t {
+                Term::Var(v) => match subst.get(v) {
+                    Some(next) => walk_term(next, subst),
+                    None => t.clone(),
+                },
+                c => c.clone(),
+            }
+        }
+
+        for pred in all_preds.iter().flat_map(|p| p.conjuncts()) {
+            let Expr::Binary { left, op: BinaryOp::Eq, right } = pred else {
+                return Err(CoreError::UnsupportedQuery(format!(
+                    "CQ conversion only handles equality predicates, found {pred}"
+                )));
+            };
+            match (left.as_ref(), right.as_ref()) {
+                (Expr::Column(a), Expr::Column(b)) => {
+                    let va = resolve(a, &var_of)?;
+                    let vb = resolve(b, &var_of)?;
+                    let ra = walk_term(&Term::Var(va), &subst);
+                    let rb = walk_term(&Term::Var(vb), &subst);
+                    match (&ra, &rb) {
+                        (Term::Var(v), other) | (other, Term::Var(v)) => {
+                            subst.insert(v.clone(), other.clone());
+                        }
+                        (Term::Const(a), Term::Const(b)) if a.same_as(b) => {}
+                        _ => {
+                            return Err(CoreError::UnsupportedQuery(
+                                "contradictory constants in CQ".into(),
+                            ))
+                        }
+                    }
+                }
+                (Expr::Column(c), Expr::Literal(l)) | (Expr::Literal(l), Expr::Column(c)) => {
+                    let v = resolve(c, &var_of)?;
+                    let r = walk_term(&Term::Var(v), &subst);
+                    match r {
+                        Term::Var(v) => {
+                            subst.insert(v, Term::Const(l.clone()));
+                        }
+                        Term::Const(existing) if existing.same_as(l) => {}
+                        _ => {
+                            return Err(CoreError::UnsupportedQuery(
+                                "contradictory constants in CQ".into(),
+                            ))
+                        }
+                    }
+                }
+                _ => {
+                    return Err(CoreError::UnsupportedQuery(format!(
+                        "CQ conversion only handles column/constant equalities, found {pred}"
+                    )))
+                }
+            }
+        }
+
+        // apply substitution to atoms
+        for atom in &mut atoms {
+            for arg in &mut atom.args {
+                *arg = walk_term(arg, &subst);
+            }
+        }
+
+        // head
+        let mut head = Vec::new();
+        for item in &query.items {
+            match item {
+                SelectItem::Wildcard => {
+                    for atom in &atoms {
+                        head.extend(atom.args.iter().cloned());
+                    }
+                }
+                SelectItem::QualifiedWildcard(q) => {
+                    let q = q.to_ascii_lowercase();
+                    for ((visible, _), var) in &var_of {
+                        if *visible == q {
+                            head.push(walk_term(&Term::Var(var.clone()), &subst));
+                        }
+                    }
+                }
+                SelectItem::Expr { expr: Expr::Column(c), .. } => {
+                    let v = resolve(c, &var_of)?;
+                    head.push(walk_term(&Term::Var(v), &subst));
+                }
+                SelectItem::Expr { expr, .. } => {
+                    return Err(CoreError::UnsupportedQuery(format!(
+                        "CQ heads must be plain columns, found {expr}"
+                    )))
+                }
+            }
+        }
+        Ok(ConjunctiveQuery { head, atoms })
+    }
+
+    /// Is `self ⊆ other` (every answer of `self` is an answer of `other`
+    /// on every database)? Classical test: homomorphism from `other`
+    /// into `self`'s frozen body mapping `other`'s head onto `self`'s.
+    pub fn is_contained_in(&self, other: &ConjunctiveQuery) -> bool {
+        if self.head.len() != other.head.len() {
+            return false;
+        }
+        let mut mapping: HashMap<String, Term> = HashMap::new();
+        homomorphism(&other.atoms, 0, self, other, &mut mapping)
+    }
+
+    /// Are the two queries equivalent (mutual containment)?
+    pub fn equivalent(&self, other: &ConjunctiveQuery) -> bool {
+        self.is_contained_in(other) && other.is_contained_in(self)
+    }
+}
+
+fn unify(term: &Term, target: &Term, mapping: &mut HashMap<String, Term>) -> bool {
+    match term {
+        Term::Const(c) => match target {
+            Term::Const(d) => c.same_as(d),
+            // a constant in the container cannot map to a frozen variable
+            Term::Var(_) => false,
+        },
+        Term::Var(v) => match mapping.get(v) {
+            Some(bound) => terms_equal(bound, target),
+            None => {
+                mapping.insert(v.clone(), target.clone());
+                true
+            }
+        },
+    }
+}
+
+fn terms_equal(a: &Term, b: &Term) -> bool {
+    match (a, b) {
+        (Term::Var(x), Term::Var(y)) => x == y,
+        (Term::Const(x), Term::Const(y)) => x.same_as(y),
+        _ => false,
+    }
+}
+
+/// Backtracking search: map atoms of `container` (Q2) onto atoms of
+/// `contained` (Q1, frozen), then check the head condition.
+fn homomorphism(
+    container_atoms: &[Atom],
+    index: usize,
+    contained: &ConjunctiveQuery,
+    container: &ConjunctiveQuery,
+    mapping: &mut HashMap<String, Term>,
+) -> bool {
+    if index == container_atoms.len() {
+        // head condition: container head maps exactly onto contained head
+        return container
+            .head
+            .iter()
+            .zip(&contained.head)
+            .all(|(ch, th)| match ch {
+                Term::Const(c) => matches!(th, Term::Const(d) if c.same_as(d)),
+                Term::Var(v) => match mapping.get(v) {
+                    Some(bound) => terms_equal(bound, th),
+                    None => {
+                        // unconstrained head var: bind it now
+                        mapping.insert(v.clone(), th.clone());
+                        true
+                    }
+                },
+            });
+    }
+    let atom = &container_atoms[index];
+    for candidate in &contained.atoms {
+        if candidate.relation != atom.relation || candidate.args.len() != atom.args.len() {
+            continue;
+        }
+        let snapshot = mapping.clone();
+        let ok = atom
+            .args
+            .iter()
+            .zip(&candidate.args)
+            .all(|(t, target)| unify(t, target, mapping));
+        if ok && homomorphism(container_atoms, index + 1, contained, container, mapping) {
+            return true;
+        }
+        *mapping = snapshot;
+    }
+    false
+}
+
+/// Privacy application: can the attack query `attack` be answered given
+/// that only `revealed` is available? We flag danger when
+/// `attack ⊆ revealed` (the revealed view subsumes the attack — the
+/// provider can compute the attack's answers from what it got), or the
+/// two are equivalent.
+///
+/// This is the *containment* fragment of the open problem; full
+/// view-based rewriting is future work in the paper as well.
+pub fn attack_answerable(revealed: &ConjunctiveQuery, attack: &ConjunctiveQuery) -> bool {
+    attack.is_contained_in(revealed) && head_covered(revealed, attack)
+}
+
+/// Every head term of `attack` must appear among `revealed`'s head terms
+/// under some homomorphism — approximated structurally: an attack head
+/// position is covered when `revealed` exposes at least as many head
+/// terms. (With equal arity, `is_contained_in` already enforces the
+/// positional mapping.)
+fn head_covered(revealed: &ConjunctiveQuery, attack: &ConjunctiveQuery) -> bool {
+    attack.head.len() <= revealed.head.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradise_sql::parse_query;
+
+    fn schemas() -> HashMap<String, Vec<String>> {
+        let mut m = HashMap::new();
+        m.insert(
+            "d".to_string(),
+            vec!["x".to_string(), "y".to_string(), "z".to_string(), "t".to_string()],
+        );
+        m.insert("r".to_string(), vec!["a".to_string(), "b".to_string()]);
+        m
+    }
+
+    fn cq(sql: &str) -> ConjunctiveQuery {
+        ConjunctiveQuery::from_query(&parse_query(sql).unwrap(), &schemas()).unwrap()
+    }
+
+    #[test]
+    fn identical_queries_are_equivalent() {
+        let q1 = cq("SELECT x, y FROM d WHERE z = 1");
+        let q2 = cq("SELECT x, y FROM d WHERE z = 1");
+        assert!(q1.equivalent(&q2));
+    }
+
+    #[test]
+    fn more_selective_is_contained() {
+        // Q1 selects z=1 rows; Q2 selects all rows: Q1 ⊆ Q2
+        let q1 = cq("SELECT x, y FROM d WHERE z = 1");
+        let q2 = cq("SELECT x, y FROM d");
+        assert!(q1.is_contained_in(&q2));
+        assert!(!q2.is_contained_in(&q1));
+    }
+
+    #[test]
+    fn different_constants_not_contained() {
+        let q1 = cq("SELECT x FROM d WHERE z = 1");
+        let q2 = cq("SELECT x FROM d WHERE z = 2");
+        assert!(!q1.is_contained_in(&q2));
+        assert!(!q2.is_contained_in(&q1));
+    }
+
+    #[test]
+    fn join_self_containment() {
+        // Q2 = d ⋈ d on x: Q1 (single copy with x=x trivially) ⊆ Q2
+        let q1 = cq("SELECT x FROM d");
+        let q2 = cq("SELECT d1.x FROM d d1 JOIN d d2 ON d1.x = d2.x");
+        // the self-join is redundant: both are equivalent
+        assert!(q1.is_contained_in(&q2));
+        assert!(q2.is_contained_in(&q1));
+    }
+
+    #[test]
+    fn head_arity_must_match() {
+        let q1 = cq("SELECT x FROM d");
+        let q2 = cq("SELECT x, y FROM d");
+        assert!(!q1.is_contained_in(&q2));
+        assert!(!q2.is_contained_in(&q1));
+    }
+
+    #[test]
+    fn variable_equality_constraints_respected() {
+        // Q1 requires x=y, Q2 doesn't: Q1 ⊆ Q2 but not vice versa
+        let q1 = cq("SELECT x FROM d WHERE x = y");
+        let q2 = cq("SELECT x FROM d");
+        assert!(q1.is_contained_in(&q2));
+        assert!(!q2.is_contained_in(&q1));
+    }
+
+    #[test]
+    fn cross_relation_containment_fails() {
+        let q1 = cq("SELECT x FROM d");
+        let q2 = cq("SELECT a FROM r");
+        assert!(!q1.is_contained_in(&q2));
+    }
+
+    #[test]
+    fn attack_detection() {
+        // revealed: positions with z<? — modelled here with equality-only
+        // CQs: revealed view exposes (x, y); attack asks for (x, y) of
+        // z=1 rows → answerable (attack ⊆ revealed)
+        let revealed = cq("SELECT x, y FROM d");
+        let attack = cq("SELECT x, y FROM d WHERE z = 1");
+        assert!(attack_answerable(&revealed, &attack));
+        // reversed: revealed only z=1 rows, attack wants everything → no
+        let revealed2 = cq("SELECT x, y FROM d WHERE z = 1");
+        let attack2 = cq("SELECT x, y FROM d");
+        assert!(!attack_answerable(&revealed2, &attack2));
+    }
+
+    #[test]
+    fn conversion_rejects_non_spj() {
+        let q = parse_query("SELECT AVG(z) FROM d GROUP BY x").unwrap();
+        assert!(ConjunctiveQuery::from_query(&q, &schemas()).is_err());
+        let q2 = parse_query("SELECT x FROM d WHERE z < 2").unwrap();
+        assert!(ConjunctiveQuery::from_query(&q2, &schemas()).is_err());
+    }
+
+    #[test]
+    fn conversion_handles_constants_and_wildcards() {
+        let q = cq("SELECT * FROM d WHERE x = 5");
+        assert_eq!(q.head.len(), 4);
+        assert!(q.atoms[0].args[0] == Term::Const(Literal::Integer(5)));
+    }
+
+    #[test]
+    fn unknown_relation_is_error() {
+        let q = parse_query("SELECT q FROM unknown_rel").unwrap();
+        assert!(ConjunctiveQuery::from_query(&q, &schemas()).is_err());
+    }
+
+    #[test]
+    fn join_condition_unifies_variables() {
+        let q = cq("SELECT d1.x FROM d d1 JOIN d d2 ON d1.t = d2.t WHERE d2.z = 3");
+        // both atoms share the t variable and one has z bound to 3
+        let t1 = &q.atoms[0].args[3];
+        let t2 = &q.atoms[1].args[3];
+        assert_eq!(t1, t2);
+        assert_eq!(q.atoms[1].args[2], Term::Const(Literal::Integer(3)));
+        assert!(q.atoms[0].args[2].is_var());
+    }
+}

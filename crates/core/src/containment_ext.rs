@@ -1,0 +1,460 @@
+//! Containment for conjunctive queries **with comparison predicates**
+//! (CQ¬ / semi-interval queries) — the extension the paper's use case
+//! actually needs: the revealed view filters `z < 2`, and attack queries
+//! carry inequalities too.
+//!
+//! A [`RangeQuery`] is a [`ConjunctiveQuery`] plus per-variable interval
+//! constraints. Containment `Q1 ⊆ Q2` is tested with the classical
+//! homomorphism condition *strengthened* by constraint implication: for
+//! every homomorphism candidate, each comparison constraint of the
+//! container `Q2` must be implied by the constraints of `Q1` on the
+//! mapped variable (Klug's condition for semi-interval queries, where
+//! the homomorphism test remains sound and complete).
+
+use std::collections::HashMap;
+
+use paradise_sql::ast::{BinaryOp, Expr, Literal, Query};
+
+use crate::containment::{ConjunctiveQuery, Term};
+use crate::error::{CoreError, CoreResult};
+
+/// A closed/open numeric interval constraint attached to one variable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound (−∞ when `f64::NEG_INFINITY`).
+    pub lo: f64,
+    /// Is the lower bound included?
+    pub lo_closed: bool,
+    /// Upper bound (+∞ when `f64::INFINITY`).
+    pub hi: f64,
+    /// Is the upper bound included?
+    pub hi_closed: bool,
+}
+
+impl Interval {
+    /// The unconstrained interval (−∞, +∞).
+    pub const FULL: Interval =
+        Interval { lo: f64::NEG_INFINITY, lo_closed: false, hi: f64::INFINITY, hi_closed: false };
+
+    /// Interval for a single comparison `var op bound`.
+    pub fn from_comparison(op: BinaryOp, bound: f64) -> Option<Interval> {
+        Some(match op {
+            BinaryOp::Lt => Interval { hi: bound, hi_closed: false, ..Interval::FULL },
+            BinaryOp::LtEq => Interval { hi: bound, hi_closed: true, ..Interval::FULL },
+            BinaryOp::Gt => Interval { lo: bound, lo_closed: false, ..Interval::FULL },
+            BinaryOp::GtEq => Interval { lo: bound, lo_closed: true, ..Interval::FULL },
+            BinaryOp::Eq => Interval { lo: bound, lo_closed: true, hi: bound, hi_closed: true },
+            _ => return None,
+        })
+    }
+
+    /// Intersect two intervals.
+    #[must_use]
+    pub fn intersect(&self, other: &Interval) -> Interval {
+        let (lo, lo_closed) = if self.lo > other.lo {
+            (self.lo, self.lo_closed)
+        } else if other.lo > self.lo {
+            (other.lo, other.lo_closed)
+        } else {
+            (self.lo, self.lo_closed && other.lo_closed)
+        };
+        let (hi, hi_closed) = if self.hi < other.hi {
+            (self.hi, self.hi_closed)
+        } else if other.hi < self.hi {
+            (other.hi, other.hi_closed)
+        } else {
+            (self.hi, self.hi_closed && other.hi_closed)
+        };
+        Interval { lo, lo_closed, hi, hi_closed }
+    }
+
+    /// Is the interval empty (no satisfying value)?
+    pub fn is_empty(&self) -> bool {
+        self.lo > self.hi || (self.lo == self.hi && !(self.lo_closed && self.hi_closed))
+    }
+
+    /// Does every value of `self` also satisfy `other` (`self ⊆ other`)?
+    pub fn implies(&self, other: &Interval) -> bool {
+        if self.is_empty() {
+            return true;
+        }
+        let lo_ok = other.lo < self.lo
+            || (other.lo == self.lo && (other.lo_closed || !self.lo_closed));
+        let hi_ok = other.hi > self.hi
+            || (other.hi == self.hi && (other.hi_closed || !self.hi_closed));
+        lo_ok && hi_ok
+    }
+}
+
+/// A conjunctive query with per-variable interval constraints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeQuery {
+    /// The relational part.
+    pub cq: ConjunctiveQuery,
+    /// Interval constraint per variable name (missing = unconstrained).
+    pub constraints: HashMap<String, Interval>,
+}
+
+impl RangeQuery {
+    /// Convert a flat SPJ query whose WHERE clause is a conjunction of
+    /// `col = col`, `col = const` and `col ⊙ numeric-const` predicates.
+    ///
+    /// Equality predicates are handled by the underlying CQ conversion;
+    /// inequality predicates become interval constraints.
+    pub fn from_query(
+        query: &Query,
+        schemas: &HashMap<String, Vec<String>>,
+    ) -> CoreResult<RangeQuery> {
+        // split the WHERE clause: equalities stay for the CQ conversion,
+        // numeric inequalities become constraints
+        let mut equality_conjuncts: Vec<Expr> = Vec::new();
+        let mut inequality_conjuncts: Vec<(Expr, BinaryOp, f64)> = Vec::new();
+        if let Some(w) = &query.where_clause {
+            for conjunct in w.conjuncts() {
+                match conjunct {
+                    Expr::Binary { left, op, right } if op.is_comparison() => {
+                        match (left.as_ref(), op, right.as_ref()) {
+                            // numeric point equalities become [v, v]
+                            // intervals so that `z = 1` ≡ `z >= 1 AND
+                            // z <= 1`; non-numeric equalities (strings,
+                            // column=column joins) stay in the CQ core
+                            (Expr::Column(_), BinaryOp::Eq, Expr::Literal(lit))
+                            | (Expr::Literal(lit), BinaryOp::Eq, Expr::Column(_))
+                                if numeric(lit).is_none() =>
+                            {
+                                equality_conjuncts.push(conjunct.clone())
+                            }
+                            (_, BinaryOp::Eq, Expr::Column(_))
+                                if matches!(left.as_ref(), Expr::Column(_)) =>
+                            {
+                                equality_conjuncts.push(conjunct.clone())
+                            }
+                            (Expr::Column(_), op, Expr::Literal(lit)) => {
+                                let Some(v) = numeric(lit) else {
+                                    return Err(CoreError::UnsupportedQuery(format!(
+                                        "non-numeric bound in {conjunct}"
+                                    )));
+                                };
+                                inequality_conjuncts.push((
+                                    left.as_ref().clone(),
+                                    *op,
+                                    v,
+                                ));
+                            }
+                            (Expr::Literal(lit), op, Expr::Column(_)) => {
+                                let Some(v) = numeric(lit) else {
+                                    return Err(CoreError::UnsupportedQuery(format!(
+                                        "non-numeric bound in {conjunct}"
+                                    )));
+                                };
+                                let mirrored = op.mirrored().expect("comparison mirrors");
+                                inequality_conjuncts.push((
+                                    right.as_ref().clone(),
+                                    mirrored,
+                                    v,
+                                ));
+                            }
+                            _ => {
+                                return Err(CoreError::UnsupportedQuery(format!(
+                                    "range-CQ conversion cannot handle {conjunct}"
+                                )))
+                            }
+                        }
+                    }
+                    other => {
+                        return Err(CoreError::UnsupportedQuery(format!(
+                            "range-CQ conversion cannot handle {other}"
+                        )))
+                    }
+                }
+            }
+        }
+
+        // base CQ over the equality part only
+        let mut base = query.clone();
+        base.where_clause = Expr::conjoin(equality_conjuncts);
+        let cq = ConjunctiveQuery::from_query(&base, schemas)?;
+
+        // map each inequality's column to its CQ variable: re-run the
+        // resolver logic by building a one-off query per column is
+        // wasteful; instead resolve through the atoms (variables are
+        // named v{occurrence}_{column}).
+        let mut constraints: HashMap<String, Interval> = HashMap::new();
+        for (col_expr, op, bound) in inequality_conjuncts {
+            let Expr::Column(col) = &col_expr else { unreachable!("matched above") };
+            let var = resolve_var(&cq, col).ok_or_else(|| {
+                CoreError::UnsupportedQuery(format!(
+                    "cannot resolve column {} in range constraints",
+                    col.name
+                ))
+            })?;
+            let interval = Interval::from_comparison(op, bound).ok_or_else(|| {
+                CoreError::UnsupportedQuery(format!("operator {op:?} in range constraint"))
+            })?;
+            let entry = constraints.entry(var).or_insert(Interval::FULL);
+            *entry = entry.intersect(&interval);
+        }
+        Ok(RangeQuery { cq, constraints })
+    }
+
+    /// Effective constraint of a term: a variable's interval, or the
+    /// point interval of a numeric constant.
+    fn constraint_of(&self, term: &Term) -> Interval {
+        match term {
+            Term::Var(v) => self.constraints.get(v).copied().unwrap_or(Interval::FULL),
+            Term::Const(lit) => match numeric(lit) {
+                Some(v) => Interval { lo: v, lo_closed: true, hi: v, hi_closed: true },
+                None => Interval::FULL,
+            },
+        }
+    }
+
+    /// Is `self ⊆ other` for semi-interval conjunctive queries?
+    ///
+    /// Searches for a homomorphism from `other` into `self` under which
+    /// every constraint of `other` is implied by the constraint the
+    /// mapped `self`-term carries.
+    pub fn is_contained_in(&self, other: &RangeQuery) -> bool {
+        if self.cq.head.len() != other.cq.head.len() {
+            return false;
+        }
+        // unsatisfiable query is contained in everything
+        if self.constraints.values().any(Interval::is_empty) {
+            return true;
+        }
+        let mut mapping: HashMap<String, Term> = HashMap::new();
+        self.search(other, 0, &mut mapping)
+    }
+
+    fn search(
+        &self,
+        other: &RangeQuery,
+        index: usize,
+        mapping: &mut HashMap<String, Term>,
+    ) -> bool {
+        if index == other.cq.atoms.len() {
+            // head condition
+            let heads_ok = other.cq.head.iter().zip(&self.cq.head).all(|(oh, sh)| match oh {
+                Term::Const(c) => matches!(sh, Term::Const(d) if c.same_as(d)),
+                Term::Var(v) => match mapping.get(v) {
+                    Some(bound) => terms_equal(bound, sh),
+                    None => {
+                        mapping.insert(v.clone(), sh.clone());
+                        true
+                    }
+                },
+            });
+            if !heads_ok {
+                return false;
+            }
+            // constraint implication: every container constraint must be
+            // implied by the constraint of the mapped term
+            return other.constraints.iter().all(|(var, required)| {
+                match mapping.get(var) {
+                    Some(target) => self.constraint_of(target).implies(required),
+                    // variable never used in atoms/head: cannot constrain
+                    None => required.implies(&Interval::FULL) && *required == Interval::FULL,
+                }
+            });
+        }
+        let atom = &other.cq.atoms[index];
+        for candidate in &self.cq.atoms {
+            if candidate.relation != atom.relation || candidate.args.len() != atom.args.len() {
+                continue;
+            }
+            let snapshot = mapping.clone();
+            let ok = atom.args.iter().zip(&candidate.args).all(|(t, target)| match t {
+                Term::Const(c) => matches!(target, Term::Const(d) if c.same_as(d)),
+                Term::Var(v) => match mapping.get(v) {
+                    Some(bound) => terms_equal(bound, target),
+                    None => {
+                        mapping.insert(v.clone(), target.clone());
+                        true
+                    }
+                },
+            });
+            if ok && self.search(other, index + 1, mapping) {
+                return true;
+            }
+            *mapping = snapshot;
+        }
+        false
+    }
+
+    /// Mutual containment.
+    pub fn equivalent(&self, other: &RangeQuery) -> bool {
+        self.is_contained_in(other) && other.is_contained_in(self)
+    }
+}
+
+fn terms_equal(a: &Term, b: &Term) -> bool {
+    match (a, b) {
+        (Term::Var(x), Term::Var(y)) => x == y,
+        (Term::Const(x), Term::Const(y)) => x.same_as(y),
+        _ => false,
+    }
+}
+
+fn numeric(lit: &Literal) -> Option<f64> {
+    match lit {
+        Literal::Integer(v) => Some(*v as f64),
+        Literal::Float(v) => Some(*v),
+        _ => None,
+    }
+}
+
+fn resolve_var(cq: &ConjunctiveQuery, col: &paradise_sql::ast::ColumnRef) -> Option<String> {
+    // variables are named v{occurrence}_{column}; qualified references
+    // pick the occurrence by position of the qualifier — for the flat
+    // single-table queries this module targets, an unqualified suffix
+    // match is unambiguous when exactly one variable matches.
+    let suffix = format!("_{}", col.name.to_ascii_lowercase());
+    let mut matches: Vec<&str> = Vec::new();
+    for atom in &cq.atoms {
+        for arg in &atom.args {
+            if let Term::Var(v) = arg {
+                if v.ends_with(&suffix) && !matches.contains(&v.as_str()) {
+                    matches.push(v);
+                }
+            }
+        }
+    }
+    match matches.len() {
+        1 => Some(matches[0].to_string()),
+        _ => None,
+    }
+}
+
+/// Privacy application with ranges: can `attack` be answered from the
+/// `revealed` view? (See [`crate::containment::attack_answerable`] for
+/// the equality-only variant.)
+pub fn range_attack_answerable(revealed: &RangeQuery, attack: &RangeQuery) -> bool {
+    attack.is_contained_in(revealed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradise_sql::parse_query;
+
+    fn schemas() -> HashMap<String, Vec<String>> {
+        let mut m = HashMap::new();
+        m.insert(
+            "stream".to_string(),
+            vec!["x".to_string(), "y".to_string(), "z".to_string(), "t".to_string()],
+        );
+        m
+    }
+
+    fn rq(sql: &str) -> RangeQuery {
+        RangeQuery::from_query(&parse_query(sql).unwrap(), &schemas()).unwrap()
+    }
+
+    #[test]
+    fn interval_algebra() {
+        let lt2 = Interval::from_comparison(BinaryOp::Lt, 2.0).unwrap();
+        let lt1 = Interval::from_comparison(BinaryOp::Lt, 1.0).unwrap();
+        let le1 = Interval::from_comparison(BinaryOp::LtEq, 1.0).unwrap();
+        assert!(lt1.implies(&lt2));
+        assert!(!lt2.implies(&lt1));
+        assert!(lt1.implies(&le1));
+        assert!(!le1.implies(&lt1));
+        assert!(lt1.implies(&lt1));
+
+        let gt0 = Interval::from_comparison(BinaryOp::Gt, 0.0).unwrap();
+        let band = lt2.intersect(&gt0);
+        assert!(band.implies(&lt2));
+        assert!(band.implies(&gt0));
+        assert!(!band.is_empty());
+
+        let eq5 = Interval::from_comparison(BinaryOp::Eq, 5.0).unwrap();
+        assert!(eq5.intersect(&lt2).is_empty());
+        assert!(eq5.implies(&Interval::from_comparison(BinaryOp::GtEq, 5.0).unwrap()));
+    }
+
+    #[test]
+    fn tighter_range_is_contained() {
+        // the paper's revealed view filters z < 2
+        let revealed = rq("SELECT x, y, t FROM stream WHERE z < 2");
+        let tighter = rq("SELECT x, y, t FROM stream WHERE z < 1");
+        let looser = rq("SELECT x, y, t FROM stream WHERE z < 3");
+        assert!(tighter.is_contained_in(&revealed));
+        assert!(!looser.is_contained_in(&revealed));
+        assert!(!revealed.is_contained_in(&tighter));
+        assert!(revealed.is_contained_in(&looser));
+    }
+
+    #[test]
+    fn point_queries_and_ranges() {
+        let revealed = rq("SELECT x, t FROM stream WHERE z < 2");
+        let point = rq("SELECT x, t FROM stream WHERE z = 1");
+        assert!(point.is_contained_in(&revealed));
+        let boundary = rq("SELECT x, t FROM stream WHERE z = 2");
+        assert!(!boundary.is_contained_in(&revealed));
+    }
+
+    #[test]
+    fn multi_constraint_bands() {
+        let revealed = rq("SELECT x FROM stream WHERE z < 2 AND z > 0");
+        let inside = rq("SELECT x FROM stream WHERE z < 1.5 AND z > 0.5");
+        let sticking_out = rq("SELECT x FROM stream WHERE z < 1.5 AND z > -1");
+        assert!(inside.is_contained_in(&revealed));
+        assert!(!sticking_out.is_contained_in(&revealed));
+    }
+
+    #[test]
+    fn unsatisfiable_query_is_contained_in_everything() {
+        let empty = rq("SELECT x FROM stream WHERE z < 1 AND z > 2");
+        let anything = rq("SELECT x FROM stream WHERE z = 99");
+        assert!(empty.is_contained_in(&anything));
+    }
+
+    #[test]
+    fn constraints_on_different_columns_do_not_mix() {
+        let revealed = rq("SELECT x, y FROM stream WHERE z < 2");
+        let attack = rq("SELECT x, y FROM stream WHERE t < 2");
+        assert!(!attack.is_contained_in(&revealed));
+    }
+
+    #[test]
+    fn equality_core_still_works() {
+        let a = rq("SELECT x FROM stream WHERE x = y");
+        let b = rq("SELECT x FROM stream");
+        assert!(a.is_contained_in(&b));
+        assert!(!b.is_contained_in(&a));
+    }
+
+    #[test]
+    fn equivalence_with_le_ge_pairs() {
+        let a = rq("SELECT x FROM stream WHERE z >= 1 AND z <= 1");
+        let b = rq("SELECT x FROM stream WHERE z = 1");
+        assert!(a.equivalent(&b), "=1 and [1,1] must be equivalent");
+    }
+
+    #[test]
+    fn paper_scenario_attack_suite() {
+        // d' is the z<2-filtered view of positions (pre-aggregation)
+        let revealed = rq("SELECT x, y, t FROM stream WHERE z < 2");
+        // "where was the user when close to the floor" — z-range inside
+        let fall_attack = rq("SELECT x, y, t FROM stream WHERE z < 0.5");
+        assert!(range_attack_answerable(&revealed, &fall_attack));
+        // "full height profile" — outside the revealed range
+        let full = rq("SELECT x, y, t FROM stream");
+        assert!(!range_attack_answerable(&revealed, &full));
+    }
+
+    #[test]
+    fn mirrored_constant_on_the_left() {
+        let a = rq("SELECT x FROM stream WHERE 2 > z");
+        let b = rq("SELECT x FROM stream WHERE z < 2");
+        assert!(a.equivalent(&b));
+    }
+
+    #[test]
+    fn conversion_rejects_odd_predicates() {
+        let q = parse_query("SELECT x FROM stream WHERE z < t").unwrap();
+        assert!(RangeQuery::from_query(&q, &schemas()).is_err());
+        let q2 = parse_query("SELECT x FROM stream WHERE z LIKE 'a%'").unwrap();
+        assert!(RangeQuery::from_query(&q2, &schemas()).is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type of the PArADISE processor.
+
+use std::fmt;
+
+use paradise_engine::EngineError;
+use paradise_nodes::NodeError;
+use paradise_policy::PolicyError;
+use paradise_sql::ParseError;
+
+/// Errors of the privacy-aware query processor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The query cannot be answered at all under the policy (e.g. every
+    /// projected attribute is denied).
+    QueryDenied(String),
+    /// No module policy installed for this module id.
+    NoPolicy(String),
+    /// The query shape is outside what the rewriter handles.
+    UnsupportedQuery(String),
+    /// Query-language error.
+    Parse(ParseError),
+    /// Policy subsystem error.
+    Policy(PolicyError),
+    /// Engine error.
+    Engine(EngineError),
+    /// Node/chain error.
+    Node(NodeError),
+    /// Anonymization error.
+    Anon(paradise_anon::AnonError),
+    /// The information-gain check failed: the rewritten query would not
+    /// retain enough information to be useful (paper §3.1).
+    InsufficientInformation {
+        /// Measured KL divergence.
+        divergence: f64,
+        /// Configured maximum.
+        threshold: f64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::QueryDenied(msg) => write!(f, "query denied by policy: {msg}"),
+            CoreError::NoPolicy(m) => write!(f, "no policy installed for module {m:?}"),
+            CoreError::UnsupportedQuery(msg) => write!(f, "unsupported query shape: {msg}"),
+            CoreError::Parse(e) => write!(f, "{e}"),
+            CoreError::Policy(e) => write!(f, "{e}"),
+            CoreError::Engine(e) => write!(f, "{e}"),
+            CoreError::Node(e) => write!(f, "{e}"),
+            CoreError::Anon(e) => write!(f, "{e}"),
+            CoreError::InsufficientInformation { divergence, threshold } => write!(
+                f,
+                "rewritten query loses too much information (KL {divergence:.4} > {threshold:.4})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<ParseError> for CoreError {
+    fn from(e: ParseError) -> Self {
+        CoreError::Parse(e)
+    }
+}
+impl From<PolicyError> for CoreError {
+    fn from(e: PolicyError) -> Self {
+        CoreError::Policy(e)
+    }
+}
+impl From<EngineError> for CoreError {
+    fn from(e: EngineError) -> Self {
+        CoreError::Engine(e)
+    }
+}
+impl From<NodeError> for CoreError {
+    fn from(e: NodeError) -> Self {
+        CoreError::Node(e)
+    }
+}
+impl From<paradise_anon::AnonError> for CoreError {
+    fn from(e: paradise_anon::AnonError) -> Self {
+        CoreError::Anon(e)
+    }
+}
+
+/// Result alias.
+pub type CoreResult<T> = Result<T, CoreError>;

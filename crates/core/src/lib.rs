@@ -1,0 +1,68 @@
+//! # paradise-core
+//!
+//! The PArADISE privacy-aware query processor — the primary contribution
+//! of *Privacy Protection through Query Rewriting in Smart Environments*
+//! (Grunert & Heuer, EDBT 2016):
+//!
+//! * [`preprocess`](crate::preprocess::preprocess()) — policy-driven query
+//!   rewriting (§3.1): projection masking, relation substitution,
+//!   condition injection, aggregation enforcement;
+//! * [`fragment_query`](crate::fragment::fragment_query()) — vertical
+//!   fragmentation `Q → Q1 … Qj, Qδ` over the sensor/appliance/PC/cloud
+//!   hierarchy (§4);
+//! * [`postprocess`](crate::postprocess::postprocess()) — result
+//!   anonymization with automatic column-wise vs. tuple-wise selection
+//!   and the paper's information-loss metrics (§3.2);
+//! * [`containment`] — the conjunctive-query containment check the paper
+//!   poses as its open problem (§4.1/§5);
+//! * [`Processor`] — the end-to-end Figure 2 pipeline.
+//!
+//! ```
+//! use paradise_core::{Processor, ProcessingChain};
+//! use paradise_nodes::SmartRoomSim;
+//! use paradise_policy::figure4_policy;
+//! use paradise_sql::parse_query;
+//!
+//! let mut processor = Processor::new(ProcessingChain::apartment())
+//!     .with_policy("ActionFilter", figure4_policy().modules.remove(0));
+//! let mut sim = SmartRoomSim::new(7);
+//! processor.install_source("motion-sensor", "stream", sim.ubisense_positions(50)).unwrap();
+//!
+//! let q = parse_query(
+//!     "SELECT regr_intercept(y, x) OVER (PARTITION BY z ORDER BY t) \
+//!      FROM (SELECT x, y, z, t FROM stream)").unwrap();
+//! let outcome = processor.run("ActionFilter", &q).unwrap();
+//! assert_eq!(outcome.stages.len(), 4); // sensor, appliance, media center, server
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod checks;
+pub mod containment;
+pub mod containment_ext;
+pub mod error;
+pub mod fragment;
+pub mod postprocess;
+pub mod preprocess;
+pub mod processor;
+pub mod remainder;
+pub mod stream_gate;
+
+pub use checks::{
+    capacity_check, compare_frames, information_gain_check, CapacityDecision,
+    InformationGainReport,
+};
+pub use containment::{attack_answerable, Atom, ConjunctiveQuery, Term};
+pub use containment_ext::{range_attack_answerable, Interval, RangeQuery};
+pub use error::{CoreError, CoreResult};
+pub use fragment::{
+    assign_to_chain, fragment_query, minimal_level, AssignmentPolicy, Fragment, FragmentPlan,
+};
+pub use postprocess::{postprocess, AnonDecision, AnonStrategy, PostprocessOutcome};
+pub use preprocess::{preprocess, PreprocessOptions, PreprocessOutcome, RewriteAction};
+pub use processor::{Outcome, Processor, ProcessorOptions};
+pub use remainder::{filter_by_class, identity, ActionClass, Remainder};
+pub use stream_gate::{GateDecision, IncrementalSensor, StreamGate};
+
+// Re-export the chain type users need to construct a processor.
+pub use paradise_nodes::ProcessingChain;

@@ -1,0 +1,545 @@
+//! The preprocessor (paper §3.1): analyse a query against the affected
+//! user's privacy policy and rewrite it.
+//!
+//! Implemented rewrites, in application order:
+//!
+//! 1. **Relation substitution** — "if one sensor releases too much
+//!    information, another sensor is queried by changing the relation in
+//!    the FROM clause";
+//! 2. **Projection masking** — "attributes in the SELECT clause are
+//!    removed, if the user does not want to reveal specific information";
+//! 3. **Condition injection** — "the WHERE condition is combined with the
+//!    user's integrity constraints and the system query conjunctively",
+//!    inserted "in the innermost possible part of the nested SQL query";
+//! 4. **Aggregation enforcement** — attributes restricted to aggregated
+//!    form are rewritten (`z` → `AVG(z) AS zAVG` + `GROUP BY`/`HAVING`),
+//!    and "new attribute names are inserted and, if necessary, delegated
+//!    to the outer queries".
+
+use paradise_policy::ModulePolicy;
+use paradise_sql::analysis::expr_attributes;
+use paradise_sql::ast::{
+    ColumnRef, Expr, FunctionCall, Query, SelectItem, TableRef,
+};
+use paradise_sql::visit::rewrite_block_exprs;
+
+use crate::error::{CoreError, CoreResult};
+
+/// A single rewrite performed by the preprocessor, for reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RewriteAction {
+    /// A denied attribute was removed from a SELECT list.
+    RemovedAttribute(String),
+    /// A FROM relation was replaced.
+    SubstitutedRelation {
+        /// Original relation.
+        from: String,
+        /// Substitute relation.
+        to: String,
+    },
+    /// A policy condition was conjoined into the innermost WHERE.
+    InjectedCondition(String),
+    /// An attribute was rewritten into its required aggregation.
+    EnforcedAggregation {
+        /// The attribute.
+        attribute: String,
+        /// The alias it is now visible under (e.g. `zAVG`).
+        alias: String,
+    },
+    /// References in outer blocks were renamed to the aggregation alias.
+    RenamedOuterReferences {
+        /// Original name.
+        from: String,
+        /// New name.
+        to: String,
+    },
+}
+
+/// Preprocessor configuration.
+#[derive(Debug, Clone, Default)]
+pub struct PreprocessOptions {
+    /// Relation substitutions to apply (`from` → `to`).
+    pub substitutions: Vec<(String, String)>,
+}
+
+/// Result of preprocessing.
+#[derive(Debug, Clone)]
+pub struct PreprocessOutcome {
+    /// The rewritten query.
+    pub query: Query,
+    /// What was done to it.
+    pub actions: Vec<RewriteAction>,
+    /// Attributes the module requested but the policy denies.
+    pub denied_attributes: Vec<String>,
+}
+
+/// Rewrite `query` under `policy` (paper §3.1). Fails with
+/// [`CoreError::QueryDenied`] if the policy empties a SELECT list.
+pub fn preprocess(
+    query: &Query,
+    policy: &ModulePolicy,
+    options: &PreprocessOptions,
+) -> CoreResult<PreprocessOutcome> {
+    let mut query = query.clone();
+    let mut actions = Vec::new();
+
+    substitute_relations(&mut query, &options.substitutions, &mut actions);
+    let denied_attributes = mask_projection(&mut query, policy, &mut actions)?;
+    inject_conditions(&mut query, policy, &mut actions);
+    enforce_aggregations(&mut query, policy, &mut actions)?;
+
+    Ok(PreprocessOutcome { query, actions, denied_attributes })
+}
+
+// ---------------------------------------------------------------------
+// 1. relation substitution
+// ---------------------------------------------------------------------
+
+fn substitute_relations(
+    query: &mut Query,
+    substitutions: &[(String, String)],
+    actions: &mut Vec<RewriteAction>,
+) {
+    if substitutions.is_empty() {
+        return;
+    }
+    fn table(t: &mut TableRef, subs: &[(String, String)], actions: &mut Vec<RewriteAction>) {
+        match t {
+            TableRef::Table { name, .. } => {
+                if let Some((from, to)) =
+                    subs.iter().find(|(from, _)| from.eq_ignore_ascii_case(name))
+                {
+                    actions.push(RewriteAction::SubstitutedRelation {
+                        from: from.clone(),
+                        to: to.clone(),
+                    });
+                    *name = to.clone();
+                }
+            }
+            TableRef::Subquery { query, .. } => walk(query, subs, actions),
+            TableRef::Join { left, right, .. } => {
+                table(left, subs, actions);
+                table(right, subs, actions);
+            }
+        }
+    }
+    fn walk(q: &mut Query, subs: &[(String, String)], actions: &mut Vec<RewriteAction>) {
+        if let Some(from) = &mut q.from {
+            table(from, subs, actions);
+        }
+        for (_, u) in &mut q.unions {
+            walk(u, subs, actions);
+        }
+    }
+    walk(query, substitutions, actions);
+}
+
+// ---------------------------------------------------------------------
+// 2. projection masking
+// ---------------------------------------------------------------------
+
+fn mask_projection(
+    query: &mut Query,
+    policy: &ModulePolicy,
+    actions: &mut Vec<RewriteAction>,
+) -> CoreResult<Vec<String>> {
+    let mut denied = Vec::new();
+    mask_block(query, policy, actions, &mut denied)?;
+    Ok(denied)
+}
+
+fn mask_block(
+    query: &mut Query,
+    policy: &ModulePolicy,
+    actions: &mut Vec<RewriteAction>,
+    denied: &mut Vec<String>,
+) -> CoreResult<()> {
+    // Names defined by a derived table in FROM (e.g. `zAVG`) are local
+    // artifacts of the query, not base attributes — never policy-denied.
+    let local_names: Vec<String> = match &query.from {
+        Some(TableRef::Subquery { query: inner, .. }) => {
+            match paradise_sql::analysis::output_columns(inner) {
+                paradise_sql::analysis::OutputColumns::Named(names) => names,
+                paradise_sql::analysis::OutputColumns::Wildcard => Vec::new(),
+            }
+        }
+        _ => Vec::new(),
+    };
+    let had_items = !query.items.is_empty();
+    query.items.retain(|item| match item {
+        SelectItem::Expr { expr, .. } => {
+            let attrs = expr_attributes(expr);
+            let bad: Vec<String> = attrs
+                .into_iter()
+                .filter(|a| {
+                    !policy.allows(a)
+                        && !local_names.iter().any(|n| n.eq_ignore_ascii_case(a))
+                })
+                .collect();
+            if bad.is_empty() {
+                true
+            } else {
+                for b in bad {
+                    if !denied.contains(&b) {
+                        denied.push(b.clone());
+                        actions.push(RewriteAction::RemovedAttribute(b));
+                    }
+                }
+                false
+            }
+        }
+        // wildcards stay: a sensor cannot project anyway; disallowed
+        // attributes behind a wildcard are handled by outer projections
+        // and the postprocessor.
+        _ => true,
+    });
+    if had_items && query.items.is_empty() {
+        return Err(CoreError::QueryDenied(
+            "the policy denies every projected attribute".into(),
+        ));
+    }
+    if let Some(TableRef::Subquery { query: inner, .. }) = &mut query.from {
+        mask_block(inner, policy, actions, denied)?;
+    }
+    for (_, u) in &mut query.unions {
+        mask_block(u, policy, actions, denied)?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// 3. condition injection
+// ---------------------------------------------------------------------
+
+fn inject_conditions(
+    query: &mut Query,
+    policy: &ModulePolicy,
+    actions: &mut Vec<RewriteAction>,
+) {
+    let conditions: Vec<Expr> = policy.all_conditions().into_iter().cloned().collect();
+    if conditions.is_empty() {
+        return;
+    }
+    let inner = query.innermost_mut();
+    let existing: Vec<Expr> = inner
+        .where_clause
+        .as_ref()
+        .map(|w| w.conjuncts().into_iter().cloned().collect())
+        .unwrap_or_default();
+    for cond in conditions {
+        if existing.contains(&cond) {
+            continue;
+        }
+        actions.push(RewriteAction::InjectedCondition(cond.to_string()));
+        inner.where_clause = Expr::and_maybe(inner.where_clause.take(), Some(cond));
+    }
+}
+
+// ---------------------------------------------------------------------
+// 4. aggregation enforcement
+// ---------------------------------------------------------------------
+
+fn enforce_aggregations(
+    query: &mut Query,
+    policy: &ModulePolicy,
+    actions: &mut Vec<RewriteAction>,
+) -> CoreResult<()> {
+    for rule in &policy.attributes {
+        let Some(spec) = &rule.aggregation else { continue };
+        if !rule.allow {
+            continue;
+        }
+        let alias = spec.alias_for(&rule.name);
+        let applied = enforce_one(query, &rule.name, &alias, spec)?;
+        if applied {
+            actions.push(RewriteAction::EnforcedAggregation {
+                attribute: rule.name.clone(),
+                alias: alias.clone(),
+            });
+            let renamed = rename_above_definition(query, &rule.name, &alias);
+            if renamed {
+                actions.push(RewriteAction::RenamedOuterReferences {
+                    from: rule.name.clone(),
+                    to: alias,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Apply the aggregation in the innermost block that plainly projects the
+/// attribute; returns whether anything was applied.
+fn enforce_one(
+    query: &mut Query,
+    attribute: &str,
+    alias: &str,
+    spec: &paradise_policy::AggregationSpec,
+) -> CoreResult<bool> {
+    // recurse inward first
+    if let Some(TableRef::Subquery { query: inner, .. }) = &mut query.from {
+        if enforce_one(inner, attribute, alias, spec)? {
+            return Ok(true);
+        }
+    }
+    // does this block plainly project the attribute?
+    let position = query.items.iter().position(|item| {
+        matches!(
+            item,
+            SelectItem::Expr { expr: Expr::Column(c), .. }
+                if c.name.eq_ignore_ascii_case(attribute)
+        )
+    });
+    let Some(position) = position else { return Ok(false) };
+
+    // already aggregated under this alias? (idempotence)
+    let already = query.items.iter().any(|item| {
+        matches!(item, SelectItem::Expr { alias: Some(a), .. } if a.eq_ignore_ascii_case(alias))
+    });
+    if already {
+        return Ok(false);
+    }
+
+    query.items[position] = SelectItem::Expr {
+        expr: Expr::Function(FunctionCall::new(
+            spec.aggregation_type.clone(),
+            vec![Expr::Column(ColumnRef::bare(attribute.to_string()))],
+        )),
+        alias: Some(alias.to_string()),
+    };
+    // grouping: policy group-by attributes, merged with existing keys
+    for g in &spec.group_by {
+        let expr = Expr::Column(ColumnRef::bare(g.clone()));
+        if !query.group_by.contains(&expr) {
+            query.group_by.push(expr);
+        }
+    }
+    if let Some(having) = &spec.having {
+        let present = query
+            .having
+            .as_ref()
+            .map(|h| h.conjuncts().contains(&having))
+            .unwrap_or(false);
+        if !present {
+            query.having = Expr::and_maybe(query.having.take(), Some(having.clone()));
+        }
+    }
+    Ok(true)
+}
+
+/// Rename plain references to `attribute` into `alias` in every block
+/// *above* the block that defines the alias. Returns true if any rename
+/// happened.
+fn rename_above_definition(query: &mut Query, attribute: &str, alias: &str) -> bool {
+    // find whether the defining block is this one
+    let defines_here = query.items.iter().any(|item| {
+        matches!(item, SelectItem::Expr { alias: Some(a), .. } if a.eq_ignore_ascii_case(alias))
+    });
+    if defines_here {
+        return false;
+    }
+    let mut renamed_below = false;
+    if let Some(TableRef::Subquery { query: inner, .. }) = &mut query.from {
+        // recurse first: rename in everything above the definition
+        renamed_below = rename_above_definition(inner, attribute, alias);
+        let defined_below = renamed_below
+            || inner.items.iter().any(|item| {
+                matches!(item, SelectItem::Expr { alias: Some(a), .. }
+                    if a.eq_ignore_ascii_case(alias))
+            });
+        if defined_below {
+            let mut changed = false;
+            rewrite_block_exprs(query, &mut |e| match &e {
+                Expr::Column(c) if c.name.eq_ignore_ascii_case(attribute) => {
+                    changed = true;
+                    Some(Expr::Column(ColumnRef::bare(alias.to_string())))
+                }
+                _ => None,
+            });
+            return changed || renamed_below;
+        }
+    }
+    renamed_below
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradise_policy::figure4_policy;
+    use paradise_policy::{AggregationSpec, AttributeRule, ModulePolicy};
+    use paradise_sql::{parse_expr, parse_query};
+
+    fn fig4() -> ModulePolicy {
+        figure4_policy().modules.into_iter().next().unwrap()
+    }
+
+    /// The paper's original query (§4.2, inner SQL of the R code).
+    const PAPER_ORIGINAL: &str =
+        "SELECT regr_intercept(y, x) OVER (PARTITION BY z ORDER BY t) \
+         FROM (SELECT x, y, z, t FROM dprime)";
+
+    /// The paper's rewritten query (§4.2).
+    const PAPER_REWRITTEN: &str =
+        "SELECT regr_intercept(y, x) OVER (PARTITION BY zAVG ORDER BY t) \
+         FROM (SELECT x, y, AVG(z) AS zAVG, t FROM dprime \
+         WHERE x > y AND z < 2 GROUP BY x, y HAVING SUM(z) > 100)";
+
+    #[test]
+    fn reproduces_the_papers_rewriting() {
+        let q = parse_query(PAPER_ORIGINAL).unwrap();
+        let out = preprocess(&q, &fig4(), &PreprocessOptions::default()).unwrap();
+        let expected = parse_query(PAPER_REWRITTEN).unwrap();
+        assert_eq!(
+            out.query, expected,
+            "rewritten:\n  {}\nexpected:\n  {}",
+            out.query, expected
+        );
+        assert!(out.denied_attributes.is_empty());
+        // all four §3.1 rewrite families are reported
+        assert!(out
+            .actions
+            .iter()
+            .any(|a| matches!(a, RewriteAction::InjectedCondition(c) if c == "x > y")));
+        assert!(out
+            .actions
+            .iter()
+            .any(|a| matches!(a, RewriteAction::InjectedCondition(c) if c == "z < 2")));
+        assert!(out.actions.iter().any(|a| matches!(
+            a,
+            RewriteAction::EnforcedAggregation { attribute, alias }
+                if attribute == "z" && alias == "zAVG"
+        )));
+        assert!(out.actions.iter().any(|a| matches!(
+            a,
+            RewriteAction::RenamedOuterReferences { from, to } if from == "z" && to == "zAVG"
+        )));
+    }
+
+    #[test]
+    fn preprocessing_is_idempotent() {
+        let q = parse_query(PAPER_ORIGINAL).unwrap();
+        let once = preprocess(&q, &fig4(), &PreprocessOptions::default()).unwrap();
+        let twice = preprocess(&once.query, &fig4(), &PreprocessOptions::default()).unwrap();
+        assert_eq!(once.query, twice.query);
+    }
+
+    #[test]
+    fn denied_attribute_is_removed() {
+        let mut policy = fig4();
+        policy.attributes.retain(|a| a.name != "t");
+        policy.attributes.push(AttributeRule::denied("t"));
+        let q = parse_query("SELECT x, y, t FROM dprime").unwrap();
+        let out = preprocess(&q, &policy, &PreprocessOptions::default()).unwrap();
+        assert_eq!(out.denied_attributes, vec!["t".to_string()]);
+        assert_eq!(out.query.items.len(), 2);
+    }
+
+    #[test]
+    fn unmentioned_attribute_is_denied_by_default() {
+        let q = parse_query("SELECT x, heart_rate FROM dprime").unwrap();
+        let out = preprocess(&q, &fig4(), &PreprocessOptions::default()).unwrap();
+        assert_eq!(out.denied_attributes, vec!["heart_rate".to_string()]);
+    }
+
+    #[test]
+    fn fully_denied_query_errors() {
+        let q = parse_query("SELECT heart_rate FROM dprime").unwrap();
+        let err = preprocess(&q, &fig4(), &PreprocessOptions::default()).unwrap_err();
+        assert!(matches!(err, CoreError::QueryDenied(_)));
+    }
+
+    #[test]
+    fn relation_substitution_applies_at_depth() {
+        let q = parse_query("SELECT x FROM (SELECT x FROM camera)").unwrap();
+        let options = PreprocessOptions {
+            substitutions: vec![("camera".into(), "motion".into())],
+        };
+        let out = preprocess(&q, &fig4(), &options).unwrap();
+        assert!(out.query.to_string().contains("FROM motion"));
+        assert!(out.actions.iter().any(|a| matches!(
+            a,
+            RewriteAction::SubstitutedRelation { from, to } if from == "camera" && to == "motion"
+        )));
+    }
+
+    #[test]
+    fn conditions_go_to_innermost_block() {
+        let q = parse_query("SELECT x FROM (SELECT x, y, z FROM d)").unwrap();
+        let out = preprocess(&q, &fig4(), &PreprocessOptions::default()).unwrap();
+        let inner = out.query.innermost();
+        let conjuncts = inner.where_clause.as_ref().unwrap().conjuncts().len();
+        assert_eq!(conjuncts, 2); // x > y and z < 2
+        assert!(out.query.where_clause.is_none()); // not at the outer block
+    }
+
+    #[test]
+    fn existing_conditions_not_duplicated() {
+        let q = parse_query("SELECT x, y, z, t FROM d WHERE z < 2").unwrap();
+        let out = preprocess(&q, &fig4(), &PreprocessOptions::default()).unwrap();
+        let w = out.query.where_clause.as_ref().unwrap();
+        let zs = w
+            .conjuncts()
+            .iter()
+            .filter(|c| c.to_string() == "z < 2")
+            .count();
+        assert_eq!(zs, 1);
+    }
+
+    #[test]
+    fn aggregation_on_flat_query() {
+        let q = parse_query("SELECT x, y, z, t FROM d").unwrap();
+        let out = preprocess(&q, &fig4(), &PreprocessOptions::default()).unwrap();
+        let rendered = out.query.to_string();
+        assert!(rendered.contains("AVG(z) AS zAVG"), "{rendered}");
+        assert!(rendered.contains("GROUP BY x, y"), "{rendered}");
+        assert!(rendered.contains("HAVING SUM(z) > 100"), "{rendered}");
+    }
+
+    #[test]
+    fn aggregation_merges_with_existing_group_by() {
+        let q = parse_query("SELECT x, z FROM d GROUP BY x").unwrap();
+        let out = preprocess(&q, &fig4(), &PreprocessOptions::default()).unwrap();
+        // x kept once, y appended
+        let keys: Vec<String> =
+            out.query.group_by.iter().map(|g| g.to_string()).collect();
+        assert_eq!(keys, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn no_aggregation_when_attribute_not_projected() {
+        let policy = fig4();
+        let q = parse_query("SELECT x, y FROM d WHERE z < 1").unwrap();
+        let out = preprocess(&q, &policy, &PreprocessOptions::default()).unwrap();
+        assert!(!out.query.to_string().contains("AVG"));
+    }
+
+    #[test]
+    fn aggregation_with_min_instead_of_avg() {
+        let mut policy = ModulePolicy::new("M");
+        policy.attributes.push(AttributeRule::allowed("x"));
+        policy.attributes.push(
+            AttributeRule::allowed("p").with_aggregation(
+                AggregationSpec::new("MIN")
+                    .group_by(&["x"])
+                    .having(parse_expr("COUNT(*) > 3").unwrap()),
+            ),
+        );
+        let q = parse_query("SELECT x, p FROM d").unwrap();
+        let out = preprocess(&q, &policy, &PreprocessOptions::default()).unwrap();
+        let rendered = out.query.to_string();
+        assert!(rendered.contains("MIN(p) AS pMIN"), "{rendered}");
+        assert!(rendered.contains("HAVING COUNT(*) > 3"), "{rendered}");
+    }
+
+    #[test]
+    fn rename_reaches_all_outer_levels() {
+        let q = parse_query(
+            "SELECT z FROM (SELECT z FROM (SELECT x, y, z, t FROM d))",
+        )
+        .unwrap();
+        let out = preprocess(&q, &fig4(), &PreprocessOptions::default()).unwrap();
+        let rendered = out.query.to_string();
+        // innermost defines zAVG; both outer blocks must reference zAVG
+        assert_eq!(rendered.matches("SELECT zAVG FROM").count(), 2, "{rendered}");
+    }
+}

@@ -1,0 +1,334 @@
+//! The end-to-end privacy-aware query processor (paper Figure 2):
+//! preprocessor → vertical fragmentation → distributed execution →
+//! postprocessor/anonymization → (cloud) remainder.
+
+use std::collections::HashMap;
+
+use paradise_engine::{Catalog, Frame};
+use paradise_nodes::{ProcessingChain, Stage, StageReport, TrafficLog};
+use paradise_policy::ModulePolicy;
+use paradise_sql::ast::Query;
+
+use crate::checks::{information_gain_check, InformationGainReport};
+use crate::error::{CoreError, CoreResult};
+use crate::fragment::{assign_to_chain, fragment_query, AssignmentPolicy, FragmentPlan};
+use crate::postprocess::{postprocess, AnonStrategy, PostprocessOutcome};
+use crate::preprocess::{preprocess, PreprocessOptions, PreprocessOutcome};
+use crate::remainder::Remainder;
+
+/// Processor configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ProcessorOptions {
+    /// Preprocessor options (relation substitutions…).
+    pub preprocess: PreprocessOptions,
+    /// Fragment-to-node assignment policy.
+    pub assignment: AssignmentPolicy,
+    /// Anonymization strategy for the postprocessor.
+    pub anon: AnonStrategy,
+    /// If set, run the §3.1 information-gain check against the raw data
+    /// and refuse rewritings that lose more than this KL threshold.
+    pub info_gain_threshold: Option<f64>,
+}
+
+/// The PArADISE processor bound to a node chain.
+pub struct Processor {
+    chain: ProcessingChain,
+    policies: HashMap<String, ModulePolicy>,
+    options: ProcessorOptions,
+    remainder: Option<Remainder>,
+}
+
+/// Everything a processor run produces, for inspection and experiments.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Preprocessing (rewriting) report.
+    pub preprocess: PreprocessOutcome,
+    /// Information-gain report, when the check was enabled.
+    pub information_gain: Option<InformationGainReport>,
+    /// The fragmentation plan.
+    pub plan: FragmentPlan,
+    /// The stages as assigned to chain nodes.
+    pub stages: Vec<Stage>,
+    /// Per-stage execution reports.
+    pub stage_reports: Vec<StageReport>,
+    /// Traffic between nodes.
+    pub traffic: TrafficLog,
+    /// The raw shipped result `d'` before anonymization.
+    pub shipped: Frame,
+    /// Node at which the anonymization step `A` ran.
+    pub anonymized_at: String,
+    /// Postprocessing (anonymization) outcome; `frame` is what leaves
+    /// the apartment.
+    pub post: PostprocessOutcome,
+    /// Name of the applied cloud remainder, if any.
+    pub remainder_applied: Option<String>,
+    /// Final result after the remainder.
+    pub result: Frame,
+}
+
+impl Processor {
+    /// Processor over a chain with default options.
+    pub fn new(chain: ProcessingChain) -> Self {
+        Processor {
+            chain,
+            policies: HashMap::new(),
+            options: ProcessorOptions::default(),
+            remainder: None,
+        }
+    }
+
+    /// Builder: install a module policy.
+    #[must_use]
+    pub fn with_policy(mut self, module_id: impl Into<String>, policy: ModulePolicy) -> Self {
+        self.policies.insert(module_id.into(), policy);
+        self
+    }
+
+    /// Builder: set options.
+    #[must_use]
+    pub fn with_options(mut self, options: ProcessorOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Builder: set the cloud remainder stage.
+    #[must_use]
+    pub fn with_remainder(mut self, remainder: Remainder) -> Self {
+        self.remainder = Some(remainder);
+        self
+    }
+
+    /// Install source data (the raw sensor stream) at a chain node.
+    pub fn install_source(&mut self, node: &str, table: &str, frame: Frame) -> CoreResult<()> {
+        self.chain.node_mut(node)?.install_table(table, frame);
+        Ok(())
+    }
+
+    /// Borrow the chain (e.g. to inspect node statistics).
+    pub fn chain(&self) -> &ProcessingChain {
+        &self.chain
+    }
+
+    /// A merged catalog of every node's tables — the hypothetical
+    /// integrated database `d` of the paper, used for baselines and the
+    /// information-gain check.
+    pub fn integrated_catalog(&self) -> Catalog {
+        let mut merged = Catalog::new();
+        for node in self.chain.nodes() {
+            for table in node.catalog.table_names() {
+                if let Ok(frame) = node.catalog.get(table) {
+                    merged.register_or_replace(table, frame.clone());
+                }
+            }
+        }
+        merged
+    }
+
+    /// Run a query for a module: the full Figure 2 pipeline.
+    pub fn run(&mut self, module_id: &str, query: &Query) -> CoreResult<Outcome> {
+        let policy = self
+            .policies
+            .get(module_id)
+            .ok_or_else(|| CoreError::NoPolicy(module_id.to_string()))?
+            .clone();
+
+        // 1. preprocess (rewrite under the policy)
+        let pre = preprocess(query, &policy, &self.options.preprocess)?;
+
+        // 2. information-gain check (optional)
+        let information_gain = match self.options.info_gain_threshold {
+            Some(threshold) => {
+                let catalog = self.integrated_catalog();
+                Some(information_gain_check(&catalog, query, &pre.query, threshold)?)
+            }
+            None => None,
+        };
+
+        // 3. fragment + assign
+        let plan = fragment_query(&pre.query)?;
+        let stages = assign_to_chain(&plan, &self.chain, self.options.assignment)?;
+
+        // 4. execute bottom-up across the chain
+        let run = self.chain.run_stages(&stages)?;
+
+        // 5. anonymization step A at the most powerful in-apartment node
+        let anonymized_at = self.anonymization_site(&stages);
+        let post = postprocess(run.result.clone(), &self.options.anon)?;
+
+        // 6. cloud remainder
+        let (result, remainder_applied) = match &self.remainder {
+            Some(r) => (r.apply(post.frame.clone()), Some(r.name.clone())),
+            None => (post.frame.clone(), None),
+        };
+
+        Ok(Outcome {
+            preprocess: pre,
+            information_gain,
+            plan,
+            stages,
+            stage_reports: run.stages,
+            traffic: run.traffic,
+            shipped: run.result,
+            anonymized_at,
+            post,
+            remainder_applied,
+            result,
+        })
+    }
+
+    /// §3.2: the anonymization runs at the last stage's node if powerful
+    /// enough, otherwise data escalates to the next node that supports it.
+    fn anonymization_site(&self, stages: &[Stage]) -> String {
+        let last_node = stages.last().map(|s| s.node.as_str()).unwrap_or_default();
+        let nodes = self.chain.nodes();
+        let start = nodes.iter().position(|n| n.name == last_node).unwrap_or(0);
+        nodes[start..]
+            .iter()
+            .find(|n| n.capability.supports_anonymization)
+            .map(|n| n.name.clone())
+            .unwrap_or_else(|| last_node.to_string())
+    }
+
+    /// Baseline for the Figure 3 experiment: ship the raw integrated
+    /// data `d` to the cloud and execute the original query there.
+    /// Returns the result and the bytes that would leave the apartment.
+    pub fn cloud_baseline(&self, query: &Query) -> CoreResult<(Frame, usize)> {
+        let catalog = self.integrated_catalog();
+        let raw_bytes: usize = catalog
+            .table_names()
+            .iter()
+            .filter_map(|t| catalog.get(t).ok())
+            .map(Frame::size_bytes)
+            .sum();
+        let executor = paradise_engine::Executor::new(&catalog);
+        let result = executor.execute(query)?;
+        Ok((result, raw_bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradise_nodes::SmartRoomSim;
+    use paradise_policy::figure4_policy;
+    use paradise_sql::parse_query;
+
+    const PAPER_ORIGINAL: &str =
+        "SELECT regr_intercept(y, x) OVER (PARTITION BY z ORDER BY t) \
+         FROM (SELECT x, y, z, t FROM stream)";
+
+    fn processor() -> Processor {
+        let mut p = Processor::new(ProcessingChain::apartment())
+            .with_policy("ActionFilter", figure4_policy().modules.remove(0));
+        // a meeting-sized population so that standing groups survive the
+        // Figure-4 policy's SUM(z) > 100 threshold
+        let config = paradise_nodes::SmartRoomConfig {
+            persons: 10,
+            switch_probability: 0.003,
+            ..Default::default()
+        };
+        let mut sim = SmartRoomSim::with_config(42, config);
+        p.install_source("motion-sensor", "stream", sim.ubisense_positions(500))
+            .unwrap();
+        p
+    }
+
+    #[test]
+    fn end_to_end_paper_pipeline() {
+        let mut p = processor();
+        let q = parse_query(PAPER_ORIGINAL).unwrap();
+        let outcome = p.run("ActionFilter", &q).unwrap();
+
+        // four fragments on the paper's nodes
+        let nodes: Vec<&str> = outcome.stages.iter().map(|s| s.node.as_str()).collect();
+        assert_eq!(
+            nodes,
+            vec!["motion-sensor", "appliance", "media-center", "local-server"]
+        );
+        // traffic decreases toward the top
+        assert!(outcome.traffic.hops.len() >= 2);
+        // anonymization at the local server (first node from the top
+        // stage that supports it)
+        assert_eq!(outcome.anonymized_at, "local-server");
+        assert_eq!(outcome.result.schema.len(), outcome.post.frame.schema.len());
+    }
+
+    #[test]
+    fn missing_policy_is_an_error() {
+        let mut p = processor();
+        let q = parse_query(PAPER_ORIGINAL).unwrap();
+        assert!(matches!(
+            p.run("UnknownModule", &q),
+            Err(CoreError::NoPolicy(_))
+        ));
+    }
+
+    #[test]
+    fn cloud_baseline_ships_everything() {
+        let p = processor();
+        let q = parse_query("SELECT x, y, z, t FROM stream").unwrap();
+        let (result, raw_bytes) = p.cloud_baseline(&q).unwrap();
+        assert_eq!(result.len(), 5000); // 500 steps × 10 persons
+        assert_eq!(raw_bytes, p.integrated_catalog().get("stream").unwrap().size_bytes());
+    }
+
+    #[test]
+    fn paradise_ships_less_than_baseline() {
+        let mut p = processor();
+        let q = parse_query(PAPER_ORIGINAL).unwrap();
+        let (_, raw_bytes) = p.cloud_baseline(&q).unwrap();
+        let outcome = p.run("ActionFilter", &q).unwrap();
+        let shipped = outcome.traffic.last_hop_bytes();
+        assert!(
+            shipped < raw_bytes,
+            "PArADISE shipped {shipped} bytes, baseline {raw_bytes}"
+        );
+    }
+
+    #[test]
+    fn info_gain_check_can_reject() {
+        let mut p = processor();
+        p.options.info_gain_threshold = Some(1e-12); // impossibly tight
+        // a flat query whose output columns survive rewriting, so the
+        // distributions are actually comparable
+        let q = parse_query("SELECT x, y, z, t FROM stream").unwrap();
+        let err = p.run("ActionFilter", &q).unwrap_err();
+        assert!(matches!(err, CoreError::InsufficientInformation { .. }));
+    }
+
+    #[test]
+    fn info_gain_check_passes_with_loose_threshold() {
+        let mut p = processor();
+        p.options.info_gain_threshold = Some(1e6);
+        let q = parse_query("SELECT x, y, z, t FROM stream").unwrap();
+        let outcome = p.run("ActionFilter", &q).unwrap();
+        let report = outcome.information_gain.unwrap();
+        assert!(report.divergence > 0.0);
+        assert!(!report.compared_columns.is_empty());
+    }
+
+    #[test]
+    fn remainder_is_applied_at_the_cloud() {
+        let mut p = processor().with_remainder(crate::remainder::filter_by_class(
+            crate::remainder::ActionClass::Walk,
+        ));
+        let q = parse_query(PAPER_ORIGINAL).unwrap();
+        let outcome = p.run("ActionFilter", &q).unwrap();
+        assert!(outcome.remainder_applied.as_deref().unwrap().contains("filterByClass"));
+        // the remainder appends the action column
+        assert_eq!(
+            outcome.result.schema.len(),
+            outcome.post.frame.schema.len() + 1
+        );
+    }
+
+    #[test]
+    fn stats_accumulate_on_nodes() {
+        let mut p = processor();
+        let q = parse_query(PAPER_ORIGINAL).unwrap();
+        p.run("ActionFilter", &q).unwrap();
+        let sensor = p.chain().node("motion-sensor").unwrap();
+        assert_eq!(sensor.stats.fragments_executed, 1);
+        assert_eq!(sensor.stats.rows_in, 5000);
+    }
+}

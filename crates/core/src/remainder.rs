@@ -1,0 +1,172 @@
+//! The non-SQL remainder `Qδ` (paper §4.2).
+//!
+//! The paper's running example wraps the SQL query in R code:
+//! `filterByClass(sqldf(…), action="walk", do.plot=F)` — a machine
+//! learning stage that cannot be pushed down. We model remainders as
+//! opaque transformations over the returned frame, with
+//! [`filter_by_class`] reproducing the example's behaviour: classify each
+//! row's movement from the regression output and keep those matching the
+//! requested action class.
+
+use paradise_engine::{DataType, Frame, Schema, Value};
+
+/// An opaque cloud-side stage applied to the shipped result `d'`.
+pub struct Remainder {
+    /// Display name (e.g. `filterByClass(d', action='walk')`).
+    pub name: String,
+    /// The transformation.
+    func: Box<dyn Fn(Frame) -> Frame + Send + Sync>,
+}
+
+impl std::fmt::Debug for Remainder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Remainder").field("name", &self.name).finish()
+    }
+}
+
+impl Remainder {
+    /// Wrap an arbitrary transformation.
+    pub fn new(
+        name: impl Into<String>,
+        func: impl Fn(Frame) -> Frame + Send + Sync + 'static,
+    ) -> Self {
+        Remainder { name: name.into(), func: Box::new(func) }
+    }
+
+    /// Apply to a frame.
+    pub fn apply(&self, frame: Frame) -> Frame {
+        (self.func)(frame)
+    }
+}
+
+/// The activity classes of the paper's scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActionClass {
+    /// Person is walking (gait makes the regression output vary).
+    Walk,
+    /// Person is standing (regression output steady).
+    Stand,
+}
+
+impl ActionClass {
+    /// Label as used in the R call (`action='walk'`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ActionClass::Walk => "walk",
+            ActionClass::Stand => "stand",
+        }
+    }
+}
+
+/// Reproduce `filterByClass(d', action=…)`: classify each row of the
+/// regression result by the magnitude of its first (numeric) column's
+/// deviation from the column mean — walking gaits produce varying
+/// regression intercepts, standing produces steady ones — and keep the
+/// rows of the requested class, appending an `action` column.
+pub fn filter_by_class(action: ActionClass) -> Remainder {
+    Remainder::new(
+        format!("filterByClass(d', action='{}', do.plot=F)", action.label()),
+        move |frame: Frame| {
+            let Some(col) = (0..frame.schema.len())
+                .find(|&c| frame.rows.iter().any(|r| r[c].as_f64().is_some()))
+            else {
+                return frame;
+            };
+            let values: Vec<Option<f64>> =
+                frame.rows.iter().map(|r| r[col].as_f64()).collect();
+            let present: Vec<f64> = values.iter().filter_map(|v| *v).collect();
+            if present.is_empty() {
+                return frame;
+            }
+            let mean = present.iter().sum::<f64>() / present.len() as f64;
+            let var = present.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+                / present.len() as f64;
+            let sd = var.sqrt();
+            // a row is "walking" when its value deviates from the mean by
+            // more than half a standard deviation
+            let threshold = 0.5 * sd;
+            let mut schema = frame.schema.clone();
+            schema.push(paradise_engine::Column::new("action", DataType::Text));
+            let mut rows = Vec::new();
+            for (row, v) in frame.rows.into_iter().zip(values) {
+                let class = match v {
+                    Some(x) if (x - mean).abs() > threshold => ActionClass::Walk,
+                    Some(_) => ActionClass::Stand,
+                    None => ActionClass::Stand,
+                };
+                if class == action {
+                    let mut row = row;
+                    row.push(Value::Str(class.label().to_string()));
+                    rows.push(row);
+                }
+            }
+            Frame { schema, rows }
+        },
+    )
+}
+
+/// An identity remainder (no cloud-side post-stage).
+pub fn identity() -> Remainder {
+    Remainder::new("identity", |frame| frame)
+}
+
+/// Helper to build a frame schema-compatible with the regression output
+/// of the paper's window query (single intercept column).
+pub fn regression_output_schema() -> Schema {
+    Schema::from_pairs(&[("regr_intercept", DataType::Float)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn regression_frame(values: &[f64]) -> Frame {
+        Frame::new(
+            regression_output_schema(),
+            values.iter().map(|v| vec![Value::Float(*v)]).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn identity_passes_through() {
+        let f = regression_frame(&[1.0, 2.0]);
+        let out = identity().apply(f.clone());
+        assert_eq!(out, f);
+    }
+
+    #[test]
+    fn filter_by_class_splits_walkers_and_standers() {
+        // steady cluster at 1.0 with two outliers (the "walkers")
+        let f = regression_frame(&[1.0, 1.0, 1.0, 1.0, 5.0, -3.0]);
+        let walk = filter_by_class(ActionClass::Walk).apply(f.clone());
+        let stand = filter_by_class(ActionClass::Stand).apply(f.clone());
+        assert_eq!(walk.len() + stand.len(), f.len());
+        assert_eq!(walk.len(), 2);
+        // the appended action column labels correctly
+        assert!(walk.rows.iter().all(|r| r.last() == Some(&Value::Str("walk".into()))));
+        assert!(stand.rows.iter().all(|r| r.last() == Some(&Value::Str("stand".into()))));
+    }
+
+    #[test]
+    fn filter_by_class_on_empty_frame() {
+        let f = Frame::empty(regression_output_schema());
+        let out = filter_by_class(ActionClass::Walk).apply(f);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn filter_by_class_handles_nulls() {
+        let mut f = regression_frame(&[1.0, 1.0, 4.0]);
+        f.rows.push(vec![Value::Null]);
+        let out = filter_by_class(ActionClass::Stand).apply(f);
+        // nulls classify as standing
+        assert!(out.rows.iter().any(|r| r[0].is_null()));
+    }
+
+    #[test]
+    fn remainder_name_matches_paper_call() {
+        let r = filter_by_class(ActionClass::Walk);
+        assert_eq!(r.name, "filterByClass(d', action='walk', do.plot=F)");
+    }
+}

@@ -1,0 +1,110 @@
+//! The catalog: named tables/streams available to the executor.
+
+use std::collections::HashMap;
+
+use crate::error::{EngineError, EngineResult};
+use crate::frame::Frame;
+
+/// A named collection of frames. Table names are case-insensitive.
+///
+/// In PArADISE terms, every node of the vertical hierarchy holds its own
+/// catalog: the sensor's catalog has the raw `stream`, intermediate nodes
+/// register the shipped results of lower fragments (`d1`, `d2`, …) before
+/// running their own fragment.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: HashMap<String, Frame>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a table. Fails if the name is taken.
+    pub fn register(&mut self, name: &str, frame: Frame) -> EngineResult<()> {
+        let key = name.to_ascii_lowercase();
+        if self.tables.contains_key(&key) {
+            return Err(EngineError::DuplicateTable(name.to_string()));
+        }
+        self.tables.insert(key, frame);
+        Ok(())
+    }
+
+    /// Register or replace a table.
+    pub fn register_or_replace(&mut self, name: &str, frame: Frame) {
+        self.tables.insert(name.to_ascii_lowercase(), frame);
+    }
+
+    /// Remove a table, returning it if present.
+    pub fn remove(&mut self, name: &str) -> Option<Frame> {
+        self.tables.remove(&name.to_ascii_lowercase())
+    }
+
+    /// Look a table up.
+    pub fn get(&self, name: &str) -> EngineResult<&Frame> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
+    }
+
+    /// Does the catalog know this name?
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Names of all registered tables (unordered).
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// No tables?
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::DataType;
+
+    fn tiny() -> Frame {
+        Frame::empty(Schema::from_pairs(&[("x", DataType::Integer)]))
+    }
+
+    #[test]
+    fn register_and_lookup_case_insensitive() {
+        let mut c = Catalog::new();
+        c.register("Stream", tiny()).unwrap();
+        assert!(c.get("stream").is_ok());
+        assert!(c.get("STREAM").is_ok());
+        assert!(c.contains("StReAm"));
+        assert!(matches!(c.get("other"), Err(EngineError::UnknownTable(_))));
+    }
+
+    #[test]
+    fn duplicate_registration_fails() {
+        let mut c = Catalog::new();
+        c.register("d", tiny()).unwrap();
+        assert!(matches!(c.register("D", tiny()), Err(EngineError::DuplicateTable(_))));
+        c.register_or_replace("d", tiny());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn remove_returns_frame() {
+        let mut c = Catalog::new();
+        c.register("d", tiny()).unwrap();
+        assert!(c.remove("D").is_some());
+        assert!(c.is_empty());
+        assert!(c.remove("d").is_none());
+    }
+}

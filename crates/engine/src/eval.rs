@@ -1,0 +1,669 @@
+//! Row-level expression evaluation with SQL three-valued logic.
+
+use paradise_sql::ast::{BinaryOp, CaseBranch, Expr, Literal, UnaryOp};
+
+use crate::error::{EngineError, EngineResult};
+use crate::frame::{Frame, Row};
+use crate::schema::Schema;
+use crate::value::{DataType, Value};
+
+/// Callback used to run scalar subqueries / `EXISTS` probes. The executor
+/// passes itself in; standalone evaluation (policy conditions) passes none.
+pub type SubqueryFn<'a> = &'a dyn Fn(&paradise_sql::ast::Query) -> EngineResult<Frame>;
+
+/// Everything an expression needs to evaluate against one row.
+pub struct EvalContext<'a> {
+    /// Input schema for column resolution.
+    pub schema: &'a Schema,
+    /// Optional subquery executor.
+    pub subquery: Option<SubqueryFn<'a>>,
+}
+
+impl<'a> EvalContext<'a> {
+    /// Context without subquery support.
+    pub fn new(schema: &'a Schema) -> Self {
+        EvalContext { schema, subquery: None }
+    }
+}
+
+/// Evaluate `expr` against `row`.
+pub fn eval_expr(expr: &Expr, row: &Row, ctx: &EvalContext<'_>) -> EngineResult<Value> {
+    match expr {
+        Expr::Literal(lit) => Ok(literal_value(lit)),
+        Expr::Column(c) => {
+            let idx = ctx.schema.resolve(c.qualifier.as_deref(), &c.name)?;
+            Ok(row[idx].clone())
+        }
+        Expr::Wildcard => Err(EngineError::Unsupported(
+            "'*' is only valid inside COUNT(*)".into(),
+        )),
+        Expr::Unary { op, expr } => {
+            let v = eval_expr(expr, row, ctx)?;
+            eval_unary(*op, v)
+        }
+        Expr::Binary { left, op, right } => {
+            // Short-circuit three-valued AND/OR.
+            match op {
+                BinaryOp::And | BinaryOp::Or => {
+                    let l = eval_expr(left, row, ctx)?;
+                    let l3 = to_bool3(&l)?;
+                    match (op, l3) {
+                        (BinaryOp::And, Some(false)) => return Ok(Value::Bool(false)),
+                        (BinaryOp::Or, Some(true)) => return Ok(Value::Bool(true)),
+                        _ => {}
+                    }
+                    let r = eval_expr(right, row, ctx)?;
+                    let r3 = to_bool3(&r)?;
+                    let out = match op {
+                        BinaryOp::And => and3(l3, r3),
+                        _ => or3(l3, r3),
+                    };
+                    Ok(out.map(Value::Bool).unwrap_or(Value::Null))
+                }
+                _ => {
+                    let l = eval_expr(left, row, ctx)?;
+                    let r = eval_expr(right, row, ctx)?;
+                    eval_binary(l, *op, r)
+                }
+            }
+        }
+        Expr::Function(call) => {
+            if call.over.is_some() {
+                return Err(EngineError::Unsupported(
+                    "window function outside the executor's window stage".into(),
+                ));
+            }
+            let args = call
+                .args
+                .iter()
+                .map(|a| eval_expr(a, row, ctx))
+                .collect::<EngineResult<Vec<_>>>()?;
+            eval_scalar_function(&call.name, &args)
+        }
+        Expr::Case { operand, branches, else_result } => {
+            eval_case(operand.as_deref(), branches, else_result.as_deref(), row, ctx)
+        }
+        Expr::Between { expr, low, high, negated } => {
+            let v = eval_expr(expr, row, ctx)?;
+            let lo = eval_expr(low, row, ctx)?;
+            let hi = eval_expr(high, row, ctx)?;
+            let ge = ge3(&v, &lo);
+            let le = le3(&v, &hi);
+            let within = and3(ge, le);
+            Ok(match within {
+                Some(b) => Value::Bool(b != *negated),
+                None => Value::Null,
+            })
+        }
+        Expr::InList { expr, list, negated } => {
+            let v = eval_expr(expr, row, ctx)?;
+            let mut saw_null = false;
+            for item in list {
+                let candidate = eval_expr(item, row, ctx)?;
+                match v.sql_eq(&candidate) {
+                    Some(true) => return Ok(Value::Bool(!*negated)),
+                    Some(false) => {}
+                    None => saw_null = true,
+                }
+            }
+            if saw_null {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Bool(*negated))
+            }
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval_expr(expr, row, ctx)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+        Expr::Cast { expr, type_name } => {
+            let v = eval_expr(expr, row, ctx)?;
+            let target = DataType::parse(type_name).ok_or_else(|| {
+                EngineError::Unsupported(format!("unknown cast target {type_name:?}"))
+            })?;
+            v.cast(target)
+        }
+        Expr::Subquery(q) => {
+            let exec = ctx.subquery.ok_or_else(|| {
+                EngineError::Unsupported("scalar subquery in this context".into())
+            })?;
+            let frame = exec(q)?;
+            if frame.schema.len() != 1 {
+                return Err(EngineError::Unsupported(
+                    "scalar subquery must return exactly one column".into(),
+                ));
+            }
+            match frame.rows.len() {
+                0 => Ok(Value::Null),
+                1 => Ok(frame.rows[0][0].clone()),
+                _ => Err(EngineError::Unsupported(
+                    "scalar subquery returned more than one row".into(),
+                )),
+            }
+        }
+        Expr::Exists(q) => {
+            let exec = ctx.subquery.ok_or_else(|| {
+                EngineError::Unsupported("EXISTS subquery in this context".into())
+            })?;
+            let frame = exec(q)?;
+            Ok(Value::Bool(!frame.is_empty()))
+        }
+    }
+}
+
+/// Evaluate a predicate for filtering: NULL counts as false.
+pub fn eval_predicate(expr: &Expr, row: &Row, ctx: &EvalContext<'_>) -> EngineResult<bool> {
+    let v = eval_expr(expr, row, ctx)?;
+    Ok(to_bool3(&v)?.unwrap_or(false))
+}
+
+/// Convert a literal AST node to a runtime value.
+pub fn literal_value(lit: &Literal) -> Value {
+    match lit {
+        Literal::Null => Value::Null,
+        Literal::Boolean(b) => Value::Bool(*b),
+        Literal::Integer(v) => Value::Int(*v),
+        Literal::Float(v) => Value::Float(*v),
+        Literal::String(s) => Value::Str(s.clone()),
+    }
+}
+
+fn eval_unary(op: UnaryOp, v: Value) -> EngineResult<Value> {
+    match op {
+        UnaryOp::Not => Ok(match to_bool3(&v)? {
+            Some(b) => Value::Bool(!b),
+            None => Value::Null,
+        }),
+        UnaryOp::Minus => match v {
+            Value::Null => Ok(Value::Null),
+            Value::Int(x) => Ok(Value::Int(-x)),
+            Value::Float(x) => Ok(Value::Float(-x)),
+            other => Err(EngineError::TypeMismatch(format!("cannot negate {other}"))),
+        },
+        UnaryOp::Plus => match v {
+            Value::Null | Value::Int(_) | Value::Float(_) => Ok(v),
+            other => Err(EngineError::TypeMismatch(format!("cannot apply unary + to {other}"))),
+        },
+    }
+}
+
+fn eval_binary(l: Value, op: BinaryOp, r: Value) -> EngineResult<Value> {
+    match op {
+        BinaryOp::And | BinaryOp::Or => unreachable!("handled with short-circuit"),
+        BinaryOp::Eq | BinaryOp::NotEq | BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt
+        | BinaryOp::GtEq => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            let ord = l.sql_cmp(&r).ok_or_else(|| {
+                EngineError::TypeMismatch(format!("cannot compare {l} with {r}"))
+            })?;
+            let b = match op {
+                BinaryOp::Eq => ord.is_eq(),
+                BinaryOp::NotEq => ord.is_ne(),
+                BinaryOp::Lt => ord.is_lt(),
+                BinaryOp::LtEq => ord.is_le(),
+                BinaryOp::Gt => ord.is_gt(),
+                BinaryOp::GtEq => ord.is_ge(),
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(b))
+        }
+        BinaryOp::Plus | BinaryOp::Minus | BinaryOp::Multiply | BinaryOp::Divide
+        | BinaryOp::Modulo => eval_arithmetic(l, op, r),
+        BinaryOp::Like => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            match (&l, &r) {
+                (Value::Str(s), Value::Str(p)) => Ok(Value::Bool(like_match(s, p))),
+                _ => Err(EngineError::TypeMismatch("LIKE requires text operands".into())),
+            }
+        }
+        BinaryOp::Concat => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            Ok(Value::Str(format!("{l}{r}")))
+        }
+    }
+}
+
+fn eval_arithmetic(l: Value, op: BinaryOp, r: Value) -> EngineResult<Value> {
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    // integer op integer stays integer (except division by zero handling)
+    if let (Value::Int(a), Value::Int(b)) = (&l, &r) {
+        let (a, b) = (*a, *b);
+        return match op {
+            BinaryOp::Plus => Ok(Value::Int(a.wrapping_add(b))),
+            BinaryOp::Minus => Ok(Value::Int(a.wrapping_sub(b))),
+            BinaryOp::Multiply => Ok(Value::Int(a.wrapping_mul(b))),
+            BinaryOp::Divide => {
+                if b == 0 {
+                    Ok(Value::Null) // SQL engines differ; NULL keeps queries total
+                } else {
+                    Ok(Value::Int(a.wrapping_div(b)))
+                }
+            }
+            BinaryOp::Modulo => {
+                if b == 0 {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Int(a.wrapping_rem(b)))
+                }
+            }
+            _ => unreachable!(),
+        };
+    }
+    let (a, b) = match (l.as_f64(), r.as_f64()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => {
+            return Err(EngineError::TypeMismatch(format!(
+                "arithmetic on non-numeric values {l} and {r}"
+            )))
+        }
+    };
+    let out = match op {
+        BinaryOp::Plus => a + b,
+        BinaryOp::Minus => a - b,
+        BinaryOp::Multiply => a * b,
+        BinaryOp::Divide => {
+            if b == 0.0 {
+                return Ok(Value::Null);
+            }
+            a / b
+        }
+        BinaryOp::Modulo => {
+            if b == 0.0 {
+                return Ok(Value::Null);
+            }
+            a % b
+        }
+        _ => unreachable!(),
+    };
+    Ok(Value::Float(out))
+}
+
+fn eval_case(
+    operand: Option<&Expr>,
+    branches: &[CaseBranch],
+    else_result: Option<&Expr>,
+    row: &Row,
+    ctx: &EvalContext<'_>,
+) -> EngineResult<Value> {
+    match operand {
+        Some(op_expr) => {
+            let operand_value = eval_expr(op_expr, row, ctx)?;
+            for b in branches {
+                let when = eval_expr(&b.when, row, ctx)?;
+                if operand_value.sql_eq(&when) == Some(true) {
+                    return eval_expr(&b.then, row, ctx);
+                }
+            }
+        }
+        None => {
+            for b in branches {
+                if eval_predicate(&b.when, row, ctx)? {
+                    return eval_expr(&b.then, row, ctx);
+                }
+            }
+        }
+    }
+    match else_result {
+        Some(e) => eval_expr(e, row, ctx),
+        None => Ok(Value::Null),
+    }
+}
+
+fn eval_scalar_function(name: &str, args: &[Value]) -> EngineResult<Value> {
+    let upper = name.to_ascii_uppercase();
+    let arity = |expected: &str, ok: bool| -> EngineResult<()> {
+        if ok {
+            Ok(())
+        } else {
+            Err(EngineError::WrongArity {
+                function: upper.clone(),
+                expected: expected.to_string(),
+                got: args.len(),
+            })
+        }
+    };
+    let num1 = |f: &dyn Fn(f64) -> f64| -> EngineResult<Value> {
+        if args[0].is_null() {
+            return Ok(Value::Null);
+        }
+        let x = args[0].as_f64().ok_or_else(|| {
+            EngineError::TypeMismatch(format!("{upper} requires a numeric argument"))
+        })?;
+        Ok(Value::Float(f(x)))
+    };
+    match upper.as_str() {
+        "ABS" => {
+            arity("1", args.len() == 1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Int(v) => Ok(Value::Int(v.abs())),
+                Value::Float(v) => Ok(Value::Float(v.abs())),
+                other => Err(EngineError::TypeMismatch(format!("ABS of {other}"))),
+            }
+        }
+        "ROUND" => {
+            arity("1 or 2", args.len() == 1 || args.len() == 2)?;
+            if args[0].is_null() {
+                return Ok(Value::Null);
+            }
+            let x = args[0]
+                .as_f64()
+                .ok_or_else(|| EngineError::TypeMismatch("ROUND of non-number".into()))?;
+            let digits = if args.len() == 2 {
+                match &args[1] {
+                    Value::Int(d) => *d,
+                    Value::Null => return Ok(Value::Null),
+                    _ => return Err(EngineError::TypeMismatch("ROUND digits".into())),
+                }
+            } else {
+                0
+            };
+            let factor = 10f64.powi(digits as i32);
+            Ok(Value::Float((x * factor).round() / factor))
+        }
+        "FLOOR" => {
+            arity("1", args.len() == 1)?;
+            num1(&f64::floor)
+        }
+        "CEIL" | "CEILING" => {
+            arity("1", args.len() == 1)?;
+            num1(&f64::ceil)
+        }
+        "SQRT" => {
+            arity("1", args.len() == 1)?;
+            num1(&f64::sqrt)
+        }
+        "LN" => {
+            arity("1", args.len() == 1)?;
+            num1(&f64::ln)
+        }
+        "EXP" => {
+            arity("1", args.len() == 1)?;
+            num1(&f64::exp)
+        }
+        "POWER" | "POW" => {
+            arity("2", args.len() == 2)?;
+            if args[0].is_null() || args[1].is_null() {
+                return Ok(Value::Null);
+            }
+            match (args[0].as_f64(), args[1].as_f64()) {
+                (Some(a), Some(b)) => Ok(Value::Float(a.powf(b))),
+                _ => Err(EngineError::TypeMismatch("POWER of non-numbers".into())),
+            }
+        }
+        "LOWER" => {
+            arity("1", args.len() == 1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Str(s) => Ok(Value::Str(s.to_lowercase())),
+                other => Err(EngineError::TypeMismatch(format!("LOWER of {other}"))),
+            }
+        }
+        "UPPER" => {
+            arity("1", args.len() == 1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Str(s) => Ok(Value::Str(s.to_uppercase())),
+                other => Err(EngineError::TypeMismatch(format!("UPPER of {other}"))),
+            }
+        }
+        "LENGTH" => {
+            arity("1", args.len() == 1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Str(s) => Ok(Value::Int(s.chars().count() as i64)),
+                other => Err(EngineError::TypeMismatch(format!("LENGTH of {other}"))),
+            }
+        }
+        "COALESCE" => {
+            arity("1+", !args.is_empty())?;
+            for a in args {
+                if !a.is_null() {
+                    return Ok(a.clone());
+                }
+            }
+            Ok(Value::Null)
+        }
+        "NULLIF" => {
+            arity("2", args.len() == 2)?;
+            if args[0].sql_eq(&args[1]) == Some(true) {
+                Ok(Value::Null)
+            } else {
+                Ok(args[0].clone())
+            }
+        }
+        _ => Err(EngineError::UnknownFunction(name.to_string())),
+    }
+}
+
+/// SQL `LIKE` with `%` (any run) and `_` (any single char).
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    fn rec(s: &[char], p: &[char]) -> bool {
+        match p.split_first() {
+            None => s.is_empty(),
+            Some(('%', rest)) => {
+                (0..=s.len()).any(|skip| rec(&s[skip..], rest))
+            }
+            Some(('_', rest)) => !s.is_empty() && rec(&s[1..], rest),
+            Some((c, rest)) => s.first() == Some(c) && rec(&s[1..], rest),
+        }
+    }
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    rec(&s, &p)
+}
+
+// three-valued logic helpers -------------------------------------------------
+
+fn to_bool3(v: &Value) -> EngineResult<Option<bool>> {
+    match v {
+        Value::Null => Ok(None),
+        Value::Bool(b) => Ok(Some(*b)),
+        other => Err(EngineError::TypeMismatch(format!("expected boolean, got {other}"))),
+    }
+}
+
+fn and3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(false), _) | (_, Some(false)) => Some(false),
+        (Some(true), Some(true)) => Some(true),
+        _ => None,
+    }
+}
+
+fn or3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(true), _) | (_, Some(true)) => Some(true),
+        (Some(false), Some(false)) => Some(false),
+        _ => None,
+    }
+}
+
+fn ge3(a: &Value, b: &Value) -> Option<bool> {
+    a.sql_cmp(b).map(|o| o.is_ge())
+}
+
+fn le3(a: &Value, b: &Value) -> Option<bool> {
+    a.sql_cmp(b).map(|o| o.is_le())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradise_sql::parse_expr;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("x", DataType::Float),
+            ("y", DataType::Float),
+            ("z", DataType::Float),
+            ("name", DataType::Text),
+            ("flag", DataType::Boolean),
+        ])
+    }
+
+    fn row() -> Row {
+        vec![
+            Value::Float(3.0),
+            Value::Float(2.0),
+            Value::Float(1.5),
+            Value::Str("walker".into()),
+            Value::Bool(true),
+        ]
+    }
+
+    fn eval(src: &str) -> EngineResult<Value> {
+        let e = parse_expr(src).unwrap();
+        let s = schema();
+        let ctx = EvalContext::new(&s);
+        eval_expr(&e, &row(), &ctx)
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(eval("x > y").unwrap(), Value::Bool(true));
+        assert_eq!(eval("z < 2").unwrap(), Value::Bool(true));
+        assert_eq!(eval("z >= 2").unwrap(), Value::Bool(false));
+        assert_eq!(eval("name = 'walker'").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn arithmetic_promotion() {
+        assert_eq!(eval("x + y").unwrap(), Value::Float(5.0));
+        assert_eq!(eval("1 + 2").unwrap(), Value::Int(3));
+        assert_eq!(eval("7 / 2").unwrap(), Value::Int(3));
+        assert_eq!(eval("7.0 / 2").unwrap(), Value::Float(3.5));
+        assert_eq!(eval("7 % 4").unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn division_by_zero_is_null() {
+        assert_eq!(eval("1 / 0").unwrap(), Value::Null);
+        assert_eq!(eval("x / 0.0").unwrap(), Value::Null);
+        assert_eq!(eval("1 % 0").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        assert_eq!(eval("NULL AND flag").unwrap(), Value::Null);
+        assert_eq!(eval("NULL AND FALSE").unwrap(), Value::Bool(false));
+        assert_eq!(eval("NULL OR TRUE").unwrap(), Value::Bool(true));
+        assert_eq!(eval("NOT NULL").unwrap(), Value::Null);
+        assert_eq!(eval("z < NULL").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn predicate_null_is_false() {
+        let e = parse_expr("z < NULL").unwrap();
+        let s = schema();
+        let ctx = EvalContext::new(&s);
+        assert!(!eval_predicate(&e, &row(), &ctx).unwrap());
+    }
+
+    #[test]
+    fn between_and_in() {
+        assert_eq!(eval("z BETWEEN 1 AND 2").unwrap(), Value::Bool(true));
+        assert_eq!(eval("z NOT BETWEEN 1 AND 2").unwrap(), Value::Bool(false));
+        assert_eq!(eval("x IN (1, 3, 5)").unwrap(), Value::Bool(true));
+        assert_eq!(eval("x NOT IN (1, 3, 5)").unwrap(), Value::Bool(false));
+        assert_eq!(eval("y IN (1, NULL)").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn is_null_checks() {
+        assert_eq!(eval("name IS NULL").unwrap(), Value::Bool(false));
+        assert_eq!(eval("NULL IS NULL").unwrap(), Value::Bool(true));
+        assert_eq!(eval("name IS NOT NULL").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn case_forms() {
+        assert_eq!(
+            eval("CASE WHEN z < 2 THEN 'low' ELSE 'high' END").unwrap(),
+            Value::Str("low".into())
+        );
+        assert_eq!(
+            eval("CASE name WHEN 'walker' THEN 1 ELSE 0 END").unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(eval("CASE WHEN FALSE THEN 1 END").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn scalar_functions() {
+        assert_eq!(eval("ABS(-3)").unwrap(), Value::Int(3));
+        assert_eq!(eval("ROUND(2.567, 2)").unwrap(), Value::Float(2.57));
+        assert_eq!(eval("FLOOR(2.9)").unwrap(), Value::Float(2.0));
+        assert_eq!(eval("UPPER(name)").unwrap(), Value::Str("WALKER".into()));
+        assert_eq!(eval("LENGTH(name)").unwrap(), Value::Int(6));
+        assert_eq!(eval("COALESCE(NULL, NULL, 5)").unwrap(), Value::Int(5));
+        assert_eq!(eval("NULLIF(2, 2)").unwrap(), Value::Null);
+        assert_eq!(eval("NULLIF(3, 2)").unwrap(), Value::Int(3));
+        assert_eq!(eval("POWER(2, 10)").unwrap(), Value::Float(1024.0));
+    }
+
+    #[test]
+    fn unknown_function_errors() {
+        assert!(matches!(eval("noSuchFn(1)"), Err(EngineError::UnknownFunction(_))));
+    }
+
+    #[test]
+    fn wrong_arity_errors() {
+        assert!(matches!(eval("ABS(1, 2)"), Err(EngineError::WrongArity { .. })));
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("walker", "walk%"));
+        assert!(like_match("walker", "%lk%"));
+        assert!(like_match("walker", "w_lker"));
+        assert!(!like_match("walker", "walk"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("a", "_%_"));
+        assert!(like_match("ab", "_%_"));
+        assert_eq!(eval("name LIKE 'walk%'").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn concat() {
+        assert_eq!(eval("name || '!'").unwrap(), Value::Str("walker!".into()));
+        assert_eq!(eval("name || NULL").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn cast_in_expression() {
+        assert_eq!(eval("CAST(z AS INTEGER)").unwrap(), Value::Int(1));
+        assert_eq!(eval("CAST('7' AS FLOAT)").unwrap(), Value::Float(7.0));
+        assert!(eval("CAST(name AS INTEGER)").is_err());
+    }
+
+    #[test]
+    fn unary_ops() {
+        assert_eq!(eval("-x").unwrap(), Value::Float(-3.0));
+        assert_eq!(eval("NOT flag").unwrap(), Value::Bool(false));
+        assert!(eval("-name").is_err());
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        assert!(matches!(eval("missing > 1"), Err(EngineError::UnknownColumn(_))));
+    }
+
+    #[test]
+    fn subquery_without_executor_errors() {
+        assert!(eval("x > (SELECT 1)").is_err());
+    }
+
+    #[test]
+    fn comparing_incompatible_types_errors() {
+        assert!(eval("name > 5").is_err());
+    }
+}

@@ -1,0 +1,759 @@
+//! The query executor: a straightforward tree-walking interpreter over
+//! the `paradise-sql` AST.
+//!
+//! Pipeline per `SELECT` block (SQL logical order):
+//! `FROM` → `WHERE` → `GROUP BY`+aggregates → `HAVING` → window functions
+//! → projection → `DISTINCT` → `ORDER BY` → `LIMIT`/`OFFSET` → `UNION`.
+//!
+//! ## Lenient vs. strict GROUP BY
+//!
+//! The paper's rewritten query projects `t` while grouping by `x, y`
+//! (§4.2). In **lenient** mode (the default, matching the paper) such
+//! columns take their value from the first row of each group. **Strict**
+//! mode rejects them like `ONLY_FULL_GROUP_BY`.
+
+pub mod aggregate;
+pub mod window;
+
+use std::collections::HashSet;
+
+use paradise_sql::analysis::is_aggregate_function;
+use paradise_sql::ast::{
+    expr_has_aggregate, Expr, FunctionCall, Query, SelectItem, SortOrder, TableRef,
+};
+use paradise_sql::visit::transform_expr;
+
+use crate::catalog::Catalog;
+use crate::error::{EngineError, EngineResult};
+use crate::eval::{eval_expr, eval_predicate, EvalContext};
+use crate::frame::{Frame, Row};
+use crate::schema::{Column, Schema};
+use crate::value::{DataType, GroupKey, Value};
+
+use aggregate::{AggKind, Accumulator};
+
+/// Execution options.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Reject non-grouped, non-aggregated columns (ONLY_FULL_GROUP_BY).
+    pub strict_group_by: bool,
+    /// Safety valve for joins: maximum produced rows before aborting.
+    pub max_rows: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { strict_group_by: false, max_rows: 10_000_000 }
+    }
+}
+
+/// Query executor bound to a catalog.
+pub struct Executor<'a> {
+    catalog: &'a Catalog,
+    options: ExecOptions,
+}
+
+impl<'a> Executor<'a> {
+    /// Executor with default (lenient, paper-compatible) options.
+    pub fn new(catalog: &'a Catalog) -> Self {
+        Executor { catalog, options: ExecOptions::default() }
+    }
+
+    /// Executor with explicit options.
+    pub fn with_options(catalog: &'a Catalog, options: ExecOptions) -> Self {
+        Executor { catalog, options }
+    }
+
+    /// Execute a query to a materialised [`Frame`].
+    pub fn execute(&self, query: &Query) -> EngineResult<Frame> {
+        let mut result = self.execute_block(query)?;
+        for (all, q) in &query.unions {
+            let next = self.execute_block(q)?;
+            if next.schema.len() != result.schema.len() {
+                return Err(EngineError::Unsupported(format!(
+                    "UNION branches have different widths ({} vs {})",
+                    result.schema.len(),
+                    next.schema.len()
+                )));
+            }
+            result.rows.extend(next.rows);
+            if !all {
+                dedupe_rows(&mut result.rows);
+            }
+        }
+        Ok(result)
+    }
+
+    fn execute_block(&self, query: &Query) -> EngineResult<Frame> {
+        // FROM
+        let input = match &query.from {
+            Some(table) => self.eval_table(table)?,
+            None => Frame::new(Schema::default(), vec![vec![]])?, // one empty row
+        };
+
+        // WHERE
+        let subquery_fn = |q: &Query| self.execute(q);
+        let filtered = match &query.where_clause {
+            Some(pred) => {
+                let ctx = EvalContext { schema: &input.schema, subquery: Some(&subquery_fn) };
+                let mut rows = Vec::with_capacity(input.rows.len());
+                for row in input.rows {
+                    if eval_predicate(pred, &row, &ctx)? {
+                        rows.push(row);
+                    }
+                }
+                Frame { schema: input.schema, rows }
+            }
+            None => input,
+        };
+
+        let aggregating = !query.group_by.is_empty()
+            || query.having.is_some()
+            || query
+                .items
+                .iter()
+                .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr_has_aggregate(expr, &is_aggregate_function)));
+
+        if aggregating {
+            self.execute_aggregation(query, filtered)
+        } else {
+            self.execute_plain(query, filtered)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // FROM evaluation
+    // ------------------------------------------------------------------
+
+    fn eval_table(&self, table: &TableRef) -> EngineResult<Frame> {
+        match table {
+            TableRef::Table { name, alias } => {
+                let frame = self.catalog.get(name)?;
+                let source = alias.as_deref().unwrap_or(name);
+                Ok(Frame {
+                    schema: frame.schema.with_source(source),
+                    rows: frame.rows.clone(),
+                })
+            }
+            TableRef::Subquery { query, alias } => {
+                let frame = self.execute(query)?;
+                match alias {
+                    Some(a) => Ok(Frame { schema: frame.schema.with_source(a), rows: frame.rows }),
+                    None => Ok(frame),
+                }
+            }
+            TableRef::Join { left, right, kind, on } => {
+                let l = self.eval_table(left)?;
+                let r = self.eval_table(right)?;
+                self.join(l, r, *kind, on.as_ref())
+            }
+        }
+    }
+
+    fn join(
+        &self,
+        left: Frame,
+        right: Frame,
+        kind: paradise_sql::ast::JoinKind,
+        on: Option<&Expr>,
+    ) -> EngineResult<Frame> {
+        use paradise_sql::ast::JoinKind;
+        let schema = left.schema.join(&right.schema);
+        let subquery_fn = |q: &Query| self.execute(q);
+        let ctx = EvalContext { schema: &schema, subquery: Some(&subquery_fn) };
+        let mut rows: Vec<Row> = Vec::new();
+        let null_right: Row = vec![Value::Null; right.schema.len()];
+        let null_left: Row = vec![Value::Null; left.schema.len()];
+        let mut right_matched = vec![false; right.rows.len()];
+
+        for lrow in &left.rows {
+            let mut matched = false;
+            for (ri, rrow) in right.rows.iter().enumerate() {
+                let mut combined = Vec::with_capacity(schema.len());
+                combined.extend(lrow.iter().cloned());
+                combined.extend(rrow.iter().cloned());
+                let keep = match (kind, on) {
+                    (JoinKind::Cross, _) => true,
+                    (_, Some(pred)) => eval_predicate(pred, &combined, &ctx)?,
+                    (_, None) => true,
+                };
+                if keep {
+                    matched = true;
+                    right_matched[ri] = true;
+                    rows.push(combined);
+                    if rows.len() > self.options.max_rows {
+                        return Err(EngineError::Unsupported(format!(
+                            "join exceeded {} rows",
+                            self.options.max_rows
+                        )));
+                    }
+                }
+            }
+            if !matched && matches!(kind, JoinKind::Left | JoinKind::Full) {
+                let mut combined = Vec::with_capacity(schema.len());
+                combined.extend(lrow.iter().cloned());
+                combined.extend(null_right.iter().cloned());
+                rows.push(combined);
+            }
+        }
+        if matches!(kind, JoinKind::Right | JoinKind::Full) {
+            for (ri, rrow) in right.rows.iter().enumerate() {
+                if !right_matched[ri] {
+                    let mut combined = Vec::with_capacity(schema.len());
+                    combined.extend(null_left.iter().cloned());
+                    combined.extend(rrow.iter().cloned());
+                    rows.push(combined);
+                }
+            }
+        }
+        Ok(Frame { schema, rows })
+    }
+
+    // ------------------------------------------------------------------
+    // non-aggregated path
+    // ------------------------------------------------------------------
+
+    fn execute_plain(&self, query: &Query, input: Frame) -> EngineResult<Frame> {
+        // window functions over the filtered input
+        let mut window_calls: Vec<FunctionCall> = Vec::new();
+        for item in &query.items {
+            if let SelectItem::Expr { expr, .. } = item {
+                window::collect_window_calls(expr, &mut window_calls);
+            }
+        }
+        for o in &query.order_by {
+            window::collect_window_calls(&o.expr, &mut window_calls);
+        }
+
+        let (work_frame, rewrite_map) = if window_calls.is_empty() {
+            (input, Vec::new())
+        } else {
+            window::attach_window_columns(self, input, window_calls)?
+        };
+
+        let rewrite = |expr: &Expr| -> Expr {
+            if rewrite_map.is_empty() {
+                return expr.clone();
+            }
+            window::replace_window_calls(expr.clone(), &rewrite_map)
+        };
+
+        let subquery_fn = |q: &Query| self.execute(q);
+        let ctx = EvalContext { schema: &work_frame.schema, subquery: Some(&subquery_fn) };
+
+        // projection
+        let (out_schema, item_exprs) =
+            self.projection_plan(query, &work_frame.schema, &rewrite)?;
+        let mut projected: Vec<Row> = Vec::with_capacity(work_frame.rows.len());
+        let mut sort_keys: Vec<Vec<Value>> = Vec::new();
+        let order_exprs: Vec<Expr> = query.order_by.iter().map(|o| rewrite(&o.expr)).collect();
+
+        for row in &work_frame.rows {
+            let mut out = Vec::with_capacity(item_exprs.len());
+            for plan in &item_exprs {
+                match plan {
+                    ProjPlan::Splice(indices) => {
+                        for &i in indices {
+                            out.push(row[i].clone());
+                        }
+                    }
+                    ProjPlan::Expr(e) => out.push(eval_expr(e, row, &ctx)?),
+                }
+            }
+            if !order_exprs.is_empty() {
+                let keys = self.order_keys(&order_exprs, query, row, &out, &out_schema, &ctx)?;
+                sort_keys.push(keys);
+            }
+            projected.push(out);
+        }
+
+        let mut frame = Frame { schema: out_schema, rows: projected };
+        finalise_types(&mut frame);
+
+        if query.distinct {
+            // DISTINCT applies before ORDER BY; drop sort keys of removed rows.
+            let (rows, keys) = dedupe_with_keys(frame.rows, sort_keys);
+            frame.rows = rows;
+            sort_keys = keys;
+        }
+
+        if !query.order_by.is_empty() {
+            frame.rows = sort_by_keys(frame.rows, sort_keys, &query.order_by);
+        }
+        apply_limit_offset(&mut frame, query);
+        Ok(frame)
+    }
+
+    /// Compute ORDER BY key values for one row: aliases resolve against
+    /// the projected output, everything else against the input row.
+    fn order_keys(
+        &self,
+        order_exprs: &[Expr],
+        query: &Query,
+        input_row: &Row,
+        out_row: &Row,
+        out_schema: &Schema,
+        ctx: &EvalContext<'_>,
+    ) -> EngineResult<Vec<Value>> {
+        let mut keys = Vec::with_capacity(order_exprs.len());
+        for e in order_exprs {
+            // alias / output-column reference?
+            if let Expr::Column(c) = e {
+                if c.qualifier.is_none() {
+                    if let Some(idx) = out_schema.try_resolve(None, &c.name) {
+                        // prefer the projected value when the name is not
+                        // resolvable in the input (pure alias), or when the
+                        // query projects it directly
+                        if ctx.schema.try_resolve(None, &c.name).is_none() {
+                            keys.push(out_row[idx].clone());
+                            continue;
+                        }
+                    }
+                }
+            }
+            // positional reference: ORDER BY 1
+            if let Expr::Literal(paradise_sql::ast::Literal::Integer(i)) = e {
+                let idx = (*i - 1) as usize;
+                if *i >= 1 && idx < out_row.len() {
+                    keys.push(out_row[idx].clone());
+                    continue;
+                }
+            }
+            let _ = query;
+            keys.push(eval_expr(e, input_row, ctx)?);
+        }
+        Ok(keys)
+    }
+
+    /// Build the output schema and per-item evaluation plan.
+    fn projection_plan(
+        &self,
+        query: &Query,
+        input: &Schema,
+        rewrite: &dyn Fn(&Expr) -> Expr,
+    ) -> EngineResult<(Schema, Vec<ProjPlan>)> {
+        let mut out = Schema::default();
+        let mut plans = Vec::with_capacity(query.items.len());
+        for item in &query.items {
+            match item {
+                SelectItem::Wildcard => {
+                    let indices: Vec<usize> = (0..input.len()).collect();
+                    for c in input.columns() {
+                        out.push(Column::new(c.name.clone(), c.data_type));
+                    }
+                    plans.push(ProjPlan::Splice(indices));
+                }
+                SelectItem::QualifiedWildcard(q) => {
+                    let mut indices = Vec::new();
+                    for (i, c) in input.columns().iter().enumerate() {
+                        if c.source.as_deref().is_some_and(|s| s.eq_ignore_ascii_case(q)) {
+                            indices.push(i);
+                            out.push(Column::new(c.name.clone(), c.data_type));
+                        }
+                    }
+                    if indices.is_empty() {
+                        return Err(EngineError::UnknownTable(q.clone()));
+                    }
+                    plans.push(ProjPlan::Splice(indices));
+                }
+                SelectItem::Expr { expr, alias } => {
+                    let rewritten = rewrite(expr);
+                    let name = match alias {
+                        Some(a) => a.clone(),
+                        None => match expr {
+                            Expr::Column(c) => c.name.clone(),
+                            other => format!("{other}").to_lowercase(),
+                        },
+                    };
+                    let dtype = match &rewritten {
+                        Expr::Column(c) => {
+                            let idx = input.resolve(c.qualifier.as_deref(), &c.name)?;
+                            input.columns()[idx].data_type
+                        }
+                        _ => DataType::Float, // refined by finalise_types
+                    };
+                    out.push(Column::new(name, dtype));
+                    plans.push(ProjPlan::Expr(rewritten));
+                }
+            }
+        }
+        Ok((out, plans))
+    }
+
+    // ------------------------------------------------------------------
+    // aggregation path
+    // ------------------------------------------------------------------
+
+    fn execute_aggregation(&self, query: &Query, input: Frame) -> EngineResult<Frame> {
+        if query.has_wildcard() {
+            return Err(EngineError::Unsupported("SELECT * with GROUP BY/aggregates".into()));
+        }
+        let subquery_fn = |q: &Query| self.execute(q);
+        let ctx = EvalContext { schema: &input.schema, subquery: Some(&subquery_fn) };
+
+        // 1. group rows
+        let mut group_order: Vec<Vec<GroupKey>> = Vec::new();
+        let mut groups: std::collections::HashMap<Vec<GroupKey>, Vec<usize>> =
+            std::collections::HashMap::new();
+        if query.group_by.is_empty() {
+            group_order.push(Vec::new());
+            groups.insert(Vec::new(), (0..input.rows.len()).collect());
+        } else {
+            for (ri, row) in input.rows.iter().enumerate() {
+                let mut key = Vec::with_capacity(query.group_by.len());
+                for g in &query.group_by {
+                    key.push(eval_expr(g, row, &ctx)?.group_key());
+                }
+                if !groups.contains_key(&key) {
+                    group_order.push(key.clone());
+                }
+                groups.entry(key).or_default().push(ri);
+            }
+        }
+
+        // 2. collect aggregate calls from items, HAVING and ORDER BY
+        let mut agg_calls: Vec<FunctionCall> = Vec::new();
+        for item in &query.items {
+            if let SelectItem::Expr { expr, .. } = item {
+                collect_aggregate_calls(expr, &mut agg_calls);
+            }
+        }
+        if let Some(h) = &query.having {
+            collect_aggregate_calls(h, &mut agg_calls);
+        }
+        for o in &query.order_by {
+            collect_aggregate_calls(&o.expr, &mut agg_calls);
+        }
+
+        // 3. per group: synthetic row = representative row ++ agg values
+        let mut ext_schema = input.schema.clone();
+        let agg_col_names: Vec<String> =
+            (0..agg_calls.len()).map(|i| format!("__agg{i}")).collect();
+        for name in &agg_col_names {
+            ext_schema.push(Column::new(name.clone(), DataType::Float));
+        }
+
+        // strict-mode check: bare columns outside aggregates must be grouped
+        if self.options.strict_group_by {
+            let grouped: HashSet<String> = query
+                .group_by
+                .iter()
+                .filter_map(|g| match g {
+                    Expr::Column(c) => Some(c.name.to_ascii_lowercase()),
+                    _ => None,
+                })
+                .collect();
+            for item in &query.items {
+                if let SelectItem::Expr { expr, .. } = item {
+                    check_strict_grouping(expr, &grouped, &query.group_by)?;
+                }
+            }
+        }
+
+        let rewrite = |expr: &Expr| -> Expr {
+            replace_aggregate_calls(expr.clone(), &agg_calls, &agg_col_names)
+        };
+
+        let ext_ctx_schema = ext_schema.clone();
+        let ext_ctx = EvalContext { schema: &ext_ctx_schema, subquery: Some(&subquery_fn) };
+
+        let having_rewritten = query.having.as_ref().map(&rewrite);
+
+        // projection plan over the extended schema
+        let mut out_schema = Schema::default();
+        let mut item_exprs: Vec<Expr> = Vec::with_capacity(query.items.len());
+        for item in &query.items {
+            let SelectItem::Expr { expr, alias } = item else { unreachable!() };
+            let name = match alias {
+                Some(a) => a.clone(),
+                None => match expr {
+                    Expr::Column(c) => c.name.clone(),
+                    other => format!("{other}").to_lowercase(),
+                },
+            };
+            out_schema.push(Column::new(name, DataType::Float));
+            item_exprs.push(rewrite(expr));
+        }
+        let order_exprs: Vec<Expr> = query.order_by.iter().map(|o| rewrite(&o.expr)).collect();
+
+        let mut rows: Vec<Row> = Vec::with_capacity(group_order.len());
+        let mut sort_keys: Vec<Vec<Value>> = Vec::new();
+        for key in &group_order {
+            let indices = &groups[key];
+            // representative row: first of group, or all-NULL for the
+            // global empty group
+            let mut synthetic: Row = match indices.first() {
+                Some(&i) => input.rows[i].clone(),
+                None => vec![Value::Null; input.schema.len()],
+            };
+            for call in &agg_calls {
+                let v = self.compute_aggregate(call, indices, &input, &ctx)?;
+                synthetic.push(v);
+            }
+            if let Some(h) = &having_rewritten {
+                if !eval_predicate(h, &synthetic, &ext_ctx)? {
+                    continue;
+                }
+            }
+            let mut out = Vec::with_capacity(item_exprs.len());
+            for e in &item_exprs {
+                out.push(eval_expr(e, &synthetic, &ext_ctx)?);
+            }
+            if !order_exprs.is_empty() {
+                let keys =
+                    self.order_keys(&order_exprs, query, &synthetic, &out, &out_schema, &ext_ctx)?;
+                sort_keys.push(keys);
+            }
+            rows.push(out);
+        }
+
+        let mut frame = Frame { schema: out_schema, rows };
+        finalise_types(&mut frame);
+        if query.distinct {
+            let (rows, keys) = dedupe_with_keys(frame.rows, sort_keys);
+            frame.rows = rows;
+            sort_keys = keys;
+        }
+        if !query.order_by.is_empty() {
+            frame.rows = sort_by_keys(frame.rows, sort_keys, &query.order_by);
+        }
+        apply_limit_offset(&mut frame, query);
+        Ok(frame)
+    }
+
+    fn compute_aggregate(
+        &self,
+        call: &FunctionCall,
+        row_indices: &[usize],
+        input: &Frame,
+        ctx: &EvalContext<'_>,
+    ) -> EngineResult<Value> {
+        let kind = AggKind::from_name(&call.name)
+            .ok_or_else(|| EngineError::UnknownFunction(call.name.clone()))?;
+        if call.args.len() != kind.arity() {
+            return Err(EngineError::WrongArity {
+                function: call.name.clone(),
+                expected: kind.arity().to_string(),
+                got: call.args.len(),
+            });
+        }
+        let mut acc = Accumulator::new(kind, call.distinct);
+        for &ri in row_indices {
+            let row = &input.rows[ri];
+            let mut args = Vec::with_capacity(call.args.len());
+            for a in &call.args {
+                match a {
+                    Expr::Wildcard => args.push(Value::Int(1)),
+                    other => args.push(eval_expr(other, row, ctx)?),
+                }
+            }
+            acc.update(&args)?;
+        }
+        Ok(acc.finish())
+    }
+}
+
+/// Per-item projection plan.
+enum ProjPlan {
+    /// Copy these input column indices (wildcards).
+    Splice(Vec<usize>),
+    /// Evaluate this (window-rewritten) expression.
+    Expr(Expr),
+}
+
+/// Collect non-windowed aggregate calls (deduplicated structurally).
+fn collect_aggregate_calls(expr: &Expr, out: &mut Vec<FunctionCall>) {
+    match expr {
+        // aggregates cannot nest; no recursion into their args
+        Expr::Function(f)
+            if f.over.is_none() && is_aggregate_function(&f.name) && !out.contains(f) =>
+        {
+            out.push(f.clone());
+        }
+        Expr::Function(f) if f.over.is_none() && is_aggregate_function(&f.name) => {}
+        Expr::Function(f) => {
+            for a in &f.args {
+                collect_aggregate_calls(a, out);
+            }
+        }
+        Expr::Unary { expr, .. } => collect_aggregate_calls(expr, out),
+        Expr::Binary { left, right, .. } => {
+            collect_aggregate_calls(left, out);
+            collect_aggregate_calls(right, out);
+        }
+        Expr::Case { operand, branches, else_result } => {
+            if let Some(op) = operand {
+                collect_aggregate_calls(op, out);
+            }
+            for b in branches {
+                collect_aggregate_calls(&b.when, out);
+                collect_aggregate_calls(&b.then, out);
+            }
+            if let Some(e) = else_result {
+                collect_aggregate_calls(e, out);
+            }
+        }
+        Expr::Between { expr, low, high, .. } => {
+            collect_aggregate_calls(expr, out);
+            collect_aggregate_calls(low, out);
+            collect_aggregate_calls(high, out);
+        }
+        Expr::InList { expr, list, .. } => {
+            collect_aggregate_calls(expr, out);
+            for e in list {
+                collect_aggregate_calls(e, out);
+            }
+        }
+        Expr::IsNull { expr, .. } | Expr::Cast { expr, .. } => collect_aggregate_calls(expr, out),
+        _ => {}
+    }
+}
+
+/// Replace aggregate calls by references to their synthetic columns.
+fn replace_aggregate_calls(expr: Expr, calls: &[FunctionCall], names: &[String]) -> Expr {
+    transform_expr(expr, &mut |e| match &e {
+        Expr::Function(f) if f.over.is_none() && is_aggregate_function(&f.name) => calls
+            .iter()
+            .position(|c| c == f)
+            .map(|i| Expr::Column(paradise_sql::ast::ColumnRef::bare(names[i].clone()))),
+        _ => None,
+    })
+}
+
+/// Strict-mode check: columns outside aggregates must be grouped.
+fn check_strict_grouping(
+    expr: &Expr,
+    grouped: &HashSet<String>,
+    group_exprs: &[Expr],
+) -> EngineResult<()> {
+    // whole expression equals a grouping expression → fine
+    if group_exprs.iter().any(|g| g == expr) {
+        return Ok(());
+    }
+    match expr {
+        Expr::Column(c) => {
+            if grouped.contains(&c.name.to_ascii_lowercase()) {
+                Ok(())
+            } else {
+                Err(EngineError::NotGrouped(c.name.clone()))
+            }
+        }
+        Expr::Function(f) if f.over.is_none() && is_aggregate_function(&f.name) => Ok(()),
+        Expr::Function(f) => {
+            for a in &f.args {
+                check_strict_grouping(a, grouped, group_exprs)?;
+            }
+            Ok(())
+        }
+        Expr::Unary { expr, .. } => check_strict_grouping(expr, grouped, group_exprs),
+        Expr::Binary { left, right, .. } => {
+            check_strict_grouping(left, grouped, group_exprs)?;
+            check_strict_grouping(right, grouped, group_exprs)
+        }
+        Expr::Case { operand, branches, else_result } => {
+            if let Some(op) = operand {
+                check_strict_grouping(op, grouped, group_exprs)?;
+            }
+            for b in branches {
+                check_strict_grouping(&b.when, grouped, group_exprs)?;
+                check_strict_grouping(&b.then, grouped, group_exprs)?;
+            }
+            if let Some(e) = else_result {
+                check_strict_grouping(e, grouped, group_exprs)?;
+            }
+            Ok(())
+        }
+        Expr::Between { expr, low, high, .. } => {
+            check_strict_grouping(expr, grouped, group_exprs)?;
+            check_strict_grouping(low, grouped, group_exprs)?;
+            check_strict_grouping(high, grouped, group_exprs)
+        }
+        Expr::InList { expr, list, .. } => {
+            check_strict_grouping(expr, grouped, group_exprs)?;
+            for e in list {
+                check_strict_grouping(e, grouped, group_exprs)?;
+            }
+            Ok(())
+        }
+        Expr::IsNull { expr, .. } | Expr::Cast { expr, .. } => {
+            check_strict_grouping(expr, grouped, group_exprs)
+        }
+        _ => Ok(()),
+    }
+}
+
+/// Infer better output types from the materialised values (projection
+/// plans default non-column expressions to FLOAT).
+fn finalise_types(frame: &mut Frame) {
+    let mut types: Vec<Option<DataType>> = vec![None; frame.schema.len()];
+    for row in &frame.rows {
+        for (i, v) in row.iter().enumerate() {
+            if types[i].is_none() {
+                types[i] = v.data_type();
+            }
+        }
+        if types.iter().all(Option::is_some) {
+            break;
+        }
+    }
+    let mut schema = Schema::default();
+    for (i, c) in frame.schema.columns().iter().enumerate() {
+        let dt = types[i].unwrap_or(c.data_type);
+        schema.push(Column { name: c.name.clone(), source: c.source.clone(), data_type: dt });
+    }
+    frame.schema = schema;
+}
+
+fn dedupe_rows(rows: &mut Vec<Row>) {
+    let mut seen: HashSet<Vec<GroupKey>> = HashSet::with_capacity(rows.len());
+    rows.retain(|row| seen.insert(row.iter().map(Value::group_key).collect()));
+}
+
+fn dedupe_with_keys(rows: Vec<Row>, keys: Vec<Vec<Value>>) -> (Vec<Row>, Vec<Vec<Value>>) {
+    let mut seen: HashSet<Vec<GroupKey>> = HashSet::with_capacity(rows.len());
+    let has_keys = !keys.is_empty();
+    let mut out_rows = Vec::with_capacity(rows.len());
+    let mut out_keys = Vec::with_capacity(keys.len());
+    for (i, row) in rows.into_iter().enumerate() {
+        if seen.insert(row.iter().map(Value::group_key).collect()) {
+            if has_keys {
+                out_keys.push(keys[i].clone());
+            }
+            out_rows.push(row);
+        }
+    }
+    (out_rows, out_keys)
+}
+
+fn sort_by_keys(
+    rows: Vec<Row>,
+    keys: Vec<Vec<Value>>,
+    order: &[paradise_sql::ast::OrderByItem],
+) -> Vec<Row> {
+    let mut paired: Vec<(Vec<Value>, Row)> = keys.into_iter().zip(rows).collect();
+    paired.sort_by(|(ka, _), (kb, _)| {
+        for (i, item) in order.iter().enumerate() {
+            let ord = ka[i].total_cmp(&kb[i]);
+            let ord = if item.order == SortOrder::Desc { ord.reverse() } else { ord };
+            if !ord.is_eq() {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    paired.into_iter().map(|(_, r)| r).collect()
+}
+
+fn apply_limit_offset(frame: &mut Frame, query: &Query) {
+    if let Some(offset) = query.offset {
+        let offset = offset as usize;
+        if offset >= frame.rows.len() {
+            frame.rows.clear();
+        } else {
+            frame.rows.drain(..offset);
+        }
+    }
+    if let Some(limit) = query.limit {
+        frame.rows.truncate(limit as usize);
+    }
+}

@@ -1,0 +1,416 @@
+//! Window function evaluation.
+//!
+//! Semantics follow the SQL default frame:
+//! * `OVER (PARTITION BY p ORDER BY s)` — running aggregate from the
+//!   partition start to the current row **including peers** (rows with an
+//!   equal sort key), i.e. `RANGE BETWEEN UNBOUNDED PRECEDING AND CURRENT
+//!   ROW`;
+//! * `OVER (PARTITION BY p)` / `OVER ()` — the whole partition for every
+//!   row.
+//!
+//! Besides the aggregate kinds, `ROW_NUMBER()` and `RANK()` are supported.
+
+use std::collections::HashMap;
+
+use paradise_sql::ast::{ColumnRef, Expr, FunctionCall, SortOrder};
+use paradise_sql::visit::transform_expr;
+
+use crate::error::{EngineError, EngineResult};
+use crate::eval::{eval_expr, EvalContext};
+use crate::frame::{Frame, Row};
+use crate::schema::Column;
+use crate::value::{DataType, GroupKey, Value};
+
+use super::aggregate::{AggKind, Accumulator};
+use super::Executor;
+
+/// Collect window function calls (structurally deduplicated).
+pub fn collect_window_calls(expr: &Expr, out: &mut Vec<FunctionCall>) {
+    match expr {
+        Expr::Function(f) if f.over.is_some() && !out.contains(f) => {
+            out.push(f.clone());
+        }
+        Expr::Function(f) if f.over.is_some() => {}
+        Expr::Function(f) => {
+            for a in &f.args {
+                collect_window_calls(a, out);
+            }
+        }
+        Expr::Unary { expr, .. } => collect_window_calls(expr, out),
+        Expr::Binary { left, right, .. } => {
+            collect_window_calls(left, out);
+            collect_window_calls(right, out);
+        }
+        Expr::Case { operand, branches, else_result } => {
+            if let Some(op) = operand {
+                collect_window_calls(op, out);
+            }
+            for b in branches {
+                collect_window_calls(&b.when, out);
+                collect_window_calls(&b.then, out);
+            }
+            if let Some(e) = else_result {
+                collect_window_calls(e, out);
+            }
+        }
+        Expr::Between { expr, low, high, .. } => {
+            collect_window_calls(expr, out);
+            collect_window_calls(low, out);
+            collect_window_calls(high, out);
+        }
+        Expr::InList { expr, list, .. } => {
+            collect_window_calls(expr, out);
+            for e in list {
+                collect_window_calls(e, out);
+            }
+        }
+        Expr::IsNull { expr, .. } | Expr::Cast { expr, .. } => collect_window_calls(expr, out),
+        _ => {}
+    }
+}
+
+/// Compute every window call over `input` and return the frame extended
+/// with one synthetic column per call, plus the (call → column name) map
+/// used to rewrite expressions.
+pub fn attach_window_columns(
+    executor: &Executor<'_>,
+    input: Frame,
+    calls: Vec<FunctionCall>,
+) -> EngineResult<(Frame, Vec<(FunctionCall, String)>)> {
+    let mut frame = input;
+    let mut map = Vec::with_capacity(calls.len());
+    for (i, call) in calls.into_iter().enumerate() {
+        let name = format!("__win{i}");
+        let values = compute_window(executor, &frame, &call)?;
+        frame.schema.push(Column::new(name.clone(), DataType::Float));
+        for (row, v) in frame.rows.iter_mut().zip(values) {
+            row.push(v);
+        }
+        map.push((call, name));
+    }
+    Ok((frame, map))
+}
+
+/// Replace window calls with their synthetic column references.
+pub fn replace_window_calls(expr: Expr, map: &[(FunctionCall, String)]) -> Expr {
+    transform_expr(expr, &mut |e| match &e {
+        Expr::Function(f) if f.over.is_some() => map
+            .iter()
+            .find(|(c, _)| c == f)
+            .map(|(_, name)| Expr::Column(ColumnRef::bare(name.clone()))),
+        _ => None,
+    })
+}
+
+/// Compute one window call: one output value per input row, in input
+/// row order.
+fn compute_window(
+    executor: &Executor<'_>,
+    input: &Frame,
+    call: &FunctionCall,
+) -> EngineResult<Vec<Value>> {
+    let over = call.over.as_ref().expect("window call");
+    let subquery_fn = |q: &paradise_sql::ast::Query| executor.execute(q);
+    let ctx = EvalContext { schema: &input.schema, subquery: Some(&subquery_fn) };
+
+    // partition rows
+    let mut partitions: HashMap<Vec<GroupKey>, Vec<usize>> = HashMap::new();
+    for (ri, row) in input.rows.iter().enumerate() {
+        let mut key = Vec::with_capacity(over.partition_by.len());
+        for p in &over.partition_by {
+            key.push(eval_expr(p, row, &ctx)?.group_key());
+        }
+        partitions.entry(key).or_default().push(ri);
+    }
+
+    let mut out = vec![Value::Null; input.rows.len()];
+    let upper = call.name.to_ascii_uppercase();
+    let ranking = matches!(upper.as_str(), "ROW_NUMBER" | "RANK" | "DENSE_RANK");
+    let agg_kind = AggKind::from_name(&call.name);
+    if !ranking && agg_kind.is_none() {
+        return Err(EngineError::UnknownFunction(format!("{} OVER", call.name)));
+    }
+
+    for indices in partitions.values() {
+        // sort partition by ORDER BY keys (stable on input order)
+        let mut sort_keys: Vec<Vec<Value>> = Vec::with_capacity(indices.len());
+        for &ri in indices {
+            let mut keys = Vec::with_capacity(over.order_by.len());
+            for o in &over.order_by {
+                keys.push(eval_expr(&o.expr, &input.rows[ri], &ctx)?);
+            }
+            sort_keys.push(keys);
+        }
+        let mut ordered: Vec<usize> = (0..indices.len()).collect();
+        if !over.order_by.is_empty() {
+            ordered.sort_by(|&a, &b| {
+                for (k, o) in over.order_by.iter().enumerate() {
+                    let ord = sort_keys[a][k].total_cmp(&sort_keys[b][k]);
+                    let ord = if o.order == SortOrder::Desc { ord.reverse() } else { ord };
+                    if !ord.is_eq() {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        }
+
+        if ranking {
+            compute_ranking(&upper, indices, &ordered, &sort_keys, &over.order_by, &mut out);
+            continue;
+        }
+        let kind = agg_kind.expect("checked above");
+
+        if over.order_by.is_empty() {
+            // whole-partition value
+            let mut acc = Accumulator::new(kind, call.distinct);
+            for &pos in &ordered {
+                let ri = indices[pos];
+                let args = window_args(call, &input.rows[ri], &ctx)?;
+                acc.update(&args)?;
+            }
+            let v = acc.finish();
+            for &pos in &ordered {
+                out[indices[pos]] = v.clone();
+            }
+        } else {
+            // running aggregate with peer groups
+            let mut acc = Accumulator::new(kind, call.distinct);
+            let mut i = 0;
+            while i < ordered.len() {
+                // find the peer group [i, j)
+                let mut j = i + 1;
+                while j < ordered.len()
+                    && sort_keys[ordered[i]]
+                        .iter()
+                        .zip(&sort_keys[ordered[j]])
+                        .all(|(a, b)| a.total_cmp(b).is_eq())
+                {
+                    j += 1;
+                }
+                for &pos in &ordered[i..j] {
+                    let ri = indices[pos];
+                    let args = window_args(call, &input.rows[ri], &ctx)?;
+                    acc.update(&args)?;
+                }
+                let v = acc.finish();
+                for &pos in &ordered[i..j] {
+                    out[indices[pos]] = v.clone();
+                }
+                i = j;
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn window_args(
+    call: &FunctionCall,
+    row: &Row,
+    ctx: &EvalContext<'_>,
+) -> EngineResult<Vec<Value>> {
+    let mut args = Vec::with_capacity(call.args.len());
+    for a in &call.args {
+        match a {
+            Expr::Wildcard => args.push(Value::Int(1)),
+            other => args.push(eval_expr(other, row, ctx)?),
+        }
+    }
+    Ok(args)
+}
+
+fn compute_ranking(
+    name: &str,
+    indices: &[usize],
+    ordered: &[usize],
+    sort_keys: &[Vec<Value>],
+    order_by: &[paradise_sql::ast::OrderByItem],
+    out: &mut [Value],
+) {
+    let mut rank = 0u64;
+    let mut dense = 0u64;
+    for (i, &pos) in ordered.iter().enumerate() {
+        let new_peer_group = i == 0
+            || order_by.is_empty()
+            || !sort_keys[ordered[i - 1]]
+                .iter()
+                .zip(&sort_keys[pos])
+                .all(|(a, b)| a.total_cmp(b).is_eq());
+        if new_peer_group {
+            rank = (i + 1) as u64;
+            dense += 1;
+        }
+        let v = match name {
+            "ROW_NUMBER" => (i + 1) as i64,
+            "RANK" => rank as i64,
+            _ => dense as i64,
+        };
+        out[indices[pos]] = Value::Int(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::schema::Schema;
+    use paradise_sql::parse_query;
+
+    fn catalog() -> Catalog {
+        let schema = Schema::from_pairs(&[
+            ("g", DataType::Text),
+            ("t", DataType::Integer),
+            ("v", DataType::Integer),
+        ]);
+        let rows = vec![
+            vec![Value::Str("a".into()), Value::Int(1), Value::Int(10)],
+            vec![Value::Str("a".into()), Value::Int(2), Value::Int(20)],
+            vec![Value::Str("b".into()), Value::Int(1), Value::Int(5)],
+            vec![Value::Str("a".into()), Value::Int(3), Value::Int(30)],
+            vec![Value::Str("b".into()), Value::Int(2), Value::Int(7)],
+        ];
+        let mut c = Catalog::new();
+        c.register("d", Frame::new(schema, rows).unwrap()).unwrap();
+        c
+    }
+
+    fn run(sql: &str) -> Frame {
+        let c = catalog();
+        let e = Executor::new(&c);
+        e.execute(&parse_query(sql).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn running_sum_per_partition() {
+        let f = run("SELECT g, t, SUM(v) OVER (PARTITION BY g ORDER BY t) AS rs FROM d");
+        // input order preserved
+        let rs: Vec<Value> = f.rows.iter().map(|r| r[2].clone()).collect();
+        assert_eq!(
+            rs,
+            vec![Value::Int(10), Value::Int(30), Value::Int(5), Value::Int(60), Value::Int(12)]
+        );
+    }
+
+    #[test]
+    fn whole_partition_without_order() {
+        let f = run("SELECT g, SUM(v) OVER (PARTITION BY g) AS total FROM d");
+        let totals: Vec<Value> = f.rows.iter().map(|r| r[1].clone()).collect();
+        assert_eq!(
+            totals,
+            vec![Value::Int(60), Value::Int(60), Value::Int(12), Value::Int(60), Value::Int(12)]
+        );
+    }
+
+    #[test]
+    fn global_window() {
+        let f = run("SELECT COUNT(*) OVER () AS n FROM d");
+        assert!(f.rows.iter().all(|r| r[0] == Value::Int(5)));
+    }
+
+    #[test]
+    fn peers_share_running_value() {
+        let c = {
+            let schema = Schema::from_pairs(&[("k", DataType::Integer), ("v", DataType::Integer)]);
+            let rows = vec![
+                vec![Value::Int(1), Value::Int(10)],
+                vec![Value::Int(1), Value::Int(20)],
+                vec![Value::Int(2), Value::Int(30)],
+            ];
+            let mut c = Catalog::new();
+            c.register("d", Frame::new(schema, rows).unwrap()).unwrap();
+            c
+        };
+        let e = Executor::new(&c);
+        let f = e
+            .execute(&parse_query("SELECT SUM(v) OVER (ORDER BY k) AS rs FROM d").unwrap())
+            .unwrap();
+        let rs: Vec<Value> = f.rows.iter().map(|r| r[0].clone()).collect();
+        // k=1 rows are peers: both see 30; k=2 sees 60
+        assert_eq!(rs, vec![Value::Int(30), Value::Int(30), Value::Int(60)]);
+    }
+
+    #[test]
+    fn row_number_and_rank() {
+        let f = run(
+            "SELECT g, v, ROW_NUMBER() OVER (PARTITION BY g ORDER BY v DESC) AS rn FROM d \
+             ORDER BY g, rn",
+        );
+        let first = &f.rows[0];
+        assert_eq!(first[0], Value::Str("a".into()));
+        assert_eq!(first[1], Value::Int(30));
+        assert_eq!(first[2], Value::Int(1));
+    }
+
+    #[test]
+    fn rank_with_ties() {
+        let c = {
+            let schema = Schema::from_pairs(&[("v", DataType::Integer)]);
+            let rows = vec![
+                vec![Value::Int(10)],
+                vec![Value::Int(10)],
+                vec![Value::Int(20)],
+            ];
+            let mut c = Catalog::new();
+            c.register("d", Frame::new(schema, rows).unwrap()).unwrap();
+            c
+        };
+        let e = Executor::new(&c);
+        let f = e
+            .execute(&parse_query("SELECT RANK() OVER (ORDER BY v) AS r FROM d").unwrap())
+            .unwrap();
+        let rs: Vec<Value> = f.rows.iter().map(|r| r[0].clone()).collect();
+        assert_eq!(rs, vec![Value::Int(1), Value::Int(1), Value::Int(3)]);
+    }
+
+    #[test]
+    fn regr_intercept_window_like_the_paper() {
+        // regression y over x, running per partition
+        let c = {
+            let schema = Schema::from_pairs(&[
+                ("x", DataType::Float),
+                ("y", DataType::Float),
+                ("p", DataType::Integer),
+                ("t", DataType::Integer),
+            ]);
+            // y = 3x + 2 exactly
+            let rows = (1..=4)
+                .map(|i| {
+                    vec![
+                        Value::Float(i as f64),
+                        Value::Float(3.0 * i as f64 + 2.0),
+                        Value::Int(1),
+                        Value::Int(i),
+                    ]
+                })
+                .collect();
+            let mut c = Catalog::new();
+            c.register("d3", Frame::new(schema, rows).unwrap()).unwrap();
+            c
+        };
+        let e = Executor::new(&c);
+        let f = e
+            .execute(
+                &parse_query(
+                    "SELECT regr_intercept(y, x) OVER (PARTITION BY p ORDER BY t) AS i FROM d3",
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        // first row: single point → NULL (sxx = 0); afterwards intercept = 2
+        assert_eq!(f.rows[0][0], Value::Null);
+        let Value::Float(i2) = f.rows[1][0] else { panic!() };
+        assert!((i2 - 2.0).abs() < 1e-9);
+        let Value::Float(i4) = f.rows[3][0] else { panic!() };
+        assert!((i4 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_window_function_errors() {
+        let c = catalog();
+        let e = Executor::new(&c);
+        let err = e
+            .execute(&parse_query("SELECT nope(v) OVER () FROM d").unwrap())
+            .unwrap_err();
+        assert!(matches!(err, EngineError::UnknownFunction(_)));
+    }
+}

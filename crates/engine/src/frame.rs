@@ -1,0 +1,174 @@
+//! `Frame`: a schema plus rows — the unit of data flowing between
+//! operators, nodes and the anonymizer.
+
+use std::fmt;
+
+use crate::error::{EngineError, EngineResult};
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A row is just an ordered list of values matching some schema.
+pub type Row = Vec<Value>;
+
+/// An in-memory relation: schema + row vector.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Frame {
+    /// Column layout.
+    pub schema: Schema,
+    /// Data rows; every row has `schema.len()` values.
+    pub rows: Vec<Row>,
+}
+
+impl Frame {
+    /// An empty frame with the given schema.
+    pub fn empty(schema: Schema) -> Self {
+        Frame { schema, rows: Vec::new() }
+    }
+
+    /// Build from parts, validating row arity.
+    pub fn new(schema: Schema, rows: Vec<Row>) -> EngineResult<Self> {
+        let width = schema.len();
+        for row in &rows {
+            if row.len() != width {
+                return Err(EngineError::SchemaMismatch { expected: width, got: row.len() });
+            }
+        }
+        Ok(Frame { schema, rows })
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// No rows?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append a row, validating arity.
+    pub fn push_row(&mut self, row: Row) -> EngineResult<()> {
+        if row.len() != self.schema.len() {
+            return Err(EngineError::SchemaMismatch {
+                expected: self.schema.len(),
+                got: row.len(),
+            });
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// The values of one column, by index.
+    pub fn column_values(&self, index: usize) -> impl Iterator<Item = &Value> + '_ {
+        self.rows.iter().map(move |r| &r[index])
+    }
+
+    /// Estimated wire size of the whole frame in bytes (values only),
+    /// used by the Figure 3 data-reduction experiments.
+    pub fn size_bytes(&self) -> usize {
+        self.rows.iter().map(|r| r.iter().map(Value::size_bytes).sum::<usize>()).sum()
+    }
+
+    /// Total number of cells.
+    pub fn cell_count(&self) -> usize {
+        self.len() * self.schema.len()
+    }
+
+    /// Render as an aligned text table (for examples and the experiment
+    /// harness). Shows at most `max_rows` rows, with an ellipsis line.
+    pub fn to_table_string(&self, max_rows: usize) -> String {
+        let headers: Vec<String> =
+            self.schema.columns().iter().map(|c| c.name.clone()).collect();
+        let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+        let shown = self.rows.len().min(max_rows);
+        let mut cells: Vec<Vec<String>> = Vec::with_capacity(shown);
+        for row in &self.rows[..shown] {
+            let rendered: Vec<String> = row.iter().map(Value::to_string).collect();
+            for (i, cell) in rendered.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+            cells.push(rendered);
+        }
+        let mut out = String::new();
+        let sep = |out: &mut String| {
+            for w in &widths {
+                out.push('+');
+                out.push_str(&"-".repeat(w + 2));
+            }
+            out.push_str("+\n");
+        };
+        sep(&mut out);
+        for (i, h) in headers.iter().enumerate() {
+            out.push_str(&format!("| {h:w$} ", w = widths[i]));
+        }
+        out.push_str("|\n");
+        sep(&mut out);
+        for row in &cells {
+            for (i, c) in row.iter().enumerate() {
+                out.push_str(&format!("| {c:w$} ", w = widths[i]));
+            }
+            out.push_str("|\n");
+        }
+        if self.rows.len() > shown {
+            out.push_str(&format!("… {} more row(s)\n", self.rows.len() - shown));
+        }
+        sep(&mut out);
+        out
+    }
+}
+
+impl fmt::Display for Frame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_table_string(20))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    fn frame() -> Frame {
+        let schema = Schema::from_pairs(&[("x", DataType::Integer), ("s", DataType::Text)]);
+        Frame::new(
+            schema,
+            vec![
+                vec![Value::Int(1), Value::Str("a".into())],
+                vec![Value::Int(2), Value::Str("bb".into())],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn arity_is_validated() {
+        let schema = Schema::from_pairs(&[("x", DataType::Integer)]);
+        assert!(Frame::new(schema.clone(), vec![vec![Value::Int(1), Value::Int(2)]]).is_err());
+        let mut f = Frame::empty(schema);
+        assert!(f.push_row(vec![]).is_err());
+        assert!(f.push_row(vec![Value::Int(1)]).is_ok());
+    }
+
+    #[test]
+    fn size_accounting() {
+        let f = frame();
+        // 8 (int) + 5 (str "a"+4) + 8 + 6 = 27
+        assert_eq!(f.size_bytes(), 27);
+        assert_eq!(f.cell_count(), 4);
+    }
+
+    #[test]
+    fn column_values_iterates() {
+        let f = frame();
+        let xs: Vec<_> = f.column_values(0).cloned().collect();
+        assert_eq!(xs, vec![Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn table_rendering_truncates() {
+        let f = frame();
+        let s = f.to_table_string(1);
+        assert!(s.contains("| x"));
+        assert!(s.contains("1 more row"));
+    }
+}

@@ -1,0 +1,42 @@
+//! # paradise-engine
+//!
+//! An in-memory relational execution engine for the PArADISE
+//! reproduction. It interprets the `paradise-sql` AST directly: scans,
+//! filters, joins, grouping/aggregation (including the SQL:2011
+//! regression aggregates), window functions, sorting and set operations —
+//! everything the paper's vertical hierarchy of query processors needs,
+//! at every level from "cloud DBMS" down to "sensor firmware filter".
+//!
+//! ```
+//! use paradise_engine::{Catalog, Executor, Frame, Schema, DataType, Value};
+//! use paradise_sql::parse_query;
+//!
+//! let schema = Schema::from_pairs(&[("x", DataType::Integer)]);
+//! let frame = Frame::new(schema, vec![vec![Value::Int(1)], vec![Value::Int(5)]]).unwrap();
+//! let mut catalog = Catalog::new();
+//! catalog.register("d", frame).unwrap();
+//!
+//! let q = parse_query("SELECT x FROM d WHERE x > 2").unwrap();
+//! let result = Executor::new(&catalog).execute(&q).unwrap();
+//! assert_eq!(result.rows, vec![vec![Value::Int(5)]]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod error;
+pub mod eval;
+pub mod exec;
+pub mod frame;
+pub mod schema;
+pub mod stream;
+pub mod value;
+
+pub use catalog::Catalog;
+pub use error::{EngineError, EngineResult};
+pub use exec::aggregate::AggKind;
+pub use exec::{ExecOptions, Executor};
+pub use frame::{Frame, Row};
+pub use schema::{Column, Schema};
+pub use stream::{SensorFilter, SlidingWindow, WindowSpec};
+pub use value::{DataType, GroupKey, Value};

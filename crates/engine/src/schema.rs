@@ -1,0 +1,220 @@
+//! Schemas: ordered, optionally qualified column lists.
+
+use std::fmt;
+
+use crate::error::{EngineError, EngineResult};
+use crate::value::DataType;
+
+/// One column of a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (matched case-insensitively).
+    pub name: String,
+    /// Table alias / relation the column came from, for qualified lookup.
+    pub source: Option<String>,
+    /// Declared type. The engine is dynamically typed at run time; the
+    /// declared type drives generation and anonymization hierarchies.
+    pub data_type: DataType,
+}
+
+impl Column {
+    /// Unqualified column.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Column { name: name.into(), source: None, data_type }
+    }
+
+    /// Column with a source qualifier.
+    pub fn qualified(
+        source: impl Into<String>,
+        name: impl Into<String>,
+        data_type: DataType,
+    ) -> Self {
+        Column { name: name.into(), source: Some(source.into()), data_type }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Build from columns.
+    pub fn new(columns: Vec<Column>) -> Self {
+        Schema { columns }
+    }
+
+    /// Convenience: unqualified columns from `(name, type)` pairs.
+    pub fn from_pairs(pairs: &[(&str, DataType)]) -> Self {
+        Schema {
+            columns: pairs.iter().map(|(n, t)| Column::new(*n, *t)).collect(),
+        }
+    }
+
+    /// The columns in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Is the schema empty?
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Append a column.
+    pub fn push(&mut self, column: Column) {
+        self.columns.push(column);
+    }
+
+    /// Index of a column by (optionally qualified) name.
+    ///
+    /// * qualified (`q.name`): both qualifier and name must match;
+    /// * unqualified: the name must match exactly one column, otherwise
+    ///   [`EngineError::AmbiguousColumn`].
+    pub fn resolve(&self, qualifier: Option<&str>, name: &str) -> EngineResult<usize> {
+        let mut found: Option<usize> = None;
+        for (i, c) in self.columns.iter().enumerate() {
+            let name_matches = c.name.eq_ignore_ascii_case(name);
+            let qual_matches = match qualifier {
+                None => true,
+                Some(q) => c.source.as_deref().is_some_and(|s| s.eq_ignore_ascii_case(q)),
+            };
+            if name_matches && qual_matches {
+                if let Some(prev) = found {
+                    // Identical twice (e.g. USING-join duplication): only
+                    // ambiguous if sources differ.
+                    if self.columns[prev].source != c.source {
+                        let shown = match qualifier {
+                            Some(q) => format!("{q}.{name}"),
+                            None => name.to_string(),
+                        };
+                        return Err(EngineError::AmbiguousColumn(shown));
+                    }
+                }
+                found.get_or_insert(i);
+            }
+        }
+        found.ok_or_else(|| {
+            let shown = match qualifier {
+                Some(q) => format!("{q}.{name}"),
+                None => name.to_string(),
+            };
+            EngineError::UnknownColumn(shown)
+        })
+    }
+
+    /// Like [`Schema::resolve`] but returns `None` instead of errors.
+    pub fn try_resolve(&self, qualifier: Option<&str>, name: &str) -> Option<usize> {
+        self.resolve(qualifier, name).ok()
+    }
+
+    /// Concatenate two schemas (for joins), requalifying nothing.
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut columns = Vec::with_capacity(self.len() + other.len());
+        columns.extend(self.columns.iter().cloned());
+        columns.extend(other.columns.iter().cloned());
+        Schema { columns }
+    }
+
+    /// Replace every column's source with `alias` (used when a derived
+    /// table gets an alias: `(SELECT …) AS s`).
+    #[must_use]
+    pub fn with_source(&self, alias: &str) -> Schema {
+        Schema {
+            columns: self
+                .columns
+                .iter()
+                .map(|c| Column {
+                    name: c.name.clone(),
+                    source: Some(alias.to_string()),
+                    data_type: c.data_type,
+                })
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            if let Some(s) = &c.source {
+                write!(f, "{s}.")?;
+            }
+            write!(f, "{} {}", c.name, c.data_type)?;
+        }
+        f.write_str(")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> Schema {
+        Schema::from_pairs(&[
+            ("a", DataType::Integer),
+            ("b", DataType::Float),
+            ("c", DataType::Text),
+        ])
+    }
+
+    #[test]
+    fn resolve_unqualified() {
+        let s = abc();
+        assert_eq!(s.resolve(None, "b").unwrap(), 1);
+        assert_eq!(s.resolve(None, "B").unwrap(), 1);
+        assert!(matches!(s.resolve(None, "zz"), Err(EngineError::UnknownColumn(_))));
+    }
+
+    #[test]
+    fn resolve_qualified() {
+        let s = Schema::new(vec![
+            Column::qualified("u", "x", DataType::Float),
+            Column::qualified("v", "x", DataType::Float),
+        ]);
+        assert_eq!(s.resolve(Some("u"), "x").unwrap(), 0);
+        assert_eq!(s.resolve(Some("v"), "x").unwrap(), 1);
+        assert!(matches!(s.resolve(None, "x"), Err(EngineError::AmbiguousColumn(_))));
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let s = abc().join(&Schema::from_pairs(&[("d", DataType::Boolean)]));
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.resolve(None, "d").unwrap(), 3);
+    }
+
+    #[test]
+    fn with_source_requalifies() {
+        let s = abc().with_source("sub");
+        assert_eq!(s.resolve(Some("sub"), "a").unwrap(), 0);
+        assert!(s.resolve(Some("other"), "a").is_err());
+    }
+
+    #[test]
+    fn display_renders() {
+        let s = Schema::from_pairs(&[("x", DataType::Float)]);
+        assert_eq!(s.to_string(), "(x FLOAT)");
+    }
+
+    #[test]
+    fn qualified_lookup_on_unqualified_schema_fails() {
+        let s = abc();
+        assert!(s.resolve(Some("t"), "a").is_err());
+    }
+}

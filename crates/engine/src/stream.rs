@@ -1,0 +1,229 @@
+//! Stream processing primitives for the sensor level (E4).
+//!
+//! Paper Table 1 grants sensors "filter / window, simple selection,
+//! aggregates on streams (over the last seconds)". This module provides
+//! exactly that: sliding windows by count or by time over timestamped
+//! rows, with the standard aggregate kinds, plus a constant-only filter.
+
+use std::collections::VecDeque;
+
+use paradise_sql::analysis::{classify_predicate, PredicateShape};
+use paradise_sql::ast::Expr;
+
+use crate::error::{EngineError, EngineResult};
+use crate::eval::{eval_predicate, EvalContext};
+use crate::exec::aggregate::{AggKind, Accumulator};
+use crate::frame::Row;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// Window policy for stream aggregation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WindowSpec {
+    /// Keep the last `n` rows.
+    Count(usize),
+    /// Keep rows whose timestamp is within `width` of the newest row's
+    /// timestamp (timestamps are numeric, e.g. seconds).
+    Time {
+        /// Index of the timestamp column.
+        time_column: usize,
+        /// Window width in timestamp units.
+        width: f64,
+    },
+}
+
+/// A sliding window over a stream of rows.
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    spec: WindowSpec,
+    rows: VecDeque<Row>,
+}
+
+impl SlidingWindow {
+    /// New empty window.
+    pub fn new(spec: WindowSpec) -> Self {
+        SlidingWindow { spec, rows: VecDeque::new() }
+    }
+
+    /// Push a row and evict per policy. Returns the number of evicted rows.
+    pub fn push(&mut self, row: Row) -> usize {
+        self.rows.push_back(row);
+        let mut evicted = 0;
+        match self.spec {
+            WindowSpec::Count(n) => {
+                while self.rows.len() > n {
+                    self.rows.pop_front();
+                    evicted += 1;
+                }
+            }
+            WindowSpec::Time { time_column, width } => {
+                let newest = self
+                    .rows
+                    .back()
+                    .and_then(|r| r.get(time_column))
+                    .and_then(Value::as_f64);
+                if let Some(newest) = newest {
+                    while let Some(front) = self.rows.front() {
+                        let t = front.get(time_column).and_then(Value::as_f64);
+                        match t {
+                            Some(t) if newest - t > width => {
+                                self.rows.pop_front();
+                                evicted += 1;
+                            }
+                            _ => break,
+                        }
+                    }
+                }
+            }
+        }
+        evicted
+    }
+
+    /// Rows currently inside the window, oldest first.
+    pub fn rows(&self) -> impl Iterator<Item = &Row> + '_ {
+        self.rows.iter()
+    }
+
+    /// Number of rows in the window.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the window empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Aggregate one column of the window with the given kind
+    /// (e.g. "average of the last minute", paper §4.1).
+    pub fn aggregate(&self, kind: AggKind, column: usize) -> EngineResult<Value> {
+        let mut acc = Accumulator::new(kind, false);
+        for row in &self.rows {
+            let v = row.get(column).cloned().unwrap_or(Value::Null);
+            acc.update(&[v])?;
+        }
+        Ok(acc.finish())
+    }
+}
+
+/// A filter a sensor can execute: only attribute↔constant predicates.
+///
+/// Construction fails for anything richer — this enforces the paper's E4
+/// capability boundary at the type level.
+#[derive(Debug, Clone)]
+pub struct SensorFilter {
+    predicate: Expr,
+}
+
+impl SensorFilter {
+    /// Validate and wrap a predicate. Every conjunct must be an
+    /// attribute↔constant comparison.
+    pub fn new(predicate: Expr) -> EngineResult<Self> {
+        for conjunct in predicate.conjuncts() {
+            if classify_predicate(conjunct) != PredicateShape::AttrConst {
+                return Err(EngineError::Unsupported(format!(
+                    "sensor cannot evaluate predicate {conjunct}"
+                )));
+            }
+        }
+        Ok(SensorFilter { predicate })
+    }
+
+    /// The wrapped predicate.
+    pub fn predicate(&self) -> &Expr {
+        &self.predicate
+    }
+
+    /// Apply to one row.
+    pub fn accepts(&self, schema: &Schema, row: &Row) -> EngineResult<bool> {
+        let ctx = EvalContext::new(schema);
+        eval_predicate(&self.predicate, row, &ctx)
+    }
+
+    /// Filter a batch of rows.
+    pub fn filter(&self, schema: &Schema, rows: Vec<Row>) -> EngineResult<Vec<Row>> {
+        let mut out = Vec::with_capacity(rows.len());
+        for row in rows {
+            if self.accepts(schema, &row)? {
+                out.push(row);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+    use paradise_sql::parse_expr;
+
+    fn row(t: f64, z: f64) -> Row {
+        vec![Value::Float(t), Value::Float(z)]
+    }
+
+    #[test]
+    fn count_window_evicts() {
+        let mut w = SlidingWindow::new(WindowSpec::Count(3));
+        for i in 0..5 {
+            w.push(row(i as f64, i as f64));
+        }
+        assert_eq!(w.len(), 3);
+        let ts: Vec<f64> = w.rows().map(|r| r[0].as_f64().unwrap()).collect();
+        assert_eq!(ts, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn time_window_evicts_by_age() {
+        let mut w = SlidingWindow::new(WindowSpec::Time { time_column: 0, width: 60.0 });
+        w.push(row(0.0, 1.0));
+        w.push(row(30.0, 2.0));
+        w.push(row(61.0, 3.0)); // evicts t=0 (61-0 > 60)
+        assert_eq!(w.len(), 2);
+        let evicted = w.push(row(200.0, 4.0));
+        assert_eq!(evicted, 2);
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn window_average_of_last_minute() {
+        let mut w = SlidingWindow::new(WindowSpec::Time { time_column: 0, width: 60.0 });
+        w.push(row(0.0, 10.0));
+        w.push(row(30.0, 20.0));
+        assert_eq!(w.aggregate(AggKind::Avg, 1).unwrap(), Value::Float(15.0));
+        w.push(row(90.0, 30.0)); // t=0 leaves
+        assert_eq!(w.aggregate(AggKind::Avg, 1).unwrap(), Value::Float(25.0));
+    }
+
+    #[test]
+    fn empty_window_aggregates_to_null_or_zero() {
+        let w = SlidingWindow::new(WindowSpec::Count(3));
+        assert!(w.is_empty());
+        assert_eq!(w.aggregate(AggKind::Avg, 0).unwrap(), Value::Null);
+        assert_eq!(w.aggregate(AggKind::Count, 0).unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn sensor_filter_accepts_constant_comparisons() {
+        let f = SensorFilter::new(parse_expr("z < 2 AND t > 0").unwrap()).unwrap();
+        let schema = Schema::from_pairs(&[("t", DataType::Float), ("z", DataType::Float)]);
+        assert!(f.accepts(&schema, &row(1.0, 1.5)).unwrap());
+        assert!(!f.accepts(&schema, &row(1.0, 2.5)).unwrap());
+    }
+
+    #[test]
+    fn sensor_filter_rejects_attr_attr() {
+        assert!(SensorFilter::new(parse_expr("x > y").unwrap()).is_err());
+        assert!(SensorFilter::new(parse_expr("z < 2 AND x > y").unwrap()).is_err());
+        assert!(SensorFilter::new(parse_expr("SUM(z) > 1").unwrap()).is_err());
+    }
+
+    #[test]
+    fn sensor_filter_batch() {
+        let f = SensorFilter::new(parse_expr("z < 2").unwrap()).unwrap();
+        let schema = Schema::from_pairs(&[("t", DataType::Float), ("z", DataType::Float)]);
+        let rows = vec![row(0.0, 1.0), row(1.0, 3.0), row(2.0, 1.9)];
+        let kept = f.filter(&schema, rows).unwrap();
+        assert_eq!(kept.len(), 2);
+    }
+}

@@ -1,0 +1,368 @@
+//! Runtime values and their coercion / comparison semantics.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::error::{EngineError, EngineResult};
+
+/// The data types of the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Integer,
+    /// 64-bit float.
+    Float,
+    /// Boolean.
+    Boolean,
+    /// UTF-8 text.
+    Text,
+}
+
+impl DataType {
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DataType::Integer => "INTEGER",
+            DataType::Float => "FLOAT",
+            DataType::Boolean => "BOOLEAN",
+            DataType::Text => "TEXT",
+        }
+    }
+
+    /// Parse a type name as used in `CAST(x AS type)`.
+    pub fn parse(name: &str) -> Option<DataType> {
+        match name.to_ascii_uppercase().as_str() {
+            "INT" | "INTEGER" | "BIGINT" | "SMALLINT" => Some(DataType::Integer),
+            "FLOAT" | "REAL" | "DOUBLE" | "NUMERIC" | "DECIMAL" => Some(DataType::Float),
+            "BOOL" | "BOOLEAN" => Some(DataType::Boolean),
+            "TEXT" | "VARCHAR" | "CHAR" | "STRING" => Some(DataType::Text),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A runtime value. `Null` is typeless, as in SQL.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// Text.
+    Str(String),
+}
+
+impl Value {
+    /// The value's type, or `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Bool(_) => Some(DataType::Boolean),
+            Value::Int(_) => Some(DataType::Integer),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Text),
+        }
+    }
+
+    /// Is this NULL?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view (Int and Float only).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Rough in-memory footprint in bytes, used for the network cost
+    /// accounting of the vertical fragmentation experiments.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 8,
+            Value::Float(_) => 8,
+            Value::Str(s) => s.len() + 4,
+        }
+    }
+
+    /// SQL equality: NULL = anything is NULL (represented as `None`).
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(self.cmp_non_null(other) == Ordering::Equal)
+    }
+
+    /// SQL comparison: `None` when either side is NULL or types are
+    /// incomparable.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        match (self, other) {
+            (Value::Str(_), Value::Str(_))
+            | (Value::Bool(_), Value::Bool(_))
+            | (Value::Int(_) | Value::Float(_), Value::Int(_) | Value::Float(_)) => {
+                Some(self.cmp_non_null(other))
+            }
+            _ => None,
+        }
+    }
+
+    /// Total ordering for sorting / grouping: NULL < Bool < numbers < Str.
+    /// Unlike [`Value::sql_cmp`] this never fails, so `ORDER BY` over mixed
+    /// columns is deterministic.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) | Value::Float(_) => 2,
+                Value::Str(_) => 3,
+            }
+        }
+        match rank(self).cmp(&rank(other)) {
+            Ordering::Equal => {
+                if self.is_null() {
+                    Ordering::Equal
+                } else {
+                    self.cmp_non_null(other)
+                }
+            }
+            ord => ord,
+        }
+    }
+
+    fn cmp_non_null(&self, other: &Value) -> Ordering {
+        match (self, other) {
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(Ordering::Equal),
+                _ => Ordering::Equal,
+            },
+        }
+    }
+
+    /// A grouping key that hashes/compares consistently with
+    /// [`Value::total_cmp`] (floats by bits after normalising -0.0).
+    pub fn group_key(&self) -> GroupKey {
+        match self {
+            Value::Null => GroupKey::Null,
+            Value::Bool(b) => GroupKey::Bool(*b),
+            Value::Int(v) => GroupKey::Int(*v),
+            Value::Float(v) => {
+                let v = if *v == 0.0 { 0.0 } else { *v };
+                if v.fract() == 0.0 && v.abs() < (i64::MAX as f64) {
+                    // fold integral floats onto Int keys so 2.0 groups with 2
+                    GroupKey::Int(v as i64)
+                } else {
+                    GroupKey::Float(v.to_bits())
+                }
+            }
+            Value::Str(s) => GroupKey::Str(s.clone()),
+        }
+    }
+
+    /// Cast to `target`, SQL-style. NULL casts to NULL.
+    pub fn cast(&self, target: DataType) -> EngineResult<Value> {
+        let fail = || EngineError::BadCast {
+            value: self.to_string(),
+            target: target.name().to_string(),
+        };
+        if self.is_null() {
+            return Ok(Value::Null);
+        }
+        Ok(match (self, target) {
+            (Value::Int(v), DataType::Integer) => Value::Int(*v),
+            (Value::Float(v), DataType::Integer) => Value::Int(*v as i64),
+            (Value::Bool(b), DataType::Integer) => Value::Int(i64::from(*b)),
+            (Value::Str(s), DataType::Integer) => {
+                Value::Int(s.trim().parse::<i64>().map_err(|_| fail())?)
+            }
+            (Value::Int(v), DataType::Float) => Value::Float(*v as f64),
+            (Value::Float(v), DataType::Float) => Value::Float(*v),
+            (Value::Str(s), DataType::Float) => {
+                Value::Float(s.trim().parse::<f64>().map_err(|_| fail())?)
+            }
+            (Value::Bool(b), DataType::Boolean) => Value::Bool(*b),
+            (Value::Int(v), DataType::Boolean) => Value::Bool(*v != 0),
+            (Value::Str(s), DataType::Boolean) => match s.to_ascii_lowercase().as_str() {
+                "true" | "t" | "1" => Value::Bool(true),
+                "false" | "f" | "0" => Value::Bool(false),
+                _ => return Err(fail()),
+            },
+            (v, DataType::Text) => Value::Str(v.to_string()),
+            _ => return Err(fail()),
+        })
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => {
+                if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Value::Str(s) => f.write_str(s),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        // Structural equality for tests and frames; NULL == NULL here
+        // (unlike SQL three-valued logic — use sql_eq for that).
+        self.total_cmp(other) == Ordering::Equal && self.is_null() == other.is_null()
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// Hashable, orderable key derived from a [`Value`] for grouping and
+/// DISTINCT.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GroupKey {
+    /// NULL groups with NULL.
+    Null,
+    /// Boolean key.
+    Bool(bool),
+    /// Integer key (also used for integral floats).
+    Int(i64),
+    /// Non-integral float by bit pattern.
+    Float(u64),
+    /// Text key.
+    Str(String),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_cross_type_comparison() {
+        assert_eq!(Value::Int(2).sql_cmp(&Value::Float(2.5)), Some(Ordering::Less));
+        assert_eq!(Value::Float(3.0).sql_cmp(&Value::Int(3)), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn null_comparisons_are_none() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Null), None);
+    }
+
+    #[test]
+    fn incomparable_types_are_none() {
+        assert_eq!(Value::Str("a".into()).sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Bool(true).sql_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn total_cmp_sorts_nulls_first() {
+        let mut vals = [Value::Int(2), Value::Null, Value::Int(1)];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert!(vals[0].is_null());
+        assert_eq!(vals[1], Value::Int(1));
+    }
+
+    #[test]
+    fn group_key_folds_integral_floats() {
+        assert_eq!(Value::Float(2.0).group_key(), Value::Int(2).group_key());
+        assert_ne!(Value::Float(2.5).group_key(), Value::Int(2).group_key());
+        assert_eq!(Value::Float(0.0).group_key(), Value::Float(-0.0).group_key());
+    }
+
+    #[test]
+    fn casts() {
+        assert_eq!(Value::Str("42".into()).cast(DataType::Integer).unwrap(), Value::Int(42));
+        assert_eq!(Value::Float(2.9).cast(DataType::Integer).unwrap(), Value::Int(2));
+        assert_eq!(Value::Int(1).cast(DataType::Boolean).unwrap(), Value::Bool(true));
+        assert_eq!(Value::Int(5).cast(DataType::Text).unwrap(), Value::Str("5".into()));
+        assert!(Value::Str("abc".into()).cast(DataType::Integer).is_err());
+        assert_eq!(Value::Null.cast(DataType::Integer).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn data_type_parse() {
+        assert_eq!(DataType::parse("integer"), Some(DataType::Integer));
+        assert_eq!(DataType::parse("VARCHAR"), Some(DataType::Text));
+        assert_eq!(DataType::parse("blob"), None);
+    }
+
+    #[test]
+    fn size_bytes_accounting() {
+        assert_eq!(Value::Int(1).size_bytes(), 8);
+        assert_eq!(Value::Str("abcd".into()).size_bytes(), 8);
+        assert_eq!(Value::Null.size_bytes(), 1);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+        assert_eq!(Value::Float(2.25).to_string(), "2.25");
+        assert_eq!(Value::Bool(true).to_string(), "TRUE");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn structural_eq_vs_sql_eq() {
+        assert_eq!(Value::Null, Value::Null); // structural
+        assert_eq!(Value::Null.sql_eq(&Value::Null), None); // SQL
+        assert_eq!(Value::Int(3), Value::Float(3.0)); // numeric fold
+    }
+}

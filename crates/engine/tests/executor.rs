@@ -1,0 +1,479 @@
+//! End-to-end executor tests, including the paper's §4.2 query fragments.
+
+use paradise_engine::{
+    Catalog, DataType, EngineError, ExecOptions, Executor, Frame, Schema, Value,
+};
+use paradise_sql::parse_query;
+
+fn sensor_catalog() -> Catalog {
+    // ubisense-style stream: x, y, z coordinates and timestamp t
+    let schema = Schema::from_pairs(&[
+        ("x", DataType::Float),
+        ("y", DataType::Float),
+        ("z", DataType::Float),
+        ("t", DataType::Integer),
+    ]);
+    let rows = vec![
+        // x, y, z, t
+        vec![Value::Float(3.0), Value::Float(1.0), Value::Float(1.5), Value::Int(1)],
+        vec![Value::Float(2.0), Value::Float(4.0), Value::Float(1.0), Value::Int(2)], // x<y
+        vec![Value::Float(5.0), Value::Float(2.0), Value::Float(2.5), Value::Int(3)], // z>=2
+        vec![Value::Float(4.0), Value::Float(3.0), Value::Float(0.5), Value::Int(4)],
+        vec![Value::Float(6.0), Value::Float(1.0), Value::Float(1.8), Value::Int(5)],
+    ];
+    let mut c = Catalog::new();
+    c.register("stream", Frame::new(schema, rows).unwrap()).unwrap();
+    c
+}
+
+fn run(catalog: &Catalog, sql: &str) -> Frame {
+    Executor::new(catalog).execute(&parse_query(sql).unwrap()).unwrap()
+}
+
+#[test]
+fn sensor_fragment_select_star_with_constant_filter() {
+    let c = sensor_catalog();
+    let f = run(&c, "SELECT * FROM stream WHERE z < 2");
+    assert_eq!(f.len(), 4);
+    assert_eq!(f.schema.names(), vec!["x", "y", "z", "t"]);
+}
+
+#[test]
+fn appliance_fragment_projection_and_attr_comparison() {
+    let c = sensor_catalog();
+    let f = run(&c, "SELECT x, y, z, t FROM stream WHERE x > y");
+    assert_eq!(f.len(), 4); // row 2 has x<y
+}
+
+#[test]
+fn media_center_fragment_group_by_having() {
+    let schema = Schema::from_pairs(&[
+        ("x", DataType::Integer),
+        ("y", DataType::Integer),
+        ("z", DataType::Float),
+        ("t", DataType::Integer),
+    ]);
+    // two groups: (1,1) with z sum 150, (2,2) with z sum 30
+    let rows = vec![
+        vec![Value::Int(1), Value::Int(1), Value::Float(70.0), Value::Int(1)],
+        vec![Value::Int(1), Value::Int(1), Value::Float(80.0), Value::Int(2)],
+        vec![Value::Int(2), Value::Int(2), Value::Float(30.0), Value::Int(3)],
+    ];
+    let mut c = Catalog::new();
+    c.register("d2", Frame::new(schema, rows).unwrap()).unwrap();
+    let f = run(&c, "SELECT x, y, AVG(z) AS zAVG, t FROM d2 GROUP BY x, y HAVING SUM(z) > 100");
+    assert_eq!(f.len(), 1);
+    assert_eq!(f.schema.names(), vec!["x", "y", "zAVG", "t"]);
+    assert_eq!(f.rows[0][2], Value::Float(75.0));
+    // lenient group-by: t comes from the group's first row
+    assert_eq!(f.rows[0][3], Value::Int(1));
+}
+
+#[test]
+fn strict_mode_rejects_ungrouped_column() {
+    let c = sensor_catalog();
+    let opts = ExecOptions { strict_group_by: true, ..ExecOptions::default() };
+    let e = Executor::with_options(&c, opts);
+    let err = e
+        .execute(&parse_query("SELECT x, t, AVG(z) FROM stream GROUP BY x").unwrap())
+        .unwrap_err();
+    assert!(matches!(err, EngineError::NotGrouped(name) if name == "t"));
+}
+
+#[test]
+fn full_nested_paper_query() {
+    let c = sensor_catalog();
+    let f = run(
+        &c,
+        "SELECT regr_intercept(y, x) OVER (PARTITION BY zAVG ORDER BY t) \
+         FROM (SELECT x, y, AVG(z) AS zAVG, t FROM stream \
+               WHERE x > y AND z < 2 GROUP BY x, y HAVING SUM(z) > 0)",
+    );
+    // rows surviving the inner query: (3,1),(4,3),(6,1) → 3 groups of 1
+    assert_eq!(f.len(), 3);
+}
+
+#[test]
+fn count_star_and_aliases() {
+    let c = sensor_catalog();
+    let f = run(&c, "SELECT COUNT(*) AS n, MIN(t) AS lo, MAX(t) AS hi FROM stream");
+    assert_eq!(f.rows[0], vec![Value::Int(5), Value::Int(1), Value::Int(5)]);
+}
+
+#[test]
+fn global_aggregate_over_empty_input() {
+    let c = sensor_catalog();
+    let f = run(&c, "SELECT COUNT(*) AS n, AVG(z) AS a FROM stream WHERE z > 100");
+    assert_eq!(f.len(), 1);
+    assert_eq!(f.rows[0][0], Value::Int(0));
+    assert_eq!(f.rows[0][1], Value::Null);
+}
+
+#[test]
+fn group_by_on_empty_input_produces_no_groups() {
+    let c = sensor_catalog();
+    let f = run(&c, "SELECT x, COUNT(*) FROM stream WHERE z > 100 GROUP BY x");
+    assert!(f.is_empty());
+}
+
+#[test]
+fn order_by_desc_and_limit_offset() {
+    let c = sensor_catalog();
+    let f = run(&c, "SELECT t FROM stream ORDER BY t DESC LIMIT 2 OFFSET 1");
+    let ts: Vec<Value> = f.rows.iter().map(|r| r[0].clone()).collect();
+    assert_eq!(ts, vec![Value::Int(4), Value::Int(3)]);
+}
+
+#[test]
+fn order_by_alias() {
+    let c = sensor_catalog();
+    let f = run(&c, "SELECT x + y AS s FROM stream ORDER BY s");
+    let first = f.rows[0][0].as_f64().unwrap();
+    let last = f.rows.last().unwrap()[0].as_f64().unwrap();
+    assert!(first <= last);
+}
+
+#[test]
+fn order_by_positional() {
+    let c = sensor_catalog();
+    let f = run(&c, "SELECT t FROM stream ORDER BY 1 DESC");
+    assert_eq!(f.rows[0][0], Value::Int(5));
+}
+
+#[test]
+fn distinct_removes_duplicates() {
+    let schema = Schema::from_pairs(&[("v", DataType::Integer)]);
+    let rows = vec![vec![Value::Int(1)], vec![Value::Int(1)], vec![Value::Int(2)]];
+    let mut c = Catalog::new();
+    c.register("d", Frame::new(schema, rows).unwrap()).unwrap();
+    let f = run(&c, "SELECT DISTINCT v FROM d");
+    assert_eq!(f.len(), 2);
+}
+
+#[test]
+fn inner_join_and_qualifiers() {
+    let mut c = Catalog::new();
+    c.register(
+        "u",
+        Frame::new(
+            Schema::from_pairs(&[("k", DataType::Integer), ("x", DataType::Float)]),
+            vec![
+                vec![Value::Int(1), Value::Float(10.0)],
+                vec![Value::Int(2), Value::Float(20.0)],
+            ],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    c.register(
+        "s",
+        Frame::new(
+            Schema::from_pairs(&[("k", DataType::Integer), ("p", DataType::Float)]),
+            vec![
+                vec![Value::Int(2), Value::Float(0.5)],
+                vec![Value::Int(3), Value::Float(0.7)],
+            ],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let f = run(&c, "SELECT u.x, s.p FROM u JOIN s ON u.k = s.k");
+    assert_eq!(f.len(), 1);
+    assert_eq!(f.rows[0], vec![Value::Float(20.0), Value::Float(0.5)]);
+
+    let lf = run(&c, "SELECT u.k, s.p FROM u LEFT JOIN s ON u.k = s.k ORDER BY u.k");
+    assert_eq!(lf.len(), 2);
+    assert_eq!(lf.rows[0][1], Value::Null); // unmatched left row
+
+    let rf = run(&c, "SELECT u.k, s.k FROM u RIGHT JOIN s ON u.k = s.k ORDER BY s.k");
+    assert_eq!(rf.len(), 2);
+    assert_eq!(rf.rows[1][0], Value::Null); // unmatched right row
+
+    let ff = run(&c, "SELECT u.k, s.k FROM u FULL JOIN s ON u.k = s.k");
+    assert_eq!(ff.len(), 3);
+
+    let cf = run(&c, "SELECT u.k, s.k FROM u CROSS JOIN s");
+    assert_eq!(cf.len(), 4);
+}
+
+#[test]
+fn join_using_desugars() {
+    let mut c = Catalog::new();
+    for name in ["a", "b"] {
+        c.register(
+            name,
+            Frame::new(
+                Schema::from_pairs(&[("k", DataType::Integer)]),
+                vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    }
+    let f = run(&c, "SELECT a.k FROM a JOIN b USING (k)");
+    assert_eq!(f.len(), 2);
+}
+
+#[test]
+fn derived_table_with_alias() {
+    let c = sensor_catalog();
+    let f = run(&c, "SELECT s.z FROM (SELECT z FROM stream WHERE z < 2) AS s WHERE s.z > 1");
+    assert_eq!(f.len(), 2); // z ∈ {1.5, 1.8}
+}
+
+#[test]
+fn scalar_subquery_in_where() {
+    let c = sensor_catalog();
+    let f = run(&c, "SELECT t FROM stream WHERE z > (SELECT AVG(z) FROM stream)");
+    // avg z = 1.46; rows with z > 1.46: 1.5, 2.5, 1.8
+    assert_eq!(f.len(), 3);
+}
+
+#[test]
+fn exists_subquery() {
+    let c = sensor_catalog();
+    let f = run(&c, "SELECT COUNT(*) FROM stream WHERE EXISTS (SELECT 1 FROM stream WHERE z > 2)");
+    assert_eq!(f.rows[0][0], Value::Int(5));
+}
+
+#[test]
+fn union_and_union_all() {
+    let c = sensor_catalog();
+    let all = run(&c, "SELECT t FROM stream UNION ALL SELECT t FROM stream");
+    assert_eq!(all.len(), 10);
+    let dedup = run(&c, "SELECT t FROM stream UNION SELECT t FROM stream");
+    assert_eq!(dedup.len(), 5);
+}
+
+#[test]
+fn union_width_mismatch_errors() {
+    let c = sensor_catalog();
+    let err = Executor::new(&c)
+        .execute(&parse_query("SELECT t FROM stream UNION SELECT t, z FROM stream").unwrap())
+        .unwrap_err();
+    assert!(matches!(err, EngineError::Unsupported(_)));
+}
+
+#[test]
+fn select_without_from() {
+    let c = Catalog::new();
+    let f = run(&c, "SELECT 1 + 1 AS two, 'hi' AS greeting");
+    assert_eq!(f.rows[0], vec![Value::Int(2), Value::Str("hi".into())]);
+}
+
+#[test]
+fn qualified_wildcard_projection() {
+    let mut c = Catalog::new();
+    c.register(
+        "a",
+        Frame::new(
+            Schema::from_pairs(&[("x", DataType::Integer)]),
+            vec![vec![Value::Int(1)]],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    c.register(
+        "b",
+        Frame::new(
+            Schema::from_pairs(&[("y", DataType::Integer)]),
+            vec![vec![Value::Int(2)]],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let f = run(&c, "SELECT b.* FROM a CROSS JOIN b");
+    assert_eq!(f.schema.names(), vec!["y"]);
+    assert_eq!(f.rows[0], vec![Value::Int(2)]);
+}
+
+#[test]
+fn wildcard_with_group_by_is_unsupported() {
+    let c = sensor_catalog();
+    let err = Executor::new(&c)
+        .execute(&parse_query("SELECT * FROM stream GROUP BY x").unwrap())
+        .unwrap_err();
+    assert!(matches!(err, EngineError::Unsupported(_)));
+}
+
+#[test]
+fn unknown_table_errors() {
+    let c = Catalog::new();
+    let err =
+        Executor::new(&c).execute(&parse_query("SELECT * FROM nope").unwrap()).unwrap_err();
+    assert!(matches!(err, EngineError::UnknownTable(name) if name == "nope"));
+}
+
+#[test]
+fn aggregate_inside_expression() {
+    let c = sensor_catalog();
+    let f = run(&c, "SELECT SUM(z) / COUNT(*) AS manual_avg, AVG(z) AS real_avg FROM stream");
+    let manual = f.rows[0][0].as_f64().unwrap();
+    let real = f.rows[0][1].as_f64().unwrap();
+    assert!((manual - real).abs() < 1e-9);
+}
+
+#[test]
+fn having_without_group_by() {
+    let c = sensor_catalog();
+    let f = run(&c, "SELECT COUNT(*) AS n FROM stream HAVING COUNT(*) > 3");
+    assert_eq!(f.len(), 1);
+    let f2 = run(&c, "SELECT COUNT(*) AS n FROM stream HAVING COUNT(*) > 10");
+    assert_eq!(f2.len(), 0);
+}
+
+#[test]
+fn group_key_mixes_int_and_float() {
+    let schema = Schema::from_pairs(&[("v", DataType::Float)]);
+    let rows = vec![vec![Value::Int(2)], vec![Value::Float(2.0)], vec![Value::Float(3.0)]];
+    let mut c = Catalog::new();
+    c.register("d", Frame::new(schema, rows).unwrap()).unwrap();
+    let f = run(&c, "SELECT v, COUNT(*) AS n FROM d GROUP BY v ORDER BY v");
+    assert_eq!(f.len(), 2);
+    assert_eq!(f.rows[0][1], Value::Int(2));
+}
+
+#[test]
+fn output_types_are_inferred() {
+    let c = sensor_catalog();
+    let f = run(&c, "SELECT t, z, x > y AS gt, 'label' AS lab FROM stream");
+    let types: Vec<DataType> =
+        f.schema.columns().iter().map(|col| col.data_type).collect();
+    assert_eq!(
+        types,
+        vec![DataType::Integer, DataType::Float, DataType::Boolean, DataType::Text]
+    );
+}
+
+#[test]
+fn where_clause_with_case() {
+    let c = sensor_catalog();
+    let f = run(
+        &c,
+        "SELECT t, CASE WHEN z < 1 THEN 'low' WHEN z < 2 THEN 'mid' ELSE 'high' END AS lvl \
+         FROM stream ORDER BY t",
+    );
+    assert_eq!(f.rows[0][1], Value::Str("mid".into()));
+    assert_eq!(f.rows[2][1], Value::Str("high".into()));
+    assert_eq!(f.rows[3][1], Value::Str("low".into()));
+}
+
+#[test]
+fn deep_nesting_executes() {
+    let c = sensor_catalog();
+    let f = run(
+        &c,
+        "SELECT * FROM (SELECT * FROM (SELECT * FROM (SELECT * FROM stream WHERE z < 2) \
+         WHERE x > y) WHERE t > 1) WHERE x > 3",
+    );
+    assert_eq!(f.len(), 2); // t=4 (4>3) and t=5 (6>1)
+}
+
+#[test]
+fn order_by_aggregate_in_grouped_query() {
+    let schema = Schema::from_pairs(&[("g", DataType::Text), ("v", DataType::Integer)]);
+    let rows = vec![
+        vec![Value::Str("a".into()), Value::Int(1)],
+        vec![Value::Str("b".into()), Value::Int(5)],
+        vec![Value::Str("b".into()), Value::Int(5)],
+        vec![Value::Str("a".into()), Value::Int(1)],
+        vec![Value::Str("a".into()), Value::Int(1)],
+    ];
+    let mut c = Catalog::new();
+    c.register("d", Frame::new(schema, rows).unwrap()).unwrap();
+    let f = run(&c, "SELECT g, SUM(v) AS total FROM d GROUP BY g ORDER BY SUM(v) DESC");
+    assert_eq!(f.rows[0][0], Value::Str("b".into())); // 10 > 3
+    assert_eq!(f.rows[0][1], Value::Int(10));
+    assert_eq!(f.rows[1][1], Value::Int(3));
+}
+
+#[test]
+fn having_with_arithmetic_over_aggregates() {
+    let c = sensor_catalog();
+    let f = run(
+        &c,
+        "SELECT COUNT(*) AS n FROM stream HAVING SUM(z) / COUNT(*) > 1",
+    );
+    // avg z = 1.46 > 1 → the single global group passes
+    assert_eq!(f.len(), 1);
+}
+
+#[test]
+fn union_of_aggregates() {
+    let c = sensor_catalog();
+    let f = run(
+        &c,
+        "SELECT MIN(z) FROM stream UNION ALL SELECT MAX(z) FROM stream",
+    );
+    assert_eq!(f.len(), 2);
+    assert_eq!(f.rows[0][0], Value::Float(0.5));
+    assert_eq!(f.rows[1][0], Value::Float(2.5));
+}
+
+#[test]
+fn distinct_aggregate_in_group() {
+    let schema = Schema::from_pairs(&[("g", DataType::Integer), ("v", DataType::Integer)]);
+    let rows = vec![
+        vec![Value::Int(1), Value::Int(7)],
+        vec![Value::Int(1), Value::Int(7)],
+        vec![Value::Int(1), Value::Int(8)],
+    ];
+    let mut c = Catalog::new();
+    c.register("d", Frame::new(schema, rows).unwrap()).unwrap();
+    let f = run(&c, "SELECT COUNT(DISTINCT v) AS dv, COUNT(v) AS av FROM d GROUP BY g");
+    assert_eq!(f.rows[0], vec![Value::Int(2), Value::Int(3)]);
+}
+
+#[test]
+fn case_over_aggregates() {
+    let c = sensor_catalog();
+    let f = run(
+        &c,
+        "SELECT CASE WHEN AVG(z) > 1 THEN 'high' ELSE 'low' END AS lvl FROM stream",
+    );
+    assert_eq!(f.rows[0][0], Value::Str("high".into()));
+}
+
+#[test]
+fn nested_aggregation_blocks() {
+    // aggregate of an aggregate via nesting (the legal SQL way)
+    let c = sensor_catalog();
+    let f = run(
+        &c,
+        "SELECT MAX(za) FROM (SELECT x, AVG(z) AS za FROM stream GROUP BY x)",
+    );
+    assert_eq!(f.len(), 1);
+    assert!(f.rows[0][0].as_f64().unwrap() > 0.0);
+}
+
+#[test]
+fn where_on_window_output_requires_nesting() {
+    // window calls are select-stage only; filtering needs a derived table
+    let c = sensor_catalog();
+    let f = run(
+        &c,
+        "SELECT rs FROM (SELECT SUM(z) OVER (ORDER BY t) AS rs FROM stream) WHERE rs > 3",
+    );
+    assert!(!f.is_empty());
+    assert!(f.rows.iter().all(|r| r[0].as_f64().unwrap() > 3.0));
+}
+
+#[test]
+fn offset_beyond_rows_is_empty() {
+    let c = sensor_catalog();
+    let f = run(&c, "SELECT t FROM stream OFFSET 100");
+    assert!(f.is_empty());
+}
+
+#[test]
+fn like_and_concat_in_queries() {
+    let schema = Schema::from_pairs(&[("name", DataType::Text)]);
+    let rows = vec![
+        vec![Value::Str("walker".into())],
+        vec![Value::Str("runner".into())],
+    ];
+    let mut c = Catalog::new();
+    c.register("d", Frame::new(schema, rows).unwrap()).unwrap();
+    let f = run(&c, "SELECT name || '!' AS shout FROM d WHERE name LIKE 'w%'");
+    assert_eq!(f.rows, vec![vec![Value::Str("walker!".into())]]);
+}

@@ -1,0 +1,63 @@
+//! Errors of the node/hierarchy subsystem.
+
+use std::fmt;
+
+use paradise_engine::EngineError;
+use paradise_sql::analysis::FeatureSet;
+
+/// Errors raised while distributing or executing query fragments on the
+/// vertical node hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeError {
+    /// A fragment needs SQL features its target node does not have.
+    CapabilityViolation {
+        /// The node's name.
+        node: String,
+        /// Features the fragment needs but the node lacks.
+        missing: FeatureSet,
+    },
+    /// The node's capacity (memory) does not suffice for the input; per
+    /// paper §3.2 the raw data must escalate to a more powerful node.
+    CapacityExceeded {
+        /// The node's name.
+        node: String,
+        /// Estimated bytes needed.
+        needed: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// Execution failed inside the node's engine.
+    Engine(EngineError),
+    /// A node name was not found in the chain.
+    UnknownNode(String),
+    /// The chain is malformed (empty, or levels not descending).
+    BadChain(String),
+}
+
+impl fmt::Display for NodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeError::CapabilityViolation { node, missing } => {
+                write!(f, "node {node:?} cannot execute fragment: missing {missing}")
+            }
+            NodeError::CapacityExceeded { node, needed, available } => write!(
+                f,
+                "node {node:?} out of capacity: needs {needed} bytes, has {available}"
+            ),
+            NodeError::Engine(e) => write!(f, "{e}"),
+            NodeError::UnknownNode(n) => write!(f, "unknown node {n:?}"),
+            NodeError::BadChain(msg) => write!(f, "bad processing chain: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NodeError {}
+
+impl From<EngineError> for NodeError {
+    fn from(e: EngineError) -> Self {
+        NodeError::Engine(e)
+    }
+}
+
+/// Result alias.
+pub type NodeResult<T> = Result<T, NodeError>;

@@ -1,0 +1,137 @@
+//! Synthetic generators for every sensor of the MuSAMA Smart Appliance
+//! Lab listed in paper §1 (lamps, screens, power sockets, pen sensors,
+//! thermometer, Ubisense tags, SensFloor, Extron/VGA, EIB gateway).
+//!
+//! The paper's evaluation data "has been recorded in the Smart Appliance
+//! Lab" — data we do not have. These generators produce streams with the
+//! same schemas and the statistical structure the use case needs (walking
+//! vs. standing persons, pressure under positions, correlated power
+//! draw), which is what the rewriting/fragmentation pipeline exercises.
+
+mod room;
+
+pub use room::{PersonState, SmartRoomSim, SmartRoomConfig};
+
+use paradise_engine::{DataType, Frame, Schema, Value};
+
+/// Schema of the Ubisense position stream used by the paper's running
+/// example: coordinates and timestamp only (`SELECT x, y, z, t FROM d'`).
+pub fn ubisense_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("x", DataType::Float),
+        ("y", DataType::Float),
+        ("z", DataType::Float),
+        ("t", DataType::Integer),
+    ])
+}
+
+/// Schema of the full Ubisense stream: one tag per user, coordinates "and
+/// a lot of other information (e.g. whether the position is valid)".
+pub fn ubisense_tagged_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("tag", DataType::Integer),
+        ("x", DataType::Float),
+        ("y", DataType::Float),
+        ("z", DataType::Float),
+        ("t", DataType::Integer),
+        ("valid", DataType::Boolean),
+    ])
+}
+
+/// SensFloor: integrated floor sensors reporting position and pressure.
+pub fn sensfloor_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("cell_x", DataType::Integer),
+        ("cell_y", DataType::Integer),
+        ("pressure", DataType::Float),
+        ("t", DataType::Integer),
+    ])
+}
+
+/// Thermometer: room temperature in °C.
+pub fn thermometer_schema() -> Schema {
+    Schema::from_pairs(&[("temp_c", DataType::Float), ("t", DataType::Integer)])
+}
+
+/// Power sockets: per-socket current draw in milliamperes.
+pub fn powersocket_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("socket", DataType::Integer),
+        ("milliamps", DataType::Float),
+        ("t", DataType::Integer),
+    ])
+}
+
+/// Pen sensor: which Smart-Board pen has been taken.
+pub fn pensensor_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("pen", DataType::Integer),
+        ("taken", DataType::Boolean),
+        ("t", DataType::Integer),
+    ])
+}
+
+/// Lamps: dimmable lamp levels.
+pub fn lamp_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("lamp", DataType::Integer),
+        ("dim_level", DataType::Float),
+        ("t", DataType::Integer),
+    ])
+}
+
+/// Screens: raised/lowered projection screens.
+pub fn screen_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("screen", DataType::Integer),
+        ("up", DataType::Boolean),
+        ("t", DataType::Integer),
+    ])
+}
+
+/// Extron/VGA sensors: which video port feeds which projector.
+pub fn vgasensor_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("port", DataType::Integer),
+        ("projector", DataType::Integer),
+        ("connected", DataType::Boolean),
+        ("t", DataType::Integer),
+    ])
+}
+
+/// EIB gateway: blind positions (0 = open … 1 = closed).
+pub fn eibgateway_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("blind", DataType::Integer),
+        ("position", DataType::Float),
+        ("t", DataType::Integer),
+    ])
+}
+
+/// Helper used by the generators: build a frame, panicking only on
+/// programmer error (row arity is fixed by construction).
+pub(crate) fn frame(schema: Schema, rows: Vec<Vec<Value>>) -> Frame {
+    Frame::new(schema, rows).expect("generator rows match their schema")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schemas_have_expected_shapes() {
+        assert_eq!(ubisense_schema().names(), vec!["x", "y", "z", "t"]);
+        assert_eq!(
+            ubisense_tagged_schema().names(),
+            vec!["tag", "x", "y", "z", "t", "valid"]
+        );
+        assert_eq!(sensfloor_schema().len(), 4);
+        assert_eq!(thermometer_schema().len(), 2);
+        assert_eq!(powersocket_schema().len(), 3);
+        assert_eq!(pensensor_schema().len(), 3);
+        assert_eq!(lamp_schema().len(), 3);
+        assert_eq!(screen_schema().len(), 3);
+        assert_eq!(vgasensor_schema().len(), 4);
+        assert_eq!(eibgateway_schema().len(), 3);
+    }
+}

@@ -1,0 +1,422 @@
+//! The Smart Meeting Room simulator: persons moving through the room
+//! drive every sensor stream coherently (positions → floor pressure,
+//! presence → power draw, meeting phases → pens/screens/lamps).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use paradise_engine::{Frame, Value};
+
+use super::{
+    eibgateway_schema, frame, lamp_schema, pensensor_schema, powersocket_schema, screen_schema,
+    sensfloor_schema, thermometer_schema, ubisense_schema, ubisense_tagged_schema,
+    vgasensor_schema,
+};
+
+/// What a simulated person is doing in a given tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PersonState {
+    /// Moving through the room (larger step, z varies with gait).
+    Walking,
+    /// Standing / sitting (small jitter, z near constant).
+    Standing,
+}
+
+/// Room dimensions and population.
+#[derive(Debug, Clone)]
+pub struct SmartRoomConfig {
+    /// Room extent in metres (x).
+    pub width: f64,
+    /// Room extent in metres (y).
+    pub depth: f64,
+    /// Number of tracked persons (Ubisense tags).
+    pub persons: usize,
+    /// Probability per tick of switching walking ↔ standing.
+    pub switch_probability: f64,
+}
+
+impl Default for SmartRoomConfig {
+    fn default() -> Self {
+        // switch probability 0.01 → mean dwell ≈ 100 ticks, enough for
+        // standing groups to clear the use case's SUM(z) > 100 threshold
+        SmartRoomConfig { width: 10.0, depth: 8.0, persons: 4, switch_probability: 0.01 }
+    }
+}
+
+struct Person {
+    x: f64,
+    y: f64,
+    state: PersonState,
+}
+
+/// Deterministic (seeded) simulator for the Smart Appliance Lab.
+pub struct SmartRoomSim {
+    rng: StdRng,
+    config: SmartRoomConfig,
+    persons: Vec<Person>,
+    tick: i64,
+}
+
+impl SmartRoomSim {
+    /// New simulator with a fixed seed.
+    pub fn new(seed: u64) -> Self {
+        SmartRoomSim::with_config(seed, SmartRoomConfig::default())
+    }
+
+    /// New simulator with explicit configuration.
+    pub fn with_config(seed: u64, config: SmartRoomConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let persons = (0..config.persons)
+            .map(|_| Person {
+                x: rng.gen_range(0.0..config.width),
+                y: rng.gen_range(0.0..config.depth),
+                state: if rng.gen_bool(0.5) { PersonState::Walking } else { PersonState::Standing },
+            })
+            .collect();
+        SmartRoomSim { rng, config, persons, tick: 0 }
+    }
+
+    fn step_person(rng: &mut StdRng, config: &SmartRoomConfig, p: &mut Person) -> (f64, f64, f64) {
+        if rng.gen_bool(config.switch_probability) {
+            p.state = match p.state {
+                PersonState::Walking => PersonState::Standing,
+                PersonState::Standing => PersonState::Walking,
+            };
+        }
+        // Standing persons hold their (quantized Ubisense) position
+        // exactly — dwell phases therefore accumulate in one (x, y)
+        // group, which is what the Figure-4 policy's `SUM(z) > 100`
+        // threshold is about. Walking persons move and their gait makes
+        // the tag height z oscillate.
+        match p.state {
+            PersonState::Walking => {
+                let step = 0.5;
+                p.x = (p.x + rng.gen_range(-step..=step)).clamp(0.0, config.width);
+                p.y = (p.y + rng.gen_range(-step..=step)).clamp(0.0, config.depth);
+                let z = 1.1 + rng.gen_range(-0.15..=0.15);
+                (p.x, p.y, z)
+            }
+            PersonState::Standing => (p.x, p.y, 1.25),
+        }
+    }
+
+    /// Generate `steps` ticks of the plain Ubisense position stream
+    /// `(x, y, z, t)` — the relation `d'` of the paper's use case. One
+    /// row per person per tick.
+    pub fn ubisense_positions(&mut self, steps: usize) -> Frame {
+        let mut rows = Vec::with_capacity(steps * self.persons.len());
+        for _ in 0..steps {
+            self.tick += 1;
+            for i in 0..self.persons.len() {
+                let (x, y, z) =
+                    Self::step_person(&mut self.rng, &self.config, &mut self.persons[i]);
+                rows.push(vec![
+                    Value::Float(round3(x)),
+                    Value::Float(round3(y)),
+                    Value::Float(round3(z)),
+                    Value::Int(self.tick),
+                ]);
+            }
+        }
+        frame(ubisense_schema(), rows)
+    }
+
+    /// Full tagged Ubisense stream `(tag, x, y, z, t, valid)`; ~2% of
+    /// readings are marked invalid (tracking loss).
+    pub fn ubisense_tagged(&mut self, steps: usize) -> Frame {
+        let mut rows = Vec::with_capacity(steps * self.persons.len());
+        for _ in 0..steps {
+            self.tick += 1;
+            for i in 0..self.persons.len() {
+                let (x, y, z) =
+                    Self::step_person(&mut self.rng, &self.config, &mut self.persons[i]);
+                let valid = !self.rng.gen_bool(0.02);
+                rows.push(vec![
+                    Value::Int(100 + i as i64),
+                    Value::Float(round3(x)),
+                    Value::Float(round3(y)),
+                    Value::Float(round3(z)),
+                    Value::Int(self.tick),
+                    Value::Bool(valid),
+                ]);
+            }
+        }
+        frame(ubisense_tagged_schema(), rows)
+    }
+
+    /// SensFloor readings: pressure in the 1m × 1m cell under each
+    /// person (plus low-level noise cells).
+    pub fn sensfloor(&mut self, steps: usize) -> Frame {
+        let mut rows = Vec::new();
+        for _ in 0..steps {
+            self.tick += 1;
+            for i in 0..self.persons.len() {
+                let (x, y, _z) =
+                    Self::step_person(&mut self.rng, &self.config, &mut self.persons[i]);
+                let weight = 60.0 + (i as f64) * 8.0;
+                rows.push(vec![
+                    Value::Int(x.floor() as i64),
+                    Value::Int(y.floor() as i64),
+                    Value::Float(round3(weight + self.rng.gen_range(-2.0..=2.0))),
+                    Value::Int(self.tick),
+                ]);
+            }
+            // occasional spurious low-pressure cell
+            if self.rng.gen_bool(0.1) {
+                rows.push(vec![
+                    Value::Int(self.rng.gen_range(0..self.config.width as i64)),
+                    Value::Int(self.rng.gen_range(0..self.config.depth as i64)),
+                    Value::Float(round3(self.rng.gen_range(0.1..2.0))),
+                    Value::Int(self.tick),
+                ]);
+            }
+        }
+        frame(sensfloor_schema(), rows)
+    }
+
+    /// Thermometer stream: slow drift around 21 °C, warmer with more
+    /// people in the room.
+    pub fn thermometer(&mut self, steps: usize) -> Frame {
+        let mut temp = 21.0 + 0.2 * self.persons.len() as f64;
+        let mut rows = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            self.tick += 1;
+            temp += self.rng.gen_range(-0.05..=0.05);
+            rows.push(vec![Value::Float(round3(temp)), Value::Int(self.tick)]);
+        }
+        frame(thermometer_schema(), rows)
+    }
+
+    /// Power sockets: baseline draw plus load when occupied.
+    pub fn powersockets(&mut self, sockets: usize, steps: usize) -> Frame {
+        let mut rows = Vec::with_capacity(sockets * steps);
+        for _ in 0..steps {
+            self.tick += 1;
+            for s in 0..sockets {
+                let occupied = s < self.persons.len();
+                let base = if occupied { 350.0 } else { 12.0 };
+                rows.push(vec![
+                    Value::Int(s as i64),
+                    Value::Float(round3(base + self.rng.gen_range(-5.0..=5.0))),
+                    Value::Int(self.tick),
+                ]);
+            }
+        }
+        frame(powersocket_schema(), rows)
+    }
+
+    /// Pen sensors: pens get taken/returned at random meeting moments.
+    pub fn pensensors(&mut self, pens: usize, steps: usize) -> Frame {
+        let mut taken = vec![false; pens];
+        let mut rows = Vec::new();
+        for _ in 0..steps {
+            self.tick += 1;
+            for (p, t) in taken.iter_mut().enumerate() {
+                if self.rng.gen_bool(0.02) {
+                    *t = !*t;
+                    rows.push(vec![
+                        Value::Int(p as i64),
+                        Value::Bool(*t),
+                        Value::Int(self.tick),
+                    ]);
+                }
+            }
+        }
+        frame(pensensor_schema(), rows)
+    }
+
+    /// Lamp dim levels: set once per phase, jittering occasionally.
+    pub fn lamps(&mut self, lamps: usize, steps: usize) -> Frame {
+        let mut levels: Vec<f64> = (0..lamps).map(|_| self.rng.gen_range(0.0..=1.0)).collect();
+        let mut rows = Vec::new();
+        for _ in 0..steps {
+            self.tick += 1;
+            for (l, level) in levels.iter_mut().enumerate() {
+                if self.rng.gen_bool(0.05) {
+                    *level = self.rng.gen_range(0.0..=1.0);
+                }
+                rows.push(vec![
+                    Value::Int(l as i64),
+                    Value::Float(round3(*level)),
+                    Value::Int(self.tick),
+                ]);
+            }
+        }
+        frame(lamp_schema(), rows)
+    }
+
+    /// Screen positions: rarely toggled.
+    pub fn screens(&mut self, screens: usize, steps: usize) -> Frame {
+        let mut up = vec![true; screens];
+        let mut rows = Vec::new();
+        for _ in 0..steps {
+            self.tick += 1;
+            for (s, state) in up.iter_mut().enumerate() {
+                if self.rng.gen_bool(0.01) {
+                    *state = !*state;
+                }
+                rows.push(vec![Value::Int(s as i64), Value::Bool(*state), Value::Int(self.tick)]);
+            }
+        }
+        frame(screen_schema(), rows)
+    }
+
+    /// VGA/Extron port-to-projector mapping events.
+    pub fn vgasensors(&mut self, ports: usize, projectors: usize, steps: usize) -> Frame {
+        let mut rows = Vec::new();
+        for _ in 0..steps {
+            self.tick += 1;
+            if self.rng.gen_bool(0.05) {
+                rows.push(vec![
+                    Value::Int(self.rng.gen_range(0..ports as i64)),
+                    Value::Int(self.rng.gen_range(0..projectors as i64)),
+                    Value::Bool(self.rng.gen_bool(0.7)),
+                    Value::Int(self.tick),
+                ]);
+            }
+        }
+        frame(vgasensor_schema(), rows)
+    }
+
+    /// EIB gateway blind positions.
+    pub fn eibgateway(&mut self, blinds: usize, steps: usize) -> Frame {
+        let mut positions: Vec<f64> = vec![0.0; blinds];
+        let mut rows = Vec::new();
+        for _ in 0..steps {
+            self.tick += 1;
+            for (b, pos) in positions.iter_mut().enumerate() {
+                if self.rng.gen_bool(0.02) {
+                    *pos = self.rng.gen_range(0.0..=1.0);
+                }
+                rows.push(vec![
+                    Value::Int(b as i64),
+                    Value::Float(round3(*pos)),
+                    Value::Int(self.tick),
+                ]);
+            }
+        }
+        frame(eibgateway_schema(), rows)
+    }
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ubisense_positions_shape_and_bounds() {
+        let mut sim = SmartRoomSim::new(1);
+        let f = sim.ubisense_positions(50);
+        assert_eq!(f.len(), 50 * 4);
+        for row in &f.rows {
+            let x = row[0].as_f64().unwrap();
+            let y = row[1].as_f64().unwrap();
+            let z = row[2].as_f64().unwrap();
+            assert!((0.0..=10.0).contains(&x));
+            assert!((0.0..=8.0).contains(&y));
+            assert!((0.8..=1.5).contains(&z), "z = {z}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = SmartRoomSim::new(7).ubisense_positions(20);
+        let b = SmartRoomSim::new(7).ubisense_positions(20);
+        assert_eq!(a, b);
+        let c = SmartRoomSim::new(8).ubisense_positions(20);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn timestamps_monotone_across_streams() {
+        let mut sim = SmartRoomSim::new(2);
+        let u = sim.ubisense_positions(5);
+        let th = sim.thermometer(5);
+        let last_u = u.rows.last().unwrap()[3].as_f64().unwrap();
+        let first_t = th.rows.first().unwrap()[1].as_f64().unwrap();
+        assert!(first_t > last_u);
+    }
+
+    #[test]
+    fn tagged_stream_has_some_invalid() {
+        let mut sim = SmartRoomSim::new(3);
+        let f = sim.ubisense_tagged(200);
+        let invalid = f.rows.iter().filter(|r| r[5] == Value::Bool(false)).count();
+        assert!(invalid > 0, "2% invalid rate should hit in 800 rows");
+        assert!(invalid < f.len() / 5);
+    }
+
+    #[test]
+    fn sensfloor_pressures_positive() {
+        let mut sim = SmartRoomSim::new(4);
+        let f = sim.sensfloor(30);
+        assert!(f.len() >= 30 * 4);
+        assert!(f.rows.iter().all(|r| r[2].as_f64().unwrap() > 0.0));
+    }
+
+    #[test]
+    fn thermometer_drifts_slowly() {
+        let mut sim = SmartRoomSim::new(5);
+        let f = sim.thermometer(100);
+        let temps: Vec<f64> = f.rows.iter().map(|r| r[0].as_f64().unwrap()).collect();
+        for pair in temps.windows(2) {
+            assert!((pair[1] - pair[0]).abs() < 0.06);
+        }
+    }
+
+    #[test]
+    fn powersockets_show_occupancy() {
+        let mut sim = SmartRoomSim::new(6);
+        let f = sim.powersockets(8, 10);
+        let occupied: Vec<f64> = f
+            .rows
+            .iter()
+            .filter(|r| r[0] == Value::Int(0))
+            .map(|r| r[1].as_f64().unwrap())
+            .collect();
+        let empty: Vec<f64> = f
+            .rows
+            .iter()
+            .filter(|r| r[0] == Value::Int(7))
+            .map(|r| r[1].as_f64().unwrap())
+            .collect();
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(avg(&occupied) > avg(&empty) * 10.0);
+    }
+
+    #[test]
+    fn event_streams_produce_rows() {
+        let mut sim = SmartRoomSim::new(9);
+        assert!(!sim.lamps(4, 20).is_empty());
+        assert!(!sim.screens(3, 20).is_empty());
+        assert!(!sim.eibgateway(2, 20).is_empty());
+        // pens and vga are sparse event streams; long runs produce some
+        assert!(!sim.pensensors(4, 500).is_empty());
+        assert!(!sim.vgasensors(4, 2, 500).is_empty());
+    }
+
+    #[test]
+    fn walking_z_differs_from_standing_z() {
+        // with many samples, walking z variance must exceed standing's
+        let config = SmartRoomConfig { persons: 1, switch_probability: 0.0, ..Default::default() };
+        let mut walker = SmartRoomSim::with_config(11, config.clone());
+        walker.persons[0].state = PersonState::Walking;
+        let wf = walker.ubisense_positions(300);
+        let wz: Vec<f64> = wf.rows.iter().map(|r| r[2].as_f64().unwrap()).collect();
+
+        let mut stander = SmartRoomSim::with_config(11, config);
+        stander.persons[0].state = PersonState::Standing;
+        let sf = stander.ubisense_positions(300);
+        let sz: Vec<f64> = sf.rows.iter().map(|r| r[2].as_f64().unwrap()).collect();
+
+        let var = |v: &[f64]| {
+            let m = v.iter().sum::<f64>() / v.len() as f64;
+            v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64
+        };
+        assert!(var(&wz) > var(&sz) * 3.0);
+    }
+}

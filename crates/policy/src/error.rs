@@ -1,0 +1,50 @@
+//! Policy errors.
+
+use std::fmt;
+
+use crate::xml::XmlError;
+
+/// Errors raised while reading or validating privacy policies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicyError {
+    /// Malformed XML.
+    Xml(XmlError),
+    /// The document is well-formed XML but not a policy (wrong root,
+    /// missing required element/attribute…).
+    Structure(String),
+    /// A condition/having expression failed to parse as SQL.
+    BadExpression {
+        /// Which element contained it.
+        context: String,
+        /// The offending source text.
+        source: String,
+        /// Parser message.
+        message: String,
+    },
+    /// Validation failure (duplicate attribute, unknown aggregation…).
+    Invalid(String),
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::Xml(e) => write!(f, "{e}"),
+            PolicyError::Structure(msg) => write!(f, "malformed policy: {msg}"),
+            PolicyError::BadExpression { context, source, message } => {
+                write!(f, "bad expression in {context}: {source:?}: {message}")
+            }
+            PolicyError::Invalid(msg) => write!(f, "invalid policy: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+impl From<XmlError> for PolicyError {
+    fn from(e: XmlError) -> Self {
+        PolicyError::Xml(e)
+    }
+}
+
+/// Result alias.
+pub type PolicyResult<T> = Result<T, PolicyError>;

@@ -1,0 +1,345 @@
+//! Automatic generation and adaptation of privacy settings.
+//!
+//! Paper Figure 2 lists a module that "produces and adapts existing
+//! user-defined privacy policies to new devices and changing requirements
+//! and queries". This module implements that component:
+//!
+//! * [`PolicyGenerator::generate`] derives a default policy for a device
+//!   schema, guided by sensitivity heuristics;
+//! * [`adapt_to_schema`] extends an existing policy with rules for newly
+//!   appeared attributes (new device firmware revision, new sensor);
+//! * [`merge_restrictive`] combines two policies, keeping the more
+//!   restrictive rule wherever they disagree (used when a user installs a
+//!   vendor-suggested policy on top of their own).
+
+use paradise_sql::parse_expr;
+
+use crate::model::{AggregationSpec, AttributeRule, ModulePolicy, Policy, StreamSettings};
+
+/// Attribute sensitivity classes driving the generated defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sensitivity {
+    /// Reveal freely (timestamps, technical ids of devices).
+    Public,
+    /// Reveal only aggregated (positions, physiological data).
+    AggregateOnly,
+    /// Never reveal.
+    Secret,
+}
+
+/// Heuristic classification used when the user has not said anything
+/// about an attribute. Position coordinates and physiological readings
+/// aggregate-only; obviously identifying fields secret; rest public.
+pub fn default_sensitivity(attribute: &str) -> Sensitivity {
+    let lower = attribute.to_ascii_lowercase();
+    const SECRET: &[&str] = &["name", "user", "person", "tag", "id_card", "face", "voice"];
+    const AGGREGATE: &[&str] = &[
+        "x",
+        "y",
+        "z",
+        "pos",
+        "position",
+        "pressure",
+        "weight",
+        "heart",
+        "pulse",
+        "milliamp",
+        "current",
+        "power",
+    ];
+    if SECRET.iter().any(|s| lower == *s || lower.contains(&format!("{s}_"))) {
+        return Sensitivity::Secret;
+    }
+    if AGGREGATE.iter().any(|s| lower == *s || lower.contains(s.trim_end_matches('_'))) {
+        return Sensitivity::AggregateOnly;
+    }
+    Sensitivity::Public
+}
+
+/// Options for policy generation.
+#[derive(Debug, Clone)]
+pub struct GeneratorOptions {
+    /// Aggregation type used for [`Sensitivity::AggregateOnly`] attributes.
+    pub aggregation_type: String,
+    /// Grouping attributes for generated aggregations (usually spatial
+    /// coordinates or a time bucket). Attributes not present in the
+    /// schema are dropped per generation.
+    pub group_by: Vec<String>,
+    /// Minimum seconds between queries in generated stream settings.
+    pub min_query_interval_secs: Option<f64>,
+    /// Custom sensitivity override: `(attribute, sensitivity)` pairs.
+    pub overrides: Vec<(String, Sensitivity)>,
+}
+
+impl Default for GeneratorOptions {
+    fn default() -> Self {
+        GeneratorOptions {
+            aggregation_type: "AVG".to_string(),
+            group_by: vec!["x".to_string(), "y".to_string()],
+            min_query_interval_secs: Some(1.0),
+            overrides: Vec::new(),
+        }
+    }
+}
+
+/// Generates default policies from device schemas.
+#[derive(Debug, Clone, Default)]
+pub struct PolicyGenerator {
+    /// Generation options.
+    pub options: GeneratorOptions,
+}
+
+impl PolicyGenerator {
+    /// Generator with default options.
+    pub fn new() -> Self {
+        PolicyGenerator::default()
+    }
+
+    /// Sensitivity for an attribute, honouring overrides.
+    fn sensitivity(&self, attribute: &str) -> Sensitivity {
+        self.options
+            .overrides
+            .iter()
+            .find(|(a, _)| a.eq_ignore_ascii_case(attribute))
+            .map(|(_, s)| *s)
+            .unwrap_or_else(|| default_sensitivity(attribute))
+    }
+
+    /// Generate a module policy for a module querying a device exposing
+    /// `attributes`.
+    pub fn generate(&self, module_id: &str, attributes: &[&str]) -> ModulePolicy {
+        let mut module = ModulePolicy::new(module_id);
+        for attr in attributes {
+            let rule = match self.sensitivity(attr) {
+                Sensitivity::Public => AttributeRule::allowed(*attr),
+                Sensitivity::Secret => AttributeRule::denied(*attr),
+                Sensitivity::AggregateOnly => {
+                    let group_by: Vec<&str> = self
+                        .options
+                        .group_by
+                        .iter()
+                        .map(String::as_str)
+                        .filter(|g| {
+                            !g.eq_ignore_ascii_case(attr)
+                                && attributes.iter().any(|a| a.eq_ignore_ascii_case(g))
+                        })
+                        .collect();
+                    let spec = AggregationSpec::new(self.options.aggregation_type.clone())
+                        .group_by(&group_by);
+                    AttributeRule::allowed(*attr).with_aggregation(spec)
+                }
+            };
+            module.attributes.push(rule);
+        }
+        module.stream = Some(StreamSettings {
+            min_query_interval_secs: self.options.min_query_interval_secs,
+            allowed_aggregation_levels: vec!["second".into(), "minute".into()],
+        });
+        module
+    }
+}
+
+/// Extend `module` with generated rules for attributes it does not cover
+/// yet (adaptation to a new device/schema). Existing rules are kept
+/// untouched. Returns how many rules were added.
+pub fn adapt_to_schema(
+    module: &mut ModulePolicy,
+    attributes: &[&str],
+    generator: &PolicyGenerator,
+) -> usize {
+    let mut added = 0;
+    for attr in attributes {
+        if module.attribute(attr).is_none() {
+            let generated = generator.generate(&module.module_id, &[*attr]);
+            module.attributes.extend(generated.attributes);
+            added += 1;
+        }
+    }
+    added
+}
+
+/// Merge two module policies, preferring the more restrictive choice for
+/// every attribute:
+///
+/// * denied beats allowed;
+/// * conditions are unioned (conjunction = more restrictive);
+/// * an aggregation requirement beats none; if both require aggregation
+///   the one with more grouping attributes (finer groups reveal more, so
+///   FEWER groups are more restrictive) — we keep the one with fewer
+///   `group_by` attributes;
+/// * the larger minimum query interval wins.
+pub fn merge_restrictive(a: &ModulePolicy, b: &ModulePolicy) -> ModulePolicy {
+    let mut out = ModulePolicy::new(a.module_id.clone());
+    let mut names: Vec<String> = Vec::new();
+    for rule in a.attributes.iter().chain(&b.attributes) {
+        if !names.iter().any(|n| n.eq_ignore_ascii_case(&rule.name)) {
+            names.push(rule.name.clone());
+        }
+    }
+    for name in names {
+        let ra = a.attribute(&name);
+        let rb = b.attribute(&name);
+        let rule = match (ra, rb) {
+            (Some(ra), Some(rb)) => {
+                let allow = ra.allow && rb.allow;
+                let mut conditions = ra.conditions.clone();
+                for c in &rb.conditions {
+                    if !conditions.contains(c) {
+                        conditions.push(c.clone());
+                    }
+                }
+                let aggregation = match (&ra.aggregation, &rb.aggregation) {
+                    (None, None) => None,
+                    (Some(s), None) | (None, Some(s)) => Some(s.clone()),
+                    (Some(sa), Some(sb)) => {
+                        if sa.group_by.len() <= sb.group_by.len() {
+                            Some(sa.clone())
+                        } else {
+                            Some(sb.clone())
+                        }
+                    }
+                };
+                AttributeRule { name: name.clone(), allow, conditions, aggregation }
+            }
+            (Some(r), None) | (None, Some(r)) => r.clone(),
+            (None, None) => unreachable!(),
+        };
+        out.attributes.push(rule);
+    }
+    out.stream = match (&a.stream, &b.stream) {
+        (None, None) => None,
+        (Some(s), None) | (None, Some(s)) => Some(s.clone()),
+        (Some(sa), Some(sb)) => {
+            let min_interval = match (sa.min_query_interval_secs, sb.min_query_interval_secs) {
+                (Some(x), Some(y)) => Some(x.max(y)),
+                (x, y) => x.or(y),
+            };
+            let levels: Vec<String> = sa
+                .allowed_aggregation_levels
+                .iter()
+                .filter(|l| sb.permits_level(l))
+                .cloned()
+                .collect();
+            Some(StreamSettings {
+                min_query_interval_secs: min_interval,
+                allowed_aggregation_levels: levels,
+            })
+        }
+    };
+    out
+}
+
+/// Build the paper's Figure 4 policy programmatically (used by tests and
+/// the experiment harness as the reference policy).
+pub fn figure4_policy() -> Policy {
+    let mut m = ModulePolicy::new("ActionFilter");
+    m.attributes.push(
+        AttributeRule::allowed("x").with_condition(parse_expr("x > y").expect("static")),
+    );
+    m.attributes.push(AttributeRule::allowed("y"));
+    m.attributes.push(
+        AttributeRule::allowed("z")
+            .with_condition(parse_expr("z < 2").expect("static"))
+            .with_aggregation(
+                AggregationSpec::new("AVG")
+                    .group_by(&["x", "y"])
+                    .having(parse_expr("SUM(z) > 100").expect("static")),
+            ),
+    );
+    m.attributes.push(AttributeRule::allowed("t"));
+    Policy::single(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{parse_policy, FIG4_POLICY_XML};
+
+    #[test]
+    fn figure4_constant_matches_parsed_xml() {
+        assert_eq!(figure4_policy(), parse_policy(FIG4_POLICY_XML).unwrap());
+    }
+
+    #[test]
+    fn sensitivity_heuristics() {
+        assert_eq!(default_sensitivity("t"), Sensitivity::Public);
+        assert_eq!(default_sensitivity("x"), Sensitivity::AggregateOnly);
+        assert_eq!(default_sensitivity("pressure"), Sensitivity::AggregateOnly);
+        assert_eq!(default_sensitivity("name"), Sensitivity::Secret);
+        assert_eq!(default_sensitivity("tag"), Sensitivity::Secret);
+    }
+
+    #[test]
+    fn generate_for_ubisense_schema() {
+        let gen = PolicyGenerator::new();
+        let m = gen.generate("Recognizer", &["tag", "x", "y", "z", "t", "valid"]);
+        assert!(!m.allows("tag"));
+        assert!(m.allows("t"));
+        let z = m.attribute("z").unwrap();
+        assert!(z.requires_aggregation());
+        // group_by only contains attributes present in the schema, minus z
+        let spec = z.aggregation.as_ref().unwrap();
+        assert_eq!(spec.group_by, vec!["x", "y"]);
+        assert!(m.stream.is_some());
+    }
+
+    #[test]
+    fn generate_honours_overrides() {
+        let mut gen = PolicyGenerator::new();
+        gen.options.overrides.push(("t".into(), Sensitivity::Secret));
+        let m = gen.generate("M", &["t"]);
+        assert!(!m.allows("t"));
+    }
+
+    #[test]
+    fn adapt_adds_only_missing() {
+        let gen = PolicyGenerator::new();
+        let mut m = gen.generate("M", &["x", "t"]);
+        let before = m.attributes.len();
+        let added = adapt_to_schema(&mut m, &["x", "t", "pressure"], &gen);
+        assert_eq!(added, 1);
+        assert_eq!(m.attributes.len(), before + 1);
+        assert!(m.attribute("pressure").unwrap().requires_aggregation());
+    }
+
+    #[test]
+    fn merge_prefers_restrictive() {
+        let fig4 = figure4_policy();
+        let a = fig4.modules[0].clone();
+        let mut b = a.clone();
+        // b denies t, adds a condition on y, has coarser aggregation for z
+        b.attributes.retain(|r| r.name != "t");
+        b.attributes.push(AttributeRule::denied("t"));
+        if let Some(y) = b.attributes.iter_mut().find(|r| r.name == "y") {
+            y.conditions.push(parse_expr("y > 0").unwrap());
+        }
+        if let Some(z) = b.attributes.iter_mut().find(|r| r.name == "z") {
+            z.aggregation = Some(AggregationSpec::new("AVG").group_by(&["x"]));
+        }
+        let merged = merge_restrictive(&a, &b);
+        assert!(!merged.allows("t"));
+        assert_eq!(merged.attribute("y").unwrap().conditions.len(), 1);
+        // fewer group-by attributes = more restrictive → from b
+        assert_eq!(merged.attribute("z").unwrap().aggregation.as_ref().unwrap().group_by, vec!["x"]);
+        // conditions unioned on x
+        assert_eq!(merged.attribute("x").unwrap().conditions.len(), 1);
+    }
+
+    #[test]
+    fn merge_stream_intervals_take_max() {
+        let mut a = ModulePolicy::new("M");
+        a.stream = Some(StreamSettings {
+            min_query_interval_secs: Some(10.0),
+            allowed_aggregation_levels: vec!["second".into(), "minute".into()],
+        });
+        let mut b = ModulePolicy::new("M");
+        b.stream = Some(StreamSettings {
+            min_query_interval_secs: Some(60.0),
+            allowed_aggregation_levels: vec!["minute".into()],
+        });
+        let merged = merge_restrictive(&a, &b);
+        let s = merged.stream.unwrap();
+        assert_eq!(s.min_query_interval_secs, Some(60.0));
+        assert_eq!(s.allowed_aggregation_levels, vec!["minute"]);
+    }
+}

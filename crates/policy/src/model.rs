@@ -1,0 +1,274 @@
+//! The privacy-policy model (PP4SE): P3P-derived, per-module attribute
+//! rules with conditions and aggregation requirements, plus the paper's
+//! stream extensions (query interval, aggregation levels).
+
+use paradise_sql::ast::Expr;
+
+/// A full policy: one or more module policies (one per analysis module
+/// that may query the environment, e.g. `ActionFilter`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Policy {
+    /// Module policies, in document order.
+    pub modules: Vec<ModulePolicy>,
+}
+
+impl Policy {
+    /// Policy with a single module.
+    pub fn single(module: ModulePolicy) -> Self {
+        Policy { modules: vec![module] }
+    }
+
+    /// Find a module by id (case-sensitive, as module ids are code-like).
+    pub fn module(&self, module_id: &str) -> Option<&ModulePolicy> {
+        self.modules.iter().find(|m| m.module_id == module_id)
+    }
+
+    /// Mutable module lookup.
+    pub fn module_mut(&mut self, module_id: &str) -> Option<&mut ModulePolicy> {
+        self.modules.iter_mut().find(|m| m.module_id == module_id)
+    }
+}
+
+/// Privacy rules one module must obey.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ModulePolicy {
+    /// Module identifier (`module_ID` attribute in the XML).
+    pub module_id: String,
+    /// Per-attribute rules.
+    pub attributes: Vec<AttributeRule>,
+    /// Stream settings (the paper's extension over P3P).
+    pub stream: Option<StreamSettings>,
+}
+
+impl ModulePolicy {
+    /// Empty policy for a module id.
+    pub fn new(module_id: impl Into<String>) -> Self {
+        ModulePolicy { module_id: module_id.into(), attributes: Vec::new(), stream: None }
+    }
+
+    /// Rule for an attribute name (matched case-insensitively, like SQL
+    /// identifiers).
+    pub fn attribute(&self, name: &str) -> Option<&AttributeRule> {
+        self.attributes.iter().find(|a| a.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Is `name` revealed at all? Attributes without a rule are **not**
+    /// revealed (deny by default — data avoidance, paper §2).
+    pub fn allows(&self, name: &str) -> bool {
+        self.attribute(name).map(|a| a.allow).unwrap_or(false)
+    }
+
+    /// Names of all allowed attributes.
+    pub fn allowed_attributes(&self) -> Vec<&str> {
+        self.attributes.iter().filter(|a| a.allow).map(|a| a.name.as_str()).collect()
+    }
+
+    /// All conditions of allowed attributes (the constraints to inject
+    /// into WHERE, paper §3.1).
+    pub fn all_conditions(&self) -> Vec<&Expr> {
+        self.attributes
+            .iter()
+            .filter(|a| a.allow)
+            .flat_map(|a| a.conditions.iter())
+            .collect()
+    }
+}
+
+/// The rule for a single attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributeRule {
+    /// Attribute (column) name.
+    pub name: String,
+    /// May the attribute appear in results at all?
+    pub allow: bool,
+    /// Atomic conditions that must hold on revealed tuples
+    /// (conjunctively added to the query's WHERE clause).
+    pub conditions: Vec<Expr>,
+    /// If set, the attribute may only be revealed in aggregated form.
+    pub aggregation: Option<AggregationSpec>,
+}
+
+impl AttributeRule {
+    /// An allowed attribute without constraints.
+    pub fn allowed(name: impl Into<String>) -> Self {
+        AttributeRule { name: name.into(), allow: true, conditions: Vec::new(), aggregation: None }
+    }
+
+    /// A denied attribute.
+    pub fn denied(name: impl Into<String>) -> Self {
+        AttributeRule {
+            name: name.into(),
+            allow: false,
+            conditions: Vec::new(),
+            aggregation: None,
+        }
+    }
+
+    /// Builder: add a condition.
+    #[must_use]
+    pub fn with_condition(mut self, condition: Expr) -> Self {
+        self.conditions.push(condition);
+        self
+    }
+
+    /// Builder: require aggregation.
+    #[must_use]
+    pub fn with_aggregation(mut self, spec: AggregationSpec) -> Self {
+        self.aggregation = Some(spec);
+        self
+    }
+
+    /// Must this attribute be aggregated before leaving the environment?
+    pub fn requires_aggregation(&self) -> bool {
+        self.aggregation.is_some()
+    }
+}
+
+/// Required aggregation for an attribute (paper Figure 4: `z` may only
+/// appear as `AVG(z)` grouped by `x, y` with `SUM(z) > 100`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregationSpec {
+    /// Aggregate function name, e.g. `AVG`.
+    pub aggregation_type: String,
+    /// Required grouping attributes.
+    pub group_by: Vec<String>,
+    /// Required HAVING condition, if any.
+    pub having: Option<Expr>,
+}
+
+impl AggregationSpec {
+    /// Spec with just an aggregate type.
+    pub fn new(aggregation_type: impl Into<String>) -> Self {
+        AggregationSpec {
+            aggregation_type: aggregation_type.into(),
+            group_by: Vec::new(),
+            having: None,
+        }
+    }
+
+    /// Builder: grouping attributes.
+    #[must_use]
+    pub fn group_by(mut self, attrs: &[&str]) -> Self {
+        self.group_by = attrs.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Builder: HAVING condition.
+    #[must_use]
+    pub fn having(mut self, cond: Expr) -> Self {
+        self.having = Some(cond);
+        self
+    }
+
+    /// The output alias the rewriter gives the aggregated attribute:
+    /// `z` + `AVG` → `zAVG` (paper §4.2).
+    pub fn alias_for(&self, attribute: &str) -> String {
+        format!("{attribute}{}", self.aggregation_type.to_ascii_uppercase())
+    }
+}
+
+/// Stream-specific settings (paper §3.3: "allowed query interval and
+/// possible aggregation levels").
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StreamSettings {
+    /// Minimum seconds between consecutive queries by this module.
+    pub min_query_interval_secs: Option<f64>,
+    /// Aggregation levels the module may request, coarsest last
+    /// (e.g. `["raw", "second", "minute"]`).
+    pub allowed_aggregation_levels: Vec<String>,
+}
+
+impl StreamSettings {
+    /// May the module query at this interval?
+    pub fn permits_interval(&self, interval_secs: f64) -> bool {
+        match self.min_query_interval_secs {
+            Some(min) => interval_secs >= min,
+            None => true,
+        }
+    }
+
+    /// Is the aggregation level permitted?
+    pub fn permits_level(&self, level: &str) -> bool {
+        self.allowed_aggregation_levels.is_empty()
+            || self
+                .allowed_aggregation_levels
+                .iter()
+                .any(|l| l.eq_ignore_ascii_case(level))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradise_sql::parse_expr;
+
+    fn paper_module() -> ModulePolicy {
+        let mut m = ModulePolicy::new("ActionFilter");
+        m.attributes.push(
+            AttributeRule::allowed("x").with_condition(parse_expr("x > y").unwrap()),
+        );
+        m.attributes.push(AttributeRule::allowed("y"));
+        m.attributes.push(
+            AttributeRule::allowed("z")
+                .with_condition(parse_expr("z < 2").unwrap())
+                .with_aggregation(
+                    AggregationSpec::new("AVG")
+                        .group_by(&["x", "y"])
+                        .having(parse_expr("SUM(z) > 100").unwrap()),
+                ),
+        );
+        m.attributes.push(AttributeRule::allowed("t"));
+        m
+    }
+
+    #[test]
+    fn deny_by_default() {
+        let m = paper_module();
+        assert!(m.allows("x"));
+        assert!(!m.allows("heart_rate"));
+    }
+
+    #[test]
+    fn attribute_lookup_is_case_insensitive() {
+        let m = paper_module();
+        assert!(m.attribute("Z").is_some());
+        assert!(m.allows("T"));
+    }
+
+    #[test]
+    fn conditions_collected() {
+        let m = paper_module();
+        let conds = m.all_conditions();
+        assert_eq!(conds.len(), 2);
+        assert_eq!(conds[0].to_string(), "x > y");
+        assert_eq!(conds[1].to_string(), "z < 2");
+    }
+
+    #[test]
+    fn aggregation_alias_matches_paper() {
+        let spec = AggregationSpec::new("AVG");
+        assert_eq!(spec.alias_for("z"), "zAVG");
+    }
+
+    #[test]
+    fn stream_settings_intervals() {
+        let s = StreamSettings {
+            min_query_interval_secs: Some(60.0),
+            allowed_aggregation_levels: vec!["minute".into()],
+        };
+        assert!(s.permits_interval(120.0));
+        assert!(!s.permits_interval(1.0));
+        assert!(s.permits_level("MINUTE"));
+        assert!(!s.permits_level("raw"));
+        let open = StreamSettings::default();
+        assert!(open.permits_interval(0.1));
+        assert!(open.permits_level("raw"));
+    }
+
+    #[test]
+    fn policy_module_lookup() {
+        let p = Policy::single(paper_module());
+        assert!(p.module("ActionFilter").is_some());
+        assert!(p.module("Other").is_none());
+    }
+}

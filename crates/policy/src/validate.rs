@@ -1,0 +1,250 @@
+//! Policy validation: structural sanity checks run before a policy is
+//! installed into the processor.
+
+use std::collections::HashSet;
+
+use paradise_sql::analysis::{expr_attributes, is_aggregate_function};
+use paradise_sql::ast::expr_has_aggregate;
+
+use crate::model::{ModulePolicy, Policy};
+
+/// Severity of a validation finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// The policy cannot be used.
+    Error,
+    /// Suspicious but usable.
+    Warning,
+}
+
+/// One validation finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationIssue {
+    /// How bad it is.
+    pub severity: Severity,
+    /// Module the finding concerns.
+    pub module_id: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ValidationIssue {
+    fn error(module_id: &str, message: String) -> Self {
+        ValidationIssue { severity: Severity::Error, module_id: module_id.to_string(), message }
+    }
+
+    fn warning(module_id: &str, message: String) -> Self {
+        ValidationIssue { severity: Severity::Warning, module_id: module_id.to_string(), message }
+    }
+}
+
+/// Validate a whole policy. An empty result means all good.
+pub fn validate_policy(policy: &Policy) -> Vec<ValidationIssue> {
+    let mut issues = Vec::new();
+    let mut seen_modules = HashSet::new();
+    for module in &policy.modules {
+        if !seen_modules.insert(module.module_id.clone()) {
+            issues.push(ValidationIssue::error(
+                &module.module_id,
+                format!("duplicate module id {:?}", module.module_id),
+            ));
+        }
+        validate_module(module, &mut issues);
+    }
+    issues
+}
+
+fn validate_module(module: &ModulePolicy, issues: &mut Vec<ValidationIssue>) {
+    let id = &module.module_id;
+    if module.module_id.trim().is_empty() {
+        issues.push(ValidationIssue::error(id, "empty module id".into()));
+    }
+    let mut seen: HashSet<String> = HashSet::new();
+    let known: HashSet<String> =
+        module.attributes.iter().map(|a| a.name.to_ascii_lowercase()).collect();
+
+    for rule in &module.attributes {
+        let lower = rule.name.to_ascii_lowercase();
+        if !seen.insert(lower) {
+            issues.push(ValidationIssue::error(
+                id,
+                format!("duplicate attribute rule for {:?}", rule.name),
+            ));
+        }
+        if !rule.allow && (!rule.conditions.is_empty() || rule.aggregation.is_some()) {
+            issues.push(ValidationIssue::warning(
+                id,
+                format!(
+                    "attribute {:?} is denied but carries conditions/aggregation (ignored)",
+                    rule.name
+                ),
+            ));
+        }
+        for cond in &rule.conditions {
+            if expr_has_aggregate(cond, &is_aggregate_function) {
+                issues.push(ValidationIssue::error(
+                    id,
+                    format!(
+                        "condition {cond} of attribute {:?} contains an aggregate; \
+                         aggregate constraints belong in <having>",
+                        rule.name
+                    ),
+                ));
+            }
+            for referenced in expr_attributes(cond) {
+                if !known.contains(&referenced.to_ascii_lowercase()) {
+                    issues.push(ValidationIssue::warning(
+                        id,
+                        format!(
+                            "condition of {:?} references attribute {referenced:?} \
+                             which has no rule in this module",
+                            rule.name
+                        ),
+                    ));
+                }
+            }
+        }
+        if let Some(spec) = &rule.aggregation {
+            if !is_aggregate_function(&spec.aggregation_type) {
+                issues.push(ValidationIssue::error(
+                    id,
+                    format!(
+                        "attribute {:?} requires unknown aggregation type {:?}",
+                        rule.name, spec.aggregation_type
+                    ),
+                ));
+            }
+            for g in &spec.group_by {
+                if !known.contains(&g.to_ascii_lowercase()) {
+                    issues.push(ValidationIssue::warning(
+                        id,
+                        format!(
+                            "groupBy of {:?} references attribute {g:?} with no rule",
+                            rule.name
+                        ),
+                    ));
+                }
+            }
+            if let Some(h) = &spec.having {
+                if !expr_has_aggregate(h, &is_aggregate_function) {
+                    issues.push(ValidationIssue::warning(
+                        id,
+                        format!(
+                            "having of {:?} ({h}) contains no aggregate function",
+                            rule.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    if let Some(stream) = &module.stream {
+        if let Some(secs) = stream.min_query_interval_secs {
+            if secs < 0.0 || !secs.is_finite() {
+                issues.push(ValidationIssue::error(
+                    id,
+                    format!("negative or non-finite query interval {secs}"),
+                ));
+            }
+        }
+    }
+}
+
+/// Are there any `Error`-severity findings?
+pub fn has_errors(issues: &[ValidationIssue]) -> bool {
+    issues.iter().any(|i| i.severity == Severity::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{AggregationSpec, AttributeRule, StreamSettings};
+    use crate::parse::{parse_policy, FIG4_POLICY_XML};
+    use paradise_sql::parse_expr;
+
+    #[test]
+    fn figure4_policy_is_valid() {
+        let p = parse_policy(FIG4_POLICY_XML).unwrap();
+        let issues = validate_policy(&p);
+        assert!(!has_errors(&issues), "{issues:?}");
+    }
+
+    #[test]
+    fn duplicate_attribute_is_error() {
+        let mut m = ModulePolicy::new("M");
+        m.attributes.push(AttributeRule::allowed("x"));
+        m.attributes.push(AttributeRule::allowed("X"));
+        let issues = validate_policy(&Policy::single(m));
+        assert!(has_errors(&issues));
+    }
+
+    #[test]
+    fn duplicate_module_is_error() {
+        let p = Policy {
+            modules: vec![ModulePolicy::new("M"), ModulePolicy::new("M")],
+        };
+        assert!(has_errors(&validate_policy(&p)));
+    }
+
+    #[test]
+    fn aggregate_in_condition_is_error() {
+        let mut m = ModulePolicy::new("M");
+        m.attributes.push(
+            AttributeRule::allowed("z").with_condition(parse_expr("SUM(z) > 10").unwrap()),
+        );
+        assert!(has_errors(&validate_policy(&Policy::single(m))));
+    }
+
+    #[test]
+    fn unknown_aggregation_type_is_error() {
+        let mut m = ModulePolicy::new("M");
+        m.attributes.push(
+            AttributeRule::allowed("z").with_aggregation(AggregationSpec::new("MEDIAN_ABS")),
+        );
+        assert!(has_errors(&validate_policy(&Policy::single(m))));
+    }
+
+    #[test]
+    fn condition_on_unknown_attribute_is_warning() {
+        let mut m = ModulePolicy::new("M");
+        m.attributes.push(
+            AttributeRule::allowed("x").with_condition(parse_expr("x > ghost").unwrap()),
+        );
+        let issues = validate_policy(&Policy::single(m));
+        assert!(!has_errors(&issues));
+        assert_eq!(issues.len(), 1);
+        assert_eq!(issues[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn denied_with_conditions_is_warning() {
+        let mut m = ModulePolicy::new("M");
+        let mut rule = AttributeRule::denied("x");
+        rule.conditions.push(parse_expr("x > 1").unwrap());
+        m.attributes.push(rule);
+        let issues = validate_policy(&Policy::single(m));
+        assert!(!has_errors(&issues));
+        assert!(!issues.is_empty());
+    }
+
+    #[test]
+    fn having_without_aggregate_is_warning() {
+        let mut m = ModulePolicy::new("M");
+        m.attributes.push(AttributeRule::allowed("z").with_aggregation(
+            AggregationSpec::new("AVG").having(parse_expr("z > 1").unwrap()),
+        ));
+        let issues = validate_policy(&Policy::single(m));
+        assert!(!has_errors(&issues));
+        assert!(issues.iter().any(|i| i.message.contains("no aggregate")));
+    }
+
+    #[test]
+    fn negative_interval_is_error() {
+        let mut m = ModulePolicy::new("M");
+        m.stream = Some(StreamSettings {
+            min_query_interval_secs: Some(-1.0),
+            allowed_aggregation_levels: vec![],
+        });
+        assert!(has_errors(&validate_policy(&Policy::single(m))));
+    }
+}

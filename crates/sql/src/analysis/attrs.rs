@@ -1,0 +1,202 @@
+//! Attribute (column) usage analysis.
+//!
+//! The preprocessor needs to know which attributes a query *reveals*
+//! (its output columns) and which it merely *touches* (anywhere in the
+//! tree) to check both against the privacy policy.
+
+use std::collections::BTreeSet;
+
+use crate::ast::{Expr, Query, SelectItem, TableRef};
+use crate::visit::{walk_expr, walk_exprs};
+
+/// All column names referenced anywhere in the query (including nested
+/// blocks, join conditions and window specs). Qualifiers are stripped:
+/// the policy model of the paper is attribute-name based.
+pub fn referenced_attributes(query: &Query) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    walk_exprs(query, &mut |e| {
+        if let Expr::Column(c) = e {
+            out.insert(c.name.clone());
+        }
+    });
+    out
+}
+
+/// Column names referenced by one expression.
+pub fn expr_attributes(expr: &Expr) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    walk_expr(expr, &mut |e| {
+        if let Expr::Column(c) = e {
+            out.insert(c.name.clone());
+        }
+    });
+    out
+}
+
+/// The output column names of the top-most block, where statically known.
+///
+/// * expression items yield their alias, else the bare column name;
+/// * complex unaliased expressions yield a synthesised `?column?` marker;
+/// * a wildcard yields [`OutputColumns::Wildcard`] because the real set
+///   depends on the source schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OutputColumns {
+    /// `SELECT *` — output is whatever the input provides.
+    Wildcard,
+    /// Known list of output names in order.
+    Named(Vec<String>),
+}
+
+impl OutputColumns {
+    /// The named columns, or `None` for wildcard output.
+    pub fn names(&self) -> Option<&[String]> {
+        match self {
+            OutputColumns::Wildcard => None,
+            OutputColumns::Named(names) => Some(names),
+        }
+    }
+}
+
+/// Compute the output columns of a query block.
+pub fn output_columns(query: &Query) -> OutputColumns {
+    if query.has_wildcard() {
+        return OutputColumns::Wildcard;
+    }
+    let names = query
+        .items
+        .iter()
+        .map(|item| match item {
+            SelectItem::Expr { alias: Some(a), .. } => a.clone(),
+            SelectItem::Expr { expr: Expr::Column(c), .. } => c.name.clone(),
+            SelectItem::Expr { expr: Expr::Function(f), alias: None } => {
+                // unaliased aggregate: synthesise `avg(z)`-style name
+                format!("{}", Expr::Function(f.clone())).to_lowercase()
+            }
+            SelectItem::Expr { .. } => "?column?".to_string(),
+            SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => unreachable!(),
+        })
+        .collect();
+    OutputColumns::Named(names)
+}
+
+/// Attributes that appear in the outermost projection — i.e. are shipped
+/// to the requester. For wildcard queries this is unknown (`None`).
+pub fn projected_attributes(query: &Query) -> Option<BTreeSet<String>> {
+    if query.has_wildcard() {
+        return None;
+    }
+    let mut out = BTreeSet::new();
+    for item in &query.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            out.extend(expr_attributes(expr));
+        }
+    }
+    Some(out)
+}
+
+/// All base relation (or stream) names mentioned in FROM clauses at any
+/// depth, in first-appearance order.
+pub fn base_relations(query: &Query) -> Vec<String> {
+    let mut out = Vec::new();
+    fn from_table(t: &TableRef, out: &mut Vec<String>) {
+        match t {
+            TableRef::Table { name, .. } => {
+                if !out.iter().any(|n| n == name) {
+                    out.push(name.clone());
+                }
+            }
+            TableRef::Subquery { query, .. } => from_query(query, out),
+            TableRef::Join { left, right, .. } => {
+                from_table(left, out);
+                from_table(right, out);
+            }
+        }
+    }
+    fn from_query(q: &Query, out: &mut Vec<String>) {
+        if let Some(f) = &q.from {
+            from_table(f, out);
+        }
+        for (_, u) in &q.unions {
+            from_query(u, out);
+        }
+    }
+    from_query(query, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    #[test]
+    fn referenced_includes_all_clauses() {
+        let q = parse_query(
+            "SELECT x FROM (SELECT * FROM d WHERE z < 2) WHERE y > 1 ORDER BY t",
+        )
+        .unwrap();
+        let attrs = referenced_attributes(&q);
+        assert_eq!(
+            attrs.iter().map(String::as_str).collect::<Vec<_>>(),
+            vec!["t", "x", "y", "z"]
+        );
+    }
+
+    #[test]
+    fn output_columns_with_aliases() {
+        let q = parse_query("SELECT x, AVG(z) AS zAVG, y + 1 FROM d GROUP BY x").unwrap();
+        let OutputColumns::Named(names) = output_columns(&q) else { panic!() };
+        assert_eq!(names, vec!["x", "zAVG", "?column?"]);
+    }
+
+    #[test]
+    fn output_columns_wildcard() {
+        let q = parse_query("SELECT * FROM d").unwrap();
+        assert_eq!(output_columns(&q), OutputColumns::Wildcard);
+        assert!(output_columns(&q).names().is_none());
+    }
+
+    #[test]
+    fn unaliased_aggregate_gets_synthetic_name() {
+        let q = parse_query("SELECT AVG(z) FROM d").unwrap();
+        let OutputColumns::Named(names) = output_columns(&q) else { panic!() };
+        assert_eq!(names, vec!["avg(z)"]);
+    }
+
+    #[test]
+    fn projected_attributes_only_projection() {
+        let q = parse_query("SELECT x, AVG(z) FROM d WHERE secret > 1 GROUP BY x").unwrap();
+        let attrs = projected_attributes(&q).unwrap();
+        assert!(attrs.contains("x"));
+        assert!(attrs.contains("z"));
+        assert!(!attrs.contains("secret"));
+    }
+
+    #[test]
+    fn projected_is_none_for_wildcard() {
+        let q = parse_query("SELECT * FROM stream").unwrap();
+        assert!(projected_attributes(&q).is_none());
+    }
+
+    #[test]
+    fn base_relations_in_order_without_dups() {
+        let q = parse_query(
+            "SELECT * FROM a JOIN (SELECT * FROM b JOIN a ON b.k = a.k) s ON a.k = s.k",
+        )
+        .unwrap();
+        assert_eq!(base_relations(&q), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn base_relations_in_unions() {
+        let q = parse_query("SELECT x FROM a UNION SELECT x FROM b").unwrap();
+        assert_eq!(base_relations(&q), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn expr_attributes_collects() {
+        let e = crate::parser::parse_expr("x > y AND z < 2").unwrap();
+        let attrs = expr_attributes(&e);
+        assert_eq!(attrs.len(), 3);
+    }
+}

@@ -1,0 +1,481 @@
+//! SQL feature detection.
+//!
+//! [`FeatureSet`] describes what language constructs a query block uses.
+//! The vertical fragmenter matches these against per-level
+//! capability sets (paper Table 1) to decide how far down a fragment can
+//! be pushed.
+
+use std::fmt;
+
+use crate::analysis::functions::{is_aggregate_function, is_regression_function};
+use crate::ast::{BinaryOp, Expr, Query, SelectItem, TableRef};
+use crate::visit::walk_expr;
+
+/// Individual SQL capabilities a node may or may not support.
+///
+/// The granularity follows the paper: sensors (E4) do `SELECT *` over a
+/// stream with constant comparisons and stream aggregates; appliances (E3)
+/// add projection, attribute↔attribute comparisons, grouping and joins;
+/// PCs (E2) add full SQL-92 (subqueries, set operations…); the cloud (E1)
+/// adds window functions with regression aggregates and arbitrary UDFs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SqlFeature {
+    /// Choosing a subset of columns (a sensor cannot even do this).
+    Projection,
+    /// Renaming output columns with `AS`.
+    Aliasing,
+    /// Comparison of an attribute against a constant (`z < 2`).
+    ConstComparison,
+    /// Comparison between two attributes (`x > y`).
+    AttrComparison,
+    /// Arithmetic in expressions.
+    Arithmetic,
+    /// Scalar function calls.
+    ScalarFunctions,
+    /// `LIKE`, `BETWEEN`, `IN`, `IS NULL` predicates.
+    ExtendedPredicates,
+    /// Plain aggregation (`AVG`, `SUM`, …) possibly with `GROUP BY`/`HAVING`.
+    Aggregation,
+    /// `GROUP BY` clause present.
+    GroupBy,
+    /// `HAVING` clause present.
+    Having,
+    /// `DISTINCT`.
+    Distinct,
+    /// `ORDER BY` / `LIMIT` / `OFFSET`.
+    Ordering,
+    /// Joins of any kind.
+    Join,
+    /// Derived tables / nested subqueries in `FROM`.
+    Subquery,
+    /// Scalar subqueries or `EXISTS` in expressions.
+    ExprSubquery,
+    /// `UNION` set operations.
+    SetOperation,
+    /// Window functions (`OVER` clauses) — SQL:2003.
+    WindowFunctions,
+    /// Regression aggregates (`regr_*`) — SQL:2011 statistics package.
+    RegressionAggregates,
+    /// `CASE` expressions.
+    CaseExpression,
+    /// `CAST` expressions.
+    Cast,
+    /// Functions unknown to the catalog — treated as user-defined.
+    UserDefinedFunctions,
+}
+
+impl SqlFeature {
+    /// Human-readable label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SqlFeature::Projection => "projection",
+            SqlFeature::Aliasing => "aliasing",
+            SqlFeature::ConstComparison => "attr-const comparison",
+            SqlFeature::AttrComparison => "attr-attr comparison",
+            SqlFeature::Arithmetic => "arithmetic",
+            SqlFeature::ScalarFunctions => "scalar functions",
+            SqlFeature::ExtendedPredicates => "extended predicates",
+            SqlFeature::Aggregation => "aggregation",
+            SqlFeature::GroupBy => "GROUP BY",
+            SqlFeature::Having => "HAVING",
+            SqlFeature::Distinct => "DISTINCT",
+            SqlFeature::Ordering => "ORDER BY/LIMIT",
+            SqlFeature::Join => "join",
+            SqlFeature::Subquery => "FROM subquery",
+            SqlFeature::ExprSubquery => "expression subquery",
+            SqlFeature::SetOperation => "set operation",
+            SqlFeature::WindowFunctions => "window functions",
+            SqlFeature::RegressionAggregates => "regression aggregates",
+            SqlFeature::CaseExpression => "CASE",
+            SqlFeature::Cast => "CAST",
+            SqlFeature::UserDefinedFunctions => "UDF",
+        }
+    }
+
+    /// Every feature, for iteration in reports.
+    pub const ALL: &'static [SqlFeature] = &[
+        SqlFeature::Projection,
+        SqlFeature::Aliasing,
+        SqlFeature::ConstComparison,
+        SqlFeature::AttrComparison,
+        SqlFeature::Arithmetic,
+        SqlFeature::ScalarFunctions,
+        SqlFeature::ExtendedPredicates,
+        SqlFeature::Aggregation,
+        SqlFeature::GroupBy,
+        SqlFeature::Having,
+        SqlFeature::Distinct,
+        SqlFeature::Ordering,
+        SqlFeature::Join,
+        SqlFeature::Subquery,
+        SqlFeature::ExprSubquery,
+        SqlFeature::SetOperation,
+        SqlFeature::WindowFunctions,
+        SqlFeature::RegressionAggregates,
+        SqlFeature::CaseExpression,
+        SqlFeature::Cast,
+        SqlFeature::UserDefinedFunctions,
+    ];
+}
+
+/// A set of [`SqlFeature`]s, stored as a bitmask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct FeatureSet(u32);
+
+impl FeatureSet {
+    /// The empty set.
+    pub const EMPTY: FeatureSet = FeatureSet(0);
+
+    /// Set with a single feature.
+    pub fn only(feature: SqlFeature) -> FeatureSet {
+        FeatureSet(1 << feature as u32)
+    }
+
+    /// Build from a slice of features.
+    pub fn from_slice(features: &[SqlFeature]) -> FeatureSet {
+        features.iter().fold(FeatureSet::EMPTY, |acc, f| acc.with(*f))
+    }
+
+    /// A set containing every feature.
+    pub fn all() -> FeatureSet {
+        FeatureSet::from_slice(SqlFeature::ALL)
+    }
+
+    /// Add a feature (builder style).
+    #[must_use]
+    pub fn with(mut self, feature: SqlFeature) -> FeatureSet {
+        self.insert(feature);
+        self
+    }
+
+    /// Add a feature in place.
+    pub fn insert(&mut self, feature: SqlFeature) {
+        self.0 |= 1 << feature as u32;
+    }
+
+    /// Remove a feature in place.
+    pub fn remove(&mut self, feature: SqlFeature) {
+        self.0 &= !(1 << feature as u32);
+    }
+
+    /// Membership test.
+    pub fn contains(&self, feature: SqlFeature) -> bool {
+        self.0 & (1 << feature as u32) != 0
+    }
+
+    /// Is every feature of `other` also in `self`?
+    pub fn is_superset_of(&self, other: &FeatureSet) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Union.
+    #[must_use]
+    pub fn union(&self, other: &FeatureSet) -> FeatureSet {
+        FeatureSet(self.0 | other.0)
+    }
+
+    /// Features in `self` that are missing from `other` (i.e. what a node
+    /// lacks to run this query).
+    #[must_use]
+    pub fn difference(&self, other: &FeatureSet) -> FeatureSet {
+        FeatureSet(self.0 & !other.0)
+    }
+
+    /// Number of features present.
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterate over contained features.
+    pub fn iter(&self) -> impl Iterator<Item = SqlFeature> + '_ {
+        SqlFeature::ALL.iter().copied().filter(|f| self.contains(*f))
+    }
+}
+
+impl fmt::Display for FeatureSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for feature in self.iter() {
+            if !first {
+                f.write_str(", ")?;
+            }
+            f.write_str(feature.label())?;
+            first = false;
+        }
+        if first {
+            f.write_str("(none)")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<SqlFeature> for FeatureSet {
+    fn from_iter<T: IntoIterator<Item = SqlFeature>>(iter: T) -> Self {
+        iter.into_iter().fold(FeatureSet::EMPTY, |acc, f| acc.with(f))
+    }
+}
+
+/// Detect the features used by this query block **only** (subqueries in
+/// FROM contribute [`SqlFeature::Subquery`] but their internals are scored
+/// separately — the fragmenter places each block on its own node).
+pub fn block_features(query: &Query) -> FeatureSet {
+    let mut set = FeatureSet::EMPTY;
+
+    if !query.has_wildcard() {
+        set.insert(SqlFeature::Projection);
+    }
+    for item in &query.items {
+        if let SelectItem::Expr { alias, expr } = item {
+            if alias.is_some() {
+                set.insert(SqlFeature::Aliasing);
+            }
+            expr_features(expr, &mut set);
+        }
+    }
+    if let Some(from) = &query.from {
+        table_features(from, &mut set);
+    }
+    if let Some(w) = &query.where_clause {
+        expr_features(w, &mut set);
+    }
+    for g in &query.group_by {
+        expr_features(g, &mut set);
+    }
+    if !query.group_by.is_empty() {
+        set.insert(SqlFeature::GroupBy);
+        set.insert(SqlFeature::Aggregation);
+    }
+    if let Some(h) = &query.having {
+        set.insert(SqlFeature::Having);
+        set.insert(SqlFeature::Aggregation);
+        expr_features(h, &mut set);
+    }
+    if query.is_aggregating(&is_aggregate_function) {
+        set.insert(SqlFeature::Aggregation);
+    }
+    if query.distinct {
+        set.insert(SqlFeature::Distinct);
+    }
+    if !query.order_by.is_empty() || query.limit.is_some() || query.offset.is_some() {
+        set.insert(SqlFeature::Ordering);
+        for o in &query.order_by {
+            expr_features(&o.expr, &mut set);
+        }
+    }
+    if !query.unions.is_empty() {
+        set.insert(SqlFeature::SetOperation);
+    }
+    set
+}
+
+/// Features of the query *and* every nested block, unioned. This is what
+/// a single node would need to run the whole thing unfragmented.
+pub fn deep_features(query: &Query) -> FeatureSet {
+    let mut set = block_features(query);
+    fn descend(t: &TableRef, set: &mut FeatureSet) {
+        match t {
+            TableRef::Table { .. } => {}
+            TableRef::Subquery { query, .. } => {
+                *set = set.union(&deep_features(query));
+            }
+            TableRef::Join { left, right, .. } => {
+                descend(left, set);
+                descend(right, set);
+            }
+        }
+    }
+    if let Some(from) = &query.from {
+        descend(from, &mut set);
+    }
+    for (_, q) in &query.unions {
+        set = set.union(&deep_features(q));
+    }
+    set
+}
+
+fn table_features(table: &TableRef, set: &mut FeatureSet) {
+    match table {
+        TableRef::Table { .. } => {}
+        TableRef::Subquery { .. } => {
+            set.insert(SqlFeature::Subquery);
+        }
+        TableRef::Join { left, right, on, .. } => {
+            set.insert(SqlFeature::Join);
+            table_features(left, set);
+            table_features(right, set);
+            if let Some(on) = on {
+                expr_features(on, set);
+            }
+        }
+    }
+}
+
+fn expr_features(expr: &Expr, set: &mut FeatureSet) {
+    walk_expr(expr, &mut |e| match e {
+        Expr::Binary { left, op, right } => {
+            if op.is_comparison() {
+                let l_col = matches!(left.as_ref(), Expr::Column(_));
+                let r_col = matches!(right.as_ref(), Expr::Column(_));
+                if l_col && r_col {
+                    set.insert(SqlFeature::AttrComparison);
+                } else if l_col || r_col {
+                    set.insert(SqlFeature::ConstComparison);
+                } else {
+                    set.insert(SqlFeature::Arithmetic);
+                }
+            } else if op.is_arithmetic() || *op == BinaryOp::Concat {
+                set.insert(SqlFeature::Arithmetic);
+            } else if *op == BinaryOp::Like {
+                set.insert(SqlFeature::ExtendedPredicates);
+            }
+        }
+        Expr::Function(f) => {
+            if let Some(_over) = &f.over {
+                set.insert(SqlFeature::WindowFunctions);
+            }
+            if is_regression_function(&f.name) {
+                set.insert(SqlFeature::RegressionAggregates);
+                set.insert(SqlFeature::Aggregation);
+            } else if is_aggregate_function(&f.name) {
+                set.insert(SqlFeature::Aggregation);
+            } else if crate::analysis::functions::is_scalar_function(&f.name) {
+                set.insert(SqlFeature::ScalarFunctions);
+            } else {
+                set.insert(SqlFeature::UserDefinedFunctions);
+            }
+        }
+        Expr::Between { .. } | Expr::InList { .. } | Expr::IsNull { .. } => {
+            set.insert(SqlFeature::ExtendedPredicates);
+        }
+        Expr::Case { .. } => {
+            set.insert(SqlFeature::CaseExpression);
+        }
+        Expr::Cast { .. } => {
+            set.insert(SqlFeature::Cast);
+        }
+        Expr::Subquery(_) | Expr::Exists(_) => {
+            set.insert(SqlFeature::ExprSubquery);
+        }
+        _ => {}
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn features(sql: &str) -> FeatureSet {
+        block_features(&parse_query(sql).unwrap())
+    }
+
+    #[test]
+    fn sensor_query_features() {
+        let f = features("SELECT * FROM stream WHERE z < 2");
+        assert!(f.contains(SqlFeature::ConstComparison));
+        assert!(!f.contains(SqlFeature::Projection));
+        assert!(!f.contains(SqlFeature::AttrComparison));
+        assert!(!f.contains(SqlFeature::Aggregation));
+    }
+
+    #[test]
+    fn appliance_query_features() {
+        let f = features("SELECT x, y, z, t FROM d1 WHERE x > y");
+        assert!(f.contains(SqlFeature::Projection));
+        assert!(f.contains(SqlFeature::AttrComparison));
+        assert!(!f.contains(SqlFeature::GroupBy));
+    }
+
+    #[test]
+    fn media_center_query_features() {
+        let f = features("SELECT x, y, AVG(z) AS zAVG, t FROM d2 GROUP BY x, y HAVING SUM(z) > 100");
+        assert!(f.contains(SqlFeature::GroupBy));
+        assert!(f.contains(SqlFeature::Having));
+        assert!(f.contains(SqlFeature::Aggregation));
+        assert!(f.contains(SqlFeature::Aliasing));
+        assert!(!f.contains(SqlFeature::WindowFunctions));
+    }
+
+    #[test]
+    fn window_query_features() {
+        let f = features(
+            "SELECT regr_intercept(y, x) OVER (PARTITION BY zAVG ORDER BY t) FROM d3",
+        );
+        assert!(f.contains(SqlFeature::WindowFunctions));
+        assert!(f.contains(SqlFeature::RegressionAggregates));
+    }
+
+    #[test]
+    fn block_vs_deep_features() {
+        let q = parse_query(
+            "SELECT x FROM (SELECT x, y FROM d WHERE x > y) WHERE x < 10",
+        )
+        .unwrap();
+        let block = block_features(&q);
+        assert!(block.contains(SqlFeature::Subquery));
+        assert!(!block.contains(SqlFeature::AttrComparison));
+        let deep = deep_features(&q);
+        assert!(deep.contains(SqlFeature::AttrComparison));
+    }
+
+    #[test]
+    fn udf_detection() {
+        let f = features("SELECT filterByClass(x) FROM d");
+        assert!(f.contains(SqlFeature::UserDefinedFunctions));
+    }
+
+    #[test]
+    fn join_features() {
+        let f = features("SELECT a.x FROM a JOIN b ON a.k = b.k");
+        assert!(f.contains(SqlFeature::Join));
+        assert!(f.contains(SqlFeature::AttrComparison)); // a.k = b.k
+    }
+
+    #[test]
+    fn set_operations() {
+        let f = features("SELECT x FROM a UNION SELECT x FROM b");
+        assert!(f.contains(SqlFeature::SetOperation));
+    }
+
+    #[test]
+    fn feature_set_algebra() {
+        let a = FeatureSet::from_slice(&[SqlFeature::Projection, SqlFeature::Join]);
+        let b = FeatureSet::only(SqlFeature::Projection);
+        assert!(a.is_superset_of(&b));
+        assert!(!b.is_superset_of(&a));
+        assert_eq!(a.difference(&b).len(), 1);
+        assert!(a.difference(&b).contains(SqlFeature::Join));
+        assert_eq!(a.union(&b), a);
+        assert_eq!(FeatureSet::all().len(), SqlFeature::ALL.len());
+    }
+
+    #[test]
+    fn feature_set_display() {
+        let a = FeatureSet::only(SqlFeature::GroupBy);
+        assert_eq!(a.to_string(), "GROUP BY");
+        assert_eq!(FeatureSet::EMPTY.to_string(), "(none)");
+    }
+
+    #[test]
+    fn ordering_feature() {
+        let f = features("SELECT x FROM d ORDER BY x LIMIT 5");
+        assert!(f.contains(SqlFeature::Ordering));
+    }
+
+    #[test]
+    fn distinct_feature() {
+        let f = features("SELECT DISTINCT x FROM d");
+        assert!(f.contains(SqlFeature::Distinct));
+    }
+
+    #[test]
+    fn arithmetic_comparison_counts_as_arithmetic() {
+        let f = features("SELECT * FROM d WHERE x + 1 > 2");
+        assert!(f.contains(SqlFeature::Arithmetic));
+    }
+}

@@ -1,0 +1,82 @@
+//! Classification of function names shared by the analyses, the rewriter
+//! and the execution engine.
+
+/// Aggregate functions of the subset (matched case-insensitively).
+///
+/// `regr_intercept` / `regr_slope` / `regr_r2` are the SQL:2011 linear
+/// regression aggregates used by the paper's running example.
+pub const AGGREGATE_FUNCTIONS: &[&str] = &[
+    "AVG",
+    "SUM",
+    "COUNT",
+    "MIN",
+    "MAX",
+    "STDDEV",
+    "VAR_SAMP",
+    "REGR_INTERCEPT",
+    "REGR_SLOPE",
+    "REGR_R2",
+    "REGR_COUNT",
+];
+
+/// Scalar functions of the subset (matched case-insensitively).
+pub const SCALAR_FUNCTIONS: &[&str] = &[
+    "ABS", "ROUND", "FLOOR", "CEIL", "SQRT", "POWER", "LN", "EXP", "LOWER", "UPPER", "LENGTH",
+    "COALESCE", "NULLIF",
+];
+
+/// Is `name` an aggregate function?
+pub fn is_aggregate_function(name: &str) -> bool {
+    let upper = name.to_ascii_uppercase();
+    AGGREGATE_FUNCTIONS.contains(&upper.as_str())
+}
+
+/// Is `name` one of the regression aggregates (SQL:2011 statistical
+/// functions, beyond "SQL light")?
+pub fn is_regression_function(name: &str) -> bool {
+    name.to_ascii_uppercase().starts_with("REGR_")
+}
+
+/// Is `name` a known scalar function?
+pub fn is_scalar_function(name: &str) -> bool {
+    let upper = name.to_ascii_uppercase();
+    SCALAR_FUNCTIONS.contains(&upper.as_str())
+}
+
+/// Is `name` known at all (scalar or aggregate)?
+pub fn is_known_function(name: &str) -> bool {
+    is_aggregate_function(name) || is_scalar_function(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_are_case_insensitive() {
+        assert!(is_aggregate_function("avg"));
+        assert!(is_aggregate_function("AVG"));
+        assert!(is_aggregate_function("regr_intercept"));
+        assert!(!is_aggregate_function("abs"));
+    }
+
+    #[test]
+    fn regression_detection() {
+        assert!(is_regression_function("regr_intercept"));
+        assert!(is_regression_function("REGR_SLOPE"));
+        assert!(!is_regression_function("avg"));
+    }
+
+    #[test]
+    fn scalar_detection() {
+        assert!(is_scalar_function("round"));
+        assert!(!is_scalar_function("sum"));
+    }
+
+    #[test]
+    fn known_covers_both() {
+        assert!(is_known_function("sum"));
+        assert!(is_known_function("coalesce"));
+        assert!(!is_known_function("filterByClass"));
+    }
+}

@@ -1,0 +1,17 @@
+//! Static analyses over the AST: feature detection, attribute usage and
+//! predicate shape classification.
+
+pub mod attrs;
+pub mod features;
+pub mod functions;
+pub mod predicates;
+
+pub use attrs::{
+    base_relations, expr_attributes, output_columns, projected_attributes,
+    referenced_attributes, OutputColumns,
+};
+pub use features::{block_features, deep_features, FeatureSet, SqlFeature};
+pub use functions::{
+    is_aggregate_function, is_known_function, is_regression_function, is_scalar_function,
+};
+pub use predicates::{classify_predicate, split_conjuncts_by_shape, PredicateShape, SplitPredicates};

@@ -1,0 +1,210 @@
+//! Predicate shape classification for the fragmenter.
+//!
+//! The paper pushes `WHERE` conjuncts down according to what each node can
+//! evaluate: a sensor "can only compare an attribute against a constant",
+//! an appliance can also do "basic comparison operations, like less-than or
+//! equals between two attributes". This module classifies each conjunct.
+
+use crate::analysis::functions::is_aggregate_function;
+use crate::ast::query::expr_has_aggregate;
+use crate::ast::{Expr, Literal};
+
+/// The shape of a single predicate (a conjunct of a `WHERE` clause).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PredicateShape {
+    /// `attr op constant` or `constant op attr` — executable on a sensor.
+    AttrConst,
+    /// `attr op attr` — needs an appliance.
+    AttrAttr,
+    /// Anything containing aggregates — a `HAVING`-style predicate.
+    Aggregate,
+    /// Arbitrary predicates (arithmetic, functions, subqueries…).
+    Complex,
+}
+
+/// Classify one predicate expression.
+pub fn classify_predicate(expr: &Expr) -> PredicateShape {
+    // Aggregates at this block's level force HAVING placement (aggregates
+    // inside scalar subqueries belong to the subquery, not this predicate).
+    if expr_has_aggregate(expr, &is_aggregate_function) {
+        return PredicateShape::Aggregate;
+    }
+
+    if let Expr::Binary { left, op, right } = expr {
+        if op.is_comparison() {
+            let l = operand_kind(left);
+            let r = operand_kind(right);
+            return match (l, r) {
+                (OperandKind::Column, OperandKind::Constant)
+                | (OperandKind::Constant, OperandKind::Column) => PredicateShape::AttrConst,
+                (OperandKind::Column, OperandKind::Column) => PredicateShape::AttrAttr,
+                _ => PredicateShape::Complex,
+            };
+        }
+    }
+    // `z BETWEEN 1 AND 2` and `z IN (…)` over constants count as
+    // attr-const shapes: they desugar to constant comparisons.
+    match expr {
+        Expr::Between { expr, low, high, .. }
+            if operand_kind(expr) == OperandKind::Column
+                && operand_kind(low) == OperandKind::Constant
+                && operand_kind(high) == OperandKind::Constant =>
+        {
+            PredicateShape::AttrConst
+        }
+        Expr::InList { expr, list, .. }
+            if operand_kind(expr) == OperandKind::Column
+                && list.iter().all(|e| operand_kind(e) == OperandKind::Constant) =>
+        {
+            PredicateShape::AttrConst
+        }
+        Expr::IsNull { expr, .. } if operand_kind(expr) == OperandKind::Column => {
+            PredicateShape::AttrConst
+        }
+        _ => PredicateShape::Complex,
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OperandKind {
+    Column,
+    Constant,
+    Other,
+}
+
+fn operand_kind(e: &Expr) -> OperandKind {
+    match e {
+        Expr::Column(_) => OperandKind::Column,
+        Expr::Literal(Literal::Null) => OperandKind::Other,
+        Expr::Literal(_) => OperandKind::Constant,
+        Expr::Unary { op: crate::ast::UnaryOp::Minus, expr }
+            if matches!(
+                expr.as_ref(),
+                Expr::Literal(Literal::Integer(_)) | Expr::Literal(Literal::Float(_))
+            ) =>
+        {
+            OperandKind::Constant
+        }
+        _ => OperandKind::Other,
+    }
+}
+
+/// A `WHERE` clause's conjuncts split by shape, preserving order within
+/// each bucket.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SplitPredicates {
+    /// Sensor-executable conjuncts.
+    pub attr_const: Vec<Expr>,
+    /// Appliance-executable conjuncts.
+    pub attr_attr: Vec<Expr>,
+    /// Aggregate (HAVING-bound) conjuncts.
+    pub aggregate: Vec<Expr>,
+    /// Everything else.
+    pub complex: Vec<Expr>,
+}
+
+impl SplitPredicates {
+    /// Total number of conjuncts.
+    pub fn len(&self) -> usize {
+        self.attr_const.len() + self.attr_attr.len() + self.aggregate.len() + self.complex.len()
+    }
+
+    /// Any conjuncts at all?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Split an optional predicate into classified conjuncts.
+pub fn split_conjuncts_by_shape(predicate: Option<&Expr>) -> SplitPredicates {
+    let mut out = SplitPredicates::default();
+    let Some(predicate) = predicate else { return out };
+    for conjunct in predicate.conjuncts() {
+        match classify_predicate(conjunct) {
+            PredicateShape::AttrConst => out.attr_const.push(conjunct.clone()),
+            PredicateShape::AttrAttr => out.attr_attr.push(conjunct.clone()),
+            PredicateShape::Aggregate => out.aggregate.push(conjunct.clone()),
+            PredicateShape::Complex => out.complex.push(conjunct.clone()),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+
+    fn classify(src: &str) -> PredicateShape {
+        classify_predicate(&parse_expr(src).unwrap())
+    }
+
+    #[test]
+    fn attr_const_shapes() {
+        assert_eq!(classify("z < 2"), PredicateShape::AttrConst);
+        assert_eq!(classify("2 > z"), PredicateShape::AttrConst);
+        assert_eq!(classify("action = 'walk'"), PredicateShape::AttrConst);
+        assert_eq!(classify("z < -5"), PredicateShape::AttrConst);
+    }
+
+    #[test]
+    fn attr_attr_shapes() {
+        assert_eq!(classify("x > y"), PredicateShape::AttrAttr);
+        assert_eq!(classify("x = y"), PredicateShape::AttrAttr);
+    }
+
+    #[test]
+    fn aggregate_shapes() {
+        assert_eq!(classify("SUM(z) > 100"), PredicateShape::Aggregate);
+        assert_eq!(classify("AVG(z) < 2"), PredicateShape::Aggregate);
+    }
+
+    #[test]
+    fn complex_shapes() {
+        assert_eq!(classify("x + 1 > y"), PredicateShape::Complex);
+        assert_eq!(classify("ABS(x) > 2"), PredicateShape::Complex);
+        assert_eq!(classify("x > (SELECT AVG(z) FROM d)"), PredicateShape::Complex);
+    }
+
+    #[test]
+    fn between_and_in_over_constants_are_sensor_friendly() {
+        assert_eq!(classify("z BETWEEN 1 AND 2"), PredicateShape::AttrConst);
+        assert_eq!(classify("z IN (1, 2, 3)"), PredicateShape::AttrConst);
+        assert_eq!(classify("valid IS NULL"), PredicateShape::AttrConst);
+    }
+
+    #[test]
+    fn between_over_columns_is_complex() {
+        assert_eq!(classify("z BETWEEN low AND high"), PredicateShape::Complex);
+    }
+
+    #[test]
+    fn null_comparison_is_complex() {
+        // `z = NULL` is never true; classify as complex so it is not
+        // pushed to a sensor that may mis-handle it.
+        assert_eq!(classify("z = NULL"), PredicateShape::Complex);
+    }
+
+    #[test]
+    fn split_the_paper_where_clause() {
+        let pred = parse_expr("x > y AND z < 2").unwrap();
+        let split = split_conjuncts_by_shape(Some(&pred));
+        assert_eq!(split.attr_attr.len(), 1);
+        assert_eq!(split.attr_const.len(), 1);
+        assert_eq!(split.len(), 2);
+        assert_eq!(split.attr_attr[0].to_string(), "x > y");
+        assert_eq!(split.attr_const[0].to_string(), "z < 2");
+    }
+
+    #[test]
+    fn split_none_is_empty() {
+        assert!(split_conjuncts_by_shape(None).is_empty());
+    }
+
+    #[test]
+    fn windowed_aggregate_is_not_aggregate_shape() {
+        // A window call is not a HAVING-style aggregate predicate.
+        let shape = classify("SUM(z) OVER (ORDER BY t) > 5");
+        assert_eq!(shape, PredicateShape::Complex);
+    }
+}

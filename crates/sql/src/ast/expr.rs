@@ -1,0 +1,422 @@
+//! Expression AST nodes.
+
+use crate::ast::query::{OrderByItem, Query};
+
+/// A literal value appearing in a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// SQL `NULL`.
+    Null,
+    /// `TRUE` / `FALSE`.
+    Boolean(bool),
+    /// Integer literal.
+    Integer(i64),
+    /// Floating point literal.
+    Float(f64),
+    /// String literal.
+    String(String),
+}
+
+impl Literal {
+    /// Whether two literals are equal, treating floats bitwise so the AST
+    /// can implement `Eq`-like semantics in tests.
+    pub fn same_as(&self, other: &Literal) -> bool {
+        match (self, other) {
+            (Literal::Float(a), Literal::Float(b)) => a.to_bits() == b.to_bits(),
+            (a, b) => a == b,
+        }
+    }
+}
+
+/// A (possibly qualified) column reference, e.g. `x` or `t.x`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColumnRef {
+    /// Optional table qualifier.
+    pub qualifier: Option<String>,
+    /// Column name.
+    pub name: String,
+}
+
+impl ColumnRef {
+    /// Unqualified column.
+    pub fn bare(name: impl Into<String>) -> Self {
+        ColumnRef { qualifier: None, name: name.into() }
+    }
+
+    /// Qualified column `qualifier.name`.
+    pub fn qualified(qualifier: impl Into<String>, name: impl Into<String>) -> Self {
+        ColumnRef { qualifier: Some(qualifier.into()), name: name.into() }
+    }
+}
+
+/// Binary operators, in SQL spelling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BinaryOp {
+    And,
+    Or,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Plus,
+    Minus,
+    Multiply,
+    Divide,
+    Modulo,
+    Like,
+    Concat,
+}
+
+impl BinaryOp {
+    /// SQL spelling of the operator.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+            BinaryOp::Eq => "=",
+            BinaryOp::NotEq => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::LtEq => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::GtEq => ">=",
+            BinaryOp::Plus => "+",
+            BinaryOp::Minus => "-",
+            BinaryOp::Multiply => "*",
+            BinaryOp::Divide => "/",
+            BinaryOp::Modulo => "%",
+            BinaryOp::Like => "LIKE",
+            BinaryOp::Concat => "||",
+        }
+    }
+
+    /// Is this a comparison operator (`=`, `<>`, `<`, `<=`, `>`, `>=`)?
+    pub fn is_comparison(&self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq
+                | BinaryOp::NotEq
+                | BinaryOp::Lt
+                | BinaryOp::LtEq
+                | BinaryOp::Gt
+                | BinaryOp::GtEq
+        )
+    }
+
+    /// Is this a logical connective (`AND` / `OR`)?
+    pub fn is_logical(&self) -> bool {
+        matches!(self, BinaryOp::And | BinaryOp::Or)
+    }
+
+    /// Is this an arithmetic operator?
+    pub fn is_arithmetic(&self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Plus
+                | BinaryOp::Minus
+                | BinaryOp::Multiply
+                | BinaryOp::Divide
+                | BinaryOp::Modulo
+        )
+    }
+
+    /// The mirrored comparison (`<` ↔ `>`), used when normalising
+    /// predicates such as `5 < x` into `x > 5`.
+    pub fn mirrored(&self) -> Option<BinaryOp> {
+        Some(match self {
+            BinaryOp::Eq => BinaryOp::Eq,
+            BinaryOp::NotEq => BinaryOp::NotEq,
+            BinaryOp::Lt => BinaryOp::Gt,
+            BinaryOp::LtEq => BinaryOp::GtEq,
+            BinaryOp::Gt => BinaryOp::Lt,
+            BinaryOp::GtEq => BinaryOp::LtEq,
+            _ => return None,
+        })
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum UnaryOp {
+    Not,
+    Minus,
+    Plus,
+}
+
+impl UnaryOp {
+    /// SQL spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            UnaryOp::Not => "NOT",
+            UnaryOp::Minus => "-",
+            UnaryOp::Plus => "+",
+        }
+    }
+}
+
+/// `OVER (PARTITION BY … ORDER BY …)` window specification.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WindowSpec {
+    /// `PARTITION BY` expressions.
+    pub partition_by: Vec<Expr>,
+    /// `ORDER BY` items.
+    pub order_by: Vec<OrderByItem>,
+}
+
+/// A function call, scalar (`ABS(x)`), aggregate (`AVG(z)`,
+/// `regr_intercept(y, x)`), or windowed (aggregate + [`WindowSpec`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionCall {
+    /// Function name as written (case preserved; matched case-insensitively).
+    pub name: String,
+    /// Arguments; `COUNT(*)` is represented by a single [`Expr::Wildcard`].
+    pub args: Vec<Expr>,
+    /// `DISTINCT` inside the call, e.g. `COUNT(DISTINCT x)`.
+    pub distinct: bool,
+    /// Window clause, if any.
+    pub over: Option<WindowSpec>,
+}
+
+impl FunctionCall {
+    /// A plain call without DISTINCT or OVER.
+    pub fn new(name: impl Into<String>, args: Vec<Expr>) -> Self {
+        FunctionCall { name: name.into(), args, distinct: false, over: None }
+    }
+}
+
+/// One `WHEN … THEN …` branch of a `CASE` expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseBranch {
+    /// Condition (or comparand in the operand form).
+    pub when: Expr,
+    /// Result expression.
+    pub then: Expr,
+}
+
+/// Expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference.
+    Column(ColumnRef),
+    /// Literal value.
+    Literal(Literal),
+    /// `*` as a function argument (only valid inside e.g. `COUNT(*)`).
+    Wildcard,
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Left operand.
+        left: Box<Expr>,
+        /// Operator.
+        op: BinaryOp,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Function call (scalar, aggregate, or windowed).
+    Function(FunctionCall),
+    /// `CASE [operand] WHEN … THEN … [ELSE …] END`.
+    Case {
+        /// Optional operand (the `CASE x WHEN v` form).
+        operand: Option<Box<Expr>>,
+        /// The branches in order.
+        branches: Vec<CaseBranch>,
+        /// Optional `ELSE`.
+        else_result: Option<Box<Expr>>,
+    },
+    /// `expr [NOT] BETWEEN low AND high`.
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound (inclusive).
+        low: Box<Expr>,
+        /// Upper bound (inclusive).
+        high: Box<Expr>,
+        /// Negated form.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (v1, v2, …)`.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Candidate values.
+        list: Vec<Expr>,
+        /// Negated form.
+        negated: bool,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// `IS NOT NULL`.
+        negated: bool,
+    },
+    /// `CAST(expr AS type)`; the target type is kept as its source text.
+    Cast {
+        /// Expression being cast.
+        expr: Box<Expr>,
+        /// Target type name, e.g. `INTEGER`.
+        type_name: String,
+    },
+    /// Scalar subquery `(SELECT …)`.
+    Subquery(Box<Query>),
+    /// `EXISTS (SELECT …)`.
+    Exists(Box<Query>),
+}
+
+impl Expr {
+    /// Convenience: column reference expression.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column(ColumnRef::bare(name))
+    }
+
+    /// Convenience: integer literal.
+    pub fn int(v: i64) -> Expr {
+        Expr::Literal(Literal::Integer(v))
+    }
+
+    /// Convenience: float literal.
+    pub fn float(v: f64) -> Expr {
+        Expr::Literal(Literal::Float(v))
+    }
+
+    /// Convenience: string literal.
+    pub fn string(v: impl Into<String>) -> Expr {
+        Expr::Literal(Literal::String(v.into()))
+    }
+
+    /// Convenience: binary expression.
+    pub fn binary(left: Expr, op: BinaryOp, right: Expr) -> Expr {
+        Expr::Binary { left: Box::new(left), op, right: Box::new(right) }
+    }
+
+    /// `self AND other`, but if either side is absent return the other;
+    /// the canonical way to conjoin optional predicates.
+    pub fn and_maybe(a: Option<Expr>, b: Option<Expr>) -> Option<Expr> {
+        match (a, b) {
+            (None, None) => None,
+            (Some(x), None) | (None, Some(x)) => Some(x),
+            (Some(x), Some(y)) => Some(Expr::binary(x, BinaryOp::And, y)),
+        }
+    }
+
+    /// Split a predicate into its top-level conjuncts:
+    /// `a AND (b AND c)` → `[a, b, c]`.
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        fn walk<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
+            match e {
+                Expr::Binary { left, op: BinaryOp::And, right } => {
+                    walk(left, out);
+                    walk(right, out);
+                }
+                other => out.push(other),
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Rebuild a conjunction from parts; `None` if the slice is empty.
+    pub fn conjoin(parts: Vec<Expr>) -> Option<Expr> {
+        let mut iter = parts.into_iter();
+        let first = iter.next()?;
+        Some(iter.fold(first, |acc, e| Expr::binary(acc, BinaryOp::And, e)))
+    }
+
+    /// Is this expression a direct function call with an `OVER` clause?
+    pub fn is_window_call(&self) -> bool {
+        matches!(self, Expr::Function(f) if f.over.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjuncts_flatten_nested_ands() {
+        let e = Expr::binary(
+            Expr::binary(Expr::col("a"), BinaryOp::Gt, Expr::col("b")),
+            BinaryOp::And,
+            Expr::binary(
+                Expr::binary(Expr::col("z"), BinaryOp::Lt, Expr::int(2)),
+                BinaryOp::And,
+                Expr::col("flag"),
+            ),
+        );
+        let parts = e.conjuncts();
+        assert_eq!(parts.len(), 3);
+    }
+
+    #[test]
+    fn conjuncts_of_leaf_is_itself() {
+        let e = Expr::col("x");
+        assert_eq!(e.conjuncts(), vec![&Expr::col("x")]);
+    }
+
+    #[test]
+    fn conjoin_inverts_conjuncts() {
+        let parts = vec![
+            Expr::binary(Expr::col("a"), BinaryOp::Gt, Expr::col("b")),
+            Expr::binary(Expr::col("z"), BinaryOp::Lt, Expr::int(2)),
+        ];
+        let joined = Expr::conjoin(parts.clone()).unwrap();
+        let split: Vec<Expr> = joined.conjuncts().into_iter().cloned().collect();
+        assert_eq!(split, parts);
+    }
+
+    #[test]
+    fn conjoin_empty_is_none() {
+        assert_eq!(Expr::conjoin(vec![]), None);
+    }
+
+    #[test]
+    fn and_maybe_combines() {
+        assert_eq!(Expr::and_maybe(None, None), None);
+        let a = Expr::col("a");
+        assert_eq!(Expr::and_maybe(Some(a.clone()), None), Some(a.clone()));
+        let combined = Expr::and_maybe(Some(a.clone()), Some(Expr::col("b"))).unwrap();
+        assert_eq!(combined.conjuncts().len(), 2);
+    }
+
+    #[test]
+    fn mirrored_comparisons() {
+        assert_eq!(BinaryOp::Lt.mirrored(), Some(BinaryOp::Gt));
+        assert_eq!(BinaryOp::GtEq.mirrored(), Some(BinaryOp::LtEq));
+        assert_eq!(BinaryOp::Eq.mirrored(), Some(BinaryOp::Eq));
+        assert_eq!(BinaryOp::Plus.mirrored(), None);
+    }
+
+    #[test]
+    fn op_classification() {
+        assert!(BinaryOp::Lt.is_comparison());
+        assert!(!BinaryOp::Lt.is_logical());
+        assert!(BinaryOp::And.is_logical());
+        assert!(BinaryOp::Multiply.is_arithmetic());
+        assert!(!BinaryOp::Like.is_comparison());
+    }
+
+    #[test]
+    fn float_literals_compare_bitwise() {
+        assert!(Literal::Float(1.5).same_as(&Literal::Float(1.5)));
+        assert!(!Literal::Float(1.5).same_as(&Literal::Float(2.5)));
+        assert!(Literal::Null.same_as(&Literal::Null));
+    }
+
+    #[test]
+    fn window_call_detection() {
+        let mut f = FunctionCall::new("AVG", vec![Expr::col("z")]);
+        assert!(!Expr::Function(f.clone()).is_window_call());
+        f.over = Some(WindowSpec::default());
+        assert!(Expr::Function(f).is_window_call());
+    }
+}

@@ -1,0 +1,15 @@
+//! Abstract syntax tree for the supported SQL subset.
+//!
+//! The tree is deliberately owned and `Clone` — the whole point of
+//! PArADISE is to *rewrite* queries, so rewriters freely take apart and
+//! reassemble these values.
+
+pub mod expr;
+pub mod query;
+
+pub use expr::{
+    BinaryOp, CaseBranch, ColumnRef, Expr, FunctionCall, Literal, UnaryOp, WindowSpec,
+};
+pub use query::{
+    expr_has_aggregate, JoinKind, OrderByItem, Query, SelectItem, SortOrder, TableRef,
+};

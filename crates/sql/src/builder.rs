@@ -1,0 +1,226 @@
+//! A fluent builder for programmatic query construction — rewriters and
+//! tests assemble queries without going through SQL text.
+//!
+//! ```
+//! use paradise_sql::builder::QueryBuilder;
+//! use paradise_sql::parse_expr;
+//!
+//! let q = QueryBuilder::from_table("stream")
+//!     .column("x")
+//!     .column("y")
+//!     .aggregate("AVG", "z", Some("zAVG"))
+//!     .column("t")
+//!     .filter(parse_expr("x > y").unwrap())
+//!     .filter(parse_expr("z < 2").unwrap())
+//!     .group_by(&["x", "y"])
+//!     .having(parse_expr("SUM(z) > 100").unwrap())
+//!     .build();
+//! assert_eq!(
+//!     q.to_string(),
+//!     "SELECT x, y, AVG(z) AS zAVG, t FROM stream \
+//!      WHERE x > y AND z < 2 GROUP BY x, y HAVING SUM(z) > 100"
+//! );
+//! ```
+
+use crate::ast::{
+    ColumnRef, Expr, FunctionCall, OrderByItem, Query, SelectItem, SortOrder, TableRef,
+};
+
+/// Builder for a single `SELECT` block.
+#[derive(Debug, Clone, Default)]
+pub struct QueryBuilder {
+    query: Query,
+}
+
+impl QueryBuilder {
+    /// Start from a base table.
+    pub fn from_table(name: impl Into<String>) -> Self {
+        QueryBuilder {
+            query: Query { from: Some(TableRef::table(name.into())), ..Query::default() },
+        }
+    }
+
+    /// Start from a derived table (nested query).
+    pub fn from_subquery(inner: Query) -> Self {
+        QueryBuilder {
+            query: Query { from: Some(TableRef::subquery(inner)), ..Query::default() },
+        }
+    }
+
+    /// Project everything (`SELECT *`).
+    #[must_use]
+    pub fn wildcard(mut self) -> Self {
+        self.query.items.push(SelectItem::Wildcard);
+        self
+    }
+
+    /// Project a plain column.
+    #[must_use]
+    pub fn column(mut self, name: impl Into<String>) -> Self {
+        self.query.items.push(SelectItem::expr(Expr::Column(ColumnRef::bare(name))));
+        self
+    }
+
+    /// Project an arbitrary expression with an optional alias.
+    #[must_use]
+    pub fn expr(mut self, expr: Expr, alias: Option<&str>) -> Self {
+        self.query.items.push(SelectItem::Expr { expr, alias: alias.map(str::to_string) });
+        self
+    }
+
+    /// Project `FUNC(column) [AS alias]`.
+    #[must_use]
+    pub fn aggregate(
+        mut self,
+        function: impl Into<String>,
+        column: impl Into<String>,
+        alias: Option<&str>,
+    ) -> Self {
+        let call = FunctionCall::new(
+            function,
+            vec![Expr::Column(ColumnRef::bare(column))],
+        );
+        self.query.items.push(SelectItem::Expr {
+            expr: Expr::Function(call),
+            alias: alias.map(str::to_string),
+        });
+        self
+    }
+
+    /// Conjoin a predicate into the `WHERE` clause.
+    #[must_use]
+    pub fn filter(mut self, predicate: Expr) -> Self {
+        self.query.where_clause =
+            Expr::and_maybe(self.query.where_clause.take(), Some(predicate));
+        self
+    }
+
+    /// Add grouping columns.
+    #[must_use]
+    pub fn group_by(mut self, columns: &[&str]) -> Self {
+        for c in columns {
+            self.query.group_by.push(Expr::Column(ColumnRef::bare(*c)));
+        }
+        self
+    }
+
+    /// Conjoin a `HAVING` predicate.
+    #[must_use]
+    pub fn having(mut self, predicate: Expr) -> Self {
+        self.query.having = Expr::and_maybe(self.query.having.take(), Some(predicate));
+        self
+    }
+
+    /// `SELECT DISTINCT`.
+    #[must_use]
+    pub fn distinct(mut self) -> Self {
+        self.query.distinct = true;
+        self
+    }
+
+    /// Add an `ORDER BY` key.
+    #[must_use]
+    pub fn order_by(mut self, column: impl Into<String>, order: SortOrder) -> Self {
+        self.query
+            .order_by
+            .push(OrderByItem { expr: Expr::Column(ColumnRef::bare(column)), order });
+        self
+    }
+
+    /// Set `LIMIT`.
+    #[must_use]
+    pub fn limit(mut self, n: u64) -> Self {
+        self.query.limit = Some(n);
+        self
+    }
+
+    /// Set `OFFSET`.
+    #[must_use]
+    pub fn offset(mut self, n: u64) -> Self {
+        self.query.offset = Some(n);
+        self
+    }
+
+    /// Finish. Defaults to `SELECT *` when nothing was projected.
+    pub fn build(mut self) -> Query {
+        if self.query.items.is_empty() {
+            self.query.items.push(SelectItem::Wildcard);
+        }
+        self.query
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_query};
+
+    #[test]
+    fn builds_the_papers_inner_block() {
+        let q = QueryBuilder::from_table("stream")
+            .column("x")
+            .column("y")
+            .aggregate("AVG", "z", Some("zAVG"))
+            .column("t")
+            .filter(parse_expr("x > y").unwrap())
+            .filter(parse_expr("z < 2").unwrap())
+            .group_by(&["x", "y"])
+            .having(parse_expr("SUM(z) > 100").unwrap())
+            .build();
+        let expected = parse_query(
+            "SELECT x, y, AVG(z) AS zAVG, t FROM stream \
+             WHERE x > y AND z < 2 GROUP BY x, y HAVING SUM(z) > 100",
+        )
+        .unwrap();
+        assert_eq!(q, expected);
+    }
+
+    #[test]
+    fn builds_nested_queries() {
+        let inner = QueryBuilder::from_table("stream").wildcard().build();
+        let outer = QueryBuilder::from_subquery(inner)
+            .column("x")
+            .order_by("x", SortOrder::Desc)
+            .limit(10)
+            .offset(2)
+            .build();
+        assert_eq!(
+            outer.to_string(),
+            "SELECT x FROM (SELECT * FROM stream) ORDER BY x DESC LIMIT 10 OFFSET 2"
+        );
+    }
+
+    #[test]
+    fn empty_projection_defaults_to_wildcard() {
+        let q = QueryBuilder::from_table("s").build();
+        assert!(q.has_wildcard());
+    }
+
+    #[test]
+    fn distinct_and_expr_items() {
+        let q = QueryBuilder::from_table("s")
+            .distinct()
+            .expr(parse_expr("x + 1").unwrap(), Some("xp"))
+            .build();
+        assert_eq!(q.to_string(), "SELECT DISTINCT x + 1 AS xp FROM s");
+    }
+
+    #[test]
+    fn filters_conjoin_in_order() {
+        let q = QueryBuilder::from_table("s")
+            .wildcard()
+            .filter(parse_expr("a > 1").unwrap())
+            .filter(parse_expr("b < 2").unwrap())
+            .filter(parse_expr("c = 3").unwrap())
+            .build();
+        let conjuncts: Vec<String> = q
+            .where_clause
+            .as_ref()
+            .unwrap()
+            .conjuncts()
+            .iter()
+            .map(|c| c.to_string())
+            .collect();
+        assert_eq!(conjuncts, vec!["a > 1", "b < 2", "c = 3"]);
+    }
+}

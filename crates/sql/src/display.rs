@@ -1,0 +1,446 @@
+//! Rendering ASTs back to SQL text.
+//!
+//! The renderer produces canonical single-line SQL. Rendering a parsed
+//! query and re-parsing the output yields the same AST (round-trip
+//! property, tested here and with proptest in `tests/`).
+
+use std::fmt;
+
+use crate::ast::{
+    CaseBranch, ColumnRef, Expr, FunctionCall, Literal, OrderByItem, Query, SelectItem, SortOrder,
+    TableRef, WindowSpec,
+};
+
+/// Quote an identifier only when necessary (non-alphanumeric characters or
+/// keyword collision).
+fn write_ident(f: &mut fmt::Formatter<'_>, ident: &str) -> fmt::Result {
+    let plain = !ident.is_empty()
+        && ident.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_')
+        && ident.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '$')
+        && crate::token::Keyword::lookup(ident).is_none();
+    if plain {
+        f.write_str(ident)
+    } else {
+        write!(f, "\"{}\"", ident.replace('"', "\"\""))
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(q) = &self.qualifier {
+            write_ident(f, q)?;
+            f.write_str(".")?;
+        }
+        write_ident(f, &self.name)
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Null => f.write_str("NULL"),
+            Literal::Boolean(true) => f.write_str("TRUE"),
+            Literal::Boolean(false) => f.write_str("FALSE"),
+            Literal::Integer(v) => write!(f, "{v}"),
+            Literal::Float(v) => {
+                if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                    // keep it recognisable as a float
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Literal::String(s) => write!(f, "'{}'", s.replace('\'', "''")),
+        }
+    }
+}
+
+impl fmt::Display for WindowSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        let mut needs_space = false;
+        if !self.partition_by.is_empty() {
+            f.write_str("PARTITION BY ")?;
+            write_comma_list(f, &self.partition_by)?;
+            needs_space = true;
+        }
+        if !self.order_by.is_empty() {
+            if needs_space {
+                f.write_str(" ")?;
+            }
+            f.write_str("ORDER BY ")?;
+            write_comma_list(f, &self.order_by)?;
+        }
+        f.write_str(")")
+    }
+}
+
+impl fmt::Display for FunctionCall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        if self.distinct {
+            f.write_str("DISTINCT ")?;
+        }
+        write_comma_list(f, &self.args)?;
+        f.write_str(")")?;
+        if let Some(over) = &self.over {
+            write!(f, " OVER {over}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Operator precedence used to decide where parentheses are required when
+/// rendering nested binary expressions.
+fn precedence(e: &Expr) -> u8 {
+    match e {
+        Expr::Binary { op, .. } => match op {
+            crate::ast::BinaryOp::Or => 1,
+            crate::ast::BinaryOp::And => 2,
+            op if op.is_comparison() => 4,
+            crate::ast::BinaryOp::Like => 4,
+            crate::ast::BinaryOp::Plus | crate::ast::BinaryOp::Minus => 5,
+            crate::ast::BinaryOp::Concat => 5,
+            _ => 6,
+        },
+        Expr::Unary { op: crate::ast::UnaryOp::Not, .. } => 3,
+        Expr::Between { .. } | Expr::InList { .. } | Expr::IsNull { .. } => 4,
+        _ => 10,
+    }
+}
+
+fn write_child(f: &mut fmt::Formatter<'_>, child: &Expr, parent_prec: u8) -> fmt::Result {
+    if precedence(child) < parent_prec {
+        write!(f, "({child})")
+    } else {
+        write!(f, "{child}")
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(c) => write!(f, "{c}"),
+            Expr::Literal(l) => write!(f, "{l}"),
+            Expr::Wildcard => f.write_str("*"),
+            Expr::Unary { op, expr } => match op {
+                crate::ast::UnaryOp::Not => {
+                    f.write_str("NOT ")?;
+                    write_child(f, expr, 3)
+                }
+                _ => {
+                    f.write_str(op.as_str())?;
+                    write_child(f, expr, 7)
+                }
+            },
+            Expr::Binary { left, op, right } => {
+                let prec = precedence(self);
+                // comparisons and LIKE are non-associative: equal-precedence
+                // children need parentheses on BOTH sides; left-associative
+                // operators only need them on the right
+                let non_assoc = op.is_comparison() || *op == crate::ast::BinaryOp::Like;
+                write_child(f, left, prec + u8::from(non_assoc))?;
+                write!(f, " {} ", op.as_str())?;
+                // the parser is left-associative, so a right child of equal
+                // precedence always needs parentheses to round-trip
+                write_child(f, right, prec + 1)?;
+                Ok(())
+            }
+            Expr::Function(call) => write!(f, "{call}"),
+            Expr::Case { operand, branches, else_result } => {
+                f.write_str("CASE")?;
+                if let Some(op) = operand {
+                    write!(f, " {op}")?;
+                }
+                for CaseBranch { when, then } in branches {
+                    write!(f, " WHEN {when} THEN {then}")?;
+                }
+                if let Some(e) = else_result {
+                    write!(f, " ELSE {e}")?;
+                }
+                f.write_str(" END")
+            }
+            Expr::Between { expr, low, high, negated } => {
+                write_child(f, expr, 5)?;
+                if *negated {
+                    f.write_str(" NOT")?;
+                }
+                write!(f, " BETWEEN ")?;
+                write_child(f, low, 5)?;
+                f.write_str(" AND ")?;
+                write_child(f, high, 5)
+            }
+            Expr::InList { expr, list, negated } => {
+                write_child(f, expr, 5)?;
+                if *negated {
+                    f.write_str(" NOT")?;
+                }
+                f.write_str(" IN (")?;
+                write_comma_list(f, list)?;
+                f.write_str(")")
+            }
+            Expr::IsNull { expr, negated } => {
+                write_child(f, expr, 5)?;
+                if *negated {
+                    f.write_str(" IS NOT NULL")
+                } else {
+                    f.write_str(" IS NULL")
+                }
+            }
+            Expr::Cast { expr, type_name } => write!(f, "CAST({expr} AS {type_name})"),
+            Expr::Subquery(q) => write!(f, "({q})"),
+            Expr::Exists(q) => write!(f, "EXISTS ({q})"),
+        }
+    }
+}
+
+fn write_comma_list<T: fmt::Display>(f: &mut fmt::Formatter<'_>, items: &[T]) -> fmt::Result {
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            f.write_str(", ")?;
+        }
+        write!(f, "{item}")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for OrderByItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.expr)?;
+        if self.order == SortOrder::Desc {
+            f.write_str(" DESC")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Wildcard => f.write_str("*"),
+            SelectItem::QualifiedWildcard(q) => {
+                write_ident(f, q)?;
+                f.write_str(".*")
+            }
+            SelectItem::Expr { expr, alias } => {
+                write!(f, "{expr}")?;
+                if let Some(a) = alias {
+                    f.write_str(" AS ")?;
+                    write_ident(f, a)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableRef::Table { name, alias } => {
+                write_ident(f, name)?;
+                if let Some(a) = alias {
+                    f.write_str(" AS ")?;
+                    write_ident(f, a)?;
+                }
+                Ok(())
+            }
+            TableRef::Subquery { query, alias } => {
+                write!(f, "({query})")?;
+                if let Some(a) = alias {
+                    f.write_str(" AS ")?;
+                    write_ident(f, a)?;
+                }
+                Ok(())
+            }
+            TableRef::Join { left, right, kind, on } => {
+                write!(f, "{left} {} ", kind.as_str())?;
+                // Parenthesise nested joins on the right for unambiguity.
+                match right.as_ref() {
+                    TableRef::Join { .. } => write!(f, "({right})")?,
+                    other => write!(f, "{other}")?,
+                }
+                if let Some(on) = on {
+                    write!(f, " ON {on}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SELECT ")?;
+        if self.distinct {
+            f.write_str("DISTINCT ")?;
+        }
+        write_comma_list(f, &self.items)?;
+        if let Some(from) = &self.from {
+            write!(f, " FROM {from}")?;
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            f.write_str(" GROUP BY ")?;
+            write_comma_list(f, &self.group_by)?;
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        if !self.order_by.is_empty() {
+            f.write_str(" ORDER BY ")?;
+            write_comma_list(f, &self.order_by)?;
+        }
+        if let Some(l) = self.limit {
+            write!(f, " LIMIT {l}")?;
+        }
+        if let Some(o) = self.offset {
+            write!(f, " OFFSET {o}")?;
+        }
+        for (all, q) in &self.unions {
+            write!(f, " UNION {}{q}", if *all { "ALL " } else { "" })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse_query;
+
+    fn roundtrip(sql: &str) -> String {
+        let q = parse_query(sql).unwrap();
+        let rendered = q.to_string();
+        let q2 = parse_query(&rendered)
+            .unwrap_or_else(|e| panic!("re-parse failed for {rendered:?}: {e}"));
+        assert_eq!(q, q2, "AST changed after round-trip of {sql:?}");
+        rendered
+    }
+
+    #[test]
+    fn renders_sensor_query() {
+        assert_eq!(roundtrip("select * from stream where z < 2"), "SELECT * FROM stream WHERE z < 2");
+    }
+
+    #[test]
+    fn renders_appliance_query() {
+        assert_eq!(
+            roundtrip("SELECT x, y, z, t FROM d1 WHERE x > y"),
+            "SELECT x, y, z, t FROM d1 WHERE x > y"
+        );
+    }
+
+    #[test]
+    fn renders_media_center_query() {
+        assert_eq!(
+            roundtrip("SELECT x, y, AVG(z) AS zAVG, t FROM d2 GROUP BY x, y HAVING SUM(z) > 100"),
+            "SELECT x, y, AVG(z) AS zAVG, t FROM d2 GROUP BY x, y HAVING SUM(z) > 100"
+        );
+    }
+
+    #[test]
+    fn renders_window_query() {
+        assert_eq!(
+            roundtrip("SELECT regr_intercept(y, x) OVER (PARTITION BY zAVG ORDER BY t) FROM d3"),
+            "SELECT regr_intercept(y, x) OVER (PARTITION BY zAVG ORDER BY t) FROM d3"
+        );
+    }
+
+    #[test]
+    fn renders_nested_query() {
+        let sql = "SELECT regr_intercept(y, x) OVER (PARTITION BY zAVG ORDER BY t) \
+                   FROM (SELECT x, y, AVG(z) AS zAVG, t FROM d \
+                   WHERE x > y AND z < 2 GROUP BY x, y HAVING SUM(z) > 100)";
+        let rendered = roundtrip(sql);
+        assert!(rendered.contains("FROM (SELECT"));
+    }
+
+    #[test]
+    fn parenthesises_or_under_and() {
+        let rendered = roundtrip("SELECT * FROM d WHERE (a OR b) AND c");
+        assert!(rendered.contains("(a OR b) AND c"), "got: {rendered}");
+    }
+
+    #[test]
+    fn no_redundant_parens_for_and_chains() {
+        let rendered = roundtrip("SELECT * FROM d WHERE a AND b AND c");
+        assert_eq!(rendered, "SELECT * FROM d WHERE a AND b AND c");
+    }
+
+    #[test]
+    fn renders_arithmetic_parens() {
+        let rendered = roundtrip("SELECT (1 + 2) * 3 FROM d");
+        assert!(rendered.contains("(1 + 2) * 3"), "got: {rendered}");
+    }
+
+    #[test]
+    fn renders_string_escapes() {
+        let rendered = roundtrip("SELECT * FROM d WHERE action = 'it''s'");
+        assert!(rendered.contains("'it''s'"));
+    }
+
+    #[test]
+    fn quotes_weird_identifiers() {
+        let rendered = roundtrip("SELECT \"weird col\" FROM t");
+        assert!(rendered.contains("\"weird col\""));
+    }
+
+    #[test]
+    fn quotes_keyword_identifiers() {
+        let rendered = roundtrip("SELECT \"select\" FROM t");
+        assert!(rendered.contains("\"select\""));
+    }
+
+    #[test]
+    fn renders_case() {
+        let rendered = roundtrip("SELECT CASE WHEN z < 2 THEN 'low' ELSE 'high' END FROM d");
+        assert!(rendered.contains("CASE WHEN z < 2 THEN 'low' ELSE 'high' END"));
+    }
+
+    #[test]
+    fn renders_between_not_in_is_null() {
+        let rendered =
+            roundtrip("SELECT * FROM d WHERE x BETWEEN 1 AND 2 AND y NOT IN (3, 4) AND z IS NULL");
+        assert!(rendered.contains("BETWEEN 1 AND 2"));
+        assert!(rendered.contains("NOT IN (3, 4)"));
+        assert!(rendered.contains("z IS NULL"));
+    }
+
+    #[test]
+    fn renders_joins() {
+        let rendered = roundtrip("SELECT * FROM a LEFT JOIN b ON a.k = b.k");
+        assert_eq!(rendered, "SELECT * FROM a LEFT JOIN b ON a.k = b.k");
+    }
+
+    #[test]
+    fn renders_union() {
+        let rendered = roundtrip("SELECT x FROM a UNION ALL SELECT x FROM b");
+        assert_eq!(rendered, "SELECT x FROM a UNION ALL SELECT x FROM b");
+    }
+
+    #[test]
+    fn renders_distinct_and_limits() {
+        let rendered = roundtrip("SELECT DISTINCT x FROM d ORDER BY x DESC LIMIT 3 OFFSET 1");
+        assert_eq!(rendered, "SELECT DISTINCT x FROM d ORDER BY x DESC LIMIT 3 OFFSET 1");
+    }
+
+    #[test]
+    fn renders_float_literals_as_floats() {
+        let rendered = roundtrip("SELECT * FROM d WHERE z < 2.0");
+        assert!(rendered.contains("2.0"), "got: {rendered}");
+    }
+
+    #[test]
+    fn renders_exists_subquery() {
+        let rendered = roundtrip("SELECT * FROM d WHERE EXISTS (SELECT 1 FROM s WHERE s.k = d.k)");
+        assert!(rendered.contains("EXISTS (SELECT 1 FROM s"));
+    }
+
+    #[test]
+    fn renders_not() {
+        let rendered = roundtrip("SELECT * FROM d WHERE NOT (a OR b)");
+        assert!(rendered.contains("NOT (a OR b)"), "got: {rendered}");
+    }
+}

@@ -1,0 +1,425 @@
+//! A hand-rolled lexer for the SQL subset.
+//!
+//! The lexer is a straightforward single-pass scanner over the input
+//! `&str`. It tracks line/column positions so parse errors can point at the
+//! offending character, skips `--` line comments and `/* */` block comments,
+//! and folds keywords case-insensitively.
+
+use crate::error::{Location, ParseError, ParseErrorKind, ParseResult};
+use crate::token::{Keyword, Token, TokenKind};
+
+/// Streaming tokenizer over a SQL source string.
+pub struct Lexer<'a> {
+    src: &'a str,
+    /// Byte offset of the next unread character.
+    pos: usize,
+    line: u32,
+    column: u32,
+}
+
+impl<'a> Lexer<'a> {
+    /// Create a lexer over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Lexer { src, pos: 0, line: 1, column: 1 }
+    }
+
+    /// Tokenize the whole input eagerly.
+    pub fn tokenize(src: &'a str) -> ParseResult<Vec<Token>> {
+        let mut lexer = Lexer::new(src);
+        let mut tokens = Vec::with_capacity(src.len() / 4 + 4);
+        while let Some(token) = lexer.next_token()? {
+            tokens.push(token);
+        }
+        Ok(tokens)
+    }
+
+    fn location(&self) -> Location {
+        Location { offset: self.pos, line: self.line, column: self.column }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        let mut chars = self.src[self.pos..].chars();
+        chars.next();
+        chars.next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) -> ParseResult<()> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('-') if self.peek2() == Some('-') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some('/') if self.peek2() == Some('*') => {
+                    let start = self.location();
+                    self.bump();
+                    self.bump();
+                    let mut closed = false;
+                    while let Some(c) = self.bump() {
+                        if c == '*' && self.peek() == Some('/') {
+                            self.bump();
+                            closed = true;
+                            break;
+                        }
+                    }
+                    if !closed {
+                        return Err(ParseError::new(
+                            ParseErrorKind::Semantic("unterminated block comment".into()),
+                            start,
+                        ));
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// Produce the next token, or `None` at end of input.
+    pub fn next_token(&mut self) -> ParseResult<Option<Token>> {
+        self.skip_trivia()?;
+        let location = self.location();
+        let Some(c) = self.peek() else { return Ok(None) };
+
+        let kind = match c {
+            '0'..='9' => self.lex_number(location)?,
+            '\'' => self.lex_string(location)?,
+            '"' => self.lex_quoted_ident(location)?,
+            c if is_ident_start(c) => self.lex_word(),
+            ',' => self.single(TokenKind::Comma),
+            '.' => {
+                // `.5` style floats are not supported; a dot is always a
+                // qualifier separator here.
+                self.single(TokenKind::Dot)
+            }
+            '(' => self.single(TokenKind::LParen),
+            ')' => self.single(TokenKind::RParen),
+            '*' => self.single(TokenKind::Star),
+            '+' => self.single(TokenKind::Plus),
+            '-' => self.single(TokenKind::Minus),
+            '/' => self.single(TokenKind::Slash),
+            '%' => self.single(TokenKind::Percent),
+            ';' => self.single(TokenKind::Semicolon),
+            '=' => self.single(TokenKind::Eq),
+            '<' => {
+                self.bump();
+                match self.peek() {
+                    Some('=') => {
+                        self.bump();
+                        TokenKind::LtEq
+                    }
+                    Some('>') => {
+                        self.bump();
+                        TokenKind::NotEq
+                    }
+                    _ => TokenKind::Lt,
+                }
+            }
+            '>' => {
+                self.bump();
+                if self.peek() == Some('=') {
+                    self.bump();
+                    TokenKind::GtEq
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            '!' => {
+                self.bump();
+                if self.peek() == Some('=') {
+                    self.bump();
+                    TokenKind::NotEq
+                } else {
+                    return Err(ParseError::new(ParseErrorKind::UnexpectedChar('!'), location));
+                }
+            }
+            '|' => {
+                self.bump();
+                if self.peek() == Some('|') {
+                    self.bump();
+                    TokenKind::Concat
+                } else {
+                    return Err(ParseError::new(ParseErrorKind::UnexpectedChar('|'), location));
+                }
+            }
+            other => {
+                return Err(ParseError::new(ParseErrorKind::UnexpectedChar(other), location));
+            }
+        };
+        Ok(Some(Token { kind, location }))
+    }
+
+    fn single(&mut self, kind: TokenKind) -> TokenKind {
+        self.bump();
+        kind
+    }
+
+    fn lex_word(&mut self) -> TokenKind {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if is_ident_continue(c) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let word = &self.src[start..self.pos];
+        match Keyword::lookup(word) {
+            Some(k) => TokenKind::Keyword(k),
+            None => TokenKind::Ident(word.to_string()),
+        }
+    }
+
+    fn lex_number(&mut self, location: Location) -> ParseResult<TokenKind> {
+        let start = self.pos;
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                '0'..='9' => {
+                    self.bump();
+                }
+                '.' if !is_float && matches!(self.peek2(), Some('0'..='9')) => {
+                    is_float = true;
+                    self.bump();
+                }
+                'e' | 'E' => {
+                    is_float = true;
+                    self.bump();
+                    if matches!(self.peek(), Some('+') | Some('-')) {
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text = &self.src[start..self.pos];
+        if is_float {
+            text.parse::<f64>()
+                .map(TokenKind::Float)
+                .map_err(|_| ParseError::new(ParseErrorKind::InvalidNumber(text.into()), location))
+        } else {
+            // Fall back to float on i64 overflow so giant literals still work.
+            match text.parse::<i64>() {
+                Ok(v) => Ok(TokenKind::Integer(v)),
+                Err(_) => text.parse::<f64>().map(TokenKind::Float).map_err(|_| {
+                    ParseError::new(ParseErrorKind::InvalidNumber(text.into()), location)
+                }),
+            }
+        }
+    }
+
+    fn lex_string(&mut self, location: Location) -> ParseResult<TokenKind> {
+        self.bump(); // opening quote
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                None => {
+                    return Err(ParseError::new(ParseErrorKind::UnterminatedString, location));
+                }
+                Some('\'') => {
+                    // '' is an escaped quote
+                    if self.peek() == Some('\'') {
+                        self.bump();
+                        value.push('\'');
+                    } else {
+                        return Ok(TokenKind::String(value));
+                    }
+                }
+                Some(c) => value.push(c),
+            }
+        }
+    }
+
+    fn lex_quoted_ident(&mut self, location: Location) -> ParseResult<TokenKind> {
+        self.bump(); // opening quote
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                None => {
+                    return Err(ParseError::new(ParseErrorKind::UnterminatedIdentifier, location));
+                }
+                Some('"') => {
+                    if self.peek() == Some('"') {
+                        self.bump();
+                        value.push('"');
+                    } else {
+                        return Ok(TokenKind::QuotedIdent(value));
+                    }
+                }
+                Some(c) => value.push(c),
+            }
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '$'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_select() {
+        let toks = kinds("SELECT x, y FROM d1 WHERE x > y");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Keyword(Keyword::Select),
+                TokenKind::Ident("x".into()),
+                TokenKind::Comma,
+                TokenKind::Ident("y".into()),
+                TokenKind::Keyword(Keyword::From),
+                TokenKind::Ident("d1".into()),
+                TokenKind::Keyword(Keyword::Where),
+                TokenKind::Ident("x".into()),
+                TokenKind::Gt,
+                TokenKind::Ident("y".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(kinds("42"), vec![TokenKind::Integer(42)]);
+        assert_eq!(kinds("3.5"), vec![TokenKind::Float(3.5)]);
+        assert_eq!(kinds("1e3"), vec![TokenKind::Float(1000.0)]);
+        assert_eq!(kinds("2.5e-1"), vec![TokenKind::Float(0.25)]);
+    }
+
+    #[test]
+    fn integer_overflow_becomes_float() {
+        let toks = kinds("99999999999999999999");
+        assert!(matches!(toks[0], TokenKind::Float(_)));
+    }
+
+    #[test]
+    fn dot_is_qualifier_not_float() {
+        let toks = kinds("t.x");
+        assert_eq!(
+            toks,
+            vec![TokenKind::Ident("t".into()), TokenKind::Dot, TokenKind::Ident("x".into())]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(kinds("'walk'"), vec![TokenKind::String("walk".into())]);
+        assert_eq!(kinds("'it''s'"), vec![TokenKind::String("it's".into())]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        let err = Lexer::tokenize("'oops").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::UnterminatedString);
+    }
+
+    #[test]
+    fn lexes_quoted_identifiers() {
+        assert_eq!(kinds("\"weird name\""), vec![TokenKind::QuotedIdent("weird name".into())]);
+        assert_eq!(kinds("\"a\"\"b\""), vec![TokenKind::QuotedIdent("a\"b".into())]);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("< <= > >= = <> !="),
+            vec![
+                TokenKind::Lt,
+                TokenKind::LtEq,
+                TokenKind::Gt,
+                TokenKind::GtEq,
+                TokenKind::Eq,
+                TokenKind::NotEq,
+                TokenKind::NotEq,
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_line_comments() {
+        let toks = kinds("SELECT -- the projection\n x");
+        assert_eq!(toks.len(), 2);
+    }
+
+    #[test]
+    fn skips_block_comments() {
+        let toks = kinds("SELECT /* multi\nline */ x");
+        assert_eq!(toks.len(), 2);
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        assert!(Lexer::tokenize("SELECT /* never closed").is_err());
+    }
+
+    #[test]
+    fn tracks_line_and_column() {
+        let toks = Lexer::tokenize("SELECT\n  x").unwrap();
+        assert_eq!(toks[1].location.line, 2);
+        assert_eq!(toks[1].location.column, 3);
+    }
+
+    #[test]
+    fn bang_alone_is_error() {
+        assert!(Lexer::tokenize("x ! y").is_err());
+    }
+
+    #[test]
+    fn pipe_alone_is_error() {
+        assert!(Lexer::tokenize("x | y").is_err());
+    }
+
+    #[test]
+    fn concat_token() {
+        assert_eq!(kinds("a || b")[1], TokenKind::Concat);
+    }
+
+    #[test]
+    fn keywords_fold_case() {
+        assert_eq!(kinds("select")[0], TokenKind::Keyword(Keyword::Select));
+        assert_eq!(kinds("Group")[0], TokenKind::Keyword(Keyword::Group));
+    }
+
+    #[test]
+    fn identifier_with_underscore_and_digits() {
+        assert_eq!(kinds("regr_intercept2")[0], TokenKind::Ident("regr_intercept2".into()));
+    }
+
+    #[test]
+    fn empty_input_is_no_tokens() {
+        assert!(kinds("").is_empty());
+        assert!(kinds("   \n\t ").is_empty());
+    }
+}

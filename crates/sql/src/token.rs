@@ -1,0 +1,218 @@
+//! Token model for the SQL lexer.
+
+use std::fmt;
+
+use crate::error::Location;
+
+/// A lexical token together with the location where it starts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token payload.
+    pub kind: TokenKind,
+    /// Start position of the token in the source.
+    pub location: Location,
+}
+
+/// All token categories produced by the lexer.
+///
+/// Keywords are recognised case-insensitively and carried as a dedicated
+/// [`Keyword`] value; everything alphabetic that is not a keyword becomes an
+/// [`TokenKind::Ident`].
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // punctuation variants are self-describing
+pub enum TokenKind {
+    /// A reserved word such as `SELECT`.
+    Keyword(Keyword),
+    /// A bare (unquoted) identifier. Original spelling is preserved.
+    Ident(String),
+    /// A `"quoted"` identifier; may contain arbitrary characters.
+    QuotedIdent(String),
+    /// An integer literal that fits in `i64`.
+    Integer(i64),
+    /// A floating point literal.
+    Float(f64),
+    /// A `'single quoted'` string literal with `''` escapes resolved.
+    String(String),
+
+    // punctuation & operators
+    Comma,
+    Dot,
+    LParen,
+    RParen,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    /// `<>` or `!=`.
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    /// `||` string concatenation.
+    Concat,
+    Semicolon,
+}
+
+impl TokenKind {
+    /// Render the token the way an error message should show it.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Keyword(k) => format!("keyword {}", k.as_str()),
+            TokenKind::Ident(s) => format!("identifier {s:?}"),
+            TokenKind::QuotedIdent(s) => format!("identifier \"{s}\""),
+            TokenKind::Integer(v) => format!("integer {v}"),
+            TokenKind::Float(v) => format!("number {v}"),
+            TokenKind::String(s) => format!("string {s:?}"),
+            other => format!("'{other}'"),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => f.write_str(k.as_str()),
+            TokenKind::Ident(s) => f.write_str(s),
+            TokenKind::QuotedIdent(s) => write!(f, "\"{s}\""),
+            TokenKind::Integer(v) => write!(f, "{v}"),
+            TokenKind::Float(v) => write!(f, "{v}"),
+            TokenKind::String(s) => write!(f, "'{s}'"),
+            TokenKind::Comma => f.write_str(","),
+            TokenKind::Dot => f.write_str("."),
+            TokenKind::LParen => f.write_str("("),
+            TokenKind::RParen => f.write_str(")"),
+            TokenKind::Star => f.write_str("*"),
+            TokenKind::Plus => f.write_str("+"),
+            TokenKind::Minus => f.write_str("-"),
+            TokenKind::Slash => f.write_str("/"),
+            TokenKind::Percent => f.write_str("%"),
+            TokenKind::Eq => f.write_str("="),
+            TokenKind::NotEq => f.write_str("<>"),
+            TokenKind::Lt => f.write_str("<"),
+            TokenKind::LtEq => f.write_str("<="),
+            TokenKind::Gt => f.write_str(">"),
+            TokenKind::GtEq => f.write_str(">="),
+            TokenKind::Concat => f.write_str("||"),
+            TokenKind::Semicolon => f.write_str(";"),
+        }
+    }
+}
+
+macro_rules! keywords {
+    ($($variant:ident => $text:literal),+ $(,)?) => {
+        /// Reserved words of the supported SQL subset.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[allow(missing_docs)]
+        pub enum Keyword {
+            $($variant),+
+        }
+
+        impl Keyword {
+            /// Canonical upper-case spelling.
+            pub fn as_str(&self) -> &'static str {
+                match self {
+                    $(Keyword::$variant => $text),+
+                }
+            }
+
+            /// Look a word up case-insensitively.
+            pub fn lookup(word: &str) -> Option<Keyword> {
+                // The keyword set is small; an ASCII-uppercase linear probe
+                // through a static table beats a HashMap for these sizes.
+                let upper = word.to_ascii_uppercase();
+                match upper.as_str() {
+                    $($text => Some(Keyword::$variant),)+
+                    _ => None,
+                }
+            }
+        }
+
+        impl fmt::Display for Keyword {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(self.as_str())
+            }
+        }
+    };
+}
+
+keywords! {
+    Select => "SELECT",
+    From => "FROM",
+    Where => "WHERE",
+    Group => "GROUP",
+    By => "BY",
+    Having => "HAVING",
+    Order => "ORDER",
+    Limit => "LIMIT",
+    Offset => "OFFSET",
+    As => "AS",
+    And => "AND",
+    Or => "OR",
+    Not => "NOT",
+    In => "IN",
+    Is => "IS",
+    Null => "NULL",
+    True => "TRUE",
+    False => "FALSE",
+    Between => "BETWEEN",
+    Like => "LIKE",
+    Distinct => "DISTINCT",
+    All => "ALL",
+    Asc => "ASC",
+    Desc => "DESC",
+    Join => "JOIN",
+    Inner => "INNER",
+    Left => "LEFT",
+    Right => "RIGHT",
+    Full => "FULL",
+    Outer => "OUTER",
+    Cross => "CROSS",
+    On => "ON",
+    Using => "USING",
+    Over => "OVER",
+    Partition => "PARTITION",
+    Case => "CASE",
+    When => "WHEN",
+    Then => "THEN",
+    Else => "ELSE",
+    End => "END",
+    Exists => "EXISTS",
+    Union => "UNION",
+    Cast => "CAST",
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup_is_case_insensitive() {
+        assert_eq!(Keyword::lookup("select"), Some(Keyword::Select));
+        assert_eq!(Keyword::lookup("SeLeCt"), Some(Keyword::Select));
+        assert_eq!(Keyword::lookup("PARTITION"), Some(Keyword::Partition));
+        assert_eq!(Keyword::lookup("zavg"), None);
+    }
+
+    #[test]
+    fn keyword_display_is_canonical() {
+        assert_eq!(Keyword::Select.to_string(), "SELECT");
+        assert_eq!(Keyword::Over.to_string(), "OVER");
+    }
+
+    #[test]
+    fn token_display_roundtrips_punctuation() {
+        assert_eq!(TokenKind::NotEq.to_string(), "<>");
+        assert_eq!(TokenKind::Concat.to_string(), "||");
+        assert_eq!(TokenKind::LtEq.to_string(), "<=");
+    }
+
+    #[test]
+    fn describe_distinguishes_kinds() {
+        assert_eq!(TokenKind::Ident("x".into()).describe(), "identifier \"x\"");
+        assert_eq!(TokenKind::Integer(3).describe(), "integer 3");
+        assert!(TokenKind::Comma.describe().contains(','));
+    }
+}

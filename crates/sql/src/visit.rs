@@ -1,0 +1,290 @@
+//! Walkers over the AST: immutable visits and in-place transformations.
+//!
+//! Rewriters in `paradise-core` are built on [`rewrite_block_exprs`] /
+//! [`transform_expr`]; analyses use [`walk_exprs`].
+
+use crate::ast::{Expr, Query, SelectItem, TableRef};
+
+/// Visit every expression in the query **including** expressions nested in
+/// subqueries of `FROM`, in `JOIN … ON`, window specs, and set operations.
+pub fn walk_exprs<'q>(query: &'q Query, visit: &mut dyn FnMut(&'q Expr)) {
+    for item in &query.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            walk_expr(expr, visit);
+        }
+    }
+    if let Some(from) = &query.from {
+        walk_table_exprs(from, visit);
+    }
+    if let Some(w) = &query.where_clause {
+        walk_expr(w, visit);
+    }
+    for g in &query.group_by {
+        walk_expr(g, visit);
+    }
+    if let Some(h) = &query.having {
+        walk_expr(h, visit);
+    }
+    for o in &query.order_by {
+        walk_expr(&o.expr, visit);
+    }
+    for (_, q) in &query.unions {
+        walk_exprs(q, visit);
+    }
+}
+
+fn walk_table_exprs<'q>(table: &'q TableRef, visit: &mut dyn FnMut(&'q Expr)) {
+    match table {
+        TableRef::Table { .. } => {}
+        TableRef::Subquery { query, .. } => walk_exprs(query, visit),
+        TableRef::Join { left, right, on, .. } => {
+            walk_table_exprs(left, visit);
+            walk_table_exprs(right, visit);
+            if let Some(on) = on {
+                walk_expr(on, visit);
+            }
+        }
+    }
+}
+
+/// Depth-first visit of one expression tree (children before the node
+/// itself is *not* guaranteed; parents are visited first).
+pub fn walk_expr<'e>(expr: &'e Expr, visit: &mut dyn FnMut(&'e Expr)) {
+    visit(expr);
+    match expr {
+        Expr::Unary { expr, .. } => walk_expr(expr, visit),
+        Expr::Binary { left, right, .. } => {
+            walk_expr(left, visit);
+            walk_expr(right, visit);
+        }
+        Expr::Function(f) => {
+            for a in &f.args {
+                walk_expr(a, visit);
+            }
+            if let Some(over) = &f.over {
+                for p in &over.partition_by {
+                    walk_expr(p, visit);
+                }
+                for o in &over.order_by {
+                    walk_expr(&o.expr, visit);
+                }
+            }
+        }
+        Expr::Case { operand, branches, else_result } => {
+            if let Some(op) = operand {
+                walk_expr(op, visit);
+            }
+            for b in branches {
+                walk_expr(&b.when, visit);
+                walk_expr(&b.then, visit);
+            }
+            if let Some(e) = else_result {
+                walk_expr(e, visit);
+            }
+        }
+        Expr::Between { expr, low, high, .. } => {
+            walk_expr(expr, visit);
+            walk_expr(low, visit);
+            walk_expr(high, visit);
+        }
+        Expr::InList { expr, list, .. } => {
+            walk_expr(expr, visit);
+            for e in list {
+                walk_expr(e, visit);
+            }
+        }
+        Expr::IsNull { expr, .. } => walk_expr(expr, visit),
+        Expr::Cast { expr, .. } => walk_expr(expr, visit),
+        Expr::Subquery(q) | Expr::Exists(q) => walk_exprs(q, visit),
+        Expr::Column(_) | Expr::Literal(_) | Expr::Wildcard => {}
+    }
+}
+
+/// Rewrite one expression tree bottom-up: children are transformed first,
+/// then `f` is applied to the rebuilt node. `f` returning `None` keeps the
+/// node; returning `Some(e)` replaces it.
+pub fn transform_expr(expr: Expr, f: &mut dyn FnMut(Expr) -> Option<Expr>) -> Expr {
+    let rebuilt = match expr {
+        Expr::Unary { op, expr } => {
+            Expr::Unary { op, expr: Box::new(transform_expr(*expr, f)) }
+        }
+        Expr::Binary { left, op, right } => Expr::Binary {
+            left: Box::new(transform_expr(*left, f)),
+            op,
+            right: Box::new(transform_expr(*right, f)),
+        },
+        Expr::Function(mut call) => {
+            call.args = call.args.into_iter().map(|a| transform_expr(a, f)).collect();
+            if let Some(over) = call.over.take() {
+                let partition_by =
+                    over.partition_by.into_iter().map(|p| transform_expr(p, f)).collect();
+                let order_by = over
+                    .order_by
+                    .into_iter()
+                    .map(|mut o| {
+                        o.expr = transform_expr(o.expr, f);
+                        o
+                    })
+                    .collect();
+                call.over = Some(crate::ast::WindowSpec { partition_by, order_by });
+            }
+            Expr::Function(call)
+        }
+        Expr::Case { operand, branches, else_result } => Expr::Case {
+            operand: operand.map(|o| Box::new(transform_expr(*o, f))),
+            branches: branches
+                .into_iter()
+                .map(|b| crate::ast::CaseBranch {
+                    when: transform_expr(b.when, f),
+                    then: transform_expr(b.then, f),
+                })
+                .collect(),
+            else_result: else_result.map(|e| Box::new(transform_expr(*e, f))),
+        },
+        Expr::Between { expr, low, high, negated } => Expr::Between {
+            expr: Box::new(transform_expr(*expr, f)),
+            low: Box::new(transform_expr(*low, f)),
+            high: Box::new(transform_expr(*high, f)),
+            negated,
+        },
+        Expr::InList { expr, list, negated } => Expr::InList {
+            expr: Box::new(transform_expr(*expr, f)),
+            list: list.into_iter().map(|e| transform_expr(e, f)).collect(),
+            negated,
+        },
+        Expr::IsNull { expr, negated } => {
+            Expr::IsNull { expr: Box::new(transform_expr(*expr, f)), negated }
+        }
+        Expr::Cast { expr, type_name } => {
+            Expr::Cast { expr: Box::new(transform_expr(*expr, f)), type_name }
+        }
+        leaf @ (Expr::Column(_) | Expr::Literal(_) | Expr::Wildcard) => leaf,
+        sub @ (Expr::Subquery(_) | Expr::Exists(_)) => sub,
+    };
+    f(rebuilt.clone()).unwrap_or(rebuilt)
+}
+
+/// Apply `f` to every expression position of this query block only (not
+/// descending into FROM subqueries — rewriters usually control recursion
+/// themselves via [`Query::innermost_mut`]).
+pub fn rewrite_block_exprs(query: &mut Query, f: &mut dyn FnMut(Expr) -> Option<Expr>) {
+    for item in &mut query.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            let owned = std::mem::replace(expr, Expr::Wildcard);
+            *expr = transform_expr(owned, f);
+        }
+    }
+    if let Some(w) = query.where_clause.take() {
+        query.where_clause = Some(transform_expr(w, f));
+    }
+    query.group_by = std::mem::take(&mut query.group_by)
+        .into_iter()
+        .map(|g| transform_expr(g, f))
+        .collect();
+    if let Some(h) = query.having.take() {
+        query.having = Some(transform_expr(h, f));
+    }
+    for o in &mut query.order_by {
+        let owned = std::mem::replace(&mut o.expr, Expr::Wildcard);
+        o.expr = transform_expr(owned, f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BinaryOp, ColumnRef};
+    use crate::parser::parse_query;
+
+    #[test]
+    fn walk_exprs_reaches_all_clauses() {
+        let q = parse_query(
+            "SELECT AVG(z) AS za FROM (SELECT * FROM d WHERE z < 2) \
+             WHERE x > y GROUP BY x HAVING SUM(z) > 100 ORDER BY t",
+        )
+        .unwrap();
+        let mut columns = Vec::new();
+        walk_exprs(&q, &mut |e| {
+            if let Expr::Column(c) = e {
+                columns.push(c.name.clone());
+            }
+        });
+        for expected in ["z", "x", "y", "t"] {
+            assert!(columns.iter().any(|c| c == expected), "missing {expected}: {columns:?}");
+        }
+    }
+
+    #[test]
+    fn walk_reaches_join_on() {
+        let q = parse_query("SELECT 1 FROM a JOIN b ON a.k = b.k2").unwrap();
+        let mut found = false;
+        walk_exprs(&q, &mut |e| {
+            if let Expr::Column(c) = e {
+                found |= c.name == "k2";
+            }
+        });
+        assert!(found);
+    }
+
+    #[test]
+    fn walk_reaches_window_spec() {
+        let q =
+            parse_query("SELECT SUM(z) OVER (PARTITION BY p ORDER BY t2) FROM d").unwrap();
+        let mut names = Vec::new();
+        walk_exprs(&q, &mut |e| {
+            if let Expr::Column(c) = e {
+                names.push(c.name.clone());
+            }
+        });
+        assert!(names.contains(&"p".to_string()));
+        assert!(names.contains(&"t2".to_string()));
+    }
+
+    #[test]
+    fn transform_renames_column() {
+        let q = parse_query("SELECT z FROM d WHERE z < 2").unwrap();
+        let mut q = q;
+        rewrite_block_exprs(&mut q, &mut |e| match e {
+            Expr::Column(c) if c.name == "z" => {
+                Some(Expr::Column(ColumnRef::bare("zAVG")))
+            }
+            _ => None,
+        });
+        let rendered = q.to_string();
+        assert_eq!(rendered, "SELECT zAVG FROM d WHERE zAVG < 2");
+    }
+
+    #[test]
+    fn transform_is_bottom_up() {
+        // rewrite z -> 1, then constant-fold 1 < 2 -> TRUE in one pass
+        let q = parse_query("SELECT * FROM d WHERE z < 2").unwrap();
+        let mut q = q;
+        rewrite_block_exprs(&mut q, &mut |e| match &e {
+            Expr::Column(c) if c.name == "z" => Some(Expr::int(1)),
+            Expr::Binary { left, op: BinaryOp::Lt, right } => {
+                if let (Expr::Literal(crate::ast::Literal::Integer(a)),
+                        Expr::Literal(crate::ast::Literal::Integer(b))) =
+                    (left.as_ref(), right.as_ref())
+                {
+                    Some(Expr::Literal(crate::ast::Literal::Boolean(a < b)))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        });
+        assert_eq!(q.to_string(), "SELECT * FROM d WHERE TRUE");
+    }
+
+    #[test]
+    fn walk_reaches_union_branches() {
+        let q = parse_query("SELECT a FROM x UNION SELECT b FROM y").unwrap();
+        let mut names = Vec::new();
+        walk_exprs(&q, &mut |e| {
+            if let Expr::Column(c) = e {
+                names.push(c.name.clone());
+            }
+        });
+        assert_eq!(names, vec!["a".to_string(), "b".to_string()]);
+    }
+}

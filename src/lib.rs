@@ -1,0 +1,76 @@
+//! # PArADISE — Privacy Protection through Query Rewriting in Smart Environments
+//!
+//! A from-scratch Rust reproduction of Grunert & Heuer's EDBT 2016
+//! paper: a privacy-aware query processor that rewrites queries under
+//! user privacy policies, fragments them vertically over a
+//! sensor → appliance → PC → cloud hierarchy so that maximal parts run
+//! as close to the data source as possible, and anonymizes whatever
+//! leaves the apartment.
+//!
+//! This crate is a façade re-exporting the subsystem crates:
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`sql`] | lexer, parser, AST, SQL renderer, feature analyses |
+//! | [`engine`] | in-memory relational executor (joins, aggregates, windows, streams) |
+//! | [`policy`] | PP4SE policy model, XML format, validation, generation |
+//! | [`anon`] | k-anonymity, slicing, QID detection, DD/KL metrics, DP |
+//! | [`nodes`] | capability levels E1–E4, processing chain, sensor simulators |
+//! | [`core`] | preprocessor, vertical fragmenter, postprocessor, containment, [`Processor`](crate::core::Processor) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use paradise::prelude::*;
+//!
+//! // 1. the user's privacy policy (paper Figure 4)
+//! let policy = parse_policy(FIG4_POLICY_XML).unwrap();
+//!
+//! // 2. an apartment chain with simulated Ubisense data at the sensor
+//! let mut processor = Processor::new(ProcessingChain::apartment())
+//!     .with_policy("ActionFilter", policy.modules[0].clone());
+//! let mut sim = SmartRoomSim::new(42);
+//! processor.install_source("motion-sensor", "stream", sim.ubisense_positions(100)).unwrap();
+//!
+//! // 3. the assistive system's query (paper §4.2)
+//! let query = parse_query(
+//!     "SELECT regr_intercept(y, x) OVER (PARTITION BY z ORDER BY t) \
+//!      FROM (SELECT x, y, z, t FROM stream)").unwrap();
+//!
+//! // 4. run the privacy-aware pipeline
+//! let outcome = processor.run("ActionFilter", &query).unwrap();
+//! assert_eq!(outcome.stages.len(), 4);
+//! println!("{}", outcome.plan.describe());
+//! ```
+
+pub use paradise_anon as anon;
+pub use paradise_core as core;
+pub use paradise_engine as engine;
+pub use paradise_nodes as nodes;
+pub use paradise_policy as policy;
+pub use paradise_sql as sql;
+
+/// The most commonly used items, importable with one `use`.
+pub mod prelude {
+    pub use paradise_anon::{
+        achieved_k, direct_distance, direct_distance_ratio, generalize_to_k, kl_divergence,
+        mondrian, slice, GeneralizeConfig, Hierarchy, LaplaceMechanism, SlicingConfig,
+    };
+    pub use paradise_core::{
+        attack_answerable, fragment_query, postprocess, preprocess, AnonStrategy,
+        AssignmentPolicy, ConjunctiveQuery, CoreError, FragmentPlan, Outcome, PreprocessOptions,
+        ProcessingChain, Processor, ProcessorOptions, RewriteAction,
+    };
+    pub use paradise_core::remainder::{filter_by_class, ActionClass};
+    pub use paradise_engine::{
+        Catalog, DataType, EngineError, Executor, Frame, Row, Schema, Value,
+    };
+    pub use paradise_nodes::{
+        Capability, Level, Node, SmartRoomConfig, SmartRoomSim, Stage, TrafficLog,
+    };
+    pub use paradise_policy::{
+        figure4_policy, parse_policy, policy_to_xml, validate_policy, AggregationSpec,
+        AttributeRule, ModulePolicy, Policy, PolicyGenerator, FIG4_POLICY_XML,
+    };
+    pub use paradise_sql::{parse_expr, parse_query, Expr, Query};
+}

@@ -1,0 +1,279 @@
+//! Failure-injection tests: every way the pipeline can refuse or
+//! degrade must do so loudly and precisely.
+
+use paradise::core::{
+    fragment_query, preprocess, CoreError, PreprocessOptions, Processor, ProcessorOptions,
+};
+use paradise::nodes::{Capability, Node, NodeError, ProcessingChain};
+use paradise::policy::{parse_policy, PolicyError};
+use paradise::prelude::*;
+
+fn stream(rows: usize) -> Frame {
+    let schema = Schema::from_pairs(&[
+        ("x", DataType::Float),
+        ("y", DataType::Float),
+        ("z", DataType::Float),
+        ("t", DataType::Integer),
+    ]);
+    let data = (0..rows)
+        .map(|i| {
+            vec![
+                Value::Float((i % 7) as f64),
+                Value::Float((i % 5) as f64),
+                Value::Float((i % 3) as f64),
+                Value::Int(i as i64),
+            ]
+        })
+        .collect();
+    Frame::new(schema, data).unwrap()
+}
+
+// --------------------------------------------------------------------
+// policy failures
+// --------------------------------------------------------------------
+
+#[test]
+fn malformed_policy_xml_is_rejected() {
+    for bad in [
+        "<module>",                                        // unterminated
+        "<module module_ID='M'></module>",                 // no attributeList
+        "<notapolicy/>",                                   // wrong root
+        r#"<module module_ID="M"><attributeList>
+             <attribute name="x"><allow>perhaps</allow></attribute>
+           </attributeList></module>"#,                    // bad allow value
+        r#"<module module_ID="M"><attributeList>
+             <attribute name="x"><allow>true</allow>
+               <condition><atomicCondition>x ><</atomicCondition></condition>
+             </attribute></attributeList></module>"#,      // bad condition SQL
+    ] {
+        assert!(parse_policy(bad).is_err(), "should reject: {bad}");
+    }
+}
+
+#[test]
+fn policy_error_display_is_informative() {
+    let err = parse_policy("<module/>").unwrap_err();
+    assert!(matches!(err, PolicyError::Structure(_)));
+    assert!(err.to_string().contains("module_ID"));
+}
+
+#[test]
+fn fully_denying_policy_blocks_every_query() {
+    let mut module = ModulePolicy::new("Paranoid");
+    for attr in ["x", "y", "z", "t"] {
+        module.attributes.push(AttributeRule::denied(attr));
+    }
+    let q = parse_query("SELECT x, y, z, t FROM stream").unwrap();
+    let err = preprocess(&q, &module, &PreprocessOptions::default()).unwrap_err();
+    assert!(matches!(err, CoreError::QueryDenied(_)));
+}
+
+// --------------------------------------------------------------------
+// chain / capability failures
+// --------------------------------------------------------------------
+
+#[test]
+fn chain_without_capable_node_fails_assignment() {
+    // a chain that tops out at an appliance cannot run the window fragment
+    let chain = ProcessingChain::new(vec![
+        Node::new("sensor", paradise::nodes::Level::Sensor),
+        Node::new("tv", paradise::nodes::Level::Appliance),
+    ])
+    .unwrap();
+    let q = parse_query(
+        "SELECT regr_intercept(y, x) OVER (PARTITION BY zAVG ORDER BY t) \
+         FROM (SELECT x, y, AVG(z) AS zAVG, t FROM stream GROUP BY x, y)",
+    )
+    .unwrap();
+    let plan = fragment_query(&q).unwrap();
+    let err = paradise::core::assign_to_chain(&plan, &chain, AssignmentPolicy::Spread)
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        CoreError::Node(NodeError::CapabilityViolation { .. })
+    ));
+}
+
+#[test]
+fn strict_sql92_chain_pushes_window_fragment_to_cloud() {
+    let chain = ProcessingChain::apartment_strict_sql92();
+    let q = parse_query(
+        "SELECT regr_intercept(y, x) OVER (PARTITION BY zAVG ORDER BY t) \
+         FROM (SELECT x, y, AVG(z) AS zAVG, t FROM stream WHERE x > y AND z < 2 \
+         GROUP BY x, y HAVING SUM(z) > 100)",
+    )
+    .unwrap();
+    let plan = fragment_query(&q).unwrap();
+    let stages =
+        paradise::core::assign_to_chain(&plan, &chain, AssignmentPolicy::Spread).unwrap();
+    assert_eq!(stages.last().unwrap().node, "cloud");
+    // the paper-profile chain keeps it in the apartment
+    let paper_stages = paradise::core::assign_to_chain(
+        &plan,
+        &ProcessingChain::apartment(),
+        AssignmentPolicy::Spread,
+    )
+    .unwrap();
+    assert_eq!(paper_stages.last().unwrap().node, "local-server");
+}
+
+#[test]
+fn undersized_node_reports_capacity_exhaustion() {
+    let mut capability = Capability::appliance_default();
+    capability.memory_bytes = 1024; // 1 KiB TV
+    let chain = ProcessingChain::new(vec![
+        Node::new("sensor", paradise::nodes::Level::Sensor),
+        Node::with_capability("tiny-tv", paradise::nodes::Level::Appliance, capability),
+        Node::new("cloud", paradise::nodes::Level::Cloud),
+    ])
+    .unwrap();
+    let mut processor = Processor::new(chain)
+        .with_policy("M", {
+            let mut m = ModulePolicy::new("M");
+            for attr in ["x", "y", "z", "t"] {
+                m.attributes.push(AttributeRule::allowed(attr));
+            }
+            m
+        })
+        // Stack assignment keeps the aggregation on the tiny TV, which
+        // must then refuse with a capacity error (§3.2: the data has to
+        // escalate to a more powerful node)
+        .with_options(ProcessorOptions {
+            assignment: AssignmentPolicy::Stack,
+            ..Default::default()
+        });
+    processor.install_source("sensor", "stream", stream(5000)).unwrap();
+    let q = parse_query("SELECT x, AVG(z) AS za FROM stream GROUP BY x").unwrap();
+    let err = processor.run("M", &q).unwrap_err();
+    assert!(matches!(
+        err,
+        CoreError::Node(NodeError::CapacityExceeded { .. })
+    ));
+}
+
+#[test]
+fn spread_assignment_escalates_past_undersized_node() {
+    // with the default Spread policy the aggregation fragment lands on
+    // the next node up (here: the cloud) and the pipeline completes
+    let mut capability = Capability::appliance_default();
+    capability.memory_bytes = 1024;
+    let chain = ProcessingChain::new(vec![
+        Node::new("sensor", paradise::nodes::Level::Sensor),
+        Node::with_capability("tiny-tv", paradise::nodes::Level::Appliance, capability),
+        Node::new("cloud", paradise::nodes::Level::Cloud),
+    ])
+    .unwrap();
+    let mut processor = Processor::new(chain).with_policy("M", {
+        let mut m = ModulePolicy::new("M");
+        for attr in ["x", "y", "z", "t"] {
+            m.attributes.push(AttributeRule::allowed(attr));
+        }
+        m
+    });
+    processor.install_source("sensor", "stream", stream(5000)).unwrap();
+    let q = parse_query("SELECT x, AVG(z) AS za FROM stream GROUP BY x").unwrap();
+    let outcome = processor.run("M", &q).unwrap();
+    assert_eq!(outcome.stages.last().unwrap().node, "cloud");
+    assert!(!outcome.result.is_empty());
+}
+
+#[test]
+fn unknown_source_table_errors_at_execution() {
+    let mut processor = Processor::new(ProcessingChain::apartment()).with_policy("M", {
+        let mut m = ModulePolicy::new("M");
+        m.attributes.push(AttributeRule::allowed("x"));
+        m
+    });
+    // no install_source at all
+    let q = parse_query("SELECT x FROM missing_stream").unwrap();
+    let err = processor.run("M", &q).unwrap_err();
+    assert!(matches!(err, CoreError::Node(NodeError::Engine(_))));
+}
+
+// --------------------------------------------------------------------
+// engine-level failures surfacing through the stack
+// --------------------------------------------------------------------
+
+#[test]
+fn type_errors_surface_with_context() {
+    let mut catalog = Catalog::new();
+    catalog
+        .register(
+            "d",
+            Frame::new(
+                Schema::from_pairs(&[("s", DataType::Text)]),
+                vec![vec![Value::Str("abc".into())]],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    let executor = Executor::new(&catalog);
+    let err = executor
+        .execute(&parse_query("SELECT s + 1 FROM d").unwrap())
+        .unwrap_err();
+    assert!(err.to_string().contains("arithmetic"), "{err}");
+}
+
+#[test]
+fn union_fragmentation_rejected_cleanly() {
+    let q = parse_query("SELECT x FROM a UNION SELECT x FROM b").unwrap();
+    let err = fragment_query(&q).unwrap_err();
+    assert!(matches!(err, CoreError::UnsupportedQuery(_)));
+    assert!(err.to_string().contains("UNION"));
+}
+
+#[test]
+fn info_gain_rejection_names_the_numbers() {
+    let mut processor = Processor::new(ProcessingChain::apartment())
+        .with_policy("ActionFilter", figure4_policy().modules.remove(0))
+        .with_options(ProcessorOptions {
+            info_gain_threshold: Some(1e-12),
+            ..Default::default()
+        });
+    processor.install_source("motion-sensor", "stream", stream(500)).unwrap();
+    let q = parse_query("SELECT x, y, z, t FROM stream").unwrap();
+    let err = processor.run("ActionFilter", &q).unwrap_err();
+    let CoreError::InsufficientInformation { divergence, threshold } = err else {
+        panic!("expected InsufficientInformation, got {err}");
+    };
+    assert!(divergence > threshold);
+}
+
+// --------------------------------------------------------------------
+// anonymization failures
+// --------------------------------------------------------------------
+
+#[test]
+fn anonymizers_validate_parameters_at_the_boundary() {
+    use paradise::anon::{mondrian, mondrian_l_diverse, AnonError};
+    let f = stream(10);
+    assert!(matches!(mondrian(&f, &[0], 0), Err(AnonError::BadParameter(_))));
+    assert!(matches!(mondrian(&f, &[42], 2), Err(AnonError::BadColumn(42))));
+    assert!(matches!(mondrian(&f, &[0], 99), Err(AnonError::Infeasible(_))));
+    assert!(matches!(
+        mondrian_l_diverse(&f, &[0], 1, 2, 999),
+        Err(AnonError::Infeasible(_))
+    ));
+}
+
+#[test]
+fn stream_gate_blocks_hammering_module() {
+    use paradise::core::{GateDecision, StreamGate};
+    use paradise::policy::StreamSettings;
+    let mut gate = StreamGate::new();
+    gate.set_settings(
+        "Recognizer",
+        StreamSettings {
+            min_query_interval_secs: Some(10.0),
+            allowed_aggregation_levels: vec!["minute".into()],
+        },
+    );
+    assert_eq!(gate.admit("Recognizer", 0.0, Some("minute")), GateDecision::Admitted);
+    let mut blocked = 0;
+    for i in 1..10 {
+        if gate.admit("Recognizer", i as f64, Some("minute")) != GateDecision::Admitted {
+            blocked += 1;
+        }
+    }
+    assert_eq!(blocked, 9, "all queries inside the interval must be blocked");
+}

@@ -1,0 +1,373 @@
+//! Property-based tests over the whole stack: parser round-trips,
+//! fragmentation semantics preservation, anonymization invariants.
+
+use proptest::prelude::*;
+
+use paradise::anon::{achieved_k, direct_distance, mondrian, slice, SlicingConfig};
+use paradise::core::fragment_query;
+use paradise::prelude::*;
+use paradise::sql::ast::{
+    BinaryOp, ColumnRef, Expr, Literal, Query, SelectItem, TableRef,
+};
+
+// ---------------------------------------------------------------------
+// generators
+// ---------------------------------------------------------------------
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| {
+        paradise::sql::token::Keyword::lookup(s).is_none()
+    })
+}
+
+fn arb_literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        any::<i32>().prop_map(|v| Literal::Integer(v as i64)),
+        (-1000i32..1000).prop_map(|v| Literal::Float(v as f64 / 8.0)),
+        "[a-z ]{0,8}".prop_map(Literal::String),
+        Just(Literal::Boolean(true)),
+        Just(Literal::Null),
+    ]
+}
+
+fn arb_simple_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        arb_ident().prop_map(|n| Expr::Column(ColumnRef::bare(n))),
+        arb_literal().prop_map(Expr::Literal),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::binary(l, BinaryOp::Gt, r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::binary(l, BinaryOp::And, r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::binary(l, BinaryOp::Plus, r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::binary(l, BinaryOp::Eq, r)),
+            inner
+                .clone()
+                .prop_map(|e| Expr::Unary { op: paradise::sql::ast::UnaryOp::Not, expr: Box::new(e) }),
+        ]
+    })
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    (
+        proptest::collection::vec(arb_ident(), 1..4),
+        arb_ident(),
+        proptest::option::of(arb_simple_expr()),
+        proptest::option::of(1u64..100),
+        any::<bool>(),
+    )
+        .prop_map(|(cols, table, where_clause, limit, distinct)| Query {
+            distinct,
+            items: cols
+                .into_iter()
+                .map(|c| SelectItem::expr(Expr::Column(ColumnRef::bare(c))))
+                .collect(),
+            from: Some(TableRef::table(table)),
+            where_clause,
+            limit,
+            ..Query::default()
+        })
+}
+
+// ---------------------------------------------------------------------
+// SQL round-trip properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn rendered_queries_reparse_to_the_same_ast(q in arb_query()) {
+        let sql = q.to_string();
+        let parsed = parse_query(&sql)
+            .unwrap_or_else(|e| panic!("rendered SQL failed to parse: {sql:?}: {e}"));
+        prop_assert_eq!(parsed, q);
+    }
+
+    #[test]
+    fn rendered_exprs_reparse_to_the_same_ast(e in arb_simple_expr()) {
+        let sql = e.to_string();
+        let parsed = parse_expr(&sql)
+            .unwrap_or_else(|err| panic!("rendered expr failed to parse: {sql:?}: {err}"));
+        prop_assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn conjoin_and_conjuncts_are_inverse(
+        exprs in proptest::collection::vec(arb_simple_expr()
+            .prop_filter("no top-level AND", |e| !matches!(e, Expr::Binary { op: BinaryOp::And, .. })), 1..5)
+    ) {
+        let joined = Expr::conjoin(exprs.clone()).unwrap();
+        let split: Vec<Expr> = joined.conjuncts().into_iter().cloned().collect();
+        prop_assert_eq!(split, exprs);
+    }
+}
+
+// ---------------------------------------------------------------------
+// fragmentation semantics
+// ---------------------------------------------------------------------
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0, 0.0f64..3.0, 0i64..100), 1..60)
+        .prop_map(|tuples| {
+            let schema = Schema::from_pairs(&[
+                ("x", DataType::Float),
+                ("y", DataType::Float),
+                ("z", DataType::Float),
+                ("t", DataType::Integer),
+            ]);
+            let rows = tuples
+                .into_iter()
+                .map(|(x, y, z, t)| {
+                    vec![
+                        Value::Float((x * 4.0).round() / 4.0),
+                        Value::Float((y * 4.0).round() / 4.0),
+                        Value::Float((z * 4.0).round() / 4.0),
+                        Value::Int(t),
+                    ]
+                })
+                .collect();
+            Frame::new(schema, rows).unwrap()
+        })
+}
+
+/// Queries the fragmenter handles: nested aggregation shapes over the
+/// ubisense schema.
+fn arb_fragmentable_query() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("SELECT * FROM stream WHERE z < 2".to_string()),
+        Just("SELECT x, y, t FROM stream WHERE x > y".to_string()),
+        Just("SELECT x, AVG(z) AS za FROM stream WHERE z < 2 GROUP BY x".to_string()),
+        Just(
+            "SELECT x, y, AVG(z) AS zAVG, t FROM stream WHERE x > y AND z < 2 \
+             GROUP BY x, y HAVING SUM(z) > 1"
+                .to_string()
+        ),
+        Just("SELECT t FROM stream WHERE z < 1 AND x > 2 ORDER BY t LIMIT 7".to_string()),
+        Just(
+            "SELECT za FROM (SELECT x, AVG(z) AS za FROM stream WHERE z < 2 GROUP BY x)"
+                .to_string()
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fragmented_equals_direct_execution(frame in arb_frame(), sql in arb_fragmentable_query()) {
+        let query = parse_query(&sql).unwrap();
+
+        // direct execution
+        let mut catalog = Catalog::new();
+        catalog.register("stream", frame.clone()).unwrap();
+        let direct = Executor::new(&catalog).execute(&query).unwrap();
+
+        // fragmented execution over the apartment chain
+        let plan = fragment_query(&query).unwrap();
+        let mut chain = ProcessingChain::apartment();
+        chain.node_mut("motion-sensor").unwrap().install_table("stream", frame);
+        let stages = paradise::core::assign_to_chain(&plan, &chain, AssignmentPolicy::Spread).unwrap();
+        let run = chain.run_stages(&stages).unwrap();
+
+        prop_assert_eq!(run.result.rows, direct.rows, "query: {}", sql);
+    }
+
+    #[test]
+    fn every_fragment_respects_its_level(sql in arb_fragmentable_query()) {
+        let query = parse_query(&sql).unwrap();
+        let plan = fragment_query(&query).unwrap();
+        for fragment in &plan.fragments {
+            let cap = Capability::for_level(fragment.min_level);
+            let features = paradise::sql::analysis::block_features(&fragment.query);
+            prop_assert!(cap.supports(&features), "fragment {} breaks {:?}", fragment.query, fragment.min_level);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// anonymization invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mondrian_always_reaches_k(frame in arb_frame(), k in 1usize..6) {
+        prop_assume!(frame.len() >= k);
+        let result = mondrian(&frame, &[0, 1], k).unwrap();
+        let achieved = achieved_k(&result.frame, &[0, 1]).unwrap().unwrap();
+        prop_assert!(achieved >= k, "achieved {achieved} < k {k}");
+        // shape preserved
+        prop_assert_eq!(result.frame.len(), frame.len());
+        // non-QID columns untouched
+        for (orig, anon) in frame.rows.iter().zip(&result.frame.rows) {
+            prop_assert_eq!(&orig[2], &anon[2]);
+            prop_assert_eq!(&orig[3], &anon[3]);
+        }
+    }
+
+    #[test]
+    fn dd_is_a_metric_like_distance(frame in arb_frame()) {
+        // identity
+        prop_assert_eq!(direct_distance(&frame, &frame).unwrap(), 0);
+        // symmetry
+        let mut modified = frame.clone();
+        if !modified.rows.is_empty() {
+            modified.rows[0][0] = Value::Float(-1.0);
+        }
+        let d1 = direct_distance(&frame, &modified).unwrap();
+        let d2 = direct_distance(&modified, &frame).unwrap();
+        prop_assert_eq!(d1, d2);
+        // bounded by cell count
+        prop_assert!(d1 <= frame.cell_count());
+    }
+
+    #[test]
+    fn slicing_preserves_multisets(frame in arb_frame(), bucket in 1usize..10) {
+        let config = SlicingConfig {
+            column_groups: vec![vec![0, 1], vec![2], vec![3]],
+            bucket_size: bucket,
+            seed: 7,
+        };
+        let out = slice(&frame, &config).unwrap();
+        prop_assert_eq!(out.frame.len(), frame.len());
+        for c in 0..frame.schema.len() {
+            let mut a: Vec<String> = frame.rows.iter().map(|r| r[c].to_string()).collect();
+            let mut b: Vec<String> = out.frame.rows.iter().map(|r| r[c].to_string()).collect();
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b);
+        }
+        // grouped columns stay linked
+        for (orig_row, out_row) in frame.rows.iter().zip(&out.frame.rows) {
+            let _ = orig_row;
+            // find the (x, y) pair of out_row somewhere in the original
+            let pair_exists = frame
+                .rows
+                .iter()
+                .any(|r| r[0] == out_row[0] && r[1] == out_row[1]);
+            prop_assert!(pair_exists, "slicing invented a new (x, y) pair");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// policy round-trip and anonymization-extension properties
+// ---------------------------------------------------------------------
+
+use paradise::policy::{
+    parse_policy, policy_to_xml, AggregationSpec, AttributeRule, ModulePolicy, Policy,
+    StreamSettings,
+};
+
+fn arb_attribute_rule() -> impl Strategy<Value = AttributeRule> {
+    (
+        arb_ident(),
+        any::<bool>(),
+        proptest::option::of((0.0f64..100.0).prop_map(|b| {
+            parse_expr(&format!("z < {b}")).unwrap()
+        })),
+        proptest::option::of(proptest::sample::select(vec!["AVG", "SUM", "MIN", "MAX"])),
+    )
+        .prop_map(|(name, allow, condition, agg)| {
+            let mut rule = if allow {
+                AttributeRule::allowed(name)
+            } else {
+                AttributeRule::denied(name)
+            };
+            if let Some(c) = condition {
+                rule.conditions.push(c);
+            }
+            if let Some(a) = agg {
+                rule.aggregation =
+                    Some(AggregationSpec::new(a).group_by(&["x", "y"]));
+            }
+            rule
+        })
+}
+
+fn arb_module_policy() -> impl Strategy<Value = ModulePolicy> {
+    (
+        "[A-Za-z][A-Za-z0-9]{0,10}",
+        proptest::collection::vec(arb_attribute_rule(), 1..6),
+        proptest::option::of((0.1f64..3600.0, any::<bool>())),
+    )
+        .prop_map(|(id, attributes, stream)| {
+            let mut m = ModulePolicy::new(id);
+            // dedupe attribute names (validation would flag duplicates)
+            for rule in attributes {
+                if m.attribute(&rule.name).is_none() {
+                    m.attributes.push(rule);
+                }
+            }
+            m.stream = stream.map(|(secs, minute)| StreamSettings {
+                min_query_interval_secs: Some((secs * 10.0).round() / 10.0),
+                allowed_aggregation_levels: if minute {
+                    vec!["minute".to_string()]
+                } else {
+                    vec![]
+                },
+            });
+            m
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn policy_xml_roundtrips(module in arb_module_policy()) {
+        let policy = Policy::single(module);
+        let xml = policy_to_xml(&policy);
+        let parsed = parse_policy(&xml)
+            .unwrap_or_else(|e| panic!("serialized policy failed to parse: {e}\n{xml}"));
+        prop_assert_eq!(parsed, policy);
+    }
+
+    #[test]
+    fn entropy_l_never_exceeds_distinct_l(frame in arb_frame()) {
+        use paradise::anon::{distinct_l, entropy_l};
+        // sensitive column: t (index 3); QID: x (index 0)
+        let d = distinct_l(&frame, &[0], 3).unwrap();
+        let e = entropy_l(&frame, &[0], 3).unwrap();
+        match (d, e) {
+            (Some(d), Some(e)) => prop_assert!(e <= d as f64 + 1e-9, "exp(H)={e} > {d}"),
+            (None, None) => {}
+            other => prop_assert!(false, "inconsistent emptiness: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn t_closeness_is_bounded(frame in arb_frame()) {
+        use paradise::anon::t_closeness;
+        if let Some(t) = t_closeness(&frame, &[0], 2).unwrap() {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&t), "t = {t}");
+        }
+    }
+
+    #[test]
+    fn range_containment_is_monotone(a in 0.0f64..50.0, b in 0.0f64..50.0) {
+        use paradise::core::RangeQuery;
+        use std::collections::HashMap;
+        prop_assume!(a != b);
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let mut schemas = HashMap::new();
+        schemas.insert(
+            "stream".to_string(),
+            vec!["x".to_string(), "y".to_string(), "z".to_string(), "t".to_string()],
+        );
+        let tight = RangeQuery::from_query(
+            &parse_query(&format!("SELECT x FROM stream WHERE z < {lo}")).unwrap(),
+            &schemas,
+        )
+        .unwrap();
+        let loose = RangeQuery::from_query(
+            &parse_query(&format!("SELECT x FROM stream WHERE z < {hi}")).unwrap(),
+            &schemas,
+        )
+        .unwrap();
+        prop_assert!(tight.is_contained_in(&loose));
+        prop_assert!(!loose.is_contained_in(&tight));
+    }
+}
