@@ -1,0 +1,97 @@
+//! Render/parse idempotence over a corpus of paper-style queries.
+//!
+//! For every query `q`: `parse(display(parse(q))) == parse(q)` — i.e.
+//! `display.rs` output is itself valid SQL that reparses to the same
+//! AST. This pins the lexer → parser → renderer loop that every
+//! rewriting stage in the pipeline depends on (a fragment is rendered,
+//! shipped to a node, and reparsed there).
+
+use paradise_sql::{parse_expr, parse_query};
+
+/// Paper-style queries over the ubisense `stream(x, y, z, t)` schema,
+/// spanning every syntactic feature the dialect supports.
+const CORPUS: &[&str] = &[
+    // projection / scan shapes
+    "SELECT * FROM stream",
+    "SELECT x, y FROM stream",
+    "SELECT DISTINCT x, y FROM stream",
+    "SELECT x AS px, y AS py FROM stream",
+    // filters
+    "SELECT * FROM stream WHERE z < 2",
+    "SELECT x FROM stream WHERE x > y AND z < 2",
+    "SELECT x FROM stream WHERE x > 1 OR NOT y < 2",
+    "SELECT x FROM stream WHERE x + 1 > y * 2 - 3",
+    "SELECT x FROM stream WHERE z BETWEEN 1 AND 2",
+    "SELECT x FROM stream WHERE t IN (1, 2, 3)",
+    "SELECT x FROM stream WHERE name LIKE 'bob%'",
+    "SELECT x FROM stream WHERE y IS NULL",
+    "SELECT x FROM stream WHERE y IS NOT NULL",
+    // aggregation
+    "SELECT AVG(z) FROM stream",
+    "SELECT COUNT(*) FROM stream",
+    "SELECT x, AVG(z) AS za FROM stream GROUP BY x",
+    "SELECT x, AVG(z) AS za FROM stream WHERE z < 2 GROUP BY x HAVING SUM(z) > 10",
+    // ordering and paging
+    "SELECT x FROM stream ORDER BY x",
+    "SELECT x FROM stream ORDER BY x DESC, y ASC LIMIT 5",
+    "SELECT x FROM stream ORDER BY t LIMIT 10 OFFSET 20",
+    // joins
+    "SELECT a.x FROM stream a JOIN stream b ON a.t = b.t",
+    "SELECT a.x, b.y FROM stream a LEFT JOIN stream b ON a.t = b.t WHERE b.y IS NULL",
+    // subqueries and set operations
+    "SELECT x FROM (SELECT x FROM stream)",
+    "SELECT za FROM (SELECT x, AVG(z) AS za FROM stream WHERE z < 2 GROUP BY x)",
+    "SELECT x FROM stream UNION SELECT y FROM stream",
+    // expressions
+    "SELECT CASE WHEN z < 1 THEN 'floor' ELSE 'air' END FROM stream",
+    "SELECT CAST(t AS FLOAT) FROM stream",
+    // windows (the paper's §4.2 rewrite target)
+    "SELECT regr_intercept(y, x) OVER (PARTITION BY z ORDER BY t) FROM stream",
+    "SELECT regr_intercept(y, x) OVER (PARTITION BY zAVG ORDER BY t) \
+     FROM (SELECT x, y, AVG(z) AS zAVG, t FROM stream \
+     WHERE x > y AND z < 2 GROUP BY x, y HAVING SUM(z) > 100)",
+    // ML-style UDF from Table 1
+    "SELECT filterByClass(z) FROM stream",
+];
+
+#[test]
+fn corpus_queries_roundtrip_through_display() {
+    for sql in CORPUS {
+        let first = parse_query(sql).unwrap_or_else(|e| panic!("corpus query failed to parse: {sql}: {e}"));
+        let rendered = first.to_string();
+        let second = parse_query(&rendered)
+            .unwrap_or_else(|e| panic!("rendered SQL failed to reparse: {rendered}: {e}"));
+        assert_eq!(second, first, "display round-trip changed the AST for: {sql}\nrendered: {rendered}");
+    }
+}
+
+#[test]
+fn rendering_is_idempotent() {
+    // display(parse(display(parse(q)))) == display(parse(q)): the
+    // renderer must be a fixed point after one normalization pass.
+    for sql in CORPUS {
+        let rendered = parse_query(sql).unwrap().to_string();
+        let rerendered = parse_query(&rendered).unwrap().to_string();
+        assert_eq!(rerendered, rendered, "rendering not idempotent for: {sql}");
+    }
+}
+
+#[test]
+fn corpus_exprs_roundtrip_through_display() {
+    let exprs = [
+        "x + 1 > y * 2",
+        "NOT x > 1 AND y < 2 OR z = 3",
+        "z BETWEEN 1 AND 2 AND t IN (1, 2)",
+        "CASE WHEN z < 1 THEN 1 ELSE 0 END",
+        "CAST(t AS FLOAT) / 2.5",
+        "-x + (y - 1)",
+        "name LIKE 'a%' AND y IS NOT NULL",
+    ];
+    for src in exprs {
+        let first = parse_expr(src).unwrap_or_else(|e| panic!("expr failed to parse: {src}: {e}"));
+        let rendered = first.to_string();
+        let second = parse_expr(&rendered)
+            .unwrap_or_else(|e| panic!("rendered expr failed to reparse: {rendered}: {e}"));
+        assert_eq!(second, first, "expr round-trip changed the AST for: {src}");
+    }
+}

@@ -1,0 +1,290 @@
+//! Minimal offline stand-in for the `criterion` bench harness.
+//!
+//! Supports the API subset this workspace's benches use: groups,
+//! `bench_function` / `bench_with_input`, `Bencher::iter` /
+//! `iter_batched`, `black_box`, `BenchmarkId`, and the
+//! `criterion_group!` / `criterion_main!` macros. Instead of
+//! criterion's statistical machinery it runs a fixed warm-up, then
+//! timed batches, and prints mean wall-clock ns/iter.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-exported for call sites that spell it `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batched inputs are sized; only a marker here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Drives the timed closure.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by `iter*`.
+    mean_ns: f64,
+    iters_per_sample: u64,
+    samples: u64,
+}
+
+impl Bencher {
+    fn new(iters_per_sample: u64, samples: u64) -> Self {
+        Bencher { mean_ns: f64::NAN, iters_per_sample, samples }
+    }
+
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up.
+        for _ in 0..self.iters_per_sample.min(16) {
+            black_box(routine());
+        }
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iters += self.iters_per_sample;
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.samples {
+            for _ in 0..self.iters_per_sample {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                total += start.elapsed();
+                iters += 1;
+            }
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+    }
+
+    pub fn iter_with_large_drop<O, R: FnMut() -> O>(&mut self, routine: R) {
+        self.iter(routine)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    /// Group-scoped sample count, as in real criterion: it must not
+    /// leak into later groups sharing the same `Criterion`.
+    samples_override: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    fn samples(&self) -> u64 {
+        self.samples_override.unwrap_or(self.criterion.samples)
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Keep runs bounded: the stub only uses this to scale batches.
+        self.samples_override = Some((n as u64).clamp(2, 20));
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.criterion.iters_per_sample, self.samples());
+        f(&mut b);
+        self.criterion.report(&self.name, &id, b.mean_ns);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.criterion.iters_per_sample, self.samples());
+        f(&mut b, input);
+        self.criterion.report(&self.name, &id, b.mean_ns);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Throughput annotation; accepted and ignored.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// The harness entry point handed to every bench function.
+pub struct Criterion {
+    iters_per_sample: u64,
+    samples: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Small fixed budget: `cargo bench` finishes in seconds while
+        // still giving a usable ns/iter signal. CI only compiles
+        // benches (`cargo bench --no-run`).
+        Criterion { iters_per_sample: 32, samples: 8 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), criterion: self, samples_override: None }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.iters_per_sample, self.samples);
+        f(&mut b);
+        let id = BenchmarkId::from(name);
+        self.report("", &id, b.mean_ns);
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.samples = (n as u64).clamp(2, 20);
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    fn report(&self, group: &str, id: &BenchmarkId, mean_ns: f64) {
+        let full = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+        if mean_ns.is_nan() {
+            println!("{full:<50} (no measurement)");
+        } else if mean_ns >= 1_000_000.0 {
+            println!("{full:<50} {:>12.3} ms/iter", mean_ns / 1_000_000.0);
+        } else if mean_ns >= 1_000.0 {
+            println!("{full:<50} {:>12.3} us/iter", mean_ns / 1_000.0);
+        } else {
+            println!("{full:<50} {mean_ns:>12.1} ns/iter");
+        }
+    }
+}
+
+/// Mirrors criterion's macro: defines a function that runs each bench
+/// target with a fresh `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Mirrors criterion's macro: `main` invoking each group function.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; accept
+            // and ignore anything on the command line.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(2).bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn iter_batched_runs() {
+        let mut c = Criterion::default();
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::LargeInput)
+        });
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

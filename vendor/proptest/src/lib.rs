@@ -1,0 +1,663 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! Implements the API subset this workspace's property tests use:
+//! the [`strategy::Strategy`] trait with `prop_map` / `prop_filter` /
+//! `prop_recursive`, strategies for numeric ranges, tuples,
+//! regex-lite string patterns, [`collection::vec`], [`option::of`],
+//! [`sample::select`], `Just`, `any`, plus the `proptest!`,
+//! `prop_oneof!`, `prop_assert!`, `prop_assert_eq!`, and
+//! `prop_assume!` macros.
+//!
+//! Differences from the real crate: cases are generated from a
+//! deterministic per-test seed and there is **no shrinking** — a
+//! failure reports the generated inputs, not a minimal counterexample.
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+pub mod test_runner {
+    /// Runner configuration (the prelude re-exports this as
+    /// `ProptestConfig`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256, max_global_rejects: 65_536 }
+        }
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases, ..Config::default() }
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed — skip the case, generate another.
+        Reject(String),
+        /// `prop_assert*` failed — the property is violated.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// A deterministic seed derived from the test's name, so every
+    /// test function explores a different (but reproducible) stream.
+    pub fn seed_for(test_name: &str) -> u64 {
+        // FNV-1a: stable across platforms and std versions.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+}
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::rc::Rc;
+
+    /// How many times combinators retry a locally-rejected value
+    /// before giving up.
+    const MAX_LOCAL_REJECTS: usize = 10_000;
+
+    /// A generator of values of type `Self::Value`.
+    ///
+    /// Unlike real proptest there is no value tree / shrinking: a
+    /// strategy is just a seeded sampler.
+    pub trait Strategy {
+        type Value: std::fmt::Debug;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        fn prop_map<O: std::fmt::Debug, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_filter<R, F>(self, reason: R, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            R: Into<String>,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, reason: reason.into(), f }
+        }
+
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Build recursive structures: `f` receives the strategy for
+        /// values up to the previous depth and returns the strategy
+        /// for one level deeper. Each level is unioned with all
+        /// shallower ones so generated values span depth 0..=depth,
+        /// not only maximal-depth shapes.
+        fn prop_recursive<S, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            S: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+        {
+            let mut strat = self.boxed();
+            for _ in 0..depth {
+                let deeper = f(strat.clone()).boxed();
+                strat = Union::new(vec![strat, deeper]).boxed();
+            }
+            strat
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// A cloneable, type-erased strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T: std::fmt::Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: std::fmt::Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: String,
+        f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> S::Value {
+            for _ in 0..MAX_LOCAL_REJECTS {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected {MAX_LOCAL_REJECTS} candidates: {}", self.reason)
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T: std::fmt::Debug> Union<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+            Union { options }
+        }
+    }
+
+    impl<T: std::fmt::Debug> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    // ----- numeric ranges ------------------------------------------------
+
+    macro_rules! range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategies!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f64);
+
+    // ----- tuples --------------------------------------------------------
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+
+    // ----- regex-lite string patterns ------------------------------------
+
+    /// `&str` is a strategy producing strings matching the pattern, as
+    /// in real proptest. Supported syntax: literal characters,
+    /// character classes `[a-z0-9_ ]` (ranges and singletons), and
+    /// `{m}` / `{m,n}` repetition suffixes.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut StdRng) -> String {
+            let atoms = parse_pattern(self);
+            let mut out = String::new();
+            for atom in &atoms {
+                let n = if atom.min == atom.max {
+                    atom.min
+                } else {
+                    rng.gen_range(atom.min..=atom.max)
+                };
+                for _ in 0..n {
+                    out.push(atom.chars[rng.gen_range(0..atom.chars.len())]);
+                }
+            }
+            out
+        }
+    }
+
+    struct PatternAtom {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse_pattern(pattern: &str) -> Vec<PatternAtom> {
+        let mut atoms = Vec::new();
+        let mut it = pattern.chars().peekable();
+        while let Some(c) = it.next() {
+            let chars = if c == '[' {
+                let mut set = Vec::new();
+                loop {
+                    let c = it.next().unwrap_or_else(|| {
+                        panic!("unterminated character class in pattern {pattern:?}")
+                    });
+                    if c == ']' {
+                        break;
+                    }
+                    if it.peek() == Some(&'-') {
+                        let mut ahead = it.clone();
+                        ahead.next(); // the '-'
+                        match ahead.peek() {
+                            Some(&hi) if hi != ']' => {
+                                it = ahead;
+                                it.next();
+                                set.extend(c..=hi);
+                                continue;
+                            }
+                            _ => {}
+                        }
+                    }
+                    set.push(c);
+                }
+                assert!(!set.is_empty(), "empty character class in pattern {pattern:?}");
+                set
+            } else {
+                vec![c]
+            };
+            let (min, max) = if it.peek() == Some(&'{') {
+                it.next();
+                let spec: String = it.by_ref().take_while(|&c| c != '}').collect();
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad {m,n} bound"),
+                        hi.trim().parse().expect("bad {m,n} bound"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad {m} bound");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            atoms.push(PatternAtom { chars, min, max });
+        }
+        atoms
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Types with a canonical "anything" strategy.
+    pub trait Arbitrary: Sized + std::fmt::Debug {
+        type Strategy: Strategy<Value = Self>;
+
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The canonical strategy for `T` (`any::<T>()`).
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+
+    pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+    macro_rules! arbitrary_impls {
+        ($($t:ty => $gen:expr),* $(,)?) => {$(
+            impl Strategy for AnyStrategy<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    let f: fn(&mut StdRng) -> $t = $gen;
+                    f(rng)
+                }
+            }
+
+            impl Arbitrary for $t {
+                type Strategy = AnyStrategy<$t>;
+
+                fn arbitrary() -> Self::Strategy {
+                    AnyStrategy(std::marker::PhantomData)
+                }
+            }
+        )*};
+    }
+
+    arbitrary_impls! {
+        bool => |rng| rng.gen::<bool>(),
+        i8 => |rng| rng.gen::<u64>() as i8,
+        i16 => |rng| rng.gen::<u64>() as i16,
+        i32 => |rng| rng.gen::<u64>() as i32,
+        i64 => |rng| rng.gen::<u64>() as i64,
+        u8 => |rng| rng.gen::<u64>() as u8,
+        u16 => |rng| rng.gen::<u64>() as u16,
+        u32 => |rng| rng.gen::<u64>() as u32,
+        u64 => |rng| rng.gen::<u64>(),
+        usize => |rng| rng.gen::<u64>() as usize,
+        f64 => |rng| rng.gen::<f64>(),
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// `Vec` strategy with a length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// `Option` strategy: `None` a quarter of the time, like real
+    /// proptest's default 3:1 weighting toward `Some`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.gen_bool(0.75) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod sample {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Uniform choice from a fixed list.
+    pub fn select<T: Clone + std::fmt::Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "sample::select needs at least one option");
+        Select { options }
+    }
+
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Uniform choice between alternative strategies of a common value
+/// type. Weights (`w => strat`) are not supported by this stand-in.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
+
+/// Skip the current case (it does not count toward `cases`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// The test-definition macro. Each inner function runs `config.cases`
+/// generated cases; `prop_assume!` rejections are regenerated, and a
+/// failure panics with the generated inputs (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            use $crate::strategy::Strategy as _;
+            let config: $crate::test_runner::Config = $cfg;
+            let mut rng = <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(
+                $crate::test_runner::seed_for(stringify!($name)),
+            );
+            let mut passed: u32 = 0;
+            let mut rejected: u32 = 0;
+            while passed < config.cases {
+                $(let $arg = ($strat).generate(&mut rng);)+
+                let inputs = || {
+                    let mut s = String::new();
+                    $(s.push_str(&format!("  {} = {:?}\n", stringify!($arg), &$arg));)+
+                    s
+                };
+                let described = inputs();
+                let outcome = (move || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    Ok(()) => passed += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(why)) => {
+                        rejected += 1;
+                        if rejected > config.max_global_rejects {
+                            panic!(
+                                "proptest {}: too many prop_assume! rejections ({rejected}): {why}",
+                                stringify!($name)
+                            );
+                        }
+                    }
+                    Err($crate::test_runner::TestCaseError::Fail(why)) => {
+                        panic!(
+                            "proptest {} failed after {passed} passing case(s): {why}\ninputs:\n{described}",
+                            stringify!($name)
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
