@@ -57,10 +57,9 @@ impl LaplaceMechanism {
         if lo >= hi || lo.is_nan() || hi.is_nan() {
             return Err(AnonError::BadParameter("need lo < hi for clamping".into()));
         }
-        let sum: f64 = frame
-            .rows
-            .iter()
-            .filter_map(|r| r[column].as_f64())
+        let col = frame.column(column);
+        let sum: f64 = (0..frame.len())
+            .filter_map(|i| col.as_f64(i))
             .map(|x| x.clamp(lo, hi))
             .sum();
         self.release(sum, lo.abs().max(hi.abs()))
@@ -86,10 +85,11 @@ impl LaplaceMechanism {
         }
         let keep_p = self.epsilon.exp() / (1.0 + self.epsilon.exp());
         let mut out = frame.clone();
-        for row in &mut out.rows {
-            if let Value::Bool(b) = row[column] {
+        let col = out.column_mut(column);
+        for i in 0..col.len() {
+            if let Value::Bool(b) = col.value(i) {
                 let keep: bool = self.rng.gen_bool(keep_p);
-                row[column] = Value::Bool(if keep { b } else { !b });
+                col.set(i, Value::Bool(if keep { b } else { !b }));
             }
         }
         Ok(out)
@@ -165,7 +165,7 @@ mod tests {
         let f = Frame::new(schema, rows).unwrap();
         let mut m = LaplaceMechanism::new(1.0, 5).unwrap();
         let out = m.randomized_response(&f, 0).unwrap();
-        let flipped = out.rows.iter().filter(|r| r[0] == Value::Bool(false)).count();
+        let flipped = out.column_values(0).filter(|v| *v == Value::Bool(false)).count();
         // keep probability e/(1+e) ≈ 0.73 → expect ~54 flips of 200
         assert!(flipped > 20 && flipped < 100, "flipped {flipped}");
     }

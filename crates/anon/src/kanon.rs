@@ -109,18 +109,23 @@ fn try_levels(
     config: &GeneralizeConfig,
     levels: &[usize],
 ) -> AnonResult<Option<KAnonResult>> {
-    // generalize QID cells
+    // generalize QID cells, column at a time
     let mut anonymized = frame.clone();
     for (qi, (col, hierarchy)) in config.qids.iter().enumerate() {
-        for row in &mut anonymized.rows {
-            row[*col] = hierarchy.generalize(&row[*col], levels[qi]);
+        let data = anonymized.column_mut(*col);
+        for ri in 0..data.len() {
+            let generalized = hierarchy.generalize(&data.value(ri), levels[qi]);
+            data.set(ri, generalized);
         }
     }
     // class sizes
     let qid_cols: Vec<usize> = config.qids.iter().map(|(c, _)| *c).collect();
     let mut classes: HashMap<Vec<GroupKey>, Vec<usize>> = HashMap::new();
-    for (ri, row) in anonymized.rows.iter().enumerate() {
-        let key: Vec<GroupKey> = qid_cols.iter().map(|&c| row[c].group_key()).collect();
+    for ri in 0..anonymized.len() {
+        let key: Vec<GroupKey> = qid_cols
+            .iter()
+            .map(|&c| anonymized.column(c).group_key_at(ri))
+            .collect();
         classes.entry(key).or_default().push(ri);
     }
     let undersized: Vec<usize> = classes
@@ -132,9 +137,10 @@ fn try_levels(
         return Ok(None);
     }
     let suppressed = undersized.len();
-    for ri in undersized {
-        for &c in &qid_cols {
-            anonymized.rows[ri][c] = Value::Str(SUPPRESSED.to_string());
+    for &c in &qid_cols {
+        let data = anonymized.column_mut(c);
+        for &ri in &undersized {
+            data.set(ri, Value::Str(SUPPRESSED.to_string()));
         }
     }
     Ok(Some(KAnonResult { frame: anonymized, levels: levels.to_vec(), suppressed }))
@@ -185,11 +191,12 @@ fn split_partition(
     // choose the numeric QID with the widest normalised range
     let mut best: Option<(usize, f64)> = None;
     for &c in qids {
+        let col = frame.column(c);
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
         let mut numeric = true;
         for &ri in &indices {
-            match frame.rows[ri][c].as_f64() {
+            match col.as_f64(ri) {
                 Some(x) => {
                     lo = lo.min(x);
                     hi = hi.max(x);
@@ -212,15 +219,16 @@ fn split_partition(
         return;
     };
     // median split (strict less / greater-equal)
+    let col = frame.column(split_col);
     let mut values: Vec<f64> = indices
         .iter()
-        .map(|&ri| frame.rows[ri][split_col].as_f64().expect("checked numeric"))
+        .map(|&ri| col.as_f64(ri).expect("checked numeric"))
         .collect();
     values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in QIDs"));
     let median = values[values.len() / 2];
     let (left, right): (Vec<usize>, Vec<usize>) = indices
         .iter()
-        .partition(|&&ri| frame.rows[ri][split_col].as_f64().expect("numeric") < median);
+        .partition(|&&ri| col.as_f64(ri).expect("numeric") < median);
     if left.len() < k || right.len() < k {
         out.push(indices);
         return;
@@ -239,11 +247,12 @@ fn recode_partition(frame: &mut Frame, qids: &[usize], indices: &[usize]) {
     for &c in qids {
         // numeric range recoding when all values are numeric
         let numeric: Option<(f64, f64)> = {
+            let col = frame.column(c);
             let mut lo = f64::INFINITY;
             let mut hi = f64::NEG_INFINITY;
             let mut ok = true;
             for &ri in indices {
-                match frame.rows[ri][c].as_f64() {
+                match col.as_f64(ri) {
                     Some(x) => {
                         lo = lo.min(x);
                         hi = hi.max(x);
@@ -269,17 +278,21 @@ fn recode_partition(frame: &mut Frame, qids: &[usize], indices: &[usize]) {
                     trim_float(lo),
                     trim_float(hi)
                 ));
+                let data = frame.column_mut(c);
                 for &ri in indices {
-                    frame.rows[ri][c] = label.clone();
+                    data.set(ri, label.clone());
                 }
             }
             None => {
                 // categorical set recoding
                 let mut distinct: Vec<String> = Vec::new();
-                for &ri in indices {
-                    let s = frame.rows[ri][c].to_string();
-                    if !distinct.contains(&s) {
-                        distinct.push(s);
+                {
+                    let col = frame.column(c);
+                    for &ri in indices {
+                        let s = col.value(ri).to_string();
+                        if !distinct.contains(&s) {
+                            distinct.push(s);
+                        }
                     }
                 }
                 distinct.sort();
@@ -290,8 +303,9 @@ fn recode_partition(frame: &mut Frame, qids: &[usize], indices: &[usize]) {
                 } else {
                     Value::Str(format!("{{{}}}", distinct.join(",")))
                 };
+                let data = frame.column_mut(c);
                 for &ri in indices {
-                    frame.rows[ri][c] = label.clone();
+                    data.set(ri, label.clone());
                 }
             }
         }
@@ -348,7 +362,7 @@ mod tests {
         let k = achieved_k(&r.frame, &[0, 1]).unwrap().unwrap();
         assert!(k >= 2, "achieved k = {k}");
         // sensitive column untouched
-        assert_eq!(r.frame.rows[0][2], Value::Str("flu".into()));
+        assert_eq!(r.frame.value(0, 2), Value::Str("flu".into()));
     }
 
     #[test]
@@ -398,8 +412,8 @@ mod tests {
     #[test]
     fn mondrian_preserves_sensitive_values() {
         let r = mondrian(&people(), &[0, 1], 2).unwrap();
-        let conditions: Vec<Value> = r.frame.rows.iter().map(|row| row[2].clone()).collect();
-        let original: Vec<Value> = people().rows.iter().map(|row| row[2].clone()).collect();
+        let conditions: Vec<Value> = r.frame.column_values(2).collect();
+        let original: Vec<Value> = people().column_values(2).collect();
         assert_eq!(conditions, original);
     }
 
@@ -407,7 +421,7 @@ mod tests {
     fn mondrian_recodes_to_ranges() {
         let r = mondrian(&people(), &[0], 3).unwrap();
         // ages split at median 36: [25,34] and [36,57]
-        let first = r.frame.rows[0][0].to_string();
+        let first = r.frame.value(0, 0).to_string();
         assert!(first.starts_with('['), "expected interval, got {first}");
     }
 
@@ -430,7 +444,7 @@ mod tests {
         let f = Frame::new(schema, rows).unwrap();
         let r = mondrian(&f, &[0], 2).unwrap();
         // single partition (categorical can't split) → set recoding
-        assert_eq!(r.frame.rows[0][0], Value::Str("{lab,office}".into()));
+        assert_eq!(r.frame.value(0, 0), Value::Str("{lab,office}".into()));
     }
 
     #[test]

@@ -79,10 +79,12 @@ fn classes_of(
             return Err(AnonError::BadColumn(c));
         }
     }
+    let cols: Vec<_> = qid_columns.iter().map(|&c| frame.column(c)).collect();
+    let sens = frame.column(sensitive);
     let mut classes: HashMap<Vec<GroupKey>, Vec<GroupKey>> = HashMap::new();
-    for row in &frame.rows {
-        let key: Vec<GroupKey> = qid_columns.iter().map(|&c| row[c].group_key()).collect();
-        classes.entry(key).or_default().push(row[sensitive].group_key());
+    for i in 0..frame.len() {
+        let key: Vec<GroupKey> = cols.iter().map(|c| c.group_key_at(i)).collect();
+        classes.entry(key).or_default().push(sens.group_key_at(i));
     }
     Ok(classes)
 }
@@ -123,9 +125,10 @@ pub fn mondrian_l_diverse(
 }
 
 fn distinct_count(frame: &Frame, indices: &[usize], sensitive: usize) -> usize {
+    let col = frame.column(sensitive);
     let mut seen: Vec<GroupKey> = Vec::new();
     for &ri in indices {
-        let key = frame.rows[ri][sensitive].group_key();
+        let key = col.group_key_at(ri);
         if !seen.contains(&key) {
             seen.push(key);
         }
@@ -149,11 +152,12 @@ fn split(
     // widest numeric QID
     let mut best: Option<(usize, f64)> = None;
     for &c in qids {
+        let col = frame.column(c);
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
         let mut numeric = true;
         for &ri in &indices {
-            match frame.rows[ri][c].as_f64() {
+            match col.as_f64(ri) {
                 Some(x) => {
                     lo = lo.min(x);
                     hi = hi.max(x);
@@ -175,15 +179,16 @@ fn split(
         out.push(indices);
         return;
     };
+    let col = frame.column(split_col);
     let mut values: Vec<f64> = indices
         .iter()
-        .map(|&ri| frame.rows[ri][split_col].as_f64().expect("numeric"))
+        .map(|&ri| col.as_f64(ri).expect("numeric"))
         .collect();
     values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
     let median = values[values.len() / 2];
     let (left, right): (Vec<usize>, Vec<usize>) = indices
         .iter()
-        .partition(|&&ri| frame.rows[ri][split_col].as_f64().expect("numeric") < median);
+        .partition(|&&ri| col.as_f64(ri).expect("numeric") < median);
     let feasible = left.len() >= k
         && right.len() >= k
         && distinct_count(frame, &left, sensitive) >= l
@@ -226,9 +231,9 @@ mod tests {
         // one class, three conditions → l = 3
         let uniform = {
             let mut f = medical();
-            for row in &mut f.rows {
-                row[0] = Value::Int(30);
-                row[1] = Value::Int(18000);
+            for i in 0..f.len() {
+                f.set_value(i, 0, Value::Int(30));
+                f.set_value(i, 1, Value::Int(18000));
             }
             f
         };
@@ -241,8 +246,8 @@ mod tests {
     fn entropy_l_bounds_distinct_l() {
         let uniform = {
             let mut f = medical();
-            for row in &mut f.rows {
-                row[0] = Value::Int(30);
+            for i in 0..f.len() {
+                f.set_value(i, 0, Value::Int(30));
             }
             f
         };
@@ -262,8 +267,8 @@ mod tests {
         assert!(k >= 2, "k = {k}");
         assert!(l >= 2, "l = {l}");
         // sensitive column untouched
-        for (a, b) in f.rows.iter().zip(&result.frame.rows) {
-            assert_eq!(a[2], b[2]);
+        for (a, b) in f.column_values(2).zip(result.frame.column_values(2)) {
+            assert_eq!(a, b);
         }
     }
 

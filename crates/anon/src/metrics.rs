@@ -20,14 +20,9 @@ use crate::error::{AnonError, AnonResult};
 /// are equal (paper §3.2).
 pub fn direct_distance(original: &Frame, anonymized: &Frame) -> AnonResult<usize> {
     check_shape(original, anonymized)?;
-    let mut dd = 0;
-    for (r, r2) in original.rows.iter().zip(&anonymized.rows) {
-        for (v, v2) in r.iter().zip(r2) {
-            if v != v2 {
-                dd += 1;
-            }
-        }
-    }
+    let dd = (0..original.schema.len())
+        .map(|c| original.column(c).count_diffs(anonymized.column(c)))
+        .sum();
     Ok(dd)
 }
 
@@ -60,9 +55,10 @@ fn histogram(frame: &Frame, columns: &[usize]) -> AnonResult<HashMap<Vec<GroupKe
             return Err(AnonError::BadColumn(c));
         }
     }
+    let cols: Vec<_> = columns.iter().map(|&c| frame.column(c)).collect();
     let mut hist: HashMap<Vec<GroupKey>, usize> = HashMap::new();
-    for row in &frame.rows {
-        let key: Vec<GroupKey> = columns.iter().map(|&c| row[c].group_key()).collect();
+    for i in 0..frame.len() {
+        let key: Vec<GroupKey> = cols.iter().map(|c| c.group_key_at(i)).collect();
         *hist.entry(key).or_insert(0) += 1;
     }
     Ok(hist)
@@ -188,8 +184,8 @@ mod tests {
     #[test]
     fn dd_counts_changed_cells() {
         let mut m = f1();
-        m.rows[0][0] = Value::Int(9);
-        m.rows[2][1] = Value::Null;
+        m.set_value(0, 0, Value::Int(9));
+        m.set_value(2, 1, Value::Null);
         assert_eq!(direct_distance(&f1(), &m).unwrap(), 2);
         let ratio = direct_distance_ratio(&f1(), &m).unwrap();
         assert!((ratio - 2.0 / 6.0).abs() < 1e-12);
@@ -225,7 +221,7 @@ mod tests {
     fn kl_grows_with_distortion() {
         // mildly distorted: one value moved
         let mut mild = f1();
-        mild.rows[0][0] = Value::Int(2);
+        mild.set_value(0, 0, Value::Int(2));
         // heavily distorted: everything suppressed to one value
         let heavy = frame(vec![
             vec![Value::Int(7), Value::Int(10)],

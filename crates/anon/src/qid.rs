@@ -30,9 +30,10 @@ pub fn score_columns(frame: &Frame) -> Vec<ColumnScore> {
     let n = frame.len();
     (0..frame.schema.len())
         .map(|c| {
+            let col = frame.column(c);
             let mut hist: HashMap<GroupKey, usize> = HashMap::new();
-            for row in &frame.rows {
-                *hist.entry(row[c].group_key()).or_insert(0) += 1;
+            for i in 0..n {
+                *hist.entry(col.group_key_at(i)).or_insert(0) += 1;
             }
             let unique_rows = hist.values().filter(|&&cnt| cnt == 1).count();
             ColumnScore {
@@ -56,9 +57,10 @@ pub fn combination_uniqueness(frame: &Frame, columns: &[usize]) -> AnonResult<f6
     if frame.is_empty() || columns.is_empty() {
         return Ok(0.0);
     }
+    let cols: Vec<_> = columns.iter().map(|&c| frame.column(c)).collect();
     let mut hist: HashMap<Vec<GroupKey>, usize> = HashMap::new();
-    for row in &frame.rows {
-        let key: Vec<GroupKey> = columns.iter().map(|&c| row[c].group_key()).collect();
+    for i in 0..frame.len() {
+        let key: Vec<GroupKey> = cols.iter().map(|c| c.group_key_at(i)).collect();
         *hist.entry(key).or_insert(0) += 1;
     }
     let unique = hist.values().filter(|&&cnt| cnt == 1).count();

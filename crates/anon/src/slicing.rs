@@ -88,14 +88,15 @@ pub fn slice(frame: &Frame, config: &SlicingConfig) -> AnonResult<SlicingResult>
         for group in &config.column_groups {
             let mut perm: Vec<usize> = (lo..hi).collect();
             perm.shuffle(&mut rng);
-            // gather the group's tuples, then scatter permuted
-            let tuples: Vec<Vec<paradise_engine::Value>> = (lo..hi)
-                .map(|ri| group.iter().map(|&c| frame.rows[ri][c].clone()).collect())
-                .collect();
-            for (offset, &src) in perm.iter().enumerate() {
-                let dst = lo + offset;
-                for (gi, &c) in group.iter().enumerate() {
-                    out.rows[dst][c] = tuples[src - lo][gi].clone();
+            // gather each column's bucket slice permuted, then scatter —
+            // column at a time, the group's columns share one permutation
+            for &c in group {
+                let src = frame.column(c);
+                let values: Vec<paradise_engine::Value> =
+                    perm.iter().map(|&s| src.value(s)).collect();
+                let dst = out.column_mut(c);
+                for (offset, v) in values.into_iter().enumerate() {
+                    dst.set(lo + offset, v);
                 }
             }
         }
@@ -109,9 +110,7 @@ pub fn slice(frame: &Frame, config: &SlicingConfig) -> AnonResult<SlicingResult>
 /// Non-numeric columns each form their own group.
 pub fn correlation_groups(frame: &Frame, threshold: f64) -> Vec<Vec<usize>> {
     let m = frame.schema.len();
-    let numeric: Vec<bool> = (0..m)
-        .map(|c| frame.rows.iter().all(|r| r[c].as_f64().is_some() || r[c].is_null()))
-        .collect();
+    let numeric: Vec<bool> = (0..m).map(|c| frame.column(c).all_numeric_or_null()).collect();
 
     let mut groups: Vec<Vec<usize>> = Vec::new();
     let mut assigned = vec![false; m];
@@ -139,10 +138,10 @@ pub fn correlation_groups(frame: &Frame, threshold: f64) -> Vec<Vec<usize>> {
 
 /// Pearson correlation of two numeric columns, `None` when undefined.
 pub fn pearson(frame: &Frame, a: usize, b: usize) -> Option<f64> {
-    let pairs: Vec<(f64, f64)> = frame
-        .rows
-        .iter()
-        .filter_map(|r| Some((r[a].as_f64()?, r[b].as_f64()?)))
+    let ca = frame.column(a);
+    let cb = frame.column(b);
+    let pairs: Vec<(f64, f64)> = (0..frame.len())
+        .filter_map(|i| Some((ca.as_f64(i)?, cb.as_f64(i)?)))
         .collect();
     let n = pairs.len() as f64;
     if pairs.len() < 2 {
@@ -199,9 +198,9 @@ mod tests {
         for bucket in 0..2 {
             let lo = bucket * 4;
             let orig: HashSet<String> =
-                (lo..lo + 4).map(|i| format!("{}|{}", f.rows[i][0], f.rows[i][1])).collect();
+                (lo..lo + 4).map(|i| format!("{}|{}", f.value(i, 0), f.value(i, 1))).collect();
             let sliced: HashSet<String> = (lo..lo + 4)
-                .map(|i| format!("{}|{}", r.frame.rows[i][0], r.frame.rows[i][1]))
+                .map(|i| format!("{}|{}", r.frame.value(i, 0), r.frame.value(i, 1)))
                 .collect();
             assert_eq!(orig, sliced);
         }
@@ -212,7 +211,7 @@ mod tests {
         let f = table();
         let r = slice(&f, &config(vec![vec![0, 1], vec![2]], 8)).unwrap();
         // x and y moved together: y == 2x must still hold row-wise
-        for row in &r.frame.rows {
+        for row in r.frame.iter_rows() {
             assert_eq!(row[1].as_f64().unwrap(), row[0].as_f64().unwrap() * 2.0);
         }
     }
@@ -224,9 +223,8 @@ mod tests {
         // with 8! permutations at seed 42 it is (overwhelmingly) not identity;
         // check at least one (x, who) pairing changed
         let changed = f
-            .rows
-            .iter()
-            .zip(&r.frame.rows)
+            .iter_rows()
+            .zip(r.frame.iter_rows())
             .any(|(a, b)| a[0] == b[0] && a[2] != b[2] || a[0] != b[0]);
         assert!(changed);
     }

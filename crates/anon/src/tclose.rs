@@ -34,18 +34,18 @@ pub fn t_closeness(
         return Ok(None);
     }
 
-    let numeric = frame.rows.iter().all(|r| {
-        r[sensitive].as_f64().is_some() || r[sensitive].is_null()
-    });
+    let sens = frame.column(sensitive);
+    let numeric = sens.all_numeric_or_null();
 
     // global distribution
-    let global: Vec<&Value> = frame.rows.iter().map(|r| &r[sensitive]).collect();
+    let global: Vec<Value> = sens.iter_values().collect();
 
     // classes
-    let mut classes: HashMap<Vec<GroupKey>, Vec<&Value>> = HashMap::new();
-    for row in &frame.rows {
-        let key: Vec<GroupKey> = qid_columns.iter().map(|&c| row[c].group_key()).collect();
-        classes.entry(key).or_default().push(&row[sensitive]);
+    let cols: Vec<_> = qid_columns.iter().map(|&c| frame.column(c)).collect();
+    let mut classes: HashMap<Vec<GroupKey>, Vec<Value>> = HashMap::new();
+    for i in 0..frame.len() {
+        let key: Vec<GroupKey> = cols.iter().map(|c| c.group_key_at(i)).collect();
+        classes.entry(key).or_default().push(sens.value(i));
     }
 
     let mut worst: f64 = 0.0;
@@ -63,7 +63,7 @@ pub fn t_closeness(
 /// EMD over an ordered numeric domain, computed with the prefix-sum
 /// formulation on the union of observed values, normalised by the number
 /// of distinct values minus one (so the result lies in \[0, 1\]).
-fn ordered_emd(class: &[&Value], global: &[&Value]) -> f64 {
+fn ordered_emd(class: &[Value], global: &[Value]) -> f64 {
     let mut domain: Vec<f64> = global
         .iter()
         .chain(class.iter())
@@ -75,7 +75,7 @@ fn ordered_emd(class: &[&Value], global: &[&Value]) -> f64 {
         return 0.0;
     }
 
-    let hist = |values: &[&Value]| -> Vec<f64> {
+    let hist = |values: &[Value]| -> Vec<f64> {
         let total = values.iter().filter(|v| v.as_f64().is_some()).count() as f64;
         if total == 0.0 {
             return vec![0.0; domain.len()];
@@ -104,8 +104,8 @@ fn ordered_emd(class: &[&Value], global: &[&Value]) -> f64 {
 }
 
 /// Half the L1 distance between the two categorical distributions.
-fn variational_distance(class: &[&Value], global: &[&Value]) -> f64 {
-    let hist = |values: &[&Value]| -> HashMap<GroupKey, f64> {
+fn variational_distance(class: &[Value], global: &[Value]) -> f64 {
+    let hist = |values: &[Value]| -> HashMap<GroupKey, f64> {
         let total = values.len() as f64;
         let mut h: HashMap<GroupKey, f64> = HashMap::new();
         for v in values {

@@ -101,10 +101,9 @@ fn project(frame: &Frame, column: usize) -> Frame {
     let col = frame.schema.columns()[column].clone();
     let mut schema = paradise_engine::Schema::default();
     schema.push(col);
-    Frame {
-        schema,
-        rows: frame.rows.iter().map(|r| vec![r[column].clone()]).collect(),
-    }
+    // zero-copy: the projection shares the column's buffer
+    Frame::from_arc_columns(schema, vec![frame.column_arc(column)])
+        .expect("single column matches single-column schema")
 }
 
 #[cfg(test)]

@@ -111,10 +111,7 @@ fn apply(frame: Frame, strategy: &AnonStrategy) -> CoreResult<(Frame, AnonDecisi
             let qids: Vec<usize> = (0..frame.schema.len())
                 .filter(|&c| {
                     c != *sensitive
-                        && frame
-                            .rows
-                            .iter()
-                            .all(|r| r[c].as_f64().is_some() || r[c].is_null())
+                        && frame.column(c).all_numeric_or_null()
                 })
                 .collect();
             if qids.is_empty() {
@@ -146,7 +143,7 @@ fn apply(frame: Frame, strategy: &AnonStrategy) -> CoreResult<(Frame, AnonDecisi
             match &report.quasi_identifier {
                 Some(qids) if qids.len() <= 3 => {
                     let numeric = qids.iter().all(|&c| {
-                        frame.rows.iter().all(|r| r[c].as_f64().is_some() || r[c].is_null())
+                        frame.column(c).all_numeric_or_null()
                     });
                     if numeric {
                         tuple_wise_on(frame, qids.clone(), *k)
@@ -173,7 +170,7 @@ fn tuple_wise(frame: Frame, k: usize) -> CoreResult<(Frame, AnonDecision)> {
         None => {
             // fall back to all numeric columns
             (0..frame.schema.len())
-                .filter(|&c| frame.rows.iter().all(|r| r[c].as_f64().is_some() || r[c].is_null()))
+                .filter(|&c| frame.column(c).all_numeric_or_null())
                 .collect()
         }
     };
@@ -275,9 +272,9 @@ mod tests {
         assert_eq!(out.frame.len(), f.len());
         // per-column value multisets preserved overall
         for c in 0..f.schema.len() {
-            let mut orig: Vec<String> = f.rows.iter().map(|r| r[c].to_string()).collect();
+            let mut orig: Vec<String> = f.column_values(c).map(|v| v.to_string()).collect();
             let mut sliced: Vec<String> =
-                out.frame.rows.iter().map(|r| r[c].to_string()).collect();
+                out.frame.column_values(c).map(|v| v.to_string()).collect();
             orig.sort();
             sliced.sort();
             assert_eq!(orig, sliced);

@@ -17,7 +17,7 @@ use crate::preprocess::{preprocess, PreprocessOptions, PreprocessOutcome};
 use crate::remainder::Remainder;
 
 /// Processor configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ProcessorOptions {
     /// Preprocessor options (relation substitutions…).
     pub preprocess: PreprocessOptions,
@@ -28,6 +28,42 @@ pub struct ProcessorOptions {
     /// If set, run the §3.1 information-gain check against the raw data
     /// and refuse rewritings that lose more than this KL threshold.
     pub info_gain_threshold: Option<f64>,
+    /// Cache fragment plans keyed by (module, query), so repeated
+    /// continuous-query runs skip preprocessing and fragmentation.
+    pub plan_cache: bool,
+}
+
+impl Default for ProcessorOptions {
+    fn default() -> Self {
+        ProcessorOptions {
+            preprocess: PreprocessOptions::default(),
+            assignment: AssignmentPolicy::default(),
+            anon: AnonStrategy::default(),
+            info_gain_threshold: None,
+            plan_cache: true,
+        }
+    }
+}
+
+/// Upper bound on cached fragment plans before the cache resets.
+const MAX_CACHED_PLANS: usize = 1024;
+
+/// A cached (preprocess, fragmentation) result for one (module, query)
+/// pair. Node assignment is *not* cached — it depends on live chain
+/// state and is cheap to re-derive.
+#[derive(Debug, Clone)]
+struct CachedPlan {
+    pre: PreprocessOutcome,
+    plan: FragmentPlan,
+}
+
+/// Hit/miss counters of the fragment-plan cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Runs served from the cache.
+    pub hits: u64,
+    /// Runs that had to preprocess + fragment from scratch.
+    pub misses: u64,
 }
 
 /// The PArADISE processor bound to a node chain.
@@ -36,6 +72,8 @@ pub struct Processor {
     policies: HashMap<String, ModulePolicy>,
     options: ProcessorOptions,
     remainder: Option<Remainder>,
+    plan_cache: HashMap<(String, String), CachedPlan>,
+    cache_stats: PlanCacheStats,
 }
 
 /// Everything a processor run produces, for inspection and experiments.
@@ -74,21 +112,33 @@ impl Processor {
             policies: HashMap::new(),
             options: ProcessorOptions::default(),
             remainder: None,
+            plan_cache: HashMap::new(),
+            cache_stats: PlanCacheStats::default(),
         }
     }
 
-    /// Builder: install a module policy.
+    /// Builder: install a module policy. Invalidates any cached plans of
+    /// the module (the policy drives the rewriting).
     #[must_use]
     pub fn with_policy(mut self, module_id: impl Into<String>, policy: ModulePolicy) -> Self {
-        self.policies.insert(module_id.into(), policy);
+        let module: String = module_id.into();
+        self.plan_cache.retain(|(m, _), _| m != &module);
+        self.policies.insert(module, policy);
         self
     }
 
-    /// Builder: set options.
+    /// Builder: set options. Clears the plan cache (preprocess options
+    /// affect the rewriting).
     #[must_use]
     pub fn with_options(mut self, options: ProcessorOptions) -> Self {
+        self.plan_cache.clear();
         self.options = options;
         self
+    }
+
+    /// Hit/miss counters of the fragment-plan cache.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.cache_stats
     }
 
     /// Builder: set the cloud remainder stage.
@@ -125,15 +175,45 @@ impl Processor {
     }
 
     /// Run a query for a module: the full Figure 2 pipeline.
+    ///
+    /// Frames are handed between the stages by *sharing column buffers*
+    /// (`Frame::clone` bumps per-column `Arc`s): between the
+    /// `run_stages` output and `Outcome.result` no row or cell is
+    /// copied — `shipped`, the postprocessor input, `post.frame` and
+    /// `result` all reference the same buffers unless a stage actually
+    /// rewrites data. `shares_columns` tests pin this down.
     pub fn run(&mut self, module_id: &str, query: &Query) -> CoreResult<Outcome> {
-        let policy = self
-            .policies
-            .get(module_id)
-            .ok_or_else(|| CoreError::NoPolicy(module_id.to_string()))?
-            .clone();
+        if !self.policies.contains_key(module_id) {
+            return Err(CoreError::NoPolicy(module_id.to_string()));
+        }
 
-        // 1. preprocess (rewrite under the policy)
-        let pre = preprocess(query, &policy, &self.options.preprocess)?;
+        // 1. preprocess (rewrite under the policy) + 3a. fragment —
+        // cached per (module, query) so continuous queries skip both
+        let key = (module_id.to_string(), query.to_string());
+        let (pre, plan) = if self.options.plan_cache {
+            if let Some(cached) = self.plan_cache.get(&key) {
+                self.cache_stats.hits += 1;
+                (cached.pre.clone(), cached.plan.clone())
+            } else {
+                self.cache_stats.misses += 1;
+                let policy = &self.policies[module_id];
+                let pre = preprocess(query, policy, &self.options.preprocess)?;
+                let plan = fragment_query(&pre.query)?;
+                // bound the cache: a stream of distinct ad-hoc queries
+                // must not grow memory forever (epoch-style reset)
+                if self.plan_cache.len() >= MAX_CACHED_PLANS {
+                    self.plan_cache.clear();
+                }
+                self.plan_cache
+                    .insert(key, CachedPlan { pre: pre.clone(), plan: plan.clone() });
+                (pre, plan)
+            }
+        } else {
+            let policy = &self.policies[module_id];
+            let pre = preprocess(query, policy, &self.options.preprocess)?;
+            let plan = fragment_query(&pre.query)?;
+            (pre, plan)
+        };
 
         // 2. information-gain check (optional)
         let information_gain = match self.options.info_gain_threshold {
@@ -144,18 +224,19 @@ impl Processor {
             None => None,
         };
 
-        // 3. fragment + assign
-        let plan = fragment_query(&pre.query)?;
+        // 3b. assign to the (live) chain
         let stages = assign_to_chain(&plan, &self.chain, self.options.assignment)?;
 
         // 4. execute bottom-up across the chain
         let run = self.chain.run_stages(&stages)?;
 
-        // 5. anonymization step A at the most powerful in-apartment node
+        // 5. anonymization step A at the most powerful in-apartment node;
+        // the postprocessor input shares the shipped frame's buffers
         let anonymized_at = self.anonymization_site(&stages);
-        let post = postprocess(run.result.clone(), &self.options.anon)?;
+        let shipped = run.result;
+        let post = postprocess(shipped.clone(), &self.options.anon)?;
 
-        // 6. cloud remainder
+        // 6. cloud remainder (shares `post.frame`'s buffers when absent)
         let (result, remainder_applied) = match &self.remainder {
             Some(r) => (r.apply(post.frame.clone()), Some(r.name.clone())),
             None => (post.frame.clone(), None),
@@ -168,7 +249,7 @@ impl Processor {
             stages,
             stage_reports: run.stages,
             traffic: run.traffic,
-            shipped: run.result,
+            shipped,
             anonymized_at,
             post,
             remainder_applied,
@@ -320,6 +401,46 @@ mod tests {
             outcome.result.schema.len(),
             outcome.post.frame.schema.len() + 1
         );
+    }
+
+    #[test]
+    fn plan_cache_serves_repeated_runs() {
+        let mut p = processor();
+        let q = parse_query(PAPER_ORIGINAL).unwrap();
+        let first = p.run("ActionFilter", &q).unwrap();
+        let second = p.run("ActionFilter", &q).unwrap();
+        let stats = p.plan_cache_stats();
+        assert_eq!(stats.misses, 1, "first run preprocesses + fragments");
+        assert_eq!(stats.hits, 1, "second run is served from the cache");
+        assert_eq!(first.preprocess.query, second.preprocess.query);
+        assert_eq!(first.plan, second.plan);
+    }
+
+    #[test]
+    fn plan_cache_can_be_disabled() {
+        let mut p = processor().with_options(ProcessorOptions {
+            plan_cache: false,
+            ..ProcessorOptions::default()
+        });
+        let q = parse_query(PAPER_ORIGINAL).unwrap();
+        p.run("ActionFilter", &q).unwrap();
+        p.run("ActionFilter", &q).unwrap();
+        assert_eq!(p.plan_cache_stats(), PlanCacheStats::default());
+    }
+
+    #[test]
+    fn pipeline_output_shares_buffers_with_shipped() {
+        // with anonymization off and no remainder, the final result IS
+        // the shipped frame: between the run_stages output and
+        // Outcome.result no frame/row is copied, only Arcs are bumped
+        let mut p = processor().with_options(ProcessorOptions {
+            anon: AnonStrategy::None,
+            ..ProcessorOptions::default()
+        });
+        let q = parse_query(PAPER_ORIGINAL).unwrap();
+        let outcome = p.run("ActionFilter", &q).unwrap();
+        assert!(outcome.post.frame.shares_columns(&outcome.shipped));
+        assert!(outcome.result.shares_columns(&outcome.shipped));
     }
 
     #[test]

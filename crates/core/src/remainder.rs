@@ -67,13 +67,15 @@ pub fn filter_by_class(action: ActionClass) -> Remainder {
     Remainder::new(
         format!("filterByClass(d', action='{}', do.plot=F)", action.label()),
         move |frame: Frame| {
+            let n = frame.len();
             let Some(col) = (0..frame.schema.len())
-                .find(|&c| frame.rows.iter().any(|r| r[c].as_f64().is_some()))
+                .find(|&c| (0..n).any(|i| frame.column(c).as_f64(i).is_some()))
             else {
                 return frame;
             };
-            let values: Vec<Option<f64>> =
-                frame.rows.iter().map(|r| r[col].as_f64()).collect();
+            // column-at-a-time: one pass over the numeric buffer
+            let data = frame.column(col);
+            let values: Vec<Option<f64>> = (0..n).map(|i| data.as_f64(i)).collect();
             let present: Vec<f64> = values.iter().filter_map(|v| *v).collect();
             if present.is_empty() {
                 return frame;
@@ -85,22 +87,25 @@ pub fn filter_by_class(action: ActionClass) -> Remainder {
             // a row is "walking" when its value deviates from the mean by
             // more than half a standard deviation
             let threshold = 0.5 * sd;
-            let mut schema = frame.schema.clone();
-            schema.push(paradise_engine::Column::new("action", DataType::Text));
-            let mut rows = Vec::new();
-            for (row, v) in frame.rows.into_iter().zip(values) {
-                let class = match v {
-                    Some(x) if (x - mean).abs() > threshold => ActionClass::Walk,
-                    Some(_) => ActionClass::Stand,
-                    None => ActionClass::Stand,
-                };
-                if class == action {
-                    let mut row = row;
-                    row.push(Value::Str(class.label().to_string()));
-                    rows.push(row);
-                }
-            }
-            Frame { schema, rows }
+            let mask: Vec<bool> = values
+                .iter()
+                .map(|v| {
+                    let class = match v {
+                        Some(x) if (x - mean).abs() > threshold => ActionClass::Walk,
+                        _ => ActionClass::Stand,
+                    };
+                    class == action
+                })
+                .collect();
+            let mut out = frame.filter_rows(&mask);
+            // every kept row belongs to the requested class
+            let labels = paradise_engine::ColumnData::from_values(vec![
+                Value::Str(action.label().to_string());
+                out.len()
+            ]);
+            out.push_column(paradise_engine::Column::new("action", DataType::Text), labels)
+                .expect("label column matches row count");
+            out
         },
     )
 }
@@ -144,8 +149,8 @@ mod tests {
         assert_eq!(walk.len() + stand.len(), f.len());
         assert_eq!(walk.len(), 2);
         // the appended action column labels correctly
-        assert!(walk.rows.iter().all(|r| r.last() == Some(&Value::Str("walk".into()))));
-        assert!(stand.rows.iter().all(|r| r.last() == Some(&Value::Str("stand".into()))));
+        assert!(walk.iter_rows().all(|r| r.last() == Some(&Value::Str("walk".into()))));
+        assert!(stand.iter_rows().all(|r| r.last() == Some(&Value::Str("stand".into()))));
     }
 
     #[test]
@@ -158,10 +163,10 @@ mod tests {
     #[test]
     fn filter_by_class_handles_nulls() {
         let mut f = regression_frame(&[1.0, 1.0, 4.0]);
-        f.rows.push(vec![Value::Null]);
+        f.push_row(vec![Value::Null]).unwrap();
         let out = filter_by_class(ActionClass::Stand).apply(f);
         // nulls classify as standing
-        assert!(out.rows.iter().any(|r| r[0].is_null()));
+        assert!(out.column_values(0).any(|v| v.is_null()));
     }
 
     #[test]

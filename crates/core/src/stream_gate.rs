@@ -150,7 +150,7 @@ impl IncrementalSensor {
     /// batch replays of recorded data).
     pub fn push_frame(&mut self, frame: Frame) -> CoreResult<Frame> {
         let mut out = Frame::empty(self.schema.clone());
-        for row in frame.rows {
+        for row in frame.into_rows() {
             if let Some((row, _)) = self.push(row)? {
                 out.push_row(row).map_err(CoreError::Engine)?;
             }
@@ -277,6 +277,6 @@ mod tests {
         let mut catalog = Catalog::new();
         catalog.register("stream", frame).unwrap();
         let batch = Executor::new(&catalog).execute(&fragment).unwrap();
-        assert_eq!(incremental.rows, batch.rows);
+        assert_eq!(incremental.to_rows(), batch.to_rows());
     }
 }

@@ -1,0 +1,638 @@
+//! Columnar storage: one [`ColumnData`] per frame column.
+//!
+//! Values of a column live in a typed buffer (`Vec<Option<i64>>`,
+//! `Vec<Option<f64>>`, …) instead of row-major `Vec<Vec<Value>>`, so the
+//! hot operators of the executor (filter, projection, aggregation,
+//! window partitioning) can run column-at-a-time over dense memory. A
+//! column whose values mix runtime types (legal — the engine is
+//! dynamically typed) falls back to an exact [`Value`] buffer.
+//!
+//! Every column caches its wire size, which makes
+//! [`crate::frame::Frame::size_bytes`] O(columns) instead of a rescan of
+//! every cell per traffic hop.
+
+use std::cmp::Ordering;
+
+use crate::value::{DataType, GroupKey, Value};
+
+/// The typed buffer behind one column.
+#[derive(Debug, Clone)]
+enum ColumnBuf {
+    /// 64-bit integers, `None` = NULL.
+    Int(Vec<Option<i64>>),
+    /// 64-bit floats, `None` = NULL.
+    Float(Vec<Option<f64>>),
+    /// Booleans, `None` = NULL.
+    Bool(Vec<Option<bool>>),
+    /// Text, `None` = NULL.
+    Str(Vec<Option<String>>),
+    /// Exact fallback for columns mixing runtime types.
+    Mixed(Vec<Value>),
+}
+
+/// One column of a [`crate::frame::Frame`]: a typed value buffer plus
+/// cached size accounting.
+#[derive(Debug, Clone)]
+pub struct ColumnData {
+    buf: ColumnBuf,
+    /// Cached wire size (sum of [`Value::size_bytes`] over all cells),
+    /// maintained incrementally by every mutation.
+    bytes: usize,
+}
+
+impl ColumnData {
+    /// An empty column typed after `data_type`. The type is a starting
+    /// hint: pushes of other types retype or promote the buffer.
+    pub fn empty(data_type: DataType) -> Self {
+        Self::with_capacity(data_type, 0)
+    }
+
+    /// An empty column with reserved capacity.
+    pub fn with_capacity(data_type: DataType, capacity: usize) -> Self {
+        let buf = match data_type {
+            DataType::Integer => ColumnBuf::Int(Vec::with_capacity(capacity)),
+            DataType::Float => ColumnBuf::Float(Vec::with_capacity(capacity)),
+            DataType::Boolean => ColumnBuf::Bool(Vec::with_capacity(capacity)),
+            DataType::Text => ColumnBuf::Str(Vec::with_capacity(capacity)),
+        };
+        ColumnData { buf, bytes: 0 }
+    }
+
+    /// Build from owned values; the buffer type follows the first
+    /// non-null value, mixing promotes to the exact representation.
+    pub fn from_values(values: Vec<Value>) -> Self {
+        let hint = values
+            .iter()
+            .find_map(Value::data_type)
+            .unwrap_or(DataType::Float);
+        let mut col = Self::with_capacity(hint, values.len());
+        for v in values {
+            col.push(v);
+        }
+        col
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        match &self.buf {
+            ColumnBuf::Int(v) => v.len(),
+            ColumnBuf::Float(v) => v.len(),
+            ColumnBuf::Bool(v) => v.len(),
+            ColumnBuf::Str(v) => v.len(),
+            ColumnBuf::Mixed(v) => v.len(),
+        }
+    }
+
+    /// No cells?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cached wire size of all cells (see [`Value::size_bytes`]).
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// The runtime type of the first non-null cell, if any.
+    pub fn data_type(&self) -> Option<DataType> {
+        match &self.buf {
+            ColumnBuf::Int(v) => v.iter().find_map(|x| x.map(|_| DataType::Integer)),
+            ColumnBuf::Float(v) => v.iter().find_map(|x| x.map(|_| DataType::Float)),
+            ColumnBuf::Bool(v) => v.iter().find_map(|x| x.map(|_| DataType::Boolean)),
+            ColumnBuf::Str(v) => v.iter().find_map(|x| x.as_ref().map(|_| DataType::Text)),
+            ColumnBuf::Mixed(v) => v.iter().find_map(Value::data_type),
+        }
+    }
+
+    /// Is cell `i` NULL?
+    pub fn is_null(&self, i: usize) -> bool {
+        match &self.buf {
+            ColumnBuf::Int(v) => v[i].is_none(),
+            ColumnBuf::Float(v) => v[i].is_none(),
+            ColumnBuf::Bool(v) => v[i].is_none(),
+            ColumnBuf::Str(v) => v[i].is_none(),
+            ColumnBuf::Mixed(v) => v[i].is_null(),
+        }
+    }
+
+    /// Materialise cell `i` as a [`Value`] (clones text).
+    pub fn value(&self, i: usize) -> Value {
+        match &self.buf {
+            ColumnBuf::Int(v) => v[i].map(Value::Int).unwrap_or(Value::Null),
+            ColumnBuf::Float(v) => v[i].map(Value::Float).unwrap_or(Value::Null),
+            ColumnBuf::Bool(v) => v[i].map(Value::Bool).unwrap_or(Value::Null),
+            ColumnBuf::Str(v) => {
+                v[i].as_ref().map(|s| Value::Str(s.clone())).unwrap_or(Value::Null)
+            }
+            ColumnBuf::Mixed(v) => v[i].clone(),
+        }
+    }
+
+    /// Numeric view of cell `i` (NULL and non-numbers are `None`).
+    pub fn as_f64(&self, i: usize) -> Option<f64> {
+        match &self.buf {
+            ColumnBuf::Int(v) => v[i].map(|x| x as f64),
+            ColumnBuf::Float(v) => v[i],
+            ColumnBuf::Bool(_) | ColumnBuf::Str(_) => None,
+            ColumnBuf::Mixed(v) => v[i].as_f64(),
+        }
+    }
+
+    /// Direct access to the integer buffer when this column is dense
+    /// integers (for batch kernels).
+    pub fn int_slice(&self) -> Option<&[Option<i64>]> {
+        match &self.buf {
+            ColumnBuf::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Direct access to the float buffer when this column is dense
+    /// floats (for batch kernels).
+    pub fn float_slice(&self) -> Option<&[Option<f64>]> {
+        match &self.buf {
+            ColumnBuf::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Direct access to the boolean buffer when this column is dense
+    /// booleans (for predicate masks).
+    pub fn bool_slice(&self) -> Option<&[Option<bool>]> {
+        match &self.buf {
+            ColumnBuf::Bool(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Direct access to the text buffer when this column is dense
+    /// strings.
+    pub fn str_slice(&self) -> Option<&[Option<String>]> {
+        match &self.buf {
+            ColumnBuf::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Grouping key of cell `i`, consistent with [`Value::group_key`].
+    pub fn group_key_at(&self, i: usize) -> GroupKey {
+        match &self.buf {
+            ColumnBuf::Int(v) => v[i].map(GroupKey::Int).unwrap_or(GroupKey::Null),
+            ColumnBuf::Float(v) => v[i].map(float_group_key).unwrap_or(GroupKey::Null),
+            ColumnBuf::Bool(v) => v[i].map(GroupKey::Bool).unwrap_or(GroupKey::Null),
+            ColumnBuf::Str(v) => {
+                v[i].as_ref().map(|s| GroupKey::Str(s.clone())).unwrap_or(GroupKey::Null)
+            }
+            ColumnBuf::Mixed(v) => v[i].group_key(),
+        }
+    }
+
+    /// A borrowed, allocation-free view of cell `i`.
+    fn cell_ref(&self, i: usize) -> CellRef<'_> {
+        match &self.buf {
+            ColumnBuf::Int(v) => v[i].map(CellRef::Int).unwrap_or(CellRef::Null),
+            ColumnBuf::Float(v) => v[i].map(CellRef::Float).unwrap_or(CellRef::Null),
+            ColumnBuf::Bool(v) => v[i].map(CellRef::Bool).unwrap_or(CellRef::Null),
+            ColumnBuf::Str(v) => {
+                v[i].as_deref().map(CellRef::Str).unwrap_or(CellRef::Null)
+            }
+            ColumnBuf::Mixed(v) => match &v[i] {
+                Value::Null => CellRef::Null,
+                Value::Bool(b) => CellRef::Bool(*b),
+                Value::Int(x) => CellRef::Int(*x),
+                Value::Float(x) => CellRef::Float(*x),
+                Value::Str(s) => CellRef::Str(s),
+            },
+        }
+    }
+
+    /// Compare cell `i` of `self` with cell `j` of `other` under the
+    /// total order of [`Value::total_cmp`], without materialising (or
+    /// cloning) any value.
+    pub fn cmp_at(&self, i: usize, other: &ColumnData, j: usize) -> Ordering {
+        cmp_cells(self.cell_ref(i), other.cell_ref(j))
+    }
+
+    /// Structural equality of two cells, consistent with `Value`'s
+    /// `PartialEq` (NULL == NULL, `Int(3) == Float(3.0)`).
+    pub fn eq_at(&self, i: usize, other: &ColumnData, j: usize) -> bool {
+        let a = self.cell_ref(i);
+        let b = other.cell_ref(j);
+        matches!(a, CellRef::Null) == matches!(b, CellRef::Null)
+            && cmp_cells(a, b) == Ordering::Equal
+    }
+
+    /// Number of cell positions where the two equally-long columns
+    /// differ (per [`ColumnData::eq_at`] semantics), with dense slice
+    /// kernels for matching buffer types.
+    pub fn count_diffs(&self, other: &ColumnData) -> usize {
+        use ColumnBuf::*;
+        debug_assert_eq!(self.len(), other.len());
+        fn diff<T: PartialEq>(a: &[Option<T>], b: &[Option<T>]) -> usize {
+            a.iter().zip(b).filter(|(x, y)| x != y).count()
+        }
+        match (&self.buf, &other.buf) {
+            (Int(a), Int(b)) => diff(a, b),
+            (Bool(a), Bool(b)) => diff(a, b),
+            (Str(a), Str(b)) => diff(a, b),
+            (Float(a), Float(b)) => a
+                .iter()
+                .zip(b)
+                .filter(|(x, y)| match (x, y) {
+                    (None, None) => false,
+                    // NaN-tolerant equality, as in Value::total_cmp
+                    (Some(x), Some(y)) => {
+                        x.partial_cmp(y).unwrap_or(Ordering::Equal) != Ordering::Equal
+                    }
+                    _ => true,
+                })
+                .count(),
+            _ => (0..self.len()).filter(|&i| !self.eq_at(i, other, i)).count(),
+        }
+    }
+
+    /// Are all cells numeric or NULL (i.e. usable as a numeric QID)?
+    pub fn all_numeric_or_null(&self) -> bool {
+        match &self.buf {
+            ColumnBuf::Int(_) | ColumnBuf::Float(_) => true,
+            ColumnBuf::Bool(v) => v.iter().all(Option::is_none),
+            ColumnBuf::Str(v) => v.iter().all(Option::is_none),
+            ColumnBuf::Mixed(v) => v.iter().all(|x| x.as_f64().is_some() || x.is_null()),
+        }
+    }
+
+    /// Wire size of cell `i`.
+    fn size_at(&self, i: usize) -> usize {
+        match &self.buf {
+            ColumnBuf::Int(v) => v[i].map_or(1, |_| 8),
+            ColumnBuf::Float(v) => v[i].map_or(1, |_| 8),
+            ColumnBuf::Bool(v) => v[i].map_or(1, |_| 1),
+            ColumnBuf::Str(v) => v[i].as_ref().map_or(1, |s| s.len() + 4),
+            ColumnBuf::Mixed(v) => v[i].size_bytes(),
+        }
+    }
+
+    /// Append one value, retyping an all-null buffer or promoting to the
+    /// exact representation when types mix.
+    pub fn push(&mut self, v: Value) {
+        self.bytes += v.size_bytes();
+        match (&mut self.buf, v) {
+            (ColumnBuf::Int(b), Value::Int(x)) => b.push(Some(x)),
+            (ColumnBuf::Float(b), Value::Float(x)) => b.push(Some(x)),
+            (ColumnBuf::Bool(b), Value::Bool(x)) => b.push(Some(x)),
+            (ColumnBuf::Str(b), Value::Str(x)) => b.push(Some(x)),
+            (ColumnBuf::Mixed(b), v) => b.push(v),
+            (ColumnBuf::Int(b), Value::Null) => b.push(None),
+            (ColumnBuf::Float(b), Value::Null) => b.push(None),
+            (ColumnBuf::Bool(b), Value::Null) => b.push(None),
+            (ColumnBuf::Str(b), Value::Null) => b.push(None),
+            (_, v) => {
+                self.adapt_for(&v);
+                // one recursion at most: the buffer now accepts `v`
+                self.bytes -= v.size_bytes();
+                self.push(v);
+            }
+        }
+    }
+
+    /// Retype an all-null buffer to `v`'s type, or promote to `Mixed`.
+    fn adapt_for(&mut self, v: &Value) {
+        let len = self.len();
+        let all_null = (0..len).all(|i| self.is_null(i));
+        if all_null {
+            let dt = v.data_type().expect("adapt_for is never called with NULL");
+            self.buf = match dt {
+                DataType::Integer => ColumnBuf::Int(vec![None; len]),
+                DataType::Float => ColumnBuf::Float(vec![None; len]),
+                DataType::Boolean => ColumnBuf::Bool(vec![None; len]),
+                DataType::Text => ColumnBuf::Str(vec![None; len]),
+            };
+        } else {
+            let values: Vec<Value> = (0..len).map(|i| self.value(i)).collect();
+            self.buf = ColumnBuf::Mixed(values);
+        }
+    }
+
+    /// Overwrite cell `i`, promoting the buffer if needed.
+    pub fn set(&mut self, i: usize, v: Value) {
+        self.bytes -= self.size_at(i);
+        self.bytes += v.size_bytes();
+        match (&mut self.buf, v) {
+            (ColumnBuf::Int(b), Value::Int(x)) => b[i] = Some(x),
+            (ColumnBuf::Float(b), Value::Float(x)) => b[i] = Some(x),
+            (ColumnBuf::Bool(b), Value::Bool(x)) => b[i] = Some(x),
+            (ColumnBuf::Str(b), Value::Str(x)) => b[i] = Some(x),
+            (ColumnBuf::Mixed(b), v) => b[i] = v,
+            (ColumnBuf::Int(b), Value::Null) => b[i] = None,
+            (ColumnBuf::Float(b), Value::Null) => b[i] = None,
+            (ColumnBuf::Bool(b), Value::Null) => b[i] = None,
+            (ColumnBuf::Str(b), Value::Null) => b[i] = None,
+            (_, v) => {
+                let values: Vec<Value> = (0..self.len()).map(|k| self.value(k)).collect();
+                self.buf = ColumnBuf::Mixed(values);
+                let ColumnBuf::Mixed(b) = &mut self.buf else { unreachable!() };
+                b[i] = v;
+            }
+        }
+    }
+
+    /// New column holding `indices.iter().map(|&i| self[i])`.
+    pub fn gather(&self, indices: &[usize]) -> ColumnData {
+        fn pick<T: Clone>(v: &[Option<T>], indices: &[usize]) -> Vec<Option<T>> {
+            indices.iter().map(|&i| v[i].clone()).collect()
+        }
+        let buf = match &self.buf {
+            ColumnBuf::Int(v) => ColumnBuf::Int(pick(v, indices)),
+            ColumnBuf::Float(v) => ColumnBuf::Float(pick(v, indices)),
+            ColumnBuf::Bool(v) => ColumnBuf::Bool(pick(v, indices)),
+            ColumnBuf::Str(v) => ColumnBuf::Str(pick(v, indices)),
+            ColumnBuf::Mixed(v) => ColumnBuf::Mixed(indices.iter().map(|&i| v[i].clone()).collect()),
+        };
+        let mut out = ColumnData { buf, bytes: 0 };
+        out.bytes = (0..out.len()).map(|i| out.size_at(i)).sum();
+        out
+    }
+
+    /// New column keeping the cells where `mask` is true.
+    pub fn filter(&self, mask: &[bool]) -> ColumnData {
+        fn keep<T: Clone>(v: &[Option<T>], mask: &[bool]) -> Vec<Option<T>> {
+            v.iter()
+                .zip(mask)
+                .filter(|(_, &m)| m)
+                .map(|(x, _)| x.clone())
+                .collect()
+        }
+        let buf = match &self.buf {
+            ColumnBuf::Int(v) => ColumnBuf::Int(keep(v, mask)),
+            ColumnBuf::Float(v) => ColumnBuf::Float(keep(v, mask)),
+            ColumnBuf::Bool(v) => ColumnBuf::Bool(keep(v, mask)),
+            ColumnBuf::Str(v) => ColumnBuf::Str(keep(v, mask)),
+            ColumnBuf::Mixed(v) => ColumnBuf::Mixed(
+                v.iter().zip(mask).filter(|(_, &m)| m).map(|(x, _)| x.clone()).collect(),
+            ),
+        };
+        let mut out = ColumnData { buf, bytes: 0 };
+        out.bytes = (0..out.len()).map(|i| out.size_at(i)).sum();
+        out
+    }
+
+    /// Keep the first `n` cells.
+    pub fn truncate(&mut self, n: usize) {
+        for i in n..self.len() {
+            self.bytes -= self.size_at(i);
+        }
+        match &mut self.buf {
+            ColumnBuf::Int(v) => v.truncate(n),
+            ColumnBuf::Float(v) => v.truncate(n),
+            ColumnBuf::Bool(v) => v.truncate(n),
+            ColumnBuf::Str(v) => v.truncate(n),
+            ColumnBuf::Mixed(v) => v.truncate(n),
+        }
+    }
+
+    /// Drop the first `n` cells.
+    pub fn skip_front(&mut self, n: usize) {
+        let n = n.min(self.len());
+        for i in 0..n {
+            self.bytes -= self.size_at(i);
+        }
+        match &mut self.buf {
+            ColumnBuf::Int(v) => drop(v.drain(..n)),
+            ColumnBuf::Float(v) => drop(v.drain(..n)),
+            ColumnBuf::Bool(v) => drop(v.drain(..n)),
+            ColumnBuf::Str(v) => drop(v.drain(..n)),
+            ColumnBuf::Mixed(v) => drop(v.drain(..n)),
+        }
+    }
+
+    /// Append all cells of `other` (bulk when representations match).
+    pub fn append_owned(&mut self, other: ColumnData) {
+        use ColumnBuf::*;
+        let ColumnData { buf: obuf, bytes: obytes } = other;
+        match (&mut self.buf, obuf) {
+            (Int(a), Int(mut b)) => {
+                a.append(&mut b);
+                self.bytes += obytes;
+            }
+            (Float(a), Float(mut b)) => {
+                a.append(&mut b);
+                self.bytes += obytes;
+            }
+            (Bool(a), Bool(mut b)) => {
+                a.append(&mut b);
+                self.bytes += obytes;
+            }
+            (Str(a), Str(mut b)) => {
+                a.append(&mut b);
+                self.bytes += obytes;
+            }
+            (Mixed(a), Mixed(mut b)) => {
+                a.append(&mut b);
+                self.bytes += obytes;
+            }
+            (_, obuf) => {
+                // representation mismatch: push cell-wise (push maintains
+                // the byte accounting itself)
+                let other = ColumnData { buf: obuf, bytes: obytes };
+                for i in 0..other.len() {
+                    self.push(other.value(i));
+                }
+            }
+        }
+    }
+
+    /// Iterate all cells as materialised values.
+    pub fn iter_values(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len()).map(move |i| self.value(i))
+    }
+
+    /// Consume into owned values (moves strings out instead of cloning).
+    pub fn into_values(self) -> Vec<Value> {
+        match self.buf {
+            ColumnBuf::Int(v) => {
+                v.into_iter().map(|x| x.map(Value::Int).unwrap_or(Value::Null)).collect()
+            }
+            ColumnBuf::Float(v) => {
+                v.into_iter().map(|x| x.map(Value::Float).unwrap_or(Value::Null)).collect()
+            }
+            ColumnBuf::Bool(v) => {
+                v.into_iter().map(|x| x.map(Value::Bool).unwrap_or(Value::Null)).collect()
+            }
+            ColumnBuf::Str(v) => {
+                v.into_iter().map(|x| x.map(Value::Str).unwrap_or(Value::Null)).collect()
+            }
+            ColumnBuf::Mixed(v) => v,
+        }
+    }
+}
+
+impl PartialEq for ColumnData {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && (0..self.len()).all(|i| self.eq_at(i, other, i))
+    }
+}
+
+/// A borrowed cell: the non-owning counterpart of [`Value`].
+#[derive(Clone, Copy)]
+enum CellRef<'a> {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(&'a str),
+}
+
+/// [`Value::total_cmp`] over borrowed cells: NULL < Bool < numbers <
+/// Str; integers compare exactly, mixed numerics as f64.
+fn cmp_cells(a: CellRef<'_>, b: CellRef<'_>) -> Ordering {
+    fn rank(c: &CellRef<'_>) -> u8 {
+        match c {
+            CellRef::Null => 0,
+            CellRef::Bool(_) => 1,
+            CellRef::Int(_) | CellRef::Float(_) => 2,
+            CellRef::Str(_) => 3,
+        }
+    }
+    match rank(&a).cmp(&rank(&b)) {
+        Ordering::Equal => match (a, b) {
+            (CellRef::Null, CellRef::Null) => Ordering::Equal,
+            (CellRef::Bool(x), CellRef::Bool(y)) => x.cmp(&y),
+            (CellRef::Int(x), CellRef::Int(y)) => x.cmp(&y),
+            (CellRef::Str(x), CellRef::Str(y)) => x.cmp(y),
+            (a, b) => {
+                let x = match a {
+                    CellRef::Int(v) => v as f64,
+                    CellRef::Float(v) => v,
+                    _ => unreachable!("equal rank implies numeric"),
+                };
+                let y = match b {
+                    CellRef::Int(v) => v as f64,
+                    CellRef::Float(v) => v,
+                    _ => unreachable!("equal rank implies numeric"),
+                };
+                x.partial_cmp(&y).unwrap_or(Ordering::Equal)
+            }
+        },
+        ord => ord,
+    }
+}
+
+/// Grouping key for a float, consistent with [`Value::group_key`]
+/// (integral floats fold onto integer keys; -0.0 normalised).
+fn float_group_key(v: f64) -> GroupKey {
+    let v = if v == 0.0 { 0.0 } else { v };
+    if v.fract() == 0.0 && v.abs() < (i64::MAX as f64) {
+        GroupKey::Int(v as i64)
+    } else {
+        GroupKey::Float(v.to_bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_push_and_value_roundtrip() {
+        let mut c = ColumnData::empty(DataType::Integer);
+        c.push(Value::Int(1));
+        c.push(Value::Null);
+        c.push(Value::Int(3));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.value(0), Value::Int(1));
+        assert!(c.is_null(1));
+        assert_eq!(c.as_f64(2), Some(3.0));
+        assert!(c.int_slice().is_some());
+    }
+
+    #[test]
+    fn bytes_accounting_tracks_mutations() {
+        let mut c = ColumnData::empty(DataType::Text);
+        c.push(Value::Str("abc".into())); // 3 + 4
+        c.push(Value::Null); // 1
+        assert_eq!(c.bytes(), 8);
+        c.set(0, Value::Str("a".into())); // 1 + 4
+        assert_eq!(c.bytes(), 6);
+        c.truncate(1);
+        assert_eq!(c.bytes(), 5);
+    }
+
+    #[test]
+    fn retypes_all_null_buffer() {
+        let mut c = ColumnData::empty(DataType::Integer);
+        c.push(Value::Null);
+        c.push(Value::Str("x".into()));
+        assert_eq!(c.value(0), Value::Null);
+        assert_eq!(c.value(1), Value::Str("x".into()));
+        assert!(c.data_type() == Some(DataType::Text));
+    }
+
+    #[test]
+    fn mixing_types_promotes_exactly() {
+        let mut c = ColumnData::empty(DataType::Integer);
+        c.push(Value::Int(3));
+        c.push(Value::Float(2.5));
+        // exact values preserved, not coerced
+        assert_eq!(c.value(0), Value::Int(3));
+        assert_eq!(c.value(1), Value::Float(2.5));
+        assert_eq!(c.bytes(), 16);
+    }
+
+    #[test]
+    fn gather_filter_and_append() {
+        let c = ColumnData::from_values(vec![
+            Value::Int(0),
+            Value::Int(1),
+            Value::Int(2),
+            Value::Null,
+        ]);
+        let g = c.gather(&[3, 1]);
+        assert_eq!(g.value(0), Value::Null);
+        assert_eq!(g.value(1), Value::Int(1));
+        assert_eq!(g.bytes(), 9);
+        let f = c.filter(&[true, false, true, false]);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.value(1), Value::Int(2));
+        let mut a = c.clone();
+        a.append_owned(f);
+        assert_eq!(a.len(), 6);
+        assert_eq!(a.bytes(), c.bytes() + 16);
+    }
+
+    #[test]
+    fn cross_type_comparison_matches_value_semantics() {
+        let ints = ColumnData::from_values(vec![Value::Int(3)]);
+        let floats = ColumnData::from_values(vec![Value::Float(3.0), Value::Float(2.5)]);
+        assert!(ints.eq_at(0, &floats, 0));
+        assert_eq!(ints.cmp_at(0, &floats, 1), Ordering::Greater);
+        // NULLs sort first and equal each other, as in Value::total_cmp
+        let nulls = ColumnData::from_values(vec![Value::Null]);
+        assert_eq!(nulls.cmp_at(0, &ints, 0), Ordering::Less);
+        assert!(nulls.eq_at(0, &nulls, 0));
+    }
+
+    #[test]
+    fn group_keys_fold_like_values() {
+        let c = ColumnData::from_values(vec![Value::Float(2.0), Value::Float(2.5)]);
+        assert_eq!(c.group_key_at(0), Value::Int(2).group_key());
+        assert_eq!(c.group_key_at(1), Value::Float(2.5).group_key());
+    }
+
+    #[test]
+    fn numeric_or_null_detection() {
+        assert!(ColumnData::from_values(vec![Value::Int(1), Value::Null]).all_numeric_or_null());
+        assert!(!ColumnData::from_values(vec![Value::Str("x".into())]).all_numeric_or_null());
+        assert!(ColumnData::empty(DataType::Text).all_numeric_or_null());
+        let mixed = ColumnData::from_values(vec![Value::Int(1), Value::Str("x".into())]);
+        assert!(!mixed.all_numeric_or_null());
+    }
+
+    #[test]
+    fn skip_front_drops_prefix() {
+        let mut c = ColumnData::from_values(vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+        c.skip_front(2);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.value(0), Value::Int(3));
+        assert_eq!(c.bytes(), 8);
+    }
+}

@@ -1,7 +1,12 @@
-//! Row-level expression evaluation with SQL three-valued logic.
+//! Expression evaluation with SQL three-valued logic: a row-level
+//! interpreter (the reference semantics) plus a column-at-a-time batch
+//! evaluator used by the executor's hot paths.
+
+use std::sync::Arc;
 
 use paradise_sql::ast::{BinaryOp, CaseBranch, Expr, Literal, UnaryOp};
 
+use crate::column::ColumnData;
 use crate::error::{EngineError, EngineResult};
 use crate::frame::{Frame, Row};
 use crate::schema::Schema;
@@ -133,9 +138,9 @@ pub fn eval_expr(expr: &Expr, row: &Row, ctx: &EvalContext<'_>) -> EngineResult<
                     "scalar subquery must return exactly one column".into(),
                 ));
             }
-            match frame.rows.len() {
+            match frame.len() {
                 0 => Ok(Value::Null),
-                1 => Ok(frame.rows[0][0].clone()),
+                1 => Ok(frame.value(0, 0)),
                 _ => Err(EngineError::Unsupported(
                     "scalar subquery returned more than one row".into(),
                 )),
@@ -459,6 +464,499 @@ pub fn like_match(s: &str, pattern: &str) -> bool {
     let s: Vec<char> = s.chars().collect();
     let p: Vec<char> = pattern.chars().collect();
     rec(&s, &p)
+}
+
+// batch (column-at-a-time) evaluation ----------------------------------------
+
+/// Result of evaluating an expression over every row of a frame: either
+/// one value per row, or a single row-invariant constant (literals,
+/// uncorrelated subqueries) that is never materialised `n` times.
+#[derive(Debug, Clone)]
+pub enum Batch {
+    /// The same value for every row.
+    Const(Value),
+    /// One value per row, shared zero-copy when the expression is a
+    /// plain column reference.
+    Col(Arc<ColumnData>),
+}
+
+impl Batch {
+    /// Materialise the value at row `i`.
+    pub fn value(&self, i: usize) -> Value {
+        match self {
+            Batch::Const(v) => v.clone(),
+            Batch::Col(c) => c.value(i),
+        }
+    }
+
+    /// Is the value at row `i` NULL?
+    pub fn is_null(&self, i: usize) -> bool {
+        match self {
+            Batch::Const(v) => v.is_null(),
+            Batch::Col(c) => c.is_null(i),
+        }
+    }
+
+    /// Turn into a column of `n` cells (broadcasting constants).
+    pub fn into_column(self, n: usize) -> ColumnData {
+        match self {
+            Batch::Const(v) => {
+                let hint = v.data_type().unwrap_or(DataType::Float);
+                let mut col = ColumnData::with_capacity(hint, n);
+                for _ in 0..n {
+                    col.push(v.clone());
+                }
+                col
+            }
+            Batch::Col(c) => Arc::try_unwrap(c).unwrap_or_else(|shared| (*shared).clone()),
+        }
+    }
+
+    /// Shared column handle, broadcasting constants.
+    pub fn into_column_arc(self, n: usize) -> Arc<ColumnData> {
+        match self {
+            Batch::Col(c) => c,
+            other => Arc::new(other.into_column(n)),
+        }
+    }
+}
+
+/// Evaluate `expr` once per row of `frame`, column-at-a-time.
+///
+/// Semantics match [`eval_expr`] exactly. The batch path evaluates
+/// sub-expressions eagerly; where the row interpreter would have
+/// short-circuited past an erroring sub-expression (`AND`/`OR`, `CASE`
+/// branches, `IN` list tails), the eager pass can surface an error the
+/// row semantics would not — so on any error we fall back to the row
+/// interpreter, which reproduces the reference behaviour (including
+/// *which* error, if the row path errors too).
+pub fn eval_expr_batch(
+    expr: &Expr,
+    frame: &Frame,
+    ctx: &EvalContext<'_>,
+) -> EngineResult<Batch> {
+    // the row interpreter never evaluates anything over zero rows, so
+    // neither may the batch path (a type error in a predicate over an
+    // empty relation must not surface)
+    if frame.is_empty() {
+        return Ok(Batch::Col(Arc::new(ColumnData::empty(DataType::Float))));
+    }
+    match eval_batch_inner(expr, frame, ctx) {
+        Ok(batch) => Ok(batch),
+        Err(_) => {
+            let mut out = ColumnData::with_capacity(DataType::Float, frame.len());
+            for i in 0..frame.len() {
+                let row = frame.row(i);
+                out.push(eval_expr(expr, &row, ctx)?);
+            }
+            Ok(Batch::Col(Arc::new(out)))
+        }
+    }
+}
+
+/// Evaluate a predicate over every row: one `bool` per row, NULL counts
+/// as false (the `WHERE`/`HAVING` filter semantics of
+/// [`eval_predicate`]).
+pub fn eval_predicate_mask(
+    expr: &Expr,
+    frame: &Frame,
+    ctx: &EvalContext<'_>,
+) -> EngineResult<Vec<bool>> {
+    let n = frame.len();
+    match eval_expr_batch(expr, frame, ctx)? {
+        Batch::Const(v) => {
+            let keep = to_bool3(&v)?.unwrap_or(false);
+            Ok(vec![keep; n])
+        }
+        Batch::Col(c) => {
+            if let Some(bools) = c.bool_slice() {
+                return Ok(bools.iter().map(|b| b.unwrap_or(false)).collect());
+            }
+            let mut mask = Vec::with_capacity(n);
+            for i in 0..n {
+                mask.push(to_bool3(&c.value(i))?.unwrap_or(false));
+            }
+            Ok(mask)
+        }
+    }
+}
+
+fn eval_batch_inner(
+    expr: &Expr,
+    frame: &Frame,
+    ctx: &EvalContext<'_>,
+) -> EngineResult<Batch> {
+    let n = frame.len();
+    match expr {
+        Expr::Literal(lit) => Ok(Batch::Const(literal_value(lit))),
+        Expr::Column(c) => {
+            let idx = ctx.schema.resolve(c.qualifier.as_deref(), &c.name)?;
+            Ok(Batch::Col(frame.column_arc(idx)))
+        }
+        Expr::Wildcard => Err(EngineError::Unsupported(
+            "'*' is only valid inside COUNT(*)".into(),
+        )),
+        // row-invariant: delegate to the row interpreter once
+        Expr::Subquery(_) | Expr::Exists(_) => {
+            let row = Row::new();
+            Ok(Batch::Const(eval_expr(expr, &row, ctx)?))
+        }
+        Expr::Unary { op, expr } => {
+            match eval_batch_inner(expr, frame, ctx)? {
+                Batch::Const(v) => Ok(Batch::Const(eval_unary(*op, v)?)),
+                Batch::Col(c) => {
+                    let hint = c.data_type().unwrap_or(DataType::Float);
+                    let mut out = ColumnData::with_capacity(hint, n);
+                    for i in 0..n {
+                        out.push(eval_unary(*op, c.value(i))?);
+                    }
+                    Ok(Batch::Col(Arc::new(out)))
+                }
+            }
+        }
+        Expr::Binary { left, op, right } => {
+            let l = eval_batch_inner(left, frame, ctx)?;
+            match op {
+                BinaryOp::And | BinaryOp::Or => {
+                    let r = eval_batch_inner(right, frame, ctx)?;
+                    if let (Batch::Const(a), Batch::Const(b)) = (&l, &r) {
+                        let out = match op {
+                            BinaryOp::And => and3(to_bool3(a)?, to_bool3(b)?),
+                            _ => or3(to_bool3(a)?, to_bool3(b)?),
+                        };
+                        return Ok(Batch::Const(out.map(Value::Bool).unwrap_or(Value::Null)));
+                    }
+                    let mut out = ColumnData::with_capacity(DataType::Boolean, n);
+                    for i in 0..n {
+                        let a = to_bool3(&l.value(i))?;
+                        let b = to_bool3(&r.value(i))?;
+                        let v = match op {
+                            BinaryOp::And => and3(a, b),
+                            _ => or3(a, b),
+                        };
+                        out.push(v.map(Value::Bool).unwrap_or(Value::Null));
+                    }
+                    Ok(Batch::Col(Arc::new(out)))
+                }
+                _ => {
+                    let r = eval_batch_inner(right, frame, ctx)?;
+                    eval_binary_batch(l, *op, r, n)
+                }
+            }
+        }
+        Expr::Function(call) => {
+            if call.over.is_some() {
+                return Err(EngineError::Unsupported(
+                    "window function outside the executor's window stage".into(),
+                ));
+            }
+            let args: Vec<Batch> = call
+                .args
+                .iter()
+                .map(|a| eval_batch_inner(a, frame, ctx))
+                .collect::<EngineResult<_>>()?;
+            if args.iter().all(|a| matches!(a, Batch::Const(_))) {
+                let vals: Vec<Value> = args.iter().map(|a| a.value(0)).collect();
+                return Ok(Batch::Const(eval_scalar_function(&call.name, &vals)?));
+            }
+            let mut out = ColumnData::with_capacity(DataType::Float, n);
+            let mut vals: Vec<Value> = Vec::with_capacity(args.len());
+            for i in 0..n {
+                vals.clear();
+                vals.extend(args.iter().map(|a| a.value(i)));
+                out.push(eval_scalar_function(&call.name, &vals)?);
+            }
+            Ok(Batch::Col(Arc::new(out)))
+        }
+        Expr::Case { operand, branches, else_result } => {
+            let operand = operand
+                .as_deref()
+                .map(|e| eval_batch_inner(e, frame, ctx))
+                .transpose()?;
+            let whens: Vec<Batch> = branches
+                .iter()
+                .map(|b| eval_batch_inner(&b.when, frame, ctx))
+                .collect::<EngineResult<_>>()?;
+            let thens: Vec<Batch> = branches
+                .iter()
+                .map(|b| eval_batch_inner(&b.then, frame, ctx))
+                .collect::<EngineResult<_>>()?;
+            let else_b = else_result
+                .as_deref()
+                .map(|e| eval_batch_inner(e, frame, ctx))
+                .transpose()?;
+            let mut out = ColumnData::with_capacity(DataType::Float, n);
+            for i in 0..n {
+                let mut chosen: Option<Value> = None;
+                match &operand {
+                    Some(op) => {
+                        let ov = op.value(i);
+                        for (w, t) in whens.iter().zip(&thens) {
+                            if ov.sql_eq(&w.value(i)) == Some(true) {
+                                chosen = Some(t.value(i));
+                                break;
+                            }
+                        }
+                    }
+                    None => {
+                        for (w, t) in whens.iter().zip(&thens) {
+                            if to_bool3(&w.value(i))?.unwrap_or(false) {
+                                chosen = Some(t.value(i));
+                                break;
+                            }
+                        }
+                    }
+                }
+                let v = chosen.unwrap_or_else(|| {
+                    else_b.as_ref().map(|e| e.value(i)).unwrap_or(Value::Null)
+                });
+                out.push(v);
+            }
+            Ok(Batch::Col(Arc::new(out)))
+        }
+        Expr::Between { expr, low, high, negated } => {
+            let v = eval_batch_inner(expr, frame, ctx)?;
+            let lo = eval_batch_inner(low, frame, ctx)?;
+            let hi = eval_batch_inner(high, frame, ctx)?;
+            let mut out = ColumnData::with_capacity(DataType::Boolean, n);
+            for i in 0..n {
+                let x = v.value(i);
+                let ge = ge3(&x, &lo.value(i));
+                let le = le3(&x, &hi.value(i));
+                out.push(match and3(ge, le) {
+                    Some(b) => Value::Bool(b != *negated),
+                    None => Value::Null,
+                });
+            }
+            Ok(Batch::Col(Arc::new(out)))
+        }
+        Expr::InList { expr, list, negated } => {
+            let v = eval_batch_inner(expr, frame, ctx)?;
+            let items: Vec<Batch> = list
+                .iter()
+                .map(|e| eval_batch_inner(e, frame, ctx))
+                .collect::<EngineResult<_>>()?;
+            let mut out = ColumnData::with_capacity(DataType::Boolean, n);
+            for i in 0..n {
+                let x = v.value(i);
+                let mut saw_null = false;
+                let mut hit = false;
+                for item in &items {
+                    match x.sql_eq(&item.value(i)) {
+                        Some(true) => {
+                            hit = true;
+                            break;
+                        }
+                        Some(false) => {}
+                        None => saw_null = true,
+                    }
+                }
+                out.push(if hit {
+                    Value::Bool(!*negated)
+                } else if saw_null {
+                    Value::Null
+                } else {
+                    Value::Bool(*negated)
+                });
+            }
+            Ok(Batch::Col(Arc::new(out)))
+        }
+        Expr::IsNull { expr, negated } => match eval_batch_inner(expr, frame, ctx)? {
+            Batch::Const(v) => Ok(Batch::Const(Value::Bool(v.is_null() != *negated))),
+            Batch::Col(c) => {
+                let mut out = ColumnData::with_capacity(DataType::Boolean, n);
+                for i in 0..n {
+                    out.push(Value::Bool(c.is_null(i) != *negated));
+                }
+                Ok(Batch::Col(Arc::new(out)))
+            }
+        },
+        Expr::Cast { expr, type_name } => {
+            let target = DataType::parse(type_name).ok_or_else(|| {
+                EngineError::Unsupported(format!("unknown cast target {type_name:?}"))
+            })?;
+            match eval_batch_inner(expr, frame, ctx)? {
+                Batch::Const(v) => Ok(Batch::Const(v.cast(target)?)),
+                Batch::Col(c) => {
+                    let mut out = ColumnData::with_capacity(target, n);
+                    for i in 0..n {
+                        out.push(c.value(i).cast(target)?);
+                    }
+                    Ok(Batch::Col(Arc::new(out)))
+                }
+            }
+        }
+    }
+}
+
+/// One side of a numeric binary kernel.
+enum NumSide<'a> {
+    IntCol(&'a [Option<i64>]),
+    FloatCol(&'a [Option<f64>]),
+    ConstInt(i64),
+    ConstFloat(f64),
+    ConstNull,
+}
+
+fn classify_numeric(batch: &Batch) -> Option<NumSide<'_>> {
+    match batch {
+        Batch::Const(Value::Int(v)) => Some(NumSide::ConstInt(*v)),
+        Batch::Const(Value::Float(v)) => Some(NumSide::ConstFloat(*v)),
+        Batch::Const(Value::Null) => Some(NumSide::ConstNull),
+        Batch::Const(_) => None,
+        Batch::Col(c) => {
+            if let Some(ints) = c.int_slice() {
+                Some(NumSide::IntCol(ints))
+            } else {
+                c.float_slice().map(NumSide::FloatCol)
+            }
+        }
+    }
+}
+
+impl NumSide<'_> {
+    fn int_at(&self, i: usize) -> Option<Option<i64>> {
+        match self {
+            NumSide::IntCol(v) => Some(v[i]),
+            NumSide::ConstInt(x) => Some(Some(*x)),
+            NumSide::ConstNull => Some(None),
+            _ => None,
+        }
+    }
+
+    fn f64_at(&self, i: usize) -> Option<f64> {
+        match self {
+            NumSide::IntCol(v) => v[i].map(|x| x as f64),
+            NumSide::FloatCol(v) => v[i],
+            NumSide::ConstInt(x) => Some(*x as f64),
+            NumSide::ConstFloat(x) => Some(*x),
+            NumSide::ConstNull => None,
+        }
+    }
+
+    fn both_int(&self) -> bool {
+        matches!(self, NumSide::IntCol(_) | NumSide::ConstInt(_) | NumSide::ConstNull)
+    }
+}
+
+/// Batched comparison / arithmetic / string ops, with dense numeric
+/// kernels for the common cases and a per-element fallback that reuses
+/// the scalar [`eval_binary`] semantics.
+fn eval_binary_batch(l: Batch, op: BinaryOp, r: Batch, n: usize) -> EngineResult<Batch> {
+    // the AND/OR forms never reach here (handled by the caller)
+    if let (Batch::Const(a), Batch::Const(b)) = (&l, &r) {
+        return Ok(Batch::Const(eval_binary(a.clone(), op, b.clone())?));
+    }
+
+    let is_cmp = matches!(
+        op,
+        BinaryOp::Eq | BinaryOp::NotEq | BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt
+            | BinaryOp::GtEq
+    );
+    let is_arith = matches!(
+        op,
+        BinaryOp::Plus | BinaryOp::Minus | BinaryOp::Multiply | BinaryOp::Divide
+            | BinaryOp::Modulo
+    );
+
+    if is_cmp || is_arith {
+        if let (Some(ls), Some(rs)) = (classify_numeric(&l), classify_numeric(&r)) {
+            // exact integer kernel (preserves wrapping arithmetic and
+            // exact comparison beyond 2^53)
+            if ls.both_int() && rs.both_int() {
+                let out_type = if is_cmp { DataType::Boolean } else { DataType::Integer };
+                let mut out = ColumnData::with_capacity(out_type, n);
+                for i in 0..n {
+                    let (a, b) = (ls.int_at(i).unwrap(), rs.int_at(i).unwrap());
+                    out.push(match (a, b) {
+                        (Some(a), Some(b)) => int_binary(a, op, b),
+                        _ => Value::Null,
+                    });
+                }
+                return Ok(Batch::Col(Arc::new(out)));
+            }
+            // float kernel
+            let out_type = if is_cmp { DataType::Boolean } else { DataType::Float };
+            let mut out = ColumnData::with_capacity(out_type, n);
+            for i in 0..n {
+                out.push(match (ls.f64_at(i), rs.f64_at(i)) {
+                    (Some(a), Some(b)) => float_binary(a, op, b),
+                    _ => Value::Null,
+                });
+            }
+            return Ok(Batch::Col(Arc::new(out)));
+        }
+    }
+
+    // generic per-element fallback (strings, booleans, LIKE, ||, mixed)
+    let mut out = ColumnData::with_capacity(
+        if is_cmp { DataType::Boolean } else { DataType::Float },
+        n,
+    );
+    for i in 0..n {
+        out.push(eval_binary(l.value(i), op, r.value(i))?);
+    }
+    Ok(Batch::Col(Arc::new(out)))
+}
+
+fn int_binary(a: i64, op: BinaryOp, b: i64) -> Value {
+    match op {
+        BinaryOp::Eq => Value::Bool(a == b),
+        BinaryOp::NotEq => Value::Bool(a != b),
+        BinaryOp::Lt => Value::Bool(a < b),
+        BinaryOp::LtEq => Value::Bool(a <= b),
+        BinaryOp::Gt => Value::Bool(a > b),
+        BinaryOp::GtEq => Value::Bool(a >= b),
+        BinaryOp::Plus => Value::Int(a.wrapping_add(b)),
+        BinaryOp::Minus => Value::Int(a.wrapping_sub(b)),
+        BinaryOp::Multiply => Value::Int(a.wrapping_mul(b)),
+        BinaryOp::Divide => {
+            if b == 0 {
+                Value::Null
+            } else {
+                Value::Int(a.wrapping_div(b))
+            }
+        }
+        BinaryOp::Modulo => {
+            if b == 0 {
+                Value::Null
+            } else {
+                Value::Int(a.wrapping_rem(b))
+            }
+        }
+        _ => unreachable!("kernel only handles comparison/arithmetic"),
+    }
+}
+
+fn float_binary(a: f64, op: BinaryOp, b: f64) -> Value {
+    use std::cmp::Ordering;
+    let ord = || a.partial_cmp(&b).unwrap_or(Ordering::Equal);
+    match op {
+        BinaryOp::Eq => Value::Bool(ord() == Ordering::Equal),
+        BinaryOp::NotEq => Value::Bool(ord() != Ordering::Equal),
+        BinaryOp::Lt => Value::Bool(ord() == Ordering::Less),
+        BinaryOp::LtEq => Value::Bool(ord() != Ordering::Greater),
+        BinaryOp::Gt => Value::Bool(ord() == Ordering::Greater),
+        BinaryOp::GtEq => Value::Bool(ord() != Ordering::Less),
+        BinaryOp::Plus => Value::Float(a + b),
+        BinaryOp::Minus => Value::Float(a - b),
+        BinaryOp::Multiply => Value::Float(a * b),
+        BinaryOp::Divide => {
+            if b == 0.0 {
+                Value::Null
+            } else {
+                Value::Float(a / b)
+            }
+        }
+        BinaryOp::Modulo => {
+            if b == 0.0 {
+                Value::Null
+            } else {
+                Value::Float(a % b)
+            }
+        }
+        _ => unreachable!("kernel only handles comparison/arithmetic"),
+    }
 }
 
 // three-valued logic helpers -------------------------------------------------

@@ -1,9 +1,22 @@
-//! The query executor: a straightforward tree-walking interpreter over
-//! the `paradise-sql` AST.
+//! The query executor: an interpreter over the `paradise-sql` AST.
 //!
 //! Pipeline per `SELECT` block (SQL logical order):
 //! `FROM` → `WHERE` → `GROUP BY`+aggregates → `HAVING` → window functions
 //! → projection → `DISTINCT` → `ORDER BY` → `LIMIT`/`OFFSET` → `UNION`.
+//!
+//! ## Columnar vs. row-at-a-time execution
+//!
+//! The default engine ([`ExecMode::Columnar`]) runs the hot operators
+//! column-at-a-time over the typed buffers of [`Frame`]: predicates
+//! become masks ([`crate::eval::eval_predicate_mask`]), projections of
+//! plain columns share buffers zero-copy, and grouped aggregation /
+//! window partitioning read their keys and arguments from batch-
+//! evaluated columns instead of cloning `Value`s cell-by-cell.
+//!
+//! [`ExecMode::RowAtATime`] keeps the original row-major operators (see
+//! [`rows`]) as the executable reference semantics; the equivalence
+//! suite runs every corpus query through both modes and asserts
+//! identical frames.
 //!
 //! ## Lenient vs. strict GROUP BY
 //!
@@ -13,9 +26,11 @@
 //! mode rejects them like `ONLY_FULL_GROUP_BY`.
 
 pub mod aggregate;
+pub mod rows;
 pub mod window;
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use paradise_sql::analysis::is_aggregate_function;
 use paradise_sql::ast::{
@@ -24,26 +39,47 @@ use paradise_sql::ast::{
 use paradise_sql::visit::transform_expr;
 
 use crate::catalog::Catalog;
+use crate::column::ColumnData;
 use crate::error::{EngineError, EngineResult};
-use crate::eval::{eval_expr, eval_predicate, EvalContext};
+use crate::eval::{
+    eval_expr, eval_expr_batch, eval_predicate, eval_predicate_mask, Batch, EvalContext,
+};
 use crate::frame::{Frame, Row};
 use crate::schema::{Column, Schema};
 use crate::value::{DataType, GroupKey, Value};
 
 use aggregate::{AggKind, Accumulator};
 
+/// Which operator implementations to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Column-at-a-time over the typed buffers (the fast default).
+    #[default]
+    Columnar,
+    /// The original row-major operators, kept as the executable
+    /// reference semantics for equivalence testing.
+    RowAtATime,
+}
+
 /// Execution options.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct ExecOptions {
     /// Reject non-grouped, non-aggregated columns (ONLY_FULL_GROUP_BY).
     pub strict_group_by: bool,
     /// Safety valve for joins: maximum produced rows before aborting.
+    /// `0` means the default of 10 million.
     pub max_rows: usize,
+    /// Operator implementation to use.
+    pub mode: ExecMode,
 }
 
-impl Default for ExecOptions {
-    fn default() -> Self {
-        ExecOptions { strict_group_by: false, max_rows: 10_000_000 }
+impl ExecOptions {
+    fn effective_max_rows(&self) -> usize {
+        if self.max_rows == 0 {
+            10_000_000
+        } else {
+            self.max_rows
+        }
     }
 }
 
@@ -54,7 +90,8 @@ pub struct Executor<'a> {
 }
 
 impl<'a> Executor<'a> {
-    /// Executor with default (lenient, paper-compatible) options.
+    /// Executor with default (lenient, paper-compatible, columnar)
+    /// options.
     pub fn new(catalog: &'a Catalog) -> Self {
         Executor { catalog, options: ExecOptions::default() }
     }
@@ -76,9 +113,9 @@ impl<'a> Executor<'a> {
                     next.schema.len()
                 )));
             }
-            result.rows.extend(next.rows);
+            result.append(next)?;
             if !all {
-                dedupe_rows(&mut result.rows);
+                result = dedupe_frame(&result);
             }
         }
         Ok(result)
@@ -91,30 +128,22 @@ impl<'a> Executor<'a> {
             None => Frame::new(Schema::default(), vec![vec![]])?, // one empty row
         };
 
-        // WHERE
+        if self.options.mode == ExecMode::RowAtATime {
+            return rows::execute_block_rows(self, query, input);
+        }
+
+        // WHERE (columnar: predicate mask + bulk gather)
         let subquery_fn = |q: &Query| self.execute(q);
         let filtered = match &query.where_clause {
             Some(pred) => {
                 let ctx = EvalContext { schema: &input.schema, subquery: Some(&subquery_fn) };
-                let mut rows = Vec::with_capacity(input.rows.len());
-                for row in input.rows {
-                    if eval_predicate(pred, &row, &ctx)? {
-                        rows.push(row);
-                    }
-                }
-                Frame { schema: input.schema, rows }
+                let mask = eval_predicate_mask(pred, &input, &ctx)?;
+                input.filter_rows(&mask)
             }
             None => input,
         };
 
-        let aggregating = !query.group_by.is_empty()
-            || query.having.is_some()
-            || query
-                .items
-                .iter()
-                .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr_has_aggregate(expr, &is_aggregate_function)));
-
-        if aggregating {
+        if query_aggregates(query) {
             self.execute_aggregation(query, filtered)
         } else {
             self.execute_plain(query, filtered)
@@ -122,23 +151,28 @@ impl<'a> Executor<'a> {
     }
 
     // ------------------------------------------------------------------
-    // FROM evaluation
+    // FROM evaluation (shared by both modes)
     // ------------------------------------------------------------------
 
-    fn eval_table(&self, table: &TableRef) -> EngineResult<Frame> {
+    pub(super) fn eval_table(&self, table: &TableRef) -> EngineResult<Frame> {
         match table {
             TableRef::Table { name, alias } => {
                 let frame = self.catalog.get(name)?;
                 let source = alias.as_deref().unwrap_or(name);
-                Ok(Frame {
-                    schema: frame.schema.with_source(source),
-                    rows: frame.rows.clone(),
-                })
+                // requalified schema over *shared* column buffers: a scan
+                // copies pointers, not cells
+                let columns = (0..frame.schema.len()).map(|c| frame.column_arc(c)).collect();
+                Frame::from_arc_columns(frame.schema.with_source(source), columns)
             }
             TableRef::Subquery { query, alias } => {
                 let frame = self.execute(query)?;
                 match alias {
-                    Some(a) => Ok(Frame { schema: frame.schema.with_source(a), rows: frame.rows }),
+                    Some(a) => {
+                        let schema = frame.schema.with_source(a);
+                        let columns =
+                            (0..frame.schema.len()).map(|c| frame.column_arc(c)).collect();
+                        Frame::from_arc_columns(schema, columns)
+                    }
                     None => Ok(frame),
                 }
             }
@@ -158,17 +192,32 @@ impl<'a> Executor<'a> {
         on: Option<&Expr>,
     ) -> EngineResult<Frame> {
         use paradise_sql::ast::JoinKind;
+        // hash path for single-equality ON conditions over compatibly
+        // typed buffers (the common `a.t = b.t` shape); anything richer
+        // falls back to the nested loop below
+        if !matches!(kind, JoinKind::Cross) {
+            if let Some(pred) = on {
+                if let Some((li, ri)) = equi_join_columns(pred, &left.schema, &right.schema) {
+                    if hash_joinable(left.column(li), right.column(ri)) {
+                        return self.hash_equi_join(left, right, kind, li, ri);
+                    }
+                }
+            }
+        }
         let schema = left.schema.join(&right.schema);
         let subquery_fn = |q: &Query| self.execute(q);
         let ctx = EvalContext { schema: &schema, subquery: Some(&subquery_fn) };
-        let mut rows: Vec<Row> = Vec::new();
+        let max_rows = self.options.effective_max_rows();
+        let left_rows = left.to_rows();
+        let right_rows = right.to_rows();
+        let mut out: Vec<Row> = Vec::new();
         let null_right: Row = vec![Value::Null; right.schema.len()];
         let null_left: Row = vec![Value::Null; left.schema.len()];
-        let mut right_matched = vec![false; right.rows.len()];
+        let mut right_matched = vec![false; right_rows.len()];
 
-        for lrow in &left.rows {
+        for lrow in &left_rows {
             let mut matched = false;
-            for (ri, rrow) in right.rows.iter().enumerate() {
+            for (ri, rrow) in right_rows.iter().enumerate() {
                 let mut combined = Vec::with_capacity(schema.len());
                 combined.extend(lrow.iter().cloned());
                 combined.extend(rrow.iter().cloned());
@@ -180,11 +229,10 @@ impl<'a> Executor<'a> {
                 if keep {
                     matched = true;
                     right_matched[ri] = true;
-                    rows.push(combined);
-                    if rows.len() > self.options.max_rows {
+                    out.push(combined);
+                    if out.len() > max_rows {
                         return Err(EngineError::Unsupported(format!(
-                            "join exceeded {} rows",
-                            self.options.max_rows
+                            "join exceeded {max_rows} rows"
                         )));
                     }
                 }
@@ -193,24 +241,95 @@ impl<'a> Executor<'a> {
                 let mut combined = Vec::with_capacity(schema.len());
                 combined.extend(lrow.iter().cloned());
                 combined.extend(null_right.iter().cloned());
-                rows.push(combined);
+                out.push(combined);
             }
         }
         if matches!(kind, JoinKind::Right | JoinKind::Full) {
-            for (ri, rrow) in right.rows.iter().enumerate() {
+            for (ri, rrow) in right_rows.iter().enumerate() {
                 if !right_matched[ri] {
                     let mut combined = Vec::with_capacity(schema.len());
                     combined.extend(null_left.iter().cloned());
                     combined.extend(rrow.iter().cloned());
-                    rows.push(combined);
+                    out.push(combined);
                 }
             }
         }
-        Ok(Frame { schema, rows })
+        Ok(Frame::from_rows(schema, out))
+    }
+
+    /// Hash join on one equality: build an index over the right key
+    /// column, probe with the left one. Emits rows in the same order as
+    /// the nested loop (left order, then right order per left row).
+    fn hash_equi_join(
+        &self,
+        left: Frame,
+        right: Frame,
+        kind: paradise_sql::ast::JoinKind,
+        left_key: usize,
+        right_key: usize,
+    ) -> EngineResult<Frame> {
+        use paradise_sql::ast::JoinKind;
+        let schema = left.schema.join(&right.schema);
+        let max_rows = self.options.effective_max_rows();
+        let rk = right.column(right_key);
+        let mut index: HashMap<GroupKey, Vec<usize>> = HashMap::new();
+        for j in 0..right.len() {
+            // SQL equality: NULL keys never match
+            if !rk.is_null(j) {
+                index.entry(rk.group_key_at(j)).or_default().push(j);
+            }
+        }
+
+        let lk = left.column(left_key);
+        let mut out: Vec<Row> = Vec::new();
+        let null_right: Row = vec![Value::Null; right.schema.len()];
+        let null_left: Row = vec![Value::Null; left.schema.len()];
+        let mut right_matched = vec![false; right.len()];
+
+        for i in 0..left.len() {
+            let matches = if lk.is_null(i) {
+                None
+            } else {
+                index.get(&lk.group_key_at(i))
+            };
+            match matches {
+                Some(js) => {
+                    let lrow = left.row(i);
+                    for &j in js {
+                        right_matched[j] = true;
+                        let mut combined = Vec::with_capacity(schema.len());
+                        combined.extend(lrow.iter().cloned());
+                        combined.extend(right.row(j));
+                        out.push(combined);
+                        if out.len() > max_rows {
+                            return Err(EngineError::Unsupported(format!(
+                                "join exceeded {max_rows} rows"
+                            )));
+                        }
+                    }
+                }
+                None if matches!(kind, JoinKind::Left | JoinKind::Full) => {
+                    let mut combined = left.row(i);
+                    combined.extend(null_right.iter().cloned());
+                    out.push(combined);
+                }
+                None => {}
+            }
+        }
+        if matches!(kind, JoinKind::Right | JoinKind::Full) {
+            for (j, matched) in right_matched.iter().enumerate() {
+                if !matched {
+                    let mut combined = null_left.clone();
+                    combined.extend(right.row(j));
+                    out.push(combined);
+                }
+            }
+        }
+        Ok(Frame::from_rows(schema, out))
     }
 
     // ------------------------------------------------------------------
-    // non-aggregated path
+    // non-aggregated path (columnar)
     // ------------------------------------------------------------------
 
     fn execute_plain(&self, query: &Query, input: Frame) -> EngineResult<Frame> {
@@ -225,7 +344,7 @@ impl<'a> Executor<'a> {
             window::collect_window_calls(&o.expr, &mut window_calls);
         }
 
-        let (work_frame, rewrite_map) = if window_calls.is_empty() {
+        let (work, rewrite_map) = if window_calls.is_empty() {
             (input, Vec::new())
         } else {
             window::attach_window_columns(self, input, window_calls)?
@@ -239,57 +358,73 @@ impl<'a> Executor<'a> {
         };
 
         let subquery_fn = |q: &Query| self.execute(q);
-        let ctx = EvalContext { schema: &work_frame.schema, subquery: Some(&subquery_fn) };
+        let ctx = EvalContext { schema: &work.schema, subquery: Some(&subquery_fn) };
+        let n = work.len();
 
-        // projection
-        let (out_schema, item_exprs) =
-            self.projection_plan(query, &work_frame.schema, &rewrite)?;
-        let mut projected: Vec<Row> = Vec::with_capacity(work_frame.rows.len());
-        let mut sort_keys: Vec<Vec<Value>> = Vec::new();
-        let order_exprs: Vec<Expr> = query.order_by.iter().map(|o| rewrite(&o.expr)).collect();
-
-        for row in &work_frame.rows {
-            let mut out = Vec::with_capacity(item_exprs.len());
-            for plan in &item_exprs {
-                match plan {
-                    ProjPlan::Splice(indices) => {
-                        for &i in indices {
-                            out.push(row[i].clone());
-                        }
+        // projection: wildcard splices share buffers, expressions are
+        // batch-evaluated once per column
+        let (out_schema, item_exprs) = self.projection_plan(query, &work.schema, &rewrite)?;
+        let mut out_cols: Vec<Arc<ColumnData>> = Vec::with_capacity(out_schema.len());
+        for plan in &item_exprs {
+            match plan {
+                ProjPlan::Splice(indices) => {
+                    for &i in indices {
+                        out_cols.push(work.column_arc(i));
                     }
-                    ProjPlan::Expr(e) => out.push(eval_expr(e, row, &ctx)?),
+                }
+                ProjPlan::Expr(e) => {
+                    let batch = eval_expr_batch(e, &work, &ctx)?;
+                    out_cols.push(batch.into_column_arc(n));
                 }
             }
-            if !order_exprs.is_empty() {
-                let keys = self.order_keys(&order_exprs, query, row, &out, &out_schema, &ctx)?;
-                sort_keys.push(keys);
-            }
-            projected.push(out);
         }
-
-        let mut frame = Frame { schema: out_schema, rows: projected };
+        let mut frame = Frame::from_arc_columns(out_schema, out_cols)?;
         finalise_types(&mut frame);
 
+        // ORDER BY keys: aliases resolve against the projected output,
+        // everything else against the input (batch-evaluated once)
+        let mut key_cols: Vec<Arc<ColumnData>> = Vec::with_capacity(query.order_by.len());
+        for o in &query.order_by {
+            let e = rewrite(&o.expr);
+            key_cols.push(match order_key_source(&e, &frame.schema, &ctx)? {
+                KeySource::OutCol(idx) => frame.column_arc(idx),
+                KeySource::Input => eval_expr_batch(&e, &work, &ctx)?.into_column_arc(n),
+            });
+        }
+
         if query.distinct {
-            // DISTINCT applies before ORDER BY; drop sort keys of removed rows.
-            let (rows, keys) = dedupe_with_keys(frame.rows, sort_keys);
-            frame.rows = rows;
-            sort_keys = keys;
+            // DISTINCT applies before ORDER BY; keep first occurrences
+            let kept = distinct_indices(&frame);
+            if kept.len() < frame.len() {
+                frame = frame.select_rows(&kept);
+                key_cols = key_cols.iter().map(|c| Arc::new(c.gather(&kept))).collect();
+            }
         }
 
         if !query.order_by.is_empty() {
-            frame.rows = sort_by_keys(frame.rows, sort_keys, &query.order_by);
+            // LIMIT/OFFSET pushdown: slice the permutation, gather only
+            // the surviving rows
+            let mut perm = sort_permutation(&key_cols, &query.order_by, frame.len());
+            if let Some(offset) = query.offset {
+                let offset = (offset as usize).min(perm.len());
+                perm.drain(..offset);
+            }
+            if let Some(limit) = query.limit {
+                perm.truncate(limit as usize);
+            }
+            frame = frame.select_rows(&perm);
+        } else {
+            apply_limit_offset_frame(&mut frame, query);
         }
-        apply_limit_offset(&mut frame, query);
         Ok(frame)
     }
 
     /// Compute ORDER BY key values for one row: aliases resolve against
     /// the projected output, everything else against the input row.
-    fn order_keys(
+    /// (Used by the aggregation tail and the row-at-a-time path.)
+    pub(super) fn order_keys(
         &self,
         order_exprs: &[Expr],
-        query: &Query,
         input_row: &Row,
         out_row: &Row,
         out_schema: &Schema,
@@ -297,36 +432,16 @@ impl<'a> Executor<'a> {
     ) -> EngineResult<Vec<Value>> {
         let mut keys = Vec::with_capacity(order_exprs.len());
         for e in order_exprs {
-            // alias / output-column reference?
-            if let Expr::Column(c) = e {
-                if c.qualifier.is_none() {
-                    if let Some(idx) = out_schema.try_resolve(None, &c.name) {
-                        // prefer the projected value when the name is not
-                        // resolvable in the input (pure alias), or when the
-                        // query projects it directly
-                        if ctx.schema.try_resolve(None, &c.name).is_none() {
-                            keys.push(out_row[idx].clone());
-                            continue;
-                        }
-                    }
-                }
+            match order_key_source(e, out_schema, ctx)? {
+                KeySource::OutCol(idx) => keys.push(out_row[idx].clone()),
+                KeySource::Input => keys.push(eval_expr(e, input_row, ctx)?),
             }
-            // positional reference: ORDER BY 1
-            if let Expr::Literal(paradise_sql::ast::Literal::Integer(i)) = e {
-                let idx = (*i - 1) as usize;
-                if *i >= 1 && idx < out_row.len() {
-                    keys.push(out_row[idx].clone());
-                    continue;
-                }
-            }
-            let _ = query;
-            keys.push(eval_expr(e, input_row, ctx)?);
         }
         Ok(keys)
     }
 
     /// Build the output schema and per-item evaluation plan.
-    fn projection_plan(
+    pub(super) fn projection_plan(
         &self,
         query: &Query,
         input: &Schema,
@@ -381,7 +496,7 @@ impl<'a> Executor<'a> {
     }
 
     // ------------------------------------------------------------------
-    // aggregation path
+    // aggregation path (columnar keys and arguments)
     // ------------------------------------------------------------------
 
     fn execute_aggregation(&self, query: &Query, input: Frame) -> EngineResult<Frame> {
@@ -390,26 +505,19 @@ impl<'a> Executor<'a> {
         }
         let subquery_fn = |q: &Query| self.execute(q);
         let ctx = EvalContext { schema: &input.schema, subquery: Some(&subquery_fn) };
+        let n = input.len();
 
-        // 1. group rows
-        let mut group_order: Vec<Vec<GroupKey>> = Vec::new();
-        let mut groups: std::collections::HashMap<Vec<GroupKey>, Vec<usize>> =
-            std::collections::HashMap::new();
-        if query.group_by.is_empty() {
-            group_order.push(Vec::new());
-            groups.insert(Vec::new(), (0..input.rows.len()).collect());
+        // 1. group rows: keys evaluated column-at-a-time
+        let grouped: Vec<Vec<usize>> = if query.group_by.is_empty() {
+            vec![(0..n).collect()]
         } else {
-            for (ri, row) in input.rows.iter().enumerate() {
-                let mut key = Vec::with_capacity(query.group_by.len());
-                for g in &query.group_by {
-                    key.push(eval_expr(g, row, &ctx)?.group_key());
-                }
-                if !groups.contains_key(&key) {
-                    group_order.push(key.clone());
-                }
-                groups.entry(key).or_default().push(ri);
-            }
-        }
+            let key_cols: Vec<Arc<ColumnData>> = query
+                .group_by
+                .iter()
+                .map(|g| Ok(eval_expr_batch(g, &input, &ctx)?.into_column_arc(n)))
+                .collect::<EngineResult<_>>()?;
+            group_indices(&key_cols, n)
+        };
 
         // 2. collect aggregate calls from items, HAVING and ORDER BY
         let mut agg_calls: Vec<FunctionCall> = Vec::new();
@@ -423,6 +531,34 @@ impl<'a> Executor<'a> {
         }
         for o in &query.order_by {
             collect_aggregate_calls(&o.expr, &mut agg_calls);
+        }
+
+        // batch-evaluate every aggregate argument once over the input;
+        // with zero groups nothing would consume them (and the row path
+        // never checks the calls either), so skip the prep entirely
+        let mut call_kinds: Vec<AggKind> = Vec::with_capacity(agg_calls.len());
+        let mut call_args: Vec<Vec<Batch>> = Vec::with_capacity(agg_calls.len());
+        let live_calls: &[FunctionCall] = if grouped.is_empty() { &[] } else { &agg_calls };
+        for call in live_calls {
+            let kind = AggKind::from_name(&call.name)
+                .ok_or_else(|| EngineError::UnknownFunction(call.name.clone()))?;
+            if call.args.len() != kind.arity() {
+                return Err(EngineError::WrongArity {
+                    function: call.name.clone(),
+                    expected: kind.arity().to_string(),
+                    got: call.args.len(),
+                });
+            }
+            let args: Vec<Batch> = call
+                .args
+                .iter()
+                .map(|a| match a {
+                    Expr::Wildcard => Ok(Batch::Const(Value::Int(1))),
+                    other => eval_expr_batch(other, &input, &ctx),
+                })
+                .collect::<EngineResult<_>>()?;
+            call_kinds.push(kind);
+            call_args.push(args);
         }
 
         // 3. per group: synthetic row = representative row ++ agg values
@@ -474,95 +610,233 @@ impl<'a> Executor<'a> {
             out_schema.push(Column::new(name, DataType::Float));
             item_exprs.push(rewrite(expr));
         }
+        // precompile plain column items (including the synthetic __aggN
+        // references) to indices, so per-group projection is a lookup
+        // instead of a name resolution
+        let item_plans: Vec<AggItemPlan> = item_exprs
+            .into_iter()
+            .map(|e| match &e {
+                Expr::Column(c) => match ext_schema.try_resolve(c.qualifier.as_deref(), &c.name)
+                {
+                    Some(idx) => AggItemPlan::Col(idx),
+                    None => AggItemPlan::Expr(e),
+                },
+                _ => AggItemPlan::Expr(e),
+            })
+            .collect();
         let order_exprs: Vec<Expr> = query.order_by.iter().map(|o| rewrite(&o.expr)).collect();
 
-        let mut rows: Vec<Row> = Vec::with_capacity(group_order.len());
+        let mut out_rows: Vec<Row> = Vec::with_capacity(grouped.len());
         let mut sort_keys: Vec<Vec<Value>> = Vec::new();
-        for key in &group_order {
-            let indices = &groups[key];
+        let mut arg_buf: Vec<Value> = Vec::new();
+        for indices in &grouped {
             // representative row: first of group, or all-NULL for the
             // global empty group
             let mut synthetic: Row = match indices.first() {
-                Some(&i) => input.rows[i].clone(),
+                Some(&i) => input.row(i),
                 None => vec![Value::Null; input.schema.len()],
             };
-            for call in &agg_calls {
-                let v = self.compute_aggregate(call, indices, &input, &ctx)?;
-                synthetic.push(v);
+            for (ci, call) in agg_calls.iter().enumerate() {
+                let mut acc = Accumulator::new(call_kinds[ci], call.distinct);
+                for &ri in indices {
+                    arg_buf.clear();
+                    arg_buf.extend(call_args[ci].iter().map(|b| b.value(ri)));
+                    acc.update(&arg_buf)?;
+                }
+                synthetic.push(acc.finish());
             }
             if let Some(h) = &having_rewritten {
                 if !eval_predicate(h, &synthetic, &ext_ctx)? {
                     continue;
                 }
             }
-            let mut out = Vec::with_capacity(item_exprs.len());
-            for e in &item_exprs {
-                out.push(eval_expr(e, &synthetic, &ext_ctx)?);
+            let mut out = Vec::with_capacity(item_plans.len());
+            for plan in &item_plans {
+                match plan {
+                    AggItemPlan::Col(idx) => out.push(synthetic[*idx].clone()),
+                    AggItemPlan::Expr(e) => out.push(eval_expr(e, &synthetic, &ext_ctx)?),
+                }
             }
             if !order_exprs.is_empty() {
                 let keys =
-                    self.order_keys(&order_exprs, query, &synthetic, &out, &out_schema, &ext_ctx)?;
+                    self.order_keys(&order_exprs, &synthetic, &out, &out_schema, &ext_ctx)?;
                 sort_keys.push(keys);
             }
-            rows.push(out);
+            out_rows.push(out);
         }
 
-        let mut frame = Frame { schema: out_schema, rows };
-        finalise_types(&mut frame);
         if query.distinct {
-            let (rows, keys) = dedupe_with_keys(frame.rows, sort_keys);
-            frame.rows = rows;
+            let (rows, keys) = dedupe_with_keys(out_rows, sort_keys);
+            out_rows = rows;
             sort_keys = keys;
         }
         if !query.order_by.is_empty() {
-            frame.rows = sort_by_keys(frame.rows, sort_keys, &query.order_by);
+            out_rows = sort_by_keys(out_rows, sort_keys, &query.order_by);
         }
-        apply_limit_offset(&mut frame, query);
+        let mut frame = Frame::from_rows(out_schema, out_rows);
+        finalise_types(&mut frame);
+        apply_limit_offset_frame(&mut frame, query);
         Ok(frame)
-    }
-
-    fn compute_aggregate(
-        &self,
-        call: &FunctionCall,
-        row_indices: &[usize],
-        input: &Frame,
-        ctx: &EvalContext<'_>,
-    ) -> EngineResult<Value> {
-        let kind = AggKind::from_name(&call.name)
-            .ok_or_else(|| EngineError::UnknownFunction(call.name.clone()))?;
-        if call.args.len() != kind.arity() {
-            return Err(EngineError::WrongArity {
-                function: call.name.clone(),
-                expected: kind.arity().to_string(),
-                got: call.args.len(),
-            });
-        }
-        let mut acc = Accumulator::new(kind, call.distinct);
-        for &ri in row_indices {
-            let row = &input.rows[ri];
-            let mut args = Vec::with_capacity(call.args.len());
-            for a in &call.args {
-                match a {
-                    Expr::Wildcard => args.push(Value::Int(1)),
-                    other => args.push(eval_expr(other, row, ctx)?),
-                }
-            }
-            acc.update(&args)?;
-        }
-        Ok(acc.finish())
     }
 }
 
+/// Does the query need the aggregation path?
+pub(super) fn query_aggregates(query: &Query) -> bool {
+    !query.group_by.is_empty()
+        || query.having.is_some()
+        || query
+            .items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr_has_aggregate(expr, &is_aggregate_function)))
+}
+
 /// Per-item projection plan.
-enum ProjPlan {
+pub(super) enum ProjPlan {
     /// Copy these input column indices (wildcards).
     Splice(Vec<usize>),
     /// Evaluate this (window-rewritten) expression.
     Expr(Expr),
 }
 
+/// Per-item plan of the aggregation projection (over the extended
+/// schema of representative row ++ synthetic aggregate columns).
+enum AggItemPlan {
+    /// A plain column of the extended row.
+    Col(usize),
+    /// A compound expression, evaluated per group.
+    Expr(Expr),
+}
+
+/// Partition `0..n` by the grouping key columns, groups in
+/// first-appearance order. Single-key grouping avoids the per-row
+/// `Vec<GroupKey>` allocation of the general case.
+pub(super) fn group_indices(key_cols: &[Arc<ColumnData>], n: usize) -> Vec<Vec<usize>> {
+    use std::collections::hash_map::Entry;
+    let mut out: Vec<Vec<usize>> = Vec::new();
+    match key_cols {
+        [] => out.push((0..n).collect()),
+        [col] => {
+            let mut slots: HashMap<GroupKey, usize> = HashMap::new();
+            for ri in 0..n {
+                match slots.entry(col.group_key_at(ri)) {
+                    Entry::Occupied(e) => out[*e.get()].push(ri),
+                    Entry::Vacant(e) => {
+                        e.insert(out.len());
+                        out.push(vec![ri]);
+                    }
+                }
+            }
+        }
+        cols => {
+            let mut slots: HashMap<Vec<GroupKey>, usize> = HashMap::new();
+            for ri in 0..n {
+                let key: Vec<GroupKey> = cols.iter().map(|c| c.group_key_at(ri)).collect();
+                match slots.entry(key) {
+                    Entry::Occupied(e) => out[*e.get()].push(ri),
+                    Entry::Vacant(e) => {
+                        e.insert(out.len());
+                        out.push(vec![ri]);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Recognise `left_col = right_col` ON conditions: returns the column
+/// indices in the (left, right) schemas, trying both orientations.
+fn equi_join_columns(
+    on: &Expr,
+    left: &Schema,
+    right: &Schema,
+) -> Option<(usize, usize)> {
+    let Expr::Binary { left: l, op: paradise_sql::ast::BinaryOp::Eq, right: r } = on else {
+        return None;
+    };
+    let (Expr::Column(a), Expr::Column(b)) = (l.as_ref(), r.as_ref()) else {
+        return None;
+    };
+    let resolve = |schema: &Schema, c: &paradise_sql::ast::ColumnRef| {
+        schema.try_resolve(c.qualifier.as_deref(), &c.name)
+    };
+    if let (Some(li), Some(ri)) = (resolve(left, a), resolve(right, b)) {
+        // the name must not also resolve on the other side, otherwise the
+        // combined-schema resolution the nested loop uses could differ
+        if resolve(right, a).is_none() && resolve(left, b).is_none() {
+            return Some((li, ri));
+        }
+    }
+    if let (Some(li), Some(ri)) = (resolve(left, b), resolve(right, a)) {
+        if resolve(right, b).is_none() && resolve(left, a).is_none() {
+            return Some((li, ri));
+        }
+    }
+    None
+}
+
+/// The hash path is taken only when `GroupKey` equality provably
+/// coincides with the nested loop's `sql_eq`: both sides must be the
+/// *same* typed buffer. Int×Float pairs fall back (f64 comparison and
+/// integer key folding disagree beyond 2^53), as do float keys
+/// containing NaN (`sql_eq` treats NaN as equal to everything, group
+/// keys compare by bits) and `Mixed` columns.
+fn hash_joinable(a: &ColumnData, b: &ColumnData) -> bool {
+    if a.int_slice().is_some() && b.int_slice().is_some() {
+        return true;
+    }
+    if a.bool_slice().is_some() && b.bool_slice().is_some() {
+        return true;
+    }
+    if a.str_slice().is_some() && b.str_slice().is_some() {
+        return true;
+    }
+    if let (Some(x), Some(y)) = (a.float_slice(), b.float_slice()) {
+        let no_nan =
+            |s: &[Option<f64>]| s.iter().all(|v| !v.is_some_and(|x| x.is_nan()));
+        return no_nan(x) && no_nan(y);
+    }
+    false
+}
+
+/// Where an ORDER BY key comes from.
+enum KeySource {
+    /// A projected output column (pure alias or positional reference).
+    OutCol(usize),
+    /// Evaluated against the input.
+    Input,
+}
+
+/// Decide how one ORDER BY expression resolves (schema-driven, so it is
+/// computed once, not per row).
+fn order_key_source(
+    e: &Expr,
+    out_schema: &Schema,
+    ctx: &EvalContext<'_>,
+) -> EngineResult<KeySource> {
+    if let Expr::Column(c) = e {
+        if c.qualifier.is_none() {
+            if let Some(idx) = out_schema.try_resolve(None, &c.name) {
+                // prefer the projected value when the name is not
+                // resolvable in the input (pure alias)
+                if ctx.schema.try_resolve(None, &c.name).is_none() {
+                    return Ok(KeySource::OutCol(idx));
+                }
+            }
+        }
+    }
+    // positional reference: ORDER BY 1
+    if let Expr::Literal(paradise_sql::ast::Literal::Integer(i)) = e {
+        let idx = (*i - 1) as usize;
+        if *i >= 1 && idx < out_schema.len() {
+            return Ok(KeySource::OutCol(idx));
+        }
+    }
+    Ok(KeySource::Input)
+}
+
 /// Collect non-windowed aggregate calls (deduplicated structurally).
-fn collect_aggregate_calls(expr: &Expr, out: &mut Vec<FunctionCall>) {
+pub(super) fn collect_aggregate_calls(expr: &Expr, out: &mut Vec<FunctionCall>) {
     match expr {
         // aggregates cannot nest; no recursion into their args
         Expr::Function(f)
@@ -610,7 +884,7 @@ fn collect_aggregate_calls(expr: &Expr, out: &mut Vec<FunctionCall>) {
 }
 
 /// Replace aggregate calls by references to their synthetic columns.
-fn replace_aggregate_calls(expr: Expr, calls: &[FunctionCall], names: &[String]) -> Expr {
+pub(super) fn replace_aggregate_calls(expr: Expr, calls: &[FunctionCall], names: &[String]) -> Expr {
     transform_expr(expr, &mut |e| match &e {
         Expr::Function(f) if f.over.is_none() && is_aggregate_function(&f.name) => calls
             .iter()
@@ -621,7 +895,7 @@ fn replace_aggregate_calls(expr: Expr, calls: &[FunctionCall], names: &[String])
 }
 
 /// Strict-mode check: columns outside aggregates must be grouped.
-fn check_strict_grouping(
+pub(super) fn check_strict_grouping(
     expr: &Expr,
     grouped: &HashSet<String>,
     group_exprs: &[Expr],
@@ -682,34 +956,90 @@ fn check_strict_grouping(
     }
 }
 
-/// Infer better output types from the materialised values (projection
-/// plans default non-column expressions to FLOAT).
-fn finalise_types(frame: &mut Frame) {
-    let mut types: Vec<Option<DataType>> = vec![None; frame.schema.len()];
-    for row in &frame.rows {
-        for (i, v) in row.iter().enumerate() {
-            if types[i].is_none() {
-                types[i] = v.data_type();
-            }
-        }
-        if types.iter().all(Option::is_some) {
-            break;
-        }
-    }
+/// Infer better output types from the materialised columns (projection
+/// plans default non-column expressions to FLOAT). O(1) per typed
+/// column: the buffer knows its runtime type.
+pub(super) fn finalise_types(frame: &mut Frame) {
     let mut schema = Schema::default();
     for (i, c) in frame.schema.columns().iter().enumerate() {
-        let dt = types[i].unwrap_or(c.data_type);
+        let dt = frame.column(i).data_type().unwrap_or(c.data_type);
         schema.push(Column { name: c.name.clone(), source: c.source.clone(), data_type: dt });
     }
     frame.schema = schema;
 }
 
-fn dedupe_rows(rows: &mut Vec<Row>) {
-    let mut seen: HashSet<Vec<GroupKey>> = HashSet::with_capacity(rows.len());
-    rows.retain(|row| seen.insert(row.iter().map(Value::group_key).collect()));
+/// Indices of the first occurrence of every distinct row, in order.
+pub(super) fn distinct_indices(frame: &Frame) -> Vec<usize> {
+    let mut seen: HashSet<Vec<GroupKey>> = HashSet::with_capacity(frame.len());
+    let width = frame.schema.len();
+    let mut kept = Vec::with_capacity(frame.len());
+    for i in 0..frame.len() {
+        let key: Vec<GroupKey> =
+            (0..width).map(|c| frame.column(c).group_key_at(i)).collect();
+        if seen.insert(key) {
+            kept.push(i);
+        }
+    }
+    kept
 }
 
-fn dedupe_with_keys(rows: Vec<Row>, keys: Vec<Vec<Value>>) -> (Vec<Row>, Vec<Vec<Value>>) {
+/// `UNION` deduplication: keep the first occurrence of every row.
+pub(super) fn dedupe_frame(frame: &Frame) -> Frame {
+    let kept = distinct_indices(frame);
+    if kept.len() == frame.len() {
+        frame.clone()
+    } else {
+        frame.select_rows(&kept)
+    }
+}
+
+/// Stable permutation of `0..n` ordering rows by the key columns.
+/// Single typed key columns sort over the dense buffer directly.
+fn sort_permutation(
+    key_cols: &[Arc<ColumnData>],
+    order: &[paradise_sql::ast::OrderByItem],
+    n: usize,
+) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    if let [col] = key_cols {
+        let desc = order[0].order == SortOrder::Desc;
+        let directed = |ord: std::cmp::Ordering| if desc { ord.reverse() } else { ord };
+        if let Some(ints) = col.int_slice() {
+            // Option<i64>'s ordering puts NULL first, like total_cmp
+            perm.sort_by(|&a, &b| directed(ints[a].cmp(&ints[b])));
+            return perm;
+        }
+        if let Some(floats) = col.float_slice() {
+            perm.sort_by(|&a, &b| {
+                directed(match (floats[a], floats[b]) {
+                    (None, None) => std::cmp::Ordering::Equal,
+                    (None, Some(_)) => std::cmp::Ordering::Less,
+                    (Some(_), None) => std::cmp::Ordering::Greater,
+                    (Some(x), Some(y)) => {
+                        x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal)
+                    }
+                })
+            });
+            return perm;
+        }
+    }
+    perm.sort_by(|&a, &b| {
+        for (col, item) in key_cols.iter().zip(order) {
+            let ord = col.cmp_at(a, col, b);
+            let ord = if item.order == SortOrder::Desc { ord.reverse() } else { ord };
+            if !ord.is_eq() {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    perm
+}
+
+pub(super) fn dedupe_with_keys(
+    rows: Vec<Row>,
+    keys: Vec<Vec<Value>>,
+) -> (Vec<Row>, Vec<Vec<Value>>) {
     let mut seen: HashSet<Vec<GroupKey>> = HashSet::with_capacity(rows.len());
     let has_keys = !keys.is_empty();
     let mut out_rows = Vec::with_capacity(rows.len());
@@ -725,7 +1055,7 @@ fn dedupe_with_keys(rows: Vec<Row>, keys: Vec<Vec<Value>>) -> (Vec<Row>, Vec<Vec
     (out_rows, out_keys)
 }
 
-fn sort_by_keys(
+pub(super) fn sort_by_keys(
     rows: Vec<Row>,
     keys: Vec<Vec<Value>>,
     order: &[paradise_sql::ast::OrderByItem],
@@ -744,16 +1074,11 @@ fn sort_by_keys(
     paired.into_iter().map(|(_, r)| r).collect()
 }
 
-fn apply_limit_offset(frame: &mut Frame, query: &Query) {
+pub(super) fn apply_limit_offset_frame(frame: &mut Frame, query: &Query) {
     if let Some(offset) = query.offset {
-        let offset = offset as usize;
-        if offset >= frame.rows.len() {
-            frame.rows.clear();
-        } else {
-            frame.rows.drain(..offset);
-        }
+        frame.skip_rows(offset as usize);
     }
     if let Some(limit) = query.limit {
-        frame.rows.truncate(limit as usize);
+        frame.truncate(limit as usize);
     }
 }

@@ -9,15 +9,22 @@
 //!   row.
 //!
 //! Besides the aggregate kinds, `ROW_NUMBER()` and `RANK()` are supported.
+//!
+//! Partition keys, sort keys and aggregate arguments are evaluated
+//! column-at-a-time over the input frame (one batch per expression, not
+//! one `eval_expr` per row); each computed window lands in the frame as
+//! a fresh column buffer via [`Frame::push_column`].
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use paradise_sql::ast::{ColumnRef, Expr, FunctionCall, SortOrder};
 use paradise_sql::visit::transform_expr;
 
+use crate::column::ColumnData;
 use crate::error::{EngineError, EngineResult};
-use crate::eval::{eval_expr, EvalContext};
-use crate::frame::{Frame, Row};
+use crate::eval::{eval_expr_batch, Batch, EvalContext};
+use crate::frame::Frame;
 use crate::schema::Column;
 use crate::value::{DataType, GroupKey, Value};
 
@@ -82,10 +89,7 @@ pub fn attach_window_columns(
     for (i, call) in calls.into_iter().enumerate() {
         let name = format!("__win{i}");
         let values = compute_window(executor, &frame, &call)?;
-        frame.schema.push(Column::new(name.clone(), DataType::Float));
-        for (row, v) in frame.rows.iter_mut().zip(values) {
-            row.push(v);
-        }
+        frame.push_column(Column::new(name.clone(), DataType::Float), values)?;
         map.push((call, name));
     }
     Ok((frame, map))
@@ -108,22 +112,25 @@ fn compute_window(
     executor: &Executor<'_>,
     input: &Frame,
     call: &FunctionCall,
-) -> EngineResult<Vec<Value>> {
+) -> EngineResult<ColumnData> {
     let over = call.over.as_ref().expect("window call");
     let subquery_fn = |q: &paradise_sql::ast::Query| executor.execute(q);
     let ctx = EvalContext { schema: &input.schema, subquery: Some(&subquery_fn) };
+    let n = input.len();
 
-    // partition rows
+    // partition rows (keys batch-evaluated, one column per expression)
+    let part_cols: Vec<Arc<ColumnData>> = over
+        .partition_by
+        .iter()
+        .map(|p| Ok(eval_expr_batch(p, input, &ctx)?.into_column_arc(n)))
+        .collect::<EngineResult<_>>()?;
     let mut partitions: HashMap<Vec<GroupKey>, Vec<usize>> = HashMap::new();
-    for (ri, row) in input.rows.iter().enumerate() {
-        let mut key = Vec::with_capacity(over.partition_by.len());
-        for p in &over.partition_by {
-            key.push(eval_expr(p, row, &ctx)?.group_key());
-        }
+    for ri in 0..n {
+        let key: Vec<GroupKey> = part_cols.iter().map(|c| c.group_key_at(ri)).collect();
         partitions.entry(key).or_default().push(ri);
     }
 
-    let mut out = vec![Value::Null; input.rows.len()];
+    let mut out = vec![Value::Null; n];
     let upper = call.name.to_ascii_uppercase();
     let ranking = matches!(upper.as_str(), "ROW_NUMBER" | "RANK" | "DENSE_RANK");
     let agg_kind = AggKind::from_name(&call.name);
@@ -131,21 +138,36 @@ fn compute_window(
         return Err(EngineError::UnknownFunction(format!("{} OVER", call.name)));
     }
 
+    // sort keys and aggregate arguments, batch-evaluated globally
+    let key_cols: Vec<Arc<ColumnData>> = over
+        .order_by
+        .iter()
+        .map(|o| Ok(eval_expr_batch(&o.expr, input, &ctx)?.into_column_arc(n)))
+        .collect::<EngineResult<_>>()?;
+    let arg_batches: Vec<Batch> = if ranking {
+        Vec::new()
+    } else {
+        call.args
+            .iter()
+            .map(|a| match a {
+                Expr::Wildcard => Ok(Batch::Const(Value::Int(1))),
+                other => eval_expr_batch(other, input, &ctx),
+            })
+            .collect::<EngineResult<_>>()?
+    };
+    // equal sort keys ⇒ peers
+    let peers_eq = |a: usize, b: usize| -> bool {
+        key_cols.iter().all(|c| c.cmp_at(a, c, b).is_eq())
+    };
+
+    let mut arg_buf: Vec<Value> = Vec::with_capacity(arg_batches.len());
     for indices in partitions.values() {
         // sort partition by ORDER BY keys (stable on input order)
-        let mut sort_keys: Vec<Vec<Value>> = Vec::with_capacity(indices.len());
-        for &ri in indices {
-            let mut keys = Vec::with_capacity(over.order_by.len());
-            for o in &over.order_by {
-                keys.push(eval_expr(&o.expr, &input.rows[ri], &ctx)?);
-            }
-            sort_keys.push(keys);
-        }
         let mut ordered: Vec<usize> = (0..indices.len()).collect();
         if !over.order_by.is_empty() {
             ordered.sort_by(|&a, &b| {
-                for (k, o) in over.order_by.iter().enumerate() {
-                    let ord = sort_keys[a][k].total_cmp(&sort_keys[b][k]);
+                for (col, o) in key_cols.iter().zip(&over.order_by) {
+                    let ord = col.cmp_at(indices[a], col, indices[b]);
                     let ord = if o.order == SortOrder::Desc { ord.reverse() } else { ord };
                     if !ord.is_eq() {
                         return ord;
@@ -156,7 +178,7 @@ fn compute_window(
         }
 
         if ranking {
-            compute_ranking(&upper, indices, &ordered, &sort_keys, &over.order_by, &mut out);
+            compute_ranking(&upper, indices, &ordered, &over.order_by, &peers_eq, &mut out);
             continue;
         }
         let kind = agg_kind.expect("checked above");
@@ -166,8 +188,9 @@ fn compute_window(
             let mut acc = Accumulator::new(kind, call.distinct);
             for &pos in &ordered {
                 let ri = indices[pos];
-                let args = window_args(call, &input.rows[ri], &ctx)?;
-                acc.update(&args)?;
+                arg_buf.clear();
+                arg_buf.extend(arg_batches.iter().map(|b| b.value(ri)));
+                acc.update(&arg_buf)?;
             }
             let v = acc.finish();
             for &pos in &ordered {
@@ -180,18 +203,14 @@ fn compute_window(
             while i < ordered.len() {
                 // find the peer group [i, j)
                 let mut j = i + 1;
-                while j < ordered.len()
-                    && sort_keys[ordered[i]]
-                        .iter()
-                        .zip(&sort_keys[ordered[j]])
-                        .all(|(a, b)| a.total_cmp(b).is_eq())
-                {
+                while j < ordered.len() && peers_eq(indices[ordered[i]], indices[ordered[j]]) {
                     j += 1;
                 }
                 for &pos in &ordered[i..j] {
                     let ri = indices[pos];
-                    let args = window_args(call, &input.rows[ri], &ctx)?;
-                    acc.update(&args)?;
+                    arg_buf.clear();
+                    arg_buf.extend(arg_batches.iter().map(|b| b.value(ri)));
+                    acc.update(&arg_buf)?;
                 }
                 let v = acc.finish();
                 for &pos in &ordered[i..j] {
@@ -201,30 +220,15 @@ fn compute_window(
             }
         }
     }
-    Ok(out)
-}
-
-fn window_args(
-    call: &FunctionCall,
-    row: &Row,
-    ctx: &EvalContext<'_>,
-) -> EngineResult<Vec<Value>> {
-    let mut args = Vec::with_capacity(call.args.len());
-    for a in &call.args {
-        match a {
-            Expr::Wildcard => args.push(Value::Int(1)),
-            other => args.push(eval_expr(other, row, ctx)?),
-        }
-    }
-    Ok(args)
+    Ok(ColumnData::from_values(out))
 }
 
 fn compute_ranking(
     name: &str,
     indices: &[usize],
     ordered: &[usize],
-    sort_keys: &[Vec<Value>],
     order_by: &[paradise_sql::ast::OrderByItem],
+    peers_eq: &dyn Fn(usize, usize) -> bool,
     out: &mut [Value],
 ) {
     let mut rank = 0u64;
@@ -232,10 +236,7 @@ fn compute_ranking(
     for (i, &pos) in ordered.iter().enumerate() {
         let new_peer_group = i == 0
             || order_by.is_empty()
-            || !sort_keys[ordered[i - 1]]
-                .iter()
-                .zip(&sort_keys[pos])
-                .all(|(a, b)| a.total_cmp(b).is_eq());
+            || !peers_eq(indices[ordered[i - 1]], indices[pos]);
         if new_peer_group {
             rank = (i + 1) as u64;
             dense += 1;
@@ -284,7 +285,7 @@ mod tests {
     fn running_sum_per_partition() {
         let f = run("SELECT g, t, SUM(v) OVER (PARTITION BY g ORDER BY t) AS rs FROM d");
         // input order preserved
-        let rs: Vec<Value> = f.rows.iter().map(|r| r[2].clone()).collect();
+        let rs: Vec<Value> = f.column_values(2).collect();
         assert_eq!(
             rs,
             vec![Value::Int(10), Value::Int(30), Value::Int(5), Value::Int(60), Value::Int(12)]
@@ -294,7 +295,7 @@ mod tests {
     #[test]
     fn whole_partition_without_order() {
         let f = run("SELECT g, SUM(v) OVER (PARTITION BY g) AS total FROM d");
-        let totals: Vec<Value> = f.rows.iter().map(|r| r[1].clone()).collect();
+        let totals: Vec<Value> = f.column_values(1).collect();
         assert_eq!(
             totals,
             vec![Value::Int(60), Value::Int(60), Value::Int(12), Value::Int(60), Value::Int(12)]
@@ -304,7 +305,7 @@ mod tests {
     #[test]
     fn global_window() {
         let f = run("SELECT COUNT(*) OVER () AS n FROM d");
-        assert!(f.rows.iter().all(|r| r[0] == Value::Int(5)));
+        assert!(f.column_values(0).all(|v| v == Value::Int(5)));
     }
 
     #[test]
@@ -324,7 +325,7 @@ mod tests {
         let f = e
             .execute(&parse_query("SELECT SUM(v) OVER (ORDER BY k) AS rs FROM d").unwrap())
             .unwrap();
-        let rs: Vec<Value> = f.rows.iter().map(|r| r[0].clone()).collect();
+        let rs: Vec<Value> = f.column_values(0).collect();
         // k=1 rows are peers: both see 30; k=2 sees 60
         assert_eq!(rs, vec![Value::Int(30), Value::Int(30), Value::Int(60)]);
     }
@@ -335,7 +336,7 @@ mod tests {
             "SELECT g, v, ROW_NUMBER() OVER (PARTITION BY g ORDER BY v DESC) AS rn FROM d \
              ORDER BY g, rn",
         );
-        let first = &f.rows[0];
+        let first = f.row(0);
         assert_eq!(first[0], Value::Str("a".into()));
         assert_eq!(first[1], Value::Int(30));
         assert_eq!(first[2], Value::Int(1));
@@ -358,7 +359,7 @@ mod tests {
         let f = e
             .execute(&parse_query("SELECT RANK() OVER (ORDER BY v) AS r FROM d").unwrap())
             .unwrap();
-        let rs: Vec<Value> = f.rows.iter().map(|r| r[0].clone()).collect();
+        let rs: Vec<Value> = f.column_values(0).collect();
         assert_eq!(rs, vec![Value::Int(1), Value::Int(1), Value::Int(3)]);
     }
 
@@ -397,10 +398,10 @@ mod tests {
             )
             .unwrap();
         // first row: single point → NULL (sxx = 0); afterwards intercept = 2
-        assert_eq!(f.rows[0][0], Value::Null);
-        let Value::Float(i2) = f.rows[1][0] else { panic!() };
+        assert_eq!(f.value(0, 0), Value::Null);
+        let Value::Float(i2) = f.value(1, 0) else { panic!() };
         assert!((i2 - 2.0).abs() < 1e-9);
-        let Value::Float(i4) = f.rows[3][0] else { panic!() };
+        let Value::Float(i4) = f.value(3, 0) else { panic!() };
         assert!((i4 - 2.0).abs() < 1e-9);
     }
 
@@ -412,5 +413,20 @@ mod tests {
             .execute(&parse_query("SELECT nope(v) OVER () FROM d").unwrap())
             .unwrap_err();
         assert!(matches!(err, EngineError::UnknownFunction(_)));
+    }
+
+    #[test]
+    fn both_modes_agree_on_windows() {
+        let c = catalog();
+        let sql = "SELECT g, SUM(v) OVER (PARTITION BY g ORDER BY t) AS rs FROM d";
+        let q = parse_query(sql).unwrap();
+        let columnar = Executor::new(&c).execute(&q).unwrap();
+        let row_mode = Executor::with_options(
+            &c,
+            crate::exec::ExecOptions { mode: crate::exec::ExecMode::RowAtATime, ..Default::default() },
+        )
+        .execute(&q)
+        .unwrap();
+        assert_eq!(columnar, row_mode);
     }
 }

@@ -7,6 +7,10 @@
 //! everything the paper's vertical hierarchy of query processors needs,
 //! at every level from "cloud DBMS" down to "sensor firmware filter".
 //!
+//! Frames are stored **column-major** ([`column::ColumnData`] buffers
+//! behind copy-on-write [`std::sync::Arc`]s), so the hot operators run
+//! column-at-a-time and frame clones are O(columns).
+//!
 //! ```
 //! use paradise_engine::{Catalog, Executor, Frame, Schema, DataType, Value};
 //! use paradise_sql::parse_query;
@@ -18,12 +22,13 @@
 //!
 //! let q = parse_query("SELECT x FROM d WHERE x > 2").unwrap();
 //! let result = Executor::new(&catalog).execute(&q).unwrap();
-//! assert_eq!(result.rows, vec![vec![Value::Int(5)]]);
+//! assert_eq!(result.to_rows(), vec![vec![Value::Int(5)]]);
 //! ```
 
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod column;
 pub mod error;
 pub mod eval;
 pub mod exec;
@@ -33,9 +38,10 @@ pub mod stream;
 pub mod value;
 
 pub use catalog::Catalog;
+pub use column::ColumnData;
 pub use error::{EngineError, EngineResult};
 pub use exec::aggregate::AggKind;
-pub use exec::{ExecOptions, Executor};
+pub use exec::{ExecMode, ExecOptions, Executor};
 pub use frame::{Frame, Row};
 pub use schema::{Column, Schema};
 pub use stream::{SensorFilter, SlidingWindow, WindowSpec};

@@ -64,9 +64,9 @@ fn media_center_fragment_group_by_having() {
     let f = run(&c, "SELECT x, y, AVG(z) AS zAVG, t FROM d2 GROUP BY x, y HAVING SUM(z) > 100");
     assert_eq!(f.len(), 1);
     assert_eq!(f.schema.names(), vec!["x", "y", "zAVG", "t"]);
-    assert_eq!(f.rows[0][2], Value::Float(75.0));
+    assert_eq!(f.value(0, 2), Value::Float(75.0));
     // lenient group-by: t comes from the group's first row
-    assert_eq!(f.rows[0][3], Value::Int(1));
+    assert_eq!(f.value(0, 3), Value::Int(1));
 }
 
 #[test]
@@ -97,7 +97,7 @@ fn full_nested_paper_query() {
 fn count_star_and_aliases() {
     let c = sensor_catalog();
     let f = run(&c, "SELECT COUNT(*) AS n, MIN(t) AS lo, MAX(t) AS hi FROM stream");
-    assert_eq!(f.rows[0], vec![Value::Int(5), Value::Int(1), Value::Int(5)]);
+    assert_eq!(f.row(0), vec![Value::Int(5), Value::Int(1), Value::Int(5)]);
 }
 
 #[test]
@@ -105,8 +105,8 @@ fn global_aggregate_over_empty_input() {
     let c = sensor_catalog();
     let f = run(&c, "SELECT COUNT(*) AS n, AVG(z) AS a FROM stream WHERE z > 100");
     assert_eq!(f.len(), 1);
-    assert_eq!(f.rows[0][0], Value::Int(0));
-    assert_eq!(f.rows[0][1], Value::Null);
+    assert_eq!(f.value(0, 0), Value::Int(0));
+    assert_eq!(f.value(0, 1), Value::Null);
 }
 
 #[test]
@@ -120,7 +120,7 @@ fn group_by_on_empty_input_produces_no_groups() {
 fn order_by_desc_and_limit_offset() {
     let c = sensor_catalog();
     let f = run(&c, "SELECT t FROM stream ORDER BY t DESC LIMIT 2 OFFSET 1");
-    let ts: Vec<Value> = f.rows.iter().map(|r| r[0].clone()).collect();
+    let ts: Vec<Value> = f.column_values(0).collect();
     assert_eq!(ts, vec![Value::Int(4), Value::Int(3)]);
 }
 
@@ -128,8 +128,8 @@ fn order_by_desc_and_limit_offset() {
 fn order_by_alias() {
     let c = sensor_catalog();
     let f = run(&c, "SELECT x + y AS s FROM stream ORDER BY s");
-    let first = f.rows[0][0].as_f64().unwrap();
-    let last = f.rows.last().unwrap()[0].as_f64().unwrap();
+    let first = f.value(0, 0).as_f64().unwrap();
+    let last = f.value(f.len() - 1, 0).as_f64().unwrap();
     assert!(first <= last);
 }
 
@@ -137,7 +137,7 @@ fn order_by_alias() {
 fn order_by_positional() {
     let c = sensor_catalog();
     let f = run(&c, "SELECT t FROM stream ORDER BY 1 DESC");
-    assert_eq!(f.rows[0][0], Value::Int(5));
+    assert_eq!(f.value(0, 0), Value::Int(5));
 }
 
 #[test]
@@ -179,15 +179,15 @@ fn inner_join_and_qualifiers() {
     .unwrap();
     let f = run(&c, "SELECT u.x, s.p FROM u JOIN s ON u.k = s.k");
     assert_eq!(f.len(), 1);
-    assert_eq!(f.rows[0], vec![Value::Float(20.0), Value::Float(0.5)]);
+    assert_eq!(f.row(0), vec![Value::Float(20.0), Value::Float(0.5)]);
 
     let lf = run(&c, "SELECT u.k, s.p FROM u LEFT JOIN s ON u.k = s.k ORDER BY u.k");
     assert_eq!(lf.len(), 2);
-    assert_eq!(lf.rows[0][1], Value::Null); // unmatched left row
+    assert_eq!(lf.value(0, 1), Value::Null); // unmatched left row
 
     let rf = run(&c, "SELECT u.k, s.k FROM u RIGHT JOIN s ON u.k = s.k ORDER BY s.k");
     assert_eq!(rf.len(), 2);
-    assert_eq!(rf.rows[1][0], Value::Null); // unmatched right row
+    assert_eq!(rf.value(1, 0), Value::Null); // unmatched right row
 
     let ff = run(&c, "SELECT u.k, s.k FROM u FULL JOIN s ON u.k = s.k");
     assert_eq!(ff.len(), 3);
@@ -233,7 +233,7 @@ fn scalar_subquery_in_where() {
 fn exists_subquery() {
     let c = sensor_catalog();
     let f = run(&c, "SELECT COUNT(*) FROM stream WHERE EXISTS (SELECT 1 FROM stream WHERE z > 2)");
-    assert_eq!(f.rows[0][0], Value::Int(5));
+    assert_eq!(f.value(0, 0), Value::Int(5));
 }
 
 #[test]
@@ -258,7 +258,7 @@ fn union_width_mismatch_errors() {
 fn select_without_from() {
     let c = Catalog::new();
     let f = run(&c, "SELECT 1 + 1 AS two, 'hi' AS greeting");
-    assert_eq!(f.rows[0], vec![Value::Int(2), Value::Str("hi".into())]);
+    assert_eq!(f.row(0), vec![Value::Int(2), Value::Str("hi".into())]);
 }
 
 #[test]
@@ -284,7 +284,7 @@ fn qualified_wildcard_projection() {
     .unwrap();
     let f = run(&c, "SELECT b.* FROM a CROSS JOIN b");
     assert_eq!(f.schema.names(), vec!["y"]);
-    assert_eq!(f.rows[0], vec![Value::Int(2)]);
+    assert_eq!(f.row(0), vec![Value::Int(2)]);
 }
 
 #[test]
@@ -308,8 +308,8 @@ fn unknown_table_errors() {
 fn aggregate_inside_expression() {
     let c = sensor_catalog();
     let f = run(&c, "SELECT SUM(z) / COUNT(*) AS manual_avg, AVG(z) AS real_avg FROM stream");
-    let manual = f.rows[0][0].as_f64().unwrap();
-    let real = f.rows[0][1].as_f64().unwrap();
+    let manual = f.value(0, 0).as_f64().unwrap();
+    let real = f.value(0, 1).as_f64().unwrap();
     assert!((manual - real).abs() < 1e-9);
 }
 
@@ -330,7 +330,7 @@ fn group_key_mixes_int_and_float() {
     c.register("d", Frame::new(schema, rows).unwrap()).unwrap();
     let f = run(&c, "SELECT v, COUNT(*) AS n FROM d GROUP BY v ORDER BY v");
     assert_eq!(f.len(), 2);
-    assert_eq!(f.rows[0][1], Value::Int(2));
+    assert_eq!(f.value(0, 1), Value::Int(2));
 }
 
 #[test]
@@ -353,9 +353,9 @@ fn where_clause_with_case() {
         "SELECT t, CASE WHEN z < 1 THEN 'low' WHEN z < 2 THEN 'mid' ELSE 'high' END AS lvl \
          FROM stream ORDER BY t",
     );
-    assert_eq!(f.rows[0][1], Value::Str("mid".into()));
-    assert_eq!(f.rows[2][1], Value::Str("high".into()));
-    assert_eq!(f.rows[3][1], Value::Str("low".into()));
+    assert_eq!(f.value(0, 1), Value::Str("mid".into()));
+    assert_eq!(f.value(2, 1), Value::Str("high".into()));
+    assert_eq!(f.value(3, 1), Value::Str("low".into()));
 }
 
 #[test]
@@ -382,9 +382,9 @@ fn order_by_aggregate_in_grouped_query() {
     let mut c = Catalog::new();
     c.register("d", Frame::new(schema, rows).unwrap()).unwrap();
     let f = run(&c, "SELECT g, SUM(v) AS total FROM d GROUP BY g ORDER BY SUM(v) DESC");
-    assert_eq!(f.rows[0][0], Value::Str("b".into())); // 10 > 3
-    assert_eq!(f.rows[0][1], Value::Int(10));
-    assert_eq!(f.rows[1][1], Value::Int(3));
+    assert_eq!(f.value(0, 0), Value::Str("b".into())); // 10 > 3
+    assert_eq!(f.value(0, 1), Value::Int(10));
+    assert_eq!(f.value(1, 1), Value::Int(3));
 }
 
 #[test]
@@ -406,8 +406,8 @@ fn union_of_aggregates() {
         "SELECT MIN(z) FROM stream UNION ALL SELECT MAX(z) FROM stream",
     );
     assert_eq!(f.len(), 2);
-    assert_eq!(f.rows[0][0], Value::Float(0.5));
-    assert_eq!(f.rows[1][0], Value::Float(2.5));
+    assert_eq!(f.value(0, 0), Value::Float(0.5));
+    assert_eq!(f.value(1, 0), Value::Float(2.5));
 }
 
 #[test]
@@ -421,7 +421,7 @@ fn distinct_aggregate_in_group() {
     let mut c = Catalog::new();
     c.register("d", Frame::new(schema, rows).unwrap()).unwrap();
     let f = run(&c, "SELECT COUNT(DISTINCT v) AS dv, COUNT(v) AS av FROM d GROUP BY g");
-    assert_eq!(f.rows[0], vec![Value::Int(2), Value::Int(3)]);
+    assert_eq!(f.row(0), vec![Value::Int(2), Value::Int(3)]);
 }
 
 #[test]
@@ -431,7 +431,7 @@ fn case_over_aggregates() {
         &c,
         "SELECT CASE WHEN AVG(z) > 1 THEN 'high' ELSE 'low' END AS lvl FROM stream",
     );
-    assert_eq!(f.rows[0][0], Value::Str("high".into()));
+    assert_eq!(f.value(0, 0), Value::Str("high".into()));
 }
 
 #[test]
@@ -443,7 +443,7 @@ fn nested_aggregation_blocks() {
         "SELECT MAX(za) FROM (SELECT x, AVG(z) AS za FROM stream GROUP BY x)",
     );
     assert_eq!(f.len(), 1);
-    assert!(f.rows[0][0].as_f64().unwrap() > 0.0);
+    assert!(f.value(0, 0).as_f64().unwrap() > 0.0);
 }
 
 #[test]
@@ -455,7 +455,7 @@ fn where_on_window_output_requires_nesting() {
         "SELECT rs FROM (SELECT SUM(z) OVER (ORDER BY t) AS rs FROM stream) WHERE rs > 3",
     );
     assert!(!f.is_empty());
-    assert!(f.rows.iter().all(|r| r[0].as_f64().unwrap() > 3.0));
+    assert!(f.column_values(0).all(|v| v.as_f64().unwrap() > 3.0));
 }
 
 #[test]
@@ -475,5 +475,82 @@ fn like_and_concat_in_queries() {
     let mut c = Catalog::new();
     c.register("d", Frame::new(schema, rows).unwrap()).unwrap();
     let f = run(&c, "SELECT name || '!' AS shout FROM d WHERE name LIKE 'w%'");
-    assert_eq!(f.rows, vec![vec![Value::Str("walker!".into())]]);
+    assert_eq!(f.to_rows(), vec![vec![Value::Str("walker!".into())]]);
+}
+
+#[test]
+fn hash_equi_join_matches_nested_loop() {
+    // same join expressed as a plain equality (hash path) and as a
+    // double inequality (nested loop): identical results, same order
+    let schema_a = Schema::from_pairs(&[("t", DataType::Integer), ("x", DataType::Float)]);
+    let schema_b = Schema::from_pairs(&[("t", DataType::Integer), ("y", DataType::Float)]);
+    let rows_a: Vec<Vec<Value>> = (0..40)
+        .map(|i| vec![Value::Int(i % 7), Value::Float(i as f64)])
+        .collect();
+    let mut rows_b: Vec<Vec<Value>> = (0..30)
+        .map(|i| vec![Value::Int(i % 5), Value::Float(-(i as f64))])
+        .collect();
+    rows_b.push(vec![Value::Null, Value::Float(99.0)]); // NULL keys never match
+    let mut c = Catalog::new();
+    c.register("a", Frame::new(schema_a, rows_a).unwrap()).unwrap();
+    c.register("b", Frame::new(schema_b, rows_b).unwrap()).unwrap();
+
+    for kind in ["JOIN", "LEFT JOIN", "RIGHT JOIN", "FULL JOIN"] {
+        let hash = run(&c, &format!("SELECT a.x, b.y FROM a {kind} b ON a.t = b.t"));
+        let nested = run(
+            &c,
+            &format!("SELECT a.x, b.y FROM a {kind} b ON a.t <= b.t AND a.t >= b.t"),
+        );
+        assert_eq!(hash.to_rows(), nested.to_rows(), "{kind} diverges");
+        // swapped orientation hits the hash path too
+        let swapped = run(&c, &format!("SELECT a.x, b.y FROM a {kind} b ON b.t = a.t"));
+        assert_eq!(hash.to_rows(), swapped.to_rows(), "{kind} swapped diverges");
+    }
+}
+
+#[test]
+fn int_float_join_keys_fall_back_to_sql_eq_semantics() {
+    // group-key folding and f64 comparison disagree beyond 2^53, so
+    // Int×Float key pairs must not take the hash path
+    let schema_l = Schema::from_pairs(&[("a", DataType::Integer)]);
+    let schema_r = Schema::from_pairs(&[("b", DataType::Float)]);
+    let big = 9_007_199_254_740_993i64; // 2^53 + 1
+    let mut c = Catalog::new();
+    c.register("l", Frame::new(schema_l, vec![vec![Value::Int(big)]]).unwrap()).unwrap();
+    c.register(
+        "r",
+        Frame::new(schema_r, vec![vec![Value::Float(9_007_199_254_740_992.0)]]).unwrap(),
+    )
+    .unwrap();
+    let eq = run(&c, "SELECT l.a FROM l JOIN r ON l.a = r.b");
+    let nested = run(&c, "SELECT l.a FROM l JOIN r ON l.a <= r.b AND l.a >= r.b");
+    assert_eq!(eq.to_rows(), nested.to_rows());
+    assert_eq!(eq.len(), 1, "sql_eq compares as f64: 2^53+1 == 2^53 there");
+}
+
+#[test]
+fn predicates_are_not_evaluated_over_empty_relations() {
+    // the row interpreter never touches a predicate when there are no
+    // rows; the batch path must not surface a type error either
+    let empty = Frame::empty(Schema::from_pairs(&[("x", DataType::Integer)]));
+    let mut c = Catalog::new();
+    c.register("d", empty).unwrap();
+    for sql in [
+        "SELECT x FROM d WHERE 'abc'",
+        "SELECT ABS('nope') FROM d",
+        "SELECT x, SUM(x, x) FROM d GROUP BY x",
+    ] {
+        let f = run(&c, sql);
+        assert!(f.is_empty(), "{sql} must yield an empty result, not an error");
+        let row_mode = Executor::with_options(
+            &c,
+            ExecOptions {
+                mode: paradise_engine::ExecMode::RowAtATime,
+                ..Default::default()
+            },
+        )
+        .execute(&parse_query(sql).unwrap())
+        .unwrap();
+        assert!(row_mode.is_empty());
+    }
 }

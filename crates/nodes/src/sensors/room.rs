@@ -312,7 +312,7 @@ mod tests {
         let mut sim = SmartRoomSim::new(1);
         let f = sim.ubisense_positions(50);
         assert_eq!(f.len(), 50 * 4);
-        for row in &f.rows {
+        for row in f.iter_rows() {
             let x = row[0].as_f64().unwrap();
             let y = row[1].as_f64().unwrap();
             let z = row[2].as_f64().unwrap();
@@ -336,8 +336,8 @@ mod tests {
         let mut sim = SmartRoomSim::new(2);
         let u = sim.ubisense_positions(5);
         let th = sim.thermometer(5);
-        let last_u = u.rows.last().unwrap()[3].as_f64().unwrap();
-        let first_t = th.rows.first().unwrap()[1].as_f64().unwrap();
+        let last_u = u.value(u.len() - 1, 3).as_f64().unwrap();
+        let first_t = th.value(0, 1).as_f64().unwrap();
         assert!(first_t > last_u);
     }
 
@@ -345,7 +345,7 @@ mod tests {
     fn tagged_stream_has_some_invalid() {
         let mut sim = SmartRoomSim::new(3);
         let f = sim.ubisense_tagged(200);
-        let invalid = f.rows.iter().filter(|r| r[5] == Value::Bool(false)).count();
+        let invalid = f.column_values(5).filter(|v| *v == Value::Bool(false)).count();
         assert!(invalid > 0, "2% invalid rate should hit in 800 rows");
         assert!(invalid < f.len() / 5);
     }
@@ -355,14 +355,14 @@ mod tests {
         let mut sim = SmartRoomSim::new(4);
         let f = sim.sensfloor(30);
         assert!(f.len() >= 30 * 4);
-        assert!(f.rows.iter().all(|r| r[2].as_f64().unwrap() > 0.0));
+        assert!(f.column_values(2).all(|v| v.as_f64().unwrap() > 0.0));
     }
 
     #[test]
     fn thermometer_drifts_slowly() {
         let mut sim = SmartRoomSim::new(5);
         let f = sim.thermometer(100);
-        let temps: Vec<f64> = f.rows.iter().map(|r| r[0].as_f64().unwrap()).collect();
+        let temps: Vec<f64> = f.column_values(0).map(|v| v.as_f64().unwrap()).collect();
         for pair in temps.windows(2) {
             assert!((pair[1] - pair[0]).abs() < 0.06);
         }
@@ -373,14 +373,12 @@ mod tests {
         let mut sim = SmartRoomSim::new(6);
         let f = sim.powersockets(8, 10);
         let occupied: Vec<f64> = f
-            .rows
-            .iter()
+            .iter_rows()
             .filter(|r| r[0] == Value::Int(0))
             .map(|r| r[1].as_f64().unwrap())
             .collect();
         let empty: Vec<f64> = f
-            .rows
-            .iter()
+            .iter_rows()
             .filter(|r| r[0] == Value::Int(7))
             .map(|r| r[1].as_f64().unwrap())
             .collect();
@@ -406,12 +404,12 @@ mod tests {
         let mut walker = SmartRoomSim::with_config(11, config.clone());
         walker.persons[0].state = PersonState::Walking;
         let wf = walker.ubisense_positions(300);
-        let wz: Vec<f64> = wf.rows.iter().map(|r| r[2].as_f64().unwrap()).collect();
+        let wz: Vec<f64> = wf.column_values(2).map(|v| v.as_f64().unwrap()).collect();
 
         let mut stander = SmartRoomSim::with_config(11, config);
         stander.persons[0].state = PersonState::Standing;
         let sf = stander.ubisense_positions(300);
-        let sz: Vec<f64> = sf.rows.iter().map(|r| r[2].as_f64().unwrap()).collect();
+        let sz: Vec<f64> = sf.column_values(2).map(|v| v.as_f64().unwrap()).collect();
 
         let var = |v: &[f64]| {
             let m = v.iter().sum::<f64>() / v.len() as f64;

@@ -50,7 +50,7 @@ fn main() {
     let mut passed = 0usize;
     let mut dropped = 0usize;
     let mut last_avg = None;
-    for row in readings.rows {
+    for row in readings.into_rows() {
         match sensor.push(row).expect("stream processing") {
             Some((_, avg)) => {
                 passed += 1;

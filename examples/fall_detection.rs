@@ -33,10 +33,10 @@ fn main() {
     let mut sim = SmartRoomSim::with_config(99, config);
     let mut stream = sim.ubisense_positions(500);
     // inject the fall: tag height drops to 0.2 m for 30 ticks
-    for row in stream.rows.iter_mut() {
-        let t = row[3].as_f64().unwrap_or(0.0);
+    for i in 0..stream.len() {
+        let t = stream.value(i, 3).as_f64().unwrap_or(0.0);
         if (400.0..430.0).contains(&t) {
-            row[2] = Value::Float(0.2);
+            stream.set_value(i, 2, Value::Float(0.2));
         }
     }
 

@@ -38,8 +38,8 @@ fn slicing_postprocessing_preserves_column_distributions() {
     let frame = tagged_positions(5, 100);
     let out = postprocess(frame.clone(), &AnonStrategy::Slicing { bucket_size: 10 }).unwrap();
     for c in 0..frame.schema.len() {
-        let mut orig: Vec<String> = frame.rows.iter().map(|r| r[c].to_string()).collect();
-        let mut anon: Vec<String> = out.frame.rows.iter().map(|r| r[c].to_string()).collect();
+        let mut orig: Vec<String> = frame.column_values(c).map(|v| v.to_string()).collect();
+        let mut anon: Vec<String> = out.frame.column_values(c).map(|v| v.to_string()).collect();
         orig.sort();
         anon.sort();
         assert_eq!(orig, anon, "column {c} multiset changed");

@@ -68,7 +68,7 @@ fn fragmented_execution_equals_unfragmented_execution() {
         let outcome = processor.run("ActionFilter", &parse_query(ORIGINAL).unwrap()).unwrap();
 
         assert_eq!(
-            outcome.shipped.rows, expected.rows,
+            outcome.shipped.to_rows(), expected.to_rows(),
             "seed {seed}: fragmented execution diverged"
         );
     }

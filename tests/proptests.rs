@@ -170,7 +170,7 @@ proptest! {
         let stages = paradise::core::assign_to_chain(&plan, &chain, AssignmentPolicy::Spread).unwrap();
         let run = chain.run_stages(&stages).unwrap();
 
-        prop_assert_eq!(run.result.rows, direct.rows, "query: {}", sql);
+        prop_assert_eq!(run.result.to_rows(), direct.to_rows(), "query: {}", sql);
     }
 
     #[test]
@@ -182,6 +182,105 @@ proptest! {
             let features = paradise::sql::analysis::block_features(&fragment.query);
             prop_assert!(cap.supports(&features), "fragment {} breaks {:?}", fragment.query, fragment.min_level);
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// columnar frame ↔ row-view conversion invariants
+// ---------------------------------------------------------------------
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i32>().prop_map(|v| Value::Int(v as i64)),
+        (-1000i32..1000).prop_map(|v| Value::Float(v as f64 / 8.0)),
+        "[a-z]{0,6}".prop_map(Value::Str),
+    ]
+}
+
+/// A frame whose columns may mix runtime types (forcing the exact
+/// `Mixed` representation) next to homogeneous typed buffers.
+fn arb_mixed_frame() -> impl Strategy<Value = Frame> {
+    (1usize..5, 0usize..40).prop_flat_map(|(width, height)| {
+        proptest::collection::vec(
+            proptest::collection::vec(arb_value(), width..(width + 1)),
+            height..(height + 1),
+        )
+        .prop_map(move |rows| {
+            let pairs: Vec<(String, DataType)> =
+                (0..width).map(|i| (format!("c{i}"), DataType::Float)).collect();
+            let pairs_ref: Vec<(&str, DataType)> =
+                pairs.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+            Frame::new(Schema::from_pairs(&pairs_ref), rows).unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn columnar_row_view_roundtrips(frame in arb_mixed_frame()) {
+        // frame → rows → frame preserves every cell and the shape
+        let rows = frame.to_rows();
+        prop_assert_eq!(rows.len(), frame.len());
+        let rebuilt = Frame::new(frame.schema.clone(), rows).unwrap();
+        prop_assert_eq!(&rebuilt, &frame);
+        // and the cached size accounting equals a full per-cell rescan
+        let rescan: usize = rebuilt
+            .to_rows()
+            .iter()
+            .map(|r| r.iter().map(Value::size_bytes).sum::<usize>())
+            .sum();
+        prop_assert_eq!(frame.size_bytes(), rescan);
+        prop_assert_eq!(rebuilt.size_bytes(), rescan);
+    }
+
+    #[test]
+    fn push_row_matches_bulk_construction(frame in arb_mixed_frame()) {
+        let mut incremental = Frame::empty(frame.schema.clone());
+        for row in frame.iter_rows() {
+            incremental.push_row(row).unwrap();
+        }
+        prop_assert_eq!(&incremental, &frame);
+        prop_assert_eq!(incremental.size_bytes(), frame.size_bytes());
+    }
+
+    #[test]
+    fn cell_mutation_preserves_size_accounting(
+        frame in arb_mixed_frame(),
+        v in arb_value(),
+        r in 0usize..40,
+        c in 0usize..5,
+    ) {
+        prop_assume!(!frame.is_empty());
+        let mut m = frame.clone();
+        let (r, c) = (r % frame.len(), c % frame.schema.len());
+        m.set_value(r, c, v);
+        let rescan: usize = m
+            .to_rows()
+            .iter()
+            .map(|row| row.iter().map(Value::size_bytes).sum::<usize>())
+            .sum();
+        prop_assert_eq!(m.size_bytes(), rescan);
+        // the original is untouched (copy-on-write)
+        prop_assert_eq!(&Frame::new(frame.schema.clone(), frame.to_rows()).unwrap(), &frame);
+    }
+
+    #[test]
+    fn row_mode_matches_columnar_mode(frame in arb_frame(), sql in arb_fragmentable_query()) {
+        let query = parse_query(&sql).unwrap();
+        let mut catalog = Catalog::new();
+        catalog.register("stream", frame).unwrap();
+        let columnar = Executor::new(&catalog).execute(&query).unwrap();
+        let row_mode = Executor::with_options(
+            &catalog,
+            ExecOptions { mode: ExecMode::RowAtATime, ..Default::default() },
+        )
+        .execute(&query)
+        .unwrap();
+        prop_assert_eq!(&columnar, &row_mode, "query: {}", sql);
     }
 }
 
@@ -201,7 +300,7 @@ proptest! {
         // shape preserved
         prop_assert_eq!(result.frame.len(), frame.len());
         // non-QID columns untouched
-        for (orig, anon) in frame.rows.iter().zip(&result.frame.rows) {
+        for (orig, anon) in frame.iter_rows().zip(result.frame.iter_rows()) {
             prop_assert_eq!(&orig[2], &anon[2]);
             prop_assert_eq!(&orig[3], &anon[3]);
         }
@@ -213,8 +312,8 @@ proptest! {
         prop_assert_eq!(direct_distance(&frame, &frame).unwrap(), 0);
         // symmetry
         let mut modified = frame.clone();
-        if !modified.rows.is_empty() {
-            modified.rows[0][0] = Value::Float(-1.0);
+        if !modified.is_empty() {
+            modified.set_value(0, 0, Value::Float(-1.0));
         }
         let d1 = direct_distance(&frame, &modified).unwrap();
         let d2 = direct_distance(&modified, &frame).unwrap();
@@ -233,20 +332,18 @@ proptest! {
         let out = slice(&frame, &config).unwrap();
         prop_assert_eq!(out.frame.len(), frame.len());
         for c in 0..frame.schema.len() {
-            let mut a: Vec<String> = frame.rows.iter().map(|r| r[c].to_string()).collect();
-            let mut b: Vec<String> = out.frame.rows.iter().map(|r| r[c].to_string()).collect();
+            let mut a: Vec<String> = frame.column_values(c).map(|v| v.to_string()).collect();
+            let mut b: Vec<String> = out.frame.column_values(c).map(|v| v.to_string()).collect();
             a.sort();
             b.sort();
             prop_assert_eq!(a, b);
         }
         // grouped columns stay linked
-        for (orig_row, out_row) in frame.rows.iter().zip(&out.frame.rows) {
-            let _ = orig_row;
+        let orig_rows = frame.to_rows();
+        for out_row in out.frame.iter_rows() {
             // find the (x, y) pair of out_row somewhere in the original
-            let pair_exists = frame
-                .rows
-                .iter()
-                .any(|r| r[0] == out_row[0] && r[1] == out_row[1]);
+            let pair_exists =
+                orig_rows.iter().any(|r| r[0] == out_row[0] && r[1] == out_row[1]);
             prop_assert!(pair_exists, "slicing invented a new (x, y) pair");
         }
     }

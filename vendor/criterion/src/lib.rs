@@ -7,7 +7,9 @@
 //! criterion's statistical machinery it runs a fixed warm-up, then
 //! timed batches, and prints mean wall-clock ns/iter.
 
+use std::collections::BTreeMap;
 use std::fmt;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Re-exported for call sites that spell it `criterion::black_box`.
@@ -233,6 +235,105 @@ impl Criterion {
         } else {
             println!("{full:<50} {mean_ns:>12.1} ns/iter");
         }
+        // don't record from this crate's own unit tests
+        if !mean_ns.is_nan() && !cfg!(test) {
+            results::record(&full, mean_ns);
+        }
+    }
+}
+
+/// Persistence of bench results: every reported mean is merged into
+/// `BENCH_results.json` at the workspace root so the perf trajectory of
+/// the repo is tracked per PR. Each entry keeps an optional
+/// `baseline_ns` (the committed pre-change number, preserved across
+/// runs) next to the freshly measured `mean_ns`.
+mod results {
+    use super::{BTreeMap, PathBuf};
+
+    /// One persisted measurement.
+    #[derive(Debug, Clone, Default)]
+    pub struct Entry {
+        /// Committed reference number, preserved across runs.
+        pub baseline_ns: Option<f64>,
+        /// Most recent measurement.
+        pub mean_ns: Option<f64>,
+    }
+
+    /// Where results are written: `$BENCH_RESULTS_PATH` if set, else
+    /// `BENCH_results.json` next to the workspace `Cargo.lock` (cargo
+    /// runs bench binaries with the *package* root as cwd, so we walk
+    /// up to the workspace root).
+    pub fn results_path() -> PathBuf {
+        if let Ok(p) = std::env::var("BENCH_RESULTS_PATH") {
+            return PathBuf::from(p);
+        }
+        let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        loop {
+            if dir.join("Cargo.lock").exists() {
+                return dir.join("BENCH_results.json");
+            }
+            if !dir.pop() {
+                return PathBuf::from("BENCH_results.json");
+            }
+        }
+    }
+
+    /// Merge one measurement into the results file.
+    pub fn record(name: &str, mean_ns: f64) {
+        let path = results_path();
+        let mut entries = read(&path);
+        entries.entry(name.to_string()).or_default().mean_ns = Some(mean_ns);
+        write(&path, &entries);
+    }
+
+    /// Parse the (self-written, line-per-entry) results file.
+    pub fn read(path: &std::path::Path) -> BTreeMap<String, Entry> {
+        let mut out = BTreeMap::new();
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return out;
+        };
+        for line in text.lines() {
+            let line = line.trim().trim_end_matches(',');
+            let Some(rest) = line.strip_prefix('"') else { continue };
+            let Some(end) = rest.find('"') else { continue };
+            let key = &rest[..end];
+            let field = |name: &str| -> Option<f64> {
+                let tag = format!("\"{name}\":");
+                let at = rest.find(&tag)?;
+                let tail = rest[at + tag.len()..].trim_start();
+                let num: String = tail
+                    .chars()
+                    .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+                    .collect();
+                num.parse().ok()
+            };
+            out.insert(
+                key.to_string(),
+                Entry { baseline_ns: field("baseline_ns"), mean_ns: field("mean_ns") },
+            );
+        }
+        out
+    }
+
+    fn write(path: &std::path::Path, entries: &BTreeMap<String, Entry>) {
+        let mut text = String::from("{\n");
+        let mut first = true;
+        for (key, e) in entries {
+            if !first {
+                text.push_str(",\n");
+            }
+            first = false;
+            let mut fields = Vec::new();
+            if let Some(b) = e.baseline_ns {
+                fields.push(format!("\"baseline_ns\": {b:.1}"));
+            }
+            if let Some(m) = e.mean_ns {
+                fields.push(format!("\"mean_ns\": {m:.1}"));
+            }
+            text.push_str(&format!("  \"{key}\": {{ {} }}", fields.join(", ")));
+        }
+        text.push_str("\n}\n");
+        let _ = std::fs::write(path, text);
     }
 }
 
