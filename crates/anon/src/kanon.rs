@@ -47,6 +47,12 @@ pub struct GeneralizeConfig {
 /// checks whether generalising every QID to its level leaves at most
 /// `max_suppressed` tuples in classes smaller than `k`. Those tuples are
 /// suppressed (all QID cells → `*`).
+///
+/// Each distinct (QID, level) pair generalizes its column **once** into
+/// an interned code table ([`LevelCodes`], built lazily); candidate
+/// level vectors are then checked by counting dense integer codes —
+/// no frame clone, no re-generalization, no string hashing per
+/// candidate round. Only the winning vector materialises a frame.
 pub fn generalize_to_k(frame: &Frame, config: &GeneralizeConfig) -> AnonResult<KAnonResult> {
     if config.k == 0 {
         return Err(AnonError::BadParameter("k must be ≥ 1".into()));
@@ -67,12 +73,15 @@ pub fn generalize_to_k(frame: &Frame, config: &GeneralizeConfig) -> AnonResult<K
     let max_levels: Vec<usize> = config.qids.iter().map(|(_, h)| h.max_level()).collect();
     let total_max: usize = max_levels.iter().sum();
 
+    let mut codes: Vec<Vec<Option<LevelCodes>>> =
+        max_levels.iter().map(|&m| (0..=m).map(|_| None).collect()).collect();
+
     for total in 0..=total_max {
         let mut candidates = level_vectors(&max_levels, total);
         // deterministic order: prefer generalising later QIDs first
         candidates.sort();
         for levels in candidates {
-            if let Some(result) = try_levels(frame, config, &levels)? {
+            if let Some(result) = try_levels(frame, config, &levels, &mut codes)? {
                 return Ok(result);
             }
         }
@@ -81,6 +90,32 @@ pub fn generalize_to_k(frame: &Frame, config: &GeneralizeConfig) -> AnonResult<K
         "cannot reach {}-anonymity even at full generalization with {} suppressions",
         config.k, config.max_suppressed
     )))
+}
+
+/// One QID column generalized to one level, interned: `ids[row]` is a
+/// dense code of the generalized value's grouping key, `values[code]`
+/// the generalized value itself (all level ≥ 1 generalizations are
+/// strings, so key-equal values are identical).
+struct LevelCodes {
+    ids: Vec<u32>,
+    values: Vec<Value>,
+}
+
+fn level_codes(frame: &Frame, column: usize, hierarchy: &Hierarchy, level: usize) -> LevelCodes {
+    let data = frame.column(column);
+    let n = frame.len();
+    let mut intern: HashMap<GroupKey, u32> = HashMap::with_capacity(64);
+    let mut ids = Vec::with_capacity(n);
+    let mut values = Vec::new();
+    for ri in 0..n {
+        let v = hierarchy.generalize(&data.value(ri), level);
+        let id = *intern.entry(v.group_key()).or_insert_with(|| {
+            values.push(v);
+            (values.len() - 1) as u32
+        });
+        ids.push(id);
+    }
+    LevelCodes { ids, values }
 }
 
 /// All vectors `v` with `v[i] <= max[i]` and `Σv = total`.
@@ -108,42 +143,74 @@ fn try_levels(
     frame: &Frame,
     config: &GeneralizeConfig,
     levels: &[usize],
+    codes: &mut [Vec<Option<LevelCodes>>],
 ) -> AnonResult<Option<KAnonResult>> {
-    // generalize QID cells, column at a time
-    let mut anonymized = frame.clone();
+    // generalize each needed (QID, level) once, lazily
     for (qi, (col, hierarchy)) in config.qids.iter().enumerate() {
-        let data = anonymized.column_mut(*col);
-        for ri in 0..data.len() {
-            let generalized = hierarchy.generalize(&data.value(ri), levels[qi]);
-            data.set(ri, generalized);
+        if codes[qi][levels[qi]].is_none() {
+            codes[qi][levels[qi]] = Some(level_codes(frame, *col, hierarchy, levels[qi]));
         }
     }
-    // class sizes
-    let qid_cols: Vec<usize> = config.qids.iter().map(|(c, _)| *c).collect();
-    let mut classes: HashMap<Vec<GroupKey>, Vec<usize>> = HashMap::new();
-    for ri in 0..anonymized.len() {
-        let key: Vec<GroupKey> = qid_cols
-            .iter()
-            .map(|&c| anonymized.column(c).group_key_at(ri))
-            .collect();
-        classes.entry(key).or_default().push(ri);
-    }
-    let undersized: Vec<usize> = classes
-        .values()
-        .filter(|rows| rows.len() < config.k)
-        .flat_map(|rows| rows.iter().copied())
+    let active: Vec<&LevelCodes> = config
+        .qids
+        .iter()
+        .enumerate()
+        .map(|(qi, _)| codes[qi][levels[qi]].as_ref().expect("just filled"))
         .collect();
+
+    // class sizes over dense codes (≤ 2 QIDs pack into one u64 key)
+    let n = frame.len();
+    let undersized: Vec<usize> = if active.len() <= 2 {
+        let mut classes: HashMap<u64, Vec<usize>> = HashMap::new();
+        for ri in 0..n {
+            let mut key = 0u64;
+            for lc in &active {
+                key = (key << 32) | lc.ids[ri] as u64;
+            }
+            classes.entry(key).or_default().push(ri);
+        }
+        collect_undersized(&classes, config.k)
+    } else {
+        let mut classes: HashMap<Vec<u32>, Vec<usize>> = HashMap::new();
+        for ri in 0..n {
+            let key: Vec<u32> = active.iter().map(|lc| lc.ids[ri]).collect();
+            classes.entry(key).or_default().push(ri);
+        }
+        collect_undersized(&classes, config.k)
+    };
     if undersized.len() > config.max_suppressed {
         return Ok(None);
     }
     let suppressed = undersized.len();
-    for &c in &qid_cols {
-        let data = anonymized.column_mut(c);
+
+    // feasible: materialise the anonymized frame (only now)
+    let mut anonymized = frame.clone();
+    for (qi, (col, _)) in config.qids.iter().enumerate() {
+        if levels[qi] == 0 {
+            continue; // level 0 leaves the raw column untouched
+        }
+        let lc = active[qi];
+        let data = anonymized.column_mut(*col);
+        for ri in 0..n {
+            data.set(ri, lc.values[lc.ids[ri] as usize].clone());
+        }
+    }
+    for (col, _) in &config.qids {
+        let data = anonymized.column_mut(*col);
         for &ri in &undersized {
             data.set(ri, Value::Str(SUPPRESSED.to_string()));
         }
     }
     Ok(Some(KAnonResult { frame: anonymized, levels: levels.to_vec(), suppressed }))
+}
+
+/// Rows belonging to classes smaller than `k`.
+fn collect_undersized<K>(classes: &HashMap<K, Vec<usize>>, k: usize) -> Vec<usize> {
+    classes
+        .values()
+        .filter(|rows| rows.len() < k)
+        .flat_map(|rows| rows.iter().copied())
+        .collect()
 }
 
 /// Mondrian multidimensional k-anonymity over numeric QIDs.

@@ -15,6 +15,14 @@ fn bench_end_to_end(c: &mut Criterion) {
                 criterion::BatchSize::LargeInput,
             )
         });
+        // steady-state continuous query: the fragment-plan cache and
+        // every node's compiled-plan cache stay warm across ticks
+        group.bench_with_input(BenchmarkId::new("paradise_warm", rows), &rows, |b, &rows| {
+            let mut p = paper_processor(42, 10, rows / 10);
+            let q = paper_original();
+            p.run("ActionFilter", &q).unwrap();
+            b.iter(|| p.run("ActionFilter", black_box(&q)).unwrap())
+        });
         group.bench_with_input(BenchmarkId::new("cloud_baseline", rows), &rows, |b, &rows| {
             let p = paper_processor(42, 10, rows / 10);
             b.iter(|| p.cloud_baseline(black_box(&paper_original())).unwrap())

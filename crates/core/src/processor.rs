@@ -48,13 +48,22 @@ impl Default for ProcessorOptions {
 /// Upper bound on cached fragment plans before the cache resets.
 const MAX_CACHED_PLANS: usize = 1024;
 
-/// A cached (preprocess, fragmentation) result for one (module, query)
-/// pair. Node assignment is *not* cached — it depends on live chain
-/// state and is cheap to re-derive.
+/// A cached (preprocess, fragmentation) result for one
+/// (module, query, schema fingerprint) triple. Node assignment is
+/// *not* cached — it depends on live chain state and is cheap to
+/// re-derive.
 #[derive(Debug, Clone)]
 struct CachedPlan {
+    /// The original query (verified on every hit, so a hash collision
+    /// can never serve a wrong plan).
+    query: Query,
     pre: PreprocessOutcome,
     plan: FragmentPlan,
+    /// Base tables of the query, inputs of `fingerprint`.
+    tables: Vec<String>,
+    /// Fingerprint of the source-table schemas across the chain at
+    /// caching time; a mismatch invalidates the entry.
+    fingerprint: u64,
 }
 
 /// Hit/miss counters of the fragment-plan cache.
@@ -64,6 +73,9 @@ pub struct PlanCacheStats {
     pub hits: u64,
     /// Runs that had to preprocess + fragment from scratch.
     pub misses: u64,
+    /// Misses caused by a source-schema change under a cached plan
+    /// (also counted in `misses`).
+    pub invalidations: u64,
 }
 
 /// The PArADISE processor bound to a node chain.
@@ -72,7 +84,7 @@ pub struct Processor {
     policies: HashMap<String, ModulePolicy>,
     options: ProcessorOptions,
     remainder: Option<Remainder>,
-    plan_cache: HashMap<(String, String), CachedPlan>,
+    plan_cache: HashMap<(String, u64), CachedPlan>,
     cache_stats: PlanCacheStats,
 }
 
@@ -141,6 +153,41 @@ impl Processor {
         self.cache_stats
     }
 
+    /// Aggregated hit/miss/invalidation counters of the chain nodes'
+    /// compiled-plan caches (the engine-level cache layer; see
+    /// `paradise_engine::plan::PlanCache`).
+    pub fn engine_plan_stats(&self) -> paradise_engine::plan::PlanCacheStats {
+        let mut total = paradise_engine::plan::PlanCacheStats::default();
+        for node in self.chain.nodes() {
+            let s = node.plan_cache_stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.invalidations += s.invalidations;
+        }
+        total
+    }
+
+    /// Fingerprint the schemas of `tables` as installed anywhere in the
+    /// chain (first node owning each table wins; absent tables hash as
+    /// absent). Drives fragment-plan invalidation on schema change.
+    fn source_fingerprint(&self, tables: &[String]) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for t in tables {
+            t.hash(&mut h);
+            let schema = self
+                .chain
+                .nodes()
+                .iter()
+                .find_map(|n| n.catalog.get(t).ok().map(|f| &f.schema));
+            match schema {
+                Some(s) => paradise_engine::plan::schema_hash(s).hash(&mut h),
+                None => u64::MAX.hash(&mut h),
+            }
+        }
+        h.finish()
+    }
+
     /// Builder: set the cloud remainder stage.
     #[must_use]
     pub fn with_remainder(mut self, remainder: Remainder) -> Self {
@@ -188,25 +235,54 @@ impl Processor {
         }
 
         // 1. preprocess (rewrite under the policy) + 3a. fragment —
-        // cached per (module, query) so continuous queries skip both
-        let key = (module_id.to_string(), query.to_string());
+        // cached per (module, query, schema fingerprint) so continuous
+        // queries skip both. The key hashes the query AST directly
+        // (no SQL rendering per tick); a hit verifies the stored AST,
+        // so hash collisions can never serve a wrong plan, and a
+        // source-schema change invalidates the entry.
+        let key = (module_id.to_string(), paradise_engine::plan::ast_key(query));
         let (pre, plan) = if self.options.plan_cache {
-            if let Some(cached) = self.plan_cache.get(&key) {
-                self.cache_stats.hits += 1;
-                (cached.pre.clone(), cached.plan.clone())
-            } else {
-                self.cache_stats.misses += 1;
-                let policy = &self.policies[module_id];
-                let pre = preprocess(query, policy, &self.options.preprocess)?;
-                let plan = fragment_query(&pre.query)?;
-                // bound the cache: a stream of distinct ad-hoc queries
-                // must not grow memory forever (epoch-style reset)
-                if self.plan_cache.len() >= MAX_CACHED_PLANS {
-                    self.plan_cache.clear();
+            let cached = self.plan_cache.get(&key).and_then(|c| {
+                if c.query != *query {
+                    return None; // hash collision: recompute
                 }
-                self.plan_cache
-                    .insert(key, CachedPlan { pre: pre.clone(), plan: plan.clone() });
-                (pre, plan)
+                if self.source_fingerprint(&c.tables) != c.fingerprint {
+                    return Some(None); // schemas changed: invalidate
+                }
+                Some(Some((c.pre.clone(), c.plan.clone())))
+            });
+            match cached {
+                Some(Some(hit)) => {
+                    self.cache_stats.hits += 1;
+                    hit
+                }
+                stale => {
+                    self.cache_stats.misses += 1;
+                    if matches!(stale, Some(None)) {
+                        self.cache_stats.invalidations += 1;
+                    }
+                    let policy = &self.policies[module_id];
+                    let pre = preprocess(query, policy, &self.options.preprocess)?;
+                    let plan = fragment_query(&pre.query)?;
+                    // bound the cache: a stream of distinct ad-hoc queries
+                    // must not grow memory forever (epoch-style reset)
+                    if self.plan_cache.len() >= MAX_CACHED_PLANS {
+                        self.plan_cache.clear();
+                    }
+                    let tables = paradise_sql::analysis::base_relations(query);
+                    let fingerprint = self.source_fingerprint(&tables);
+                    self.plan_cache.insert(
+                        key,
+                        CachedPlan {
+                            query: query.clone(),
+                            pre: pre.clone(),
+                            plan: plan.clone(),
+                            tables,
+                            fingerprint,
+                        },
+                    );
+                    (pre, plan)
+                }
             }
         } else {
             let policy = &self.policies[module_id];
@@ -414,6 +490,53 @@ mod tests {
         assert_eq!(stats.hits, 1, "second run is served from the cache");
         assert_eq!(first.preprocess.query, second.preprocess.query);
         assert_eq!(first.plan, second.plan);
+    }
+
+    #[test]
+    fn plan_cache_invalidates_on_source_schema_change() {
+        let mut p = processor();
+        let q = parse_query(PAPER_ORIGINAL).unwrap();
+        p.run("ActionFilter", &q).unwrap();
+        p.run("ActionFilter", &q).unwrap();
+        assert_eq!(p.plan_cache_stats().hits, 1);
+        assert_eq!(p.plan_cache_stats().invalidations, 0);
+
+        // re-install the source under a wider schema: the cached plan
+        // must be invalidated, not silently reused
+        let old = p.chain().node("motion-sensor").unwrap().catalog.get("stream").unwrap().clone();
+        let mut schema = old.schema.clone();
+        schema.push(paradise_engine::Column::new("w", paradise_engine::DataType::Float));
+        let rows: Vec<Vec<paradise_engine::Value>> = old
+            .iter_rows()
+            .map(|mut r| {
+                r.push(paradise_engine::Value::Float(0.0));
+                r
+            })
+            .collect();
+        let widened = paradise_engine::Frame::new(schema, rows).unwrap();
+        p.install_source("motion-sensor", "stream", widened).unwrap();
+
+        p.run("ActionFilter", &q).unwrap();
+        let stats = p.plan_cache_stats();
+        assert_eq!(stats.invalidations, 1, "schema change must invalidate");
+        assert_eq!(stats.misses, 2);
+        // and the refreshed entry is served again afterwards
+        p.run("ActionFilter", &q).unwrap();
+        assert_eq!(p.plan_cache_stats().hits, 2);
+    }
+
+    #[test]
+    fn node_plan_caches_warm_across_runs() {
+        let mut p = processor();
+        let q = parse_query(PAPER_ORIGINAL).unwrap();
+        p.run("ActionFilter", &q).unwrap();
+        let cold = p.engine_plan_stats();
+        assert_eq!(cold.hits, 0, "first tick compiles every stage");
+        assert!(cold.misses >= 4);
+        p.run("ActionFilter", &q).unwrap();
+        let warm = p.engine_plan_stats();
+        assert!(warm.hits >= 4, "second tick reuses every stage plan: {warm:?}");
+        assert_eq!(warm.misses, cold.misses, "no recompilation on the warm tick");
     }
 
     #[test]

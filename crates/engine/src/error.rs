@@ -44,6 +44,9 @@ pub enum EngineError {
         /// Target type name.
         target: String,
     },
+    /// A compiled plan was executed against a catalog whose schemas no
+    /// longer match the ones it was compiled for (see [`crate::plan`]).
+    StalePlan,
 }
 
 impl fmt::Display for EngineError {
@@ -68,6 +71,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::BadCast { value, target } => {
                 write!(f, "cannot cast {value} to {target}")
+            }
+            EngineError::StalePlan => {
+                write!(f, "compiled plan is stale: the catalog schemas changed since compilation")
             }
         }
     }

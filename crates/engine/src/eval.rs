@@ -173,7 +173,7 @@ pub fn literal_value(lit: &Literal) -> Value {
     }
 }
 
-fn eval_unary(op: UnaryOp, v: Value) -> EngineResult<Value> {
+pub(crate) fn eval_unary(op: UnaryOp, v: Value) -> EngineResult<Value> {
     match op {
         UnaryOp::Not => Ok(match to_bool3(&v)? {
             Some(b) => Value::Bool(!b),
@@ -192,7 +192,7 @@ fn eval_unary(op: UnaryOp, v: Value) -> EngineResult<Value> {
     }
 }
 
-fn eval_binary(l: Value, op: BinaryOp, r: Value) -> EngineResult<Value> {
+pub(crate) fn eval_binary(l: Value, op: BinaryOp, r: Value) -> EngineResult<Value> {
     match op {
         BinaryOp::And | BinaryOp::Or => unreachable!("handled with short-circuit"),
         BinaryOp::Eq | BinaryOp::NotEq | BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt
@@ -322,7 +322,7 @@ fn eval_case(
     }
 }
 
-fn eval_scalar_function(name: &str, args: &[Value]) -> EngineResult<Value> {
+pub(crate) fn eval_scalar_function(name: &str, args: &[Value]) -> EngineResult<Value> {
     let upper = name.to_ascii_uppercase();
     let arity = |expected: &str, ok: bool| -> EngineResult<()> {
         if ok {
@@ -842,7 +842,7 @@ impl NumSide<'_> {
 /// Batched comparison / arithmetic / string ops, with dense numeric
 /// kernels for the common cases and a per-element fallback that reuses
 /// the scalar [`eval_binary`] semantics.
-fn eval_binary_batch(l: Batch, op: BinaryOp, r: Batch, n: usize) -> EngineResult<Batch> {
+pub(crate) fn eval_binary_batch(l: Batch, op: BinaryOp, r: Batch, n: usize) -> EngineResult<Batch> {
     // the AND/OR forms never reach here (handled by the caller)
     if let (Batch::Const(a), Batch::Const(b)) = (&l, &r) {
         return Ok(Batch::Const(eval_binary(a.clone(), op, b.clone())?));
@@ -961,7 +961,7 @@ fn float_binary(a: f64, op: BinaryOp, b: f64) -> Value {
 
 // three-valued logic helpers -------------------------------------------------
 
-fn to_bool3(v: &Value) -> EngineResult<Option<bool>> {
+pub(crate) fn to_bool3(v: &Value) -> EngineResult<Option<bool>> {
     match v {
         Value::Null => Ok(None),
         Value::Bool(b) => Ok(Some(*b)),
@@ -969,7 +969,7 @@ fn to_bool3(v: &Value) -> EngineResult<Option<bool>> {
     }
 }
 
-fn and3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+pub(crate) fn and3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
     match (a, b) {
         (Some(false), _) | (_, Some(false)) => Some(false),
         (Some(true), Some(true)) => Some(true),
@@ -977,7 +977,7 @@ fn and3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
     }
 }
 
-fn or3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+pub(crate) fn or3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
     match (a, b) {
         (Some(true), _) | (_, Some(true)) => Some(true),
         (Some(false), Some(false)) => Some(false),
@@ -985,11 +985,11 @@ fn or3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
     }
 }
 
-fn ge3(a: &Value, b: &Value) -> Option<bool> {
+pub(crate) fn ge3(a: &Value, b: &Value) -> Option<bool> {
     a.sql_cmp(b).map(|o| o.is_ge())
 }
 
-fn le3(a: &Value, b: &Value) -> Option<bool> {
+pub(crate) fn le3(a: &Value, b: &Value) -> Option<bool> {
     a.sql_cmp(b).map(|o| o.is_le())
 }
 

@@ -175,6 +175,57 @@ impl Accumulator {
         Ok(())
     }
 
+    /// Reset to the freshly-constructed state, keeping the allocated
+    /// DISTINCT set. Lets one accumulator be reused across thousands of
+    /// groups/partitions without re-initialising per group.
+    pub(crate) fn reset(&mut self) {
+        self.seen.clear();
+        self.n = 0;
+        self.sum = 0.0;
+        self.sum_sq = 0.0;
+        self.rx_sum = 0.0;
+        self.rx_sum_sq = 0.0;
+        self.rxy_sum = 0.0;
+        self.extremum = None;
+        self.all_int = true;
+    }
+
+    /// Fast path of [`Accumulator::update`] for the single-argument
+    /// numeric kinds (SUM/AVG/STDDEV/VAR_SAMP) when the caller already
+    /// holds a non-null numeric (skip NULLs before calling). Bypasses
+    /// the `Value` round-trip of the generic path; the sums are updated
+    /// in the same order, so results are bit-identical.
+    pub(crate) fn update_num_fast(&mut self, x: f64, from_int: bool) {
+        debug_assert!(matches!(
+            self.kind,
+            AggKind::Sum | AggKind::Avg | AggKind::Stddev | AggKind::VarSamp
+        ));
+        if !from_int {
+            self.all_int = false;
+        }
+        self.n += 1;
+        self.sum += x;
+        self.sum_sq += x * x;
+    }
+
+    /// Fast path of [`Accumulator::update`] for the two-argument
+    /// regression kinds over non-null numeric pairs (`regr_*(y, x)`).
+    pub(crate) fn update_pair_fast(&mut self, y: f64, x: f64) {
+        debug_assert!(self.kind.is_regression());
+        self.n += 1;
+        self.sum += y;
+        self.sum_sq += y * y;
+        self.rx_sum += x;
+        self.rx_sum_sq += x * x;
+        self.rxy_sum += x * y;
+    }
+
+    /// Fast path for COUNT over `by` non-null inputs.
+    pub(crate) fn bump_count(&mut self, by: u64) {
+        debug_assert!(matches!(self.kind, AggKind::Count));
+        self.n += by;
+    }
+
     /// Final value of the aggregate.
     pub fn finish(&self) -> Value {
         let n = self.n as f64;

@@ -1,21 +1,28 @@
-//! The query executor: an interpreter over the `paradise-sql` AST.
+//! The query executor.
 //!
 //! Pipeline per `SELECT` block (SQL logical order):
 //! `FROM` → `WHERE` → `GROUP BY`+aggregates → `HAVING` → window functions
 //! → projection → `DISTINCT` → `ORDER BY` → `LIMIT`/`OFFSET` → `UNION`.
 //!
-//! ## Columnar vs. row-at-a-time execution
+//! ## Compiled vs. columnar vs. row-at-a-time execution
 //!
-//! The default engine ([`ExecMode::Columnar`]) runs the hot operators
-//! column-at-a-time over the typed buffers of [`Frame`]: predicates
-//! become masks ([`crate::eval::eval_predicate_mask`]), projections of
-//! plain columns share buffers zero-copy, and grouped aggregation /
-//! window partitioning read their keys and arguments from batch-
-//! evaluated columns instead of cloning `Value`s cell-by-cell.
+//! The default engine ([`ExecMode::Compiled`]) compiles the query into
+//! a physical plan first (see [`crate::plan`]): ordinals pre-resolved,
+//! expressions lowered to flat instruction programs, strategies
+//! pre-selected — then executes the plan. Continuous queries compile
+//! once and re-run the plan every tick.
+//!
+//! [`ExecMode::Columnar`] interprets the AST directly but still runs
+//! the hot operators column-at-a-time over the typed buffers of
+//! [`Frame`]: predicates become masks
+//! ([`crate::eval::eval_predicate_mask`]), projections of plain columns
+//! share buffers zero-copy, and grouped aggregation / window
+//! partitioning read their keys and arguments from batch-evaluated
+//! columns instead of cloning `Value`s cell-by-cell.
 //!
 //! [`ExecMode::RowAtATime`] keeps the original row-major operators (see
 //! [`rows`]) as the executable reference semantics; the equivalence
-//! suite runs every corpus query through both modes and asserts
+//! suite runs every corpus query through all three modes and asserts
 //! identical frames.
 //!
 //! ## Lenient vs. strict GROUP BY
@@ -53,8 +60,14 @@ use aggregate::{AggKind, Accumulator};
 /// Which operator implementations to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecMode {
-    /// Column-at-a-time over the typed buffers (the fast default).
+    /// Compile the query to a physical plan (pre-resolved ordinals,
+    /// expression programs, pre-selected strategies) and run that — the
+    /// fast default. Queries the planner cannot compile fall back to
+    /// the columnar interpreter transparently.
     #[default]
+    Compiled,
+    /// Column-at-a-time interpretation directly over the AST; kept as
+    /// executable reference semantics for the compiled path.
     Columnar,
     /// The original row-major operators, kept as the executable
     /// reference semantics for equivalence testing.
@@ -85,8 +98,8 @@ impl ExecOptions {
 
 /// Query executor bound to a catalog.
 pub struct Executor<'a> {
-    catalog: &'a Catalog,
-    options: ExecOptions,
+    pub(crate) catalog: &'a Catalog,
+    pub(crate) options: ExecOptions,
 }
 
 impl<'a> Executor<'a> {
@@ -102,7 +115,24 @@ impl<'a> Executor<'a> {
     }
 
     /// Execute a query to a materialised [`Frame`].
+    ///
+    /// In [`ExecMode::Compiled`] (the default) the query is compiled to
+    /// a physical plan first (see [`crate::plan`]); anything the
+    /// planner cannot compile — or any compile-time resolution error —
+    /// falls back to the AST interpreter, which reproduces the
+    /// reference behaviour (including which error surfaces).
     pub fn execute(&self, query: &Query) -> EngineResult<Frame> {
+        if self.options.mode == ExecMode::Compiled {
+            if let Ok(plan) = self.compile(query) {
+                return self.run_plan(&plan);
+            }
+        }
+        self.execute_ast(query)
+    }
+
+    /// Execute by direct AST interpretation (columnar or row-at-a-time
+    /// per the options), bypassing the planner.
+    pub(crate) fn execute_ast(&self, query: &Query) -> EngineResult<Frame> {
         let mut result = self.execute_block(query)?;
         for (all, q) in &query.unions {
             let next = self.execute_block(q)?;
@@ -154,7 +184,7 @@ impl<'a> Executor<'a> {
     // FROM evaluation (shared by both modes)
     // ------------------------------------------------------------------
 
-    pub(super) fn eval_table(&self, table: &TableRef) -> EngineResult<Frame> {
+    pub(crate) fn eval_table(&self, table: &TableRef) -> EngineResult<Frame> {
         match table {
             TableRef::Table { name, alias } => {
                 let frame = self.catalog.get(name)?;
@@ -179,29 +209,34 @@ impl<'a> Executor<'a> {
             TableRef::Join { left, right, kind, on } => {
                 let l = self.eval_table(left)?;
                 let r = self.eval_table(right)?;
-                self.join(l, r, *kind, on.as_ref())
+                // strategy selection: recognise the single-equality ON
+                // shape here (the compiled plan pre-selects this once)
+                let equi = if matches!(kind, paradise_sql::ast::JoinKind::Cross) {
+                    None
+                } else {
+                    on.as_ref().and_then(|p| equi_join_columns(p, &l.schema, &r.schema))
+                };
+                self.join_frames(l, r, *kind, on.as_ref(), equi)
             }
         }
     }
 
-    fn join(
+    /// Join two materialised frames. `equi` carries the pre-selected
+    /// hash-join candidate (left, right) key columns; the hash path is
+    /// taken only when the actual buffers are [`hash_joinable`],
+    /// otherwise the nested loop runs.
+    pub(crate) fn join_frames(
         &self,
         left: Frame,
         right: Frame,
         kind: paradise_sql::ast::JoinKind,
         on: Option<&Expr>,
+        equi: Option<(usize, usize)>,
     ) -> EngineResult<Frame> {
         use paradise_sql::ast::JoinKind;
-        // hash path for single-equality ON conditions over compatibly
-        // typed buffers (the common `a.t = b.t` shape); anything richer
-        // falls back to the nested loop below
-        if !matches!(kind, JoinKind::Cross) {
-            if let Some(pred) = on {
-                if let Some((li, ri)) = equi_join_columns(pred, &left.schema, &right.schema) {
-                    if hash_joinable(left.column(li), right.column(ri)) {
-                        return self.hash_equi_join(left, right, kind, li, ri);
-                    }
-                }
+        if let Some((li, ri)) = equi {
+            if hash_joinable(left.column(li), right.column(ri)) {
+                return self.hash_equi_join(left, right, kind, li, ri);
             }
         }
         let schema = left.schema.join(&right.schema);
@@ -386,7 +421,7 @@ impl<'a> Executor<'a> {
         let mut key_cols: Vec<Arc<ColumnData>> = Vec::with_capacity(query.order_by.len());
         for o in &query.order_by {
             let e = rewrite(&o.expr);
-            key_cols.push(match order_key_source(&e, &frame.schema, &ctx)? {
+            key_cols.push(match order_key_source(&e, &frame.schema, ctx.schema)? {
                 KeySource::OutCol(idx) => frame.column_arc(idx),
                 KeySource::Input => eval_expr_batch(&e, &work, &ctx)?.into_column_arc(n),
             });
@@ -404,7 +439,8 @@ impl<'a> Executor<'a> {
         if !query.order_by.is_empty() {
             // LIMIT/OFFSET pushdown: slice the permutation, gather only
             // the surviving rows
-            let mut perm = sort_permutation(&key_cols, &query.order_by, frame.len());
+            let orders: Vec<SortOrder> = query.order_by.iter().map(|o| o.order).collect();
+            let mut perm = sort_permutation(&key_cols, &orders, frame.len());
             if let Some(offset) = query.offset {
                 let offset = (offset as usize).min(perm.len());
                 perm.drain(..offset);
@@ -422,7 +458,7 @@ impl<'a> Executor<'a> {
     /// Compute ORDER BY key values for one row: aliases resolve against
     /// the projected output, everything else against the input row.
     /// (Used by the aggregation tail and the row-at-a-time path.)
-    pub(super) fn order_keys(
+    pub(crate) fn order_keys(
         &self,
         order_exprs: &[Expr],
         input_row: &Row,
@@ -432,7 +468,7 @@ impl<'a> Executor<'a> {
     ) -> EngineResult<Vec<Value>> {
         let mut keys = Vec::with_capacity(order_exprs.len());
         for e in order_exprs {
-            match order_key_source(e, out_schema, ctx)? {
+            match order_key_source(e, out_schema, ctx.schema)? {
                 KeySource::OutCol(idx) => keys.push(out_row[idx].clone()),
                 KeySource::Input => keys.push(eval_expr(e, input_row, ctx)?),
             }
@@ -441,7 +477,7 @@ impl<'a> Executor<'a> {
     }
 
     /// Build the output schema and per-item evaluation plan.
-    pub(super) fn projection_plan(
+    pub(crate) fn projection_plan(
         &self,
         query: &Query,
         input: &Schema,
@@ -681,7 +717,7 @@ impl<'a> Executor<'a> {
 }
 
 /// Does the query need the aggregation path?
-pub(super) fn query_aggregates(query: &Query) -> bool {
+pub(crate) fn query_aggregates(query: &Query) -> bool {
     !query.group_by.is_empty()
         || query.having.is_some()
         || query
@@ -691,7 +727,7 @@ pub(super) fn query_aggregates(query: &Query) -> bool {
 }
 
 /// Per-item projection plan.
-pub(super) enum ProjPlan {
+pub(crate) enum ProjPlan {
     /// Copy these input column indices (wildcards).
     Splice(Vec<usize>),
     /// Evaluate this (window-rewritten) expression.
@@ -700,7 +736,7 @@ pub(super) enum ProjPlan {
 
 /// Per-item plan of the aggregation projection (over the extended
 /// schema of representative row ++ synthetic aggregate columns).
-enum AggItemPlan {
+pub(crate) enum AggItemPlan {
     /// A plain column of the extended row.
     Col(usize),
     /// A compound expression, evaluated per group.
@@ -710,7 +746,7 @@ enum AggItemPlan {
 /// Partition `0..n` by the grouping key columns, groups in
 /// first-appearance order. Single-key grouping avoids the per-row
 /// `Vec<GroupKey>` allocation of the general case.
-pub(super) fn group_indices(key_cols: &[Arc<ColumnData>], n: usize) -> Vec<Vec<usize>> {
+pub(crate) fn group_indices(key_cols: &[Arc<ColumnData>], n: usize) -> Vec<Vec<usize>> {
     use std::collections::hash_map::Entry;
     let mut out: Vec<Vec<usize>> = Vec::new();
     match key_cols {
@@ -746,7 +782,7 @@ pub(super) fn group_indices(key_cols: &[Arc<ColumnData>], n: usize) -> Vec<Vec<u
 
 /// Recognise `left_col = right_col` ON conditions: returns the column
 /// indices in the (left, right) schemas, trying both orientations.
-fn equi_join_columns(
+pub(crate) fn equi_join_columns(
     on: &Expr,
     left: &Schema,
     right: &Schema,
@@ -781,7 +817,7 @@ fn equi_join_columns(
 /// integer key folding disagree beyond 2^53), as do float keys
 /// containing NaN (`sql_eq` treats NaN as equal to everything, group
 /// keys compare by bits) and `Mixed` columns.
-fn hash_joinable(a: &ColumnData, b: &ColumnData) -> bool {
+pub(crate) fn hash_joinable(a: &ColumnData, b: &ColumnData) -> bool {
     if a.int_slice().is_some() && b.int_slice().is_some() {
         return true;
     }
@@ -800,7 +836,7 @@ fn hash_joinable(a: &ColumnData, b: &ColumnData) -> bool {
 }
 
 /// Where an ORDER BY key comes from.
-enum KeySource {
+pub(crate) enum KeySource {
     /// A projected output column (pure alias or positional reference).
     OutCol(usize),
     /// Evaluated against the input.
@@ -809,17 +845,17 @@ enum KeySource {
 
 /// Decide how one ORDER BY expression resolves (schema-driven, so it is
 /// computed once, not per row).
-fn order_key_source(
+pub(crate) fn order_key_source(
     e: &Expr,
     out_schema: &Schema,
-    ctx: &EvalContext<'_>,
+    input_schema: &Schema,
 ) -> EngineResult<KeySource> {
     if let Expr::Column(c) = e {
         if c.qualifier.is_none() {
             if let Some(idx) = out_schema.try_resolve(None, &c.name) {
                 // prefer the projected value when the name is not
                 // resolvable in the input (pure alias)
-                if ctx.schema.try_resolve(None, &c.name).is_none() {
+                if input_schema.try_resolve(None, &c.name).is_none() {
                     return Ok(KeySource::OutCol(idx));
                 }
             }
@@ -836,7 +872,7 @@ fn order_key_source(
 }
 
 /// Collect non-windowed aggregate calls (deduplicated structurally).
-pub(super) fn collect_aggregate_calls(expr: &Expr, out: &mut Vec<FunctionCall>) {
+pub(crate) fn collect_aggregate_calls(expr: &Expr, out: &mut Vec<FunctionCall>) {
     match expr {
         // aggregates cannot nest; no recursion into their args
         Expr::Function(f)
@@ -884,7 +920,7 @@ pub(super) fn collect_aggregate_calls(expr: &Expr, out: &mut Vec<FunctionCall>) 
 }
 
 /// Replace aggregate calls by references to their synthetic columns.
-pub(super) fn replace_aggregate_calls(expr: Expr, calls: &[FunctionCall], names: &[String]) -> Expr {
+pub(crate) fn replace_aggregate_calls(expr: Expr, calls: &[FunctionCall], names: &[String]) -> Expr {
     transform_expr(expr, &mut |e| match &e {
         Expr::Function(f) if f.over.is_none() && is_aggregate_function(&f.name) => calls
             .iter()
@@ -895,7 +931,7 @@ pub(super) fn replace_aggregate_calls(expr: Expr, calls: &[FunctionCall], names:
 }
 
 /// Strict-mode check: columns outside aggregates must be grouped.
-pub(super) fn check_strict_grouping(
+pub(crate) fn check_strict_grouping(
     expr: &Expr,
     grouped: &HashSet<String>,
     group_exprs: &[Expr],
@@ -959,7 +995,7 @@ pub(super) fn check_strict_grouping(
 /// Infer better output types from the materialised columns (projection
 /// plans default non-column expressions to FLOAT). O(1) per typed
 /// column: the buffer knows its runtime type.
-pub(super) fn finalise_types(frame: &mut Frame) {
+pub(crate) fn finalise_types(frame: &mut Frame) {
     let mut schema = Schema::default();
     for (i, c) in frame.schema.columns().iter().enumerate() {
         let dt = frame.column(i).data_type().unwrap_or(c.data_type);
@@ -969,7 +1005,7 @@ pub(super) fn finalise_types(frame: &mut Frame) {
 }
 
 /// Indices of the first occurrence of every distinct row, in order.
-pub(super) fn distinct_indices(frame: &Frame) -> Vec<usize> {
+pub(crate) fn distinct_indices(frame: &Frame) -> Vec<usize> {
     let mut seen: HashSet<Vec<GroupKey>> = HashSet::with_capacity(frame.len());
     let width = frame.schema.len();
     let mut kept = Vec::with_capacity(frame.len());
@@ -984,7 +1020,7 @@ pub(super) fn distinct_indices(frame: &Frame) -> Vec<usize> {
 }
 
 /// `UNION` deduplication: keep the first occurrence of every row.
-pub(super) fn dedupe_frame(frame: &Frame) -> Frame {
+pub(crate) fn dedupe_frame(frame: &Frame) -> Frame {
     let kept = distinct_indices(frame);
     if kept.len() == frame.len() {
         frame.clone()
@@ -995,14 +1031,14 @@ pub(super) fn dedupe_frame(frame: &Frame) -> Frame {
 
 /// Stable permutation of `0..n` ordering rows by the key columns.
 /// Single typed key columns sort over the dense buffer directly.
-fn sort_permutation(
+pub(crate) fn sort_permutation(
     key_cols: &[Arc<ColumnData>],
-    order: &[paradise_sql::ast::OrderByItem],
+    orders: &[SortOrder],
     n: usize,
 ) -> Vec<usize> {
     let mut perm: Vec<usize> = (0..n).collect();
     if let [col] = key_cols {
-        let desc = order[0].order == SortOrder::Desc;
+        let desc = orders[0] == SortOrder::Desc;
         let directed = |ord: std::cmp::Ordering| if desc { ord.reverse() } else { ord };
         if let Some(ints) = col.int_slice() {
             // Option<i64>'s ordering puts NULL first, like total_cmp
@@ -1024,9 +1060,9 @@ fn sort_permutation(
         }
     }
     perm.sort_by(|&a, &b| {
-        for (col, item) in key_cols.iter().zip(order) {
+        for (col, order) in key_cols.iter().zip(orders) {
             let ord = col.cmp_at(a, col, b);
-            let ord = if item.order == SortOrder::Desc { ord.reverse() } else { ord };
+            let ord = if *order == SortOrder::Desc { ord.reverse() } else { ord };
             if !ord.is_eq() {
                 return ord;
             }
@@ -1036,7 +1072,7 @@ fn sort_permutation(
     perm
 }
 
-pub(super) fn dedupe_with_keys(
+pub(crate) fn dedupe_with_keys(
     rows: Vec<Row>,
     keys: Vec<Vec<Value>>,
 ) -> (Vec<Row>, Vec<Vec<Value>>) {
@@ -1055,7 +1091,7 @@ pub(super) fn dedupe_with_keys(
     (out_rows, out_keys)
 }
 
-pub(super) fn sort_by_keys(
+pub(crate) fn sort_by_keys(
     rows: Vec<Row>,
     keys: Vec<Vec<Value>>,
     order: &[paradise_sql::ast::OrderByItem],
@@ -1074,7 +1110,7 @@ pub(super) fn sort_by_keys(
     paired.into_iter().map(|(_, r)| r).collect()
 }
 
-pub(super) fn apply_limit_offset_frame(frame: &mut Frame, query: &Query) {
+pub(crate) fn apply_limit_offset_frame(frame: &mut Frame, query: &Query) {
     if let Some(offset) = query.offset {
         frame.skip_rows(offset as usize);
     }

@@ -33,6 +33,7 @@ pub mod error;
 pub mod eval;
 pub mod exec;
 pub mod frame;
+pub mod plan;
 pub mod schema;
 pub mod stream;
 pub mod value;
@@ -43,6 +44,7 @@ pub use error::{EngineError, EngineResult};
 pub use exec::aggregate::AggKind;
 pub use exec::{ExecMode, ExecOptions, Executor};
 pub use frame::{Frame, Row};
+pub use plan::{CompiledPlan, ExprProgram, PlanCache, PlanCacheStats};
 pub use schema::{Column, Schema};
 pub use stream::{SensorFilter, SlidingWindow, WindowSpec};
 pub use value::{DataType, GroupKey, Value};

@@ -1,0 +1,2005 @@
+//! Physical plans: compile a [`Query`] + catalog schemas **once** into
+//! a reusable operator DAG, then execute it on every stream tick
+//! without touching the AST again.
+//!
+//! Compilation pre-resolves every name to a column ordinal, lowers
+//! expressions to flat postorder instruction buffers
+//! ([`program::ExprProgram`]), and pre-selects strategies (hash vs.
+//! nested-loop join candidates, projected-vs-input `ORDER BY` key
+//! sources, the window/aggregate kinds). Execution then runs the same
+//! columnar kernels as the AST interpreter — plus partition-parallel
+//! grouped aggregation, window computation and filter/select gathers
+//! over the vendored [`minipool`] scoped thread pool (sized by the
+//! `PARADISE_THREADS` knob; serial when 1).
+//!
+//! Anything the planner cannot compile natively degrades gracefully:
+//! per-node as an [interpreted fragment](PNode::Interpret), or — on any
+//! compile-time resolution error — by [`Executor::execute`] falling
+//! back to the AST interpreter wholesale, which reproduces the exact
+//! reference behaviour. The equivalence suite pins
+//! `compiled == columnar-interpreted == row-at-a-time` over the whole
+//! corpus.
+//!
+//! A [`PlanCache`] maps `(query AST, schema fingerprint)` to compiled
+//! plans with hit/miss/invalidation counters; `paradise-nodes` keeps
+//! one per chain node so steady-state continuous-query ticks reuse
+//! plans, and schema changes at the source invalidate them.
+
+mod program;
+
+pub use program::ExprProgram;
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
+
+use minipool::ThreadPool;
+use paradise_sql::ast::{
+    Expr, FunctionCall, JoinKind, Query, SelectItem, SortOrder, TableRef,
+};
+
+use crate::catalog::Catalog;
+use crate::column::ColumnData;
+use crate::error::{EngineError, EngineResult};
+use crate::eval::{Batch, EvalContext};
+use crate::exec::aggregate::{Accumulator, AggKind};
+use crate::exec::{
+    self, check_strict_grouping, collect_aggregate_calls, distinct_indices, equi_join_columns,
+    finalise_types, order_key_source, query_aggregates, replace_aggregate_calls, window, Executor,
+    KeySource, ProjPlan,
+};
+use crate::frame::Frame;
+use crate::schema::{Column, Schema};
+use crate::value::{DataType, GroupKey, Value};
+
+/// Minimum row count before an operator fans work out to the pool;
+/// below this the scope round-trip costs more than it saves.
+const PARALLEL_MIN_ROWS: usize = 4096;
+
+// ---------------------------------------------------------------------
+// hashing: FxHash for group keys, FNV for AST / schema fingerprints
+// ---------------------------------------------------------------------
+
+/// The Firefox hash: a fast non-cryptographic hasher for the engine's
+/// internal hash maps (grouping, plan-cache keys). Not DoS-hardened —
+/// never use it for attacker-controlled keys that must not collide.
+#[derive(Default)]
+pub(crate) struct FxHasher(u64);
+
+impl Hasher for FxHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    fn write_u8(&mut self, b: u8) {
+        self.0 = (self.0.rotate_left(5) ^ b as u64).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+}
+
+pub(crate) type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// FNV-1a accumulator exposed as a `fmt::Write` sink, so ASTs and
+/// schemas hash through their `Display` impls without allocating.
+struct FnvWriter(u64);
+
+impl FnvWriter {
+    fn new() -> Self {
+        FnvWriter(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+impl std::fmt::Write for FnvWriter {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.write_bytes(s.as_bytes());
+        Ok(())
+    }
+}
+
+/// Structural key of a query: an FNV-1a hash of its canonical SQL
+/// rendering, computed without materialising the string. Callers that
+/// must rule out collisions compare the stored AST on a key hit.
+pub fn ast_key(query: &Query) -> u64 {
+    let mut h = FnvWriter::new();
+    let _ = write!(h, "{query}");
+    h.0
+}
+
+/// Hash one schema: column names, qualifiers and declared types, in
+/// order. Ordinal resolution inside compiled plans depends exactly on
+/// this, so equal fingerprints imply compiled ordinals stay valid.
+pub fn schema_hash(schema: &Schema) -> u64 {
+    let mut h = FnvWriter::new();
+    for c in schema.columns() {
+        h.write_bytes(c.name.as_bytes());
+        h.write_bytes(&[0xfe]);
+        if let Some(s) = &c.source {
+            h.write_bytes(s.as_bytes());
+        }
+        h.write_bytes(&[0xff]);
+        h.write_bytes(c.data_type.name().as_bytes());
+    }
+    h.0
+}
+
+/// Fingerprint the schemas of `tables` as found in `catalog` (missing
+/// tables hash as absent). A compiled plan is valid for execution as
+/// long as this fingerprint matches the one captured at compile time.
+pub fn schema_fingerprint(catalog: &Catalog, tables: &[String]) -> u64 {
+    let mut h = FnvWriter::new();
+    for t in tables {
+        h.write_bytes(t.as_bytes());
+        match catalog.get(t) {
+            Ok(frame) => h.write_u64_mix(schema_hash(&frame.schema)),
+            Err(_) => h.write_bytes(b"<absent>"),
+        }
+    }
+    h.0
+}
+
+impl FnvWriter {
+    fn write_u64_mix(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+}
+
+// ---------------------------------------------------------------------
+// plan data model
+// ---------------------------------------------------------------------
+
+/// A query compiled against a catalog's schemas: the reusable artifact
+/// of the compile-once / run-many contract.
+#[derive(Debug, Clone)]
+pub struct CompiledPlan {
+    root: PNode,
+    tables: Vec<String>,
+    fingerprint: u64,
+}
+
+impl CompiledPlan {
+    /// The schema fingerprint this plan was compiled against.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Base tables the plan reads (inputs of the fingerprint).
+    pub fn tables(&self) -> &[String] {
+        &self.tables
+    }
+}
+
+/// One operator of the physical DAG.
+#[derive(Debug, Clone)]
+enum PNode {
+    /// Fallback: interpret this (sub)query over the AST. Used for
+    /// shapes the planner does not compile natively (UNIONs, wildcard
+    /// aggregation errors, …).
+    Interpret(Box<Query>),
+    /// `SELECT` without `FROM`: one empty row.
+    Unit,
+    /// Base-table scan; shares the catalog buffers zero-copy.
+    Scan {
+        table: String,
+        source: String,
+    },
+    /// Derived table (`FROM (SELECT …) [AS alias]`).
+    Derived {
+        input: Box<PNode>,
+        alias: Option<String>,
+    },
+    /// Two-sided join with the pre-selected equi-key candidate.
+    Join {
+        left: Box<PNode>,
+        right: Box<PNode>,
+        kind: JoinKind,
+        on: Option<Expr>,
+        equi: Option<(usize, usize)>,
+    },
+    /// One `SELECT` block: filter + (plain | aggregation) body.
+    Block(Box<BlockPlan>),
+}
+
+#[derive(Debug, Clone)]
+struct BlockPlan {
+    input: PNode,
+    filter: Option<ExprProgram>,
+    body: Body,
+}
+
+#[derive(Debug, Clone)]
+enum Body {
+    Plain(Box<PlainBody>),
+    Agg(Box<AggBody>),
+}
+
+/// Where an output column's declared-type hint comes from (refined by
+/// `finalise_types` against the actual buffers, exactly like the
+/// interpreter).
+#[derive(Debug, Clone, Copy)]
+enum DTypeSrc {
+    Input(usize),
+    Fixed(DataType),
+}
+
+#[derive(Debug, Clone)]
+enum ProjStep {
+    /// Splice these input ordinals (wildcards; zero-copy).
+    Splice(Vec<usize>),
+    /// Evaluate a compiled expression program.
+    Prog(ExprProgram),
+}
+
+#[derive(Debug, Clone)]
+enum OrderKeySrc {
+    /// A projected output column (pure alias / positional reference).
+    OutCol(usize),
+    /// A program over the block input (plain) or extended (agg) schema.
+    Prog(ExprProgram),
+}
+
+#[derive(Debug, Clone)]
+struct PlainBody {
+    windows: Vec<WindowPlan>,
+    items: Vec<ProjStep>,
+    out_cols: Vec<(String, DTypeSrc)>,
+    order: Vec<(OrderKeySrc, SortOrder)>,
+    distinct: bool,
+    limit: Option<u64>,
+    offset: Option<u64>,
+}
+
+#[derive(Debug, Clone)]
+struct AggBody {
+    group: Vec<ExprProgram>,
+    calls: Vec<AggCallPlan>,
+    agg_names: Vec<String>,
+    /// Input ordinals the post-grouping stages actually read (the
+    /// representative rows are gathered for these columns only); the
+    /// `items`/`having`/`order` programs are remapped accordingly.
+    rep_cols: Vec<usize>,
+    having: Option<ExprProgram>,
+    items: Vec<AggItemStep>,
+    out_names: Vec<String>,
+    order: Vec<(OrderKeySrc, SortOrder)>,
+    distinct: bool,
+    limit: Option<u64>,
+    offset: Option<u64>,
+}
+
+#[derive(Debug, Clone)]
+enum AggItemStep {
+    /// A plain column of the extended (representative ++ `__aggN`) row.
+    Col(usize),
+    /// A compound expression over the extended schema.
+    Prog(ExprProgram),
+}
+
+#[derive(Debug, Clone)]
+struct AggCallPlan {
+    kind: AggKind,
+    distinct: bool,
+    args: Vec<ArgStep>,
+}
+
+#[derive(Debug, Clone)]
+enum ArgStep {
+    /// `COUNT(*)`: a constant non-null placeholder.
+    Star,
+    /// A compiled argument expression.
+    Prog(ExprProgram),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum WinFunc {
+    RowNumber,
+    Rank,
+    DenseRank,
+    Agg(AggKind),
+}
+
+#[derive(Debug, Clone)]
+struct WindowPlan {
+    func: WinFunc,
+    distinct: bool,
+    partition: Vec<ExprProgram>,
+    order: Vec<(ExprProgram, SortOrder)>,
+    args: Vec<ArgStep>,
+}
+
+// ---------------------------------------------------------------------
+// compilation
+// ---------------------------------------------------------------------
+
+impl<'a> Executor<'a> {
+    /// Compile `query` against the executor's catalog. Errors (unknown
+    /// tables/columns, unsupported constructs in scalar position) make
+    /// [`Executor::execute`] fall back to the AST interpreter, which
+    /// reproduces the same runtime outcome.
+    pub fn compile(&self, query: &Query) -> EngineResult<CompiledPlan> {
+        let root = match compile_query(self, query)? {
+            Some((node, _schema)) => node,
+            None => PNode::Interpret(Box::new(query.clone())),
+        };
+        let tables = paradise_sql::analysis::base_relations(query);
+        let fingerprint = schema_fingerprint(self.catalog, &tables);
+        Ok(CompiledPlan { root, tables, fingerprint })
+    }
+
+    /// Execute a previously compiled plan. Fails with
+    /// [`EngineError::StalePlan`] when the catalog schemas no longer
+    /// match the plan's fingerprint (a [`PlanCache`] recompiles instead
+    /// of ever hitting this).
+    pub fn run_plan(&self, plan: &CompiledPlan) -> EngineResult<Frame> {
+        if schema_fingerprint(self.catalog, &plan.tables) != plan.fingerprint {
+            return Err(EngineError::StalePlan);
+        }
+        exec_node(self, &plan.root)
+    }
+}
+
+/// `None` = the sub-plan's output schema is not statically derivable;
+/// the caller interprets its enclosing block instead.
+type Compiled = Option<(PNode, Schema)>;
+
+fn compile_query(exec: &Executor<'_>, query: &Query) -> EngineResult<Compiled> {
+    if !query.unions.is_empty() {
+        // UNION result schemas depend on runtime type finalisation;
+        // interpret the whole chain
+        return Ok(None);
+    }
+    compile_block(exec, query)
+}
+
+fn compile_block(exec: &Executor<'_>, query: &Query) -> EngineResult<Compiled> {
+    let (input, input_schema) = match &query.from {
+        Some(t) => match compile_table(exec, t)? {
+            Some(pair) => pair,
+            None => return interpret_block(query),
+        },
+        None => (PNode::Unit, Schema::default()),
+    };
+    let filter = match &query.where_clause {
+        Some(p) => Some(ExprProgram::compile(p, &input_schema)?),
+        None => None,
+    };
+    if query_aggregates(query) {
+        compile_agg(exec, query, input, &input_schema, filter)
+    } else {
+        compile_plain(exec, query, input, &input_schema, filter)
+    }
+}
+
+/// Wrap a block as an interpreted node when its output names are still
+/// statically known (so enclosing blocks stay compiled); bubble `None`
+/// otherwise.
+fn interpret_block(query: &Query) -> EngineResult<Compiled> {
+    match static_out_names(query) {
+        Some(names) => {
+            let mut schema = Schema::default();
+            for n in names {
+                schema.push(Column::new(n, DataType::Float));
+            }
+            Ok(Some((PNode::Interpret(Box::new(query.clone())), schema)))
+        }
+        None => Ok(None),
+    }
+}
+
+/// Output column names of a block, when derivable without the input
+/// schema (i.e. no wildcards).
+fn static_out_names(query: &Query) -> Option<Vec<String>> {
+    let mut names = Vec::with_capacity(query.items.len());
+    for item in &query.items {
+        match item {
+            SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => return None,
+            SelectItem::Expr { expr, alias } => names.push(item_name(expr, alias)),
+        }
+    }
+    Some(names)
+}
+
+/// The interpreter's output-column naming rule.
+fn item_name(expr: &Expr, alias: &Option<String>) -> String {
+    match alias {
+        Some(a) => a.clone(),
+        None => match expr {
+            Expr::Column(c) => c.name.clone(),
+            other => format!("{other}").to_lowercase(),
+        },
+    }
+}
+
+fn compile_table(exec: &Executor<'_>, table: &TableRef) -> EngineResult<Compiled> {
+    match table {
+        TableRef::Table { name, alias } => {
+            let frame = exec.catalog.get(name)?;
+            let source = alias.as_deref().unwrap_or(name).to_string();
+            let schema = frame.schema.with_source(&source);
+            Ok(Some((PNode::Scan { table: name.clone(), source }, schema)))
+        }
+        TableRef::Subquery { query, alias } => match compile_query(exec, query)? {
+            Some((node, schema)) => {
+                let schema = match alias {
+                    Some(a) => schema.with_source(a),
+                    None => schema,
+                };
+                Ok(Some((
+                    PNode::Derived { input: Box::new(node), alias: alias.clone() },
+                    schema,
+                )))
+            }
+            None => Ok(None),
+        },
+        TableRef::Join { left, right, kind, on } => {
+            let Some((l, ls)) = compile_table(exec, left)? else { return Ok(None) };
+            let Some((r, rs)) = compile_table(exec, right)? else { return Ok(None) };
+            // pre-select the join strategy: recognise the single-equality
+            // ON shape once; the typed-buffer check still runs at
+            // execution time (buffers are dynamically typed)
+            let equi = if matches!(kind, JoinKind::Cross) {
+                None
+            } else {
+                on.as_ref().and_then(|p| equi_join_columns(p, &ls, &rs))
+            };
+            let schema = ls.join(&rs);
+            Ok(Some((
+                PNode::Join {
+                    left: Box::new(l),
+                    right: Box::new(r),
+                    kind: *kind,
+                    on: on.clone(),
+                    equi,
+                },
+                schema,
+            )))
+        }
+    }
+}
+
+fn compile_plain(
+    exec: &Executor<'_>,
+    query: &Query,
+    input: PNode,
+    input_schema: &Schema,
+    filter: Option<ExprProgram>,
+) -> EngineResult<Compiled> {
+    // windows: collected in the interpreter's order (items, then ORDER BY)
+    let mut calls: Vec<FunctionCall> = Vec::new();
+    for item in &query.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            window::collect_window_calls(expr, &mut calls);
+        }
+    }
+    for o in &query.order_by {
+        window::collect_window_calls(&o.expr, &mut calls);
+    }
+    let mut work_schema = input_schema.clone();
+    let mut windows = Vec::with_capacity(calls.len());
+    let mut rewrite_map: Vec<(FunctionCall, String)> = Vec::with_capacity(calls.len());
+    for (i, call) in calls.iter().enumerate() {
+        windows.push(compile_window(call, input_schema)?);
+        let name = format!("__win{i}");
+        work_schema.push(Column::new(name.clone(), DataType::Float));
+        rewrite_map.push((call.clone(), name));
+    }
+    let rewrite = |expr: &Expr| -> Expr {
+        if rewrite_map.is_empty() {
+            return expr.clone();
+        }
+        window::replace_window_calls(expr.clone(), &rewrite_map)
+    };
+
+    let (out_schema, proj) = exec.projection_plan(query, &work_schema, &rewrite)?;
+    let mut items = Vec::with_capacity(proj.len());
+    let mut out_cols = Vec::with_capacity(out_schema.len());
+    let mut names = out_schema.columns().iter().map(|c| c.name.clone());
+    for p in proj {
+        match p {
+            ProjPlan::Splice(indices) => {
+                for &i in &indices {
+                    out_cols.push((names.next().expect("aligned"), DTypeSrc::Input(i)));
+                }
+                items.push(ProjStep::Splice(indices));
+            }
+            ProjPlan::Expr(e) => {
+                let dsrc = match &e {
+                    Expr::Column(c) => DTypeSrc::Input(
+                        work_schema.resolve(c.qualifier.as_deref(), &c.name)?,
+                    ),
+                    _ => DTypeSrc::Fixed(DataType::Float),
+                };
+                out_cols.push((names.next().expect("aligned"), dsrc));
+                items.push(ProjStep::Prog(ExprProgram::compile(&e, &work_schema)?));
+            }
+        }
+    }
+
+    let mut order = Vec::with_capacity(query.order_by.len());
+    for o in &query.order_by {
+        let e = rewrite(&o.expr);
+        let src = match order_key_source(&e, &out_schema, &work_schema)? {
+            KeySource::OutCol(i) => OrderKeySrc::OutCol(i),
+            KeySource::Input => OrderKeySrc::Prog(ExprProgram::compile(&e, &work_schema)?),
+        };
+        order.push((src, o.order));
+    }
+
+    let node = PNode::Block(Box::new(BlockPlan {
+        input,
+        filter,
+        body: Body::Plain(Box::new(PlainBody {
+            windows,
+            items,
+            out_cols,
+            order,
+            distinct: query.distinct,
+            limit: query.limit,
+            offset: query.offset,
+        })),
+    }));
+    Ok(Some((node, out_schema)))
+}
+
+fn compile_window(call: &FunctionCall, input_schema: &Schema) -> EngineResult<WindowPlan> {
+    let upper = call.name.to_ascii_uppercase();
+    let func = match upper.as_str() {
+        "ROW_NUMBER" => WinFunc::RowNumber,
+        "RANK" => WinFunc::Rank,
+        "DENSE_RANK" => WinFunc::DenseRank,
+        _ => WinFunc::Agg(AggKind::from_name(&call.name).ok_or_else(|| {
+            EngineError::UnknownFunction(format!("{} OVER", call.name))
+        })?),
+    };
+    let over = call.over.as_ref().expect("window call has OVER");
+    let partition = over
+        .partition_by
+        .iter()
+        .map(|p| ExprProgram::compile(p, input_schema))
+        .collect::<EngineResult<_>>()?;
+    let order = over
+        .order_by
+        .iter()
+        .map(|o| Ok((ExprProgram::compile(&o.expr, input_schema)?, o.order)))
+        .collect::<EngineResult<_>>()?;
+    let ranking = matches!(func, WinFunc::RowNumber | WinFunc::Rank | WinFunc::DenseRank);
+    let args = if ranking {
+        Vec::new()
+    } else {
+        call.args
+            .iter()
+            .map(|a| match a {
+                Expr::Wildcard => Ok(ArgStep::Star),
+                other => Ok(ArgStep::Prog(ExprProgram::compile(other, input_schema)?)),
+            })
+            .collect::<EngineResult<_>>()?
+    };
+    Ok(WindowPlan { func, distinct: call.distinct, partition, order, args })
+}
+
+fn compile_agg(
+    exec: &Executor<'_>,
+    query: &Query,
+    input: PNode,
+    input_schema: &Schema,
+    filter: Option<ExprProgram>,
+) -> EngineResult<Compiled> {
+    if query.has_wildcard() {
+        // the interpreter rejects `SELECT *` with aggregation at runtime
+        return interpret_block(query);
+    }
+    if exec.options.strict_group_by {
+        // static property: check once at compile time; violations fall
+        // back to the interpreter, which raises the reference error
+        let grouped: std::collections::HashSet<String> = query
+            .group_by
+            .iter()
+            .filter_map(|g| match g {
+                Expr::Column(c) => Some(c.name.to_ascii_lowercase()),
+                _ => None,
+            })
+            .collect();
+        for item in &query.items {
+            if let SelectItem::Expr { expr, .. } = item {
+                check_strict_grouping(expr, &grouped, &query.group_by)?;
+            }
+        }
+    }
+
+    let group: Vec<ExprProgram> = query
+        .group_by
+        .iter()
+        .map(|g| ExprProgram::compile(g, input_schema))
+        .collect::<EngineResult<_>>()?;
+
+    let mut agg_calls: Vec<FunctionCall> = Vec::new();
+    for item in &query.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            collect_aggregate_calls(expr, &mut agg_calls);
+        }
+    }
+    if let Some(h) = &query.having {
+        collect_aggregate_calls(h, &mut agg_calls);
+    }
+    for o in &query.order_by {
+        collect_aggregate_calls(&o.expr, &mut agg_calls);
+    }
+
+    let mut calls = Vec::with_capacity(agg_calls.len());
+    for call in &agg_calls {
+        let kind = AggKind::from_name(&call.name)
+            .ok_or_else(|| EngineError::UnknownFunction(call.name.clone()))?;
+        if call.args.len() != kind.arity() {
+            return Err(EngineError::WrongArity {
+                function: call.name.clone(),
+                expected: kind.arity().to_string(),
+                got: call.args.len(),
+            });
+        }
+        let args = call
+            .args
+            .iter()
+            .map(|a| match a {
+                Expr::Wildcard => Ok(ArgStep::Star),
+                other => Ok(ArgStep::Prog(ExprProgram::compile(other, input_schema)?)),
+            })
+            .collect::<EngineResult<_>>()?;
+        calls.push(AggCallPlan { kind, distinct: call.distinct, args });
+    }
+
+    let agg_names: Vec<String> = (0..agg_calls.len()).map(|i| format!("__agg{i}")).collect();
+    let mut ext_schema = input_schema.clone();
+    for name in &agg_names {
+        ext_schema.push(Column::new(name.clone(), DataType::Float));
+    }
+    let rewrite =
+        |expr: &Expr| -> Expr { replace_aggregate_calls(expr.clone(), &agg_calls, &agg_names) };
+
+    let mut having =
+        query.having.as_ref().map(|h| ExprProgram::compile(&rewrite(h), &ext_schema)).transpose()?;
+
+    let mut out_names = Vec::with_capacity(query.items.len());
+    let mut items = Vec::with_capacity(query.items.len());
+    for item in &query.items {
+        let SelectItem::Expr { expr, alias } = item else { unreachable!("wildcards excluded") };
+        out_names.push(item_name(expr, alias));
+        let e = rewrite(expr);
+        let step = match &e {
+            Expr::Column(c) => match ext_schema.try_resolve(c.qualifier.as_deref(), &c.name) {
+                Some(idx) => AggItemStep::Col(idx),
+                None => AggItemStep::Prog(ExprProgram::compile(&e, &ext_schema)?),
+            },
+            _ => AggItemStep::Prog(ExprProgram::compile(&e, &ext_schema)?),
+        };
+        items.push(step);
+    }
+
+    let mut out_schema = Schema::default();
+    for name in &out_names {
+        out_schema.push(Column::new(name.clone(), DataType::Float));
+    }
+
+    let mut order = Vec::with_capacity(query.order_by.len());
+    for o in &query.order_by {
+        let e = rewrite(&o.expr);
+        let src = match order_key_source(&e, &out_schema, &ext_schema)? {
+            KeySource::OutCol(i) => OrderKeySrc::OutCol(i),
+            KeySource::Input => OrderKeySrc::Prog(ExprProgram::compile(&e, &ext_schema)?),
+        };
+        order.push((src, o.order));
+    }
+
+    // Representative-column pruning: the post-grouping stages only need
+    // the input columns that items/HAVING/ORDER actually read, so the
+    // per-group representative rows gather just those (a big win for
+    // high-cardinality GROUP BY over wide inputs). Programs are
+    // remapped to the compact layout. Skipped when the input schema has
+    // duplicate names, where narrowing could change name resolution in
+    // the (rare) row-fallback path.
+    let mut rep_cols: Vec<usize> = (0..input_schema.len()).collect();
+    let unique_names = {
+        let mut seen = std::collections::HashSet::new();
+        input_schema
+            .columns()
+            .iter()
+            .all(|c| seen.insert(c.name.to_ascii_lowercase()))
+    };
+    if unique_names {
+        let mut used: Vec<bool> = vec![false; input_schema.len()];
+        let mut mark = |idx: usize| {
+            if idx < used.len() {
+                used[idx] = true;
+            }
+        };
+        for step in &items {
+            match step {
+                AggItemStep::Col(i) => mark(*i),
+                AggItemStep::Prog(p) => p.column_ordinals().for_each(&mut mark),
+            }
+        }
+        if let Some(h) = &having {
+            h.column_ordinals().for_each(&mut mark);
+        }
+        for (src, _) in &order {
+            if let OrderKeySrc::Prog(p) = src {
+                p.column_ordinals().for_each(&mut mark);
+            }
+        }
+        rep_cols = used
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &u)| u.then_some(i))
+            .collect();
+        // full ext ordinal -> compact ext ordinal
+        let mut compact = vec![usize::MAX; input_schema.len() + agg_names.len()];
+        for (ci, &full) in rep_cols.iter().enumerate() {
+            compact[full] = ci;
+        }
+        for (ai, slot) in compact.iter_mut().skip(input_schema.len()).enumerate() {
+            *slot = rep_cols.len() + ai;
+        }
+        let remap = |idx: usize| compact[idx];
+        for step in &mut items {
+            match step {
+                AggItemStep::Col(i) => *i = remap(*i),
+                AggItemStep::Prog(p) => p.remap_columns(&remap),
+            }
+        }
+        if let Some(h) = &mut having {
+            h.remap_columns(&remap);
+        }
+        for (src, _) in &mut order {
+            if let OrderKeySrc::Prog(p) = src {
+                p.remap_columns(&remap);
+            }
+        }
+    }
+
+    let node = PNode::Block(Box::new(BlockPlan {
+        input,
+        filter,
+        body: Body::Agg(Box::new(AggBody {
+            group,
+            calls,
+            agg_names,
+            rep_cols,
+            having,
+            items,
+            out_names,
+            order,
+            distinct: query.distinct,
+            limit: query.limit,
+            offset: query.offset,
+        })),
+    }));
+    Ok(Some((node, out_schema)))
+}
+
+// ---------------------------------------------------------------------
+// execution
+// ---------------------------------------------------------------------
+
+fn exec_node(exec: &Executor<'_>, node: &PNode) -> EngineResult<Frame> {
+    match node {
+        PNode::Interpret(q) => exec.execute_ast(q),
+        PNode::Unit => Frame::new(Schema::default(), vec![vec![]]),
+        PNode::Scan { table, source } => {
+            let frame = exec.catalog.get(table)?;
+            let columns = (0..frame.schema.len()).map(|c| frame.column_arc(c)).collect();
+            Frame::from_arc_columns(frame.schema.with_source(source), columns)
+        }
+        PNode::Derived { input, alias } => {
+            let frame = exec_node(exec, input)?;
+            match alias {
+                Some(a) => {
+                    let schema = frame.schema.with_source(a);
+                    let columns =
+                        (0..frame.schema.len()).map(|c| frame.column_arc(c)).collect();
+                    Frame::from_arc_columns(schema, columns)
+                }
+                None => Ok(frame),
+            }
+        }
+        PNode::Join { left, right, kind, on, equi } => {
+            let l = exec_node(exec, left)?;
+            let r = exec_node(exec, right)?;
+            exec.join_frames(l, r, *kind, on.as_ref(), *equi)
+        }
+        PNode::Block(block) => exec_block(exec, block),
+    }
+}
+
+fn exec_block(exec: &Executor<'_>, block: &BlockPlan) -> EngineResult<Frame> {
+    let input = exec_node(exec, &block.input)?;
+    let filtered = match &block.filter {
+        Some(p) => {
+            // subqueries interpret columnar-style: re-compiling them per
+            // tick would defeat the compile-once contract
+            let subquery_fn = |q: &Query| exec.execute_ast(q);
+            let mask = {
+                let ctx = EvalContext { schema: &input.schema, subquery: Some(&subquery_fn) };
+                p.eval_mask(&input, &ctx)?
+            };
+            filter_rows_parallel(&input, &mask, ThreadPool::global())
+        }
+        None => input,
+    };
+    match &block.body {
+        Body::Plain(body) => exec_plain(exec, body, filtered),
+        Body::Agg(body) => exec_agg(exec, body, filtered),
+    }
+}
+
+fn exec_plain(exec: &Executor<'_>, body: &PlainBody, input: Frame) -> EngineResult<Frame> {
+    let subquery_fn = |q: &Query| exec.execute_ast(q);
+
+    // window columns, attached in plan order
+    let mut work = input;
+    for (i, w) in body.windows.iter().enumerate() {
+        let col = {
+            let ctx = EvalContext { schema: &work.schema, subquery: Some(&subquery_fn) };
+            compute_window_plan(w, &work, &ctx)?
+        };
+        work.push_column(Column::new(format!("__win{i}"), DataType::Float), col)?;
+    }
+
+    let n = work.len();
+    let ctx = EvalContext { schema: &work.schema, subquery: Some(&subquery_fn) };
+
+    let mut out_arcs: Vec<Arc<ColumnData>> = Vec::with_capacity(body.out_cols.len());
+    for step in &body.items {
+        match step {
+            ProjStep::Splice(indices) => {
+                for &i in indices {
+                    out_arcs.push(work.column_arc(i));
+                }
+            }
+            ProjStep::Prog(p) => out_arcs.push(p.eval(&work, &ctx)?.into_column_arc(n)),
+        }
+    }
+    let mut out_schema = Schema::default();
+    for (name, dsrc) in &body.out_cols {
+        let dt = match dsrc {
+            DTypeSrc::Input(i) => work.schema.columns()[*i].data_type,
+            DTypeSrc::Fixed(dt) => *dt,
+        };
+        out_schema.push(Column::new(name.clone(), dt));
+    }
+    let mut frame = Frame::from_arc_columns(out_schema, out_arcs)?;
+    finalise_types(&mut frame);
+
+    let mut key_cols: Vec<Arc<ColumnData>> = Vec::with_capacity(body.order.len());
+    for (src, _) in &body.order {
+        key_cols.push(match src {
+            OrderKeySrc::OutCol(i) => frame.column_arc(*i),
+            OrderKeySrc::Prog(p) => p.eval(&work, &ctx)?.into_column_arc(n),
+        });
+    }
+    sort_distinct_tail(frame, key_cols, &body.order, body.distinct, body.limit, body.offset)
+}
+
+/// Shared DISTINCT → ORDER BY → LIMIT/OFFSET tail of both block bodies,
+/// matching the interpreter's operator order exactly.
+fn sort_distinct_tail(
+    mut frame: Frame,
+    mut key_cols: Vec<Arc<ColumnData>>,
+    order: &[(OrderKeySrc, SortOrder)],
+    distinct: bool,
+    limit: Option<u64>,
+    offset: Option<u64>,
+) -> EngineResult<Frame> {
+    if distinct {
+        let kept = distinct_indices(&frame);
+        if kept.len() < frame.len() {
+            frame = select_rows_parallel(&frame, &kept, ThreadPool::global());
+            key_cols = key_cols.iter().map(|c| Arc::new(c.gather(&kept))).collect();
+        }
+    }
+    if !order.is_empty() {
+        let orders: Vec<SortOrder> = order.iter().map(|(_, o)| *o).collect();
+        let mut perm = exec::sort_permutation(&key_cols, &orders, frame.len());
+        if let Some(off) = offset {
+            let off = (off as usize).min(perm.len());
+            perm.drain(..off);
+        }
+        if let Some(l) = limit {
+            perm.truncate(l as usize);
+        }
+        frame = select_rows_parallel(&frame, &perm, ThreadPool::global());
+    } else {
+        if let Some(off) = offset {
+            frame.skip_rows(off as usize);
+        }
+        if let Some(l) = limit {
+            frame.truncate(l as usize);
+        }
+    }
+    Ok(frame)
+}
+
+fn exec_agg(exec: &Executor<'_>, body: &AggBody, input: Frame) -> EngineResult<Frame> {
+    let n = input.len();
+    let subquery_fn = |q: &Query| exec.execute_ast(q);
+
+    // 1. group rows (first-appearance order, CSR layout)
+    let grouping = if body.group.is_empty() {
+        Grouping::single(n)
+    } else {
+        let ctx = EvalContext { schema: &input.schema, subquery: Some(&subquery_fn) };
+        let key_cols: Vec<Arc<ColumnData>> = body
+            .group
+            .iter()
+            .map(|p| Ok(p.eval(&input, &ctx)?.into_column_arc(n)))
+            .collect::<EngineResult<_>>()?;
+        group_rows(&key_cols, n)
+    };
+
+    // 2. batch-evaluate the aggregate arguments once over the input
+    // (with zero groups nothing consumes them; programs never evaluate
+    // over empty frames, so this stays error-free like the interpreter)
+    let mut arg_batches: Vec<Vec<Batch>> = Vec::with_capacity(body.calls.len());
+    {
+        let ctx = EvalContext { schema: &input.schema, subquery: Some(&subquery_fn) };
+        for call in &body.calls {
+            arg_batches.push(
+                call.args
+                    .iter()
+                    .map(|a| match a {
+                        ArgStep::Star => Ok(Batch::Const(Value::Int(1))),
+                        ArgStep::Prog(p) => p.eval(&input, &ctx),
+                    })
+                    .collect::<EngineResult<_>>()?,
+            );
+        }
+    }
+
+    // 3. accumulate per group (group-parallel over the pool); one value
+    // column per aggregate call
+    let agg_cols = accumulate_groups(&body.calls, &arg_batches, &grouping, ThreadPool::global())?;
+
+    // 4. extended frame: representative values of the *referenced*
+    // input columns per group ++ the aggregate columns
+    let ext_all = build_ext_frame(&input, &grouping, body, agg_cols)?;
+
+    // 5. HAVING over the extended frame
+    let ext = match &body.having {
+        Some(h) => {
+            let mask = {
+                let ctx = EvalContext { schema: &ext_all.schema, subquery: Some(&subquery_fn) };
+                h.eval_mask(&ext_all, &ctx)?
+            };
+            filter_rows_parallel(&ext_all, &mask, ThreadPool::global())
+        }
+        None => ext_all,
+    };
+
+    // 6. projection over the extended frame
+    let g = ext.len();
+    let ctx = EvalContext { schema: &ext.schema, subquery: Some(&subquery_fn) };
+    let mut out_arcs: Vec<Arc<ColumnData>> = Vec::with_capacity(body.items.len());
+    for step in &body.items {
+        match step {
+            AggItemStep::Col(i) => out_arcs.push(ext.column_arc(*i)),
+            AggItemStep::Prog(p) => out_arcs.push(p.eval(&ext, &ctx)?.into_column_arc(g)),
+        }
+    }
+    let mut out_schema = Schema::default();
+    for name in &body.out_names {
+        out_schema.push(Column::new(name.clone(), DataType::Float));
+    }
+    let mut frame = Frame::from_arc_columns(out_schema, out_arcs)?;
+    finalise_types(&mut frame);
+
+    // 7. ORDER BY keys: aliases from the output, the rest over ext
+    let mut key_cols: Vec<Arc<ColumnData>> = Vec::with_capacity(body.order.len());
+    for (src, _) in &body.order {
+        key_cols.push(match src {
+            OrderKeySrc::OutCol(i) => frame.column_arc(*i),
+            OrderKeySrc::Prog(p) => p.eval(&ext, &ctx)?.into_column_arc(g),
+        });
+    }
+    sort_distinct_tail(frame, key_cols, &body.order, body.distinct, body.limit, body.offset)
+}
+
+/// Representative (first) values of the referenced input columns per
+/// group ++ one column per aggregate call. A single empty group (global
+/// aggregation over zero rows) yields one all-NULL representative row,
+/// like the interpreter.
+fn build_ext_frame(
+    input: &Frame,
+    grouping: &Grouping,
+    body: &AggBody,
+    agg_cols: Vec<Vec<Value>>,
+) -> EngineResult<Frame> {
+    let mut frame = if grouping.is_global_empty() {
+        let mut schema = Schema::default();
+        let mut cols = Vec::with_capacity(body.rep_cols.len());
+        for &i in &body.rep_cols {
+            schema.push(input.schema.columns()[i].clone());
+            cols.push(ColumnData::from_values(vec![Value::Null]));
+        }
+        if body.rep_cols.is_empty() {
+            // zero-column frame must still carry one row
+            Frame::from_rows(schema, vec![Vec::new()])
+        } else {
+            Frame::from_columns(schema, cols)?
+        }
+    } else {
+        let mut schema = Schema::default();
+        let mut cols = Vec::with_capacity(body.rep_cols.len());
+        for &i in &body.rep_cols {
+            schema.push(input.schema.columns()[i].clone());
+            cols.push(Arc::new(input.column(i).gather(&grouping.firsts)));
+        }
+        if body.rep_cols.is_empty() {
+            Frame::from_rows(schema, vec![Vec::new(); grouping.len()])
+        } else {
+            Frame::from_arc_columns(schema, cols)?
+        }
+    };
+    for (values, name) in agg_cols.into_iter().zip(&body.agg_names) {
+        let col = ColumnData::from_values(values);
+        frame.push_column(Column::new(name.clone(), DataType::Float), col)?;
+    }
+    Ok(frame)
+}
+
+// ---------------------------------------------------------------------
+// grouping + typed accumulation kernels
+// ---------------------------------------------------------------------
+
+/// Groups of `0..n` in first-appearance order, laid out CSR-style: one
+/// shared `rows` buffer partitioned by `offsets` — no per-group `Vec`
+/// allocation, which dominates high-cardinality `GROUP BY`/windows.
+struct Grouping {
+    /// Row indices, grouped contiguously; within a group in ascending
+    /// (appearance) order.
+    rows: Vec<usize>,
+    /// `offsets[g]..offsets[g + 1]` slices `rows` for group `g`.
+    offsets: Vec<usize>,
+    /// First-appearance row of every group (empty for the synthetic
+    /// empty global group).
+    firsts: Vec<usize>,
+}
+
+impl Grouping {
+    /// All rows in one group (`GROUP BY ()` / window without PARTITION
+    /// BY); `n == 0` yields the empty global group.
+    fn single(n: usize) -> Grouping {
+        Grouping {
+            rows: (0..n).collect(),
+            offsets: vec![0, n],
+            firsts: if n > 0 { vec![0] } else { Vec::new() },
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    fn group(&self, g: usize) -> &[usize] {
+        &self.rows[self.offsets[g]..self.offsets[g + 1]]
+    }
+
+    /// Is this the synthetic zero-row global group?
+    fn is_global_empty(&self) -> bool {
+        self.len() == 1 && self.rows.is_empty()
+    }
+
+    /// Build from per-row group ids (pass 2 of grouping: counting sort).
+    fn from_gids(gids: &[u32], n_groups: usize, firsts: Vec<usize>) -> Grouping {
+        let mut offsets = vec![0usize; n_groups + 1];
+        for &g in gids {
+            offsets[g as usize + 1] += 1;
+        }
+        for g in 0..n_groups {
+            offsets[g + 1] += offsets[g];
+        }
+        let mut cursor = offsets.clone();
+        let mut rows = vec![0usize; gids.len()];
+        for (ri, &g) in gids.iter().enumerate() {
+            let c = &mut cursor[g as usize];
+            rows[*c] = ri;
+            *c += 1;
+        }
+        Grouping { rows, offsets, firsts }
+    }
+}
+
+/// Partition `0..n` by the key columns, groups in first-appearance
+/// order. Same contract as the interpreter's grouping, but Fx-hashed
+/// with dense single-key fast paths (float-bit / integer keys skip the
+/// `GroupKey` enum entirely) — hashing dominates the per-tick cost of
+/// `GROUP BY` at scale.
+fn group_rows(key_cols: &[Arc<ColumnData>], n: usize) -> Grouping {
+    use std::collections::hash_map::Entry;
+    if key_cols.is_empty() {
+        return Grouping::single(n);
+    }
+    let mut gids: Vec<u32> = Vec::with_capacity(n);
+    let mut firsts: Vec<usize> = Vec::new();
+    let mut n_groups = 0u32;
+
+    macro_rules! assign {
+        ($slots:ident, $key:expr) => {
+            for ri in 0..n {
+                let gid = match $slots.entry($key(ri)) {
+                    Entry::Occupied(e) => *e.get(),
+                    Entry::Vacant(e) => {
+                        let g = n_groups;
+                        e.insert(g);
+                        firsts.push(ri);
+                        n_groups += 1;
+                        g
+                    }
+                };
+                gids.push(gid);
+            }
+        };
+    }
+
+    if let [col] = key_cols {
+        if let Some(floats) = col.float_slice() {
+            // NULL cannot collide with a float key: use a two-level key
+            let mut slots: FxHashMap<Option<u64>, u32> = FxHashMap::default();
+            // group-key semantics: -0.0 folds onto 0.0, NaNs by bits
+            let key = |ri: usize| {
+                floats[ri].map(|x| if x == 0.0 { 0.0f64.to_bits() } else { x.to_bits() })
+            };
+            assign!(slots, key);
+            return Grouping::from_gids(&gids, n_groups as usize, firsts);
+        }
+        if let Some(ints) = col.int_slice() {
+            let mut slots: FxHashMap<Option<i64>, u32> = FxHashMap::default();
+            let key = |ri: usize| ints[ri];
+            assign!(slots, key);
+            return Grouping::from_gids(&gids, n_groups as usize, firsts);
+        }
+        let mut slots: FxHashMap<GroupKey, u32> = FxHashMap::default();
+        let key = |ri: usize| col.group_key_at(ri);
+        assign!(slots, key);
+        return Grouping::from_gids(&gids, n_groups as usize, firsts);
+    }
+
+    let mut slots: FxHashMap<Vec<GroupKey>, u32> = FxHashMap::default();
+    let key = |ri: usize| -> Vec<GroupKey> {
+        key_cols.iter().map(|c| c.group_key_at(ri)).collect()
+    };
+    assign!(slots, key);
+    Grouping::from_gids(&gids, n_groups as usize, firsts)
+}
+
+/// Numeric view of one aggregate-argument batch, for the typed
+/// accumulation loops (no per-cell `Value` materialisation).
+enum NumView<'a> {
+    I(&'a [Option<i64>]),
+    F(&'a [Option<f64>]),
+    ConstInt(i64),
+    ConstFloat(f64),
+    ConstNull,
+}
+
+fn num_view(batch: &Batch) -> Option<NumView<'_>> {
+    match batch {
+        Batch::Const(Value::Int(v)) => Some(NumView::ConstInt(*v)),
+        Batch::Const(Value::Float(v)) => Some(NumView::ConstFloat(*v)),
+        Batch::Const(Value::Null) => Some(NumView::ConstNull),
+        Batch::Const(_) => None,
+        Batch::Col(c) => {
+            if let Some(ints) = c.int_slice() {
+                Some(NumView::I(ints))
+            } else {
+                c.float_slice().map(NumView::F)
+            }
+        }
+    }
+}
+
+impl NumView<'_> {
+    /// `(value, came-from-integer)` at row `i`, `None` for NULL.
+    fn get(&self, i: usize) -> Option<(f64, bool)> {
+        match self {
+            NumView::I(v) => v[i].map(|x| (x as f64, true)),
+            NumView::F(v) => v[i].map(|x| (x, false)),
+            NumView::ConstInt(x) => Some((*x as f64, true)),
+            NumView::ConstFloat(x) => Some((*x, false)),
+            NumView::ConstNull => None,
+        }
+    }
+}
+
+/// Incremental accumulator over pre-batched arguments, with typed fast
+/// paths for the numeric kinds; used by both grouped aggregation and
+/// running windows. The generic arm reproduces the interpreter's
+/// per-row `Value` loop bit for bit.
+enum RowAcc<'a> {
+    /// SUM/AVG/STDDEV/VAR_SAMP over one numeric argument.
+    Num { acc: Accumulator, view: NumView<'a> },
+    /// `regr_*(y, x)` over two numeric arguments.
+    Pair { acc: Accumulator, y: NumView<'a>, x: NumView<'a> },
+    /// COUNT: null test only, no value materialisation.
+    Count { acc: Accumulator, arg: &'a Batch },
+    /// Everything else (DISTINCT, MIN/MAX, text, mixed buffers).
+    Generic { acc: Accumulator, args: &'a [Batch], buf: Vec<Value> },
+}
+
+impl<'a> RowAcc<'a> {
+    fn new(kind: AggKind, distinct: bool, args: &'a [Batch]) -> RowAcc<'a> {
+        if !distinct && args.len() == kind.arity() {
+            match kind {
+                AggKind::Sum | AggKind::Avg | AggKind::Stddev | AggKind::VarSamp => {
+                    if let Some(view) = num_view(&args[0]) {
+                        return RowAcc::Num { acc: Accumulator::new(kind, false), view };
+                    }
+                }
+                AggKind::Count => {
+                    return RowAcc::Count { acc: Accumulator::new(kind, false), arg: &args[0] };
+                }
+                AggKind::RegrIntercept
+                | AggKind::RegrSlope
+                | AggKind::RegrR2
+                | AggKind::RegrCount => {
+                    if let (Some(y), Some(x)) = (num_view(&args[0]), num_view(&args[1])) {
+                        return RowAcc::Pair { acc: Accumulator::new(kind, false), y, x };
+                    }
+                }
+                AggKind::Min | AggKind::Max => {}
+            }
+        }
+        RowAcc::Generic {
+            acc: Accumulator::new(kind, distinct),
+            args,
+            buf: Vec::with_capacity(args.len()),
+        }
+    }
+
+    /// Reset for the next group/partition (keeps allocations).
+    fn reset(&mut self) {
+        match self {
+            RowAcc::Num { acc, .. }
+            | RowAcc::Pair { acc, .. }
+            | RowAcc::Count { acc, .. }
+            | RowAcc::Generic { acc, .. } => acc.reset(),
+        }
+    }
+
+    fn update(&mut self, ri: usize) -> EngineResult<()> {
+        match self {
+            RowAcc::Num { acc, view } => {
+                if let Some((x, from_int)) = view.get(ri) {
+                    acc.update_num_fast(x, from_int);
+                }
+                Ok(())
+            }
+            RowAcc::Pair { acc, y, x } => {
+                if let (Some((yv, _)), Some((xv, _))) = (y.get(ri), x.get(ri)) {
+                    acc.update_pair_fast(yv, xv);
+                }
+                Ok(())
+            }
+            RowAcc::Count { acc, arg } => {
+                if !arg.is_null(ri) {
+                    acc.bump_count(1);
+                }
+                Ok(())
+            }
+            RowAcc::Generic { acc, args, buf } => {
+                buf.clear();
+                buf.extend(args.iter().map(|b| b.value(ri)));
+                acc.update(buf)
+            }
+        }
+    }
+
+    fn finish(&self) -> Value {
+        match self {
+            RowAcc::Num { acc, .. }
+            | RowAcc::Pair { acc, .. }
+            | RowAcc::Count { acc, .. }
+            | RowAcc::Generic { acc, .. } => acc.finish(),
+        }
+    }
+}
+
+/// All aggregate calls over a contiguous range of groups; accumulators
+/// are constructed once and reset per group. Returns one value column
+/// per call (covering the range), in the interpreter's group-major
+/// evaluation order so errors surface identically.
+fn accumulate_range(
+    calls: &[AggCallPlan],
+    arg_batches: &[Vec<Batch>],
+    grouping: &Grouping,
+    range: std::ops::Range<usize>,
+) -> EngineResult<Vec<Vec<Value>>> {
+    let mut accs: Vec<RowAcc<'_>> = calls
+        .iter()
+        .zip(arg_batches)
+        .map(|(c, args)| RowAcc::new(c.kind, c.distinct, args))
+        .collect();
+    let mut out: Vec<Vec<Value>> =
+        calls.iter().map(|_| Vec::with_capacity(range.len())).collect();
+    for g in range {
+        let rows = grouping.group(g);
+        for (acc, col) in accs.iter_mut().zip(out.iter_mut()) {
+            acc.reset();
+            for &ri in rows {
+                acc.update(ri)?;
+            }
+            col.push(acc.finish());
+        }
+    }
+    Ok(out)
+}
+
+/// All aggregate calls over all groups; group-parallel over the pool
+/// when the work is large enough. Results stay in group order, errors
+/// surface in group order — parallelism is invisible in the output.
+fn accumulate_groups(
+    calls: &[AggCallPlan],
+    arg_batches: &[Vec<Batch>],
+    grouping: &Grouping,
+    pool: &ThreadPool,
+) -> EngineResult<Vec<Vec<Value>>> {
+    let ng = grouping.len();
+    if pool.workers() == 0 || ng < 2 || grouping.rows.len() < PARALLEL_MIN_ROWS {
+        return accumulate_range(calls, arg_batches, grouping, 0..ng);
+    }
+    let ranges = pool.chunk_ranges(ng, 1);
+    let mut parts: Vec<EngineResult<Vec<Vec<Value>>>> = Vec::with_capacity(ranges.len());
+    parts.resize_with(ranges.len(), || Ok(Vec::new()));
+    pool.scope(|s| {
+        for (range, slot) in ranges.iter().zip(parts.iter_mut()) {
+            let range = range.clone();
+            s.spawn(move || {
+                *slot = accumulate_range(calls, arg_batches, grouping, range);
+            });
+        }
+    });
+    let mut out: Vec<Vec<Value>> = calls.iter().map(|_| Vec::with_capacity(ng)).collect();
+    for part in parts {
+        for (col, chunk_col) in out.iter_mut().zip(part?) {
+            col.extend(chunk_col);
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// windows
+// ---------------------------------------------------------------------
+
+/// Typed view of one window sort-key column.
+enum KeyView<'a> {
+    I(&'a [Option<i64>]),
+    F(&'a [Option<f64>]),
+    Gen(&'a ColumnData),
+}
+
+impl KeyView<'_> {
+    fn cmp(&self, a: usize, b: usize) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        match self {
+            // Option ordering puts NULL first, like the generic total order
+            KeyView::I(v) => v[a].cmp(&v[b]),
+            KeyView::F(v) => match (v[a], v[b]) {
+                (None, None) => Ordering::Equal,
+                (None, Some(_)) => Ordering::Less,
+                (Some(_), None) => Ordering::Greater,
+                (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(Ordering::Equal),
+            },
+            KeyView::Gen(c) => c.cmp_at(a, c, b),
+        }
+    }
+}
+
+fn key_views(cols: &[Arc<ColumnData>]) -> Vec<KeyView<'_>> {
+    cols.iter()
+        .map(|c| {
+            if let Some(ints) = c.int_slice() {
+                KeyView::I(ints)
+            } else if let Some(floats) = c.float_slice() {
+                KeyView::F(floats)
+            } else {
+                KeyView::Gen(c)
+            }
+        })
+        .collect()
+}
+
+fn cmp_keys(views: &[KeyView<'_>], orders: &[SortOrder], a: usize, b: usize) -> std::cmp::Ordering {
+    for (view, order) in views.iter().zip(orders) {
+        let ord = view.cmp(a, b);
+        let ord = if *order == SortOrder::Desc { ord.reverse() } else { ord };
+        if !ord.is_eq() {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+fn peers_eq(views: &[KeyView<'_>], a: usize, b: usize) -> bool {
+    views.iter().all(|v| v.cmp(a, b).is_eq())
+}
+
+/// Compute one window call: one output value per input row, in input
+/// row order. Partitions are CSR-grouped, per-chunk scratch buffers and
+/// accumulators are reused, and chunks run partition-parallel over the
+/// pool (each chunk owns a contiguous slice of the CSR-ordered output).
+fn compute_window_plan(
+    plan: &WindowPlan,
+    frame: &Frame,
+    ctx: &EvalContext<'_>,
+) -> EngineResult<ColumnData> {
+    let n = frame.len();
+    let part_cols: Vec<Arc<ColumnData>> = plan
+        .partition
+        .iter()
+        .map(|p| Ok(p.eval(frame, ctx)?.into_column_arc(n)))
+        .collect::<EngineResult<_>>()?;
+    let grouping = if plan.partition.is_empty() {
+        Grouping::single(n)
+    } else {
+        group_rows(&part_cols, n)
+    };
+
+    let key_cols: Vec<Arc<ColumnData>> = plan
+        .order
+        .iter()
+        .map(|(p, _)| Ok(p.eval(frame, ctx)?.into_column_arc(n)))
+        .collect::<EngineResult<_>>()?;
+    let orders: Vec<SortOrder> = plan.order.iter().map(|(_, o)| *o).collect();
+    let args: Vec<Batch> = plan
+        .args
+        .iter()
+        .map(|a| match a {
+            ArgStep::Star => Ok(Batch::Const(Value::Int(1))),
+            ArgStep::Prog(p) => p.eval(frame, ctx),
+        })
+        .collect::<EngineResult<_>>()?;
+    let views = key_views(&key_cols);
+
+    // values in CSR order: chunk `c` covering groups `gs..ge` owns
+    // `csr_vals[offsets[gs]..offsets[ge]]`
+    let mut csr_vals: Vec<Value> = vec![Value::Null; n];
+    let ng = grouping.len();
+    let pool = ThreadPool::global();
+    let run_range = |range: std::ops::Range<usize>, slice: &mut [Value]| -> EngineResult<()> {
+        let base = grouping.offsets[range.start];
+        let mut scratch: Vec<usize> = Vec::new();
+        let mut acc = match plan.func {
+            WinFunc::Agg(kind) => Some(RowAcc::new(kind, plan.distinct, &args)),
+            _ => None,
+        };
+        for g in range {
+            let rows = grouping.group(g);
+            let lo = grouping.offsets[g] - base;
+            window_partition(
+                plan.func,
+                &views,
+                &orders,
+                rows,
+                &mut slice[lo..lo + rows.len()],
+                &mut scratch,
+                acc.as_mut(),
+            )?;
+        }
+        Ok(())
+    };
+
+    if pool.workers() > 0 && ng >= 2 && n >= PARALLEL_MIN_ROWS {
+        let ranges = pool.chunk_ranges(ng, 1);
+        let mut slots: Vec<EngineResult<()>> = Vec::with_capacity(ranges.len());
+        slots.resize_with(ranges.len(), || Ok(()));
+        pool.scope(|s| {
+            let mut rest: &mut [Value] = &mut csr_vals;
+            for (range, slot) in ranges.iter().zip(slots.iter_mut()) {
+                let len = grouping.offsets[range.end] - grouping.offsets[range.start];
+                let (head, tail) = rest.split_at_mut(len);
+                rest = tail;
+                let range = range.clone();
+                let run_range = &run_range;
+                s.spawn(move || *slot = run_range(range, head));
+            }
+        });
+        slots.into_iter().collect::<EngineResult<Vec<()>>>()?;
+    } else {
+        run_range(0..ng, &mut csr_vals)?;
+    }
+
+    // scatter back to input row order
+    let mut out = vec![Value::Null; n];
+    for (k, v) in csr_vals.into_iter().enumerate() {
+        out[grouping.rows[k]] = v;
+    }
+    Ok(ColumnData::from_values(out))
+}
+
+/// One partition's window values, written into `out` aligned to the
+/// partition's row positions. `scratch` and `acc` are reused across
+/// partitions of a chunk.
+#[allow(clippy::too_many_arguments)]
+fn window_partition(
+    func: WinFunc,
+    views: &[KeyView<'_>],
+    orders: &[SortOrder],
+    indices: &[usize],
+    out: &mut [Value],
+    scratch: &mut Vec<usize>,
+    acc: Option<&mut RowAcc<'_>>,
+) -> EngineResult<()> {
+    scratch.clear();
+    scratch.extend(0..indices.len());
+    let ordered = scratch;
+    if !orders.is_empty() {
+        ordered.sort_by(|&a, &b| cmp_keys(views, orders, indices[a], indices[b]));
+    }
+
+    match func {
+        WinFunc::RowNumber | WinFunc::Rank | WinFunc::DenseRank => {
+            let mut rank = 0u64;
+            let mut dense = 0u64;
+            for (i, &pos) in ordered.iter().enumerate() {
+                let new_peer_group = i == 0
+                    || orders.is_empty()
+                    || !peers_eq(views, indices[ordered[i - 1]], indices[pos]);
+                if new_peer_group {
+                    rank = (i + 1) as u64;
+                    dense += 1;
+                }
+                let v = match func {
+                    WinFunc::RowNumber => (i + 1) as i64,
+                    WinFunc::Rank => rank as i64,
+                    _ => dense as i64,
+                };
+                out[pos] = Value::Int(v);
+            }
+        }
+        WinFunc::Agg(_) => {
+            let acc = acc.expect("aggregate window has an accumulator");
+            acc.reset();
+            if orders.is_empty() {
+                // whole-partition value
+                for &pos in ordered.iter() {
+                    acc.update(indices[pos])?;
+                }
+                let v = acc.finish();
+                for &pos in ordered.iter() {
+                    out[pos] = v.clone();
+                }
+            } else {
+                // running aggregate with peer groups
+                let mut i = 0;
+                while i < ordered.len() {
+                    let mut j = i + 1;
+                    while j < ordered.len()
+                        && peers_eq(views, indices[ordered[i]], indices[ordered[j]])
+                    {
+                        j += 1;
+                    }
+                    for &pos in &ordered[i..j] {
+                        acc.update(indices[pos])?;
+                    }
+                    let v = acc.finish();
+                    for &pos in &ordered[i..j] {
+                        out[pos] = v.clone();
+                    }
+                    i = j;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// parallel gathers
+// ---------------------------------------------------------------------
+
+/// `Frame::filter_rows`, gathering the surviving cells column-parallel
+/// when the frame has at least `min_rows` rows.
+fn filter_rows_parallel_with(
+    frame: &Frame,
+    mask: &[bool],
+    pool: &ThreadPool,
+    min_rows: usize,
+) -> Frame {
+    let cols = frame.schema.len();
+    if pool.workers() == 0 || cols < 2 || frame.len() < min_rows {
+        return frame.filter_rows(mask);
+    }
+    let mut outs: Vec<Option<ColumnData>> = Vec::with_capacity(cols);
+    outs.resize_with(cols, || None);
+    pool.scope(|s| {
+        for (ci, slot) in outs.iter_mut().enumerate() {
+            let col = frame.column(ci);
+            s.spawn(move || *slot = Some(col.filter(mask)));
+        }
+    });
+    let columns: Vec<Arc<ColumnData>> =
+        outs.into_iter().map(|c| Arc::new(c.expect("column filtered"))).collect();
+    Frame::from_arc_columns(frame.schema.clone(), columns).expect("filter preserves shape")
+}
+
+fn filter_rows_parallel(frame: &Frame, mask: &[bool], pool: &ThreadPool) -> Frame {
+    filter_rows_parallel_with(frame, mask, pool, PARALLEL_MIN_ROWS)
+}
+
+/// `Frame::select_rows`, column-parallel when at least `min_rows` rows.
+fn select_rows_parallel_with(
+    frame: &Frame,
+    indices: &[usize],
+    pool: &ThreadPool,
+    min_rows: usize,
+) -> Frame {
+    let cols = frame.schema.len();
+    if pool.workers() == 0 || cols < 2 || indices.len() < min_rows {
+        return frame.select_rows(indices);
+    }
+    let mut outs: Vec<Option<ColumnData>> = Vec::with_capacity(cols);
+    outs.resize_with(cols, || None);
+    pool.scope(|s| {
+        for (ci, slot) in outs.iter_mut().enumerate() {
+            let col = frame.column(ci);
+            s.spawn(move || *slot = Some(col.gather(indices)));
+        }
+    });
+    let columns: Vec<Arc<ColumnData>> =
+        outs.into_iter().map(|c| Arc::new(c.expect("column gathered"))).collect();
+    Frame::from_arc_columns(frame.schema.clone(), columns).expect("gather preserves shape")
+}
+
+fn select_rows_parallel(frame: &Frame, indices: &[usize], pool: &ThreadPool) -> Frame {
+    select_rows_parallel_with(frame, indices, pool, PARALLEL_MIN_ROWS)
+}
+
+// ---------------------------------------------------------------------
+// plan cache
+// ---------------------------------------------------------------------
+
+/// Upper bound on cached plans before an epoch-style reset (a stream of
+/// distinct ad-hoc queries must not grow memory forever).
+const MAX_CACHED_PLANS: usize = 1024;
+
+/// Hit/miss/invalidation counters of a [`PlanCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that compiled from scratch.
+    pub misses: u64,
+    /// Misses caused by a schema-fingerprint change (also counted in
+    /// `misses`).
+    pub invalidations: u64,
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    query: Query,
+    tables: Vec<String>,
+    fingerprint: u64,
+    /// `None`: the query is not compilable — interpret it (and don't
+    /// retry until the schema fingerprint changes).
+    plan: Option<Arc<CompiledPlan>>,
+}
+
+/// Cache of compiled plans keyed by `(query AST, schema fingerprint)`.
+///
+/// Keys hash via [`ast_key`] (no allocation); a hit verifies the stored
+/// AST by structural equality, so hash collisions can never serve a
+/// wrong plan. A fingerprint mismatch counts as an invalidation and
+/// recompiles in place.
+#[derive(Debug, Clone, Default)]
+pub struct PlanCache {
+    entries: HashMap<u64, Vec<CacheEntry>>,
+    len: usize,
+    stats: PlanCacheStats,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// Hit/miss/invalidation counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        self.stats
+    }
+
+    /// Number of cached (compiled or interpret-marked) entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Look up (or compile) the plan for `query` against `exec`'s
+    /// catalog. Returns `None` when the query is not compilable — the
+    /// caller interprets it; that verdict is cached too.
+    pub fn get_or_compile(
+        &mut self,
+        exec: &Executor<'_>,
+        query: &Query,
+    ) -> Option<Arc<CompiledPlan>> {
+        let key = ast_key(query);
+        if let Some(list) = self.entries.get_mut(&key) {
+            if let Some(entry) = list.iter_mut().find(|e| e.query == *query) {
+                let fp = schema_fingerprint(exec.catalog, &entry.tables);
+                if fp == entry.fingerprint {
+                    self.stats.hits += 1;
+                    return entry.plan.clone();
+                }
+                // schemas changed under the plan: recompile in place
+                self.stats.misses += 1;
+                self.stats.invalidations += 1;
+                let plan = exec.compile(query).ok().map(Arc::new);
+                entry.fingerprint = plan.as_ref().map(|p| p.fingerprint()).unwrap_or(fp);
+                entry.plan = plan.clone();
+                return plan;
+            }
+        }
+        self.stats.misses += 1;
+        if self.len >= MAX_CACHED_PLANS {
+            self.entries.clear();
+            self.len = 0;
+        }
+        let tables = paradise_sql::analysis::base_relations(query);
+        let plan = exec.compile(query).ok().map(Arc::new);
+        let fingerprint = plan
+            .as_ref()
+            .map(|p| p.fingerprint())
+            .unwrap_or_else(|| schema_fingerprint(exec.catalog, &tables));
+        self.entries.entry(key).or_default().push(CacheEntry {
+            query: query.clone(),
+            tables,
+            fingerprint,
+            plan: plan.clone(),
+        });
+        self.len += 1;
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{ExecMode, ExecOptions};
+    use paradise_sql::parse_query;
+
+    fn catalog() -> Catalog {
+        let schema = Schema::from_pairs(&[
+            ("x", DataType::Float),
+            ("y", DataType::Float),
+            ("z", DataType::Float),
+            ("t", DataType::Integer),
+        ]);
+        let rows = (0..200)
+            .map(|i| {
+                vec![
+                    Value::Float((i % 9) as f64),
+                    Value::Float((i % 4) as f64),
+                    Value::Float((i % 3) as f64 * 0.9),
+                    Value::Int(i),
+                ]
+            })
+            .collect();
+        let mut c = Catalog::new();
+        c.register("stream", Frame::new(schema, rows).unwrap()).unwrap();
+        c
+    }
+
+    const QUERIES: &[&str] = &[
+        "SELECT * FROM stream",
+        "SELECT x, t FROM stream WHERE z < 2",
+        "SELECT x, AVG(z) AS za FROM stream GROUP BY x HAVING SUM(z) > 1 ORDER BY za DESC",
+        "SELECT SUM(z) OVER (PARTITION BY x ORDER BY t) FROM stream",
+        "SELECT DISTINCT x FROM stream ORDER BY x LIMIT 3",
+        "SELECT a.x FROM stream a JOIN stream b ON a.t = b.t WHERE a.z < 1",
+        "SELECT za FROM (SELECT x, AVG(z) AS za FROM stream GROUP BY x)",
+        "SELECT COUNT(*) FROM stream",
+        "SELECT regr_intercept(y, x) AS ri FROM stream",
+        "SELECT x FROM stream ORDER BY t DESC LIMIT 5 OFFSET 2",
+        "SELECT x FROM stream UNION SELECT y FROM stream",
+    ];
+
+    #[test]
+    fn compiled_matches_interpreted() {
+        let c = catalog();
+        let compiled_exec = Executor::new(&c);
+        let interp_exec = Executor::with_options(
+            &c,
+            ExecOptions { mode: ExecMode::Columnar, ..Default::default() },
+        );
+        for sql in QUERIES {
+            let q = parse_query(sql).unwrap();
+            let plan = compiled_exec.compile(&q).unwrap();
+            let a = compiled_exec.run_plan(&plan).unwrap();
+            let b = interp_exec.execute(&q).unwrap();
+            assert_eq!(a.schema, b.schema, "schema diverges for {sql}");
+            assert_eq!(a.to_rows(), b.to_rows(), "rows diverge for {sql}");
+        }
+    }
+
+    #[test]
+    fn stale_plan_is_rejected() {
+        let c = catalog();
+        let q = parse_query("SELECT x FROM stream").unwrap();
+        let plan = Executor::new(&c).compile(&q).unwrap();
+
+        let mut c2 = Catalog::new();
+        let schema = Schema::from_pairs(&[("renamed", DataType::Float)]);
+        c2.register("stream", Frame::new(schema, vec![vec![Value::Float(1.0)]]).unwrap())
+            .unwrap();
+        let exec2 = Executor::new(&c2);
+        assert!(matches!(exec2.run_plan(&plan), Err(EngineError::StalePlan)));
+    }
+
+    #[test]
+    fn plan_cache_hits_and_invalidates() {
+        let c = catalog();
+        let q = parse_query("SELECT x FROM stream WHERE z < 2").unwrap();
+        let mut cache = PlanCache::new();
+        {
+            let exec = Executor::new(&c);
+            assert!(cache.get_or_compile(&exec, &q).is_some());
+            assert!(cache.get_or_compile(&exec, &q).is_some());
+        }
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().invalidations, 0);
+        assert_eq!(cache.len(), 1);
+
+        // same query over a different schema: invalidation + recompile
+        let mut c2 = Catalog::new();
+        let schema = Schema::from_pairs(&[("z", DataType::Float), ("x", DataType::Integer)]);
+        c2.register("stream", Frame::new(schema, vec![vec![Value::Float(0.5), Value::Int(3)]]).unwrap())
+            .unwrap();
+        let exec2 = Executor::new(&c2);
+        let plan = cache.get_or_compile(&exec2, &q).expect("recompiled");
+        assert_eq!(cache.stats().invalidations, 1);
+        assert_eq!(exec2.run_plan(&plan).unwrap().to_rows(), vec![vec![Value::Int(3)]]);
+    }
+
+    #[test]
+    fn uncompilable_queries_cache_the_interpret_verdict() {
+        let c = catalog();
+        let q = parse_query("SELECT x FROM stream UNION SELECT y FROM stream").unwrap();
+        let mut cache = PlanCache::new();
+        let exec = Executor::new(&c);
+        // UNION compiles to an Interpret root — still a usable plan
+        assert!(cache.get_or_compile(&exec, &q).is_some());
+        // a query over a missing table is not compilable at all
+        let missing = parse_query("SELECT q FROM nowhere").unwrap();
+        assert!(cache.get_or_compile(&exec, &missing).is_none());
+        assert!(cache.get_or_compile(&exec, &missing).is_none());
+        assert_eq!(cache.stats().hits, 1, "the interpret verdict is cached");
+    }
+
+    #[test]
+    fn ast_key_distinguishes_queries() {
+        let a = parse_query("SELECT x FROM stream").unwrap();
+        let b = parse_query("SELECT y FROM stream").unwrap();
+        assert_ne!(ast_key(&a), ast_key(&b));
+        assert_eq!(ast_key(&a), ast_key(&parse_query("SELECT  x  FROM  stream").unwrap()));
+    }
+
+    #[test]
+    fn fingerprint_tracks_schema_changes() {
+        let c = catalog();
+        let tables = vec!["stream".to_string()];
+        let fp1 = schema_fingerprint(&c, &tables);
+        let mut c2 = Catalog::new();
+        c2.register(
+            "stream",
+            Frame::new(Schema::from_pairs(&[("x", DataType::Integer)]), vec![]).unwrap(),
+        )
+        .unwrap();
+        assert_ne!(fp1, schema_fingerprint(&c2, &tables));
+        assert_ne!(fp1, schema_fingerprint(&Catalog::new(), &tables));
+    }
+
+    #[test]
+    fn parallel_operators_match_serial() {
+        // explicit pool: the global one is serial on single-core machines
+        let pool = ThreadPool::new(3);
+        let c = catalog();
+        let frame = c.get("stream").unwrap();
+        let mask: Vec<bool> = (0..frame.len()).map(|i| i % 3 != 0).collect();
+        let par = filter_rows_parallel_with(frame, &mask, &pool, 0);
+        assert_eq!(par.to_rows(), frame.filter_rows(&mask).to_rows());
+
+        let indices: Vec<usize> = (0..frame.len()).rev().collect();
+        let sel = select_rows_parallel_with(frame, &indices, &pool, 0);
+        assert_eq!(sel.to_rows(), frame.select_rows(&indices).to_rows());
+
+        // grouped accumulation: two calls over many groups, parallel
+        // chunking vs the serial range
+        let zs = frame.column_arc(2);
+        let calls = vec![
+            AggCallPlan { kind: AggKind::Avg, distinct: false, args: vec![ArgStep::Star] },
+            AggCallPlan { kind: AggKind::Sum, distinct: false, args: vec![ArgStep::Star] },
+        ];
+        let args = vec![vec![Batch::Col(Arc::clone(&zs))], vec![Batch::Col(zs)]];
+        let grouping = group_rows(&[frame.column_arc(0)], frame.len());
+        let serial = accumulate_range(&calls, &args, &grouping, 0..grouping.len()).unwrap();
+        // `accumulate_groups` takes the parallel path only past the row
+        // threshold; replicate the grouping until it crosses it so the
+        // production splitter runs with real workers
+        let mut big_rows = Vec::new();
+        let mut big_offsets = vec![0usize];
+        let mut big_firsts = Vec::new();
+        while big_rows.len() < PARALLEL_MIN_ROWS {
+            for g in 0..grouping.len() {
+                big_firsts.push(grouping.group(g)[0]);
+                big_rows.extend_from_slice(grouping.group(g));
+                big_offsets.push(big_rows.len());
+            }
+        }
+        let big = Grouping { rows: big_rows, offsets: big_offsets, firsts: big_firsts };
+        let serial_big = accumulate_range(&calls, &args, &big, 0..big.len()).unwrap();
+        let parallel_big = accumulate_groups(&calls, &args, &big, &pool).unwrap();
+        assert_eq!(serial_big, parallel_big);
+        // the replicated grouping repeats the original per-group values
+        let reps = big.len() / grouping.len();
+        for (big_col, col) in serial_big.iter().zip(&serial) {
+            let expect: Vec<Value> =
+                (0..reps).flat_map(|_| col.iter().cloned()).collect();
+            assert_eq!(big_col, &expect);
+        }
+    }
+
+    #[test]
+    fn csr_grouping_matches_reference_partitioning() {
+        let c = catalog();
+        let frame = c.get("stream").unwrap();
+        for col in 0..frame.schema.len() {
+            let key = frame.column_arc(col);
+            let grouping = group_rows(&[Arc::clone(&key)], frame.len());
+            // reference: first-appearance order over group keys
+            let mut order: Vec<GroupKey> = Vec::new();
+            let mut expect: Vec<Vec<usize>> = Vec::new();
+            for ri in 0..frame.len() {
+                let k = key.group_key_at(ri);
+                match order.iter().position(|x| *x == k) {
+                    Some(g) => expect[g].push(ri),
+                    None => {
+                        order.push(k);
+                        expect.push(vec![ri]);
+                    }
+                }
+            }
+            assert_eq!(grouping.len(), expect.len(), "column {col}");
+            for (g, rows) in expect.iter().enumerate() {
+                assert_eq!(grouping.group(g), rows.as_slice(), "column {col}, group {g}");
+                assert_eq!(grouping.firsts[g], rows[0]);
+            }
+        }
+    }
+
+}

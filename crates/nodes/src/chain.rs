@@ -60,6 +60,10 @@ pub struct Stage {
     /// Name under which the result is installed at the *next* stage's
     /// node (or returned, for the last stage).
     pub publish_as: String,
+    /// Pre-rendered SQL of `fragment` for reporting. Rendered once at
+    /// fragmentation time so per-tick execution does not re-render;
+    /// leave empty to have [`ProcessingChain::run_stages`] render it.
+    pub sql: String,
 }
 
 /// Report for one executed stage.
@@ -224,7 +228,11 @@ impl ProcessingChain {
             reports.push(StageReport {
                 node: node.name.clone(),
                 level: node.level,
-                sql: stage.fragment.to_string(),
+                sql: if stage.sql.is_empty() {
+                    stage.fragment.to_string()
+                } else {
+                    stage.sql.clone()
+                },
                 rows_out: result.len(),
                 bytes_out: result.size_bytes(),
             });
@@ -296,11 +304,13 @@ mod tests {
                 node: "motion-sensor".into(),
                 fragment: parse_query("SELECT * FROM stream WHERE z < 2").unwrap(),
                 publish_as: "d1".into(),
+                sql: String::new(),
             },
             Stage {
                 node: "appliance".into(),
                 fragment: parse_query("SELECT x, y, z, t FROM d1 WHERE x > y").unwrap(),
                 publish_as: "d2".into(),
+                sql: String::new(),
             },
             Stage {
                 node: "media-center".into(),
@@ -309,6 +319,7 @@ mod tests {
                 )
                 .unwrap(),
                 publish_as: "d3".into(),
+                sql: String::new(),
             },
             Stage {
                 node: "local-server".into(),
@@ -317,6 +328,7 @@ mod tests {
                 )
                 .unwrap(),
                 publish_as: "dprime".into(),
+                sql: String::new(),
             },
         ];
         let run = chain.run_stages(&stages).unwrap();
@@ -337,6 +349,7 @@ mod tests {
             node: "motion-sensor".into(),
             fragment: parse_query("SELECT x FROM stream").unwrap(), // projection!
             publish_as: "d1".into(),
+            sql: String::new(),
         }];
         assert!(matches!(
             chain.run_stages(&stages),

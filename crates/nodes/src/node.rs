@@ -1,11 +1,28 @@
 //! A single processing node of the vertical hierarchy.
 
+use std::collections::HashMap;
+
+use paradise_engine::plan::{ast_key, PlanCache, PlanCacheStats};
 use paradise_engine::{Catalog, Executor, Frame};
-use paradise_sql::analysis::{block_features, deep_features};
+use paradise_sql::analysis::{base_relations, block_features, deep_features, FeatureSet};
 use paradise_sql::ast::Query;
 
 use crate::capability::{Capability, Level};
 use crate::error::{NodeError, NodeResult};
+
+/// Per-fragment static metadata, cached next to the compiled plan so
+/// steady-state ticks re-walk no ASTs (capability features and
+/// streamability are static per fragment).
+#[derive(Debug, Clone)]
+struct FragmentMeta {
+    query: Query,
+    features: FeatureSet,
+    streamable: bool,
+    tables: Vec<String>,
+}
+
+/// Upper bound on cached fragment metadata entries (epoch reset).
+const MAX_CACHED_META: usize = 1024;
 
 /// Execution statistics a node accumulates.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -35,23 +52,41 @@ pub struct Node {
     pub catalog: Catalog,
     /// Accumulated statistics.
     pub stats: NodeStats,
+    /// Compiled physical plans per (fragment, schema fingerprint):
+    /// continuous-query ticks re-execute without touching the AST.
+    plans: PlanCache,
+    /// Static fragment metadata (capability features, streamability,
+    /// base tables), keyed like the plan cache.
+    meta: HashMap<u64, Vec<FragmentMeta>>,
 }
 
 impl Node {
     /// New node with the default capability of its level.
     pub fn new(name: impl Into<String>, level: Level) -> Self {
-        Node {
-            name: name.into(),
-            level,
-            capability: Capability::for_level(level),
-            catalog: Catalog::new(),
-            stats: NodeStats::default(),
-        }
+        Node::with_capability_impl(name.into(), level, Capability::for_level(level))
     }
 
     /// New node with an explicit capability profile.
     pub fn with_capability(name: impl Into<String>, level: Level, capability: Capability) -> Self {
-        Node { name: name.into(), level, capability, catalog: Catalog::new(), stats: NodeStats::default() }
+        Node::with_capability_impl(name.into(), level, capability)
+    }
+
+    fn with_capability_impl(name: String, level: Level, capability: Capability) -> Self {
+        Node {
+            name,
+            level,
+            capability,
+            catalog: Catalog::new(),
+            stats: NodeStats::default(),
+            plans: PlanCache::new(),
+            meta: HashMap::new(),
+        }
+    }
+
+    /// Hit/miss/invalidation counters of this node's compiled-plan
+    /// cache.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plans.stats()
     }
 
     /// Register an input table (raw stream or a lower fragment's result).
@@ -93,34 +128,64 @@ impl Node {
 
     /// Execute a fragment against the local catalog, enforcing the
     /// capability boundary and accounting statistics.
+    ///
+    /// The node caches a compiled physical plan plus the fragment's
+    /// static metadata (capability features, streamability, base
+    /// tables) per (fragment, schema fingerprint): a continuous query
+    /// re-executing every tick walks no ASTs in steady state.
     pub fn execute(&mut self, fragment: &Query) -> NodeResult<Frame> {
-        let required = deep_features(fragment);
-        if !self.capability.supports(&required) {
-            return Err(NodeError::CapabilityViolation {
-                node: self.name.clone(),
-                missing: self.capability.missing(&required),
+        let key = ast_key(fragment);
+        let cached = self
+            .meta
+            .get(&key)
+            .is_some_and(|list| list.iter().any(|m| m.query == *fragment));
+        if !cached {
+            if self.meta.len() >= MAX_CACHED_META {
+                self.meta.clear();
+            }
+            self.meta.entry(key).or_default().push(FragmentMeta {
+                query: fragment.clone(),
+                features: deep_features(fragment),
+                streamable: Node::is_streamable(fragment),
+                tables: base_relations(fragment),
             });
         }
-        let input_bytes: usize = paradise_sql::analysis::base_relations(fragment)
+        let meta = self.meta[&key]
+            .iter()
+            .find(|m| m.query == *fragment)
+            .expect("just inserted");
+
+        if !self.capability.supports(&meta.features) {
+            return Err(NodeError::CapabilityViolation {
+                node: self.name.clone(),
+                missing: self.capability.missing(&meta.features),
+            });
+        }
+        let input_bytes: usize = meta
+            .tables
             .iter()
             .filter_map(|t| self.catalog.get(t).ok())
             .map(Frame::size_bytes)
             .sum();
-        if !Node::is_streamable(fragment) && !self.has_capacity_for(input_bytes) {
+        if !meta.streamable && !self.has_capacity_for(input_bytes) {
             return Err(NodeError::CapacityExceeded {
                 node: self.name.clone(),
                 needed: input_bytes.saturating_mul(3),
                 available: self.capability.memory_bytes,
             });
         }
-        let input_rows: usize = paradise_sql::analysis::base_relations(fragment)
+        let input_rows: usize = meta
+            .tables
             .iter()
             .filter_map(|t| self.catalog.get(t).ok())
             .map(Frame::len)
             .sum();
 
         let executor = Executor::new(&self.catalog);
-        let result = executor.execute(fragment)?;
+        let result = match self.plans.get_or_compile(&executor, fragment) {
+            Some(plan) => executor.run_plan(&plan),
+            None => executor.execute(fragment),
+        }?;
 
         self.stats.fragments_executed += 1;
         self.stats.rows_in += input_rows;
@@ -244,6 +309,32 @@ mod tests {
         // but the appliance can run the inner block alone
         let inner = parse_query("SELECT x, y, AVG(z) AS zAVG, t FROM d GROUP BY x, y").unwrap();
         assert!(appliance.can_execute(&inner));
+    }
+
+    #[test]
+    fn fragment_plans_are_cached_and_invalidated_per_schema() {
+        let mut sensor = Node::new("s", Level::Sensor);
+        sensor.install_table("stream", stream_frame(30));
+        let q = parse_query("SELECT * FROM stream WHERE z < 2").unwrap();
+        let first = sensor.execute(&q).unwrap();
+        let second = sensor.execute(&q).unwrap();
+        assert_eq!(first.to_rows(), second.to_rows());
+        let stats = sensor.plan_cache_stats();
+        assert_eq!(stats.misses, 1, "first tick compiles");
+        assert_eq!(stats.hits, 1, "second tick reuses the plan");
+
+        // replacing the stream with a different schema must recompile,
+        // not reuse stale ordinals
+        let schema = Schema::from_pairs(&[("z", DataType::Float)]);
+        let narrow = Frame::new(
+            schema,
+            vec![vec![Value::Float(1.0)], vec![Value::Float(5.0)]],
+        )
+        .unwrap();
+        sensor.install_table("stream", narrow);
+        let out = sensor.execute(&q).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(sensor.plan_cache_stats().invalidations, 1);
     }
 
     #[test]

@@ -153,12 +153,17 @@ impl Parser {
     }
 
     /// Accept an identifier (bare or quoted). Keywords are not identifiers.
+    ///
+    /// The token's `String` is *moved* into the AST (tokens are consumed
+    /// strictly left-to-right, never re-read), so an identifier costs
+    /// exactly the one allocation made by the lexer.
     fn parse_ident(&mut self) -> ParseResult<String> {
         match self.peek() {
             Some(TokenKind::Ident(_)) | Some(TokenKind::QuotedIdent(_)) => {
-                let token = self.advance().expect("peeked");
-                match &token.kind {
-                    TokenKind::Ident(s) | TokenKind::QuotedIdent(s) => Ok(s.clone()),
+                let pos = self.pos;
+                self.pos += 1;
+                match &mut self.tokens[pos].kind {
+                    TokenKind::Ident(s) | TokenKind::QuotedIdent(s) => Ok(std::mem::take(s)),
                     _ => unreachable!(),
                 }
             }
@@ -547,9 +552,10 @@ impl Parser {
                 Ok(Expr::Literal(Literal::Float(v)))
             }
             Some(TokenKind::String(_)) => {
-                let token = self.advance().expect("peeked");
-                let TokenKind::String(s) = &token.kind else { unreachable!() };
-                Ok(Expr::Literal(Literal::String(s.clone())))
+                let pos = self.pos;
+                self.pos += 1;
+                let TokenKind::String(s) = &mut self.tokens[pos].kind else { unreachable!() };
+                Ok(Expr::Literal(Literal::String(std::mem::take(s))))
             }
             Some(TokenKind::Keyword(Keyword::Null)) => {
                 self.advance();

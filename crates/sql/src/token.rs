@@ -120,13 +120,17 @@ macro_rules! keywords {
 
             /// Look a word up case-insensitively.
             pub fn lookup(word: &str) -> Option<Keyword> {
-                // The keyword set is small; an ASCII-uppercase linear probe
-                // through a static table beats a HashMap for these sizes.
-                let upper = word.to_ascii_uppercase();
-                match upper.as_str() {
-                    $($text => Some(Keyword::$variant),)+
-                    _ => None,
-                }
+                // Allocation-free probe: `eq_ignore_ascii_case` rejects on
+                // length/first byte immediately, so scanning the small
+                // static table beats building an uppercased copy of every
+                // word the lexer sees (the old implementation allocated a
+                // `String` per identifier/keyword token).
+                $(
+                    if word.eq_ignore_ascii_case($text) {
+                        return Some(Keyword::$variant);
+                    }
+                )+
+                None
             }
         }
 

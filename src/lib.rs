@@ -63,8 +63,8 @@ pub mod prelude {
     };
     pub use paradise_core::remainder::{filter_by_class, ActionClass};
     pub use paradise_engine::{
-        Catalog, ColumnData, DataType, EngineError, ExecMode, ExecOptions, Executor, Frame, Row,
-        Schema, Value,
+        Catalog, ColumnData, CompiledPlan, DataType, EngineError, ExecMode, ExecOptions, Executor,
+        Frame, PlanCache, Row, Schema, Value,
     };
     pub use paradise_nodes::{
         Capability, Level, Node, SmartRoomConfig, SmartRoomSim, Stage, TrafficLog,

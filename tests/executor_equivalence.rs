@@ -1,9 +1,9 @@
 //! Executor-equivalence suite: every query of the roundtrip corpus is
-//! executed twice over the same `SmartRoomSim` data — once with the
-//! columnar operators (the default) and once with the retained
-//! row-at-a-time reference path (`ExecMode::RowAtATime`) — and the
-//! resulting frames must be identical (or both paths must fail with the
-//! same error).
+//! executed three times over the same `SmartRoomSim` data — through the
+//! compiled physical-plan path (the default), the columnar AST
+//! interpreter (`ExecMode::Columnar`), and the retained row-at-a-time
+//! reference path (`ExecMode::RowAtATime`) — and the resulting frames
+//! must be identical (or all paths must fail with the same error).
 
 use paradise::prelude::*;
 
@@ -100,31 +100,63 @@ fn catalog() -> Catalog {
 
 fn assert_equivalent(catalog: &Catalog, sql: &str) {
     let query = parse_query(sql).unwrap_or_else(|e| panic!("corpus query fails to parse: {sql}: {e}"));
-    let columnar = Executor::new(catalog).execute(&query);
+    // ExecMode::Compiled is the default: compile-once/run-many physical plans
+    let compiled = Executor::new(catalog).execute(&query);
+    let columnar = Executor::with_options(
+        catalog,
+        ExecOptions { mode: ExecMode::Columnar, ..Default::default() },
+    )
+    .execute(&query);
     let row_mode = Executor::with_options(
         catalog,
         ExecOptions { mode: ExecMode::RowAtATime, ..Default::default() },
     )
     .execute(&query);
-    match (columnar, row_mode) {
-        (Ok(a), Ok(b)) => {
-            assert_eq!(a.schema, b.schema, "schemas diverge for: {sql}");
-            assert_eq!(a.to_rows(), b.to_rows(), "rows diverge for: {sql}");
-            assert_eq!(a, b, "frame equality diverges for: {sql}");
-            assert_eq!(
-                a.size_bytes(),
-                b.size_bytes(),
-                "size accounting diverges for: {sql}"
-            );
+    let pairs = [("compiled vs columnar", &compiled, &columnar), ("compiled vs row", &compiled, &row_mode)];
+    for (what, a, b) in pairs {
+        match (a, b) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.schema, b.schema, "schemas diverge ({what}) for: {sql}");
+                assert_eq!(a.to_rows(), b.to_rows(), "rows diverge ({what}) for: {sql}");
+                assert_eq!(a, b, "frame equality diverges ({what}) for: {sql}");
+                assert_eq!(
+                    a.size_bytes(),
+                    b.size_bytes(),
+                    "size accounting diverges ({what}) for: {sql}"
+                );
+            }
+            (Err(a), Err(b)) => {
+                assert_eq!(a.to_string(), b.to_string(), "errors diverge ({what}) for: {sql}");
+            }
+            (a, b) => panic!(
+                "modes disagree ({what}) for {sql}: {:?} vs {:?}",
+                a.as_ref().map(|f| f.len()),
+                b.as_ref().map(|f| f.len())
+            ),
         }
-        (Err(a), Err(b)) => {
+    }
+}
+
+/// The compiled path must also agree when the plan is built once and
+/// re-run (the compile-once/run-many contract of continuous queries).
+fn assert_plan_reuse(catalog: &Catalog, sql: &str) {
+    let query = parse_query(sql).unwrap();
+    let exec = Executor::new(catalog);
+    let Ok(plan) = exec.compile(&query) else {
+        return; // uncompilable queries run interpreted; covered above
+    };
+    let once = exec.run_plan(&plan);
+    let twice = exec.run_plan(&plan);
+    match (once, twice, exec.execute(&query)) {
+        (Ok(a), Ok(b), Ok(c)) => {
+            assert_eq!(a, b, "re-running a plan changed the result for: {sql}");
+            assert_eq!(a, c, "plan reuse diverges from execute for: {sql}");
+        }
+        (Err(a), Err(b), Err(c)) => {
             assert_eq!(a.to_string(), b.to_string(), "errors diverge for: {sql}");
+            assert_eq!(a.to_string(), c.to_string(), "errors diverge for: {sql}");
         }
-        (a, b) => panic!(
-            "modes disagree for {sql}: columnar={:?} row={:?}",
-            a.map(|f| f.len()),
-            b.map(|f| f.len())
-        ),
+        other => panic!("plan reuse disagrees for {sql}: {other:?}"),
     }
 }
 
@@ -141,6 +173,14 @@ fn tagged_queries_agree_between_row_and_columnar_paths() {
     let catalog = catalog();
     for sql in TAGGED_EXTRAS {
         assert_equivalent(&catalog, sql);
+    }
+}
+
+#[test]
+fn corpus_queries_survive_compile_once_run_many() {
+    let catalog = catalog();
+    for sql in CORPUS.iter().chain(TAGGED_EXTRAS) {
+        assert_plan_reuse(&catalog, sql);
     }
 }
 

@@ -282,6 +282,151 @@ proptest! {
         .unwrap();
         prop_assert_eq!(&columnar, &row_mode, "query: {}", sql);
     }
+
+    #[test]
+    fn compiled_plans_match_the_columnar_interpreter(
+        frame in arb_frame(),
+        sql in arb_fragmentable_query(),
+    ) {
+        let query = parse_query(&sql).unwrap();
+        let mut catalog = Catalog::new();
+        catalog.register("stream", frame).unwrap();
+        let exec = Executor::new(&catalog);
+        let plan = exec.compile(&query).unwrap();
+        // run the same plan twice: compile-once/run-many must be stable
+        let a = exec.run_plan(&plan).unwrap();
+        let b = exec.run_plan(&plan).unwrap();
+        prop_assert_eq!(&a, &b, "plan re-run diverged: {}", sql);
+        let interpreted = Executor::with_options(
+            &catalog,
+            ExecOptions { mode: ExecMode::Columnar, ..Default::default() },
+        )
+        .execute(&query)
+        .unwrap();
+        prop_assert_eq!(&a, &interpreted, "query: {}", sql);
+    }
+}
+
+// ---------------------------------------------------------------------
+// physical-plan layer: expression programs and plan-cache invalidation
+// ---------------------------------------------------------------------
+
+/// Expressions over the known `stream(x, y, z, t)` columns, so programs
+/// compile (unknown columns are a compile-time error by design).
+fn arb_stream_expr() -> impl Strategy<Value = Expr> {
+    use paradise::sql::ast::UnaryOp;
+    let col = proptest::sample::select(vec!["x", "y", "z", "t"])
+        .prop_map(|n| Expr::Column(ColumnRef::bare(n.to_string())));
+    let leaf = prop_oneof![col, arb_literal().prop_map(Expr::Literal)];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::binary(l, BinaryOp::Gt, r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::binary(l, BinaryOp::And, r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::binary(l, BinaryOp::Plus, r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::binary(l, BinaryOp::Multiply, r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::binary(l, BinaryOp::Eq, r)),
+            inner
+                .clone()
+                .prop_map(|e| Expr::Unary { op: UnaryOp::Not, expr: Box::new(e) }),
+            inner
+                .clone()
+                .prop_map(|e| Expr::IsNull { expr: Box::new(e), negated: false }),
+        ]
+    })
+}
+
+/// A frame under a random subset of the column pool, so two draws
+/// usually have different schemas (names and/or declared types).
+fn arb_named_frame() -> impl Strategy<Value = Frame> {
+    (
+        proptest::collection::vec(any::<bool>(), 4..5),
+        0usize..20,
+        any::<bool>(),
+    )
+        .prop_map(|(mask, height, ints)| {
+            let pool = ["a", "b", "c", "d"];
+            let mut cols: Vec<&str> =
+                pool.iter().zip(&mask).filter(|(_, &m)| m).map(|(n, _)| *n).collect();
+            if cols.is_empty() {
+                cols.push("a");
+            }
+            let dt = if ints { DataType::Integer } else { DataType::Float };
+            let pairs: Vec<(&str, DataType)> = cols.iter().map(|n| (*n, dt)).collect();
+            let rows = (0..height)
+                .map(|r| {
+                    pairs
+                        .iter()
+                        .enumerate()
+                        .map(|(c, _)| {
+                            if ints {
+                                Value::Int((r * 7 + c) as i64)
+                            } else {
+                                Value::Float((r * 7 + c) as f64 / 2.0)
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            Frame::new(Schema::from_pairs(&pairs), rows).unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn expression_programs_match_the_batch_interpreter(
+        frame in arb_frame(),
+        e in arb_stream_expr(),
+    ) {
+        use paradise::engine::eval::{eval_expr_batch, EvalContext};
+        use paradise::engine::plan::ExprProgram;
+        let ctx = EvalContext::new(&frame.schema);
+        let program = ExprProgram::compile(&e, &frame.schema).expect("columns resolve");
+        match (program.eval(&frame, &ctx), eval_expr_batch(&e, &frame, &ctx)) {
+            (Ok(a), Ok(b)) => {
+                for i in 0..frame.len() {
+                    prop_assert_eq!(a.value(i), b.value(i), "row {} of {}", i, e);
+                }
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string(), "expr: {}", e),
+            other => prop_assert!(false, "program and interpreter disagree for {}: {:?}", e, other),
+        }
+    }
+
+    #[test]
+    fn plan_cache_invalidates_on_schema_change(fa in arb_named_frame(), fb in arb_named_frame()) {
+        use paradise::engine::plan::PlanCache;
+        let q = parse_query("SELECT * FROM stream").unwrap();
+        let mut cache = PlanCache::new();
+
+        let mut c1 = Catalog::new();
+        c1.register("stream", fa.clone()).unwrap();
+        {
+            let exec = Executor::new(&c1);
+            let plan = cache.get_or_compile(&exec, &q).expect("compilable");
+            prop_assert_eq!(exec.run_plan(&plan).unwrap().to_rows(), fa.to_rows());
+        }
+
+        let mut c2 = Catalog::new();
+        c2.register("stream", fb.clone()).unwrap();
+        {
+            let exec = Executor::new(&c2);
+            // the cache must never serve a plan compiled for schema A
+            // against schema B: it either hits (same schema) or
+            // invalidates and recompiles — the result is always correct
+            let plan = cache.get_or_compile(&exec, &q).expect("compilable");
+            prop_assert_eq!(exec.run_plan(&plan).unwrap().to_rows(), fb.to_rows());
+        }
+
+        let stats = cache.stats();
+        if fa.schema == fb.schema {
+            prop_assert_eq!(stats.hits, 1);
+            prop_assert_eq!(stats.invalidations, 0);
+        } else {
+            prop_assert_eq!(stats.invalidations, 1, "schema change must invalidate");
+        }
+    }
 }
 
 // ---------------------------------------------------------------------

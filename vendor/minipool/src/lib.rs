@@ -1,0 +1,365 @@
+//! A minimal scoped thread pool: the offline stand-in for a
+//! rayon/crossbeam-style dependency, following the same pattern as the
+//! `rand`/`proptest`/`criterion` stubs under `vendor/`.
+//!
+//! The pool owns a fixed set of persistent worker threads and exposes a
+//! [`ThreadPool::scope`] API modelled after `std::thread::scope`: tasks
+//! spawned inside a scope may borrow from the enclosing stack frame, and
+//! the scope does not return before every task has finished. Unlike
+//! `std::thread::scope`, tasks run on the pre-spawned workers, so a
+//! parallel region costs two condvar round-trips instead of thread
+//! spawns — cheap enough for millisecond-scale query operators.
+//!
+//! Design points:
+//!
+//! * **The caller helps.** While a scope waits for its tasks it pops and
+//!   runs jobs from the shared queue, so `ThreadPool::new(0)` (or
+//!   `PARADISE_THREADS=1`) degrades to plain serial execution and a
+//!   nested scope on a worker thread cannot deadlock.
+//! * **Panics propagate.** A panicking task poisons its scope; the scope
+//!   re-panics after all sibling tasks have drained.
+//! * **Global pool.** [`ThreadPool::global`] lazily builds one pool
+//!   sized from `PARADISE_THREADS` (total threads including the caller)
+//!   or `std::thread::available_parallelism`, capped at
+//!   [`MAX_WORKERS`] workers.
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Upper bound on worker threads of the global pool; operator-level
+/// parallelism flattens out well before this.
+pub const MAX_WORKERS: usize = 8;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Queue {
+    jobs: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Queue {
+    fn push(&self, job: Job) {
+        self.jobs.lock().expect("queue poisoned").push_back(job);
+        self.ready.notify_one();
+    }
+
+    fn try_pop(&self) -> Option<Job> {
+        self.jobs.lock().expect("queue poisoned").pop_front()
+    }
+}
+
+/// Book-keeping of one scope: outstanding task count and panic flag.
+struct ScopeState {
+    pending: AtomicUsize,
+    panicked: AtomicBool,
+    lock: Mutex<()>,
+    done: Condvar,
+}
+
+impl ScopeState {
+    fn new() -> Self {
+        ScopeState {
+            pending: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+            lock: Mutex::new(()),
+            done: Condvar::new(),
+        }
+    }
+
+    fn finish_one(&self) {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // hold the lock so a waiter between its pending-check and its
+            // condvar wait cannot miss this notification
+            let _guard = self.lock.lock().expect("scope lock poisoned");
+            self.done.notify_all();
+        }
+    }
+}
+
+/// A fixed-size pool of persistent worker threads.
+pub struct ThreadPool {
+    queue: Arc<Queue>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// A pool with `workers` background threads. `0` is valid: scopes
+    /// then run every task on the calling thread.
+    pub fn new(workers: usize) -> ThreadPool {
+        let queue = Arc::new(Queue {
+            jobs: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let q = Arc::clone(&queue);
+                std::thread::Builder::new()
+                    .name(format!("minipool-{i}"))
+                    .spawn(move || worker_loop(&q))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool { queue, workers: handles }
+    }
+
+    /// The process-wide pool. Sized from `PARADISE_THREADS` (total
+    /// threads including the caller; `1` or `0` means serial) when set,
+    /// otherwise from the machine's available parallelism.
+    pub fn global() -> &'static ThreadPool {
+        static POOL: OnceLock<ThreadPool> = OnceLock::new();
+        POOL.get_or_init(|| {
+            let threads = std::env::var("PARADISE_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+                });
+            ThreadPool::new(threads.saturating_sub(1).min(MAX_WORKERS))
+        })
+    }
+
+    /// Number of background workers (0 = serial).
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Run `f` with a [`Scope`] on which tasks borrowing from the
+    /// enclosing frame can be spawned; returns only after every spawned
+    /// task has finished. Panics if any task panicked.
+    pub fn scope<'env, F, T>(&self, f: F) -> T
+    where
+        F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> T,
+    {
+        let scope = Scope {
+            pool: self,
+            state: Arc::new(ScopeState::new()),
+            _env: PhantomData,
+            _scope: PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        // Wait even if `f` itself panicked: spawned tasks may still
+        // borrow the enclosing frame.
+        self.wait(&scope.state);
+        match result {
+            Ok(value) => {
+                if scope.state.panicked.load(Ordering::Acquire) {
+                    panic!("minipool: a scoped task panicked");
+                }
+                value
+            }
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+
+    /// Split `0..len` into contiguous ranges: one per participating
+    /// thread (workers + the caller), each at least `min_chunk` long.
+    /// Returns a single full range when splitting is not worthwhile.
+    pub fn chunk_ranges(&self, len: usize, min_chunk: usize) -> Vec<std::ops::Range<usize>> {
+        let threads = self.workers() + 1;
+        let parts = threads.min(if min_chunk == 0 { threads } else { len / min_chunk.max(1) });
+        if parts <= 1 || len == 0 {
+            // one whole range (not `vec![0..len]`: clippy reads that as
+            // a mistyped `(0..len).collect()`)
+            return std::iter::once(0..len).collect();
+        }
+        let chunk = len.div_ceil(parts);
+        (0..len).step_by(chunk.max(1)).map(|lo| lo..(lo + chunk).min(len)).collect()
+    }
+
+    /// Help-first wait: run queued jobs until this scope's tasks drain.
+    fn wait(&self, state: &ScopeState) {
+        loop {
+            if state.pending.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            if let Some(job) = self.queue.try_pop() {
+                job();
+                continue;
+            }
+            let guard = state.lock.lock().expect("scope lock poisoned");
+            if state.pending.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            // Bounded wait: if another scope enqueues work we help with
+            // it on the next lap instead of sleeping until our own tasks
+            // finish behind it.
+            let (_guard, _timeout) = state
+                .done
+                .wait_timeout(guard, std::time::Duration::from_millis(1))
+                .expect("scope condvar poisoned");
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.queue.shutdown.store(true, Ordering::Release);
+        self.queue.ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(queue: &Queue) {
+    loop {
+        let job = {
+            let mut jobs = queue.jobs.lock().expect("queue poisoned");
+            loop {
+                if let Some(job) = jobs.pop_front() {
+                    break Some(job);
+                }
+                if queue.shutdown.load(Ordering::Acquire) {
+                    break None;
+                }
+                jobs = queue.ready.wait(jobs).expect("queue condvar poisoned");
+            }
+        };
+        match job {
+            Some(job) => job(),
+            None => return,
+        }
+    }
+}
+
+/// Handle for spawning borrowing tasks inside [`ThreadPool::scope`].
+pub struct Scope<'scope, 'env: 'scope> {
+    pool: &'scope ThreadPool,
+    state: Arc<ScopeState>,
+    _env: PhantomData<&'env mut &'env ()>,
+    _scope: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a task that may borrow from the enclosing frame. The
+    /// enclosing [`ThreadPool::scope`] call joins it before returning.
+    pub fn spawn<F>(&'scope self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        self.state.pending.fetch_add(1, Ordering::AcqRel);
+        let state = Arc::clone(&self.state);
+        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            if catch_unwind(AssertUnwindSafe(f)).is_err() {
+                state.panicked.store(true, Ordering::Release);
+            }
+            state.finish_one();
+        });
+        // SAFETY: only the lifetime is erased. `ThreadPool::scope` does
+        // not return before `state.pending` reaches zero, i.e. before
+        // this closure (and everything it borrows from `'env`) is done —
+        // the same argument `std::thread::scope` relies on.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send + 'static>>(
+                job,
+            )
+        };
+        self.pool.queue.push(job);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_runs_borrowing_tasks() {
+        let pool = ThreadPool::new(2);
+        let mut results = vec![0usize; 8];
+        let input = 7usize;
+        pool.scope(|s| {
+            for (i, slot) in results.iter_mut().enumerate() {
+                let input = &input;
+                s.spawn(move || *slot = i * *input);
+            }
+        });
+        assert_eq!(results, (0..8).map(|i| i * 7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_workers_runs_serially_on_caller() {
+        let pool = ThreadPool::new(0);
+        let mut hits = [false; 4];
+        pool.scope(|s| {
+            for slot in hits.iter_mut() {
+                s.spawn(move || *slot = true);
+            }
+        });
+        assert!(hits.iter().all(|&h| h));
+        assert_eq!(pool.workers(), 0);
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        let pool = ThreadPool::new(1);
+        let total = AtomicUsize::new(0);
+        pool.scope(|outer| {
+            let total = &total;
+            outer.spawn(move || {
+                // nested region on a worker thread: the waiter helps
+                let partial = AtomicUsize::new(0);
+                ThreadPool::new(1).scope(|inner| {
+                    for _ in 0..4 {
+                        let partial = &partial;
+                        inner.spawn(move || {
+                            partial.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+                total.fetch_add(partial.load(Ordering::Relaxed), Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let pool = ThreadPool::new(1);
+        let n = pool.scope(|s| {
+            s.spawn(|| {});
+            41 + 1
+        });
+        assert_eq!(n, 42);
+    }
+
+    #[test]
+    fn task_panic_propagates() {
+        let pool = ThreadPool::new(1);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| panic!("boom"));
+            });
+        }));
+        assert!(caught.is_err());
+        // the pool stays usable afterwards
+        let mut x = 0;
+        pool.scope(|s| s.spawn(|| x = 5));
+        assert_eq!(x, 5);
+    }
+
+    #[test]
+    fn chunk_ranges_cover_input() {
+        let pool = ThreadPool::new(3);
+        let ranges = pool.chunk_ranges(100, 10);
+        assert!(ranges.len() > 1);
+        let mut covered = 0;
+        for r in &ranges {
+            covered += r.len();
+        }
+        assert_eq!(covered, 100);
+        assert_eq!(pool.chunk_ranges(5, 100), vec![0..5]);
+        assert_eq!(pool.chunk_ranges(0, 1), vec![0..0]);
+    }
+
+    #[test]
+    fn global_pool_is_shared() {
+        let a = ThreadPool::global() as *const _;
+        let b = ThreadPool::global() as *const _;
+        assert_eq!(a, b);
+    }
+}
