@@ -49,7 +49,7 @@ pub struct GeneralizeConfig {
 /// suppressed (all QID cells → `*`).
 ///
 /// Each distinct (QID, level) pair generalizes its column **once** into
-/// an interned code table ([`LevelCodes`], built lazily); candidate
+/// an interned code table (`LevelCodes`, built lazily); candidate
 /// level vectors are then checked by counting dense integer codes —
 /// no frame clone, no re-generalization, no string hashing per
 /// candidate round. Only the winning vector materialises a frame.

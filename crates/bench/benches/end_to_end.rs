@@ -2,7 +2,7 @@
 //! data scales, vs. the ship-raw-to-cloud baseline.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use paradise_bench::{paper_original, paper_processor};
+use paradise_bench::{meeting_stream, paper_original, paper_processor, paper_runtime};
 
 fn bench_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("end_to_end");
@@ -31,5 +31,41 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_end_to_end);
+/// The continuous-query runtime under load: N registered queries
+/// ticked over streaming ingest batches. One iteration = ingest one
+/// 100-row batch + drain every registered query (`Runtime::tick`),
+/// with a 2000-row retention window keeping the working set steady.
+/// All plan caches stay warm, so this tracks the pure re-execution
+/// cost of a steady-state tick; `PARADISE_THREADS` controls the
+/// multi-query fan-out.
+fn bench_runtime_multi_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(20);
+    for queries in [1usize, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("runtime_multi_query", queries),
+            &queries,
+            |b, &queries| {
+                let mut runtime = paper_runtime(42, 10, 100).with_retention(2_000);
+                let q = paper_original();
+                for _ in 0..queries {
+                    runtime.register("ActionFilter", &q).unwrap();
+                }
+                let batches: Vec<_> =
+                    (0..32u64).map(|i| meeting_stream(100 + i, 10, 10)).collect();
+                runtime.tick().unwrap(); // compile every stage plan once
+                let mut next = 0usize;
+                b.iter(|| {
+                    let batch = batches[next % batches.len()].clone();
+                    next += 1;
+                    runtime.ingest("motion-sensor", "stream", batch).unwrap();
+                    black_box(runtime.tick().unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end, bench_runtime_multi_query);
 criterion_main!(benches);

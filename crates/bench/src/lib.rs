@@ -1,7 +1,7 @@
 //! Shared scenario builders for the experiment harness and the
 //! criterion benches.
 
-use paradise_core::{ProcessingChain, Processor};
+use paradise_core::{ProcessingChain, Processor, Runtime};
 use paradise_engine::Frame;
 use paradise_nodes::{SmartRoomConfig, SmartRoomSim};
 use paradise_policy::figure4_policy;
@@ -44,6 +44,18 @@ pub fn paper_processor(seed: u64, persons: usize, steps: usize) -> Processor {
         .install_source("motion-sensor", "stream", meeting_stream(seed, persons, steps))
         .expect("sensor node exists");
     processor
+}
+
+/// A continuous-query runtime for the §4.2 scenario, seeded like
+/// [`paper_processor`] (same chain, policy and sensor data) — callers
+/// register queries and tick it over ingested batches.
+pub fn paper_runtime(seed: u64, persons: usize, steps: usize) -> Runtime {
+    let mut runtime = Runtime::new(ProcessingChain::apartment())
+        .with_policy("ActionFilter", figure4_policy().modules.remove(0));
+    runtime
+        .install_source("motion-sensor", "stream", meeting_stream(seed, persons, steps))
+        .expect("sensor node exists");
+    runtime
 }
 
 /// A corpus of queries spanning every capability level, used by the

@@ -15,6 +15,9 @@ pub enum CoreError {
     QueryDenied(String),
     /// No module policy installed for this module id.
     NoPolicy(String),
+    /// A runtime query handle is unknown or was removed (the scalar is
+    /// [`QueryHandle::id`](crate::runtime::QueryHandle::id)).
+    UnknownHandle(u64),
     /// The query shape is outside what the rewriter handles.
     UnsupportedQuery(String),
     /// Query-language error.
@@ -42,6 +45,9 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::QueryDenied(msg) => write!(f, "query denied by policy: {msg}"),
             CoreError::NoPolicy(m) => write!(f, "no policy installed for module {m:?}"),
+            CoreError::UnknownHandle(id) => {
+                write!(f, "unknown or removed query handle {id:#x}")
+            }
             CoreError::UnsupportedQuery(msg) => write!(f, "unsupported query shape: {msg}"),
             CoreError::Parse(e) => write!(f, "{e}"),
             CoreError::Policy(e) => write!(f, "{e}"),

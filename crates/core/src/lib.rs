@@ -15,24 +15,31 @@
 //!   and the paper's information-loss metrics (§3.2);
 //! * [`containment`] — the conjunctive-query containment check the paper
 //!   poses as its open problem (§4.1/§5);
-//! * [`Processor`] — the end-to-end Figure 2 pipeline.
+//! * [`Runtime`] — the continuous-query runtime: register a query once,
+//!   ingest stream batches, tick all registered queries (in parallel),
+//!   swap policies live with exact cache invalidation;
+//! * [`Processor`] — the one-shot Figure 2 pipeline (the session the
+//!   runtime ticks registered queries through).
 //!
 //! ```
-//! use paradise_core::{Processor, ProcessingChain};
+//! use paradise_core::{Runtime, ProcessingChain};
 //! use paradise_nodes::SmartRoomSim;
 //! use paradise_policy::figure4_policy;
 //! use paradise_sql::parse_query;
 //!
-//! let mut processor = Processor::new(ProcessingChain::apartment())
+//! let mut runtime = Runtime::new(ProcessingChain::apartment())
 //!     .with_policy("ActionFilter", figure4_policy().modules.remove(0));
 //! let mut sim = SmartRoomSim::new(7);
-//! processor.install_source("motion-sensor", "stream", sim.ubisense_positions(50)).unwrap();
+//! runtime.install_source("motion-sensor", "stream", sim.ubisense_positions(50)).unwrap();
 //!
 //! let q = parse_query(
 //!     "SELECT regr_intercept(y, x) OVER (PARTITION BY z ORDER BY t) \
 //!      FROM (SELECT x, y, z, t FROM stream)").unwrap();
-//! let outcome = processor.run("ActionFilter", &q).unwrap();
-//! assert_eq!(outcome.stages.len(), 4); // sensor, appliance, media center, server
+//! let handle = runtime.register("ActionFilter", &q).unwrap();
+//! runtime.ingest("motion-sensor", "stream", sim.ubisense_positions(10)).unwrap();
+//! let outcomes = runtime.tick().unwrap();
+//! assert_eq!(outcomes[0].0, handle);
+//! assert_eq!(outcomes[0].1.stages.len(), 4); // sensor, appliance, media center, server
 //! ```
 
 #![warn(missing_docs)]
@@ -46,6 +53,7 @@ pub mod postprocess;
 pub mod preprocess;
 pub mod processor;
 pub mod remainder;
+pub mod runtime;
 pub mod stream_gate;
 
 pub use checks::{
@@ -60,8 +68,9 @@ pub use fragment::{
 };
 pub use postprocess::{postprocess, AnonDecision, AnonStrategy, PostprocessOutcome};
 pub use preprocess::{preprocess, PreprocessOptions, PreprocessOutcome, RewriteAction};
-pub use processor::{Outcome, Processor, ProcessorOptions};
+pub use processor::{Outcome, PlanCacheStats, Processor, ProcessorOptions};
 pub use remainder::{filter_by_class, identity, ActionClass, Remainder};
+pub use runtime::{HandleStats, QueryHandle, Runtime, RuntimeStats};
 pub use stream_gate::{GateDecision, IncrementalSensor, StreamGate};
 
 // Re-export the chain type users need to construct a processor.

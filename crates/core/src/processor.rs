@@ -78,7 +78,101 @@ pub struct PlanCacheStats {
     pub invalidations: u64,
 }
 
-/// The PArADISE processor bound to a node chain.
+/// Fingerprint the schemas of `tables` as installed anywhere in
+/// `chain` (first node owning each table wins; absent tables hash as
+/// absent). Drives fragment-plan invalidation on schema change, for
+/// both the one-shot [`Processor`] and the continuous-query
+/// [`Runtime`](crate::runtime::Runtime).
+pub(crate) fn source_fingerprint(chain: &ProcessingChain, tables: &[String]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for t in tables {
+        t.hash(&mut h);
+        let schema = chain
+            .nodes()
+            .iter()
+            .find_map(|n| n.catalog.get(t).ok().map(|f| &f.schema));
+        match schema {
+            Some(s) => paradise_engine::plan::schema_hash(s).hash(&mut h),
+            None => u64::MAX.hash(&mut h),
+        }
+    }
+    h.finish()
+}
+
+/// §3.2: the anonymization runs at the last stage's node if powerful
+/// enough, otherwise data escalates to the next node that supports it.
+pub(crate) fn anonymization_site(chain: &ProcessingChain, stages: &[Stage]) -> String {
+    let last_node = stages.last().map(|s| s.node.as_str()).unwrap_or_default();
+    let nodes = chain.nodes();
+    let start = nodes.iter().position(|n| n.name == last_node).unwrap_or(0);
+    nodes[start..]
+        .iter()
+        .find(|n| n.capability.supports_anonymization)
+        .map(|n| n.name.clone())
+        .unwrap_or_else(|| last_node.to_string())
+}
+
+/// The per-run execution path shared by the one-shot [`Processor`] and
+/// the per-handle tick of the continuous-query
+/// [`Runtime`](crate::runtime::Runtime): assign the (already rewritten,
+/// already fragmented) query to the live chain, execute bottom-up, run
+/// the anonymization step `A` and the optional cloud remainder.
+///
+/// Frames are handed between the stages by *sharing column buffers*
+/// (`Frame::clone` bumps per-column `Arc`s): between the `run_stages`
+/// output and `Outcome.result` no row or cell is copied — `shipped`,
+/// the postprocessor input, `post.frame` and `result` all reference the
+/// same buffers unless a stage actually rewrites data.
+pub(crate) fn execute_pipeline(
+    chain: &mut ProcessingChain,
+    pre: PreprocessOutcome,
+    plan: FragmentPlan,
+    information_gain: Option<InformationGainReport>,
+    options: &ProcessorOptions,
+    remainder: Option<&Remainder>,
+) -> CoreResult<Outcome> {
+    // 3b. assign to the (live) chain
+    let stages = assign_to_chain(&plan, chain, options.assignment)?;
+
+    // 4. execute bottom-up across the chain
+    let run = chain.run_stages(&stages)?;
+
+    // 5. anonymization step A at the most powerful in-apartment node;
+    // the postprocessor input shares the shipped frame's buffers
+    let anonymized_at = anonymization_site(chain, &stages);
+    let shipped = run.result;
+    let post = postprocess(shipped.clone(), &options.anon)?;
+
+    // 6. cloud remainder (shares `post.frame`'s buffers when absent)
+    let (result, remainder_applied) = match remainder {
+        Some(r) => (r.apply(post.frame.clone()), Some(r.name.clone())),
+        None => (post.frame.clone(), None),
+    };
+
+    Ok(Outcome {
+        preprocess: pre,
+        information_gain,
+        plan,
+        stages,
+        stage_reports: run.stages,
+        traffic: run.traffic,
+        shipped,
+        anonymized_at,
+        post,
+        remainder_applied,
+        result,
+    })
+}
+
+/// The PArADISE processor bound to a node chain: the original one-shot
+/// `run(module, query)` entry point.
+///
+/// For *continuous* queries — the paper's actual setting — prefer the
+/// registration-based [`Runtime`](crate::runtime::Runtime): it
+/// preprocesses, fragments and compiles once per registered query,
+/// supports live policy swaps with exact cache invalidation, ingests
+/// stream batches, and fans multi-query ticks out across chains.
 pub struct Processor {
     chain: ProcessingChain,
     policies: HashMap<String, ModulePolicy>,
@@ -167,27 +261,6 @@ impl Processor {
         total
     }
 
-    /// Fingerprint the schemas of `tables` as installed anywhere in the
-    /// chain (first node owning each table wins; absent tables hash as
-    /// absent). Drives fragment-plan invalidation on schema change.
-    fn source_fingerprint(&self, tables: &[String]) -> u64 {
-        use std::hash::{Hash, Hasher};
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        for t in tables {
-            t.hash(&mut h);
-            let schema = self
-                .chain
-                .nodes()
-                .iter()
-                .find_map(|n| n.catalog.get(t).ok().map(|f| &f.schema));
-            match schema {
-                Some(s) => paradise_engine::plan::schema_hash(s).hash(&mut h),
-                None => u64::MAX.hash(&mut h),
-            }
-        }
-        h.finish()
-    }
-
     /// Builder: set the cloud remainder stage.
     #[must_use]
     pub fn with_remainder(mut self, remainder: Remainder) -> Self {
@@ -221,7 +294,20 @@ impl Processor {
         merged
     }
 
-    /// Run a query for a module: the full Figure 2 pipeline.
+    /// Run a query for a module: the full Figure 2 pipeline, as a
+    /// one-shot session over the same execution path the
+    /// [`Runtime`](crate::runtime::Runtime) ticks registered queries
+    /// through.
+    ///
+    /// **Deprecation note:** for continuous queries, prefer
+    /// [`Runtime::register`](crate::runtime::Runtime::register) +
+    /// [`Runtime::tick`](crate::runtime::Runtime::tick) — callers then
+    /// stop re-submitting the query per tick, policies become hot-
+    /// swappable via
+    /// [`Runtime::set_policy`](crate::runtime::Runtime::set_policy), and
+    /// independent queries tick in parallel. `Processor::run` stays for
+    /// one-shot/ad-hoc runs and as the serial reference the runtime's
+    /// equivalence tests compare against.
     ///
     /// Frames are handed between the stages by *sharing column buffers*
     /// (`Frame::clone` bumps per-column `Arc`s): between the
@@ -246,7 +332,7 @@ impl Processor {
                 if c.query != *query {
                     return None; // hash collision: recompute
                 }
-                if self.source_fingerprint(&c.tables) != c.fingerprint {
+                if source_fingerprint(&self.chain, &c.tables) != c.fingerprint {
                     return Some(None); // schemas changed: invalidate
                 }
                 Some(Some((c.pre.clone(), c.plan.clone())))
@@ -270,7 +356,7 @@ impl Processor {
                         self.plan_cache.clear();
                     }
                     let tables = paradise_sql::analysis::base_relations(query);
-                    let fingerprint = self.source_fingerprint(&tables);
+                    let fingerprint = source_fingerprint(&self.chain, &tables);
                     self.plan_cache.insert(
                         key,
                         CachedPlan {
@@ -300,50 +386,16 @@ impl Processor {
             None => None,
         };
 
-        // 3b. assign to the (live) chain
-        let stages = assign_to_chain(&plan, &self.chain, self.options.assignment)?;
-
-        // 4. execute bottom-up across the chain
-        let run = self.chain.run_stages(&stages)?;
-
-        // 5. anonymization step A at the most powerful in-apartment node;
-        // the postprocessor input shares the shipped frame's buffers
-        let anonymized_at = self.anonymization_site(&stages);
-        let shipped = run.result;
-        let post = postprocess(shipped.clone(), &self.options.anon)?;
-
-        // 6. cloud remainder (shares `post.frame`'s buffers when absent)
-        let (result, remainder_applied) = match &self.remainder {
-            Some(r) => (r.apply(post.frame.clone()), Some(r.name.clone())),
-            None => (post.frame.clone(), None),
-        };
-
-        Ok(Outcome {
-            preprocess: pre,
-            information_gain,
+        // 3b.–6. the shared execution path (assignment, bottom-up
+        // execution, anonymization, remainder)
+        execute_pipeline(
+            &mut self.chain,
+            pre,
             plan,
-            stages,
-            stage_reports: run.stages,
-            traffic: run.traffic,
-            shipped,
-            anonymized_at,
-            post,
-            remainder_applied,
-            result,
-        })
-    }
-
-    /// §3.2: the anonymization runs at the last stage's node if powerful
-    /// enough, otherwise data escalates to the next node that supports it.
-    fn anonymization_site(&self, stages: &[Stage]) -> String {
-        let last_node = stages.last().map(|s| s.node.as_str()).unwrap_or_default();
-        let nodes = self.chain.nodes();
-        let start = nodes.iter().position(|n| n.name == last_node).unwrap_or(0);
-        nodes[start..]
-            .iter()
-            .find(|n| n.capability.supports_anonymization)
-            .map(|n| n.name.clone())
-            .unwrap_or_else(|| last_node.to_string())
+            information_gain,
+            &self.options,
+            self.remainder.as_ref(),
+        )
     }
 
     /// Baseline for the Figure 3 experiment: ship the raw integrated

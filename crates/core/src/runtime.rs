@@ -1,0 +1,731 @@
+//! The continuous-query runtime: the registration-based public API of
+//! the processor.
+//!
+//! The paper's setting is *continuous* queries from assistive systems
+//! over sensor streams — a module registers its query once, sensor data
+//! keeps arriving, and every tick re-evaluates all registered queries
+//! under the current privacy policies. [`Runtime`] models exactly that
+//! lifecycle:
+//!
+//! * [`Runtime::register`] — preprocess (policy rewrite) + fragment the
+//!   query **once**, cached per handle;
+//! * [`Runtime::ingest`] — append a stream batch at a chain node;
+//! * [`Runtime::tick`] — drain every registered query against the fresh
+//!   data, fanning independent queries out over the scoped thread pool
+//!   (`PARADISE_THREADS`; serial at 1), results in registration order;
+//! * [`Runtime::set_policy`] — swap a module's policy live. Policy
+//!   versions extend every cache key, so the swap invalidates exactly
+//!   the affected handles' rewrite plans and compiled node plans —
+//!   other handles keep a 100% cache-hit rate;
+//! * [`Runtime::stats`] / [`Runtime::handle_stats`] — hit/miss/
+//!   invalidation counters of both cache layers.
+//!
+//! Steady-state ticks perform **zero** preprocess/fragment/compile
+//! work: the rewrite+fragment plan is cached per handle (keyed by
+//! policy version and source-schema fingerprint) and every chain node
+//! reuses its compiled physical plans (`Arc<CompiledPlan>`, keyed by
+//! fragment AST, schema fingerprint and policy version).
+//!
+//! Each handle executes on its own chain clone whose sources are
+//! refreshed from the runtime's ingest state before every tick
+//! (`Frame` clones are per-column `Arc` bumps, so a refresh copies no
+//! data). That is what makes the multi-query fan-out safe: ticks of
+//! different handles share nothing mutable.
+
+use std::collections::HashMap;
+
+use minipool::ThreadPool;
+use paradise_engine::{plan as engine_plan, Catalog, Frame};
+use paradise_nodes::ProcessingChain;
+use paradise_policy::{ModulePolicy, PolicyVersion};
+use paradise_sql::ast::Query;
+
+use crate::checks::information_gain_check;
+use crate::error::{CoreError, CoreResult};
+use crate::fragment::{fragment_query, FragmentPlan};
+use crate::preprocess::{preprocess, PreprocessOutcome};
+use crate::processor::{
+    execute_pipeline, source_fingerprint, Outcome, PlanCacheStats, ProcessorOptions,
+};
+use crate::remainder::Remainder;
+
+/// Opaque handle of one registered continuous query.
+///
+/// Handles stay valid until [`Runtime::remove_query`]; a removed
+/// handle's slot may be reused, but the generation makes stale handles
+/// detectable ([`CoreError::UnknownHandle`]) instead of silently
+/// addressing the new occupant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryHandle {
+    index: u32,
+    generation: u32,
+}
+
+impl QueryHandle {
+    /// A compact scalar id (generation ≪ 32 | slot), for logging.
+    pub fn id(self) -> u64 {
+        (u64::from(self.generation) << 32) | u64::from(self.index)
+    }
+}
+
+impl std::fmt::Display for QueryHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{}.{}", self.index, self.generation)
+    }
+}
+
+/// One registered query: the compile-once artifacts plus the handle's
+/// private execution chain.
+struct Registered {
+    generation: u32,
+    module: String,
+    query: Query,
+    /// Rewrite outcome, built at registration (or at the last
+    /// invalidation) under `version`.
+    pre: PreprocessOutcome,
+    /// Fragmentation of the rewritten query, cached alongside.
+    plan: FragmentPlan,
+    /// Policy version the cached plan was rewritten under — the cache
+    /// key extension that makes live policy updates sound.
+    version: PolicyVersion,
+    /// Base tables of the original query and the source-schema
+    /// fingerprint captured at build time (schema changes invalidate).
+    tables: Vec<String>,
+    fingerprint: u64,
+    /// The handle's private execution chain: sources are refreshed from
+    /// the runtime chain before every tick; node-level compiled-plan
+    /// caches stay warm across ticks.
+    chain: ProcessingChain,
+    /// Per-handle rewrite/fragment-plan cache counters.
+    stats: PlanCacheStats,
+}
+
+/// Aggregate cache/tick counters of a [`Runtime`], from
+/// [`Runtime::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Live registered queries.
+    pub registered: usize,
+    /// Completed [`Runtime::tick`] calls.
+    pub ticks: u64,
+    /// Rewrite/fragment-plan counters summed over all live handles
+    /// (registration = miss; steady tick = hit; policy swap or source
+    /// schema change = invalidation + miss).
+    pub plan: PlanCacheStats,
+    /// Compiled-plan counters summed over every node of every live
+    /// handle's chain.
+    pub engine: engine_plan::PlanCacheStats,
+}
+
+/// Per-handle counters, from [`Runtime::handle_stats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HandleStats {
+    /// Module the query was registered under.
+    pub module: String,
+    /// Policy version the handle's plans are currently built against.
+    pub policy_version: PolicyVersion,
+    /// This handle's rewrite/fragment-plan counters.
+    pub plan: PlanCacheStats,
+    /// Compiled-plan counters summed over the handle's chain nodes.
+    pub engine: engine_plan::PlanCacheStats,
+}
+
+/// The long-lived continuous-query runtime (see the module docs).
+pub struct Runtime {
+    /// Source-of-record chain: holds the ingested streams, never
+    /// executes fragments itself.
+    chain: ProcessingChain,
+    policies: HashMap<String, (PolicyVersion, ModulePolicy)>,
+    options: ProcessorOptions,
+    remainder: Option<Remainder>,
+    /// Per-(node, table) cap on retained stream rows (oldest evicted).
+    retention: Option<usize>,
+    slots: Vec<Option<Registered>>,
+    next_generation: u32,
+    /// Global monotonic policy-version counter: every install gets a
+    /// fresh number, so versions are unique across modules too.
+    version_counter: u64,
+    ticks: u64,
+}
+
+impl Runtime {
+    /// Runtime over a chain with default options.
+    pub fn new(chain: ProcessingChain) -> Self {
+        Runtime {
+            chain,
+            policies: HashMap::new(),
+            options: ProcessorOptions::default(),
+            remainder: None,
+            retention: None,
+            slots: Vec::new(),
+            next_generation: 0,
+            version_counter: 0,
+            ticks: 0,
+        }
+    }
+
+    /// Builder: install a module policy (equivalent to
+    /// [`Runtime::set_policy`]).
+    #[must_use]
+    pub fn with_policy(mut self, module_id: impl Into<String>, policy: ModulePolicy) -> Self {
+        self.set_policy(module_id, policy);
+        self
+    }
+
+    /// Builder: set processor options (preprocess substitutions,
+    /// assignment policy, anonymization strategy, information-gain
+    /// threshold; the `plan_cache` flag is meaningless here — caching
+    /// per registered handle is what the runtime *is*).
+    #[must_use]
+    pub fn with_options(mut self, options: ProcessorOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Builder: set the cloud remainder stage.
+    #[must_use]
+    pub fn with_remainder(mut self, remainder: Remainder) -> Self {
+        self.remainder = Some(remainder);
+        self
+    }
+
+    /// Builder: keep at most `rows` rows per ingested stream table —
+    /// the sliding-window retention of a long-running deployment
+    /// (oldest rows are evicted on [`Runtime::ingest`]).
+    #[must_use]
+    pub fn with_retention(mut self, rows: usize) -> Self {
+        self.retention = Some(rows);
+        self
+    }
+
+    /// Install or swap a module's policy **live** and return the new
+    /// policy version. Registered queries of the module are rewritten
+    /// and recompiled on their next tick under the new version; every
+    /// cache key carries the version, so plans built under the previous
+    /// policy can never be served again (their eviction is counted in
+    /// the invalidation stats). Handles of *other* modules are
+    /// untouched and keep their 100% cache-hit rate.
+    pub fn set_policy(&mut self, module_id: impl Into<String>, policy: ModulePolicy) -> PolicyVersion {
+        self.version_counter += 1;
+        let version = PolicyVersion(self.version_counter);
+        self.policies.insert(module_id.into(), (version, policy));
+        version
+    }
+
+    /// The installed policy version of a module, if any.
+    pub fn policy_version(&self, module_id: &str) -> Option<PolicyVersion> {
+        self.policies.get(module_id).map(|(v, _)| *v)
+    }
+
+    /// Register a continuous query for a module: preprocess (policy
+    /// rewrite) and fragment **once**, set up the handle's execution
+    /// chain, and return the handle. Ticks re-execute the cached plan
+    /// until the module's policy or a source schema changes.
+    pub fn register(&mut self, module_id: &str, query: &Query) -> CoreResult<QueryHandle> {
+        let (version, policy) = self
+            .policies
+            .get(module_id)
+            .ok_or_else(|| CoreError::NoPolicy(module_id.to_string()))?;
+        let version = *version;
+        let pre = preprocess(query, policy, &self.options.preprocess)?;
+        let plan = fragment_query(&pre.query)?;
+        let tables = paradise_sql::analysis::base_relations(query);
+        let fingerprint = source_fingerprint(&self.chain, &tables);
+        let mut chain = self.chain.clone();
+        chain.set_plan_salt(version.as_u64());
+        let generation = self.next_generation;
+        self.next_generation += 1;
+        let registered = Registered {
+            generation,
+            module: module_id.to_string(),
+            query: query.clone(),
+            pre,
+            plan,
+            version,
+            tables,
+            fingerprint,
+            chain,
+            stats: PlanCacheStats { hits: 0, misses: 1, invalidations: 0 },
+        };
+        let index = match self.slots.iter().position(Option::is_none) {
+            Some(free) => {
+                self.slots[free] = Some(registered);
+                free
+            }
+            None => {
+                self.slots.push(Some(registered));
+                self.slots.len() - 1
+            }
+        };
+        Ok(QueryHandle { index: index as u32, generation })
+    }
+
+    /// Deregister a query; its handle becomes invalid and its execution
+    /// state is dropped.
+    pub fn remove_query(&mut self, handle: QueryHandle) -> CoreResult<()> {
+        self.resolve(handle)?;
+        self.slots[handle.index as usize] = None;
+        Ok(())
+    }
+
+    /// Install (or replace) source data at a chain node. Replacing a
+    /// table under a *different* schema invalidates the affected
+    /// handles' plans on their next tick.
+    pub fn install_source(&mut self, node: &str, table: &str, frame: Frame) -> CoreResult<()> {
+        self.chain.node_mut(node)?.install_table(table, frame);
+        Ok(())
+    }
+
+    /// Append a stream batch to a source table — the per-tick data path
+    /// of a deployment. The table must already exist (via
+    /// [`Runtime::install_source`]; an unknown name errors rather than
+    /// silently misrouting data) and the batch schema must match the
+    /// installed table's exactly (so every cached plan stays valid);
+    /// when a retention cap is set, the oldest rows beyond it are
+    /// evicted.
+    pub fn ingest(&mut self, node: &str, table: &str, batch: Frame) -> CoreResult<()> {
+        self.chain.ingest(node, table, batch)?;
+        if let Some(max) = self.retention {
+            let frame = self.chain.node_mut(node)?.catalog.get_mut(table)?;
+            if frame.len() > max {
+                frame.skip_rows(frame.len() - max);
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluate every registered query against the current stream state:
+    /// one tick of the continuous-query loop.
+    ///
+    /// Per handle: revalidate the cached rewrite+fragment plan (policy
+    /// version + source-schema fingerprint; a hit costs two comparisons),
+    /// refresh the handle chain's sources (`Arc` bumps), then execute
+    /// the Figure 2 pipeline. Independent handles execute in parallel on
+    /// the scoped thread pool (`PARADISE_THREADS`; serial at 1) — the
+    /// result order is the registration order at any thread count, and
+    /// the first failing handle's error (in that order) is returned.
+    ///
+    /// A failing tick is **atomic**: if any handle's plan rebuild fails
+    /// — typically a [`Runtime::set_policy`] swap that now denies a
+    /// registered query — the tick returns that error *before* touching
+    /// any counter, cache or source. The runtime stays consistent and
+    /// retries are idempotent; recover by installing a compatible
+    /// policy or [`Runtime::remove_query`]-ing the rejected handle.
+    pub fn tick(&mut self) -> CoreResult<Vec<(QueryHandle, Outcome)>> {
+        // phase 1a (serial, read-only): probe every handle's cached
+        // rewrite+fragment plan and precompute the rebuilds. Nothing is
+        // mutated until all rebuilds have succeeded, so a policy that
+        // rejects one registered query cannot corrupt counters or
+        // partially refresh state on repeated failing ticks.
+        let mut rebuilds: Vec<Option<(PreprocessOutcome, FragmentPlan, PolicyVersion, u64)>> =
+            Vec::with_capacity(self.slots.len());
+        for slot in &self.slots {
+            let Some(slot) = slot else {
+                rebuilds.push(None);
+                continue;
+            };
+            let (version, policy) = self
+                .policies
+                .get(&slot.module)
+                .expect("registered modules keep their policy");
+            let fingerprint = source_fingerprint(&self.chain, &slot.tables);
+            if *version != slot.version || fingerprint != slot.fingerprint {
+                // policy swap or source schema change: rebuild this
+                // handle's rewrite under the current policy version
+                let pre = preprocess(&slot.query, policy, &self.options.preprocess)?;
+                let plan = fragment_query(&pre.query)?;
+                rebuilds.push(Some((pre, plan, *version, fingerprint)));
+            } else {
+                rebuilds.push(None);
+            }
+        }
+
+        // phase 1b (serial): apply the rebuilds, bump counters, refresh
+        // every handle chain's sources and plan-cache salts
+        for (slot, rebuild) in self.slots.iter_mut().zip(rebuilds) {
+            let Some(slot) = slot else { continue };
+            match rebuild {
+                Some((pre, plan, version, fingerprint)) => {
+                    slot.stats.misses += 1;
+                    slot.stats.invalidations += 1;
+                    slot.pre = pre;
+                    slot.plan = plan;
+                    slot.version = version;
+                    slot.fingerprint = fingerprint;
+                }
+                None => slot.stats.hits += 1,
+            }
+            for node in self.chain.nodes() {
+                let target = slot
+                    .chain
+                    .node_mut(&node.name)
+                    .expect("handle chains are clones of the runtime chain");
+                // bump the plan-cache salt to the handle's policy
+                // version (purges stale generations; no-op when stable)
+                target.set_plan_salt(slot.version.as_u64());
+                for table in node.catalog.table_names() {
+                    if let Ok(frame) = node.catalog.get(table) {
+                        target.install_table(table, frame.clone());
+                    }
+                }
+            }
+        }
+
+        // the integrated catalog is only materialised when the
+        // information-gain check is on (it reads the raw sources)
+        let info_catalog = self.options.info_gain_threshold.map(|_| self.integrated_catalog());
+
+        // phase 2 (parallel): execute the handles' pipelines
+        let mut results: Vec<Option<CoreResult<Outcome>>> =
+            self.slots.iter().map(|_| None).collect();
+        {
+            let options = &self.options;
+            let remainder = self.remainder.as_ref();
+            let info_catalog = info_catalog.as_ref();
+            ThreadPool::global().scope(|scope| {
+                for (slot, result) in self.slots.iter_mut().zip(results.iter_mut()) {
+                    let Some(reg) = slot.as_mut() else { continue };
+                    scope.spawn(move || {
+                        *result = Some(run_handle(reg, options, remainder, info_catalog));
+                    });
+                }
+            });
+        }
+        self.ticks += 1;
+
+        // phase 3: collect in registration (slot) order
+        let mut out = Vec::with_capacity(results.len());
+        for (index, (slot, result)) in self.slots.iter().zip(results).enumerate() {
+            let Some(reg) = slot else { continue };
+            let outcome = result.expect("every live slot was executed")?;
+            let handle = QueryHandle { index: index as u32, generation: reg.generation };
+            out.push((handle, outcome));
+        }
+        Ok(out)
+    }
+
+    /// Aggregate cache/tick counters (see [`RuntimeStats`]). After the
+    /// first tick of a steady-state deployment, `plan.hits` grows by
+    /// `registered` per tick and `engine.misses` stays flat — the
+    /// compile-once contract, asserted by the runtime tests.
+    pub fn stats(&self) -> RuntimeStats {
+        let mut stats = RuntimeStats {
+            registered: self.slots.iter().flatten().count(),
+            ticks: self.ticks,
+            ..RuntimeStats::default()
+        };
+        for reg in self.slots.iter().flatten() {
+            stats.plan.hits += reg.stats.hits;
+            stats.plan.misses += reg.stats.misses;
+            stats.plan.invalidations += reg.stats.invalidations;
+            let engine = chain_plan_stats(&reg.chain);
+            stats.engine.hits += engine.hits;
+            stats.engine.misses += engine.misses;
+            stats.engine.invalidations += engine.invalidations;
+        }
+        stats
+    }
+
+    /// Cache counters and policy version of one handle.
+    pub fn handle_stats(&self, handle: QueryHandle) -> CoreResult<HandleStats> {
+        let reg = self.resolve(handle)?;
+        Ok(HandleStats {
+            module: reg.module.clone(),
+            policy_version: reg.version,
+            plan: reg.stats,
+            engine: chain_plan_stats(&reg.chain),
+        })
+    }
+
+    /// Number of live registered queries.
+    pub fn registered(&self) -> usize {
+        self.slots.iter().flatten().count()
+    }
+
+    /// Borrow the source-of-record chain (to inspect ingested streams;
+    /// execution statistics accumulate on the per-handle chains, see
+    /// [`Runtime::handle_stats`]).
+    pub fn chain(&self) -> &ProcessingChain {
+        &self.chain
+    }
+
+    /// A merged catalog of every source table — the hypothetical
+    /// integrated database `d` of the paper, used for baselines and the
+    /// information-gain check.
+    pub fn integrated_catalog(&self) -> Catalog {
+        let mut merged = Catalog::new();
+        for node in self.chain.nodes() {
+            for table in node.catalog.table_names() {
+                if let Ok(frame) = node.catalog.get(table) {
+                    merged.register_or_replace(table, frame.clone());
+                }
+            }
+        }
+        merged
+    }
+
+    fn resolve(&self, handle: QueryHandle) -> CoreResult<&Registered> {
+        self.slots
+            .get(handle.index as usize)
+            .and_then(Option::as_ref)
+            .filter(|reg| reg.generation == handle.generation)
+            .ok_or(CoreError::UnknownHandle(handle.id()))
+    }
+}
+
+/// One handle's tick: optional information-gain check, then the shared
+/// Figure 2 execution path over the handle's private chain.
+fn run_handle(
+    reg: &mut Registered,
+    options: &ProcessorOptions,
+    remainder: Option<&Remainder>,
+    info_catalog: Option<&Catalog>,
+) -> CoreResult<Outcome> {
+    let information_gain = match (info_catalog, options.info_gain_threshold) {
+        (Some(catalog), Some(threshold)) => {
+            Some(information_gain_check(catalog, &reg.query, &reg.pre.query, threshold)?)
+        }
+        _ => None,
+    };
+    execute_pipeline(
+        &mut reg.chain,
+        reg.pre.clone(),
+        reg.plan.clone(),
+        information_gain,
+        options,
+        remainder,
+    )
+}
+
+/// Sum the compiled-plan cache counters over a chain's nodes.
+fn chain_plan_stats(chain: &ProcessingChain) -> engine_plan::PlanCacheStats {
+    let mut total = engine_plan::PlanCacheStats::default();
+    for node in chain.nodes() {
+        let s = node.plan_cache_stats();
+        total.hits += s.hits;
+        total.misses += s.misses;
+        total.invalidations += s.invalidations;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradise_nodes::SmartRoomSim;
+    use paradise_policy::figure4_policy;
+    use paradise_sql::parse_query;
+
+    const PAPER_ORIGINAL: &str =
+        "SELECT regr_intercept(y, x) OVER (PARTITION BY z ORDER BY t) \
+         FROM (SELECT x, y, z, t FROM stream)";
+
+    fn stream(seed: u64, steps: usize) -> Frame {
+        let config = paradise_nodes::SmartRoomConfig {
+            persons: 10,
+            switch_probability: 0.003,
+            ..Default::default()
+        };
+        SmartRoomSim::with_config(seed, config).ubisense_positions(steps)
+    }
+
+    fn runtime() -> Runtime {
+        let mut rt = Runtime::new(ProcessingChain::apartment())
+            .with_policy("ActionFilter", figure4_policy().modules.remove(0));
+        rt.install_source("motion-sensor", "stream", stream(42, 500)).unwrap();
+        rt
+    }
+
+    #[test]
+    fn register_requires_a_policy() {
+        let mut rt = runtime();
+        let q = parse_query(PAPER_ORIGINAL).unwrap();
+        assert!(matches!(rt.register("Nope", &q), Err(CoreError::NoPolicy(_))));
+        assert!(rt.register("ActionFilter", &q).is_ok());
+    }
+
+    #[test]
+    fn tick_matches_the_one_shot_processor() {
+        let mut rt = runtime();
+        let q = parse_query(PAPER_ORIGINAL).unwrap();
+        let handle = rt.register("ActionFilter", &q).unwrap();
+        let ticked = rt.tick().unwrap();
+        assert_eq!(ticked.len(), 1);
+        assert_eq!(ticked[0].0, handle);
+
+        let mut processor = crate::Processor::new(ProcessingChain::apartment())
+            .with_policy("ActionFilter", figure4_policy().modules.remove(0));
+        processor.install_source("motion-sensor", "stream", stream(42, 500)).unwrap();
+        let reference = processor.run("ActionFilter", &q).unwrap();
+        assert_eq!(ticked[0].1.result, reference.result);
+        assert_eq!(ticked[0].1.anonymized_at, reference.anonymized_at);
+    }
+
+    #[test]
+    fn steady_state_ticks_hit_every_cache() {
+        let mut rt = runtime();
+        let q = parse_query(PAPER_ORIGINAL).unwrap();
+        rt.register("ActionFilter", &q).unwrap();
+        rt.tick().unwrap();
+        let cold = rt.stats();
+        assert_eq!(cold.plan, PlanCacheStats { hits: 1, misses: 1, invalidations: 0 });
+        assert!(cold.engine.misses >= 4, "first tick compiles every stage: {cold:?}");
+
+        for _ in 0..3 {
+            rt.ingest("motion-sensor", "stream", stream(7, 10)).unwrap();
+            rt.tick().unwrap();
+        }
+        let warm = rt.stats();
+        assert_eq!(warm.plan.misses, cold.plan.misses, "no re-preprocessing after tick 1");
+        assert_eq!(warm.engine.misses, cold.engine.misses, "no recompilation after tick 1");
+        assert_eq!(warm.plan.hits, 4);
+        assert_eq!(warm.engine.hits, cold.engine.hits + 3 * cold.engine.misses);
+        assert_eq!(warm.ticks, 4);
+    }
+
+    #[test]
+    fn ingest_appends_and_retention_caps() {
+        let mut rt = runtime().with_retention(600);
+        rt.ingest("motion-sensor", "stream", stream(1, 20)).unwrap();
+        let len = rt.chain().node("motion-sensor").unwrap().catalog.get("stream").unwrap().len();
+        assert_eq!(len, 600, "5000 + 200 rows capped to the retention window");
+        // a mismatched batch is rejected
+        let bad = Frame::empty(paradise_engine::Schema::from_pairs(&[(
+            "only",
+            paradise_engine::DataType::Integer,
+        )]));
+        assert!(rt.ingest("motion-sensor", "stream", bad).is_err());
+        // …and so is a typo'd (uninstalled) stream name: no silent
+        // misrouting of batches
+        assert!(rt.ingest("motion-sensor", "straem", stream(1, 1)).is_err());
+    }
+
+    #[test]
+    fn set_policy_invalidates_only_that_module() {
+        let mut rt = runtime();
+        let mut fig4 = figure4_policy();
+        rt.set_policy("Other", fig4.modules.remove(0));
+        let q = parse_query(PAPER_ORIGINAL).unwrap();
+        let affected = rt.register("ActionFilter", &q).unwrap();
+        let bystander = rt.register("Other", &q).unwrap();
+        rt.tick().unwrap();
+        rt.tick().unwrap();
+
+        let v2 = rt.set_policy("ActionFilter", figure4_policy().modules.remove(0));
+        rt.tick().unwrap();
+
+        let hit = rt.handle_stats(affected).unwrap();
+        assert_eq!(hit.policy_version, v2);
+        assert_eq!(hit.plan.invalidations, 1, "policy swap rebuilt the rewrite");
+        assert!(hit.engine.invalidations > 0, "stale node plans were purged");
+
+        let clean = rt.handle_stats(bystander).unwrap();
+        assert_eq!(clean.plan.invalidations, 0);
+        assert_eq!(clean.engine.invalidations, 0);
+        assert_eq!(clean.plan.hits, 3, "bystander kept its 100% hit rate");
+    }
+
+    #[test]
+    fn source_schema_change_invalidates() {
+        let mut rt = runtime();
+        let q = parse_query(PAPER_ORIGINAL).unwrap();
+        let h = rt.register("ActionFilter", &q).unwrap();
+        rt.tick().unwrap();
+
+        let old = rt.chain().node("motion-sensor").unwrap().catalog.get("stream").unwrap().clone();
+        let mut schema = old.schema.clone();
+        schema.push(paradise_engine::Column::new("w", paradise_engine::DataType::Float));
+        let rows: Vec<Vec<paradise_engine::Value>> = old
+            .iter_rows()
+            .map(|mut r| {
+                r.push(paradise_engine::Value::Float(0.0));
+                r
+            })
+            .collect();
+        rt.install_source("motion-sensor", "stream", paradise_engine::Frame::new(schema, rows).unwrap())
+            .unwrap();
+        rt.tick().unwrap();
+        let stats = rt.handle_stats(h).unwrap();
+        assert_eq!(stats.plan.invalidations, 1, "schema change must invalidate");
+    }
+
+    #[test]
+    fn failing_policy_swap_keeps_the_tick_atomic() {
+        let mut rt = runtime();
+        let q = parse_query(PAPER_ORIGINAL).unwrap();
+        let h = rt.register("ActionFilter", &q).unwrap();
+        let mut other = figure4_policy().modules.remove(0);
+        other.module_id = "Other".into();
+        rt.set_policy("Other", other);
+        let bystander = rt.register("Other", &parse_query("SELECT x, y, z, t FROM stream").unwrap()).unwrap();
+        rt.tick().unwrap();
+        let before = rt.stats();
+
+        // swap in a policy that denies every attribute of the
+        // registered query: the rewrite must fail…
+        let mut deny_all = paradise_policy::ModulePolicy::new("ActionFilter");
+        for attr in ["x", "y", "z", "t"] {
+            deny_all.attributes.push(paradise_policy::AttributeRule::denied(attr));
+        }
+        rt.set_policy("ActionFilter", deny_all);
+        assert!(matches!(rt.tick(), Err(CoreError::QueryDenied(_))));
+        // …atomically: repeated failing ticks move no counters, for the
+        // rejected handle or the bystander
+        assert!(matches!(rt.tick(), Err(CoreError::QueryDenied(_))));
+        assert_eq!(rt.stats().plan, before.plan);
+        assert_eq!(rt.stats().engine, before.engine);
+
+        // recovery: remove the rejected handle, the bystander resumes
+        rt.remove_query(h).unwrap();
+        let ticked = rt.tick().unwrap();
+        assert_eq!(ticked.len(), 1);
+        assert_eq!(ticked[0].0, bystander);
+        // (recovery by re-installing a compatible policy works too)
+        let h2 = rt.register("Other", &q).unwrap();
+        assert!(rt.tick().is_ok());
+        assert!(rt.handle_stats(h2).is_ok());
+    }
+
+    #[test]
+    fn remove_query_retires_the_handle() {
+        let mut rt = runtime();
+        let q = parse_query(PAPER_ORIGINAL).unwrap();
+        let a = rt.register("ActionFilter", &q).unwrap();
+        let b = rt.register("ActionFilter", &q).unwrap();
+        assert_eq!(rt.registered(), 2);
+        rt.remove_query(a).unwrap();
+        assert_eq!(rt.registered(), 1);
+        assert!(matches!(rt.remove_query(a), Err(CoreError::UnknownHandle(_))));
+        assert!(matches!(rt.handle_stats(a), Err(CoreError::UnknownHandle(_))));
+
+        // the freed slot is reused under a fresh generation: the old
+        // handle stays dead
+        let c = rt.register("ActionFilter", &q).unwrap();
+        assert_ne!(a, c);
+        assert!(rt.handle_stats(c).is_ok());
+        assert!(matches!(rt.handle_stats(a), Err(CoreError::UnknownHandle(_))));
+
+        let ticked = rt.tick().unwrap();
+        let handles: Vec<QueryHandle> = ticked.iter().map(|(h, _)| *h).collect();
+        assert_eq!(handles, vec![c, b], "slot order is registration order");
+    }
+
+    #[test]
+    fn multi_query_results_keep_registration_order() {
+        let mut rt = runtime();
+        let queries = [
+            PAPER_ORIGINAL,
+            "SELECT x, y, z, t FROM stream",
+            "SELECT regr_intercept(y, x) OVER (PARTITION BY z ORDER BY t) \
+             FROM (SELECT x, y, z, t FROM stream) LIMIT 7",
+        ];
+        let mut handles = Vec::new();
+        for q in queries {
+            handles.push(rt.register("ActionFilter", &parse_query(q).unwrap()).unwrap());
+        }
+        let ticked = rt.tick().unwrap();
+        let got: Vec<QueryHandle> = ticked.iter().map(|(h, _)| *h).collect();
+        assert_eq!(got, handles);
+        assert!(ticked[2].1.result.len() <= 7, "LIMIT survives the pipeline");
+    }
+}

@@ -37,6 +37,25 @@ impl Catalog {
         self.tables.insert(name.to_ascii_lowercase(), frame);
     }
 
+    /// Append a batch of rows to a registered table — the ingest path of
+    /// continuous queries over sensor streams. The table must already be
+    /// registered (a typo'd stream name must fail loudly, not misroute
+    /// data into a table nobody queries) and the batch schema must equal
+    /// the installed schema exactly, so compiled plans keyed by schema
+    /// fingerprint stay valid.
+    pub fn append(&mut self, name: &str, batch: Frame) -> EngineResult<()> {
+        let frame = self
+            .tables
+            .get_mut(&name.to_ascii_lowercase())
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))?;
+        if frame.schema != batch.schema {
+            return Err(EngineError::Unsupported(format!(
+                "cannot append batch to table {name:?}: schemas differ"
+            )));
+        }
+        frame.append(batch)
+    }
+
     /// Remove a table, returning it if present.
     pub fn remove(&mut self, name: &str) -> Option<Frame> {
         self.tables.remove(&name.to_ascii_lowercase())
@@ -46,6 +65,13 @@ impl Catalog {
     pub fn get(&self, name: &str) -> EngineResult<&Frame> {
         self.tables
             .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
+    }
+
+    /// Mutable table lookup (e.g. to trim a stream's retention window).
+    pub fn get_mut(&mut self, name: &str) -> EngineResult<&mut Frame> {
+        self.tables
+            .get_mut(&name.to_ascii_lowercase())
             .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
     }
 
@@ -97,6 +123,26 @@ mod tests {
         assert!(matches!(c.register("D", tiny()), Err(EngineError::DuplicateTable(_))));
         c.register_or_replace("d", tiny());
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn append_accumulates_and_checks_schema() {
+        use crate::value::Value;
+        let schema = Schema::from_pairs(&[("x", DataType::Integer)]);
+        let batch = |vals: &[i64]| {
+            Frame::new(schema.clone(), vals.iter().map(|v| vec![Value::Int(*v)]).collect())
+                .unwrap()
+        };
+        let mut c = Catalog::new();
+        // an absent table is an error, not an implicit registration —
+        // a typo'd stream name must not silently swallow batches
+        assert!(matches!(c.append("s", batch(&[1, 2])), Err(EngineError::UnknownTable(_))));
+        c.register("s", batch(&[1, 2])).unwrap();
+        c.append("S", batch(&[3])).unwrap();
+        assert_eq!(c.get("s").unwrap().len(), 3);
+        let other = Frame::empty(Schema::from_pairs(&[("y", DataType::Integer)]));
+        assert!(matches!(c.append("s", other), Err(EngineError::Unsupported(_))));
+        assert_eq!(c.get("s").unwrap().len(), 3, "failed append must not corrupt");
     }
 
     #[test]

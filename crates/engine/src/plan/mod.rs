@@ -13,7 +13,7 @@
 //! `PARADISE_THREADS` knob; serial when 1).
 //!
 //! Anything the planner cannot compile natively degrades gracefully:
-//! per-node as an [interpreted fragment](PNode::Interpret), or — on any
+//! per-node as an interpreted fragment (`PNode::Interpret`), or — on any
 //! compile-time resolution error — by [`Executor::execute`] falling
 //! back to the AST interpreter wholesale, which reproduces the exact
 //! reference behaviour. The equivalence suite pins
@@ -1700,17 +1700,27 @@ struct CacheEntry {
     query: Query,
     tables: Vec<String>,
     fingerprint: u64,
+    /// Caller-chosen key extension (e.g. a privacy-policy version); an
+    /// entry only hits for the salt it was compiled under.
+    salt: u64,
     /// `None`: the query is not compilable — interpret it (and don't
     /// retry until the schema fingerprint changes).
     plan: Option<Arc<CompiledPlan>>,
 }
 
-/// Cache of compiled plans keyed by `(query AST, schema fingerprint)`.
+/// Cache of compiled plans keyed by `(query AST, schema fingerprint,
+/// salt)`.
 ///
 /// Keys hash via [`ast_key`] (no allocation); a hit verifies the stored
 /// AST by structural equality, so hash collisions can never serve a
 /// wrong plan. A fingerprint mismatch counts as an invalidation and
 /// recompiles in place.
+///
+/// The `salt` is an opaque caller-supplied key extension. The runtime
+/// layer passes the module's privacy-policy *version* here, so a policy
+/// swap (which may rewrite fragments) can never serve a plan compiled
+/// under a previous policy; [`PlanCache::purge_salt`] evicts the stale
+/// generation eagerly.
 #[derive(Debug, Clone, Default)]
 pub struct PlanCache {
     entries: HashMap<u64, Vec<CacheEntry>>,
@@ -1747,9 +1757,21 @@ impl PlanCache {
         exec: &Executor<'_>,
         query: &Query,
     ) -> Option<Arc<CompiledPlan>> {
+        self.get_or_compile_salted(exec, query, 0)
+    }
+
+    /// [`PlanCache::get_or_compile`] with an explicit key extension:
+    /// entries only hit for the `salt` they were compiled under (the
+    /// continuous-query runtime passes the module's policy version).
+    pub fn get_or_compile_salted(
+        &mut self,
+        exec: &Executor<'_>,
+        query: &Query,
+        salt: u64,
+    ) -> Option<Arc<CompiledPlan>> {
         let key = ast_key(query);
         if let Some(list) = self.entries.get_mut(&key) {
-            if let Some(entry) = list.iter_mut().find(|e| e.query == *query) {
+            if let Some(entry) = list.iter_mut().find(|e| e.query == *query && e.salt == salt) {
                 let fp = schema_fingerprint(exec.catalog, &entry.tables);
                 if fp == entry.fingerprint {
                     self.stats.hits += 1;
@@ -1779,10 +1801,33 @@ impl PlanCache {
             query: query.clone(),
             tables,
             fingerprint,
+            salt,
             plan: plan.clone(),
         });
         self.len += 1;
         plan
+    }
+
+    /// Evict every entry whose salt differs from `current`, counting
+    /// each eviction as an invalidation. The per-node hook behind live
+    /// policy updates: when a module's policy version is bumped, the
+    /// plans compiled under older versions are dead weight and must
+    /// never be served again. Returns the number of evicted entries.
+    pub fn purge_salt(&mut self, current: u64) -> usize {
+        let mut evicted = 0usize;
+        self.entries.retain(|_, list| {
+            list.retain(|e| {
+                let keep = e.salt == current;
+                if !keep {
+                    evicted += 1;
+                }
+                keep
+            });
+            !list.is_empty()
+        });
+        self.len -= evicted;
+        self.stats.invalidations += evicted as u64;
+        evicted
     }
 }
 
@@ -1884,6 +1929,32 @@ mod tests {
         let plan = cache.get_or_compile(&exec2, &q).expect("recompiled");
         assert_eq!(cache.stats().invalidations, 1);
         assert_eq!(exec2.run_plan(&plan).unwrap().to_rows(), vec![vec![Value::Int(3)]]);
+    }
+
+    #[test]
+    fn salted_entries_are_disjoint_and_purgeable() {
+        let c = catalog();
+        let q = parse_query("SELECT x FROM stream WHERE z < 2").unwrap();
+        let mut cache = PlanCache::new();
+        let exec = Executor::new(&c);
+        // the same query under two salts compiles twice, hits per salt
+        assert!(cache.get_or_compile_salted(&exec, &q, 1).is_some());
+        assert!(cache.get_or_compile_salted(&exec, &q, 2).is_some());
+        assert!(cache.get_or_compile_salted(&exec, &q, 1).is_some());
+        assert!(cache.get_or_compile_salted(&exec, &q, 2).is_some());
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().hits, 2);
+        assert_eq!(cache.len(), 2);
+
+        // bumping to salt 3 purges both stale generations
+        assert_eq!(cache.purge_salt(3), 2);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.stats().invalidations, 2);
+        assert!(cache.get_or_compile_salted(&exec, &q, 3).is_some());
+        assert_eq!(cache.stats().misses, 3);
+        // purging with the live salt evicts nothing
+        assert_eq!(cache.purge_salt(3), 0);
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

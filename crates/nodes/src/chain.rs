@@ -167,6 +167,19 @@ impl ProcessingChain {
         &self.nodes
     }
 
+    /// Append a stream batch to a table at a named node — the chain-level
+    /// ingest path of the continuous-query runtime.
+    pub fn ingest(&mut self, node: &str, table: &str, batch: Frame) -> NodeResult<()> {
+        self.node_mut(node)?.append_table(table, batch)
+    }
+
+    /// Set every node's plan-cache key extension (see
+    /// [`Node::set_plan_salt`]): the chain-level invalidation hook a
+    /// policy swap triggers. Returns the total number of evicted plans.
+    pub fn set_plan_salt(&mut self, salt: u64) -> usize {
+        self.nodes.iter_mut().map(|n| n.set_plan_salt(salt)).sum()
+    }
+
     /// Mutable node lookup by name.
     pub fn node_mut(&mut self, name: &str) -> NodeResult<&mut Node> {
         self.nodes

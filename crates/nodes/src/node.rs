@@ -52,9 +52,13 @@ pub struct Node {
     pub catalog: Catalog,
     /// Accumulated statistics.
     pub stats: NodeStats,
-    /// Compiled physical plans per (fragment, schema fingerprint):
-    /// continuous-query ticks re-execute without touching the AST.
+    /// Compiled physical plans per (fragment, schema fingerprint,
+    /// policy-version salt): continuous-query ticks re-execute without
+    /// touching the AST.
     plans: PlanCache,
+    /// Key extension of the plan cache: the policy version the node's
+    /// fragments were rewritten under (0 outside the runtime).
+    plan_salt: u64,
     /// Static fragment metadata (capability features, streamability,
     /// base tables), keyed like the plan cache.
     meta: HashMap<u64, Vec<FragmentMeta>>,
@@ -79,6 +83,7 @@ impl Node {
             catalog: Catalog::new(),
             stats: NodeStats::default(),
             plans: PlanCache::new(),
+            plan_salt: 0,
             meta: HashMap::new(),
         }
     }
@@ -89,9 +94,36 @@ impl Node {
         self.plans.stats()
     }
 
+    /// The current plan-cache key extension (policy version).
+    pub fn plan_salt(&self) -> u64 {
+        self.plan_salt
+    }
+
+    /// Set the plan-cache key extension — the invalidation hook behind
+    /// live policy updates. When the salt actually changes, every plan
+    /// compiled under a previous salt is evicted (counted as
+    /// invalidations in [`Node::plan_cache_stats`]) along with the
+    /// cached fragment metadata, so a policy swap can never serve a
+    /// stale rewriting's plan. Returns the number of evicted plans.
+    pub fn set_plan_salt(&mut self, salt: u64) -> usize {
+        if salt == self.plan_salt {
+            return 0;
+        }
+        self.plan_salt = salt;
+        self.meta.clear();
+        self.plans.purge_salt(salt)
+    }
+
     /// Register an input table (raw stream or a lower fragment's result).
     pub fn install_table(&mut self, name: &str, frame: Frame) {
         self.catalog.register_or_replace(name, frame);
+    }
+
+    /// Append a stream batch to a local table (see [`Catalog::append`]):
+    /// the ingest path of the continuous-query runtime. The batch schema
+    /// must match the installed table's, so cached plans stay valid.
+    pub fn append_table(&mut self, name: &str, batch: Frame) -> NodeResult<()> {
+        self.catalog.append(name, batch).map_err(NodeError::from)
     }
 
     /// Can this node run `fragment` (its own block only — nested blocks
@@ -182,7 +214,7 @@ impl Node {
             .sum();
 
         let executor = Executor::new(&self.catalog);
-        let result = match self.plans.get_or_compile(&executor, fragment) {
+        let result = match self.plans.get_or_compile_salted(&executor, fragment, self.plan_salt) {
             Some(plan) => executor.run_plan(&plan),
             None => executor.execute(fragment),
         }?;
@@ -335,6 +367,49 @@ mod tests {
         let out = sensor.execute(&q).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(sensor.plan_cache_stats().invalidations, 1);
+    }
+
+    #[test]
+    fn append_table_ingests_batches() {
+        let mut sensor = Node::new("s", Level::Sensor);
+        sensor.install_table("stream", stream_frame(10));
+        let q = parse_query("SELECT * FROM stream WHERE z < 2").unwrap();
+        sensor.execute(&q).unwrap();
+        sensor.append_table("stream", stream_frame(5)).unwrap();
+        sensor.execute(&q).unwrap();
+        assert_eq!(sensor.stats.rows_in, 25, "second tick sees the appended batch");
+        // same schema: the compiled plan stayed valid
+        let stats = sensor.plan_cache_stats();
+        assert_eq!((stats.hits, stats.invalidations), (1, 0));
+        // a mismatched batch is rejected
+        let narrow = Frame::new(
+            Schema::from_pairs(&[("z", DataType::Float)]),
+            vec![vec![Value::Float(1.0)]],
+        )
+        .unwrap();
+        assert!(sensor.append_table("stream", narrow).is_err());
+    }
+
+    #[test]
+    fn plan_salt_change_purges_cached_plans() {
+        let mut sensor = Node::new("s", Level::Sensor);
+        sensor.install_table("stream", stream_frame(10));
+        let q = parse_query("SELECT * FROM stream WHERE z < 2").unwrap();
+        sensor.execute(&q).unwrap();
+        sensor.execute(&q).unwrap();
+        assert_eq!(sensor.plan_cache_stats().hits, 1);
+
+        // same salt: nothing happens
+        assert_eq!(sensor.set_plan_salt(0), 0);
+        // new salt (policy version bump): the cached plan is evicted and
+        // the next tick recompiles under the new key
+        assert_eq!(sensor.set_plan_salt(7), 1);
+        assert_eq!(sensor.plan_salt(), 7);
+        assert_eq!(sensor.plan_cache_stats().invalidations, 1);
+        sensor.execute(&q).unwrap();
+        assert_eq!(sensor.plan_cache_stats().misses, 2);
+        sensor.execute(&q).unwrap();
+        assert_eq!(sensor.plan_cache_stats().hits, 2);
     }
 
     #[test]

@@ -29,6 +29,8 @@ pub use generate::{
     adapt_to_schema, default_sensitivity, figure4_policy, merge_restrictive, GeneratorOptions,
     PolicyGenerator, Sensitivity,
 };
-pub use model::{AggregationSpec, AttributeRule, ModulePolicy, Policy, StreamSettings};
+pub use model::{
+    AggregationSpec, AttributeRule, ModulePolicy, Policy, PolicyVersion, StreamSettings,
+};
 pub use parse::{parse_policy, policy_to_xml, FIG4_POLICY_XML};
 pub use validate::{has_errors, validate_policy, Severity, ValidationIssue};

@@ -29,6 +29,32 @@ impl Policy {
     }
 }
 
+/// A monotonically increasing version of an installed module policy.
+///
+/// Policies are mutable at runtime (the paper's policies adapt to the
+/// user's situation); every swap bumps the module's version. Plan and
+/// fragment caches extend their keys with this number, so a swap
+/// invalidates exactly the plans built under the previous policy — and
+/// nothing else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PolicyVersion(pub u64);
+
+impl PolicyVersion {
+    /// The raw counter, as used in cache-key salts. The runtime hands
+    /// out versions from one global monotonic counter, so versions are
+    /// unique across modules (never mint versions by incrementing an
+    /// existing one — two modules could collide).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for PolicyVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
 /// Privacy rules one module must obey.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ModulePolicy {

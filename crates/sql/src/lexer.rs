@@ -23,10 +23,13 @@ impl<'a> Lexer<'a> {
         Lexer { src, pos: 0, line: 1, column: 1 }
     }
 
-    /// Tokenize the whole input eagerly.
+    /// Tokenize the whole input eagerly. The token vector is reserved
+    /// from the input length: SQL averages ~3 bytes per token including
+    /// whitespace, so `len/3` avoids the tail reallocation that `len/4`
+    /// forced on typical queries.
     pub fn tokenize(src: &'a str) -> ParseResult<Vec<Token>> {
         let mut lexer = Lexer::new(src);
-        let mut tokens = Vec::with_capacity(src.len() / 4 + 4);
+        let mut tokens = Vec::with_capacity(src.len() / 3 + 4);
         while let Some(token) = lexer.next_token()? {
             tokens.push(token);
         }
@@ -232,7 +235,10 @@ impl<'a> Lexer<'a> {
 
     fn lex_string(&mut self, location: Location) -> ParseResult<TokenKind> {
         self.bump(); // opening quote
-        let mut value = String::new();
+        // distance to the next quote is the exact length for the common
+        // escape-free literal (and a close lower bound otherwise)
+        let cap = self.src[self.pos..].find('\'').unwrap_or(0);
+        let mut value = String::with_capacity(cap);
         loop {
             match self.bump() {
                 None => {
@@ -254,7 +260,8 @@ impl<'a> Lexer<'a> {
 
     fn lex_quoted_ident(&mut self, location: Location) -> ParseResult<TokenKind> {
         self.bump(); // opening quote
-        let mut value = String::new();
+        let cap = self.src[self.pos..].find('"').unwrap_or(0);
+        let mut value = String::with_capacity(cap);
         loop {
             match self.bump() {
                 None => {

@@ -69,6 +69,12 @@ impl Parser {
         self.tokens.get(self.pos).map(|t| &t.kind)
     }
 
+    /// Unconsumed token count — the input-length signal the AST list
+    /// vectors reserve their capacity from.
+    fn remaining(&self) -> usize {
+        self.tokens.len() - self.pos
+    }
+
     fn peek_at(&self, n: usize) -> Option<&TokenKind> {
         self.tokens.get(self.pos + n).map(|t| &t.kind)
     }
@@ -194,7 +200,12 @@ impl Parser {
             false
         };
 
-        let mut items = vec![self.parse_select_item()?];
+        // reserve the AST list vectors from the unconsumed token count:
+        // a select item costs at least ~2 tokens, so `remaining / 8` is
+        // a conservative lower-bound guess that kills the 0→1→2→4
+        // realloc ladder without over-allocating short queries
+        let mut items = Vec::with_capacity((self.remaining() / 8).clamp(1, 16));
+        items.push(self.parse_select_item()?);
         while self.eat_kind(&TokenKind::Comma) {
             items.push(self.parse_select_item()?);
         }
@@ -211,6 +222,7 @@ impl Parser {
         let mut group_by = Vec::new();
         if self.eat_keyword(Keyword::Group) {
             self.expect_keyword(Keyword::By)?;
+            group_by.reserve((self.remaining() / 4).clamp(1, 8));
             group_by.push(self.parse_expr()?);
             while self.eat_kind(&TokenKind::Comma) {
                 group_by.push(self.parse_expr()?);
@@ -223,6 +235,7 @@ impl Parser {
         let mut order_by = Vec::new();
         if self.eat_keyword(Keyword::Order) {
             self.expect_keyword(Keyword::By)?;
+            order_by.reserve((self.remaining() / 4).clamp(1, 8));
             order_by.push(self.parse_order_item()?);
             while self.eat_kind(&TokenKind::Comma) {
                 order_by.push(self.parse_order_item()?);
@@ -615,7 +628,8 @@ impl Parser {
 
     fn parse_function_rest(&mut self, name: String) -> ParseResult<Expr> {
         let mut distinct = false;
-        let mut args = Vec::new();
+        // almost every call has 1–2 arguments (AVG(z), regr_intercept(y, x))
+        let mut args = Vec::with_capacity(2);
         if !self.eat_kind(&TokenKind::RParen) {
             if self.eat_keyword(Keyword::Distinct) {
                 distinct = true;

@@ -16,9 +16,15 @@
 //! | [`policy`] | PP4SE policy model, XML format, validation, generation |
 //! | [`anon`] | k-anonymity, slicing, QID detection, DD/KL metrics, DP |
 //! | [`nodes`] | capability levels E1–E4, processing chain, sensor simulators |
-//! | [`core`] | preprocessor, vertical fragmenter, postprocessor, containment, [`Processor`](crate::core::Processor) |
+//! | [`core`] | preprocessor, vertical fragmenter, postprocessor, containment, the continuous-query [`Runtime`](crate::core::Runtime) (and the one-shot [`Processor`](crate::core::Processor)) |
 //!
 //! ## Quickstart
+//!
+//! The paper's setting is *continuous* queries: an assistive module
+//! registers its query once, sensor batches keep arriving, and every
+//! tick re-evaluates all registered queries under the current privacy
+//! policies — rewriting, fragmenting and compiling only when a policy
+//! or schema actually changes.
 //!
 //! ```
 //! use paradise::prelude::*;
@@ -26,22 +32,43 @@
 //! // 1. the user's privacy policy (paper Figure 4)
 //! let policy = parse_policy(FIG4_POLICY_XML).unwrap();
 //!
-//! // 2. an apartment chain with simulated Ubisense data at the sensor
-//! let mut processor = Processor::new(ProcessingChain::apartment())
+//! // 2. a runtime over the apartment chain, with simulated Ubisense
+//! //    data at the motion sensor
+//! let mut runtime = Runtime::new(ProcessingChain::apartment())
 //!     .with_policy("ActionFilter", policy.modules[0].clone());
 //! let mut sim = SmartRoomSim::new(42);
-//! processor.install_source("motion-sensor", "stream", sim.ubisense_positions(100)).unwrap();
+//! runtime.install_source("motion-sensor", "stream", sim.ubisense_positions(100)).unwrap();
 //!
-//! // 3. the assistive system's query (paper §4.2)
+//! // 3. register the assistive system's query (paper §4.2) once —
+//! //    it is rewritten under the policy and fragmented here
 //! let query = parse_query(
 //!     "SELECT regr_intercept(y, x) OVER (PARTITION BY z ORDER BY t) \
 //!      FROM (SELECT x, y, z, t FROM stream)").unwrap();
+//! let handle = runtime.register("ActionFilter", &query).unwrap();
 //!
-//! // 4. run the privacy-aware pipeline
-//! let outcome = processor.run("ActionFilter", &query).unwrap();
-//! assert_eq!(outcome.stages.len(), 4);
-//! println!("{}", outcome.plan.describe());
+//! // 4. the continuous loop: ingest a batch, tick all registered
+//! //    queries (results come back in registration order)
+//! runtime.ingest("motion-sensor", "stream", sim.ubisense_positions(10)).unwrap();
+//! let outcomes = runtime.tick().unwrap();
+//! assert_eq!(outcomes[0].0, handle);
+//! assert_eq!(outcomes[0].1.stages.len(), 4);
+//!
+//! // 5. steady state: ticks reuse every cached plan (100% hits) …
+//! runtime.tick().unwrap();
+//! assert_eq!(runtime.stats().engine.invalidations, 0);
+//!
+//! // … until a policy is swapped live, which invalidates exactly the
+//! // affected module's plans before the next tick
+//! let policy2 = parse_policy(FIG4_POLICY_XML).unwrap();
+//! runtime.set_policy("ActionFilter", policy2.modules[0].clone());
+//! let outcomes = runtime.tick().unwrap();
+//! assert_eq!(outcomes[0].1.stages.len(), 4);
+//! assert!(runtime.stats().plan.invalidations > 0);
 //! ```
+//!
+//! For one-shot/ad-hoc runs the original
+//! [`Processor::run`](crate::core::Processor::run) remains available
+//! (it shares the runtime's execution path).
 
 pub use paradise_anon as anon;
 pub use paradise_core as core;
@@ -58,8 +85,9 @@ pub mod prelude {
     };
     pub use paradise_core::{
         attack_answerable, fragment_query, postprocess, preprocess, AnonStrategy,
-        AssignmentPolicy, ConjunctiveQuery, CoreError, FragmentPlan, Outcome, PreprocessOptions,
-        ProcessingChain, Processor, ProcessorOptions, RewriteAction,
+        AssignmentPolicy, ConjunctiveQuery, CoreError, FragmentPlan, HandleStats, Outcome,
+        PreprocessOptions, ProcessingChain, Processor, ProcessorOptions, QueryHandle,
+        RewriteAction, Runtime, RuntimeStats,
     };
     pub use paradise_core::remainder::{filter_by_class, ActionClass};
     pub use paradise_engine::{
@@ -71,7 +99,7 @@ pub mod prelude {
     };
     pub use paradise_policy::{
         figure4_policy, parse_policy, policy_to_xml, validate_policy, AggregationSpec,
-        AttributeRule, ModulePolicy, Policy, PolicyGenerator, FIG4_POLICY_XML,
+        AttributeRule, ModulePolicy, Policy, PolicyGenerator, PolicyVersion, FIG4_POLICY_XML,
     };
     pub use paradise_sql::{parse_expr, parse_query, Expr, Query};
 }

@@ -1,0 +1,188 @@
+//! The continuous-query runtime over the façade: equivalence with the
+//! one-shot `Processor`, steady-state cache behaviour over streaming
+//! ingest, and the policy hot-swap properties (a `set_policy` call
+//! invalidates exactly the affected module's handles; post-swap
+//! outcomes equal a fresh runtime built with the new policy).
+
+use proptest::prelude::*;
+
+use paradise::prelude::*;
+
+const PAPER_ORIGINAL: &str = "SELECT regr_intercept(y, x) OVER (PARTITION BY z ORDER BY t) \
+                              FROM (SELECT x, y, z, t FROM stream)";
+
+/// The query shapes modules register (all survive the figure-4-style
+/// policies below).
+const QUERIES: &[&str] = &[
+    PAPER_ORIGINAL,
+    "SELECT x, y, z, t FROM stream",
+    "SELECT regr_intercept(y, x) OVER (PARTITION BY z ORDER BY t) \
+     FROM (SELECT x, y, z, t FROM stream) LIMIT 9",
+];
+
+/// A figure-4-shaped policy with tunable privacy constants: different
+/// parameters produce different injected conditions and HAVING
+/// thresholds, i.e. genuinely different rewrites and results.
+fn policy_variant(module: &str, z_limit: i64, sum_threshold: i64) -> ModulePolicy {
+    let mut m = ModulePolicy::new(module);
+    m.attributes
+        .push(AttributeRule::allowed("x").with_condition(parse_expr("x > y").unwrap()));
+    m.attributes.push(AttributeRule::allowed("y"));
+    m.attributes.push(
+        AttributeRule::allowed("z")
+            .with_condition(parse_expr(&format!("z < {z_limit}")).unwrap())
+            .with_aggregation(
+                AggregationSpec::new("AVG")
+                    .group_by(&["x", "y"])
+                    .having(parse_expr(&format!("SUM(z) > {sum_threshold}")).unwrap()),
+            ),
+    );
+    m.attributes.push(AttributeRule::allowed("t"));
+    m
+}
+
+fn stream(seed: u64, steps: usize) -> Frame {
+    let config = SmartRoomConfig { persons: 10, switch_probability: 0.003, ..Default::default() };
+    SmartRoomSim::with_config(seed, config).ubisense_positions(steps)
+}
+
+#[test]
+fn ticks_over_ingest_match_one_shot_processor_runs() {
+    let mut runtime = Runtime::new(ProcessingChain::apartment())
+        .with_policy("ActionFilter", figure4_policy().modules.remove(0));
+    runtime.install_source("motion-sensor", "stream", stream(42, 300)).unwrap();
+    let handles: Vec<QueryHandle> = QUERIES
+        .iter()
+        .map(|q| runtime.register("ActionFilter", &parse_query(q).unwrap()).unwrap())
+        .collect();
+
+    for round in 0..3u64 {
+        runtime.ingest("motion-sensor", "stream", stream(100 + round, 20)).unwrap();
+        let ticked = runtime.tick().unwrap();
+        assert_eq!(
+            ticked.iter().map(|(h, _)| *h).collect::<Vec<_>>(),
+            handles,
+            "results keep registration order"
+        );
+
+        // a fresh one-shot processor over the same accumulated stream
+        // must produce identical results for every query
+        let accumulated =
+            runtime.chain().node("motion-sensor").unwrap().catalog.get("stream").unwrap().clone();
+        let mut processor = Processor::new(ProcessingChain::apartment())
+            .with_policy("ActionFilter", figure4_policy().modules.remove(0));
+        processor.install_source("motion-sensor", "stream", accumulated).unwrap();
+        for (query, (_, outcome)) in QUERIES.iter().zip(&ticked) {
+            let reference = processor.run("ActionFilter", &parse_query(query).unwrap()).unwrap();
+            assert_eq!(outcome.result, reference.result, "query {query:?} round {round}");
+            assert_eq!(outcome.shipped, reference.shipped);
+            assert_eq!(outcome.anonymized_at, reference.anonymized_at);
+        }
+    }
+}
+
+#[test]
+fn steady_state_ticks_never_recompile() {
+    let mut runtime = Runtime::new(ProcessingChain::apartment())
+        .with_policy("ActionFilter", figure4_policy().modules.remove(0))
+        .with_retention(4000);
+    runtime.install_source("motion-sensor", "stream", stream(7, 200)).unwrap();
+    for q in QUERIES {
+        runtime.register("ActionFilter", &parse_query(q).unwrap()).unwrap();
+    }
+
+    runtime.tick().unwrap();
+    let cold = runtime.stats();
+    assert_eq!(cold.plan.misses as usize, QUERIES.len(), "one rewrite per registration");
+    assert_eq!(cold.plan.invalidations, 0);
+    assert!(cold.engine.misses > 0, "first tick compiles the stage plans");
+
+    let ticks = 5u64;
+    for round in 0..ticks {
+        runtime.ingest("motion-sensor", "stream", stream(200 + round, 30)).unwrap();
+        runtime.tick().unwrap();
+    }
+    let warm = runtime.stats();
+    // the compile-once contract: zero preprocess/fragment/compile work
+    // on steady-state ticks — a 100% hit rate on both cache layers
+    assert_eq!(warm.plan.misses, cold.plan.misses);
+    assert_eq!(warm.engine.misses, cold.engine.misses);
+    assert_eq!(warm.engine.invalidations, 0);
+    assert_eq!(warm.plan.hits, (ticks + 1) * QUERIES.len() as u64);
+    assert_eq!(warm.engine.hits, cold.engine.hits + ticks * cold.engine.misses);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Swapping one module's policy invalidates exactly that module's
+    /// handles — bystander modules keep a 100% cache-hit rate — and the
+    /// post-swap outcomes equal those of a fresh runtime built directly
+    /// with the new policy.
+    #[test]
+    fn policy_hot_swap_is_exact_and_equivalent(
+        seed in 1u64..500,
+        swapped in 0usize..3,
+        z_before in 1i64..4,
+        z_after in 1i64..4,
+        sum_after in proptest::sample::select(vec![0i64, 50, 100]),
+        warm_ticks in 1u64..3,
+    ) {
+        let modules = ["ModA", "ModB", "ModC"];
+        let source = stream(seed, 50);
+
+        let mut runtime = Runtime::new(ProcessingChain::apartment());
+        for (i, module) in modules.iter().enumerate() {
+            runtime.set_policy(*module, policy_variant(module, z_before + (i as i64 % 2), 100));
+        }
+        runtime.install_source("motion-sensor", "stream", source.clone()).unwrap();
+
+        // one query per module, round-robin over the corpus
+        let handles: Vec<QueryHandle> = modules
+            .iter()
+            .enumerate()
+            .map(|(i, module)| {
+                runtime.register(module, &parse_query(QUERIES[i % QUERIES.len()]).unwrap()).unwrap()
+            })
+            .collect();
+        for _ in 0..warm_ticks {
+            runtime.tick().unwrap();
+        }
+
+        // live swap of one module's policy
+        let new_policy = policy_variant(modules[swapped], z_after, sum_after);
+        runtime.set_policy(modules[swapped], new_policy.clone());
+        let ticked = runtime.tick().unwrap();
+        prop_assert_eq!(ticked.len(), modules.len());
+
+        for (i, handle) in handles.iter().enumerate() {
+            let stats = runtime.handle_stats(*handle).unwrap();
+            if i == swapped {
+                prop_assert_eq!(stats.plan.invalidations, 1, "swapped module rebuilds once");
+                prop_assert_eq!(stats.plan.hits, warm_ticks);
+            } else {
+                // bystanders: zero invalidations, a hit on every tick
+                prop_assert_eq!(stats.plan.invalidations, 0, "bystander {} invalidated", i);
+                prop_assert_eq!(stats.engine.invalidations, 0);
+                prop_assert_eq!(stats.plan.misses, 1);
+                prop_assert_eq!(stats.plan.hits, warm_ticks + 1);
+            }
+        }
+
+        // equivalence: a fresh runtime built with the new policy from
+        // scratch produces the same outcome for the swapped module
+        let mut fresh = Runtime::new(ProcessingChain::apartment())
+            .with_policy(modules[swapped], new_policy);
+        fresh.install_source("motion-sensor", "stream", source).unwrap();
+        let fresh_handle = fresh
+            .register(modules[swapped], &parse_query(QUERIES[swapped % QUERIES.len()]).unwrap())
+            .unwrap();
+        let fresh_ticked = fresh.tick().unwrap();
+        prop_assert_eq!(fresh_ticked[0].0, fresh_handle);
+        let swapped_outcome = &ticked[swapped].1;
+        let fresh_outcome = &fresh_ticked[0].1;
+        prop_assert_eq!(&swapped_outcome.result, &fresh_outcome.result);
+        prop_assert_eq!(&swapped_outcome.preprocess.query, &fresh_outcome.preprocess.query);
+        prop_assert_eq!(&swapped_outcome.plan, &fresh_outcome.plan);
+    }
+}
