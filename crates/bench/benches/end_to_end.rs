@@ -2,7 +2,9 @@
 //! data scales, vs. the ship-raw-to-cloud baseline.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use paradise_bench::{meeting_stream, paper_original, paper_processor, paper_runtime};
+use paradise_bench::{
+    meeting_stream, paper_flat, paper_original, paper_processor, paper_runtime,
+};
 
 fn bench_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("end_to_end");
@@ -67,5 +69,47 @@ fn bench_runtime_multi_query(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_end_to_end, bench_runtime_multi_query);
+/// Steady-state tick cost at a 100k-row retained window with 1k-row
+/// ingest batches — the tentpole measurement of delta-aware execution.
+/// Both entries run the *same* workload (the paper's flat query, which
+/// the Figure 4 policy rewrites into the incrementally-maintainable
+/// grouped aggregation):
+///
+/// * `runtime_incremental/window` disables the delta path — every tick
+///   rescans the full retained window, so cost ∝ window;
+/// * `runtime_incremental/batch` is the default delta-aware runtime —
+///   stateless stages process the 1k-row batch, the aggregation folds
+///   it into per-group accumulators, so cost ∝ batch (with one
+///   amortized rebuild per batched retention trim).
+fn bench_runtime_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(2);
+    const WINDOW: usize = 100_000;
+    const BATCH_STEPS: usize = 100; // × 10 persons = 1k rows/tick
+    for (name, incremental) in [("window", false), ("batch", true)] {
+        group.bench_with_input(
+            BenchmarkId::new("runtime_incremental", name),
+            &incremental,
+            |b, &incremental| {
+                let mut runtime = paper_runtime(42, 10, WINDOW / 10)
+                    .with_retention(WINDOW)
+                    .with_incremental(incremental);
+                runtime.register("ActionFilter", &paper_flat()).unwrap();
+                let batches: Vec<_> =
+                    (0..32u64).map(|i| meeting_stream(1_000 + i, 10, BATCH_STEPS)).collect();
+                runtime.tick().unwrap(); // compile plans + build state once
+                let mut next = 0usize;
+                b.iter(|| {
+                    let batch = batches[next % batches.len()].clone();
+                    next += 1;
+                    runtime.ingest("motion-sensor", "stream", batch).unwrap();
+                    black_box(runtime.tick().unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end, bench_runtime_multi_query, bench_runtime_incremental);
 criterion_main!(benches);

@@ -29,6 +29,17 @@ pub fn paper_rewritten() -> Query {
     parse_query(PAPER_REWRITTEN).expect("static query parses")
 }
 
+/// The flat projection of the paper's stream attributes. Under the
+/// Figure 4 policy this rewrites to the grouped-aggregation query —
+/// the shape the delta-aware engine maintains incrementally — making
+/// it the workload of the `runtime_incremental` benchmarks.
+pub const PAPER_FLAT: &str = "SELECT x, y, z, t FROM stream";
+
+/// Parse [`PAPER_FLAT`].
+pub fn paper_flat() -> Query {
+    parse_query(PAPER_FLAT).expect("static query parses")
+}
+
 /// Meeting-room position data at a given scale (rows ≈ persons × steps).
 pub fn meeting_stream(seed: u64, persons: usize, steps: usize) -> Frame {
     let config = SmartRoomConfig { persons, switch_probability: 0.003, ..Default::default() };

@@ -49,6 +49,7 @@ pub mod containment;
 pub mod containment_ext;
 pub mod error;
 pub mod fragment;
+mod incremental;
 pub mod postprocess;
 pub mod preprocess;
 pub mod processor;

@@ -138,8 +138,28 @@ pub(crate) fn execute_pipeline(
     // 4. execute bottom-up across the chain
     let run = chain.run_stages(&stages)?;
 
-    // 5. anonymization step A at the most powerful in-apartment node;
-    // the postprocessor input shares the shipped frame's buffers
+    // 5.–6. anonymization + remainder
+    assemble_outcome(chain, pre, plan, stages, run, information_gain, options, remainder)
+}
+
+/// The tail every execution path shares — one-shot, full-rescan tick
+/// and incremental tick: anonymization step `A` at the most powerful
+/// in-apartment node, the optional cloud remainder, and the assembled
+/// [`Outcome`]. The postprocessor input shares the shipped frame's
+/// buffers; with no rewriting stage, `shipped`, `post.frame` and
+/// `result` stay pointer-identical.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn assemble_outcome(
+    chain: &ProcessingChain,
+    pre: PreprocessOutcome,
+    plan: FragmentPlan,
+    stages: Vec<Stage>,
+    run: paradise_nodes::ChainRun,
+    information_gain: Option<InformationGainReport>,
+    options: &ProcessorOptions,
+    remainder: Option<&Remainder>,
+) -> CoreResult<Outcome> {
+    // 5. anonymization step A at the most powerful in-apartment node
     let anonymized_at = anonymization_site(chain, &stages);
     let shipped = run.result;
     let post = postprocess(shipped.clone(), &options.anon)?;

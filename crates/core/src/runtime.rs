@@ -34,6 +34,7 @@
 
 use std::collections::HashMap;
 
+
 use minipool::ThreadPool;
 use paradise_engine::{plan as engine_plan, Catalog, Frame};
 use paradise_nodes::ProcessingChain;
@@ -42,12 +43,17 @@ use paradise_sql::ast::Query;
 
 use crate::checks::information_gain_check;
 use crate::error::{CoreError, CoreResult};
-use crate::fragment::{fragment_query, FragmentPlan};
+use crate::fragment::{assign_to_chain, fragment_query, FragmentPlan};
+use crate::incremental::{run_stages_delta, HandleDeltaState, SharedPlans};
 use crate::preprocess::{preprocess, PreprocessOutcome};
 use crate::processor::{
-    execute_pipeline, source_fingerprint, Outcome, PlanCacheStats, ProcessorOptions,
+    assemble_outcome, execute_pipeline, source_fingerprint, Outcome, PlanCacheStats,
+    ProcessorOptions,
 };
 use crate::remainder::Remainder;
+
+/// Upper bound on pooled shared plans before an epoch-style reset.
+const MAX_SHARED_PLANS: usize = 1024;
 
 /// Opaque handle of one registered continuous query.
 ///
@@ -98,6 +104,13 @@ struct Registered {
     chain: ProcessingChain,
     /// Per-handle rewrite/fragment-plan cache counters.
     stats: PlanCacheStats,
+    /// Per-stage incremental execution state (delta watermarks, cached
+    /// append outputs, per-group accumulators), dropped whenever the
+    /// rewrite plan is rebuilt.
+    delta: HandleDeltaState,
+    /// Engine-cache miss count at the last shared-plan harvest: steady
+    /// ticks (no new compilations) skip the harvest entirely.
+    harvested_misses: u64,
 }
 
 /// Aggregate cache/tick counters of a [`Runtime`], from
@@ -115,6 +128,10 @@ pub struct RuntimeStats {
     /// Compiled-plan counters summed over every node of every live
     /// handle's chain.
     pub engine: engine_plan::PlanCacheStats,
+    /// Fragment plans in the cross-handle sharing pool: identical
+    /// fragments registered by different handles (or modules) compile
+    /// once and share one `Arc<CompiledPlan>` from here.
+    pub shared_plans: usize,
 }
 
 /// Per-handle counters, from [`Runtime::handle_stats`].
@@ -140,6 +157,15 @@ pub struct Runtime {
     remainder: Option<Remainder>,
     /// Per-(node, table) cap on retained stream rows (oldest evicted).
     retention: Option<usize>,
+    /// Delta-aware tick execution (the default); `false` re-executes
+    /// every fragment over its full input per tick, kept as the
+    /// executable reference the equivalence tests compare against.
+    incremental: bool,
+    /// Cross-handle plan pool keyed by (node name, fragment AST hash):
+    /// plans compiled on one handle's chain are harvested here and
+    /// seeded into every handle's node caches, so identical fragments
+    /// compile once runtime-wide.
+    shared: SharedPlans,
     slots: Vec<Option<Registered>>,
     next_generation: u32,
     /// Global monotonic policy-version counter: every install gets a
@@ -157,6 +183,8 @@ impl Runtime {
             options: ProcessorOptions::default(),
             remainder: None,
             retention: None,
+            incremental: true,
+            shared: HashMap::new(),
             slots: Vec::new(),
             next_generation: 0,
             version_counter: 0,
@@ -190,11 +218,27 @@ impl Runtime {
     }
 
     /// Builder: keep at most `rows` rows per ingested stream table —
-    /// the sliding-window retention of a long-running deployment
-    /// (oldest rows are evicted on [`Runtime::ingest`]).
+    /// the sliding-window retention of a long-running deployment.
+    /// Eviction is **batched** for amortized O(1) appends: a table is
+    /// only trimmed (back down to `rows`) once it exceeds the cap by
+    /// ≥25%, so the retained window breathes between `rows` and
+    /// `1.25 × rows`. Each trim also re-anchors the delta watermarks,
+    /// so incremental ticks rebuild at most once per trim instead of
+    /// once per append.
     #[must_use]
     pub fn with_retention(mut self, rows: usize) -> Self {
         self.retention = Some(rows);
+        self
+    }
+
+    /// Builder: toggle delta-aware tick execution (default **on**).
+    /// When off, every tick re-executes each fragment over its full
+    /// retained input — the reference path the incremental engine is
+    /// equivalence-tested against, and the baseline of the
+    /// `runtime_incremental` benchmarks.
+    #[must_use]
+    pub fn with_incremental(mut self, enabled: bool) -> Self {
+        self.incremental = enabled;
         self
     }
 
@@ -246,6 +290,8 @@ impl Runtime {
             fingerprint,
             chain,
             stats: PlanCacheStats { hits: 0, misses: 1, invalidations: 0 },
+            delta: HandleDeltaState::default(),
+            harvested_misses: 0,
         };
         let index = match self.slots.iter().position(Option::is_none) {
             Some(free) => {
@@ -280,15 +326,21 @@ impl Runtime {
     /// of a deployment. The table must already exist (via
     /// [`Runtime::install_source`]; an unknown name errors rather than
     /// silently misrouting data) and the batch schema must match the
-    /// installed table's exactly (so every cached plan stays valid);
-    /// when a retention cap is set, the oldest rows beyond it are
-    /// evicted.
+    /// installed table's exactly (so every cached plan stays valid).
+    ///
+    /// When a retention cap is set, eviction is amortized: the oldest
+    /// rows are trimmed (down to the cap) only once the table exceeds
+    /// the cap by ≥25% — O(1) bookkeeping per append, one O(window)
+    /// trim per quarter-window of arrivals. Delta consumers re-anchor
+    /// their watermarks at each trim and stay purely incremental
+    /// in between.
     pub fn ingest(&mut self, node: &str, table: &str, batch: Frame) -> CoreResult<()> {
         self.chain.ingest(node, table, batch)?;
         if let Some(max) = self.retention {
-            let frame = self.chain.node_mut(node)?.catalog.get_mut(table)?;
-            if frame.len() > max {
-                frame.skip_rows(frame.len() - max);
+            let catalog = &mut self.chain.node_mut(node)?.catalog;
+            let len = catalog.get(table)?.len();
+            if len > max.saturating_add(max / 4) {
+                catalog.evict_front(table, len - max)?;
             }
         }
         Ok(())
@@ -341,7 +393,10 @@ impl Runtime {
         }
 
         // phase 1b (serial): apply the rebuilds, bump counters, refresh
-        // every handle chain's sources and plan-cache salts
+        // every handle chain's sources and plan-cache salts (the
+        // cross-handle plan pool is consulted just-in-time inside the
+        // delta driver, where each stage's input table is guaranteed
+        // to exist for fingerprint verification)
         for (slot, rebuild) in self.slots.iter_mut().zip(rebuilds) {
             let Some(slot) = slot else { continue };
             match rebuild {
@@ -352,6 +407,9 @@ impl Runtime {
                     slot.plan = plan;
                     slot.version = version;
                     slot.fingerprint = fingerprint;
+                    // the rewrite changed: every per-stage incremental
+                    // state belongs to the old fragments
+                    slot.delta.reset();
                 }
                 None => slot.stats.hits += 1,
             }
@@ -363,11 +421,10 @@ impl Runtime {
                 // bump the plan-cache salt to the handle's policy
                 // version (purges stale generations; no-op when stable)
                 target.set_plan_salt(slot.version.as_u64());
-                for table in node.catalog.table_names() {
-                    if let Ok(frame) = node.catalog.get(table) {
-                        target.install_table(table, frame.clone());
-                    }
-                }
+                // mirror the ingested sources *including* their stream
+                // watermarks (Arc bumps, no cell copies), so the
+                // handle's delta consumers track the source-of-record
+                target.catalog.mirror_from(&node.catalog);
             }
         }
 
@@ -382,26 +439,100 @@ impl Runtime {
             let options = &self.options;
             let remainder = self.remainder.as_ref();
             let info_catalog = info_catalog.as_ref();
+            let incremental = self.incremental;
+            let shared = &self.shared;
             ThreadPool::global().scope(|scope| {
                 for (slot, result) in self.slots.iter_mut().zip(results.iter_mut()) {
                     let Some(reg) = slot.as_mut() else { continue };
                     scope.spawn(move || {
-                        *result = Some(run_handle(reg, options, remainder, info_catalog));
+                        *result = Some(run_handle(
+                            reg,
+                            options,
+                            remainder,
+                            info_catalog,
+                            incremental,
+                            shared,
+                        ));
                     });
                 }
             });
         }
         self.ticks += 1;
 
-        // phase 3: collect in registration (slot) order
+        // phase 3: collect in registration (slot) order. Errors are
+        // noted but not returned yet — phases 4/5 must run even on a
+        // failing tick (a persistently failing handle must not leave
+        // source mirrors pinned, which would degrade every subsequent
+        // ingest append into a copy-on-write rescan of the window).
         let mut out = Vec::with_capacity(results.len());
+        let mut first_error: Option<CoreError> = None;
         for (index, (slot, result)) in self.slots.iter().zip(results).enumerate() {
             let Some(reg) = slot else { continue };
-            let outcome = result.expect("every live slot was executed")?;
-            let handle = QueryHandle { index: index as u32, generation: reg.generation };
-            out.push((handle, outcome));
+            match result.expect("every live slot was executed") {
+                Ok(outcome) => {
+                    let handle =
+                        QueryHandle { index: index as u32, generation: reg.generation };
+                    out.push((handle, outcome));
+                }
+                Err(e) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+            }
         }
-        Ok(out)
+
+        // phase 4 (serial): harvest freshly compiled plans into the
+        // cross-handle pool, consulted by the delta driver's
+        // just-in-time seeding (full-rescan mode recompiles per handle
+        // and never reads the pool, so it skips the harvest too).
+        // Gated on the miss counter, so steady-state ticks (zero
+        // compilations) skip it entirely.
+        if self.incremental {
+            for slot in self.slots.iter_mut().flatten() {
+                let misses = chain_plan_stats(&slot.chain).misses;
+                if misses == slot.harvested_misses {
+                    continue;
+                }
+                slot.harvested_misses = misses;
+                for node in slot.chain.nodes() {
+                    for (query, plan) in node.shareable_plans() {
+                        let key = (node.name.clone(), engine_plan::ast_key(&query));
+                        let list = self.shared.entry(key).or_default();
+                        match list.iter_mut().find(|(q, _)| *q == query) {
+                            Some(entry) => {
+                                if entry.1.fingerprint() != plan.fingerprint() {
+                                    entry.1 = plan;
+                                }
+                            }
+                            None => list.push((query, plan)),
+                        }
+                    }
+                }
+            }
+            if self.shared.values().map(Vec::len).sum::<usize>() > MAX_SHARED_PLANS {
+                self.shared.clear();
+            }
+        }
+
+        // phase 5 (serial): release the handle chains' source mirrors.
+        // They are re-mirrored from the source of record at the next
+        // tick anyway; holding the column Arcs in between would force
+        // the next ingest's append into a copy-on-write rescan of the
+        // whole retained window instead of an O(batch) extension.
+        for slot in self.slots.iter_mut().flatten() {
+            for node in self.chain.nodes() {
+                let target = slot
+                    .chain
+                    .node_mut(&node.name)
+                    .expect("handle chains are clones of the runtime chain");
+                target.catalog.release_mirrors(&node.catalog);
+            }
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
     }
 
     /// Aggregate cache/tick counters (see [`RuntimeStats`]). After the
@@ -412,6 +543,7 @@ impl Runtime {
         let mut stats = RuntimeStats {
             registered: self.slots.iter().flatten().count(),
             ticks: self.ticks,
+            shared_plans: self.shared.values().map(Vec::len).sum(),
             ..RuntimeStats::default()
         };
         for reg in self.slots.iter().flatten() {
@@ -473,13 +605,17 @@ impl Runtime {
     }
 }
 
-/// One handle's tick: optional information-gain check, then the shared
-/// Figure 2 execution path over the handle's private chain.
+/// One handle's tick: optional information-gain check, then the
+/// Figure 2 execution path over the handle's private chain —
+/// delta-aware by default, full-rescan when incremental execution is
+/// disabled (the equivalence reference).
 fn run_handle(
     reg: &mut Registered,
     options: &ProcessorOptions,
     remainder: Option<&Remainder>,
     info_catalog: Option<&Catalog>,
+    incremental: bool,
+    shared: &SharedPlans,
 ) -> CoreResult<Outcome> {
     let information_gain = match (info_catalog, options.info_gain_threshold) {
         (Some(catalog), Some(threshold)) => {
@@ -487,10 +623,24 @@ fn run_handle(
         }
         _ => None,
     };
-    execute_pipeline(
-        &mut reg.chain,
+    if !incremental {
+        return execute_pipeline(
+            &mut reg.chain,
+            reg.pre.clone(),
+            reg.plan.clone(),
+            information_gain,
+            options,
+            remainder,
+        );
+    }
+    let stages = assign_to_chain(&reg.plan, &reg.chain, options.assignment)?;
+    let run = run_stages_delta(&mut reg.chain, &stages, &mut reg.delta, shared)?;
+    assemble_outcome(
+        &reg.chain,
         reg.pre.clone(),
         reg.plan.clone(),
+        stages,
+        run,
         information_gain,
         options,
         remainder,

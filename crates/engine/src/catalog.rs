@@ -1,9 +1,82 @@
-//! The catalog: named tables/streams available to the executor.
+//! The catalog: named tables/streams available to the executor, with
+//! per-table **row watermarks** for delta-aware (incremental) execution.
+//!
+//! Every table tracks how many rows were ever appended to it and how
+//! many were evicted from the front (stream retention). A consumer that
+//! remembers the [`Watermark`] of its last read can ask for
+//! [`Catalog::delta_since`] — the appended suffix — instead of
+//! rescanning the whole retained window. Appends keep a handle on the
+//! most recent batch, so the common one-ingest-per-tick case hands the
+//! delta back as zero-copy column shares; anything else falls back to
+//! an `O(delta)` suffix slice. Replacing a table (or mutating it
+//! through [`Catalog::get_mut`]) bumps the table's *epoch*, which
+//! invalidates every outstanding watermark — delta consumers then
+//! rescan once and re-anchor.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::error::{EngineError, EngineResult};
 use crate::frame::Frame;
+
+/// Process-global epoch allocator: every table (re)registration gets a
+/// fresh epoch, so watermarks stay unambiguous even across catalog
+/// clones (handle chains mirror the runtime chain's entries wholesale).
+static EPOCH: AtomicU64 = AtomicU64::new(1);
+
+fn next_epoch() -> u64 {
+    EPOCH.fetch_add(1, Ordering::Relaxed)
+}
+
+/// A consumer's position in a stream table: which incarnation of the
+/// table it read (`epoch`), how many rows had been evicted from the
+/// front at that point, and how many rows it has processed in total.
+///
+/// Obtained from [`Catalog::watermark`], redeemed at
+/// [`Catalog::delta_since`]. A watermark is only a position marker —
+/// it holds no data and is `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Watermark {
+    epoch: u64,
+    evicted: u64,
+    rows: u64,
+}
+
+impl Watermark {
+    /// Total rows ever appended up to this mark (monotonic per epoch).
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+}
+
+/// One catalog table plus its stream-position accounting.
+#[derive(Debug, Clone)]
+struct TableEntry {
+    frame: Frame,
+    /// Bumped whenever the table is replaced or mutably borrowed:
+    /// outstanding watermarks become invalid.
+    epoch: u64,
+    /// Rows evicted from the front since registration (retention).
+    evicted: u64,
+    /// The most recent appended batch and its absolute start row —
+    /// the zero-copy fast path of [`Catalog::delta_since`].
+    last_batch: Option<(u64, Frame)>,
+}
+
+impl TableEntry {
+    fn new(frame: Frame) -> Self {
+        TableEntry { frame, epoch: next_epoch(), evicted: 0, last_batch: None }
+    }
+
+    /// Total rows ever appended (absolute high mark).
+    fn high(&self) -> u64 {
+        self.evicted + self.frame.len() as u64
+    }
+
+    fn watermark(&self) -> Watermark {
+        Watermark { epoch: self.epoch, evicted: self.evicted, rows: self.high() }
+    }
+}
 
 /// A named collection of frames. Table names are case-insensitive.
 ///
@@ -13,7 +86,7 @@ use crate::frame::Frame;
 /// running their own fragment.
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
-    tables: HashMap<String, Frame>,
+    tables: HashMap<String, TableEntry>,
 }
 
 impl Catalog {
@@ -28,13 +101,14 @@ impl Catalog {
         if self.tables.contains_key(&key) {
             return Err(EngineError::DuplicateTable(name.to_string()));
         }
-        self.tables.insert(key, frame);
+        self.tables.insert(key, TableEntry::new(frame));
         Ok(())
     }
 
-    /// Register or replace a table.
+    /// Register or replace a table. Replacing starts a fresh epoch:
+    /// watermarks taken against the previous contents are invalidated.
     pub fn register_or_replace(&mut self, name: &str, frame: Frame) {
-        self.tables.insert(name.to_ascii_lowercase(), frame);
+        self.tables.insert(name.to_ascii_lowercase(), TableEntry::new(frame));
     }
 
     /// Append a batch of rows to a registered table — the ingest path of
@@ -42,37 +116,137 @@ impl Catalog {
     /// registered (a typo'd stream name must fail loudly, not misroute
     /// data into a table nobody queries) and the batch schema must equal
     /// the installed schema exactly, so compiled plans keyed by schema
-    /// fingerprint stay valid.
+    /// fingerprint stay valid. The batch is remembered (by `Arc` bump)
+    /// as the table's most recent delta for [`Catalog::delta_since`].
     pub fn append(&mut self, name: &str, batch: Frame) -> EngineResult<()> {
-        let frame = self
+        let entry = self
             .tables
             .get_mut(&name.to_ascii_lowercase())
             .ok_or_else(|| EngineError::UnknownTable(name.to_string()))?;
-        if frame.schema != batch.schema {
+        if entry.frame.schema != batch.schema {
             return Err(EngineError::Unsupported(format!(
                 "cannot append batch to table {name:?}: schemas differ"
             )));
         }
-        frame.append(batch)
+        let start = entry.high();
+        entry.frame.append_copy(&batch)?;
+        entry.last_batch = Some((start, batch));
+        Ok(())
+    }
+
+    /// Evict the oldest `rows` rows of a table (stream retention). The
+    /// epoch is kept — only the *evicted* count moves, so watermark
+    /// arithmetic stays O(1) — but any delta consumer whose state was
+    /// built over the evicted rows will observe the move and rescan.
+    pub fn evict_front(&mut self, name: &str, rows: usize) -> EngineResult<()> {
+        let entry = self
+            .tables
+            .get_mut(&name.to_ascii_lowercase())
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))?;
+        let rows = rows.min(entry.frame.len());
+        entry.frame.skip_rows(rows);
+        entry.evicted += rows as u64;
+        if let Some((start, _)) = entry.last_batch {
+            if start < entry.evicted {
+                entry.last_batch = None;
+            }
+        }
+        Ok(())
+    }
+
+    /// The current stream position of a table (see [`Watermark`]).
+    pub fn watermark(&self, name: &str) -> EngineResult<Watermark> {
+        self.entry(name).map(TableEntry::watermark)
+    }
+
+    /// The rows appended since `since`, oldest first — or `None` when
+    /// the delta is not derivable (the table was replaced or mutably
+    /// borrowed since, or rows were evicted past the consumer's
+    /// position) and the consumer must rescan the full table.
+    ///
+    /// When the delta is exactly the most recently appended batch, the
+    /// batch frame is returned as-is (zero-copy column shares);
+    /// otherwise the suffix is sliced out, `O(delta)`.
+    pub fn delta_since(&self, name: &str, since: Watermark) -> EngineResult<Option<Frame>> {
+        let entry = self.entry(name)?;
+        let high = entry.high();
+        if since.epoch != entry.epoch
+            || since.evicted != entry.evicted
+            || since.rows < entry.evicted
+            || since.rows > high
+        {
+            return Ok(None);
+        }
+        if since.rows == high {
+            return Ok(Some(Frame::empty(entry.frame.schema.clone())));
+        }
+        if let Some((start, batch)) = &entry.last_batch {
+            if *start == since.rows && start + batch.len() as u64 == high {
+                return Ok(Some(batch.clone()));
+            }
+        }
+        Ok(Some(entry.frame.slice_tail((since.rows - entry.evicted) as usize)))
+    }
+
+    /// Copy every table of `other` into `self` **including** its stream
+    /// position (epoch, eviction count, last appended batch). The
+    /// per-handle execution chains of the continuous-query runtime are
+    /// refreshed with this before every tick, so delta consumers on a
+    /// handle chain see exactly the source-of-record's watermarks.
+    /// Frames are shared by `Arc` bumps — no cell is copied. Tables of
+    /// `self` that `other` does not know (e.g. installed intermediate
+    /// fragment results) are left untouched.
+    pub fn mirror_from(&mut self, other: &Catalog) {
+        for (name, entry) in &other.tables {
+            self.tables.insert(name.clone(), entry.clone());
+        }
+    }
+
+    /// Replace every table that `other` also holds with an empty,
+    /// schema-only husk, releasing the shared data buffers — the
+    /// counterpart of [`Catalog::mirror_from`]. A mirror that held on
+    /// to the source's column `Arc`s between ticks would force the
+    /// source's next append into a copy-on-write rescan of the whole
+    /// retained window; releasing after use keeps appends O(batch).
+    /// Watermark bookkeeping is left as-is (the next mirror overwrites
+    /// it wholesale).
+    pub fn release_mirrors(&mut self, other: &Catalog) {
+        for name in other.tables.keys() {
+            if let Some(entry) = self.tables.get_mut(name) {
+                entry.frame = Frame::empty(entry.frame.schema.clone());
+                entry.last_batch = None;
+            }
+        }
     }
 
     /// Remove a table, returning it if present.
     pub fn remove(&mut self, name: &str) -> Option<Frame> {
-        self.tables.remove(&name.to_ascii_lowercase())
+        self.tables.remove(&name.to_ascii_lowercase()).map(|e| e.frame)
     }
 
-    /// Look a table up.
-    pub fn get(&self, name: &str) -> EngineResult<&Frame> {
+    fn entry(&self, name: &str) -> EngineResult<&TableEntry> {
         self.tables
             .get(&name.to_ascii_lowercase())
             .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
     }
 
-    /// Mutable table lookup (e.g. to trim a stream's retention window).
+    /// Look a table up.
+    pub fn get(&self, name: &str) -> EngineResult<&Frame> {
+        self.entry(name).map(|e| &e.frame)
+    }
+
+    /// Mutable table lookup. Starts a fresh epoch for the table: the
+    /// borrower may rewrite anything, so outstanding watermarks (and the
+    /// cached last batch) are conservatively invalidated.
     pub fn get_mut(&mut self, name: &str) -> EngineResult<&mut Frame> {
-        self.tables
+        let entry = self
+            .tables
             .get_mut(&name.to_ascii_lowercase())
-            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))?;
+        entry.epoch = next_epoch();
+        entry.evicted = 0;
+        entry.last_batch = None;
+        Ok(&mut entry.frame)
     }
 
     /// Does the catalog know this name?
@@ -100,10 +274,19 @@ impl Catalog {
 mod tests {
     use super::*;
     use crate::schema::Schema;
-    use crate::value::DataType;
+    use crate::value::{DataType, Value};
 
     fn tiny() -> Frame {
         Frame::empty(Schema::from_pairs(&[("x", DataType::Integer)]))
+    }
+
+    fn batch(vals: &[i64]) -> Frame {
+        let schema = Schema::from_pairs(&[("x", DataType::Integer)]);
+        Frame::new(schema, vals.iter().map(|v| vec![Value::Int(*v)]).collect()).unwrap()
+    }
+
+    fn col(frame: &Frame) -> Vec<Value> {
+        frame.column_values(0).collect()
     }
 
     #[test]
@@ -127,12 +310,6 @@ mod tests {
 
     #[test]
     fn append_accumulates_and_checks_schema() {
-        use crate::value::Value;
-        let schema = Schema::from_pairs(&[("x", DataType::Integer)]);
-        let batch = |vals: &[i64]| {
-            Frame::new(schema.clone(), vals.iter().map(|v| vec![Value::Int(*v)]).collect())
-                .unwrap()
-        };
         let mut c = Catalog::new();
         // an absent table is an error, not an implicit registration —
         // a typo'd stream name must not silently swallow batches
@@ -152,5 +329,102 @@ mod tests {
         assert!(c.remove("D").is_some());
         assert!(c.is_empty());
         assert!(c.remove("d").is_none());
+    }
+
+    #[test]
+    fn delta_since_returns_appended_suffix() {
+        let mut c = Catalog::new();
+        c.register("s", batch(&[1, 2])).unwrap();
+        let mark = c.watermark("s").unwrap();
+        assert_eq!(mark.rows(), 2);
+
+        // nothing appended yet: an empty delta, not a rescan
+        let empty = c.delta_since("s", mark).unwrap().unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(empty.schema, c.get("s").unwrap().schema);
+
+        // the single-batch fast path shares the batch's buffers
+        let b = batch(&[3, 4]);
+        c.append("s", b.clone()).unwrap();
+        let delta = c.delta_since("s", mark).unwrap().unwrap();
+        assert_eq!(col(&delta), vec![Value::Int(3), Value::Int(4)]);
+        assert!(delta.shares_columns(&b), "one-batch delta must be zero-copy");
+
+        // two appends since the mark: the suffix is sliced instead
+        c.append("s", batch(&[5])).unwrap();
+        let delta = c.delta_since("s", mark).unwrap().unwrap();
+        assert_eq!(col(&delta), vec![Value::Int(3), Value::Int(4), Value::Int(5)]);
+
+        // a newer mark narrows the delta to the last batch again
+        let mid = c.watermark("s").unwrap();
+        c.append("s", batch(&[6])).unwrap();
+        assert_eq!(col(&c.delta_since("s", mid).unwrap().unwrap()), vec![Value::Int(6)]);
+    }
+
+    #[test]
+    fn delta_survives_eviction_behind_the_mark_only() {
+        let mut c = Catalog::new();
+        c.register("s", batch(&[1, 2, 3, 4])).unwrap();
+        let mark = c.watermark("s").unwrap();
+        c.append("s", batch(&[5, 6])).unwrap();
+
+        // evicting rows the consumer has seen still invalidates: the
+        // consumer's *state* covers them, so it must rescan once …
+        c.evict_front("s", 2).unwrap();
+        assert_eq!(c.get("s").unwrap().len(), 4);
+        assert!(c.delta_since("s", mark).unwrap().is_none(), "eviction forces a rescan");
+
+        // … and after re-anchoring, deltas work again with adjusted
+        // offsets (evicted=2 now)
+        let mark = c.watermark("s").unwrap();
+        assert_eq!(mark.rows(), 6);
+        c.append("s", batch(&[7])).unwrap();
+        assert_eq!(col(&c.delta_since("s", mark).unwrap().unwrap()), vec![Value::Int(7)]);
+    }
+
+    #[test]
+    fn replace_and_get_mut_invalidate_watermarks() {
+        let mut c = Catalog::new();
+        c.register("s", batch(&[1])).unwrap();
+        let mark = c.watermark("s").unwrap();
+        c.register_or_replace("s", batch(&[1]));
+        assert!(c.delta_since("s", mark).unwrap().is_none(), "replace bumps the epoch");
+
+        let mark = c.watermark("s").unwrap();
+        c.get_mut("s").unwrap().skip_rows(1);
+        assert!(c.delta_since("s", mark).unwrap().is_none(), "get_mut bumps the epoch");
+    }
+
+    #[test]
+    fn mirror_from_preserves_watermarks() {
+        let mut src = Catalog::new();
+        src.register("s", batch(&[1, 2])).unwrap();
+        let mut dst = Catalog::new();
+        dst.register("local", tiny()).unwrap();
+        dst.mirror_from(&src);
+
+        // a consumer anchored on the mirror …
+        let mark = dst.watermark("s").unwrap();
+        // … follows appends made at the source after the next mirror
+        src.append("s", batch(&[3])).unwrap();
+        dst.mirror_from(&src);
+        let delta = dst.delta_since("s", mark).unwrap().unwrap();
+        assert_eq!(col(&delta), vec![Value::Int(3)]);
+        // mirroring leaves unrelated local tables alone
+        assert!(dst.contains("local"));
+    }
+
+    #[test]
+    fn stale_marks_never_alias_new_data() {
+        let mut c = Catalog::new();
+        c.register("s", batch(&[1, 2, 3])).unwrap();
+        let mark = c.watermark("s").unwrap();
+        // a mark from a *different* incarnation with coincidentally
+        // plausible row numbers must not be honoured
+        c.register_or_replace("s", batch(&[9, 9, 9, 9]));
+        assert!(c.delta_since("s", mark).unwrap().is_none());
+        // a mark "from the future" is equally invalid
+        let future = Watermark { epoch: c.watermark("s").unwrap().epoch, evicted: 0, rows: 99 };
+        assert!(c.delta_since("s", future).unwrap().is_none());
     }
 }

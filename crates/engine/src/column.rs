@@ -376,6 +376,22 @@ impl ColumnData {
         out
     }
 
+    /// New column holding the cells from `start` to the end (bulk
+    /// suffix copy; the typed buffers clone their slice directly).
+    pub fn slice_tail(&self, start: usize) -> ColumnData {
+        let start = start.min(self.len());
+        let buf = match &self.buf {
+            ColumnBuf::Int(v) => ColumnBuf::Int(v[start..].to_vec()),
+            ColumnBuf::Float(v) => ColumnBuf::Float(v[start..].to_vec()),
+            ColumnBuf::Bool(v) => ColumnBuf::Bool(v[start..].to_vec()),
+            ColumnBuf::Str(v) => ColumnBuf::Str(v[start..].to_vec()),
+            ColumnBuf::Mixed(v) => ColumnBuf::Mixed(v[start..].to_vec()),
+        };
+        let mut out = ColumnData { buf, bytes: 0 };
+        out.bytes = (0..out.len()).map(|i| out.size_at(i)).sum();
+        out
+    }
+
     /// Keep the first `n` cells.
     pub fn truncate(&mut self, n: usize) {
         for i in n..self.len() {
@@ -403,6 +419,31 @@ impl ColumnData {
             ColumnBuf::Str(v) => drop(v.drain(..n)),
             ColumnBuf::Mixed(v) => drop(v.drain(..n)),
         }
+    }
+
+    /// Append all cells of `other` by reference (bulk slice extension
+    /// when representations match). One copy — unlike cloning `other`
+    /// first and handing it to [`ColumnData::append_owned`], which pays
+    /// a second copy when the source stays alive (e.g. the ingest path
+    /// retaining the batch as the table's last delta).
+    pub fn append_from(&mut self, other: &ColumnData) {
+        use ColumnBuf::*;
+        match (&mut self.buf, &other.buf) {
+            (Int(a), Int(b)) => a.extend_from_slice(b),
+            (Float(a), Float(b)) => a.extend_from_slice(b),
+            (Bool(a), Bool(b)) => a.extend_from_slice(b),
+            (Str(a), Str(b)) => a.extend_from_slice(b),
+            (Mixed(a), Mixed(b)) => a.extend_from_slice(b),
+            _ => {
+                // representation mismatch: push cell-wise (push
+                // maintains the byte accounting itself)
+                for i in 0..other.len() {
+                    self.push(other.value(i));
+                }
+                return;
+            }
+        }
+        self.bytes += other.bytes;
     }
 
     /// Append all cells of `other` (bulk when representations match).

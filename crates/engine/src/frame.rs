@@ -256,6 +256,42 @@ impl Frame {
         self.len -= n;
     }
 
+    /// New frame holding the rows from `start` to the end. `start == 0`
+    /// shares every column buffer (zero-copy); otherwise the suffix is
+    /// copied, `O(rows - start)`. The delta path of incremental
+    /// execution reads appended stream suffixes through this.
+    pub fn slice_tail(&self, start: usize) -> Frame {
+        if start == 0 {
+            return self.clone();
+        }
+        let start = start.min(self.len);
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| Arc::new(c.slice_tail(start)))
+            .collect();
+        Frame { schema: self.schema.clone(), columns, len: self.len - start }
+    }
+
+    /// Append all rows of `other` by reference; schemas must have the
+    /// same width. One copy of `other`'s cells — use this when the
+    /// caller keeps `other` alive (the stream-ingest path retains the
+    /// batch as the table's last delta), where [`Frame::append`] on a
+    /// clone would copy twice.
+    pub fn append_copy(&mut self, other: &Frame) -> EngineResult<()> {
+        if other.schema.len() != self.schema.len() {
+            return Err(EngineError::SchemaMismatch {
+                expected: self.schema.len(),
+                got: other.schema.len(),
+            });
+        }
+        self.len += other.len;
+        for (dst, src) in self.columns.iter_mut().zip(&other.columns) {
+            Arc::make_mut(dst).append_from(src);
+        }
+        Ok(())
+    }
+
     /// Append all rows of `other` (used by `UNION`); schemas must have
     /// the same width.
     pub fn append(&mut self, other: Frame) -> EngineResult<()> {

@@ -38,13 +38,16 @@ pub mod schema;
 pub mod stream;
 pub mod value;
 
-pub use catalog::Catalog;
+pub use catalog::{Catalog, Watermark};
 pub use column::ColumnData;
 pub use error::{EngineError, EngineResult};
 pub use exec::aggregate::AggKind;
 pub use exec::{ExecMode, ExecOptions, Executor};
 pub use frame::{Frame, Row};
-pub use plan::{CompiledPlan, ExprProgram, PlanCache, PlanCacheStats};
+pub use plan::{
+    CompiledPlan, DeltaInput, ExprProgram, IncrementalPlan, IncrementalRun, IncrementalState,
+    PlanCache, PlanCacheStats,
+};
 pub use schema::{Column, Schema};
 pub use stream::{SensorFilter, SlidingWindow, WindowSpec};
 pub use value::{DataType, GroupKey, Value};

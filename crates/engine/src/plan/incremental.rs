@@ -1,0 +1,595 @@
+//! Delta-aware (incremental) execution: tick cost proportional to the
+//! **batch**, not the retained window.
+//!
+//! A continuous query re-executes over a stream whose retained window
+//! may hold orders of magnitude more rows than one tick appends. For
+//! two plan shapes the appended suffix is all that needs processing:
+//!
+//! * **Stateless stages** (filter / projection / expression programs
+//!   over a single base table, no windows, ordering, `DISTINCT` or
+//!   `LIMIT`): output over `old ++ delta` equals output over `old`
+//!   followed by output over `delta`, so the stage keeps its full
+//!   output cached and only appends each tick's delta-output.
+//! * **Grouped aggregation** (`COUNT`/`SUM`/`AVG`/`MIN`/`MAX`, the
+//!   stddev/variance and `regr_*` kinds, with optional `GROUP BY`,
+//!   `HAVING`, `ORDER BY`, `DISTINCT`, `LIMIT`): per-group
+//!   [`Accumulator`]s fold each delta batch; the small extended frame
+//!   (one row per group) is rebuilt and post-processed per tick,
+//!   `O(groups)`.
+//!
+//! Anything else — joins, window functions, `ORDER BY` over full
+//! history, subqueries — is **not** incrementally maintainable and
+//! [`Executor::compile_incremental`] returns `None`; callers fall back
+//! to the compiled full-rescan plan with identical semantics.
+//!
+//! Accumulators fold rows in ascending row order exactly like the
+//! rescan kernels (which update per group in row order), group ids are
+//! assigned in first-appearance order, and the post-aggregation tail is
+//! the *same code* as the rescan path, so incremental results are
+//! identical to a full rescan — including floating-point accumulation
+//! order. Retention evictions and table replacements invalidate the
+//! source [`Watermark`]; the state then rebuilds from the full retained
+//! window once and continues incrementally (amortized O(batch) when
+//! eviction itself is batched).
+
+use std::sync::Arc;
+
+use minipool::ThreadPool;
+
+use super::{
+    agg_finalize, compile_query, filter_rows_parallel, schema_fingerprint, AggBody, ArgFold,
+    ArgStep, Body, DTypeSrc, ExprProgram, Executor, FxHashMap, PNode, ProjStep,
+};
+use crate::catalog::Watermark;
+use crate::column::ColumnData;
+use crate::error::{EngineError, EngineResult};
+use crate::eval::{Batch, EvalContext};
+use crate::exec::aggregate::Accumulator;
+use crate::exec::finalise_types;
+use crate::frame::Frame;
+use crate::schema::{Column, Schema};
+use crate::value::{DataType, GroupKey, Value};
+
+/// A query compiled for delta-aware re-execution (see the module docs
+/// for which shapes qualify). Compiled once per (query, schema) by
+/// [`Executor::compile_incremental`]; the mutable between-tick state
+/// lives separately in an [`IncrementalState`] owned by the caller, so
+/// one plan can be shared across consumers.
+#[derive(Debug, Clone)]
+pub struct IncrementalPlan {
+    /// Base table the stage reads.
+    table: String,
+    /// Input schema the programs were compiled against (base schema
+    /// qualified with the scan source), kept for evaluation contexts.
+    in_schema: Schema,
+    /// Compiled `WHERE` program, applied to every delta batch.
+    filter: Option<ExprProgram>,
+    kind: IncKind,
+    tables: Vec<String>,
+    fingerprint: u64,
+}
+
+#[derive(Debug, Clone)]
+enum IncKind {
+    /// Stateless filter/projection: cached output + per-tick append.
+    Append {
+        items: Vec<ProjStep>,
+        /// Output schema with the compile-time declared types (runtime
+        /// type refinement happens on the returned result only).
+        out_schema: Schema,
+    },
+    /// Grouped aggregation with live per-group accumulators.
+    Grouped(Box<AggBody>),
+}
+
+impl IncrementalPlan {
+    /// The schema fingerprint the plan was compiled against.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Does this plan keep per-group accumulator state (vs. a cached
+    /// append-only output)?
+    pub fn is_grouped(&self) -> bool {
+        matches!(self.kind, IncKind::Grouped(_))
+    }
+}
+
+/// Where a tick's delta comes from.
+pub enum DeltaInput<'a> {
+    /// Read the appended suffix of the plan's base table from the
+    /// executor's catalog via its [`Watermark`] (the stream source at
+    /// the bottom of a fragment pipeline).
+    Source,
+    /// The delta was computed by an upstream incremental stage and is
+    /// pushed directly; `reset` signals that the upstream stage rebuilt
+    /// its state and `delta` is its **full** output, so this stage must
+    /// rebuild too.
+    Pushed {
+        /// The new input rows (or the full input when `reset`).
+        delta: &'a Frame,
+        /// Upstream rebuilt: treat `delta` as the full input.
+        reset: bool,
+    },
+}
+
+/// One tick's product of [`Executor::run_incremental`].
+pub struct IncrementalRun {
+    /// The stage's full logical output — identical to what the
+    /// full-rescan plan would produce over the full input.
+    pub result: Frame,
+    /// For stateless (append) stages: the output of just this tick's
+    /// delta, for pushing into a downstream incremental stage. `None`
+    /// for grouped aggregation (downstream consumes `result`).
+    pub delta: Option<Frame>,
+    /// The state was rebuilt from the full input this tick (first run,
+    /// eviction, table replacement or upstream reset) — downstream
+    /// stages must rebuild too.
+    pub reset: bool,
+    /// Input rows consumed this tick (the pre-filter delta; the full
+    /// window on a reset) — what a node accounts as scanned.
+    pub input_rows: usize,
+}
+
+/// The mutable between-tick state of one incremental consumer: the
+/// source watermark plus either the cached append-only output or the
+/// per-group accumulators. Owned by the caller (in PArADISE terms: by
+/// the runtime's `QueryHandle`), separate from the shareable
+/// [`IncrementalPlan`].
+#[derive(Debug, Default)]
+pub struct IncrementalState {
+    mark: Option<Watermark>,
+    data: StateData,
+    /// Fingerprint of the plan the state was folded under: a
+    /// recompiled plan (schema change) must never fold into state built
+    /// by its predecessor.
+    plan_fp: Option<u64>,
+}
+
+impl IncrementalState {
+    /// Fresh, empty state: the first run rebuilds from the full input.
+    pub fn new() -> Self {
+        IncrementalState::default()
+    }
+
+    /// Rows folded so far (diagnostic).
+    pub fn rows_seen(&self) -> u64 {
+        match &self.data {
+            StateData::Empty => 0,
+            StateData::Append { rows_in, .. } => *rows_in,
+            StateData::Grouped(g) => g.rows,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+enum StateData {
+    #[default]
+    Empty,
+    Append {
+        /// Accumulated full output (raw declared types; the result view
+        /// is type-refined per tick).
+        out: Frame,
+        /// Input rows consumed (diagnostic).
+        rows_in: u64,
+    },
+    Grouped(GroupState),
+}
+
+/// Per-group accumulator state of a grouped-aggregation stage.
+///
+/// Besides the accumulators it maintains the *extended frame's*
+/// columns in place — representative values and cached `finish()`
+/// values, one cell per group, behind `Arc`s — so producing a tick's
+/// extended frame costs O(groups **touched** this tick), not
+/// O(all groups). Untouched groups' accumulators are unchanged, so
+/// their cached finish values are exactly what a rebuild would
+/// recompute.
+#[derive(Debug)]
+struct GroupState {
+    /// Group key → dense group id, in first-appearance order.
+    slots: FxHashMap<SlotKey, u32>,
+    /// Number of groups (tracked explicitly: `calls` may be empty).
+    n_groups: u32,
+    /// Representative (first-row) values per group, one buffer per
+    /// `rep_cols` entry; appended at group creation.
+    reps: Vec<Arc<ColumnData>>,
+    /// `accs[call][group]`.
+    accs: Vec<Vec<Accumulator>>,
+    /// Cached `accs[call][group].finish()` per call, updated for the
+    /// groups touched by each fold.
+    vals: Vec<Arc<ColumnData>>,
+    /// Scratch: group ids touched by the current fold.
+    touched: Vec<u32>,
+    /// Input rows folded.
+    rows: u64,
+    /// Global aggregation: has the representative row been captured?
+    have_global_rep: bool,
+}
+
+impl GroupState {
+    fn new(body: &AggBody, in_schema: &Schema) -> GroupState {
+        let mut state = GroupState {
+            slots: FxHashMap::default(),
+            n_groups: 0,
+            reps: body
+                .rep_cols
+                .iter()
+                .map(|&i| Arc::new(ColumnData::empty(in_schema.columns()[i].data_type)))
+                .collect(),
+            accs: body.calls.iter().map(|_| Vec::new()).collect(),
+            vals: body.calls.iter().map(|_| Arc::new(ColumnData::empty(DataType::Float))).collect(),
+            touched: Vec::new(),
+            rows: 0,
+            have_global_rep: false,
+        };
+        if body.group.is_empty() {
+            // the global group always exists; zero folded rows must
+            // still yield the empty-input aggregate values (COUNT = 0,
+            // SUM = NULL, …), exactly like the rescan path
+            state.n_groups = 1;
+            for ((accs, vals), call) in
+                state.accs.iter_mut().zip(state.vals.iter_mut()).zip(&body.calls)
+            {
+                let acc = Accumulator::new(call.kind, call.distinct);
+                Arc::make_mut(vals).push(acc.finish());
+                accs.push(acc);
+            }
+        }
+        state
+    }
+}
+
+#[derive(Debug, PartialEq, Eq, Hash)]
+enum SlotKey {
+    One(GroupKey),
+    Many(Vec<GroupKey>),
+}
+
+fn slot_key(key_cols: &[Arc<ColumnData>], ri: usize) -> SlotKey {
+    match key_cols {
+        [c] => SlotKey::One(c.group_key_at(ri)),
+        cs => SlotKey::Many(cs.iter().map(|c| c.group_key_at(ri)).collect()),
+    }
+}
+
+impl<'a> Executor<'a> {
+    /// Compile `query` for delta-aware execution, or `None` when the
+    /// shape is not incrementally maintainable (see the module docs) —
+    /// callers then use the compiled full-rescan plan.
+    pub fn compile_incremental(&self, query: &paradise_sql::ast::Query) -> EngineResult<Option<IncrementalPlan>> {
+        if !query.unions.is_empty() {
+            return Ok(None);
+        }
+        let Some((node, _)) = compile_query(self, query)? else { return Ok(None) };
+        let PNode::Block(block) = node else { return Ok(None) };
+        let super::BlockPlan { input, filter, body } = *block;
+        let PNode::Scan { table, source } = input else { return Ok(None) };
+        // subquery results may change between ticks without the base
+        // table moving: never fold them incrementally
+        if filter.as_ref().is_some_and(ExprProgram::has_subquery) {
+            return Ok(None);
+        }
+        let in_schema = self.catalog.get(&table)?.schema.with_source(&source);
+        let kind = match body {
+            Body::Plain(p) => {
+                let p = *p;
+                if !p.windows.is_empty()
+                    || !p.order.is_empty()
+                    || p.distinct
+                    || p.limit.is_some()
+                    || p.offset.is_some()
+                {
+                    return Ok(None);
+                }
+                let progs_pure = p.items.iter().all(|s| match s {
+                    ProjStep::Splice(_) => true,
+                    ProjStep::Prog(prog) => !prog.has_subquery(),
+                });
+                if !progs_pure {
+                    return Ok(None);
+                }
+                let mut out_schema = Schema::default();
+                for (name, dsrc) in &p.out_cols {
+                    let dt = match dsrc {
+                        DTypeSrc::Input(i) => in_schema.columns()[*i].data_type,
+                        DTypeSrc::Fixed(dt) => *dt,
+                    };
+                    out_schema.push(Column::new(name.clone(), dt));
+                }
+                IncKind::Append { items: p.items, out_schema }
+            }
+            Body::Agg(a) => {
+                let group_pure = a.group.iter().all(|p| !p.has_subquery());
+                let args_pure = a.calls.iter().flat_map(|c| &c.args).all(|s| match s {
+                    ArgStep::Star => true,
+                    ArgStep::Prog(p) => !p.has_subquery(),
+                });
+                let post_pure = !a.having.as_ref().is_some_and(ExprProgram::has_subquery)
+                    && a.items.iter().all(|s| match s {
+                        super::AggItemStep::Col(_) => true,
+                        super::AggItemStep::Prog(p) => !p.has_subquery(),
+                    })
+                    && a.order.iter().all(|(src, _)| match src {
+                        super::OrderKeySrc::OutCol(_) => true,
+                        super::OrderKeySrc::Prog(p) => !p.has_subquery(),
+                    });
+                if !(group_pure && args_pure && post_pure) {
+                    return Ok(None);
+                }
+                IncKind::Grouped(a)
+            }
+        };
+        let tables = paradise_sql::analysis::base_relations(query);
+        let fingerprint = schema_fingerprint(self.catalog, &tables);
+        Ok(Some(IncrementalPlan { table, in_schema, filter, kind, tables, fingerprint }))
+    }
+
+    /// One tick of an incremental plan: resolve the delta (from the
+    /// catalog watermark or pushed by an upstream stage), fold it into
+    /// `state`, and return the stage's **full** result — identical to
+    /// running the compiled full-rescan plan over the full input.
+    ///
+    /// When the delta is not derivable (first run, retention eviction,
+    /// table replacement, upstream reset), the state is rebuilt from
+    /// the full input transparently and `reset` is flagged so
+    /// downstream consumers rebuild too.
+    pub fn run_incremental(
+        &self,
+        plan: &IncrementalPlan,
+        state: &mut IncrementalState,
+        input: DeltaInput<'_>,
+    ) -> EngineResult<IncrementalRun> {
+        // 1. resolve the delta and whether the state survives
+        let (delta, mut reset, mark) = match input {
+            DeltaInput::Source => {
+                if schema_fingerprint(self.catalog, &plan.tables) != plan.fingerprint {
+                    return Err(EngineError::StalePlan);
+                }
+                let mark = self.catalog.watermark(&plan.table)?;
+                let delta = match state.mark {
+                    Some(m) => self.catalog.delta_since(&plan.table, m)?,
+                    None => None,
+                };
+                match delta {
+                    Some(d) => (d, false, Some(mark)),
+                    None => (self.catalog.get(&plan.table)?.clone(), true, Some(mark)),
+                }
+            }
+            DeltaInput::Pushed { delta, reset } => {
+                if delta.schema.len() != plan.in_schema.len() {
+                    return Err(EngineError::StalePlan);
+                }
+                (delta.clone(), reset, None)
+            }
+        };
+        let input_rows = delta.len();
+        // a state of the wrong shape — fresh, folded under a different
+        // plan (recompilation after a schema change), or of the other
+        // kind — always rebuilds
+        let compatible = state.plan_fp == Some(plan.fingerprint)
+            && matches!(
+                (&plan.kind, &state.data),
+                (IncKind::Append { .. }, StateData::Append { .. })
+                    | (IncKind::Grouped(_), StateData::Grouped(_))
+            );
+        if !compatible {
+            // a pushed partial delta cannot rebuild state from scratch:
+            // the caller must re-run with the full input (the driver
+            // resets the whole pipeline state and retries once).
+            // `mark` is `Some` exactly for `Source` input, where the
+            // full table is available and a rescan is always possible.
+            if !reset && mark.is_none() {
+                return Err(EngineError::StalePlan);
+            }
+            reset = true;
+        }
+        state.plan_fp = Some(plan.fingerprint);
+
+        // 2. filter the delta (programs are subquery-free by
+        // construction, so no subquery executor is needed)
+        let ctx = EvalContext { schema: &plan.in_schema, subquery: None };
+        let fd = match &plan.filter {
+            Some(p) => {
+                let mask = p.eval_mask(&delta, &ctx)?;
+                filter_rows_parallel(&delta, &mask, ThreadPool::global())
+            }
+            None => delta,
+        };
+
+        // 3. fold into the state and produce the full result
+        match &plan.kind {
+            IncKind::Append { items, out_schema } => {
+                if reset {
+                    state.data =
+                        StateData::Append { out: Frame::empty(out_schema.clone()), rows_in: 0 };
+                }
+                let StateData::Append { out, rows_in } = &mut state.data else {
+                    unreachable!("reset guarantees matching state")
+                };
+                let n = fd.len();
+                let mut cols: Vec<Arc<ColumnData>> = Vec::with_capacity(out_schema.len());
+                for step in items {
+                    match step {
+                        ProjStep::Splice(indices) => {
+                            for &i in indices {
+                                cols.push(fd.column_arc(i));
+                            }
+                        }
+                        ProjStep::Prog(p) => {
+                            cols.push(p.eval(&fd, &ctx)?.into_column_arc(n))
+                        }
+                    }
+                }
+                let delta_out = Frame::from_arc_columns(out_schema.clone(), cols)?;
+                // by-reference append: `delta_out` stays alive (it is
+                // returned for downstream stages), so an owned append
+                // would pay a second copy
+                out.append_copy(&delta_out)?;
+                *rows_in += n as u64;
+                let mut result = out.clone();
+                finalise_types(&mut result);
+                state.mark = mark;
+                Ok(IncrementalRun { result, delta: Some(delta_out), reset, input_rows })
+            }
+            IncKind::Grouped(body) => {
+                if reset {
+                    state.data = StateData::Grouped(GroupState::new(body, &plan.in_schema));
+                }
+                let StateData::Grouped(gs) = &mut state.data else {
+                    unreachable!("reset guarantees matching state")
+                };
+                let run = fold_grouped(body, gs, &fd, &ctx).and_then(|()| {
+                    let ext = build_state_ext(body, gs, &plan.in_schema)?;
+                    agg_finalize(self, body, ext)
+                });
+                match run {
+                    Ok(result) => {
+                        state.mark = mark;
+                        Ok(IncrementalRun { result, delta: None, reset, input_rows })
+                    }
+                    Err(e) => {
+                        // the fold may have partially mutated the
+                        // accumulators but the watermark did not
+                        // advance: poison the state so the next call
+                        // rebuilds from the full input instead of
+                        // double-folding re-delivered rows
+                        *state = IncrementalState::default();
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Fold one (filtered) delta batch into the group state. Rows are
+/// processed in ascending order, so each group's accumulator sees its
+/// rows in exactly the order the rescan kernels would — results,
+/// including floating-point sums, are identical.
+fn fold_grouped(
+    body: &AggBody,
+    gs: &mut GroupState,
+    fd: &Frame,
+    ctx: &EvalContext<'_>,
+) -> EngineResult<()> {
+    let n = fd.len();
+    if n == 0 {
+        return Ok(());
+    }
+    let key_cols: Vec<Arc<ColumnData>> = body
+        .group
+        .iter()
+        .map(|p| Ok(p.eval(fd, ctx)?.into_column_arc(n)))
+        .collect::<EngineResult<_>>()?;
+    let arg_batches: Vec<Vec<Batch>> = body
+        .calls
+        .iter()
+        .map(|call| {
+            call.args
+                .iter()
+                .map(|a| match a {
+                    ArgStep::Star => Ok(Batch::Const(Value::Int(1))),
+                    ArgStep::Prog(p) => p.eval(fd, ctx),
+                })
+                .collect::<EngineResult<_>>()
+        })
+        .collect::<EngineResult<_>>()?;
+    let mut folds: Vec<ArgFold<'_>> = body
+        .calls
+        .iter()
+        .zip(&arg_batches)
+        .map(|(c, args)| ArgFold::new(c.kind, c.distinct, args))
+        .collect();
+
+    let global = body.group.is_empty();
+    gs.touched.clear();
+    for ri in 0..n {
+        let gid = if global {
+            if !gs.have_global_rep {
+                gs.have_global_rep = true;
+                for (buf, &ci) in gs.reps.iter_mut().zip(&body.rep_cols) {
+                    Arc::make_mut(buf).push(fd.column(ci).value(ri));
+                }
+            }
+            0usize
+        } else {
+            use std::collections::hash_map::Entry;
+            match gs.slots.entry(slot_key(&key_cols, ri)) {
+                Entry::Occupied(e) => *e.get() as usize,
+                Entry::Vacant(e) => {
+                    // first appearance: capture the representative row
+                    let gid = gs.n_groups;
+                    gs.n_groups += 1;
+                    for (accs, call) in gs.accs.iter_mut().zip(&body.calls) {
+                        accs.push(Accumulator::new(call.kind, call.distinct));
+                    }
+                    for (buf, &ci) in gs.reps.iter_mut().zip(&body.rep_cols) {
+                        Arc::make_mut(buf).push(fd.column(ci).value(ri));
+                    }
+                    e.insert(gid);
+                    gid as usize
+                }
+            }
+        };
+        if gs.touched.last() != Some(&(gid as u32)) {
+            gs.touched.push(gid as u32);
+        }
+        for (fold, accs) in folds.iter_mut().zip(gs.accs.iter_mut()) {
+            fold.update(&mut accs[gid], ri)?;
+        }
+    }
+    gs.rows += n as u64;
+
+    // refresh the cached finish values of exactly the touched groups
+    // (new groups are always touched; `touched` ascending puts their
+    // pushes in group order)
+    gs.touched.sort_unstable();
+    gs.touched.dedup();
+    let touched = std::mem::take(&mut gs.touched);
+    for (accs, vals) in gs.accs.iter().zip(gs.vals.iter_mut()) {
+        let col = Arc::make_mut(vals);
+        for &gid in &touched {
+            let v = accs[gid as usize].finish();
+            if (gid as usize) < col.len() {
+                col.set(gid as usize, v);
+            } else {
+                col.push(v);
+            }
+        }
+    }
+    gs.touched = touched;
+    Ok(())
+}
+
+/// Build the extended frame (representative values ++ aggregate
+/// columns, one row per group) from the live state — the incremental
+/// counterpart of the rescan path's `build_ext_frame`. The maintained
+/// columns are shared by `Arc` bump, so this is O(columns) on top of
+/// the per-fold O(touched-groups) maintenance.
+fn build_state_ext(body: &AggBody, gs: &GroupState, in_schema: &Schema) -> EngineResult<Frame> {
+    let global_empty = body.group.is_empty() && gs.rows == 0;
+    let n_groups = gs.n_groups as usize;
+    let mut schema = Schema::default();
+    let mut cols: Vec<Arc<ColumnData>> =
+        Vec::with_capacity(body.rep_cols.len() + body.agg_names.len());
+    for (k, &ci) in body.rep_cols.iter().enumerate() {
+        schema.push(in_schema.columns()[ci].clone());
+        let col = if global_empty {
+            // the synthetic all-NULL representative row of the empty
+            // global group, exactly like the rescan path
+            Arc::new(ColumnData::from_values(vec![Value::Null]))
+        } else {
+            Arc::clone(&gs.reps[k])
+        };
+        cols.push(col);
+    }
+    for (vals, name) in gs.vals.iter().zip(&body.agg_names) {
+        schema.push(Column::new(name.clone(), DataType::Float));
+        cols.push(Arc::clone(vals));
+    }
+    if body.rep_cols.is_empty() && body.agg_names.is_empty() {
+        return Ok(Frame::from_rows(schema, vec![Vec::new(); n_groups]));
+    }
+    Frame::from_arc_columns(schema, cols)
+}

@@ -25,8 +25,10 @@
 //! one per chain node so steady-state continuous-query ticks reuse
 //! plans, and schema changes at the source invalidate them.
 
+mod incremental;
 mod program;
 
+pub use incremental::{DeltaInput, IncrementalPlan, IncrementalRun, IncrementalState};
 pub use program::ExprProgram;
 
 use std::collections::HashMap;
@@ -984,6 +986,18 @@ fn exec_agg(exec: &Executor<'_>, body: &AggBody, input: Frame) -> EngineResult<F
     // input columns per group ++ the aggregate columns
     let ext_all = build_ext_frame(&input, &grouping, body, agg_cols)?;
 
+    // 5.–7. HAVING, projection, ORDER BY/DISTINCT/LIMIT tail
+    agg_finalize(exec, body, ext_all)
+}
+
+/// Steps 5–7 of grouped aggregation — HAVING over the extended frame,
+/// projection, then the shared sort/distinct/limit tail. Shared by the
+/// full-rescan path ([`exec_agg`]) and the incremental path (which
+/// rebuilds only the extended frame from its accumulator state and
+/// re-runs this tail, `O(groups)` per tick).
+fn agg_finalize(exec: &Executor<'_>, body: &AggBody, ext_all: Frame) -> EngineResult<Frame> {
+    let subquery_fn = |q: &Query| exec.execute_ast(q);
+
     // 5. HAVING over the extended frame
     let ext = match &body.having {
         Some(h) => {
@@ -1231,96 +1245,101 @@ impl NumView<'_> {
     }
 }
 
-/// Incremental accumulator over pre-batched arguments, with typed fast
-/// paths for the numeric kinds; used by both grouped aggregation and
-/// running windows. The generic arm reproduces the interpreter's
-/// per-row `Value` loop bit for bit.
-enum RowAcc<'a> {
+/// How one aggregate call's pre-batched arguments feed an
+/// [`Accumulator`], with typed fast paths for the numeric kinds. The
+/// generic arm reproduces the interpreter's per-row `Value` loop bit
+/// for bit; the fast arms update the same sums in the same order, so
+/// results are identical either way. Shared by full-rescan grouped
+/// aggregation, running windows and the incremental fold (which keeps
+/// its accumulators alive across ticks).
+enum ArgFold<'a> {
     /// SUM/AVG/STDDEV/VAR_SAMP over one numeric argument.
-    Num { acc: Accumulator, view: NumView<'a> },
+    Num(NumView<'a>),
     /// `regr_*(y, x)` over two numeric arguments.
-    Pair { acc: Accumulator, y: NumView<'a>, x: NumView<'a> },
+    Pair { y: NumView<'a>, x: NumView<'a> },
     /// COUNT: null test only, no value materialisation.
-    Count { acc: Accumulator, arg: &'a Batch },
+    Count(&'a Batch),
     /// Everything else (DISTINCT, MIN/MAX, text, mixed buffers).
-    Generic { acc: Accumulator, args: &'a [Batch], buf: Vec<Value> },
+    Generic { args: &'a [Batch], buf: Vec<Value> },
 }
 
-impl<'a> RowAcc<'a> {
-    fn new(kind: AggKind, distinct: bool, args: &'a [Batch]) -> RowAcc<'a> {
+impl<'a> ArgFold<'a> {
+    fn new(kind: AggKind, distinct: bool, args: &'a [Batch]) -> ArgFold<'a> {
         if !distinct && args.len() == kind.arity() {
             match kind {
                 AggKind::Sum | AggKind::Avg | AggKind::Stddev | AggKind::VarSamp => {
                     if let Some(view) = num_view(&args[0]) {
-                        return RowAcc::Num { acc: Accumulator::new(kind, false), view };
+                        return ArgFold::Num(view);
                     }
                 }
-                AggKind::Count => {
-                    return RowAcc::Count { acc: Accumulator::new(kind, false), arg: &args[0] };
-                }
+                AggKind::Count => return ArgFold::Count(&args[0]),
                 AggKind::RegrIntercept
                 | AggKind::RegrSlope
                 | AggKind::RegrR2
                 | AggKind::RegrCount => {
                     if let (Some(y), Some(x)) = (num_view(&args[0]), num_view(&args[1])) {
-                        return RowAcc::Pair { acc: Accumulator::new(kind, false), y, x };
+                        return ArgFold::Pair { y, x };
                     }
                 }
                 AggKind::Min | AggKind::Max => {}
             }
         }
-        RowAcc::Generic {
-            acc: Accumulator::new(kind, distinct),
-            args,
-            buf: Vec::with_capacity(args.len()),
-        }
+        ArgFold::Generic { args, buf: Vec::with_capacity(args.len()) }
     }
 
-    /// Reset for the next group/partition (keeps allocations).
-    fn reset(&mut self) {
+    /// Fold row `ri`'s argument values into `acc`.
+    fn update(&mut self, acc: &mut Accumulator, ri: usize) -> EngineResult<()> {
         match self {
-            RowAcc::Num { acc, .. }
-            | RowAcc::Pair { acc, .. }
-            | RowAcc::Count { acc, .. }
-            | RowAcc::Generic { acc, .. } => acc.reset(),
-        }
-    }
-
-    fn update(&mut self, ri: usize) -> EngineResult<()> {
-        match self {
-            RowAcc::Num { acc, view } => {
+            ArgFold::Num(view) => {
                 if let Some((x, from_int)) = view.get(ri) {
                     acc.update_num_fast(x, from_int);
                 }
                 Ok(())
             }
-            RowAcc::Pair { acc, y, x } => {
+            ArgFold::Pair { y, x } => {
                 if let (Some((yv, _)), Some((xv, _))) = (y.get(ri), x.get(ri)) {
                     acc.update_pair_fast(yv, xv);
                 }
                 Ok(())
             }
-            RowAcc::Count { acc, arg } => {
+            ArgFold::Count(arg) => {
                 if !arg.is_null(ri) {
                     acc.bump_count(1);
                 }
                 Ok(())
             }
-            RowAcc::Generic { acc, args, buf } => {
+            ArgFold::Generic { args, buf } => {
                 buf.clear();
                 buf.extend(args.iter().map(|b| b.value(ri)));
                 acc.update(buf)
             }
         }
     }
+}
+
+/// An [`ArgFold`] paired with an owned accumulator, reset per
+/// group/partition: the unit of the rescan paths.
+struct RowAcc<'a> {
+    acc: Accumulator,
+    fold: ArgFold<'a>,
+}
+
+impl<'a> RowAcc<'a> {
+    fn new(kind: AggKind, distinct: bool, args: &'a [Batch]) -> RowAcc<'a> {
+        RowAcc { acc: Accumulator::new(kind, distinct), fold: ArgFold::new(kind, distinct, args) }
+    }
+
+    /// Reset for the next group/partition (keeps allocations).
+    fn reset(&mut self) {
+        self.acc.reset();
+    }
+
+    fn update(&mut self, ri: usize) -> EngineResult<()> {
+        self.fold.update(&mut self.acc, ri)
+    }
 
     fn finish(&self) -> Value {
-        match self {
-            RowAcc::Num { acc, .. }
-            | RowAcc::Pair { acc, .. }
-            | RowAcc::Count { acc, .. }
-            | RowAcc::Generic { acc, .. } => acc.finish(),
-        }
+        self.acc.finish()
     }
 }
 
@@ -1706,6 +1725,11 @@ struct CacheEntry {
     /// `None`: the query is not compilable — interpret it (and don't
     /// retry until the schema fingerprint changes).
     plan: Option<Arc<CompiledPlan>>,
+    /// The incremental (delta-aware) plan, compiled lazily on the first
+    /// request: outer `None` = not attempted yet, `Some(None)` = shape
+    /// is not incrementally maintainable (don't retry until the schema
+    /// fingerprint changes).
+    inc: Option<Option<Arc<IncrementalPlan>>>,
 }
 
 /// Cache of compiled plans keyed by `(query AST, schema fingerprint,
@@ -1769,13 +1793,48 @@ impl PlanCache {
         query: &Query,
         salt: u64,
     ) -> Option<Arc<CompiledPlan>> {
+        self.lookup(exec, query, salt, false).0
+    }
+
+    /// One cache operation that returns **both** plan flavours of a
+    /// query: the compiled full-rescan plan and — when the shape is
+    /// incrementally maintainable — the delta-aware
+    /// [`IncrementalPlan`]. The incremental plan is compiled lazily on
+    /// the first request and memoized in the same entry, so a steady
+    /// tick costs exactly one lookup regardless of which flavour runs
+    /// (the hit/miss counters move once per call, like
+    /// [`PlanCache::get_or_compile_salted`]).
+    pub fn get_or_compile_with_incremental(
+        &mut self,
+        exec: &Executor<'_>,
+        query: &Query,
+        salt: u64,
+    ) -> (Option<Arc<CompiledPlan>>, Option<Arc<IncrementalPlan>>) {
+        self.lookup(exec, query, salt, true)
+    }
+
+    fn lookup(
+        &mut self,
+        exec: &Executor<'_>,
+        query: &Query,
+        salt: u64,
+        want_inc: bool,
+    ) -> (Option<Arc<CompiledPlan>>, Option<Arc<IncrementalPlan>>) {
+        let ensure_inc = |entry: &mut CacheEntry| -> Option<Arc<IncrementalPlan>> {
+            if entry.inc.is_none() {
+                entry.inc =
+                    Some(exec.compile_incremental(&entry.query).ok().flatten().map(Arc::new));
+            }
+            entry.inc.clone().expect("just ensured")
+        };
         let key = ast_key(query);
         if let Some(list) = self.entries.get_mut(&key) {
             if let Some(entry) = list.iter_mut().find(|e| e.query == *query && e.salt == salt) {
                 let fp = schema_fingerprint(exec.catalog, &entry.tables);
                 if fp == entry.fingerprint {
                     self.stats.hits += 1;
-                    return entry.plan.clone();
+                    let inc = if want_inc { ensure_inc(entry) } else { None };
+                    return (entry.plan.clone(), inc);
                 }
                 // schemas changed under the plan: recompile in place
                 self.stats.misses += 1;
@@ -1783,7 +1842,9 @@ impl PlanCache {
                 let plan = exec.compile(query).ok().map(Arc::new);
                 entry.fingerprint = plan.as_ref().map(|p| p.fingerprint()).unwrap_or(fp);
                 entry.plan = plan.clone();
-                return plan;
+                entry.inc = None;
+                let inc = if want_inc { ensure_inc(entry) } else { None };
+                return (plan, inc);
             }
         }
         self.stats.misses += 1;
@@ -1797,15 +1858,65 @@ impl PlanCache {
             .as_ref()
             .map(|p| p.fingerprint())
             .unwrap_or_else(|| schema_fingerprint(exec.catalog, &tables));
-        self.entries.entry(key).or_default().push(CacheEntry {
+        let mut entry = CacheEntry {
             query: query.clone(),
             tables,
             fingerprint,
             salt,
             plan: plan.clone(),
+            inc: None,
+        };
+        let inc = if want_inc { ensure_inc(&mut entry) } else { None };
+        self.entries.entry(key).or_default().push(entry);
+        self.len += 1;
+        (plan, inc)
+    }
+
+    /// Insert a plan compiled elsewhere (cross-handle plan sharing in
+    /// the continuous-query runtime: two handles registering the same
+    /// rewritten fragment compile once and share the `Arc`). No
+    /// hit/miss accounting; returns `false` when an entry for this
+    /// (query, salt) already exists or the plan's schema fingerprint
+    /// does not match the catalog it was compiled against.
+    pub fn seed(
+        &mut self,
+        exec: &Executor<'_>,
+        query: &Query,
+        salt: u64,
+        plan: Arc<CompiledPlan>,
+    ) -> bool {
+        if schema_fingerprint(exec.catalog, plan.tables()) != plan.fingerprint() {
+            return false;
+        }
+        let key = ast_key(query);
+        if let Some(list) = self.entries.get(&key) {
+            if list.iter().any(|e| e.query == *query && e.salt == salt) {
+                return false;
+            }
+        }
+        if self.len >= MAX_CACHED_PLANS {
+            self.entries.clear();
+            self.len = 0;
+        }
+        self.entries.entry(key).or_default().push(CacheEntry {
+            query: query.clone(),
+            tables: plan.tables().to_vec(),
+            fingerprint: plan.fingerprint(),
+            salt,
+            plan: Some(plan),
+            inc: None,
         });
         self.len += 1;
-        plan
+        true
+    }
+
+    /// Iterate the successfully compiled entries — the harvest side of
+    /// cross-handle plan sharing.
+    pub fn compiled_entries(&self) -> impl Iterator<Item = (&Query, &Arc<CompiledPlan>)> {
+        self.entries
+            .values()
+            .flatten()
+            .filter_map(|e| e.plan.as_ref().map(|p| (&e.query, p)))
     }
 
     /// Evict every entry whose salt differs from `current`, counting

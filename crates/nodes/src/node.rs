@@ -1,9 +1,12 @@
 //! A single processing node of the vertical hierarchy.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use paradise_engine::plan::{ast_key, PlanCache, PlanCacheStats};
-use paradise_engine::{Catalog, Executor, Frame};
+use paradise_engine::{
+    Catalog, CompiledPlan, DeltaInput, Executor, Frame, IncrementalState,
+};
 use paradise_sql::analysis::{base_relations, block_features, deep_features, FeatureSet};
 use paradise_sql::ast::Query;
 
@@ -158,15 +161,19 @@ impl Node {
             && !block_features(fragment).contains(paradise_sql::analysis::SqlFeature::WindowFunctions)
     }
 
-    /// Execute a fragment against the local catalog, enforcing the
-    /// capability boundary and accounting statistics.
-    ///
-    /// The node caches a compiled physical plan plus the fragment's
-    /// static metadata (capability features, streamability, base
-    /// tables) per (fragment, schema fingerprint): a continuous query
-    /// re-executing every tick walks no ASTs in steady state.
-    pub fn execute(&mut self, fragment: &Query) -> NodeResult<Frame> {
-        let key = ast_key(fragment);
+    /// Populate (if needed) and check the fragment's static metadata:
+    /// capability features and — for materialising fragments — the §3.1
+    /// capacity bound. `input_bytes_hint` overrides the catalog-derived
+    /// input size (the delta driver passes the upstream stage's full
+    /// output size, since incremental consumers keep only a schema
+    /// husk of their input in the catalog). Returns the total rows of
+    /// the catalog-resident input tables (for statistics).
+    fn admit(
+        &mut self,
+        fragment: &Query,
+        key: u64,
+        input_bytes_hint: Option<usize>,
+    ) -> NodeResult<usize> {
         let cached = self
             .meta
             .get(&key)
@@ -193,12 +200,13 @@ impl Node {
                 missing: self.capability.missing(&meta.features),
             });
         }
-        let input_bytes: usize = meta
-            .tables
-            .iter()
-            .filter_map(|t| self.catalog.get(t).ok())
-            .map(Frame::size_bytes)
-            .sum();
+        let mut input_rows = 0usize;
+        let mut catalog_bytes = 0usize;
+        for frame in meta.tables.iter().filter_map(|t| self.catalog.get(t).ok()) {
+            input_rows += frame.len();
+            catalog_bytes += frame.size_bytes();
+        }
+        let input_bytes = input_bytes_hint.unwrap_or(catalog_bytes);
         if !meta.streamable && !self.has_capacity_for(input_bytes) {
             return Err(NodeError::CapacityExceeded {
                 node: self.name.clone(),
@@ -206,25 +214,133 @@ impl Node {
                 available: self.capability.memory_bytes,
             });
         }
-        let input_rows: usize = meta
-            .tables
-            .iter()
-            .filter_map(|t| self.catalog.get(t).ok())
-            .map(Frame::len)
-            .sum();
+        Ok(input_rows)
+    }
 
+    fn account(&mut self, rows_in: usize, result: &Frame) {
+        self.stats.fragments_executed += 1;
+        self.stats.rows_in += rows_in;
+        self.stats.rows_out += result.len();
+        self.stats.bytes_out += result.size_bytes();
+        self.stats.simulated_cost += rows_in as f64 / self.capability.cpu_power;
+    }
+
+    /// Execute a fragment against the local catalog, enforcing the
+    /// capability boundary and accounting statistics.
+    ///
+    /// The node caches a compiled physical plan plus the fragment's
+    /// static metadata (capability features, streamability, base
+    /// tables) per (fragment, schema fingerprint): a continuous query
+    /// re-executing every tick walks no ASTs in steady state.
+    pub fn execute(&mut self, fragment: &Query) -> NodeResult<Frame> {
+        let key = ast_key(fragment);
+        let input_rows = self.admit(fragment, key, None)?;
         let executor = Executor::new(&self.catalog);
         let result = match self.plans.get_or_compile_salted(&executor, fragment, self.plan_salt) {
             Some(plan) => executor.run_plan(&plan),
             None => executor.execute(fragment),
         }?;
-
-        self.stats.fragments_executed += 1;
-        self.stats.rows_in += input_rows;
-        self.stats.rows_out += result.len();
-        self.stats.bytes_out += result.size_bytes();
-        self.stats.simulated_cost += input_rows as f64 / self.capability.cpu_power;
+        self.account(input_rows, &result);
         Ok(result)
+    }
+
+    /// Delta-aware fragment execution (see
+    /// [`paradise_engine::plan::IncrementalPlan`]): process only the
+    /// rows that arrived since the consumer's watermark — from the
+    /// local catalog (`DeltaInput::Source`) or pushed by an upstream
+    /// stage — and fold them into `state`.
+    ///
+    /// Returns `Ok(None)` when the fragment's shape is not
+    /// incrementally maintainable; the caller then runs
+    /// [`Node::execute`] over the full input (the compiled plan is
+    /// already cached by this call, so the fallback lookup is a hit).
+    /// Capability and capacity checks are enforced exactly like
+    /// [`Node::execute`]; for pushed inputs, whose catalog entry is
+    /// only a schema husk, the caller passes the logical input size as
+    /// `input_bytes_hint` so the §3.1 capacity bound still binds.
+    /// Statistics account the rows actually consumed.
+    pub fn try_execute_delta(
+        &mut self,
+        fragment: &Query,
+        input: DeltaInput<'_>,
+        state: &mut IncrementalState,
+        input_bytes_hint: Option<usize>,
+    ) -> NodeResult<Option<DeltaOutcome>> {
+        let key = ast_key(fragment);
+        self.admit(fragment, key, input_bytes_hint)?;
+        let executor = Executor::new(&self.catalog);
+        let (_, inc) =
+            self.plans.get_or_compile_with_incremental(&executor, fragment, self.plan_salt);
+        let Some(inc) = inc else { return Ok(None) };
+        let run = executor.run_incremental(&inc, state, input)?;
+        let input_rows = run.input_rows;
+        let outcome = match run.delta {
+            Some(delta) => {
+                DeltaOutcome::Append { full: run.result, delta, reset: run.reset }
+            }
+            None => DeltaOutcome::Snapshot { full: run.result, reset: run.reset },
+        };
+        self.account(input_rows, outcome.full());
+        Ok(Some(outcome))
+    }
+
+    /// Insert a plan compiled at another node/handle under this node's
+    /// current salt — the seeding half of cross-handle plan sharing.
+    /// Refused (returns `false`) when an entry already exists or the
+    /// plan's schema fingerprint does not match this node's catalog.
+    pub fn seed_plan(&mut self, fragment: &Query, plan: Arc<CompiledPlan>) -> bool {
+        let executor = Executor::new(&self.catalog);
+        self.plans.seed(&executor, fragment, self.plan_salt, plan)
+    }
+
+    /// The successfully compiled plans of this node's cache — the
+    /// harvesting half of cross-handle plan sharing.
+    pub fn shareable_plans(&self) -> Vec<(Query, Arc<CompiledPlan>)> {
+        self.plans
+            .compiled_entries()
+            .map(|(q, p)| (q.clone(), Arc::clone(p)))
+            .collect()
+    }
+}
+
+/// What [`Node::try_execute_delta`] produced.
+#[derive(Debug)]
+pub enum DeltaOutcome {
+    /// A stateless stage: `full` is the stage's complete logical
+    /// output, `delta` the output of just this tick's input delta
+    /// (push it downstream). `reset` = the state was rebuilt and
+    /// `delta` covers the full input.
+    Append {
+        /// Complete logical output (cached, shared buffers).
+        full: Frame,
+        /// Output of this tick's delta only.
+        delta: Frame,
+        /// State was rebuilt this tick.
+        reset: bool,
+    },
+    /// A grouped-aggregation stage: the (small) full output,
+    /// recomputed from accumulator state.
+    Snapshot {
+        /// Complete logical output.
+        full: Frame,
+        /// State was rebuilt this tick.
+        reset: bool,
+    },
+}
+
+impl DeltaOutcome {
+    /// The stage's complete logical output.
+    pub fn full(&self) -> &Frame {
+        match self {
+            DeltaOutcome::Append { full, .. } | DeltaOutcome::Snapshot { full, .. } => full,
+        }
+    }
+
+    /// Did the stage rebuild its state this tick?
+    pub fn reset(&self) -> bool {
+        match self {
+            DeltaOutcome::Append { reset, .. } | DeltaOutcome::Snapshot { reset, .. } => *reset,
+        }
     }
 }
 

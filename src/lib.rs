@@ -26,6 +26,17 @@
 //! policies — rewriting, fragmenting and compiling only when a policy
 //! or schema actually changes.
 //!
+//! Ticks are **delta-aware** by default: stateless fragments process
+//! only the rows ingested since the last tick (keeping their full
+//! output cached), grouped aggregation folds the batch into live
+//! per-group accumulators, and only shapes that genuinely need full
+//! history (windows over history, joins) rescan — so steady-state
+//! tick cost tracks the batch size, not the retained stream window.
+//! Results are identical to a full rescan; see the README's
+//! "Incremental (delta-aware) tick execution" section for the shape
+//! table, and `Runtime::with_incremental(false)` for the reference
+//! full-rescan mode.
+//!
 //! ```
 //! use paradise::prelude::*;
 //!

@@ -112,13 +112,179 @@ fn steady_state_ticks_never_recompile() {
     assert_eq!(warm.engine.hits, cold.engine.hits + ticks * cold.engine.misses);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+#[test]
+fn identical_registrations_share_compiled_plans() {
+    let mut runtime = Runtime::new(ProcessingChain::apartment())
+        .with_policy("ActionFilter", figure4_policy().modules.remove(0));
+    let mut other = figure4_policy().modules.remove(0);
+    other.module_id = "Other".into();
+    runtime.set_policy("Other", other);
+    runtime.install_source("motion-sensor", "stream", stream(42, 100)).unwrap();
 
-    /// Swapping one module's policy invalidates exactly that module's
-    /// handles — bystander modules keep a 100% cache-hit rate — and the
-    /// post-swap outcomes equal those of a fresh runtime built directly
-    /// with the new policy.
+    let q = parse_query(PAPER_ORIGINAL).unwrap();
+    runtime.register("ActionFilter", &q).unwrap();
+    runtime.tick().unwrap();
+    let first = runtime.stats();
+    assert!(first.engine.misses > 0, "first handle compiles its stage plans");
+    assert!(first.shared_plans > 0, "compiled plans are harvested into the pool");
+
+    // a second handle — same rewritten fragments, and even a *different*
+    // module rewriting to the same fragments — compiles nothing: every
+    // stage plan is seeded from the pool before its first execution
+    runtime.register("ActionFilter", &q).unwrap();
+    runtime.register("Other", &q).unwrap();
+    runtime.tick().unwrap();
+    let second = runtime.stats();
+    assert_eq!(
+        second.engine.misses, first.engine.misses,
+        "identical registrations must not recompile: {second:?}"
+    );
+    assert_eq!(second.engine.invalidations, 0);
+    assert_eq!(second.shared_plans, first.shared_plans, "no new distinct fragments");
+}
+
+#[test]
+fn retention_eviction_is_batched_and_deltas_survive_trims() {
+    let mut runtime = Runtime::new(ProcessingChain::apartment())
+        .with_policy("ActionFilter", figure4_policy().modules.remove(0))
+        .with_retention(1000);
+    runtime.install_source("motion-sensor", "stream", stream(42, 90)).unwrap(); // 900 rows
+    let handle =
+        runtime.register("ActionFilter", &parse_query("SELECT x, y, z, t FROM stream").unwrap()).unwrap();
+    runtime.tick().unwrap();
+
+    let len = |rt: &Runtime| {
+        rt.chain().node("motion-sensor").unwrap().catalog.get("stream").unwrap().len()
+    };
+    // appends within the 25% slack do NOT trim (amortized eviction) …
+    runtime.ingest("motion-sensor", "stream", stream(1, 20)).unwrap(); // 1100
+    assert_eq!(len(&runtime), 1100, "within slack: no trim");
+    runtime.ingest("motion-sensor", "stream", stream(2, 14)).unwrap(); // 1240
+    assert_eq!(len(&runtime), 1240, "still within slack");
+    // … and one over-slack append trims back down to the cap exactly
+    runtime.ingest("motion-sensor", "stream", stream(3, 4)).unwrap(); // 1280 > 1250
+    assert_eq!(len(&runtime), 1000, "over slack: one batched trim to the cap");
+
+    // delta execution stays correct across the trim: the tick after an
+    // eviction equals a fresh full-rescan runtime over the same window
+    let ticked = runtime.tick().unwrap();
+    let retained =
+        runtime.chain().node("motion-sensor").unwrap().catalog.get("stream").unwrap().clone();
+    let mut reference = Runtime::new(ProcessingChain::apartment())
+        .with_policy("ActionFilter", figure4_policy().modules.remove(0))
+        .with_incremental(false);
+    reference.install_source("motion-sensor", "stream", retained).unwrap();
+    reference.register("ActionFilter", &parse_query("SELECT x, y, z, t FROM stream").unwrap()).unwrap();
+    let expect = reference.tick().unwrap();
+    assert_eq!(ticked[0].0, handle);
+    assert_eq!(ticked[0].1.result, expect[0].1.result, "post-trim tick must match rescan");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The tentpole equivalence: over a randomized schedule of ingests
+    /// (small and eviction-forcing), data-less ticks and live policy
+    /// swaps, the delta-aware runtime produces outcomes identical to
+    /// (a) the full-rescan runtime over the same stream, and — at the
+    /// end of the schedule — (b) a fresh one-shot `Processor` over the
+    /// retained window (whose engine is itself pinned against the
+    /// columnar interpreter by the executor equivalence suite).
+    #[test]
+    fn incremental_ticks_equal_full_rescan_over_random_schedules(
+        seed in 1u64..400,
+        cap in 250usize..450,
+        ops in proptest::collection::vec(0u8..4, 4..10),
+        z_swap in 1i64..4,
+        sum_swap in proptest::sample::select(vec![0i64, 50, 100]),
+    ) {
+        // one module per corpus query (the flat projection rewrites to
+        // the incrementally-maintained aggregation; the window queries
+        // exercise the transparent full-rescan fallback above the
+        // aggregation barrier)
+        let corpus: Vec<&str> = QUERIES.iter().copied().chain(["SELECT x, y, z, t FROM stream"]).collect();
+        let source = stream(seed, 25);
+        let build = |incremental: bool| {
+            let mut rt = Runtime::new(ProcessingChain::apartment())
+                .with_retention(cap)
+                .with_incremental(incremental);
+            for (i, _) in corpus.iter().enumerate() {
+                rt.set_policy(format!("Mod{i}"), policy_variant(&format!("Mod{i}"), 2, 100));
+            }
+            rt.install_source("motion-sensor", "stream", source.clone()).unwrap();
+            for (i, q) in corpus.iter().enumerate() {
+                rt.register(&format!("Mod{i}"), &parse_query(q).unwrap()).unwrap();
+            }
+            rt
+        };
+        let mut inc = build(true);
+        let mut full = build(false);
+
+        for (step, op) in ops.iter().enumerate() {
+            match op {
+                0 => {
+                    // small batch: folds as a pure delta
+                    let batch = stream(1000 + step as u64, 4);
+                    inc.ingest("motion-sensor", "stream", batch.clone()).unwrap();
+                    full.ingest("motion-sensor", "stream", batch).unwrap();
+                }
+                1 => {
+                    // big batch: overruns the retention slack and forces
+                    // a batched eviction + state rebuild
+                    let batch = stream(2000 + step as u64, 30);
+                    inc.ingest("motion-sensor", "stream", batch.clone()).unwrap();
+                    full.ingest("motion-sensor", "stream", batch).unwrap();
+                }
+                2 => {} // data-less tick: empty deltas
+                _ => {
+                    // live policy swap of one module
+                    let m = format!("Mod{}", step % corpus.len());
+                    inc.set_policy(&m, policy_variant(&m, z_swap, sum_swap));
+                    full.set_policy(&m, policy_variant(&m, z_swap, sum_swap));
+                }
+            }
+            let a = inc.tick().unwrap();
+            let b = full.tick().unwrap();
+            prop_assert_eq!(a.len(), b.len());
+            for ((ha, oa), (hb, ob)) in a.iter().zip(&b) {
+                prop_assert_eq!(ha, hb);
+                prop_assert_eq!(&oa.result, &ob.result, "result diverges at step {}", step);
+                prop_assert_eq!(&oa.shipped, &ob.shipped, "shipped diverges at step {}", step);
+                prop_assert_eq!(&oa.anonymized_at, &ob.anonymized_at);
+            }
+        }
+
+        // final cross-check against the one-shot processor path: replay
+        // each module's policy history (swapped at any op-3 step
+        // addressing it, initial otherwise) on a fresh processor over
+        // the retained window
+        let retained = inc
+            .chain()
+            .node("motion-sensor")
+            .unwrap()
+            .catalog
+            .get("stream")
+            .unwrap()
+            .clone();
+        let last = inc.tick().unwrap();
+        for (i, q) in corpus.iter().enumerate() {
+            let module = format!("Mod{i}");
+            let was_swapped = ops
+                .iter()
+                .enumerate()
+                .any(|(step, op)| *op >= 3 && step % corpus.len() == i);
+            let policy = if was_swapped {
+                policy_variant(&module, z_swap, sum_swap)
+            } else {
+                policy_variant(&module, 2, 100)
+            };
+            let mut processor =
+                Processor::new(ProcessingChain::apartment()).with_policy(&module, policy);
+            processor.install_source("motion-sensor", "stream", retained.clone()).unwrap();
+            let reference = processor.run(&module, &parse_query(q).unwrap()).unwrap();
+            prop_assert_eq!(&last[i].1.result, &reference.result, "one-shot diverges for {}", q);
+        }
+    }
     #[test]
     fn policy_hot_swap_is_exact_and_equivalent(
         seed in 1u64..500,
