@@ -3,7 +3,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use paradise_bench::{
-    meeting_stream, paper_flat, paper_original, paper_processor, paper_runtime,
+    meeting_stream, paper_flat, paper_original, paper_processor, paper_runtime, users_runtime,
+    users_stream,
 };
 
 fn bench_end_to_end(c: &mut Criterion) {
@@ -111,5 +112,71 @@ fn bench_runtime_incremental(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_end_to_end, bench_runtime_multi_query, bench_runtime_incremental);
+/// Partition-parallel tick cost on the "many users" workload: a
+/// per-user SUM aggregation (one group per user) over a single Pc
+/// node, ticked with large ingest batches.
+///
+/// * `runtime_sharded/1m_users` — 1M distinct users in the retained
+///   window, 64 shards, 128k-row batches over 16k distinct users per
+///   tick. Run it under `PARADISE_THREADS=1` vs `=4` (on multicore
+///   hardware) for the thread-scaling headline; the shard fold, the
+///   split hashing and the per-shard state are all partition-local, so
+///   per-tick time should drop near-linearly until the serial merge
+///   and finalize floor.
+/// * `runtime_sharded/shards_{1,4,64}` — the shard-count scaling curve
+///   at a fixed 256k-user window (shards_1 is the serial incremental
+///   reference path; results are identical across the curve, only the
+///   execution strategy changes).
+fn bench_runtime_sharded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+
+    group.sample_size(2);
+    group.bench_function(BenchmarkId::new("runtime_sharded", "1m_users"), |b| {
+        const USERS: u64 = 1_000_000;
+        let mut runtime =
+            users_runtime(64, users_stream(7, USERS as usize, USERS), 2_500_000, 4_000);
+        let batches: Vec<_> =
+            (0..16u64).map(|i| users_stream(100 + i, 131_072, 16_384)).collect();
+        runtime.tick().unwrap(); // compile plans + seed the 1M-group state
+        let mut next = 0usize;
+        b.iter(|| {
+            let batch = batches[next % batches.len()].clone();
+            next += 1;
+            runtime.ingest("server", "stream", batch).unwrap();
+            black_box(runtime.tick().unwrap())
+        })
+    });
+
+    group.sample_size(10);
+    for shards in [1usize, 4, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("runtime_sharded", format!("shards_{shards}")),
+            &shards,
+            |b, &shards| {
+                const USERS: u64 = 262_144;
+                let mut runtime =
+                    users_runtime(shards, users_stream(9, USERS as usize, USERS), 700_000, 2_000);
+                let batches: Vec<_> =
+                    (0..16u64).map(|i| users_stream(200 + i, 32_768, 8_192)).collect();
+                runtime.tick().unwrap();
+                let mut next = 0usize;
+                b.iter(|| {
+                    let batch = batches[next % batches.len()].clone();
+                    next += 1;
+                    runtime.ingest("server", "stream", batch).unwrap();
+                    black_box(runtime.tick().unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_end_to_end,
+    bench_runtime_multi_query,
+    bench_runtime_incremental,
+    bench_runtime_sharded
+);
 criterion_main!(benches);

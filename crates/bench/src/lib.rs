@@ -2,11 +2,11 @@
 //! criterion benches.
 
 use paradise_core::{ProcessingChain, Processor, Runtime};
-use paradise_engine::Frame;
-use paradise_nodes::{SmartRoomConfig, SmartRoomSim};
-use paradise_policy::figure4_policy;
+use paradise_engine::{DataType, Frame, Schema, Value};
+use paradise_nodes::{Level, Node, SmartRoomConfig, SmartRoomSim};
+use paradise_policy::{figure4_policy, AggregationSpec, AttributeRule, ModulePolicy};
 use paradise_sql::ast::Query;
-use paradise_sql::parse_query;
+use paradise_sql::{parse_expr, parse_query};
 
 /// The paper's original query (§4.2, the SQL inside the R call).
 pub const PAPER_ORIGINAL: &str =
@@ -69,6 +69,67 @@ pub fn paper_runtime(seed: u64, persons: usize, steps: usize) -> Runtime {
     runtime
 }
 
+/// An integer "many users" stream for the sharded-runtime benches:
+/// `uid` is the partition key, `v` a small measure. The first
+/// `min(rows, users)` rows carry sequential uids so a window with
+/// `rows >= users` contains every user; the remainder is a
+/// deterministic splitmix64 draw over `0..users`.
+pub fn users_stream(seed: u64, rows: usize, users: u64) -> Frame {
+    let schema = Schema::from_pairs(&[("uid", DataType::Integer), ("v", DataType::Integer)]);
+    let mut s = seed;
+    let mut next = || {
+        s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let data = (0..rows)
+        .map(|i| {
+            let uid = if (i as u64) < users { i as u64 } else { next() % users };
+            let v = (next() % 100) as i64;
+            vec![Value::Int(uid as i64), Value::Int(v)]
+        })
+        .collect();
+    Frame::new(schema, data).expect("generated rows match the schema")
+}
+
+/// A per-user aggregation policy: `v` is only released summed per
+/// `uid`, with a HAVING threshold — so the registered flat projection
+/// rewrites to the grouped shape the sharded incremental driver
+/// maintains (one group per user).
+pub fn users_policy(sum_threshold: i64) -> ModulePolicy {
+    let mut m = ModulePolicy::new("UserStats");
+    m.attributes.push(AttributeRule::allowed("uid"));
+    m.attributes.push(
+        AttributeRule::allowed("v").with_aggregation(
+            AggregationSpec::new("SUM")
+                .group_by(&["uid"])
+                .having(parse_expr(&format!("SUM(v) > {sum_threshold}")).unwrap()),
+        ),
+    );
+    m
+}
+
+/// A runtime for the sharded "many users" workload: a single Pc node
+/// (so the measurement isolates tick execution, not inter-node
+/// shipping), partitioned `shards`-way by `uid`, with the flat user
+/// query registered under [`users_policy`]. `shards <= 1` keeps the
+/// serial incremental path as the reference.
+pub fn users_runtime(shards: usize, source: Frame, retention: usize, sum_threshold: i64) -> Runtime {
+    let chain = ProcessingChain::new(vec![Node::new("server", Level::Pc)])
+        .expect("single-node chain is valid");
+    let mut runtime = Runtime::new(chain)
+        .with_retention(retention)
+        .with_partitioning("uid", shards)
+        .with_policy("UserStats", users_policy(sum_threshold));
+    runtime.install_source("server", "stream", source).expect("server node exists");
+    runtime
+        .register("UserStats", &parse_query("SELECT uid, v FROM stream").unwrap())
+        .expect("flat user query registers");
+    runtime
+}
+
 /// A corpus of queries spanning every capability level, used by the
 /// Table 1 experiment and several benches.
 pub fn query_corpus() -> Vec<(&'static str, &'static str)> {
@@ -105,6 +166,23 @@ mod tests {
         assert_eq!(frame.len(), 20);
         let mut p = paper_processor(1, 2, 10);
         assert!(p.run("ActionFilter", &paper_original()).is_ok());
+    }
+
+    #[test]
+    fn users_workload_ticks_and_shards_agree() {
+        let window = users_stream(1, 2_000, 500);
+        let mut serial = users_runtime(1, window.clone(), 100_000, 50);
+        let mut sharded = users_runtime(8, window, 100_000, 50);
+        let a = serial.tick().unwrap();
+        let b = sharded.tick().unwrap();
+        assert!(!a[0].1.result.is_empty(), "HAVING threshold keeps some users");
+        assert_eq!(a[0].1.result, b[0].1.result);
+        let batch = users_stream(2, 300, 100);
+        serial.ingest("server", "stream", batch.clone()).unwrap();
+        sharded.ingest("server", "stream", batch).unwrap();
+        let a = serial.tick().unwrap();
+        let b = sharded.tick().unwrap();
+        assert_eq!(a[0].1.result, b[0].1.result);
     }
 
     #[test]

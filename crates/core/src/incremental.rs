@@ -28,7 +28,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use paradise_engine::plan::ast_key;
-use paradise_engine::{CompiledPlan, DeltaInput, EngineError, Frame, IncrementalState};
+use paradise_engine::{
+    CompiledPlan, DeltaInput, EngineError, Frame, IncrementalState, ShardSpec,
+};
 use paradise_nodes::{
     ChainRun, DeltaOutcome, Hop, NodeError, ProcessingChain, Stage, StageReport, TrafficLog,
 };
@@ -119,11 +121,12 @@ pub(crate) fn run_stages_delta(
     stages: &[Stage],
     hs: &mut HandleDeltaState,
     shared: &SharedPlans,
+    shard: Option<&ShardSpec>,
 ) -> CoreResult<ChainRun> {
-    let result = match try_run_stages_delta(chain, stages, hs, shared) {
+    let result = match try_run_stages_delta(chain, stages, hs, shared, shard) {
         Err(CoreError::Node(NodeError::Engine(EngineError::StalePlan))) => {
             hs.reset();
-            try_run_stages_delta(chain, stages, hs, shared)
+            try_run_stages_delta(chain, stages, hs, shared, shard)
         }
         other => other,
     };
@@ -143,6 +146,7 @@ fn try_run_stages_delta(
     stages: &[Stage],
     hs: &mut HandleDeltaState,
     shared: &SharedPlans,
+    shard: Option<&ShardSpec>,
 ) -> CoreResult<ChainRun> {
     if stages.is_empty() {
         return Err(CoreError::Node(NodeError::BadChain("no stages to run".into())));
@@ -242,6 +246,7 @@ fn try_run_stages_delta(
                     delta_input,
                     &mut slot.state,
                     bytes_hint,
+                    shard,
                 )? {
                     Some(outcome) => {
                         slot.mode = StageMode::Incremental;

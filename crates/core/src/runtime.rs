@@ -36,7 +36,7 @@ use std::collections::HashMap;
 
 
 use minipool::ThreadPool;
-use paradise_engine::{plan as engine_plan, Catalog, Frame};
+use paradise_engine::{plan as engine_plan, Catalog, Frame, ShardSpec};
 use paradise_nodes::ProcessingChain;
 use paradise_policy::{ModulePolicy, PolicyVersion};
 use paradise_sql::ast::Query;
@@ -161,6 +161,10 @@ pub struct Runtime {
     /// every fragment over its full input per tick, kept as the
     /// executable reference the equivalence tests compare against.
     incremental: bool,
+    /// Stream partitioning: grouped-aggregation stages fold each tick's
+    /// delta partition-parallel over this many shards of the declared
+    /// key (see [`Runtime::with_partitioning`]); `None` = serial.
+    partitioning: Option<ShardSpec>,
     /// Cross-handle plan pool keyed by (node name, fragment AST hash):
     /// plans compiled on one handle's chain are harvested here and
     /// seeded into every handle's node caches, so identical fragments
@@ -184,6 +188,7 @@ impl Runtime {
             remainder: None,
             retention: None,
             incremental: true,
+            partitioning: None,
             shared: HashMap::new(),
             slots: Vec::new(),
             next_generation: 0,
@@ -228,6 +233,35 @@ impl Runtime {
     #[must_use]
     pub fn with_retention(mut self, rows: usize) -> Self {
         self.retention = Some(rows);
+        self
+    }
+
+    /// Builder: shard every registered stream by a hash of the `key`
+    /// column into `shards` sub-streams and fold grouped-aggregation
+    /// ticks partition-parallel over them, merging per-group
+    /// accumulators only at the aggregation boundary. Results are
+    /// identical to serial incremental execution (and to the
+    /// full-rescan reference) — sharding is purely an execution
+    /// strategy. Stages that cannot shard — stateless filters, global
+    /// aggregation, `DISTINCT` aggregates, or fragments without the
+    /// key column — transparently keep the serial path.
+    ///
+    /// Ingested batches are split per shard eagerly at the source, so
+    /// steady-state ticks route each delta without re-hashing. The
+    /// `PARADISE_SHARDS` environment variable, when set, overrides
+    /// `shards` (the CI serial-reference leg runs `PARADISE_SHARDS=1`);
+    /// the effective count is clamped to `1..=65535`.
+    #[must_use]
+    pub fn with_partitioning(mut self, key: impl Into<String>, shards: usize) -> Self {
+        let shards = std::env::var("PARADISE_SHARDS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(shards);
+        let spec = ShardSpec::new(key, shards);
+        for node in self.chain.nodes_mut() {
+            node.catalog.set_partitioning(&spec.key, spec.shards);
+        }
+        self.partitioning = (spec.shards > 1).then_some(spec);
         self
     }
 
@@ -441,6 +475,7 @@ impl Runtime {
             let info_catalog = info_catalog.as_ref();
             let incremental = self.incremental;
             let shared = &self.shared;
+            let shard = self.partitioning.as_ref();
             ThreadPool::global().scope(|scope| {
                 for (slot, result) in self.slots.iter_mut().zip(results.iter_mut()) {
                     let Some(reg) = slot.as_mut() else { continue };
@@ -452,6 +487,7 @@ impl Runtime {
                             info_catalog,
                             incremental,
                             shared,
+                            shard,
                         ));
                     });
                 }
@@ -616,6 +652,7 @@ fn run_handle(
     info_catalog: Option<&Catalog>,
     incremental: bool,
     shared: &SharedPlans,
+    shard: Option<&ShardSpec>,
 ) -> CoreResult<Outcome> {
     let information_gain = match (info_catalog, options.info_gain_threshold) {
         (Some(catalog), Some(threshold)) => {
@@ -634,7 +671,7 @@ fn run_handle(
         );
     }
     let stages = assign_to_chain(&reg.plan, &reg.chain, options.assignment)?;
-    let run = run_stages_delta(&mut reg.chain, &stages, &mut reg.delta, shared)?;
+    let run = run_stages_delta(&mut reg.chain, &stages, &mut reg.delta, shared, shard)?;
     assemble_outcome(
         &reg.chain,
         reg.pre.clone(),

@@ -15,6 +15,9 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use minipool::ThreadPool;
 
 use crate::error::{EngineError, EngineResult};
 use crate::frame::Frame;
@@ -61,11 +64,16 @@ struct TableEntry {
     /// The most recent appended batch and its absolute start row —
     /// the zero-copy fast path of [`Catalog::delta_since`].
     last_batch: Option<(u64, Frame)>,
+    /// Per-shard row buckets of `last_batch`, computed eagerly at
+    /// append time when the catalog has a partitioning policy — the
+    /// sharded incremental path then routes the delta without
+    /// re-hashing the key column. Lives and dies with `last_batch`.
+    last_split: Option<(u64, Arc<Vec<Vec<u32>>>)>,
 }
 
 impl TableEntry {
     fn new(frame: Frame) -> Self {
-        TableEntry { frame, epoch: next_epoch(), evicted: 0, last_batch: None }
+        TableEntry { frame, epoch: next_epoch(), evicted: 0, last_batch: None, last_split: None }
     }
 
     /// Total rows ever appended (absolute high mark).
@@ -87,12 +95,24 @@ impl TableEntry {
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
     tables: HashMap<String, TableEntry>,
+    /// Stream partitioning policy: `(key column, shard count)`. When
+    /// set (and the shard count is > 1), every appended batch is
+    /// eagerly split into per-shard row buckets by a hash of the key,
+    /// cached alongside the batch for the sharded incremental path.
+    partitioning: Option<(String, usize)>,
 }
 
 impl Catalog {
     /// Empty catalog.
     pub fn new() -> Self {
         Catalog::default()
+    }
+
+    /// Declare the stream partitioning policy (see [`Catalog`] docs).
+    /// Applies to batches appended from now on; tables whose schema
+    /// lacks the key column are simply never split.
+    pub fn set_partitioning(&mut self, key: &str, shards: usize) {
+        self.partitioning = if shards > 1 { Some((key.to_string(), shards)) } else { None };
     }
 
     /// Register a table. Fails if the name is taken.
@@ -130,8 +150,46 @@ impl Catalog {
         }
         let start = entry.high();
         entry.frame.append_copy(&batch)?;
+        entry.last_split = match &self.partitioning {
+            Some((key, shards)) if *shards > 1 => {
+                batch.schema.try_resolve(None, key).map(|ci| {
+                    let split = crate::plan::sharded::split_indices(
+                        batch.column(ci),
+                        *shards,
+                        ThreadPool::global(),
+                    );
+                    (start, Arc::new(split))
+                })
+            }
+            _ => None,
+        };
         entry.last_batch = Some((start, batch));
         Ok(())
+    }
+
+    /// The cached per-shard split of a table's most recent batch, when
+    /// one was computed under a matching partitioning policy: the
+    /// batch's absolute start row plus one row-index bucket per shard.
+    /// `None` whenever the policy differs or no split is cached — the
+    /// caller then hashes the delta itself.
+    pub(crate) fn last_batch_split(
+        &self,
+        name: &str,
+        key: &str,
+        shards: usize,
+    ) -> Option<(u64, Arc<Vec<Vec<u32>>>)> {
+        let (pkey, pshards) = self.partitioning.as_ref()?;
+        if !pkey.eq_ignore_ascii_case(key) || *pshards != shards {
+            return None;
+        }
+        let entry = self.tables.get(&name.to_ascii_lowercase())?;
+        let (start, split) = entry.last_split.as_ref()?;
+        let (bstart, batch) = entry.last_batch.as_ref()?;
+        // the split must describe exactly the cached last batch
+        if bstart != start || split.iter().map(Vec::len).sum::<usize>() != batch.len() {
+            return None;
+        }
+        Some((*start, Arc::clone(split)))
     }
 
     /// Evict the oldest `rows` rows of a table (stream retention). The
@@ -149,6 +207,7 @@ impl Catalog {
         if let Some((start, _)) = entry.last_batch {
             if start < entry.evicted {
                 entry.last_batch = None;
+                entry.last_split = None;
             }
         }
         Ok(())
@@ -215,6 +274,7 @@ impl Catalog {
             if let Some(entry) = self.tables.get_mut(name) {
                 entry.frame = Frame::empty(entry.frame.schema.clone());
                 entry.last_batch = None;
+                entry.last_split = None;
             }
         }
     }
@@ -246,6 +306,7 @@ impl Catalog {
         entry.epoch = next_epoch();
         entry.evicted = 0;
         entry.last_batch = None;
+        entry.last_split = None;
         Ok(&mut entry.frame)
     }
 

@@ -46,7 +46,7 @@ pub use exec::{ExecMode, ExecOptions, Executor};
 pub use frame::{Frame, Row};
 pub use plan::{
     CompiledPlan, DeltaInput, ExprProgram, IncrementalPlan, IncrementalRun, IncrementalState,
-    PlanCache, PlanCacheStats,
+    PlanCache, PlanCacheStats, ShardSpec,
 };
 pub use schema::{Column, Schema};
 pub use stream::{SensorFilter, SlidingWindow, WindowSpec};

@@ -36,9 +36,10 @@ use std::sync::Arc;
 
 use minipool::ThreadPool;
 
+use super::sharded::{refresh_having_mask, ShardedGroupedState};
 use super::{
-    agg_finalize, compile_query, filter_rows_parallel, schema_fingerprint, AggBody, ArgFold,
-    ArgStep, Body, DTypeSrc, ExprProgram, Executor, FxHashMap, PNode, ProjStep,
+    agg_finalize_masked, compile_query, filter_rows_parallel, schema_fingerprint, AggBody,
+    ArgFold, ArgStep, Body, DTypeSrc, ExprProgram, Executor, FxHashMap, PNode, ProjStep,
 };
 use crate::catalog::Watermark;
 use crate::column::ColumnData;
@@ -58,19 +59,19 @@ use crate::value::{DataType, GroupKey, Value};
 #[derive(Debug, Clone)]
 pub struct IncrementalPlan {
     /// Base table the stage reads.
-    table: String,
+    pub(super) table: String,
     /// Input schema the programs were compiled against (base schema
     /// qualified with the scan source), kept for evaluation contexts.
-    in_schema: Schema,
+    pub(super) in_schema: Schema,
     /// Compiled `WHERE` program, applied to every delta batch.
-    filter: Option<ExprProgram>,
-    kind: IncKind,
-    tables: Vec<String>,
-    fingerprint: u64,
+    pub(super) filter: Option<ExprProgram>,
+    pub(super) kind: IncKind,
+    pub(super) tables: Vec<String>,
+    pub(super) fingerprint: u64,
 }
 
 #[derive(Debug, Clone)]
-enum IncKind {
+pub(super) enum IncKind {
     /// Stateless filter/projection: cached output + per-tick append.
     Append {
         items: Vec<ProjStep>,
@@ -93,6 +94,19 @@ impl IncrementalPlan {
     pub fn is_grouped(&self) -> bool {
         matches!(self.kind, IncKind::Grouped(_))
     }
+
+    /// Ordinal of the partition-key column `key` in the plan's input
+    /// schema, when this plan qualifies for partition-parallel (sharded)
+    /// execution: grouped aggregation with a non-empty `GROUP BY` and no
+    /// DISTINCT aggregate call (DISTINCT de-duplication is not mergeable
+    /// across shards; global aggregation has nothing to partition).
+    pub(crate) fn shard_key_col(&self, key: &str) -> Option<usize> {
+        let IncKind::Grouped(body) = &self.kind else { return None };
+        if body.group.is_empty() || body.calls.iter().any(|c| c.distinct) {
+            return None;
+        }
+        self.in_schema.try_resolve(None, key)
+    }
 }
 
 /// Where a tick's delta comes from.
@@ -114,6 +128,7 @@ pub enum DeltaInput<'a> {
 }
 
 /// One tick's product of [`Executor::run_incremental`].
+#[derive(Debug)]
 pub struct IncrementalRun {
     /// The stage's full logical output — identical to what the
     /// full-rescan plan would produce over the full input.
@@ -138,12 +153,16 @@ pub struct IncrementalRun {
 /// [`IncrementalPlan`].
 #[derive(Debug, Default)]
 pub struct IncrementalState {
-    mark: Option<Watermark>,
-    data: StateData,
+    pub(super) mark: Option<Watermark>,
+    pub(super) data: StateData,
     /// Fingerprint of the plan the state was folded under: a
     /// recompiled plan (schema change) must never fold into state built
     /// by its predecessor.
-    plan_fp: Option<u64>,
+    pub(super) plan_fp: Option<u64>,
+    /// Cumulative count of groups whose HAVING predicate was
+    /// (re-)evaluated (diagnostic): pins the dirty-mask contract that
+    /// HAVING costs O(groups *touched* per tick), not O(all groups).
+    pub(super) having_evals: u64,
 }
 
 impl IncrementalState {
@@ -158,12 +177,21 @@ impl IncrementalState {
             StateData::Empty => 0,
             StateData::Append { rows_in, .. } => *rows_in,
             StateData::Grouped(g) => g.rows,
+            StateData::Sharded(s) => s.rows_seen(),
         }
+    }
+
+    /// Cumulative number of groups whose HAVING predicate has been
+    /// evaluated across all ticks (diagnostic). Grows by the number of
+    /// groups *touched* per tick — a regression guard against HAVING
+    /// re-evaluation over every group.
+    pub fn having_groups_evaluated(&self) -> u64 {
+        self.having_evals
     }
 }
 
 #[derive(Debug, Default)]
-enum StateData {
+pub(super) enum StateData {
     #[default]
     Empty,
     Append {
@@ -174,6 +202,9 @@ enum StateData {
         rows_in: u64,
     },
     Grouped(GroupState),
+    /// Partition-parallel grouped aggregation: per-shard fold states
+    /// plus the merged (cross-shard) group view.
+    Sharded(ShardedGroupedState),
 }
 
 /// Per-group accumulator state of a grouped-aggregation stage.
@@ -186,29 +217,41 @@ enum StateData {
 /// their cached finish values are exactly what a rebuild would
 /// recompute.
 #[derive(Debug)]
-struct GroupState {
+pub(super) struct GroupState {
     /// Group key → dense group id, in first-appearance order.
-    slots: FxHashMap<SlotKey, u32>,
+    pub(super) slots: FxHashMap<SlotKey, u32>,
     /// Number of groups (tracked explicitly: `calls` may be empty).
-    n_groups: u32,
+    pub(super) n_groups: u32,
     /// Representative (first-row) values per group, one buffer per
     /// `rep_cols` entry; appended at group creation.
-    reps: Vec<Arc<ColumnData>>,
+    pub(super) reps: Vec<Arc<ColumnData>>,
     /// `accs[call][group]`.
-    accs: Vec<Vec<Accumulator>>,
+    pub(super) accs: Vec<Vec<Accumulator>>,
     /// Cached `accs[call][group].finish()` per call, updated for the
     /// groups touched by each fold.
-    vals: Vec<Arc<ColumnData>>,
+    pub(super) vals: Vec<Arc<ColumnData>>,
     /// Scratch: group ids touched by the current fold.
-    touched: Vec<u32>,
+    pub(super) touched: Vec<u32>,
     /// Input rows folded.
-    rows: u64,
+    pub(super) rows: u64,
     /// Global aggregation: has the representative row been captured?
-    have_global_rep: bool,
+    pub(super) have_global_rep: bool,
+    /// Cached HAVING mask (one bool per group), maintained for the
+    /// touched groups per tick. `None` when the plan has no HAVING or
+    /// aggregates globally (one group — nothing to save).
+    pub(super) having: Option<Vec<bool>>,
+    /// Sharded mode only: stream position of each group's first row
+    /// (assigned pre-filter, since the last rebuild) — orders merged
+    /// group ids identically to an unsharded fold.
+    pub(super) first_rows: Vec<u64>,
+    /// Sharded mode only (scratch, one entry per group created by the
+    /// current fold): the new groups' keys, for insertion into the
+    /// cross-shard merged map.
+    pub(super) new_keys: Vec<SlotKey>,
 }
 
 impl GroupState {
-    fn new(body: &AggBody, in_schema: &Schema) -> GroupState {
+    pub(super) fn new(body: &AggBody, in_schema: &Schema) -> GroupState {
         let mut state = GroupState {
             slots: FxHashMap::default(),
             n_groups: 0,
@@ -222,6 +265,13 @@ impl GroupState {
             touched: Vec::new(),
             rows: 0,
             have_global_rep: false,
+            having: if body.group.is_empty() {
+                None
+            } else {
+                body.having.as_ref().map(|_| Vec::new())
+            },
+            first_rows: Vec::new(),
+            new_keys: Vec::new(),
         };
         if body.group.is_empty() {
             // the global group always exists; zero folded rows must
@@ -240,8 +290,8 @@ impl GroupState {
     }
 }
 
-#[derive(Debug, PartialEq, Eq, Hash)]
-enum SlotKey {
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(super) enum SlotKey {
     One(GroupKey),
     Many(Vec<GroupKey>),
 }
@@ -325,23 +375,17 @@ impl<'a> Executor<'a> {
         Ok(Some(IncrementalPlan { table, in_schema, filter, kind, tables, fingerprint }))
     }
 
-    /// One tick of an incremental plan: resolve the delta (from the
-    /// catalog watermark or pushed by an upstream stage), fold it into
-    /// `state`, and return the stage's **full** result — identical to
-    /// running the compiled full-rescan plan over the full input.
-    ///
-    /// When the delta is not derivable (first run, retention eviction,
-    /// table replacement, upstream reset), the state is rebuilt from
-    /// the full input transparently and `reset` is flagged so
-    /// downstream consumers rebuild too.
-    pub fn run_incremental(
+    /// Resolve one tick's delta for `plan`: the appended suffix since
+    /// `state`'s watermark (from the catalog, or pushed by an upstream
+    /// stage), or the full input with `reset` when no delta is
+    /// derivable. Shared by the serial and sharded incremental paths.
+    pub(super) fn resolve_delta(
         &self,
         plan: &IncrementalPlan,
-        state: &mut IncrementalState,
+        state: &IncrementalState,
         input: DeltaInput<'_>,
-    ) -> EngineResult<IncrementalRun> {
-        // 1. resolve the delta and whether the state survives
-        let (delta, mut reset, mark) = match input {
+    ) -> EngineResult<(Frame, bool, Option<Watermark>)> {
+        Ok(match input {
             DeltaInput::Source => {
                 if schema_fingerprint(self.catalog, &plan.tables) != plan.fingerprint {
                     return Err(EngineError::StalePlan);
@@ -362,8 +406,26 @@ impl<'a> Executor<'a> {
                 }
                 (delta.clone(), reset, None)
             }
-        };
-        let input_rows = delta.len();
+        })
+    }
+
+    /// One tick of an incremental plan: resolve the delta (from the
+    /// catalog watermark or pushed by an upstream stage), fold it into
+    /// `state`, and return the stage's **full** result — identical to
+    /// running the compiled full-rescan plan over the full input.
+    ///
+    /// When the delta is not derivable (first run, retention eviction,
+    /// table replacement, upstream reset), the state is rebuilt from
+    /// the full input transparently and `reset` is flagged so
+    /// downstream consumers rebuild too.
+    pub fn run_incremental(
+        &self,
+        plan: &IncrementalPlan,
+        state: &mut IncrementalState,
+        input: DeltaInput<'_>,
+    ) -> EngineResult<IncrementalRun> {
+        // 1. resolve the delta and whether the state survives
+        let (mut delta, mut reset, mark) = self.resolve_delta(plan, state, input)?;
         // a state of the wrong shape — fresh, folded under a different
         // plan (recompilation after a schema change), or of the other
         // kind — always rebuilds
@@ -374,16 +436,21 @@ impl<'a> Executor<'a> {
                     | (IncKind::Grouped(_), StateData::Grouped(_))
             );
         if !compatible {
-            // a pushed partial delta cannot rebuild state from scratch:
-            // the caller must re-run with the full input (the driver
-            // resets the whole pipeline state and retries once).
-            // `mark` is `Some` exactly for `Source` input, where the
-            // full table is available and a rescan is always possible.
-            if !reset && mark.is_none() {
-                return Err(EngineError::StalePlan);
+            if !reset {
+                // a pushed partial delta cannot rebuild state from
+                // scratch: the caller must re-run with the full input
+                // (the driver resets the whole pipeline state and
+                // retries once). `mark` is `Some` exactly for `Source`
+                // input, where the full table is available — the
+                // rebuild rescans it right here.
+                if mark.is_none() {
+                    return Err(EngineError::StalePlan);
+                }
+                delta = self.catalog.get(&plan.table)?.clone();
             }
             reset = true;
         }
+        let input_rows = delta.len();
         state.plan_fp = Some(plan.fingerprint);
 
         // 2. filter the delta (programs are subquery-free by
@@ -436,12 +503,19 @@ impl<'a> Executor<'a> {
                 if reset {
                     state.data = StateData::Grouped(GroupState::new(body, &plan.in_schema));
                 }
+                let having_evals = &mut state.having_evals;
                 let StateData::Grouped(gs) = &mut state.data else {
                     unreachable!("reset guarantees matching state")
                 };
-                let run = fold_grouped(body, gs, &fd, &ctx).and_then(|()| {
+                let run = fold_grouped(body, gs, &fd, &ctx, None).and_then(|()| {
                     let ext = build_state_ext(body, gs, &plan.in_schema)?;
-                    agg_finalize(self, body, ext)
+                    if let (Some(h), Some(mask)) = (&body.having, gs.having.as_mut()) {
+                        *having_evals += refresh_having_mask(h, &ext, &gs.touched, mask)?;
+                    } else if body.having.is_some() {
+                        // uncached (global aggregation): full evaluation
+                        *having_evals += ext.len() as u64;
+                    }
+                    agg_finalize_masked(self, body, ext, gs.having.as_deref())
                 });
                 match run {
                     Ok(result) => {
@@ -467,16 +541,26 @@ impl<'a> Executor<'a> {
 /// processed in ascending order, so each group's accumulator sees its
 /// rows in exactly the order the rescan kernels would — results,
 /// including floating-point sums, are identical.
-fn fold_grouped(
+///
+/// `positions` (sharded mode) carries one global stream position per
+/// row of `fd`; each newly-created group records its first position in
+/// [`GroupState::first_rows`] and its key in [`GroupState::new_keys`]
+/// so the cross-shard merge can re-establish global first-appearance
+/// order. Pass `None` on the serial path — zero overhead.
+pub(super) fn fold_grouped(
     body: &AggBody,
     gs: &mut GroupState,
     fd: &Frame,
     ctx: &EvalContext<'_>,
+    positions: Option<&[u64]>,
 ) -> EngineResult<()> {
+    gs.touched.clear();
+    gs.new_keys.clear();
     let n = fd.len();
     if n == 0 {
         return Ok(());
     }
+    debug_assert!(positions.is_none_or(|p| p.len() == n));
     let key_cols: Vec<Arc<ColumnData>> = body
         .group
         .iter()
@@ -503,7 +587,6 @@ fn fold_grouped(
         .collect();
 
     let global = body.group.is_empty();
-    gs.touched.clear();
     for ri in 0..n {
         let gid = if global {
             if !gs.have_global_rep {
@@ -526,6 +609,10 @@ fn fold_grouped(
                     }
                     for (buf, &ci) in gs.reps.iter_mut().zip(&body.rep_cols) {
                         Arc::make_mut(buf).push(fd.column(ci).value(ri));
+                    }
+                    if let Some(pos) = positions {
+                        gs.first_rows.push(pos[ri]);
+                        gs.new_keys.push(e.key().clone());
                     }
                     e.insert(gid);
                     gid as usize

@@ -27,9 +27,11 @@
 
 mod incremental;
 mod program;
+pub(crate) mod sharded;
 
 pub use incremental::{DeltaInput, IncrementalPlan, IncrementalRun, IncrementalState};
 pub use program::ExprProgram;
+pub use sharded::ShardSpec;
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -996,18 +998,33 @@ fn exec_agg(exec: &Executor<'_>, body: &AggBody, input: Frame) -> EngineResult<F
 /// rebuilds only the extended frame from its accumulator state and
 /// re-runs this tail, `O(groups)` per tick).
 fn agg_finalize(exec: &Executor<'_>, body: &AggBody, ext_all: Frame) -> EngineResult<Frame> {
+    agg_finalize_masked(exec, body, ext_all, None)
+}
+
+/// [`agg_finalize`] with an optional pre-computed HAVING mask (one bool
+/// per extended-frame row). The incremental paths maintain the mask
+/// between ticks and re-evaluate only the groups touched by a fold, so
+/// passing it here makes HAVING `O(touched groups)` per tick instead of
+/// `O(all groups)`.
+fn agg_finalize_masked(
+    exec: &Executor<'_>,
+    body: &AggBody,
+    ext_all: Frame,
+    mask: Option<&[bool]>,
+) -> EngineResult<Frame> {
     let subquery_fn = |q: &Query| exec.execute_ast(q);
 
     // 5. HAVING over the extended frame
-    let ext = match &body.having {
-        Some(h) => {
+    let ext = match (&body.having, mask) {
+        (Some(_), Some(mask)) => filter_rows_parallel(&ext_all, mask, ThreadPool::global()),
+        (Some(h), None) => {
             let mask = {
                 let ctx = EvalContext { schema: &ext_all.schema, subquery: Some(&subquery_fn) };
                 h.eval_mask(&ext_all, &ctx)?
             };
             filter_rows_parallel(&ext_all, &mask, ThreadPool::global())
         }
-        None => ext_all,
+        (None, _) => ext_all,
     };
 
     // 6. projection over the extended frame

@@ -167,6 +167,12 @@ impl ProcessingChain {
         &self.nodes
     }
 
+    /// Mutable access to every node, e.g. to configure the catalogs'
+    /// stream partitioning policy.
+    pub fn nodes_mut(&mut self) -> &mut [Node] {
+        &mut self.nodes
+    }
+
     /// Append a stream batch to a table at a named node — the chain-level
     /// ingest path of the continuous-query runtime.
     pub fn ingest(&mut self, node: &str, table: &str, batch: Frame) -> NodeResult<()> {

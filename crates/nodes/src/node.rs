@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use paradise_engine::plan::{ast_key, PlanCache, PlanCacheStats};
 use paradise_engine::{
-    Catalog, CompiledPlan, DeltaInput, Executor, Frame, IncrementalState,
+    Catalog, CompiledPlan, DeltaInput, Executor, Frame, IncrementalState, ShardSpec,
 };
 use paradise_sql::analysis::{base_relations, block_features, deep_features, FeatureSet};
 use paradise_sql::ast::Query;
@@ -259,12 +259,18 @@ impl Node {
     /// only a schema husk, the caller passes the logical input size as
     /// `input_bytes_hint` so the §3.1 capacity bound still binds.
     /// Statistics account the rows actually consumed.
+    ///
+    /// With a `shard` spec, grouped-aggregation stages run
+    /// partition-parallel over the spec's shard count
+    /// ([`paradise_engine::ShardSpec`]); every other shape (and shard
+    /// count 1) takes the serial path with identical semantics.
     pub fn try_execute_delta(
         &mut self,
         fragment: &Query,
         input: DeltaInput<'_>,
         state: &mut IncrementalState,
         input_bytes_hint: Option<usize>,
+        shard: Option<&ShardSpec>,
     ) -> NodeResult<Option<DeltaOutcome>> {
         let key = ast_key(fragment);
         self.admit(fragment, key, input_bytes_hint)?;
@@ -272,7 +278,10 @@ impl Node {
         let (_, inc) =
             self.plans.get_or_compile_with_incremental(&executor, fragment, self.plan_salt);
         let Some(inc) = inc else { return Ok(None) };
-        let run = executor.run_incremental(&inc, state, input)?;
+        let run = match shard {
+            Some(spec) => executor.run_incremental_sharded(&inc, state, input, spec)?,
+            None => executor.run_incremental(&inc, state, input)?,
+        };
         let input_rows = run.input_rows;
         let outcome = match run.delta {
             Some(delta) => {

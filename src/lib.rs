@@ -35,7 +35,12 @@
 //! Results are identical to a full rescan; see the README's
 //! "Incremental (delta-aware) tick execution" section for the shape
 //! table, and `Runtime::with_incremental(false)` for the reference
-//! full-rescan mode.
+//! full-rescan mode. For many-user streams,
+//! [`Runtime::with_partitioning`](crate::core::Runtime::with_partitioning)
+//! shards each stream by a hash of a declared partition key and folds
+//! tick work partition-parallel over the thread pool — same results,
+//! per-tick cost split across shards (README "Sharding" section,
+//! `examples/sharded_users.rs`).
 //!
 //! ```
 //! use paradise::prelude::*;

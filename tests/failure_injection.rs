@@ -240,6 +240,143 @@ fn info_gain_rejection_names_the_numbers() {
 }
 
 // --------------------------------------------------------------------
+// sharded (partition-parallel) execution failures
+// --------------------------------------------------------------------
+
+fn users_frame(rows: usize) -> Frame {
+    let schema = Schema::from_pairs(&[("uid", DataType::Integer), ("v", DataType::Integer)]);
+    let data = (0..rows)
+        .map(|i| vec![Value::Int((i % 13) as i64), Value::Int(i as i64)])
+        .collect();
+    Frame::new(schema, data).unwrap()
+}
+
+#[test]
+fn sharded_partial_delta_without_matching_state_signals_stale_plan() {
+    use paradise::engine::{DeltaInput, EngineError, IncrementalState, ShardSpec};
+
+    let mut catalog = Catalog::new();
+    catalog.register("s", users_frame(100)).unwrap();
+    let q = parse_query("SELECT uid, SUM(v) AS sv FROM s GROUP BY uid").unwrap();
+    let executor = Executor::new(&catalog);
+    let plan = executor.compile_incremental(&q).unwrap().unwrap();
+    let spec = ShardSpec::new("uid", 4);
+
+    // a pushed partial delta into a *fresh* state cannot be folded —
+    // the engine must refuse with the retryable StalePlan signal, never
+    // silently produce a partial aggregate
+    let delta = users_frame(10);
+    let mut fresh = IncrementalState::new();
+    let err = executor
+        .run_incremental_sharded(
+            &plan,
+            &mut fresh,
+            DeltaInput::Pushed { delta: &delta, reset: false },
+            &spec,
+        )
+        .unwrap_err();
+    assert!(matches!(err, EngineError::StalePlan), "got {err}");
+
+    // same signal when the shard count changed under a live state: the
+    // old routing is unusable for a partial delta
+    let mut st = IncrementalState::new();
+    executor.run_incremental_sharded(&plan, &mut st, DeltaInput::Source, &spec).unwrap();
+    let err = executor
+        .run_incremental_sharded(
+            &plan,
+            &mut st,
+            DeltaInput::Pushed { delta: &delta, reset: false },
+            &ShardSpec::new("uid", 8),
+        )
+        .unwrap_err();
+    assert!(matches!(err, EngineError::StalePlan), "got {err}");
+}
+
+#[test]
+fn shard_count_change_over_source_input_rebuilds_all_shards() {
+    use paradise::engine::{DeltaInput, IncrementalState, ShardSpec};
+
+    let mut catalog = Catalog::new();
+    catalog.register("s", users_frame(200)).unwrap();
+    let q = parse_query("SELECT uid, SUM(v) AS sv FROM s GROUP BY uid ORDER BY uid").unwrap();
+    let executor = Executor::new(&catalog);
+    let plan = executor.compile_incremental(&q).unwrap().unwrap();
+
+    let mut st = IncrementalState::new();
+    executor
+        .run_incremental_sharded(&plan, &mut st, DeltaInput::Source, &ShardSpec::new("uid", 4))
+        .unwrap();
+    assert_eq!(st.rows_seen(), 200);
+
+    // source-backed input carries the full window, so a shard-count
+    // change rebuilds coherently instead of failing — and the rebuilt
+    // result is exact against the one-shot executor
+    let run = executor
+        .run_incremental_sharded(&plan, &mut st, DeltaInput::Source, &ShardSpec::new("uid", 8))
+        .unwrap();
+    assert!(run.reset, "routing change must rebuild, not fold");
+    assert_eq!(run.result.to_rows(), executor.execute(&q).unwrap().to_rows());
+}
+
+#[test]
+fn sharded_fold_failure_is_all_or_nothing() {
+    use paradise::engine::{DeltaInput, IncrementalState, ShardSpec};
+
+    // SUM over a Text column: NULLs fold fine, a non-numeric string
+    // errors mid-fold on exactly one shard while others succeed
+    let schema = Schema::from_pairs(&[("uid", DataType::Integer), ("w", DataType::Text)]);
+    let ok = Frame::new(
+        schema.clone(),
+        (0..60).map(|i| vec![Value::Int(i % 13), Value::Null]).collect(),
+    )
+    .unwrap();
+    let bad =
+        Frame::new(schema, vec![vec![Value::Int(5), Value::Str("not a number".into())]]).unwrap();
+
+    let mut catalog = Catalog::new();
+    catalog.set_partitioning("uid", 4);
+    catalog.register("s", ok).unwrap();
+    let q = parse_query("SELECT uid, SUM(w) AS sw FROM s GROUP BY uid ORDER BY uid").unwrap();
+    let spec = ShardSpec::new("uid", 4);
+    let mut st = IncrementalState::new();
+    {
+        let executor = Executor::new(&catalog);
+        let plan = executor.compile_incremental(&q).unwrap().unwrap();
+        executor.run_incremental_sharded(&plan, &mut st, DeltaInput::Source, &spec).unwrap();
+    }
+    assert_eq!(st.rows_seen(), 60);
+
+    catalog.append("s", bad).unwrap();
+    {
+        let executor = Executor::new(&catalog);
+        let plan = executor.compile_incremental(&q).unwrap().unwrap();
+        assert!(executor
+            .run_incremental_sharded(&plan, &mut st, DeltaInput::Source, &spec)
+            .is_err());
+    }
+    // the failing tick must not leave the folds of the *other* shards
+    // observable: the whole state poisons at once
+    assert_eq!(st.rows_seen(), 0, "no partial merge may survive a failed tick");
+
+    // recovery: once the poisonous batch is evicted the next tick
+    // rebuilds every shard from the clean window and matches a rescan
+    catalog.evict_front("s", 61).unwrap();
+    let clean = Frame::new(
+        Schema::from_pairs(&[("uid", DataType::Integer), ("w", DataType::Text)]),
+        (0..40).map(|i| vec![Value::Int(i % 7), Value::Null]).collect(),
+    )
+    .unwrap();
+    catalog.append("s", clean).unwrap();
+    let executor = Executor::new(&catalog);
+    let plan = executor.compile_incremental(&q).unwrap().unwrap();
+    let run = executor
+        .run_incremental_sharded(&plan, &mut st, DeltaInput::Source, &spec)
+        .unwrap();
+    assert!(run.reset, "recovery rebuilds from scratch");
+    assert_eq!(run.result.to_rows(), executor.execute(&q).unwrap().to_rows());
+}
+
+// --------------------------------------------------------------------
 // anonymization failures
 // --------------------------------------------------------------------
 

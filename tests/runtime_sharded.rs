@@ -1,0 +1,333 @@
+//! Partition-parallel (sharded) tick execution over the façade:
+//! `Runtime::with_partitioning` must be a pure execution strategy —
+//! results bitwise-identical to serial incremental execution, to the
+//! full-rescan reference, and to a fresh one-shot `Processor`, across
+//! shard counts, randomized ingest/tick/evict/policy-swap schedules,
+//! and whatever `PARADISE_THREADS` the CI matrix sets.
+//!
+//! All stream data here is integer-valued: integer sums are exact in
+//! f64, so equality assertions are exact even for groups that would
+//! re-associate accumulation across shards.
+
+use proptest::prelude::*;
+
+use paradise::prelude::*;
+
+const PAPER_ORIGINAL: &str = "SELECT regr_intercept(y, x) OVER (PARTITION BY z ORDER BY t) \
+                              FROM (SELECT x, y, z, t FROM stream)";
+
+/// One query that rewrites to the incrementally-maintained (and thus
+/// shardable) aggregation, one window query exercising the full-mode
+/// stage above the aggregation barrier.
+const QUERIES: &[&str] = &["SELECT x, y, z, t FROM stream", PAPER_ORIGINAL];
+
+/// The figure-4-shaped policy of the continuous-runtime suite: `z` is
+/// only released aggregated (AVG over GROUP BY x, y with a SUM HAVING
+/// threshold), so registered queries rewrite to the grouped shape the
+/// sharded driver maintains.
+fn policy_variant(module: &str, z_limit: i64, sum_threshold: i64) -> ModulePolicy {
+    let mut m = ModulePolicy::new(module);
+    m.attributes
+        .push(AttributeRule::allowed("x").with_condition(parse_expr("x > y").unwrap()));
+    m.attributes.push(AttributeRule::allowed("y"));
+    m.attributes.push(
+        AttributeRule::allowed("z")
+            .with_condition(parse_expr(&format!("z < {z_limit}")).unwrap())
+            .with_aggregation(
+                AggregationSpec::new("AVG")
+                    .group_by(&["x", "y"])
+                    .having(parse_expr(&format!("SUM(z) > {sum_threshold}")).unwrap()),
+            ),
+    );
+    m.attributes.push(AttributeRule::allowed("t"));
+    m
+}
+
+/// A deterministic integer "many users" stream: `x` is the user id
+/// (the partition key), `(x, y)` the group key, `z` the aggregated
+/// measure, `t` a unique timestamp. splitmix64-style, no external RNG.
+fn users(seed: u64, rows: usize) -> Frame {
+    let schema = Schema::from_pairs(&[
+        ("x", DataType::Integer),
+        ("y", DataType::Integer),
+        ("z", DataType::Integer),
+        ("t", DataType::Integer),
+    ]);
+    let mut s = seed;
+    let mut next = || {
+        s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let data = (0..rows)
+        .map(|i| {
+            let x = (next() % 17) as i64;
+            let y = (next() % 5) as i64;
+            let z = (next() % 9) as i64 - 2;
+            let t = (seed * 1_000_000 + i as u64) as i64;
+            vec![Value::Int(x), Value::Int(y), Value::Int(z), Value::Int(t)]
+        })
+        .collect();
+    Frame::new(schema, data).unwrap()
+}
+
+/// Build a runtime over the apartment chain with one module per corpus
+/// query. `shards` = `None` keeps the serial incremental path,
+/// `Some(n)` declares n-way partitioning by `x`; `incremental = false`
+/// is the full-rescan reference.
+fn build(shards: Option<usize>, incremental: bool, cap: usize, source: &Frame) -> Runtime {
+    let mut rt = Runtime::new(ProcessingChain::apartment())
+        .with_retention(cap)
+        .with_incremental(incremental);
+    if let Some(n) = shards {
+        rt = rt.with_partitioning("x", n);
+    }
+    for (i, _) in QUERIES.iter().enumerate() {
+        rt.set_policy(format!("Mod{i}"), policy_variant(&format!("Mod{i}"), 2, 50));
+    }
+    rt.install_source("motion-sensor", "stream", source.clone()).unwrap();
+    for (i, q) in QUERIES.iter().enumerate() {
+        rt.register(&format!("Mod{i}"), &parse_query(q).unwrap()).unwrap();
+    }
+    rt
+}
+
+/// Fixed-schedule determinism: the exact same ingest/evict/policy-swap
+/// schedule must produce identical per-tick outcomes at every shard
+/// count — and identical to the full-rescan reference — regardless of
+/// the thread count the CI matrix runs this under.
+#[test]
+fn shard_count_never_changes_results() {
+    let source = users(42, 300);
+    let cap = 600;
+    let mut variants: Vec<(usize, Runtime)> =
+        [1usize, 4, 64].iter().map(|&n| (n, build(Some(n), true, cap, &source))).collect();
+    let mut rescan = build(None, false, cap, &source);
+
+    for step in 0..6u64 {
+        match step {
+            2 => {
+                // eviction: overrun the retention slack, all states rebuild
+                let batch = users(1000 + step, 700);
+                for (_, rt) in &mut variants {
+                    rt.ingest("motion-sensor", "stream", batch.clone()).unwrap();
+                }
+                rescan.ingest("motion-sensor", "stream", batch).unwrap();
+            }
+            4 => {
+                // live policy swap on the aggregation module
+                for (_, rt) in &mut variants {
+                    rt.set_policy("Mod0", policy_variant("Mod0", 3, 0));
+                }
+                rescan.set_policy("Mod0", policy_variant("Mod0", 3, 0));
+            }
+            _ => {
+                let batch = users(100 + step, 120);
+                for (_, rt) in &mut variants {
+                    rt.ingest("motion-sensor", "stream", batch.clone()).unwrap();
+                }
+                rescan.ingest("motion-sensor", "stream", batch).unwrap();
+            }
+        }
+        let expect = rescan.tick().unwrap();
+        for (n, rt) in &mut variants {
+            let got = rt.tick().unwrap();
+            assert_eq!(got.len(), expect.len());
+            for ((hg, og), (he, oe)) in got.iter().zip(&expect) {
+                assert_eq!(hg, he, "shards={n} step={step}: handle order");
+                assert_eq!(
+                    og.result.to_rows(),
+                    oe.result.to_rows(),
+                    "shards={n} step={step}: result diverges from full rescan"
+                );
+                assert_eq!(og.shipped, oe.shipped, "shards={n} step={step}: shipped rows");
+                assert_eq!(og.anonymized_at, oe.anonymized_at);
+            }
+        }
+    }
+}
+
+/// The sharded path must still be exact after the engine signals
+/// `StalePlan` internally (plan recompiled mid-stream): forcing a
+/// source replacement rebuilds every shard coherently.
+#[test]
+fn source_replacement_rebuilds_all_shards_coherently() {
+    let mut sharded = build(Some(4), true, 5000, &users(7, 200));
+    let mut rescan = build(None, false, 5000, &users(7, 200));
+    sharded.tick().unwrap();
+    rescan.tick().unwrap();
+
+    // wholesale source replacement: shard states must rebuild, not fold
+    let replacement = users(8, 250);
+    sharded.install_source("motion-sensor", "stream", replacement.clone()).unwrap();
+    rescan.install_source("motion-sensor", "stream", replacement).unwrap();
+    let a = sharded.tick().unwrap();
+    let b = rescan.tick().unwrap();
+    for ((_, oa), (_, ob)) in a.iter().zip(&b) {
+        assert_eq!(oa.result.to_rows(), ob.result.to_rows(), "post-replacement tick");
+    }
+}
+
+/// The dirty-set HAVING regression (large scale): with 100k groups
+/// live, a tick that touches a single group must re-evaluate the
+/// HAVING predicate for exactly one group — on both the serial and the
+/// sharded incremental paths. Counted via the engine's timing-free
+/// `having_groups_evaluated` diagnostic, so the O(total groups) mask
+/// rebuild this replaced cannot regress silently.
+#[test]
+fn having_mask_touches_one_group_per_tick_at_100k_groups() {
+    use paradise::engine::{DeltaInput, Executor, IncrementalState, ShardSpec};
+
+    let schema = Schema::from_pairs(&[("uid", DataType::Integer), ("v", DataType::Integer)]);
+    let seed_frame = Frame::new(
+        schema.clone(),
+        (0..100_000).map(|u| vec![Value::Int(u), Value::Int(1)]).collect(),
+    )
+    .unwrap();
+    let one = |u: i64| {
+        Frame::new(schema.clone(), vec![vec![Value::Int(u), Value::Int(5)]]).unwrap()
+    };
+    let sql = "SELECT uid, SUM(v) AS sv FROM s GROUP BY uid HAVING SUM(v) > 3";
+
+    for shards in [1usize, 8] {
+        let mut cat = Catalog::new();
+        cat.set_partitioning("uid", shards);
+        cat.register("s", seed_frame.clone()).unwrap();
+        let spec = ShardSpec::new("uid", shards);
+        let mut st = IncrementalState::new();
+        let run = |cat: &Catalog, st: &mut IncrementalState| {
+            let ex = Executor::new(cat);
+            let plan = ex.compile_incremental(&parse_query(sql).unwrap()).unwrap().unwrap();
+            ex.run_incremental_sharded(&plan, st, DeltaInput::Source, &spec).unwrap()
+        };
+        run(&cat, &mut st);
+        assert_eq!(
+            st.having_groups_evaluated(),
+            100_000,
+            "shards={shards}: the rebuild evaluates every group once"
+        );
+        for i in 0..10 {
+            cat.append("s", one(i * 997 % 100_000)).unwrap();
+            run(&cat, &mut st);
+        }
+        assert_eq!(
+            st.having_groups_evaluated(),
+            100_010,
+            "shards={shards}: 10 single-group ticks must evaluate exactly 10 groups, \
+             not 10 x 100k"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The tentpole equivalence, runtime-level: over a randomized
+    /// schedule of small ingests, eviction-forcing ingests, data-less
+    /// ticks and live policy swaps, the sharded runtimes (1, 4 and 64
+    /// shards) produce outcomes identical to the serial incremental
+    /// runtime and the full-rescan runtime at every tick — and, at the
+    /// end of the schedule, to a fresh one-shot `Processor` over the
+    /// retained window replaying each module's policy history.
+    #[test]
+    fn sharded_ticks_equal_serial_and_rescan_over_random_schedules(
+        seed in 1u64..400,
+        cap in 300usize..500,
+        ops in proptest::collection::vec(0u8..4, 4..9),
+        z_swap in 1i64..4,
+        sum_swap in proptest::sample::select(vec![0i64, 25, 50]),
+    ) {
+        let source = users(seed, 250);
+        let mut sharded: Vec<(usize, Runtime)> =
+            [1usize, 4, 64].iter().map(|&n| (n, build(Some(n), true, cap, &source))).collect();
+        let mut serial = build(None, true, cap, &source);
+        let mut rescan = build(None, false, cap, &source);
+
+        for (step, op) in ops.iter().enumerate() {
+            let mut everyone = |f: &mut dyn FnMut(&mut Runtime)| {
+                for (_, rt) in &mut sharded {
+                    f(rt);
+                }
+                f(&mut serial);
+                f(&mut rescan);
+            };
+            match op {
+                0 => {
+                    // small batch: folds as a pure delta on every shard
+                    let batch = users(1000 + step as u64, 60);
+                    everyone(&mut |rt| {
+                        rt.ingest("motion-sensor", "stream", batch.clone()).unwrap();
+                    });
+                }
+                1 => {
+                    // big batch: overruns the retention slack and forces
+                    // a batched eviction + rebuild of all shard states
+                    let batch = users(2000 + step as u64, 400);
+                    everyone(&mut |rt| {
+                        rt.ingest("motion-sensor", "stream", batch.clone()).unwrap();
+                    });
+                }
+                2 => {} // data-less tick: empty deltas on every shard
+                _ => {
+                    // live policy swap of one module
+                    let m = format!("Mod{}", step % QUERIES.len());
+                    everyone(&mut |rt| {
+                        rt.set_policy(&m, policy_variant(&m, z_swap, sum_swap));
+                    });
+                }
+            }
+            let expect = rescan.tick().unwrap();
+            let serial_got = serial.tick().unwrap();
+            prop_assert_eq!(serial_got.len(), expect.len());
+            for ((hs, os), (he, oe)) in serial_got.iter().zip(&expect) {
+                prop_assert_eq!(hs, he);
+                prop_assert_eq!(&os.result, &oe.result, "serial != rescan at step {}", step);
+            }
+            for (n, rt) in &mut sharded {
+                let got = rt.tick().unwrap();
+                prop_assert_eq!(got.len(), expect.len());
+                for ((hg, og), (he, oe)) in got.iter().zip(&expect) {
+                    prop_assert_eq!(hg, he);
+                    prop_assert_eq!(
+                        &og.result, &oe.result,
+                        "shards={} != rescan at step {}", n, step
+                    );
+                    prop_assert_eq!(&og.shipped, &oe.shipped);
+                    prop_assert_eq!(&og.anonymized_at, &oe.anonymized_at);
+                }
+            }
+        }
+
+        // final cross-check against the one-shot processor path over
+        // the retained window, replaying each module's policy history
+        let (_, widest) = sharded.last_mut().unwrap();
+        let retained = widest
+            .chain()
+            .node("motion-sensor")
+            .unwrap()
+            .catalog
+            .get("stream")
+            .unwrap()
+            .clone();
+        let last = widest.tick().unwrap();
+        for (i, q) in QUERIES.iter().enumerate() {
+            let module = format!("Mod{i}");
+            let was_swapped = ops
+                .iter()
+                .enumerate()
+                .any(|(step, op)| *op >= 3 && step % QUERIES.len() == i);
+            let policy = if was_swapped {
+                policy_variant(&module, z_swap, sum_swap)
+            } else {
+                policy_variant(&module, 2, 50)
+            };
+            let mut processor =
+                Processor::new(ProcessingChain::apartment()).with_policy(&module, policy);
+            processor.install_source("motion-sensor", "stream", retained.clone()).unwrap();
+            let reference = processor.run(&module, &parse_query(q).unwrap()).unwrap();
+            prop_assert_eq!(&last[i].1.result, &reference.result, "one-shot diverges for {}", q);
+        }
+    }
+}
