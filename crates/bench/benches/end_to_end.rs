@@ -172,11 +172,83 @@ fn bench_runtime_sharded(c: &mut Criterion) {
     group.finish();
 }
 
+/// The write-ahead-log tax and the cost of coming back from a crash.
+///
+/// * `runtime_durable/wal_tick` — the exact `runtime_incremental/batch`
+///   workload (100k-row retained window, 1k-row batches, delta-aware
+///   ticks) with a durability directory attached, so every ingest and
+///   eviction is framed, CRC'd and group-committed to the log each
+///   tick. Compare against `runtime_incremental/batch` for the WAL-on
+///   vs WAL-off delta; the acceptance bar is ≤10% overhead.
+/// * `runtime_durable/replay` — cold crash recovery: a durable
+///   directory holding one catalog snapshot plus a 20-tick log
+///   (~20k logged rows) is reopened from scratch each iteration —
+///   snapshot decode, WAL replay, and query re-registration included.
+fn bench_runtime_durable(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    let scratch = std::env::temp_dir().join(format!("paradise-bench-durable-{}", std::process::id()));
+
+    group.sample_size(2);
+    const WINDOW: usize = 100_000;
+    const BATCH_STEPS: usize = 100; // × 10 persons = 1k rows/tick
+    group.bench_function(BenchmarkId::new("runtime_durable", "wal_tick"), |b| {
+        let dir = scratch.join("wal_tick");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut runtime = paper_runtime(42, 10, WINDOW / 10)
+            .with_retention(WINDOW)
+            .with_snapshot_every(0) // steady-state WAL cost, no rotation spikes
+            .durable(&dir)
+            .expect("fresh durability directory attaches");
+        runtime.register("ActionFilter", &paper_flat()).unwrap();
+        let batches: Vec<_> =
+            (0..32u64).map(|i| meeting_stream(1_000 + i, 10, BATCH_STEPS)).collect();
+        runtime.tick().unwrap(); // compile plans + build state once
+        let mut next = 0usize;
+        b.iter(|| {
+            let batch = batches[next % batches.len()].clone();
+            next += 1;
+            runtime.ingest("motion-sensor", "stream", batch).unwrap();
+            black_box(runtime.tick().unwrap())
+        })
+    });
+
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("runtime_durable", "replay"), |b| {
+        let dir = scratch.join("replay");
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut runtime = paper_runtime(42, 10, 1_000)
+                .with_retention(WINDOW)
+                .with_snapshot_every(0) // keep every tick in the log
+                .durable(&dir)
+                .expect("fresh durability directory attaches");
+            runtime.register("ActionFilter", &paper_flat()).unwrap();
+            for i in 0..20u64 {
+                runtime
+                    .ingest("motion-sensor", "stream", meeting_stream(2_000 + i, 10, BATCH_STEPS))
+                    .unwrap();
+                runtime.tick().unwrap();
+            }
+        } // drop = crash point: the log holds 20 ticks past the snapshot
+        b.iter(|| {
+            let recovered = paper_runtime(42, 10, 1_000)
+                .with_retention(WINDOW)
+                .with_snapshot_every(0)
+                .durable(&dir)
+                .expect("recovery from an intact directory succeeds");
+            black_box(recovered.durability_stats().unwrap().replayed)
+        })
+    });
+    let _ = std::fs::remove_dir_all(&scratch);
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_end_to_end,
     bench_runtime_multi_query,
     bench_runtime_incremental,
-    bench_runtime_sharded
+    bench_runtime_sharded,
+    bench_runtime_durable
 );
 criterion_main!(benches);

@@ -30,6 +30,20 @@ pub enum CoreError {
     Node(NodeError),
     /// Anonymization error.
     Anon(paradise_anon::AnonError),
+    /// A durability-layer I/O operation failed (the string carries the
+    /// operation and the OS error text; `std::io::Error` itself is not
+    /// `Clone`/`PartialEq`).
+    Io(String),
+    /// Persistent state (write-ahead log or snapshot) failed validation:
+    /// an unknown record type, an impossible stream position, or a
+    /// snapshot none of whose generations decode. Torn *tail* records
+    /// are **not** errors — recovery truncates them silently — so this
+    /// variant signals real corruption, not a crash mid-write.
+    Corrupt(String),
+    /// An internal invariant was violated — always a bug in this crate,
+    /// reported as a typed error instead of a panic so a long-running
+    /// runtime degrades one tick instead of taking the process down.
+    Internal(String),
     /// The information-gain check failed: the rewritten query would not
     /// retain enough information to be useful (paper §3.1).
     InsufficientInformation {
@@ -54,6 +68,9 @@ impl fmt::Display for CoreError {
             CoreError::Engine(e) => write!(f, "{e}"),
             CoreError::Node(e) => write!(f, "{e}"),
             CoreError::Anon(e) => write!(f, "{e}"),
+            CoreError::Io(msg) => write!(f, "durability I/O error: {msg}"),
+            CoreError::Corrupt(msg) => write!(f, "corrupt persistent state: {msg}"),
+            CoreError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
             CoreError::InsufficientInformation { divergence, threshold } => write!(
                 f,
                 "rewritten query loses too much information (KL {divergence:.4} > {threshold:.4})"
@@ -92,3 +109,30 @@ impl From<paradise_anon::AnonError> for CoreError {
 
 /// Result alias.
 pub type CoreResult<T> = Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durability_variants_display_their_category() {
+        let io = CoreError::Io("create wal.1.log: permission denied".into());
+        assert_eq!(io.to_string(), "durability I/O error: create wal.1.log: permission denied");
+        let corrupt = CoreError::Corrupt("unknown WAL record tag 250".into());
+        assert_eq!(corrupt.to_string(), "corrupt persistent state: unknown WAL record tag 250");
+        let internal = CoreError::Internal("slot 3 was not executed this tick".into());
+        assert_eq!(
+            internal.to_string(),
+            "internal invariant violated: slot 3 was not executed this tick"
+        );
+    }
+
+    #[test]
+    fn durability_variants_are_comparable_and_cloneable() {
+        let e = CoreError::Corrupt("gap".into());
+        assert_eq!(e.clone(), e);
+        assert_ne!(e, CoreError::Io("gap".into()));
+        // all three participate in std::error::Error like the rest
+        let _: &dyn std::error::Error = &e;
+    }
+}

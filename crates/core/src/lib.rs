@@ -55,6 +55,7 @@ pub mod preprocess;
 pub mod processor;
 pub mod remainder;
 pub mod runtime;
+pub mod storage;
 pub mod stream_gate;
 
 pub use checks::{
@@ -72,6 +73,7 @@ pub use preprocess::{preprocess, PreprocessOptions, PreprocessOutcome, RewriteAc
 pub use processor::{Outcome, PlanCacheStats, Processor, ProcessorOptions};
 pub use remainder::{filter_by_class, identity, ActionClass, Remainder};
 pub use runtime::{HandleStats, QueryHandle, Runtime, RuntimeStats};
+pub use storage::DurabilityStats;
 pub use stream_gate::{GateDecision, IncrementalSensor, StreamGate};
 
 // Re-export the chain type users need to construct a processor.

@@ -33,12 +33,12 @@
 //! different handles share nothing mutable.
 
 use std::collections::HashMap;
-
+use std::path::Path;
 
 use minipool::ThreadPool;
 use paradise_engine::{plan as engine_plan, Catalog, Frame, ShardSpec};
 use paradise_nodes::ProcessingChain;
-use paradise_policy::{ModulePolicy, PolicyVersion};
+use paradise_policy::{parse_policy, policy_to_xml, ModulePolicy, Policy, PolicyVersion};
 use paradise_sql::ast::Query;
 
 use crate::checks::information_gain_check;
@@ -51,6 +51,10 @@ use crate::processor::{
     ProcessorOptions,
 };
 use crate::remainder::Remainder;
+use crate::storage::{
+    Durability, DurabilityStats, PolicyState, RegistrationState, SnapshotData, TableState,
+    WalRecord, DEFAULT_SNAPSHOT_EVERY,
+};
 
 /// Upper bound on pooled shared plans before an epoch-style reset.
 const MAX_SHARED_PLANS: usize = 1024;
@@ -176,6 +180,12 @@ pub struct Runtime {
     /// fresh number, so versions are unique across modules too.
     version_counter: u64,
     ticks: u64,
+    /// The attached durability layer (write-ahead log + snapshots),
+    /// `None` for a purely in-memory runtime. See [`Runtime::durable`].
+    durability: Option<Durability>,
+    /// Automatic-snapshot cadence in ticks (0 = only on explicit
+    /// [`Runtime::snapshot`] calls).
+    snapshot_every: u64,
 }
 
 impl Runtime {
@@ -194,6 +204,8 @@ impl Runtime {
             next_generation: 0,
             version_counter: 0,
             ticks: 0,
+            durability: None,
+            snapshot_every: DEFAULT_SNAPSHOT_EVERY,
         }
     }
 
@@ -276,6 +288,312 @@ impl Runtime {
         self
     }
 
+    /// Builder: attach the durability layer at `dir` (created if
+    /// missing), making this runtime survive crashes.
+    ///
+    /// * **Fresh directory** — the runtime's current state is
+    ///   checkpointed as the first snapshot, and from then on every
+    ///   state-changing call (`install_source`, `ingest`, `register`,
+    ///   `remove_query`, `set_policy`, retention eviction) is recorded
+    ///   in a CRC-framed write-ahead log. Ingest records are
+    ///   **group-committed** at the next [`Runtime::tick`] (one write
+    ///   syscall per tick); control records commit immediately; bytes
+    ///   are forced to stable media at snapshot barriers.
+    /// * **Directory with prior state** — the runtime is *rebuilt*:
+    ///   latest valid snapshot (falling back one generation past a
+    ///   partially-written one), then ordered log replay. Replay is
+    ///   idempotent — every record carries the absolute stream
+    ///   position or version it applies at, so duplicated records are
+    ///   skipped, torn log tails are truncated, and the rebuilt state
+    ///   (tables, watermarks, policies, registrations — including
+    ///   still-valid caller-held [`QueryHandle`]s) equals an
+    ///   uninterrupted run's. Incremental per-handle state is rebuilt
+    ///   on the first tick.
+    ///
+    /// Call this **last** in the builder chain, on a runtime
+    /// constructed with the *same configuration* (chain topology,
+    /// retention, partitioning, options) as the run that wrote the
+    /// directory — configuration is deliberately not persisted, state
+    /// is.
+    ///
+    /// Errors: [`CoreError::Io`] on filesystem failures and
+    /// [`CoreError::Corrupt`] when no snapshot generation validates or
+    /// the log is structurally damaged (a torn tail from a crash
+    /// mid-write is *not* corruption and recovers silently).
+    pub fn durable(mut self, dir: impl AsRef<Path>) -> CoreResult<Self> {
+        let opened = Durability::open(dir.as_ref())?;
+        let mut durability = opened.durability;
+        durability.snapshot_every = self.snapshot_every;
+        if !durability.stats().recovered {
+            let data = self.snapshot_data();
+            durability.initial_snapshot(data)?;
+            self.durability = Some(durability);
+            return Ok(self);
+        }
+        if let Some(snap) = opened.snapshot {
+            self.apply_snapshot(snap)?;
+        }
+        let mut skipped = 0u64;
+        for record in opened.records {
+            self.apply_record(record, &mut skipped)?;
+        }
+        durability.stats.skipped = skipped;
+        self.durability = Some(durability);
+        Ok(self)
+    }
+
+    /// Builder: automatic-snapshot cadence in ticks (default
+    /// [`DEFAULT_SNAPSHOT_EVERY`]; `0` disables automatic snapshots —
+    /// only explicit [`Runtime::snapshot`] calls checkpoint). Set it
+    /// before [`Runtime::durable`].
+    #[must_use]
+    pub fn with_snapshot_every(mut self, ticks: u64) -> Self {
+        self.snapshot_every = ticks;
+        if let Some(d) = self.durability.as_mut() {
+            d.snapshot_every = ticks;
+        }
+        self
+    }
+
+    /// Checkpoint now: commit + sync the log, write the next snapshot
+    /// generation atomically, rotate the log at the barrier, and
+    /// delete generations older than the fallback. Errors with
+    /// [`CoreError::Io`] when no durability layer is attached.
+    pub fn snapshot(&mut self) -> CoreResult<()> {
+        let data = self.snapshot_data();
+        let Some(d) = self.durability.as_mut() else {
+            return Err(CoreError::Io(
+                "snapshot requested but no durability directory is attached".to_string(),
+            ));
+        };
+        d.rotate_snapshot(data)
+    }
+
+    /// Durability counters and recovery facts; `None` when the runtime
+    /// is purely in-memory.
+    pub fn durability_stats(&self) -> Option<DurabilityStats> {
+        self.durability.as_ref().map(Durability::stats)
+    }
+
+    /// The complete durable state, as written into snapshots.
+    fn snapshot_data(&self) -> SnapshotData {
+        let mut tables = Vec::new();
+        for node in self.chain.nodes() {
+            for table in node.catalog.table_names() {
+                let (Ok(frame), Ok(wm)) =
+                    (node.catalog.get(table), node.catalog.watermark(table))
+                else {
+                    continue;
+                };
+                tables.push(TableState {
+                    node: node.name.clone(),
+                    table: table.to_string(),
+                    evicted: wm.evicted(),
+                    frame: frame.clone(),
+                });
+            }
+        }
+        let mut policies: Vec<PolicyState> = self
+            .policies
+            .iter()
+            .map(|(module, (version, policy))| PolicyState {
+                module: module.clone(),
+                version: version.as_u64(),
+                xml: policy_to_xml(&Policy::single(policy.clone())),
+            })
+            .collect();
+        policies.sort_by(|a, b| a.module.cmp(&b.module));
+        let registrations = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, reg)| {
+                reg.as_ref().map(|reg| RegistrationState {
+                    slot: slot as u32,
+                    generation: reg.generation,
+                    module: reg.module.clone(),
+                    sql: reg.query.to_string(),
+                })
+            })
+            .collect();
+        SnapshotData {
+            generation: 0, // assigned by the durability layer
+            tables,
+            policies,
+            version_counter: self.version_counter,
+            registrations,
+            slots: self.slots.len() as u32,
+            next_generation: self.next_generation,
+        }
+    }
+
+    /// Rebuild state from a recovered snapshot (policies first, so the
+    /// re-registrations preprocess under the right versions).
+    fn apply_snapshot(&mut self, snap: SnapshotData) -> CoreResult<()> {
+        for p in snap.policies {
+            let policy = parse_policy(&p.xml)?;
+            let module = policy.modules.into_iter().next().ok_or_else(|| {
+                CoreError::Corrupt(format!("snapshot policy for {:?} has no module", p.module))
+            })?;
+            self.policies.insert(p.module, (PolicyVersion(p.version), module));
+        }
+        self.version_counter = snap.version_counter;
+        for t in snap.tables {
+            let node = self.chain.node_mut(&t.node).map_err(|_| {
+                CoreError::Corrupt(format!(
+                    "snapshot references node {:?}, absent from this chain — \
+                     reconstruct the runtime with the configuration that wrote \
+                     the durability directory",
+                    t.node
+                ))
+            })?;
+            node.catalog.restore(&t.table, t.frame, t.evicted);
+        }
+        self.slots = (0..snap.slots).map(|_| None).collect();
+        for r in snap.registrations {
+            self.recover_register(r.slot, r.generation, &r.module, &r.sql)?;
+        }
+        self.next_generation = snap.next_generation;
+        Ok(())
+    }
+
+    /// Replay one log record. Each record carries the absolute
+    /// position it applies at, so replay over recovered state is
+    /// idempotent: at-or-below → skip (counted), exactly-at → apply,
+    /// beyond → a gap, which is real corruption.
+    fn apply_record(&mut self, record: WalRecord, skipped: &mut u64) -> CoreResult<()> {
+        match record {
+            WalRecord::InstallSource { node, table, frame } => {
+                self.chain.node_mut(&node)?.install_table(&table, frame);
+            }
+            WalRecord::Ingest { node, table, start, frame } => {
+                let wm = self.chain.node(&node)?.catalog.watermark(&table)?;
+                if wm.rows() > start {
+                    *skipped += 1;
+                } else if wm.rows() == start {
+                    // raw append, no retention trim: evictions replay
+                    // from their own records, pinning the recovered
+                    // window to the original run's eviction decisions
+                    self.chain.node_mut(&node)?.catalog.append(&table, frame)?;
+                } else {
+                    return Err(CoreError::Corrupt(format!(
+                        "log gap: table {table:?} at row {}, ingest record starts at {start}",
+                        wm.rows()
+                    )));
+                }
+            }
+            WalRecord::Evict { node, table, evicted_to } => {
+                let wm = self.chain.node(&node)?.catalog.watermark(&table)?;
+                if wm.evicted() >= evicted_to {
+                    *skipped += 1;
+                } else if evicted_to <= wm.rows() {
+                    let rows = (evicted_to - wm.evicted()) as usize;
+                    self.chain.node_mut(&node)?.catalog.evict_front(&table, rows)?;
+                } else {
+                    return Err(CoreError::Corrupt(format!(
+                        "log gap: eviction to row {evicted_to} of table {table:?} \
+                         which only reaches row {}",
+                        wm.rows()
+                    )));
+                }
+            }
+            WalRecord::Register { slot, generation, module, sql } => {
+                if self.next_generation > generation {
+                    *skipped += 1;
+                } else if self.next_generation == generation {
+                    self.recover_register(slot, generation, &module, &sql)?;
+                    self.next_generation = generation + 1;
+                } else {
+                    return Err(CoreError::Corrupt(format!(
+                        "log gap: registration generation {generation} but the \
+                         runtime is at {}",
+                        self.next_generation
+                    )));
+                }
+            }
+            WalRecord::RemoveQuery { slot, generation } => {
+                let live = self
+                    .slots
+                    .get(slot as usize)
+                    .and_then(Option::as_ref)
+                    .is_some_and(|reg| reg.generation == generation);
+                if live {
+                    self.slots[slot as usize] = None;
+                } else {
+                    *skipped += 1;
+                }
+            }
+            WalRecord::SetPolicy { version, module, xml } => {
+                if version <= self.version_counter {
+                    *skipped += 1;
+                } else if version == self.version_counter + 1 {
+                    let policy = parse_policy(&xml)?;
+                    let module_policy = policy.modules.into_iter().next().ok_or_else(|| {
+                        CoreError::Corrupt(format!("policy record for {module:?} has no module"))
+                    })?;
+                    self.policies.insert(module, (PolicyVersion(version), module_policy));
+                    self.version_counter = version;
+                } else {
+                    return Err(CoreError::Corrupt(format!(
+                        "log gap: policy version {version} but the runtime is at {}",
+                        self.version_counter
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-register a recovered query at its recorded slot and
+    /// generation, so caller-held handles stay valid across the
+    /// restart. Preprocess and fragmentation re-run under the
+    /// recovered policies, exactly as at original registration.
+    fn recover_register(
+        &mut self,
+        slot: u32,
+        generation: u32,
+        module: &str,
+        sql: &str,
+    ) -> CoreResult<()> {
+        let query = paradise_sql::parse_query(sql)?;
+        let (version, policy) = self
+            .policies
+            .get(module)
+            .ok_or_else(|| CoreError::NoPolicy(module.to_string()))?;
+        let version = *version;
+        let pre = preprocess(&query, policy, &self.options.preprocess)?;
+        let plan = fragment_query(&pre.query)?;
+        let tables = paradise_sql::analysis::base_relations(&query);
+        let fingerprint = source_fingerprint(&self.chain, &tables);
+        let mut chain = self.chain.clone();
+        chain.set_plan_salt(version.as_u64());
+        let registered = Registered {
+            generation,
+            module: module.to_string(),
+            query,
+            pre,
+            plan,
+            version,
+            tables,
+            fingerprint,
+            chain,
+            stats: PlanCacheStats { hits: 0, misses: 1, invalidations: 0 },
+            delta: HandleDeltaState::default(),
+            harvested_misses: 0,
+        };
+        let index = slot as usize;
+        if self.slots.len() <= index {
+            self.slots.resize_with(index + 1, || None);
+        }
+        if self.slots[index].is_some() {
+            return Err(CoreError::Corrupt(format!(
+                "slot {slot} registered twice during recovery"
+            )));
+        }
+        self.slots[index] = Some(registered);
+        Ok(())
+    }
+
     /// Install or swap a module's policy **live** and return the new
     /// policy version. Registered queries of the module are rewritten
     /// and recompiled on their next tick under the new version; every
@@ -286,7 +604,18 @@ impl Runtime {
     pub fn set_policy(&mut self, module_id: impl Into<String>, policy: ModulePolicy) -> PolicyVersion {
         self.version_counter += 1;
         let version = PolicyVersion(self.version_counter);
-        self.policies.insert(module_id.into(), (version, policy));
+        let module_id = module_id.into();
+        if let Some(d) = self.durability.as_mut() {
+            d.record(&WalRecord::SetPolicy {
+                version: version.as_u64(),
+                module: module_id.clone(),
+                xml: policy_to_xml(&Policy::single(policy.clone())),
+            });
+            // committed at the next commit point (tick or control op):
+            // this signature predates durability and cannot surface an
+            // I/O error
+        }
+        self.policies.insert(module_id, (version, policy));
         version
     }
 
@@ -337,6 +666,15 @@ impl Runtime {
                 self.slots.len() - 1
             }
         };
+        if let Some(d) = self.durability.as_mut() {
+            d.record(&WalRecord::Register {
+                slot: index as u32,
+                generation,
+                module: module_id.to_string(),
+                sql: query.to_string(),
+            });
+            d.commit()?;
+        }
         Ok(QueryHandle { index: index as u32, generation })
     }
 
@@ -345,6 +683,13 @@ impl Runtime {
     pub fn remove_query(&mut self, handle: QueryHandle) -> CoreResult<()> {
         self.resolve(handle)?;
         self.slots[handle.index as usize] = None;
+        if let Some(d) = self.durability.as_mut() {
+            d.record(&WalRecord::RemoveQuery {
+                slot: handle.index,
+                generation: handle.generation,
+            });
+            d.commit()?;
+        }
         Ok(())
     }
 
@@ -352,7 +697,17 @@ impl Runtime {
     /// table under a *different* schema invalidates the affected
     /// handles' plans on their next tick.
     pub fn install_source(&mut self, node: &str, table: &str, frame: Frame) -> CoreResult<()> {
+        // the clone is per-column Arc bumps, no cell copies
+        let logged = self.durability.is_some().then(|| frame.clone());
         self.chain.node_mut(node)?.install_table(table, frame);
+        if let (Some(d), Some(frame)) = (self.durability.as_mut(), logged) {
+            d.record(&WalRecord::InstallSource {
+                node: node.to_string(),
+                table: table.to_string(),
+                frame,
+            });
+            d.commit()?;
+        }
         Ok(())
     }
 
@@ -369,12 +724,39 @@ impl Runtime {
     /// their watermarks at each trim and stay purely incremental
     /// in between.
     pub fn ingest(&mut self, node: &str, table: &str, batch: Frame) -> CoreResult<()> {
+        // capture the append position and batch before they move: the
+        // log record carries the absolute start row (replay's
+        // idempotency anchor), and the clone is per-column Arc bumps
+        let logged = match self.durability.is_some() {
+            true => {
+                let start = self.chain.node(node)?.catalog.watermark(table)?.rows();
+                Some((start, batch.clone()))
+            }
+            false => None,
+        };
         self.chain.ingest(node, table, batch)?;
+        if let (Some(d), Some((start, frame))) = (self.durability.as_mut(), logged) {
+            // buffered only — group-committed at the next tick
+            d.record(&WalRecord::Ingest {
+                node: node.to_string(),
+                table: table.to_string(),
+                start,
+                frame,
+            });
+        }
         if let Some(max) = self.retention {
             let catalog = &mut self.chain.node_mut(node)?.catalog;
             let len = catalog.get(table)?.len();
             if len > max.saturating_add(max / 4) {
                 catalog.evict_front(table, len - max)?;
+                let evicted_to = catalog.watermark(table)?.evicted();
+                if let Some(d) = self.durability.as_mut() {
+                    d.record(&WalRecord::Evict {
+                        node: node.to_string(),
+                        table: table.to_string(),
+                        evicted_to,
+                    });
+                }
             }
         }
         Ok(())
@@ -410,10 +792,11 @@ impl Runtime {
                 rebuilds.push(None);
                 continue;
             };
-            let (version, policy) = self
-                .policies
-                .get(&slot.module)
-                .expect("registered modules keep their policy");
+            let (version, policy) = self.policies.get(&slot.module).ok_or_else(|| {
+                // policies are never removed, so a registered module
+                // without one is an invariant violation, not user error
+                CoreError::Internal(format!("module {:?} lost its policy", slot.module))
+            })?;
             let fingerprint = source_fingerprint(&self.chain, &slot.tables);
             if *version != slot.version || fingerprint != slot.fingerprint {
                 // policy swap or source schema change: rebuild this
@@ -448,10 +831,9 @@ impl Runtime {
                 None => slot.stats.hits += 1,
             }
             for node in self.chain.nodes() {
-                let target = slot
-                    .chain
-                    .node_mut(&node.name)
-                    .expect("handle chains are clones of the runtime chain");
+                let target = slot.chain.node_mut(&node.name).map_err(|_| {
+                    CoreError::Internal(format!("handle chain lost node {:?}", node.name))
+                })?;
                 // bump the plan-cache salt to the handle's policy
                 // version (purges stale generations; no-op when stable)
                 target.set_plan_salt(slot.version.as_u64());
@@ -504,7 +886,15 @@ impl Runtime {
         let mut first_error: Option<CoreError> = None;
         for (index, (slot, result)) in self.slots.iter().zip(results).enumerate() {
             let Some(reg) = slot else { continue };
-            match result.expect("every live slot was executed") {
+            let Some(result) = result else {
+                // a live slot the pool never executed is an invariant
+                // violation; report it typed and keep collecting
+                first_error.get_or_insert(CoreError::Internal(format!(
+                    "slot {index} was not executed this tick"
+                )));
+                continue;
+            };
+            match result {
                 Ok(outcome) => {
                     let handle =
                         QueryHandle { index: index as u32, generation: reg.generation };
@@ -558,13 +948,46 @@ impl Runtime {
         // whole retained window instead of an O(batch) extension.
         for slot in self.slots.iter_mut().flatten() {
             for node in self.chain.nodes() {
-                let target = slot
-                    .chain
-                    .node_mut(&node.name)
-                    .expect("handle chains are clones of the runtime chain");
-                target.catalog.release_mirrors(&node.catalog);
+                match slot.chain.node_mut(&node.name) {
+                    Ok(target) => target.catalog.release_mirrors(&node.catalog),
+                    // a handle chain missing a runtime node is an
+                    // invariant violation (chains are clones): surface
+                    // it as a typed error but keep releasing the other
+                    // mirrors, so the runtime degrades one tick
+                    // instead of pinning the window
+                    Err(_) => {
+                        first_error.get_or_insert_with(|| {
+                            CoreError::Internal(format!(
+                                "handle chain lost node {:?}",
+                                node.name
+                            ))
+                        });
+                    }
+                }
             }
         }
+
+        // phase 6: the durability group commit — every record buffered
+        // since the last commit point (ingest batches, evictions,
+        // policy swaps) reaches the OS in one write. It runs on failing
+        // ticks too (the buffered records describe state that *was*
+        // applied); a failed write keeps the buffer for the next
+        // commit point.
+        if let Some(d) = self.durability.as_mut() {
+            let committed = d.commit();
+            if first_error.is_none() {
+                committed?;
+            }
+        }
+        let auto_snapshot = first_error.is_none()
+            && self.durability.as_mut().is_some_and(|d| {
+                d.ticks_since_snapshot += 1;
+                d.snapshot_every > 0 && d.ticks_since_snapshot >= d.snapshot_every
+            });
+        if auto_snapshot {
+            self.snapshot()?;
+        }
+
         match first_error {
             Some(e) => Err(e),
             None => Ok(out),
@@ -638,6 +1061,19 @@ impl Runtime {
             .and_then(Option::as_ref)
             .filter(|reg| reg.generation == handle.generation)
             .ok_or(CoreError::UnknownHandle(handle.id()))
+    }
+}
+
+impl Drop for Runtime {
+    /// A graceful drop is a commit point: whatever the write-ahead log
+    /// buffered since the last tick reaches the OS, so only a hard
+    /// kill (or power loss inside the OS cache window) can lose the
+    /// tail. Errors cannot propagate from here and are ignored — the
+    /// log's valid prefix is still consistent.
+    fn drop(&mut self) {
+        if let Some(d) = self.durability.as_mut() {
+            let _ = d.commit();
+        }
     }
 }
 

@@ -1,0 +1,357 @@
+//! Catalog snapshots: the full durable state of a [`Runtime`] as one
+//! atomically-replaced file per generation.
+//!
+//! A snapshot holds everything replay would otherwise have to rebuild
+//! from the log: every source table (with its front-eviction count, so
+//! absolute stream positions survive), every module policy with its
+//! version, the global version counter, and every registration (slot,
+//! generation, module, SQL text). Runtime *configuration* — chain
+//! topology, retention, sharding, processor options — is **not**
+//! persisted: the caller reconstructs the runtime the same way it was
+//! built and [`Runtime::durable`](crate::runtime::Runtime::durable)
+//! restores the state into it.
+//!
+//! Write protocol: encode to `snapshot.tmp`, `fsync`, then atomically
+//! rename to `snapshot.<generation>.pds` (and `fsync` the directory so
+//! the rename itself is durable). A crash mid-write leaves a stale
+//! `.tmp` that is never read; a crash mid-rename leaves the previous
+//! generation in place. The file carries a magic number and a whole-
+//! payload CRC, so a partially materialised file is *detected* and
+//! recovery falls back to the previous generation — which is why the
+//! previous snapshot (and its log) are only deleted one generation
+//! later.
+//!
+//! [`Runtime`]: crate::runtime::Runtime
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use paradise_engine::Frame;
+
+use crate::error::{CoreError, CoreResult};
+
+use super::codec::{crc32, dec_frame, enc_frame, Dec, Enc};
+use super::wal::io_err;
+
+/// `b"PDS1"` little-endian: magic + format version of snapshot files.
+const MAGIC: u32 = u32::from_le_bytes(*b"PDS1");
+
+/// One source table's durable state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableState {
+    /// Chain node the table lives at.
+    pub node: String,
+    /// Table name.
+    pub table: String,
+    /// Front-eviction count — restored so absolute stream positions
+    /// (and thus log-record idempotency checks) line up after recovery.
+    pub evicted: u64,
+    /// The retained rows.
+    pub frame: Frame,
+}
+
+/// One installed module policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyState {
+    /// Module id.
+    pub module: String,
+    /// The version this policy was installed as.
+    pub version: u64,
+    /// `policy_to_xml` rendering.
+    pub xml: String,
+}
+
+/// One registered continuous query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegistrationState {
+    /// Slot index — forced on re-registration so caller-held
+    /// `QueryHandle`s survive the restart.
+    pub slot: u32,
+    /// Handle generation.
+    pub generation: u32,
+    /// Module the query runs under.
+    pub module: String,
+    /// The query as SQL text.
+    pub sql: String,
+}
+
+/// The complete durable state of a runtime at a snapshot barrier.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SnapshotData {
+    /// Generation this snapshot ends (its write-ahead log starts empty
+    /// at the same barrier).
+    pub generation: u64,
+    /// Every source table of the source-of-record chain.
+    pub tables: Vec<TableState>,
+    /// Every installed module policy.
+    pub policies: Vec<PolicyState>,
+    /// The runtime's global monotonic policy-version counter.
+    pub version_counter: u64,
+    /// Every live registration, in slot order.
+    pub registrations: Vec<RegistrationState>,
+    /// Total slots (occupied or free) — restored so freed low slots
+    /// stay free and handle indices keep their meaning.
+    pub slots: u32,
+    /// The next handle generation to assign.
+    pub next_generation: u32,
+}
+
+/// Path of generation `g`'s snapshot file.
+pub fn snapshot_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("snapshot.{generation}.pds"))
+}
+
+/// Path of generation `g`'s write-ahead log.
+pub fn wal_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("wal.{generation}.log"))
+}
+
+/// Parse `name` against `prefix.<u64>.suffix`.
+fn generation_of(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    name.strip_prefix(prefix)?.strip_suffix(suffix)?.parse().ok()
+}
+
+/// The snapshot and log generations present in `dir`, each sorted
+/// ascending.
+pub fn list_generations(dir: &Path) -> CoreResult<(Vec<u64>, Vec<u64>)> {
+    let mut snapshots = Vec::new();
+    let mut wals = Vec::new();
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| io_err("list durability directory", dir, &e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err("list durability directory", dir, &e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(g) = generation_of(name, "snapshot.", ".pds") {
+            snapshots.push(g);
+        } else if let Some(g) = generation_of(name, "wal.", ".log") {
+            wals.push(g);
+        }
+    }
+    snapshots.sort_unstable();
+    wals.sort_unstable();
+    Ok((snapshots, wals))
+}
+
+fn encode(data: &SnapshotData) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u64(data.generation);
+    e.u32(data.tables.len() as u32);
+    for t in &data.tables {
+        e.str(&t.node);
+        e.str(&t.table);
+        e.u64(t.evicted);
+        enc_frame(&mut e, &t.frame);
+    }
+    e.u32(data.policies.len() as u32);
+    for p in &data.policies {
+        e.str(&p.module);
+        e.u64(p.version);
+        e.str(&p.xml);
+    }
+    e.u64(data.version_counter);
+    e.u32(data.registrations.len() as u32);
+    for r in &data.registrations {
+        e.u32(r.slot);
+        e.u32(r.generation);
+        e.str(&r.module);
+        e.str(&r.sql);
+    }
+    e.u32(data.slots);
+    e.u32(data.next_generation);
+    e.into_bytes()
+}
+
+fn decode(payload: &[u8]) -> CoreResult<SnapshotData> {
+    let mut d = Dec::new(payload);
+    let generation = d.u64()?;
+    let mut tables = Vec::new();
+    for _ in 0..d.u32()? {
+        tables.push(TableState {
+            node: d.str()?,
+            table: d.str()?,
+            evicted: d.u64()?,
+            frame: dec_frame(&mut d)?,
+        });
+    }
+    let mut policies = Vec::new();
+    for _ in 0..d.u32()? {
+        policies.push(PolicyState { module: d.str()?, version: d.u64()?, xml: d.str()? });
+    }
+    let version_counter = d.u64()?;
+    let mut registrations = Vec::new();
+    for _ in 0..d.u32()? {
+        registrations.push(RegistrationState {
+            slot: d.u32()?,
+            generation: d.u32()?,
+            module: d.str()?,
+            sql: d.str()?,
+        });
+    }
+    let slots = d.u32()?;
+    let next_generation = d.u32()?;
+    if !d.done() {
+        return Err(CoreError::Corrupt("trailing bytes after snapshot payload".to_string()));
+    }
+    Ok(SnapshotData {
+        generation,
+        tables,
+        policies,
+        version_counter,
+        registrations,
+        slots,
+        next_generation,
+    })
+}
+
+/// Write `data` as generation `data.generation`'s snapshot, atomically
+/// (tmp + `fsync` + rename + directory `fsync`).
+pub fn write_snapshot(dir: &Path, data: &SnapshotData) -> CoreResult<()> {
+    let payload = encode(data);
+    let mut bytes = Vec::with_capacity(payload.len() + 12);
+    bytes.extend_from_slice(&MAGIC.to_le_bytes());
+    bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+
+    let tmp = dir.join("snapshot.tmp");
+    let mut file = std::fs::File::create(&tmp)
+        .map_err(|e| io_err("create snapshot temp file", &tmp, &e))?;
+    file.write_all(&bytes).map_err(|e| io_err("write snapshot", &tmp, &e))?;
+    file.sync_all().map_err(|e| io_err("sync snapshot", &tmp, &e))?;
+    drop(file);
+
+    let target = snapshot_path(dir, data.generation);
+    std::fs::rename(&tmp, &target).map_err(|e| io_err("install snapshot", &target, &e))?;
+    // make the rename itself durable (best-effort off unixes)
+    if let Ok(d) = std::fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Read and validate one snapshot file. Any failure — unreadable,
+/// short, bad magic, CRC mismatch, undecodable payload — is
+/// [`CoreError::Corrupt`] (or [`CoreError::Io`]), and the caller falls
+/// back to the previous generation.
+pub fn read_snapshot(path: &Path) -> CoreResult<SnapshotData> {
+    let bytes = std::fs::read(path).map_err(|e| io_err("read snapshot", path, &e))?;
+    if bytes.len() < 12 {
+        return Err(CoreError::Corrupt(format!(
+            "snapshot {} is truncated ({} bytes)",
+            path.display(),
+            bytes.len()
+        )));
+    }
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
+    if magic != MAGIC {
+        return Err(CoreError::Corrupt(format!(
+            "snapshot {} has wrong magic {magic:#010x}",
+            path.display()
+        )));
+    }
+    let crc = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    let len = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+    let payload = bytes.get(12..).filter(|p| p.len() == len).ok_or_else(|| {
+        CoreError::Corrupt(format!("snapshot {} payload length mismatch", path.display()))
+    })?;
+    if crc32(payload) != crc {
+        return Err(CoreError::Corrupt(format!(
+            "snapshot {} failed its checksum",
+            path.display()
+        )));
+    }
+    decode(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradise_engine::{DataType, Schema, Value};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("paradise-snap-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample() -> SnapshotData {
+        let schema = Schema::from_pairs(&[("x", DataType::Integer)]);
+        let frame =
+            Frame::new(schema, vec![vec![Value::Int(5)], vec![Value::Null]]).unwrap();
+        SnapshotData {
+            generation: 3,
+            tables: vec![TableState {
+                node: "motion-sensor".into(),
+                table: "stream".into(),
+                evicted: 17,
+                frame,
+            }],
+            policies: vec![PolicyState {
+                module: "ActionFilter".into(),
+                version: 2,
+                xml: "<module id=\"ActionFilter\"/>".into(),
+            }],
+            version_counter: 2,
+            registrations: vec![RegistrationState {
+                slot: 1,
+                generation: 4,
+                module: "ActionFilter".into(),
+                sql: "SELECT x FROM stream".into(),
+            }],
+            slots: 2,
+            next_generation: 5,
+        }
+    }
+
+    #[test]
+    fn write_read_roundtrip_and_listing() {
+        let dir = tmp("roundtrip");
+        let data = sample();
+        write_snapshot(&dir, &data).unwrap();
+        let back = read_snapshot(&snapshot_path(&dir, 3)).unwrap();
+        assert_eq!(back, data);
+        assert!(!dir.join("snapshot.tmp").exists(), "tmp is renamed away");
+
+        std::fs::write(wal_path(&dir, 3), b"").unwrap();
+        std::fs::write(wal_path(&dir, 2), b"").unwrap();
+        let (snaps, wals) = list_generations(&dir).unwrap();
+        assert_eq!(snaps, vec![3]);
+        assert_eq!(wals, vec![2, 3]);
+    }
+
+    #[test]
+    fn zero_length_and_truncated_snapshots_are_corrupt() {
+        let dir = tmp("short");
+        let path = snapshot_path(&dir, 1);
+        std::fs::write(&path, b"").unwrap();
+        assert!(matches!(read_snapshot(&path), Err(CoreError::Corrupt(_))));
+
+        write_snapshot(&dir, &sample()).unwrap();
+        let full = std::fs::read(snapshot_path(&dir, 3)).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(matches!(read_snapshot(&path), Err(CoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn bit_flip_fails_the_checksum() {
+        let dir = tmp("flip");
+        write_snapshot(&dir, &sample()).unwrap();
+        let path = snapshot_path(&dir, 3);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = bytes.len() - 5;
+        bytes[at] ^= 1;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(read_snapshot(&path), Err(CoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn wrong_magic_is_corrupt() {
+        let dir = tmp("magic");
+        let path = snapshot_path(&dir, 1);
+        std::fs::write(&path, b"NOPE00000000u-wot").unwrap();
+        assert!(matches!(read_snapshot(&path), Err(CoreError::Corrupt(_))));
+    }
+}

@@ -1,0 +1,503 @@
+//! The write-ahead log: every state-changing runtime operation as a
+//! typed, CRC-framed record.
+//!
+//! On-disk framing per record:
+//!
+//! ```text
+//! [u32 body length][u32 CRC-32 of body][body = u8 record tag + payload]
+//! ```
+//!
+//! Appends are **group-committed**: [`Wal::append`] only buffers the
+//! encoded record in memory, and [`Wal::commit`] writes the whole
+//! buffer with one `write` call — the runtime commits at tick
+//! boundaries (plus immediately for rare control operations), so the
+//! steady-tick overhead is one buffered encode per ingest and one
+//! syscall per tick. `commit` hands the bytes to the OS; they are
+//! forced to stable media (`fsync`) only at snapshot barriers, which is
+//! the layer's documented durability point.
+//!
+//! Reading is torn-tail tolerant: a record whose header runs past the
+//! end of the file, or whose CRC does not match, marks the *valid
+//! prefix boundary* — everything before it replays, everything from it
+//! on is truncated (a crash mid-`write` is normal operation, not
+//! corruption). A record whose CRC is valid but whose body does not
+//! decode — unknown tag, trailing garbage — is real corruption and
+//! surfaces as [`CoreError::Corrupt`].
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use paradise_engine::Frame;
+
+use crate::error::{CoreError, CoreResult};
+
+use super::codec::{crc32, dec_frame, enc_frame, Dec, Enc};
+
+/// Format an I/O failure as the typed core error (carrying the
+/// operation and path, since `std::io::Error` is not `Clone`).
+pub(crate) fn io_err(op: &str, path: &Path, e: &std::io::Error) -> CoreError {
+    CoreError::Io(format!("{op} {}: {e}", path.display()))
+}
+
+/// One durable runtime operation. Every record that moves a stream
+/// position carries the **absolute** position it applies at, which is
+/// what makes replay idempotent without a global sequence number: a
+/// record at-or-below the recovered state's position is skipped, a
+/// record exactly at it applies, and a record beyond it is a gap
+/// (corruption).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// `Runtime::install_source`: (re)place a source table wholesale.
+    /// Naturally idempotent — replaying it resets the table to the
+    /// recorded contents and subsequent `Ingest` records re-apply.
+    InstallSource {
+        /// Chain node the table lives at.
+        node: String,
+        /// Table name.
+        table: String,
+        /// The installed contents.
+        frame: Frame,
+    },
+    /// `Runtime::ingest`: one appended stream batch.
+    Ingest {
+        /// Chain node the table lives at.
+        node: String,
+        /// Table name.
+        table: String,
+        /// Absolute stream row the batch starts at (the table's high
+        /// watermark when it was appended).
+        start: u64,
+        /// The batch itself.
+        frame: Frame,
+    },
+    /// Retention eviction of a table's oldest rows.
+    Evict {
+        /// Chain node the table lives at.
+        node: String,
+        /// Table name.
+        table: String,
+        /// Absolute front-eviction count *after* the eviction.
+        evicted_to: u64,
+    },
+    /// `Runtime::register`: a continuous query, as its SQL text (the
+    /// parser/display roundtrip is pinned by the sql crate's tests).
+    /// Slot and generation are recorded so recovered `QueryHandle`s
+    /// held by callers stay valid across the restart.
+    Register {
+        /// Slot index the handle occupies.
+        slot: u32,
+        /// Handle generation (process-monotonic).
+        generation: u32,
+        /// Module the query was registered under.
+        module: String,
+        /// The query, rendered as SQL.
+        sql: String,
+    },
+    /// `Runtime::remove_query`.
+    RemoveQuery {
+        /// Slot index of the removed handle.
+        slot: u32,
+        /// Generation of the removed handle.
+        generation: u32,
+    },
+    /// `Runtime::set_policy`: the module policy as its XML rendering
+    /// (the parse/render roundtrip is pinned by the policy crate's
+    /// tests) plus the version it was installed as.
+    SetPolicy {
+        /// The policy version this install produced (global monotonic).
+        version: u64,
+        /// Module the policy applies to.
+        module: String,
+        /// `policy_to_xml` rendering of the module policy.
+        xml: String,
+    },
+}
+
+const TAG_INSTALL: u8 = 1;
+const TAG_INGEST: u8 = 2;
+const TAG_EVICT: u8 = 3;
+const TAG_REGISTER: u8 = 4;
+const TAG_REMOVE: u8 = 5;
+const TAG_SET_POLICY: u8 = 6;
+
+impl WalRecord {
+    /// Encode as the framed body (tag + payload), without the
+    /// length/CRC header.
+    fn encode_body(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        match self {
+            WalRecord::InstallSource { node, table, frame } => {
+                e.u8(TAG_INSTALL);
+                e.str(node);
+                e.str(table);
+                enc_frame(&mut e, frame);
+            }
+            WalRecord::Ingest { node, table, start, frame } => {
+                e.u8(TAG_INGEST);
+                e.str(node);
+                e.str(table);
+                e.u64(*start);
+                enc_frame(&mut e, frame);
+            }
+            WalRecord::Evict { node, table, evicted_to } => {
+                e.u8(TAG_EVICT);
+                e.str(node);
+                e.str(table);
+                e.u64(*evicted_to);
+            }
+            WalRecord::Register { slot, generation, module, sql } => {
+                e.u8(TAG_REGISTER);
+                e.u32(*slot);
+                e.u32(*generation);
+                e.str(module);
+                e.str(sql);
+            }
+            WalRecord::RemoveQuery { slot, generation } => {
+                e.u8(TAG_REMOVE);
+                e.u32(*slot);
+                e.u32(*generation);
+            }
+            WalRecord::SetPolicy { version, module, xml } => {
+                e.u8(TAG_SET_POLICY);
+                e.u64(*version);
+                e.str(module);
+                e.str(xml);
+            }
+        }
+        e.into_bytes()
+    }
+
+    /// Decode a framed body whose CRC already checked out. Structural
+    /// failure here is real corruption, never a torn write.
+    fn decode_body(body: &[u8]) -> CoreResult<WalRecord> {
+        let mut d = Dec::new(body);
+        let record = match d.u8()? {
+            TAG_INSTALL => WalRecord::InstallSource {
+                node: d.str()?,
+                table: d.str()?,
+                frame: dec_frame(&mut d)?,
+            },
+            TAG_INGEST => WalRecord::Ingest {
+                node: d.str()?,
+                table: d.str()?,
+                start: d.u64()?,
+                frame: dec_frame(&mut d)?,
+            },
+            TAG_EVICT => WalRecord::Evict {
+                node: d.str()?,
+                table: d.str()?,
+                evicted_to: d.u64()?,
+            },
+            TAG_REGISTER => WalRecord::Register {
+                slot: d.u32()?,
+                generation: d.u32()?,
+                module: d.str()?,
+                sql: d.str()?,
+            },
+            TAG_REMOVE => WalRecord::RemoveQuery { slot: d.u32()?, generation: d.u32()? },
+            TAG_SET_POLICY => WalRecord::SetPolicy {
+                version: d.u64()?,
+                module: d.str()?,
+                xml: d.str()?,
+            },
+            tag => {
+                return Err(CoreError::Corrupt(format!(
+                    "unknown write-ahead-log record type {tag}"
+                )))
+            }
+        };
+        if !d.done() {
+            return Err(CoreError::Corrupt(
+                "trailing bytes after write-ahead-log record".to_string(),
+            ));
+        }
+        Ok(record)
+    }
+}
+
+/// An open write-ahead log file with its group-commit buffer.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    /// Encoded-but-unwritten records (the group-commit buffer).
+    pending: Vec<u8>,
+    pending_records: u64,
+    /// Records written to the OS since this `Wal` was opened.
+    committed_records: u64,
+    /// `commit` calls that actually wrote something.
+    commits: u64,
+    /// Bytes written to the OS since this `Wal` was opened.
+    committed_bytes: u64,
+}
+
+impl Wal {
+    /// Create a fresh (truncated) log at `path`.
+    pub fn create(path: &Path) -> CoreResult<Self> {
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| io_err("create write-ahead log", path, &e))?;
+        Ok(Wal::over(file, path))
+    }
+
+    /// Reopen an existing log for appending after recovery, truncating
+    /// it to `valid_bytes` first (dropping any torn tail the reader
+    /// found).
+    pub fn resume(path: &Path, valid_bytes: u64) -> CoreResult<Self> {
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(false) // the valid prefix survives; set_len drops the tail
+            .open(path)
+            .map_err(|e| io_err("open write-ahead log", path, &e))?;
+        file.set_len(valid_bytes)
+            .map_err(|e| io_err("truncate write-ahead log", path, &e))?;
+        use std::io::Seek;
+        let mut file = file;
+        file.seek(std::io::SeekFrom::End(0))
+            .map_err(|e| io_err("seek write-ahead log", path, &e))?;
+        Ok(Wal::over(file, path))
+    }
+
+    fn over(file: File, path: &Path) -> Self {
+        Wal {
+            file,
+            path: path.to_path_buf(),
+            pending: Vec::new(),
+            pending_records: 0,
+            committed_records: 0,
+            commits: 0,
+            committed_bytes: 0,
+        }
+    }
+
+    /// Buffer one record for the next [`Wal::commit`] (no I/O).
+    pub fn append(&mut self, record: &WalRecord) {
+        let body = record.encode_body();
+        let mut header = [0u8; 8];
+        header[..4].copy_from_slice(&(body.len() as u32).to_le_bytes());
+        header[4..].copy_from_slice(&crc32(&body).to_le_bytes());
+        self.pending.extend_from_slice(&header);
+        self.pending.extend_from_slice(&body);
+        self.pending_records += 1;
+    }
+
+    /// Write every buffered record to the OS in order (the group
+    /// commit). No `fsync` — stable-media durability is the snapshot
+    /// barrier's job ([`Wal::sync`]).
+    pub fn commit(&mut self) -> CoreResult<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        self.file
+            .write_all(&self.pending)
+            .map_err(|e| io_err("append to write-ahead log", &self.path, &e))?;
+        self.committed_bytes += self.pending.len() as u64;
+        self.committed_records += self.pending_records;
+        self.commits += 1;
+        self.pending.clear();
+        self.pending_records = 0;
+        Ok(())
+    }
+
+    /// Force everything committed so far to stable media.
+    pub fn sync(&self) -> CoreResult<()> {
+        self.file.sync_data().map_err(|e| io_err("sync write-ahead log", &self.path, &e))
+    }
+
+    /// Records committed (written to the OS) since open.
+    pub fn committed_records(&self) -> u64 {
+        self.committed_records
+    }
+
+    /// Commit calls that wrote at least one record.
+    pub fn commits(&self) -> u64 {
+        self.commits
+    }
+
+    /// Bytes committed since open.
+    pub fn committed_bytes(&self) -> u64 {
+        self.committed_bytes
+    }
+}
+
+/// What [`read_wal`] found in one log file.
+#[derive(Debug)]
+pub struct WalContents {
+    /// The records of the valid prefix, in append order.
+    pub records: Vec<WalRecord>,
+    /// Byte length of the valid prefix — [`Wal::resume`] truncates the
+    /// file to this before appending.
+    pub valid_bytes: u64,
+    /// Bytes dropped after the valid prefix (a torn tail from a crash
+    /// mid-write, or a CRC-damaged region; zero on a clean log).
+    pub torn_bytes: u64,
+}
+
+/// Read a log file, replay-tolerantly: stop at (and report) a torn
+/// tail, error only on structural corruption inside a CRC-valid
+/// record. A missing file reads as empty (a crash can land between
+/// snapshot rename and log rotation).
+pub fn read_wal(path: &Path) -> CoreResult<WalContents> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(io_err("read write-ahead log", path, &e)),
+    };
+    let mut records = Vec::new();
+    let mut at = 0usize;
+    while bytes.len() - at >= 8 {
+        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().expect("4 bytes"));
+        let Some(end) = at.checked_add(8).and_then(|s| s.checked_add(len)) else {
+            break; // length overflows — unreadable tail
+        };
+        if len == 0 || end > bytes.len() {
+            break; // header torn or body incomplete
+        }
+        let body = &bytes[at + 8..end];
+        if crc32(body) != crc {
+            break; // torn or bit-damaged record: truncate from here
+        }
+        records.push(WalRecord::decode_body(body)?);
+        at = end;
+    }
+    Ok(WalContents {
+        records,
+        valid_bytes: at as u64,
+        torn_bytes: (bytes.len() - at) as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradise_engine::{DataType, Schema, Value};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "paradise-wal-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal.log")
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        let schema = Schema::from_pairs(&[("x", DataType::Integer)]);
+        let frame = Frame::new(schema, vec![vec![Value::Int(1)], vec![Value::Int(2)]]).unwrap();
+        vec![
+            WalRecord::InstallSource {
+                node: "motion-sensor".into(),
+                table: "stream".into(),
+                frame: frame.clone(),
+            },
+            WalRecord::SetPolicy { version: 3, module: "M".into(), xml: "<module/>".into() },
+            WalRecord::Register {
+                slot: 0,
+                generation: 0,
+                module: "M".into(),
+                sql: "SELECT x FROM stream".into(),
+            },
+            WalRecord::Ingest {
+                node: "motion-sensor".into(),
+                table: "stream".into(),
+                start: 2,
+                frame,
+            },
+            WalRecord::Evict { node: "motion-sensor".into(), table: "stream".into(), evicted_to: 1 },
+            WalRecord::RemoveQuery { slot: 0, generation: 0 },
+        ]
+    }
+
+    #[test]
+    fn append_commit_read_roundtrip() {
+        let path = tmp("roundtrip");
+        let mut wal = Wal::create(&path).unwrap();
+        let records = sample_records();
+        for r in &records {
+            wal.append(r);
+        }
+        assert_eq!(wal.committed_records(), 0, "append alone does no I/O");
+        wal.commit().unwrap();
+        assert_eq!(wal.committed_records(), records.len() as u64);
+        assert_eq!(wal.commits(), 1);
+        wal.commit().unwrap();
+        assert_eq!(wal.commits(), 1, "empty commit is free");
+
+        let read = read_wal(&path).unwrap();
+        assert_eq!(read.records, records);
+        assert_eq!(read.torn_bytes, 0);
+        assert_eq!(read.valid_bytes, wal.committed_bytes());
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let path = tmp("torn");
+        let mut wal = Wal::create(&path).unwrap();
+        for r in sample_records() {
+            wal.append(&r);
+        }
+        wal.commit().unwrap();
+        let full = std::fs::read(&path).unwrap();
+        // chop the last record mid-body
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        let read = read_wal(&path).unwrap();
+        assert_eq!(read.records.len(), sample_records().len() - 1);
+        assert!(read.torn_bytes > 0);
+
+        // resume truncates the tail and appending continues cleanly
+        let mut wal = Wal::resume(&path, read.valid_bytes).unwrap();
+        wal.append(&WalRecord::RemoveQuery { slot: 9, generation: 9 });
+        wal.commit().unwrap();
+        let read = read_wal(&path).unwrap();
+        assert_eq!(read.torn_bytes, 0);
+        assert_eq!(
+            read.records.last(),
+            Some(&WalRecord::RemoveQuery { slot: 9, generation: 9 })
+        );
+    }
+
+    #[test]
+    fn bit_flip_truncates_from_the_damage() {
+        let path = tmp("bitflip");
+        let mut wal = Wal::create(&path).unwrap();
+        for r in sample_records() {
+            wal.append(&r);
+        }
+        wal.commit().unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let read = read_wal(&path).unwrap();
+        assert!(read.records.len() < sample_records().len());
+        assert!(read.torn_bytes > 0);
+    }
+
+    #[test]
+    fn unknown_record_type_is_corruption() {
+        let path = tmp("unknown");
+        // hand-frame a record with tag 99 and a *valid* CRC
+        let body = vec![99u8, 1, 2, 3];
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32(&body).to_le_bytes());
+        bytes.extend_from_slice(&body);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(read_wal(&path), Err(CoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn missing_file_reads_empty() {
+        let path = tmp("missing").with_extension("nope");
+        let read = read_wal(&path).unwrap();
+        assert!(read.records.is_empty());
+        assert_eq!(read.valid_bytes, 0);
+    }
+}

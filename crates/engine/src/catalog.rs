@@ -50,6 +50,13 @@ impl Watermark {
     pub fn rows(&self) -> u64 {
         self.rows
     }
+
+    /// Rows evicted from the front of the stream up to this mark. The
+    /// durability layer persists this so a recovered table resumes at
+    /// the same absolute stream positions the write-ahead log recorded.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
 }
 
 /// One catalog table plus its stream-position accounting.
@@ -129,6 +136,19 @@ impl Catalog {
     /// watermarks taken against the previous contents are invalidated.
     pub fn register_or_replace(&mut self, name: &str, frame: Frame) {
         self.tables.insert(name.to_ascii_lowercase(), TableEntry::new(frame));
+    }
+
+    /// Register or replace a table *at a recovered stream position*: the
+    /// table starts a fresh epoch (in-memory delta consumers rescan
+    /// once, as after any replacement) but keeps the given
+    /// front-eviction count, so the absolute row positions of
+    /// [`Catalog::watermark`] line up with what a write-ahead log
+    /// recorded before a restart. This is the crash-recovery
+    /// counterpart of [`Catalog::register_or_replace`].
+    pub fn restore(&mut self, name: &str, frame: Frame, evicted: u64) {
+        let mut entry = TableEntry::new(frame);
+        entry.evicted = evicted;
+        self.tables.insert(name.to_ascii_lowercase(), entry);
     }
 
     /// Append a batch of rows to a registered table — the ingest path of

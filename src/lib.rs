@@ -82,6 +82,14 @@
 //! assert!(runtime.stats().plan.invalidations > 0);
 //! ```
 //!
+//! To survive crashes, attach a durability directory with
+//! [`Runtime::durable`](crate::core::Runtime::durable): every ingest,
+//! registration, policy swap and eviction is write-ahead logged,
+//! periodic catalog snapshots bound replay time, and reopening the
+//! same directory (with the same builder configuration) replays the
+//! log back to exactly the pre-crash state — see the README's
+//! "Durability" section and `examples/durable_runtime.rs`.
+//!
 //! For one-shot/ad-hoc runs the original
 //! [`Processor::run`](crate::core::Processor::run) remains available
 //! (it shares the runtime's execution path).
@@ -101,9 +109,9 @@ pub mod prelude {
     };
     pub use paradise_core::{
         attack_answerable, fragment_query, postprocess, preprocess, AnonStrategy,
-        AssignmentPolicy, ConjunctiveQuery, CoreError, FragmentPlan, HandleStats, Outcome,
-        PreprocessOptions, ProcessingChain, Processor, ProcessorOptions, QueryHandle,
-        RewriteAction, Runtime, RuntimeStats,
+        AssignmentPolicy, ConjunctiveQuery, CoreError, DurabilityStats, FragmentPlan,
+        HandleStats, Outcome, PreprocessOptions, ProcessingChain, Processor, ProcessorOptions,
+        QueryHandle, RewriteAction, Runtime, RuntimeStats,
     };
     pub use paradise_core::remainder::{filter_by_class, ActionClass};
     pub use paradise_engine::{

@@ -414,3 +414,216 @@ fn stream_gate_blocks_hammering_module() {
     }
     assert_eq!(blocked, 9, "all queries inside the interval must be blocked");
 }
+
+// --------------------------------------------------------------------
+// durability failures: every way the disk can lie must recover
+// cleanly or fail with a typed error — never panic
+// --------------------------------------------------------------------
+
+mod durability {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn scratch(name: &str) -> PathBuf {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let base = option_env!("CARGO_TARGET_TMPDIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(std::env::temp_dir);
+        let dir = base.join(format!(
+            "fault-{}-{name}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn allow_all(module: &str) -> ModulePolicy {
+        let mut m = ModulePolicy::new(module);
+        for attr in ["x", "y", "z", "t"] {
+            m.attributes.push(AttributeRule::allowed(attr));
+        }
+        m
+    }
+
+    /// A durable runtime with a snapshot, a registration, and a few
+    /// logged ingest batches — snapshots held off so the log stays
+    /// populated for the fault to hit.
+    fn populated(dir: &PathBuf) -> Runtime {
+        let mut rt = Runtime::new(ProcessingChain::apartment())
+            .with_policy("M", allow_all("M"))
+            .with_snapshot_every(0)
+            .durable(dir)
+            .unwrap();
+        rt.install_source("motion-sensor", "stream", stream(50)).unwrap();
+        rt.register("M", &parse_query("SELECT x, y, z, t FROM stream").unwrap()).unwrap();
+        for _ in 0..3 {
+            rt.ingest("motion-sensor", "stream", stream(20)).unwrap();
+            rt.tick().unwrap();
+        }
+        rt
+    }
+
+    fn reopen(dir: &PathBuf) -> Result<Runtime, CoreError> {
+        Runtime::new(ProcessingChain::apartment())
+            .with_policy("M", allow_all("M"))
+            .with_snapshot_every(0)
+            .durable(dir)
+    }
+
+    /// Path of the newest write-ahead log in the directory.
+    fn newest_wal(dir: &PathBuf) -> PathBuf {
+        std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                let name = p.file_name().unwrap().to_string_lossy().into_owned();
+                name.starts_with("wal.") && name.ends_with(".log")
+            })
+            .max()
+            .expect("a durable directory has a log")
+    }
+
+    fn snapshots(dir: &PathBuf) -> Vec<PathBuf> {
+        let mut v: Vec<PathBuf> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                let name = p.file_name().unwrap().to_string_lossy().into_owned();
+                name.starts_with("snapshot.") && name.ends_with(".pds")
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn torn_final_wal_record_recovers_the_prefix() {
+        let dir = scratch("torn");
+        drop(populated(&dir));
+        let wal = newest_wal(&dir);
+        let bytes = std::fs::read(&wal).unwrap();
+        assert!(bytes.len() > 10, "the log must have content to tear");
+        std::fs::write(&wal, &bytes[..bytes.len() - 7]).unwrap();
+
+        let rt = reopen(&dir).expect("a torn tail is a crash, not corruption");
+        let stats = rt.durability_stats().unwrap();
+        assert!(stats.recovered);
+        assert!(stats.torn_bytes > 0, "the tear must be counted: {stats:?}");
+        assert_eq!(rt.registered(), 1, "registration precedes the torn ingest");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flipped_crc_mid_log_truncates_from_the_damage() {
+        let dir = scratch("bitflip");
+        drop(populated(&dir));
+        let wal = newest_wal(&dir);
+        let mut bytes = std::fs::read(&wal).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&wal, &bytes).unwrap();
+
+        // recovery holds the valid prefix; the damaged region and
+        // everything after it are truncated, and appending resumes
+        let mut rt = reopen(&dir).expect("mid-log damage truncates, never panics");
+        let stats = rt.durability_stats().unwrap();
+        assert!(stats.torn_bytes > 0, "the damage must be counted: {stats:?}");
+        rt.ingest("motion-sensor", "stream", stream(5)).unwrap();
+        rt.tick().unwrap();
+        drop(rt);
+        assert!(reopen(&dir).is_ok(), "the repaired log must read back cleanly");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_length_and_truncated_snapshots_fall_back_or_error() {
+        // rotate once so a fallback generation exists
+        let dir = scratch("snapfall");
+        let mut rt = populated(&dir);
+        rt.snapshot().unwrap();
+        rt.ingest("motion-sensor", "stream", stream(10)).unwrap();
+        rt.tick().unwrap();
+        let rows =
+            rt.chain().node("motion-sensor").unwrap().catalog.get("stream").unwrap().to_rows();
+        drop(rt);
+
+        let snaps = snapshots(&dir);
+        assert!(snaps.len() >= 2, "rotation keeps the previous generation: {snaps:?}");
+        // truncate the newest snapshot mid-file: recovery must fall
+        // back to the previous generation + its logs, losing nothing
+        let newest = snaps.last().unwrap();
+        let full = std::fs::read(newest).unwrap();
+        std::fs::write(newest, &full[..full.len() / 3]).unwrap();
+        let rt = reopen(&dir).expect("fallback generation must carry recovery");
+        let stats = rt.durability_stats().unwrap();
+        assert_eq!(stats.corrupt_snapshots, 1, "{stats:?}");
+        assert_eq!(
+            rt.chain().node("motion-sensor").unwrap().catalog.get("stream").unwrap().to_rows(),
+            rows,
+            "fallback + log replay must rebuild the exact window"
+        );
+        drop(rt);
+
+        // now zero every snapshot generation: recovery must refuse
+        // with a typed error, not panic and not fabricate state
+        for snap in snapshots(&dir) {
+            std::fs::write(snap, b"").unwrap();
+        }
+        assert!(
+            matches!(reopen(&dir), Err(CoreError::Corrupt(_))),
+            "no valid generation left must be CoreError::Corrupt"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn double_replay_converges_via_idempotent_records() {
+        let dir = scratch("double");
+        let rows = {
+            let rt = populated(&dir);
+            rt.chain().node("motion-sensor").unwrap().catalog.get("stream").unwrap().to_rows()
+        };
+        // duplicate the whole log: every record now replays twice
+        let wal = newest_wal(&dir);
+        let bytes = std::fs::read(&wal).unwrap();
+        let doubled: Vec<u8> = bytes.iter().chain(bytes.iter()).copied().collect();
+        std::fs::write(&wal, &doubled).unwrap();
+
+        let rt = reopen(&dir).expect("duplicated records must be skipped, not re-applied");
+        let stats = rt.durability_stats().unwrap();
+        assert!(stats.skipped > 0, "idempotency skips must be counted: {stats:?}");
+        assert_eq!(
+            rt.chain().node("motion-sensor").unwrap().catalog.get("stream").unwrap().to_rows(),
+            rows,
+            "double replay must converge to the single-replay state"
+        );
+        assert_eq!(rt.registered(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_record_type_with_valid_crc_is_corrupt() {
+        let dir = scratch("unknown");
+        drop(populated(&dir));
+        let wal = newest_wal(&dir);
+        // hand-frame a record with an unassigned tag and a correct
+        // CRC: structurally valid, semantically impossible
+        let body = [250u8, 1, 2, 3];
+        let mut crc = 0xFFFF_FFFFu32;
+        for &b in &body {
+            crc ^= b as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            }
+        }
+        let mut framed = std::fs::read(&wal).unwrap();
+        framed.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        framed.extend_from_slice(&(!crc).to_le_bytes());
+        framed.extend_from_slice(&body);
+        std::fs::write(&wal, &framed).unwrap();
+        assert!(matches!(reopen(&dir), Err(CoreError::Corrupt(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -568,6 +568,21 @@ proptest! {
     }
 
     #[test]
+    fn wal_frame_codec_roundtrips(frame in arb_frame()) {
+        // the durability layer's frame codec must reproduce any frame
+        // the engine can hold: schema, row count, and every value
+        use paradise::core::storage::codec::{dec_frame, enc_frame, Dec, Enc};
+        let mut e = Enc::new();
+        enc_frame(&mut e, &frame);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        let decoded = dec_frame(&mut d).expect("encoded frame decodes");
+        prop_assert!(d.done(), "decoder must consume the whole encoding");
+        prop_assert_eq!(&decoded.schema, &frame.schema);
+        prop_assert_eq!(decoded.to_rows(), frame.to_rows());
+    }
+
+    #[test]
     fn entropy_l_never_exceeds_distinct_l(frame in arb_frame()) {
         use paradise::anon::{distinct_l, entropy_l};
         // sensitive column: t (index 3); QID: x (index 0)
