@@ -243,12 +243,63 @@ fn bench_runtime_durable(c: &mut Criterion) {
     group.finish();
 }
 
+/// The TCP serving layer's tax over in-process calls:
+///
+/// * `server_roundtrip` — one iteration = ingest a 100-row batch and
+///   tick, both over a localhost TCP connection (frame encode, CRC,
+///   two request/response round trips, engine-thread handoff).
+///   Compare against `runtime_incremental/batch` for the wire + queue
+///   overhead; the payload work is identical.
+fn bench_server_roundtrip(c: &mut Criterion) {
+    use paradise_server::{Client, OverloadPolicy, Server, ServerConfig};
+    use std::time::Duration;
+
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("server", "roundtrip"), |b| {
+        // same single-Pc-node workload as `users_runtime`, but the
+        // query is registered over the wire so each tick reply ships
+        // the tenant's result frame back through the protocol
+        let chain = paradise_nodes::ProcessingChain::new(vec![paradise_nodes::Node::new(
+            "server",
+            paradise_nodes::Level::Pc,
+        )])
+        .expect("single-node chain is valid");
+        let mut runtime = paradise_core::Runtime::new(chain)
+            .with_retention(100_000)
+            .with_policy("UserStats", paradise_bench::users_policy(50));
+        runtime.install_source("server", "stream", users_stream(1, 2_000, 500)).unwrap();
+        let server = Server::start(runtime, ServerConfig::default()).expect("server starts");
+        let mut client = Client::connect(server.local_addr()).expect("client connects");
+        client.set_timeout(Some(Duration::from_secs(60))).unwrap();
+        client
+            .hello(OverloadPolicy::Block { deadline: Duration::from_secs(30) }, None)
+            .unwrap();
+        client.register("UserStats", "SELECT uid, v FROM stream").unwrap();
+        let batches: Vec<_> = (0..32u64).map(|i| users_stream(100 + i, 100, 500)).collect();
+        // one warm-up round trip compiles every plan
+        client.ingest("server", "stream", batches[0].clone()).unwrap();
+        client.tick().unwrap();
+        let mut next = 1usize;
+        b.iter(|| {
+            let batch = batches[next % batches.len()].clone();
+            next += 1;
+            client.ingest("server", "stream", batch).unwrap();
+            black_box(client.tick().unwrap())
+        });
+        drop(client);
+        server.shutdown();
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_end_to_end,
     bench_runtime_multi_query,
     bench_runtime_incremental,
     bench_runtime_sharded,
-    bench_runtime_durable
+    bench_runtime_durable,
+    bench_server_roundtrip
 );
 criterion_main!(benches);

@@ -780,32 +780,101 @@ impl Runtime {
     /// retries are idempotent; recover by installing a compatible
     /// policy or [`Runtime::remove_query`]-ing the rejected handle.
     pub fn tick(&mut self) -> CoreResult<Vec<(QueryHandle, Outcome)>> {
+        let per_handle = self.tick_inner(false)?;
+        let mut out = Vec::with_capacity(per_handle.len());
+        let mut first_error: Option<CoreError> = None;
+        for (handle, result) in per_handle {
+            match result {
+                Ok(outcome) => out.push((handle, outcome)),
+                Err(e) => {
+                    first_error.get_or_insert(e);
+                }
+            }
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    }
+
+    /// Like [`Runtime::tick`], but **fault-isolating**: every live
+    /// handle gets its own `Result`, in registration (slot) order, and
+    /// one failing handle cannot poison the tick for the others.
+    ///
+    /// * A handle whose plan rebuild fails (typically a
+    ///   [`Runtime::set_policy`] swap that now denies its query) is
+    ///   **quarantined for this tick**: its entry carries the typed
+    ///   error, its counters and cached state are untouched (retries
+    ///   stay idempotent), and every other handle executes normally.
+    /// * A handle whose *execution* fails likewise reports its error in
+    ///   place; its incremental state is reset so the next tick rebuilds
+    ///   from a clean slate.
+    /// * The outer `Err` is reserved for runtime-global failures —
+    ///   internal invariant violations and durability commit errors —
+    ///   after which no per-handle result is meaningful.
+    ///
+    /// This is the primitive a multi-tenant serving layer builds handle
+    /// quarantine on: one tenant's rejected query yields a typed error
+    /// to that tenant alone, while every other tenant's results are
+    /// computed and returned as usual.
+    pub fn tick_each(&mut self) -> CoreResult<Vec<(QueryHandle, CoreResult<Outcome>)>> {
+        self.tick_inner(true)
+    }
+
+    /// Shared tick body. `isolate` selects the error discipline:
+    /// `false` aborts on the first rebuild failure before any mutation
+    /// (the atomic [`Runtime::tick`] contract), `true` quarantines
+    /// failing handles per slot ([`Runtime::tick_each`]).
+    fn tick_inner(
+        &mut self,
+        isolate: bool,
+    ) -> CoreResult<Vec<(QueryHandle, CoreResult<Outcome>)>> {
+        enum Rebuild {
+            Keep,
+            Fresh(Box<PreprocessOutcome>, FragmentPlan, PolicyVersion, u64),
+            Failed(CoreError),
+        }
+
         // phase 1a (serial, read-only): probe every handle's cached
         // rewrite+fragment plan and precompute the rebuilds. Nothing is
-        // mutated until all rebuilds have succeeded, so a policy that
-        // rejects one registered query cannot corrupt counters or
-        // partially refresh state on repeated failing ticks.
-        let mut rebuilds: Vec<Option<(PreprocessOutcome, FragmentPlan, PolicyVersion, u64)>> =
-            Vec::with_capacity(self.slots.len());
-        for slot in &self.slots {
-            let Some(slot) = slot else {
-                rebuilds.push(None);
-                continue;
-            };
-            let (version, policy) = self.policies.get(&slot.module).ok_or_else(|| {
-                // policies are never removed, so a registered module
-                // without one is an invariant violation, not user error
-                CoreError::Internal(format!("module {:?} lost its policy", slot.module))
-            })?;
-            let fingerprint = source_fingerprint(&self.chain, &slot.tables);
-            if *version != slot.version || fingerprint != slot.fingerprint {
-                // policy swap or source schema change: rebuild this
-                // handle's rewrite under the current policy version
-                let pre = preprocess(&slot.query, policy, &self.options.preprocess)?;
-                let plan = fragment_query(&pre.query)?;
-                rebuilds.push(Some((pre, plan, *version, fingerprint)));
-            } else {
-                rebuilds.push(None);
+        // mutated until all rebuilds have succeeded (or, isolating,
+        // been marked failed), so a policy that rejects one registered
+        // query cannot corrupt counters or partially refresh state on
+        // repeated failing ticks.
+        let mut rebuilds: Vec<Option<Rebuild>> = Vec::with_capacity(self.slots.len());
+        {
+            let policies = &self.policies;
+            let chain = &self.chain;
+            let options = &self.options;
+            for slot in &self.slots {
+                let Some(slot) = slot else {
+                    rebuilds.push(None);
+                    continue;
+                };
+                let probed = (|| -> CoreResult<Rebuild> {
+                    let (version, policy) = policies.get(&slot.module).ok_or_else(|| {
+                        // policies are never removed, so a registered
+                        // module without one is an invariant violation,
+                        // not user error
+                        CoreError::Internal(format!("module {:?} lost its policy", slot.module))
+                    })?;
+                    let fingerprint = source_fingerprint(chain, &slot.tables);
+                    if *version != slot.version || fingerprint != slot.fingerprint {
+                        // policy swap or source schema change: rebuild
+                        // this handle's rewrite under the current
+                        // policy version
+                        let pre = preprocess(&slot.query, policy, &options.preprocess)?;
+                        let plan = fragment_query(&pre.query)?;
+                        Ok(Rebuild::Fresh(Box::new(pre), plan, *version, fingerprint))
+                    } else {
+                        Ok(Rebuild::Keep)
+                    }
+                })();
+                match probed {
+                    Ok(rebuild) => rebuilds.push(Some(rebuild)),
+                    Err(e) if isolate => rebuilds.push(Some(Rebuild::Failed(e))),
+                    Err(e) => return Err(e),
+                }
             }
         }
 
@@ -813,14 +882,21 @@ impl Runtime {
         // every handle chain's sources and plan-cache salts (the
         // cross-handle plan pool is consulted just-in-time inside the
         // delta driver, where each stage's input table is guaranteed
-        // to exist for fingerprint verification)
-        for (slot, rebuild) in self.slots.iter_mut().zip(rebuilds) {
+        // to exist for fingerprint verification). Quarantined handles
+        // are skipped wholesale: no counters, no refresh — a failing
+        // handle's retries stay idempotent.
+        let mut failed: Vec<Option<CoreError>> = self.slots.iter().map(|_| None).collect();
+        for (index, (slot, rebuild)) in self.slots.iter_mut().zip(rebuilds).enumerate() {
             let Some(slot) = slot else { continue };
-            match rebuild {
-                Some((pre, plan, version, fingerprint)) => {
+            match rebuild.expect("live slot has a rebuild decision") {
+                Rebuild::Failed(e) => {
+                    failed[index] = Some(e);
+                    continue;
+                }
+                Rebuild::Fresh(pre, plan, version, fingerprint) => {
                     slot.stats.misses += 1;
                     slot.stats.invalidations += 1;
-                    slot.pre = pre;
+                    slot.pre = *pre;
                     slot.plan = plan;
                     slot.version = version;
                     slot.fingerprint = fingerprint;
@@ -828,7 +904,7 @@ impl Runtime {
                     // state belongs to the old fragments
                     slot.delta.reset();
                 }
-                None => slot.stats.hits += 1,
+                Rebuild::Keep => slot.stats.hits += 1,
             }
             for node in self.chain.nodes() {
                 let target = slot.chain.node_mut(&node.name).map_err(|_| {
@@ -848,7 +924,8 @@ impl Runtime {
         // information-gain check is on (it reads the raw sources)
         let info_catalog = self.options.info_gain_threshold.map(|_| self.integrated_catalog());
 
-        // phase 2 (parallel): execute the handles' pipelines
+        // phase 2 (parallel): execute the handles' pipelines —
+        // quarantined handles (rebuild failures) are skipped
         let mut results: Vec<Option<CoreResult<Outcome>>> =
             self.slots.iter().map(|_| None).collect();
         {
@@ -858,9 +935,15 @@ impl Runtime {
             let incremental = self.incremental;
             let shared = &self.shared;
             let shard = self.partitioning.as_ref();
+            let failed = &failed;
             ThreadPool::global().scope(|scope| {
-                for (slot, result) in self.slots.iter_mut().zip(results.iter_mut()) {
+                for (index, (slot, result)) in
+                    self.slots.iter_mut().zip(results.iter_mut()).enumerate()
+                {
                     let Some(reg) = slot.as_mut() else { continue };
+                    if failed[index].is_some() {
+                        continue;
+                    }
                     scope.spawn(move || {
                         *result = Some(run_handle(
                             reg,
@@ -882,28 +965,37 @@ impl Runtime {
         // failing tick (a persistently failing handle must not leave
         // source mirrors pinned, which would degrade every subsequent
         // ingest append into a copy-on-write rescan of the window).
-        let mut out = Vec::with_capacity(results.len());
-        let mut first_error: Option<CoreError> = None;
+        let mut out: Vec<(QueryHandle, CoreResult<Outcome>)> = Vec::with_capacity(results.len());
+        let mut reset_delta: Vec<usize> = Vec::new();
+        let mut global_error: Option<CoreError> = None;
         for (index, (slot, result)) in self.slots.iter().zip(results).enumerate() {
             let Some(reg) = slot else { continue };
+            let handle = QueryHandle { index: index as u32, generation: reg.generation };
+            if let Some(e) = failed[index].take() {
+                out.push((handle, Err(e)));
+                continue;
+            }
             let Some(result) = result else {
                 // a live slot the pool never executed is an invariant
                 // violation; report it typed and keep collecting
-                first_error.get_or_insert(CoreError::Internal(format!(
-                    "slot {index} was not executed this tick"
-                )));
+                out.push((
+                    handle,
+                    Err(CoreError::Internal(format!("slot {index} was not executed this tick"))),
+                ));
                 continue;
             };
-            match result {
-                Ok(outcome) => {
-                    let handle =
-                        QueryHandle { index: index as u32, generation: reg.generation };
-                    out.push((handle, outcome));
-                }
-                Err(e) => {
-                    if first_error.is_none() {
-                        first_error = Some(e);
-                    }
+            if result.is_err() {
+                // a failed execution may have consumed part of its
+                // delta: drop the handle's incremental state so the
+                // next tick rebuilds from clean sources
+                reset_delta.push(index);
+            }
+            out.push((handle, result));
+        }
+        if isolate {
+            for index in reset_delta {
+                if let Some(reg) = self.slots[index].as_mut() {
+                    reg.delta.reset();
                 }
             }
         }
@@ -956,7 +1048,7 @@ impl Runtime {
                     // mirrors, so the runtime degrades one tick
                     // instead of pinning the window
                     Err(_) => {
-                        first_error.get_or_insert_with(|| {
+                        global_error.get_or_insert_with(|| {
                             CoreError::Internal(format!(
                                 "handle chain lost node {:?}",
                                 node.name
@@ -972,14 +1064,18 @@ impl Runtime {
         // policy swaps) reaches the OS in one write. It runs on failing
         // ticks too (the buffered records describe state that *was*
         // applied); a failed write keeps the buffer for the next
-        // commit point.
+        // commit point. In isolating mode a commit failure surfaces
+        // even when some handle was quarantined — a durability fault is
+        // global, a tenant fault is not.
+        let any_handle_error = out.iter().any(|(_, r)| r.is_err());
         if let Some(d) = self.durability.as_mut() {
             let committed = d.commit();
-            if first_error.is_none() {
+            if global_error.is_none() && (isolate || !any_handle_error) {
                 committed?;
             }
         }
-        let auto_snapshot = first_error.is_none()
+        let auto_snapshot = global_error.is_none()
+            && (isolate || !any_handle_error)
             && self.durability.as_mut().is_some_and(|d| {
                 d.ticks_since_snapshot += 1;
                 d.snapshot_every > 0 && d.ticks_since_snapshot >= d.snapshot_every
@@ -988,7 +1084,7 @@ impl Runtime {
             self.snapshot()?;
         }
 
-        match first_error {
+        match global_error {
             Some(e) => Err(e),
             None => Ok(out),
         }

@@ -1,0 +1,110 @@
+//! Admission control: hard caps that refuse work *before* it can
+//! degrade other tenants — connection count, handles per module,
+//! batch size, retained rows, and a per-connection ingest rate.
+
+use std::time::Instant;
+
+/// Resource caps enforced at the server edge. A value of `0` means
+/// "unlimited" for the row/rate caps; the connection and handle caps
+/// are always enforced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Maximum simultaneous client connections; further connects get
+    /// a typed `Admission` error and are closed.
+    pub max_connections: usize,
+    /// Maximum live query handles per module across all connections.
+    pub max_handles_per_module: usize,
+    /// Maximum rows the runtime may retain across all stream tables;
+    /// an ingest that would exceed it fails with a deferred admission
+    /// error (`0` = unlimited).
+    pub max_retained_rows: usize,
+    /// Maximum rows in one ingest batch; larger batches are refused at
+    /// the connection with a typed `Admission` error.
+    pub max_batch_rows: usize,
+    /// Maximum ingested rows per second per connection, enforced by a
+    /// token bucket (`0` = unlimited). Excess batches get a typed
+    /// `Overloaded` reply, never silent drops.
+    pub max_rows_per_sec: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_connections: 128,
+            max_handles_per_module: 16,
+            max_retained_rows: 0,
+            max_batch_rows: 1 << 20,
+            max_rows_per_sec: 0,
+        }
+    }
+}
+
+/// Classic token bucket: capacity = one second's budget, refilled
+/// continuously. `0` rate = unlimited.
+#[derive(Debug)]
+pub(crate) struct TokenBucket {
+    rate: u64,
+    tokens: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    pub(crate) fn new(rate: u64) -> Self {
+        TokenBucket { rate, tokens: rate as f64, last: Instant::now() }
+    }
+
+    /// Take `rows` tokens if available; `false` = rate limited.
+    pub(crate) fn admit(&mut self, rows: u64) -> bool {
+        if self.rate == 0 {
+            return true;
+        }
+        let now = Instant::now();
+        let elapsed = now.saturating_duration_since(self.last);
+        self.last = now;
+        let cap = self.rate as f64;
+        self.tokens = (self.tokens + elapsed.as_secs_f64() * cap).min(cap);
+        if self.tokens >= rows as f64 {
+            self.tokens -= rows as f64;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Test hook: pretend `d` passed without sleeping.
+    #[cfg(test)]
+    pub(crate) fn rewind(&mut self, d: std::time::Duration) {
+        self.last -= d;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn zero_rate_is_unlimited() {
+        let mut b = TokenBucket::new(0);
+        assert!(b.admit(u64::MAX));
+        assert!(b.admit(u64::MAX));
+    }
+
+    #[test]
+    fn bucket_exhausts_and_refills() {
+        let mut b = TokenBucket::new(100);
+        assert!(b.admit(100), "full bucket admits one second's budget");
+        assert!(!b.admit(1), "empty bucket refuses");
+        b.rewind(Duration::from_millis(500));
+        assert!(b.admit(40), "half a second refills half the budget");
+        assert!(!b.admit(40), "but not more");
+    }
+
+    #[test]
+    fn bucket_never_exceeds_capacity() {
+        let mut b = TokenBucket::new(10);
+        b.rewind(Duration::from_secs(60));
+        assert!(b.admit(10));
+        assert!(!b.admit(1), "a long idle period must not bank extra budget");
+    }
+}

@@ -1,0 +1,254 @@
+//! A minimal blocking client for the wire protocol — used by the
+//! tests, benches, and examples, and small enough to crib for real
+//! integrations.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use paradise_engine::Frame;
+
+use crate::protocol::{
+    self, ErrorCode, Request, Response, TickEntry, WireError, DEFAULT_MAX_FRAME_BYTES,
+    QUEUE_CAPACITY_DEFAULT,
+};
+use crate::queue::OverloadPolicy;
+use crate::stats::ServerStats;
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (connect, read, write, timeout).
+    Io(String),
+    /// The server replied with a typed error.
+    Server {
+        /// Failure category.
+        code: ErrorCode,
+        /// Server-provided detail.
+        message: String,
+    },
+    /// The server replied with something the request cannot mean —
+    /// a protocol bug or version skew.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(what) => write!(f, "i/o error: {what}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error ({code}): {message}")
+            }
+            ClientError::Protocol(what) => write!(f, "protocol error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Io(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e.to_string())
+    }
+}
+
+/// Result of one [`Client::ingest`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestAck {
+    /// The batch is queued; `depth` is the connection's in-flight
+    /// count (a pacing signal).
+    Accepted {
+        /// Queue depth after the enqueue.
+        depth: u32,
+    },
+    /// The batch was refused (shed, deadline expired, or rate
+    /// limited) — the caller still owns the data.
+    Overloaded {
+        /// Why the batch was refused.
+        reason: String,
+    },
+}
+
+/// One handle's tick outcome: its result frame, or a typed error
+/// (for a quarantined handle, [`ErrorCode::Quarantined`] plus the
+/// engine's message).
+pub type HandleResult = Result<Frame, (ErrorCode, String)>;
+
+/// Result of one [`Client::tick`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TickReply {
+    /// Per-handle outcomes for this connection, registration order. A
+    /// quarantined handle carries [`ErrorCode::Quarantined`]; other
+    /// handles' frames are unaffected.
+    pub results: Vec<(u64, HandleResult)>,
+    /// Errors from batches accepted since the last tick whose apply
+    /// failed.
+    pub deferred: Vec<String>,
+}
+
+/// Server + runtime counters, from [`Client::stats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsReply {
+    /// Parsed server counters.
+    pub server: ServerStats,
+    /// All counters as raw pairs (`server_*` and `runtime_*`).
+    pub counters: Vec<(String, u64)>,
+}
+
+/// A blocking connection to a [`Server`](crate::Server).
+pub struct Client {
+    stream: TcpStream,
+    max_frame_bytes: usize,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream, max_frame_bytes: DEFAULT_MAX_FRAME_BYTES })
+    }
+
+    /// Set a socket read timeout (otherwise requests block forever on
+    /// a dead server).
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Configure this connection's overload policy and, optionally,
+    /// its ingest queue capacity.
+    pub fn hello(
+        &mut self,
+        policy: OverloadPolicy,
+        queue_capacity: Option<u32>,
+    ) -> Result<(), ClientError> {
+        let (shed, block_ms) = match policy {
+            OverloadPolicy::Shed => (true, 0),
+            OverloadPolicy::Block { deadline } => (false, deadline.as_millis() as u64),
+        };
+        let req = Request::Hello {
+            shed,
+            block_ms,
+            queue_capacity: queue_capacity.unwrap_or(QUEUE_CAPACITY_DEFAULT),
+        };
+        match self.call(&req)? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected("Ok", other)),
+        }
+    }
+
+    /// Install (or replace) a source table at a chain node.
+    pub fn install_source(
+        &mut self,
+        node: &str,
+        table: &str,
+        frame: Frame,
+    ) -> Result<(), ClientError> {
+        let req =
+            Request::InstallSource { node: node.into(), table: table.into(), frame };
+        match self.call(&req)? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected("Ok", other)),
+        }
+    }
+
+    /// Register a continuous query; the returned id names the handle
+    /// in [`TickReply::results`] and [`Client::remove_query`].
+    pub fn register(&mut self, module: &str, sql: &str) -> Result<u64, ClientError> {
+        let req = Request::Register { module: module.into(), sql: sql.into() };
+        match self.call(&req)? {
+            Response::Registered { handle } => Ok(handle),
+            other => Err(unexpected("Registered", other)),
+        }
+    }
+
+    /// Queue one stream batch. `Overloaded` is a normal outcome under
+    /// pressure, not an error — the caller decides whether to retry.
+    pub fn ingest(
+        &mut self,
+        node: &str,
+        table: &str,
+        frame: Frame,
+    ) -> Result<IngestAck, ClientError> {
+        let req = Request::Ingest { node: node.into(), table: table.into(), frame };
+        match self.call(&req)? {
+            Response::Accepted { depth } => Ok(IngestAck::Accepted { depth }),
+            Response::Overloaded { reason } => Ok(IngestAck::Overloaded { reason }),
+            other => Err(unexpected("Accepted/Overloaded", other)),
+        }
+    }
+
+    /// Evaluate all registered queries and fetch this connection's
+    /// per-handle results.
+    pub fn tick(&mut self) -> Result<TickReply, ClientError> {
+        match self.call(&Request::Tick)? {
+            Response::TickResults { results, deferred } => Ok(TickReply {
+                results: results
+                    .into_iter()
+                    .map(|TickEntry { handle, result }| (handle, result))
+                    .collect(),
+                deferred,
+            }),
+            other => Err(unexpected("TickResults", other)),
+        }
+    }
+
+    /// Install or swap a module policy (PP4SE XML) live.
+    pub fn set_policy(&mut self, module: &str, xml: &str) -> Result<(), ClientError> {
+        let req = Request::SetPolicy { module: module.into(), xml: xml.into() };
+        match self.call(&req)? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected("Ok", other)),
+        }
+    }
+
+    /// Deregister one of this connection's handles.
+    pub fn remove_query(&mut self, handle: u64) -> Result<(), ClientError> {
+        match self.call(&Request::RemoveQuery { handle })? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected("Ok", other)),
+        }
+    }
+
+    /// Fetch server + runtime counters.
+    pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats { counters } => {
+                Ok(StatsReply { server: ServerStats::from_named(&counters), counters })
+            }
+            other => Err(unexpected("Stats", other)),
+        }
+    }
+
+    /// Liveness probe (answered by the connection thread, no engine
+    /// round trip).
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("Pong", other)),
+        }
+    }
+
+    /// One request/response round trip. `Error` replies become
+    /// [`ClientError::Server`].
+    fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let payload = protocol::encode_request(req);
+        protocol::write_frame(&mut self.stream, &payload)?;
+        let reply = protocol::read_frame(&mut self.stream, self.max_frame_bytes)?;
+        match protocol::decode_response(&reply)? {
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Ok(other),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: Response) -> ClientError {
+    ClientError::Protocol(format!("expected {wanted}, got {got:?}"))
+}

@@ -1,0 +1,274 @@
+//! One thread per client connection: read frames, enforce the edge
+//! caps (batch size, rate, bounded queue), translate to engine
+//! commands, write replies.
+//!
+//! Graceful degradation is local: a malformed frame, oversized
+//! payload, or mid-frame disconnect closes *this* connection with a
+//! typed error (when the socket still works) and a counter bump —
+//! never a panic, never collateral damage to another tenant.
+
+use std::io::Read;
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::Sender;
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use crate::admission::TokenBucket;
+use crate::protocol::{
+    self, ErrorCode, Request, Response, WireError, QUEUE_CAPACITY_DEFAULT,
+};
+use crate::queue::{Admit, IngestGate, OverloadPolicy};
+use crate::server::{EngineCommand, Logger, ServerConfig};
+use crate::stats::StatsCell;
+
+/// Everything a connection thread needs from the server.
+pub(crate) struct ConnCtx {
+    pub(crate) id: u64,
+    pub(crate) tx: Sender<EngineCommand>,
+    pub(crate) stats: Arc<StatsCell>,
+    pub(crate) config: Arc<ServerConfig>,
+    pub(crate) shutdown: Arc<std::sync::atomic::AtomicBool>,
+    pub(crate) logger: Arc<Logger>,
+}
+
+/// Why the connection ended (for the event log).
+enum Close {
+    PeerClosed,
+    IdleReaped,
+    Shutdown,
+    WireFault(String),
+    SocketError(String),
+}
+
+/// Serve one client until it disconnects, faults, idles out, or the
+/// server shuts down. Never panics on wire input.
+pub(crate) fn serve_connection(mut stream: TcpStream, ctx: ConnCtx) {
+    let _ = stream.set_read_timeout(Some(ctx.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(ctx.config.write_timeout));
+    let _ = stream.set_nodelay(true);
+
+    let close = connection_loop(&mut stream, &ctx);
+    let reason = match &close {
+        Close::PeerClosed => "peer closed".to_string(),
+        Close::IdleReaped => "idle reaped".to_string(),
+        Close::Shutdown => "server shutdown".to_string(),
+        Close::WireFault(what) => format!("wire fault: {what}"),
+        Close::SocketError(what) => format!("socket error: {what}"),
+    };
+    ctx.logger.log(format!("conn {}: closed ({reason})", ctx.id));
+    if matches!(close, Close::IdleReaped) {
+        StatsCell::bump(&ctx.stats.idle_reaped);
+    }
+    // On shutdown the engine still drains queued ingest; Disconnect
+    // afterwards releases this connection's handles.
+    let _ = ctx.tx.send(EngineCommand::Disconnect { conn: ctx.id });
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    StatsCell::drop_one(&ctx.stats.connections_live);
+    StatsCell::bump(&ctx.stats.connections_closed);
+}
+
+fn connection_loop(stream: &mut TcpStream, ctx: &ConnCtx) -> Close {
+    let mut policy = ctx.config.overload;
+    let mut gate = Arc::new(IngestGate::new(ctx.config.queue_capacity));
+    let mut bucket = TokenBucket::new(ctx.config.admission.max_rows_per_sec);
+
+    loop {
+        // Between frames: poll at read-timeout granularity so both
+        // idle reaping and shutdown are noticed promptly.
+        let mut idle = Duration::ZERO;
+        let first = loop {
+            if ctx.shutdown.load(Ordering::SeqCst) {
+                return Close::Shutdown;
+            }
+            let mut byte = [0u8; 1];
+            match stream.read(&mut byte) {
+                Ok(0) => return Close::PeerClosed,
+                Ok(_) => break byte[0],
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    idle += ctx.config.read_timeout;
+                    if idle >= ctx.config.idle_timeout {
+                        return Close::IdleReaped;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Close::SocketError(e.to_string()),
+            }
+        };
+
+        // Mid-frame: a timeout now means a truncated/half-open frame.
+        let payload = match protocol::read_frame_after(stream, first, ctx.config.max_frame_bytes)
+        {
+            Ok(payload) => payload,
+            Err(e) => return close_on_wire_fault(stream, ctx, e),
+        };
+        StatsCell::bump(&ctx.stats.frames_received);
+
+        let request = match protocol::decode_request(&payload) {
+            Ok(request) => request,
+            Err(e) => return close_on_wire_fault(stream, ctx, e),
+        };
+
+        let response = match request {
+            Request::Ping => Response::Pong,
+            Request::Hello { shed, block_ms, queue_capacity } => {
+                policy = if shed {
+                    OverloadPolicy::Shed
+                } else {
+                    OverloadPolicy::Block { deadline: Duration::from_millis(block_ms) }
+                };
+                if queue_capacity != QUEUE_CAPACITY_DEFAULT {
+                    // In-flight batches hold their own Arc to the old
+                    // gate, so swapping is safe at any time.
+                    gate = Arc::new(IngestGate::new(queue_capacity as usize));
+                }
+                ctx.logger.log(format!(
+                    "conn {}: hello ({})",
+                    ctx.id,
+                    if shed { "shed".to_string() } else { format!("block {block_ms}ms") }
+                ));
+                Response::Ok
+            }
+            Request::Ingest { node, table, frame } => {
+                handle_ingest(ctx, &gate, policy, &mut bucket, node, table, frame)
+            }
+            Request::InstallSource { node, table, frame } => {
+                roundtrip(ctx, |reply| EngineCommand::InstallSource { node, table, frame, reply })
+            }
+            Request::Register { module, sql } => roundtrip(ctx, |reply| {
+                EngineCommand::Register { conn: ctx.id, module, sql, reply }
+            }),
+            Request::Tick => roundtrip(ctx, |reply| EngineCommand::Tick { conn: ctx.id, reply }),
+            Request::SetPolicy { module, xml } => {
+                roundtrip(ctx, |reply| EngineCommand::SetPolicy { module, xml, reply })
+            }
+            Request::RemoveQuery { handle } => roundtrip(ctx, |reply| {
+                EngineCommand::RemoveQuery { conn: ctx.id, handle, reply }
+            }),
+            Request::Stats => roundtrip(ctx, |reply| EngineCommand::Stats { reply }),
+        };
+
+        if let Err(e) = send_response(stream, ctx, &response) {
+            return Close::SocketError(e);
+        }
+    }
+}
+
+/// Edge checks + bounded enqueue for one ingest batch.
+fn handle_ingest(
+    ctx: &ConnCtx,
+    gate: &Arc<IngestGate>,
+    policy: OverloadPolicy,
+    bucket: &mut TokenBucket,
+    node: String,
+    table: String,
+    frame: paradise_engine::Frame,
+) -> Response {
+    let rows = frame.len();
+    if rows > ctx.config.admission.max_batch_rows {
+        StatsCell::bump(&ctx.stats.admission_rejected);
+        return Response::Error {
+            code: ErrorCode::Admission,
+            message: format!(
+                "batch of {rows} rows exceeds the {}-row cap",
+                ctx.config.admission.max_batch_rows
+            ),
+        };
+    }
+    if !bucket.admit(rows as u64) {
+        StatsCell::bump(&ctx.stats.ingest_rate_limited);
+        return Response::Overloaded {
+            reason: format!(
+                "rate limit: {} rows/s per connection",
+                ctx.config.admission.max_rows_per_sec
+            ),
+        };
+    }
+    match gate.enter(policy) {
+        Admit::Shed => {
+            StatsCell::bump(&ctx.stats.ingest_shed);
+            Response::Overloaded { reason: "ingest queue full (shed)".into() }
+        }
+        Admit::DeadlineExpired => {
+            StatsCell::bump(&ctx.stats.ingest_block_timeouts);
+            Response::Overloaded { reason: "ingest queue full (block deadline expired)".into() }
+        }
+        Admit::Enter { depth } => {
+            let cmd = EngineCommand::Ingest {
+                conn: ctx.id,
+                node,
+                table,
+                frame,
+                gate: Arc::clone(gate),
+            };
+            match ctx.tx.send(cmd) {
+                Ok(()) => {
+                    StatsCell::bump(&ctx.stats.ingest_accepted);
+                    Response::Accepted { depth }
+                }
+                Err(_) => {
+                    gate.leave();
+                    shutting_down()
+                }
+            }
+        }
+    }
+}
+
+/// Send a command to the engine and wait for its reply.
+fn roundtrip(
+    ctx: &ConnCtx,
+    build: impl FnOnce(Sender<Response>) -> EngineCommand,
+) -> Response {
+    let (reply_tx, reply_rx) = mpsc::channel();
+    if ctx.tx.send(build(reply_tx)).is_err() {
+        return shutting_down();
+    }
+    reply_rx.recv().unwrap_or_else(|_| shutting_down())
+}
+
+fn shutting_down() -> Response {
+    Response::Error { code: ErrorCode::ShuttingDown, message: "server is shutting down".into() }
+}
+
+/// Classify a wire fault, bump its counter, best-effort send a typed
+/// error (only when the stream may still be usable), and close.
+fn close_on_wire_fault(stream: &mut TcpStream, ctx: &ConnCtx, e: WireError) -> Close {
+    match &e {
+        WireError::Oversized(_) => StatsCell::bump(&ctx.stats.oversized_frames),
+        WireError::Closed | WireError::Io(_) => {}
+        _ => StatsCell::bump(&ctx.stats.malformed_frames),
+    }
+    match e {
+        WireError::Closed => Close::PeerClosed,
+        WireError::Io(what) => Close::SocketError(what),
+        WireError::Truncated(what) => {
+            // Half-open or mid-frame disconnect: the peer is gone or
+            // wedged — no point writing an error frame.
+            Close::WireFault(format!("truncated: {what}"))
+        }
+        e @ (WireError::BadMagic(_)
+        | WireError::Oversized(_)
+        | WireError::BadCrc
+        | WireError::Malformed(_)) => {
+            let msg = e.to_string();
+            let _ = send_response(
+                stream,
+                ctx,
+                &Response::Error { code: ErrorCode::BadRequest, message: msg.clone() },
+            );
+            Close::WireFault(msg)
+        }
+        WireError::Idle => Close::IdleReaped,
+    }
+}
+
+fn send_response(stream: &mut TcpStream, ctx: &ConnCtx, rsp: &Response) -> Result<(), String> {
+    let payload = protocol::encode_response(rsp);
+    protocol::write_frame(stream, &payload).map_err(|e| e.to_string())?;
+    StatsCell::bump(&ctx.stats.frames_sent);
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! # paradise-server
+//!
+//! A multi-tenant TCP serving layer for the PArADISE continuous-query
+//! [`Runtime`](paradise_core::Runtime): register queries, ingest
+//! stream batches, tick, and hot-swap policies over a hand-rolled
+//! length-prefixed frame protocol — no async runtime, just a small
+//! accept loop, a thread per connection, and one engine thread that
+//! owns the runtime.
+//!
+//! The design is robustness-first:
+//!
+//! * **Admission control** ([`AdmissionConfig`]) — hard caps on
+//!   connections, handles per module, batch rows, retained rows, and
+//!   per-connection ingest rate; over-cap work gets a typed refusal,
+//!   never silent degradation.
+//! * **Bounded ingest** ([`OverloadPolicy`]) — each connection's
+//!   in-flight batches are capped; on overflow the connection either
+//!   *sheds* (typed `Overloaded` reply, client keeps the data) or
+//!   *blocks* up to a deadline.
+//! * **Timeouts everywhere** — read, write, and idle timeouts mean no
+//!   wedged client can pin a thread or a queue slot forever; idle
+//!   connections are reaped.
+//! * **Graceful degradation** — a malformed frame, oversized payload,
+//!   or mid-frame disconnect kills only that connection; a handle
+//!   whose tick fails is *quarantined* (its owner sees a typed
+//!   [`ErrorCode::Quarantined`] error, other tenants' results are
+//!   byte-identical to an in-process run).
+//! * **Observability** ([`ServerStats`]) — every reject, shed,
+//!   timeout, and quarantine increments a counter, served alongside
+//!   the runtime's own stats.
+//! * **Durability** — [`Server::shutdown`] drains queued batches and
+//!   commits the WAL, composing with
+//!   [`Runtime::durable`](paradise_core::Runtime::durable);
+//!   [`Server::crash`] emulates `kill -9` for recovery tests.
+//!
+//! ```no_run
+//! use paradise_core::{ProcessingChain, Runtime};
+//! use paradise_server::{Client, OverloadPolicy, Server, ServerConfig};
+//!
+//! let runtime = Runtime::new(ProcessingChain::apartment());
+//! let server = Server::start(runtime, ServerConfig::default()).unwrap();
+//!
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! client.hello(OverloadPolicy::Shed, None).unwrap();
+//! let handle = client.register("ActionFilter", "SELECT COUNT(*) FROM s0").unwrap();
+//! let reply = client.tick().unwrap();
+//! assert_eq!(reply.results[0].0, handle);
+//!
+//! let _runtime = server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod admission;
+mod client;
+mod connection;
+pub mod protocol;
+mod queue;
+mod server;
+mod stats;
+
+pub use admission::AdmissionConfig;
+pub use client::{Client, ClientError, HandleResult, IngestAck, StatsReply, TickReply};
+pub use protocol::{ErrorCode, WireError};
+pub use queue::OverloadPolicy;
+pub use server::{Server, ServerConfig};
+pub use stats::ServerStats;

@@ -1,0 +1,147 @@
+//! The bounded per-connection ingest gate.
+//!
+//! The engine thread's command channel is unbounded (control messages
+//! must never deadlock), so backpressure on the *data* path is
+//! enforced here instead: each connection holds an [`IngestGate`]
+//! capping its in-flight (accepted but not yet applied) ingest
+//! batches. On a full gate the connection's [`OverloadPolicy`]
+//! decides: shed immediately with a typed `Overloaded` reply, or
+//! block the client up to a deadline and shed only then. The engine
+//! releases one slot after applying each batch, which wakes blocked
+//! producers.
+
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// What a connection does when its bounded ingest queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Refuse the batch immediately with a typed `Overloaded` reply.
+    /// The client keeps the data and decides when to resend.
+    Shed,
+    /// Wait for queue space up to the deadline, then shed. Smooths
+    /// bursts at the cost of client-visible latency.
+    Block {
+        /// Longest a single ingest may wait for a queue slot.
+        deadline: Duration,
+    },
+}
+
+/// Outcome of asking the gate for a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Admit {
+    /// Slot granted; `depth` is the queue depth including this batch.
+    Enter {
+        /// In-flight batches after this enqueue.
+        depth: u32,
+    },
+    /// Queue full under [`OverloadPolicy::Shed`].
+    Shed,
+    /// Queue still full when a [`OverloadPolicy::Block`] deadline
+    /// expired.
+    DeadlineExpired,
+}
+
+/// Counting semaphore with a condvar: `enter` under the connection's
+/// overload policy, `leave` from the engine thread after apply.
+#[derive(Debug)]
+pub(crate) struct IngestGate {
+    depth: Mutex<usize>,
+    freed: Condvar,
+    capacity: usize,
+}
+
+impl IngestGate {
+    pub(crate) fn new(capacity: usize) -> Self {
+        IngestGate { depth: Mutex::new(0), freed: Condvar::new(), capacity }
+    }
+
+    /// Try to take a slot under `policy`.
+    pub(crate) fn enter(&self, policy: OverloadPolicy) -> Admit {
+        let mut depth = self.depth.lock().expect("ingest gate poisoned");
+        match policy {
+            OverloadPolicy::Shed => {
+                if *depth >= self.capacity {
+                    return Admit::Shed;
+                }
+            }
+            OverloadPolicy::Block { deadline } => {
+                let start = Instant::now();
+                while *depth >= self.capacity {
+                    let left = match deadline.checked_sub(start.elapsed()) {
+                        Some(left) if !left.is_zero() => left,
+                        _ => return Admit::DeadlineExpired,
+                    };
+                    let (guard, timeout) =
+                        self.freed.wait_timeout(depth, left).expect("ingest gate poisoned");
+                    depth = guard;
+                    if timeout.timed_out() && *depth >= self.capacity {
+                        return Admit::DeadlineExpired;
+                    }
+                }
+            }
+        }
+        *depth += 1;
+        Admit::Enter { depth: *depth as u32 }
+    }
+
+    /// Release a slot (engine thread, after applying the batch).
+    pub(crate) fn leave(&self) {
+        let mut depth = self.depth.lock().expect("ingest gate poisoned");
+        *depth = depth.saturating_sub(1);
+        drop(depth);
+        self.freed.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn shed_policy_refuses_when_full() {
+        let gate = IngestGate::new(2);
+        assert_eq!(gate.enter(OverloadPolicy::Shed), Admit::Enter { depth: 1 });
+        assert_eq!(gate.enter(OverloadPolicy::Shed), Admit::Enter { depth: 2 });
+        assert_eq!(gate.enter(OverloadPolicy::Shed), Admit::Shed);
+        gate.leave();
+        assert_eq!(gate.enter(OverloadPolicy::Shed), Admit::Enter { depth: 2 });
+    }
+
+    #[test]
+    fn zero_capacity_sheds_everything() {
+        let gate = IngestGate::new(0);
+        assert_eq!(gate.enter(OverloadPolicy::Shed), Admit::Shed);
+        assert_eq!(
+            gate.enter(OverloadPolicy::Block { deadline: Duration::from_millis(10) }),
+            Admit::DeadlineExpired
+        );
+    }
+
+    #[test]
+    fn block_policy_waits_for_a_slot() {
+        let gate = Arc::new(IngestGate::new(1));
+        assert!(matches!(gate.enter(OverloadPolicy::Shed), Admit::Enter { .. }));
+        let releaser = {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                gate.leave();
+            })
+        };
+        let got = gate.enter(OverloadPolicy::Block { deadline: Duration::from_secs(5) });
+        assert_eq!(got, Admit::Enter { depth: 1 });
+        releaser.join().unwrap();
+    }
+
+    #[test]
+    fn block_policy_expires_without_a_slot() {
+        let gate = IngestGate::new(1);
+        assert!(matches!(gate.enter(OverloadPolicy::Shed), Admit::Enter { .. }));
+        let start = Instant::now();
+        let got = gate.enter(OverloadPolicy::Block { deadline: Duration::from_millis(25) });
+        assert_eq!(got, Admit::DeadlineExpired);
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+}

@@ -1,0 +1,669 @@
+//! The server proper: a blocking accept loop, one thread per
+//! connection, and a single *engine thread* that owns the
+//! [`Runtime`] and serializes every state change.
+//!
+//! The engine thread is the robustness anchor: the runtime is never
+//! shared or locked, so no wire fault, slow client, or panicking
+//! connection can leave it half-mutated. Connections translate frames
+//! into [`EngineCommand`]s over an unbounded channel (control traffic
+//! must never deadlock); the *data* path is bounded per connection by
+//! the [`IngestGate`](crate::queue::IngestGate) instead. Shutdown
+//! drops every sender, lets the engine drain the channel — counting
+//! drained batches — and, when the runtime is durable, commits the
+//! WAL with a final snapshot before handing the runtime back.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use paradise_core::{CoreError, Runtime};
+use paradise_engine::Frame;
+use paradise_policy::parse_policy;
+use paradise_sql::parse_query;
+
+use crate::admission::AdmissionConfig;
+use crate::connection::{serve_connection, ConnCtx};
+use crate::protocol::{self, ErrorCode, Response, TickEntry, DEFAULT_MAX_FRAME_BYTES};
+use crate::queue::{IngestGate, OverloadPolicy};
+use crate::stats::{ServerStats, StatsCell};
+
+/// Everything tunable about a [`Server`]. The defaults favour
+/// robustness: bounded queues, finite timeouts, and caps everywhere.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port `0` picks a free port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Resource caps refused at the edge.
+    pub admission: AdmissionConfig,
+    /// Default per-connection ingest queue capacity (a `Hello` may
+    /// lower or raise it for its own connection).
+    pub queue_capacity: usize,
+    /// Default overload policy (a `Hello` may override it).
+    pub overload: OverloadPolicy,
+    /// Socket read timeout — also the granularity at which idle and
+    /// shutdown are noticed.
+    pub read_timeout: Duration,
+    /// Socket write timeout — a client that stops draining replies is
+    /// disconnected rather than wedging its thread forever.
+    pub write_timeout: Duration,
+    /// A connection idle (no frame started) past this is reaped.
+    pub idle_timeout: Duration,
+    /// Hard cap on one frame's payload; larger length prefixes are
+    /// rejected before any allocation.
+    pub max_frame_bytes: usize,
+    /// When set, the server appends a line-oriented event log here
+    /// (accepted/reaped/malformed/quarantined…) for post-mortems.
+    pub log_path: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            admission: AdmissionConfig::default(),
+            queue_capacity: 64,
+            overload: OverloadPolicy::Block { deadline: Duration::from_secs(5) },
+            read_timeout: Duration::from_millis(500),
+            write_timeout: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(30),
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            log_path: None,
+        }
+    }
+}
+
+/// Line-oriented event log (no-op when unconfigured).
+pub(crate) struct Logger {
+    file: Option<Mutex<File>>,
+    start: Instant,
+}
+
+impl Logger {
+    fn new(path: Option<&PathBuf>) -> Self {
+        let file = path.and_then(|p| File::create(p).ok()).map(Mutex::new);
+        Logger { file, start: Instant::now() }
+    }
+
+    pub(crate) fn log(&self, line: impl AsRef<str>) {
+        if let Some(file) = &self.file {
+            if let Ok(mut f) = file.lock() {
+                let t = self.start.elapsed();
+                let _ = writeln!(f, "[{:>8.3}s] {}", t.as_secs_f64(), line.as_ref());
+            }
+        }
+    }
+}
+
+/// A command from a connection thread to the engine thread. Replies
+/// travel over a per-request channel; `Ingest` replies `Accepted`
+/// from the connection immediately (apply is asynchronous, failures
+/// are deferred to the next tick reply).
+pub(crate) enum EngineCommand {
+    /// Install (or replace) a source table.
+    InstallSource {
+        /// Chain node name.
+        node: String,
+        /// Table name.
+        table: String,
+        /// Initial contents.
+        frame: Frame,
+        /// Reply channel.
+        reply: Sender<Response>,
+    },
+    /// Register a query for a connection.
+    Register {
+        /// Owning connection.
+        conn: u64,
+        /// Module id.
+        module: String,
+        /// Query SQL.
+        sql: String,
+        /// Reply channel.
+        reply: Sender<Response>,
+    },
+    /// Apply one accepted ingest batch.
+    Ingest {
+        /// Owning connection (deferred errors land in its state).
+        conn: u64,
+        /// Chain node name.
+        node: String,
+        /// Table name.
+        table: String,
+        /// The batch.
+        frame: Frame,
+        /// The connection's gate; one slot is released after apply.
+        gate: Arc<IngestGate>,
+    },
+    /// Run one tick and reply with the caller's per-handle results.
+    Tick {
+        /// Calling connection.
+        conn: u64,
+        /// Reply channel.
+        reply: Sender<Response>,
+    },
+    /// Install or swap a module policy.
+    SetPolicy {
+        /// Module id (must match a module in the XML).
+        module: String,
+        /// PP4SE policy XML.
+        xml: String,
+        /// Reply channel.
+        reply: Sender<Response>,
+    },
+    /// Deregister one of the caller's handles.
+    RemoveQuery {
+        /// Calling connection.
+        conn: u64,
+        /// Handle id from `Registered`.
+        handle: u64,
+        /// Reply channel.
+        reply: Sender<Response>,
+    },
+    /// Fetch server + runtime counters.
+    Stats {
+        /// Reply channel.
+        reply: Sender<Response>,
+    },
+    /// A connection ended; release everything it owned.
+    Disconnect {
+        /// The connection.
+        conn: u64,
+    },
+}
+
+/// Engine-side per-connection state.
+#[derive(Default)]
+struct ConnState {
+    /// `(wire id, runtime handle, module)` in registration order.
+    handles: Vec<(u64, paradise_core::QueryHandle, String)>,
+    /// Ingest-apply errors awaiting the next tick reply (bounded).
+    deferred: Vec<String>,
+}
+
+const MAX_DEFERRED: usize = 32;
+
+/// A multi-tenant TCP front end over one [`Runtime`].
+///
+/// ```no_run
+/// use paradise_core::{ProcessingChain, Runtime};
+/// use paradise_server::{Server, ServerConfig};
+///
+/// let runtime = Runtime::new(ProcessingChain::apartment());
+/// let server = Server::start(runtime, ServerConfig::default()).unwrap();
+/// println!("serving on {}", server.local_addr());
+/// let _runtime = server.shutdown().unwrap();
+/// ```
+pub struct Server {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    crash: Arc<AtomicBool>,
+    tx: Option<Sender<EngineCommand>>,
+    engine: Option<JoinHandle<Option<Runtime>>>,
+    accept: Option<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    conn_sockets: Arc<Mutex<HashMap<u64, TcpStream>>>,
+    stats: Arc<StatsCell>,
+}
+
+impl Server {
+    /// Bind `config.addr`, move `runtime` onto the engine thread, and
+    /// start serving. Returns once the listener is live.
+    pub fn start(runtime: Runtime, config: ServerConfig) -> Result<Server, CoreError> {
+        let listener =
+            TcpListener::bind(&config.addr).map_err(|e| CoreError::Io(e.to_string()))?;
+        let local_addr = listener.local_addr().map_err(|e| CoreError::Io(e.to_string()))?;
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let crash = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(StatsCell::default());
+        let logger = Arc::new(Logger::new(config.log_path.as_ref()));
+        let (tx, rx) = mpsc::channel::<EngineCommand>();
+
+        let engine = {
+            let stats = Arc::clone(&stats);
+            let shutdown = Arc::clone(&shutdown);
+            let crash = Arc::clone(&crash);
+            let logger = Arc::clone(&logger);
+            let admission = config.admission.clone();
+            std::thread::Builder::new()
+                .name("paradise-engine".into())
+                .spawn(move || engine_loop(runtime, rx, admission, stats, shutdown, crash, logger))
+                .map_err(|e| CoreError::Io(e.to_string()))?
+        };
+
+        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+        let conn_sockets = Arc::new(Mutex::new(HashMap::new()));
+
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let stats = Arc::clone(&stats);
+            let logger = Arc::clone(&logger);
+            let tx = tx.clone();
+            let conn_threads = Arc::clone(&conn_threads);
+            let conn_sockets = Arc::clone(&conn_sockets);
+            let config = Arc::new(config);
+            std::thread::Builder::new()
+                .name("paradise-accept".into())
+                .spawn(move || {
+                    accept_loop(
+                        listener,
+                        config,
+                        tx,
+                        stats,
+                        shutdown,
+                        logger,
+                        conn_threads,
+                        conn_sockets,
+                    )
+                })
+                .map_err(|e| CoreError::Io(e.to_string()))?
+        };
+
+        Ok(Server {
+            local_addr,
+            shutdown,
+            crash,
+            tx: Some(tx),
+            engine: Some(engine),
+            accept: Some(accept),
+            conn_threads,
+            conn_sockets,
+            stats,
+        })
+    }
+
+    /// The bound address (with the real port when `addr` used port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Snapshot of the server's robustness counters.
+    pub fn stats(&self) -> ServerStats {
+        self.stats.snapshot()
+    }
+
+    /// Graceful shutdown: stop accepting, disconnect clients, drain
+    /// the queued ingest batches, commit the durability WAL (when the
+    /// runtime is durable), and hand the runtime back.
+    pub fn shutdown(mut self) -> Option<Runtime> {
+        self.stop()
+    }
+
+    /// Crash emulation for recovery tests: tear the process state
+    /// down as `kill -9` would — queued batches are still applied,
+    /// but the final WAL commit is skipped, so everything the
+    /// durability layer buffered since the last tick is lost. The
+    /// runtime is leaked, not returned.
+    pub fn crash(mut self) {
+        self.crash.store(true, Ordering::SeqCst);
+        self.stop();
+    }
+
+    fn stop(&mut self) -> Option<Runtime> {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // Kick every live connection off its socket read.
+        if let Ok(sockets) = self.conn_sockets.lock() {
+            for stream in sockets.values() {
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            }
+        }
+        let threads = match self.conn_threads.lock() {
+            Ok(mut threads) => std::mem::take(&mut *threads),
+            Err(_) => Vec::new(),
+        };
+        for t in threads {
+            let _ = t.join();
+        }
+        // All senders gone → the engine drains the channel and exits.
+        self.tx.take();
+        self.engine.take().and_then(|engine| engine.join().unwrap_or(None))
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.engine.is_some() {
+            self.stop();
+        }
+    }
+}
+
+/// Accept connections until shutdown, enforcing the connection cap.
+#[allow(clippy::too_many_arguments)]
+fn accept_loop(
+    listener: TcpListener,
+    config: Arc<ServerConfig>,
+    tx: Sender<EngineCommand>,
+    stats: Arc<StatsCell>,
+    shutdown: Arc<AtomicBool>,
+    logger: Arc<Logger>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    conn_sockets: Arc<Mutex<HashMap<u64, TcpStream>>>,
+) {
+    let next_id = AtomicU64::new(1);
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let live = stats.connections_live.load(Ordering::Relaxed);
+        if live as usize >= config.admission.max_connections {
+            StatsCell::bump(&stats.connections_rejected);
+            logger.log("accept: connection rejected (connection cap)");
+            reject_connection(stream, &config);
+            continue;
+        }
+        let id = next_id.fetch_add(1, Ordering::Relaxed);
+        StatsCell::bump(&stats.connections_accepted);
+        StatsCell::bump(&stats.connections_live);
+        logger.log(format!("conn {id}: accepted from {:?}", stream.peer_addr().ok()));
+        if let Ok(clone) = stream.try_clone() {
+            if let Ok(mut sockets) = conn_sockets.lock() {
+                sockets.insert(id, clone);
+            }
+        }
+        let ctx = ConnCtx {
+            id,
+            tx: tx.clone(),
+            stats: Arc::clone(&stats),
+            config: Arc::clone(&config),
+            shutdown: Arc::clone(&shutdown),
+            logger: Arc::clone(&logger),
+        };
+        let sockets = Arc::clone(&conn_sockets);
+        let thread = std::thread::Builder::new()
+            .name(format!("paradise-conn-{id}"))
+            .spawn(move || {
+                serve_connection(stream, ctx);
+                if let Ok(mut sockets) = sockets.lock() {
+                    sockets.remove(&id);
+                }
+            });
+        match thread {
+            Ok(handle) => {
+                if let Ok(mut threads) = conn_threads.lock() {
+                    threads.push(handle);
+                }
+            }
+            Err(_) => {
+                StatsCell::drop_one(&stats.connections_live);
+                StatsCell::bump(&stats.connections_closed);
+            }
+        }
+    }
+}
+
+/// Best-effort typed refusal for an over-cap connection.
+fn reject_connection(mut stream: TcpStream, config: &ServerConfig) {
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    let payload = protocol::encode_response(&Response::Error {
+        code: ErrorCode::Admission,
+        message: "connection limit reached".into(),
+    });
+    let _ = protocol::write_frame(&mut stream, &payload);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// The engine thread: apply commands in arrival order until every
+/// sender is gone, then finish the durability story.
+fn engine_loop(
+    mut runtime: Runtime,
+    rx: Receiver<EngineCommand>,
+    admission: AdmissionConfig,
+    stats: Arc<StatsCell>,
+    shutdown: Arc<AtomicBool>,
+    crash: Arc<AtomicBool>,
+    logger: Arc<Logger>,
+) -> Option<Runtime> {
+    let mut conns: HashMap<u64, ConnState> = HashMap::new();
+    let mut retained_rows: u64 = 0;
+
+    while let Ok(cmd) = rx.recv() {
+        // Crash emulation is immediate: a real `kill -9` would not
+        // drain the queue, and control ops would otherwise commit the
+        // WAL records buffered since the last tick.
+        if crash.load(Ordering::SeqCst) {
+            break;
+        }
+        match cmd {
+            EngineCommand::InstallSource { node, table, frame, reply } => {
+                let rsp = match runtime.install_source(&node, &table, frame) {
+                    Ok(()) => Response::Ok,
+                    Err(e) => error_response(&e),
+                };
+                let _ = reply.send(rsp);
+            }
+            EngineCommand::Register { conn, module, sql, reply } => {
+                let live = conns
+                    .values()
+                    .flat_map(|c| c.handles.iter())
+                    .filter(|(_, _, m)| *m == module)
+                    .count();
+                let rsp = if live >= admission.max_handles_per_module {
+                    StatsCell::bump(&stats.admission_rejected);
+                    logger.log(format!(
+                        "conn {conn}: register rejected (module {module} handle cap)"
+                    ));
+                    Response::Error {
+                        code: ErrorCode::Admission,
+                        message: format!(
+                            "module {module} is at its handle limit ({})",
+                            admission.max_handles_per_module
+                        ),
+                    }
+                } else {
+                    match parse_query(&sql) {
+                        Err(e) => Response::Error {
+                            code: ErrorCode::BadRequest,
+                            message: format!("parse error: {e}"),
+                        },
+                        Ok(query) => match runtime.register(&module, &query) {
+                            Ok(handle) => {
+                                conns.entry(conn).or_default().handles.push((
+                                    handle.id(),
+                                    handle,
+                                    module,
+                                ));
+                                Response::Registered { handle: handle.id() }
+                            }
+                            Err(e) => error_response(&e),
+                        },
+                    }
+                };
+                let _ = reply.send(rsp);
+            }
+            EngineCommand::Ingest { conn, node, table, frame, gate } => {
+                let rows = frame.len() as u64;
+                let over_retention = admission.max_retained_rows != 0
+                    && retained_rows + rows > admission.max_retained_rows as u64;
+                if over_retention {
+                    StatsCell::bump(&stats.admission_rejected);
+                    defer_error(
+                        &mut conns,
+                        &stats,
+                        conn,
+                        format!(
+                            "ingest into {node}.{table} rejected: retained-row cap \
+                             ({}) exceeded",
+                            admission.max_retained_rows
+                        ),
+                    );
+                } else {
+                    match runtime.ingest(&node, &table, frame) {
+                        Ok(()) => {
+                            retained_rows += rows;
+                            StatsCell::bump(&stats.ingest_applied);
+                            if shutdown.load(Ordering::SeqCst) {
+                                StatsCell::bump(&stats.drained_at_shutdown);
+                            }
+                        }
+                        Err(e) => {
+                            defer_error(
+                                &mut conns,
+                                &stats,
+                                conn,
+                                format!("ingest into {node}.{table} failed: {e}"),
+                            );
+                        }
+                    }
+                }
+                gate.leave();
+            }
+            EngineCommand::Tick { conn, reply } => {
+                let rsp = match runtime.tick_each() {
+                    Err(e) => {
+                        logger.log(format!("tick failed globally: {e}"));
+                        error_response(&e)
+                    }
+                    Ok(results) => {
+                        StatsCell::bump(&stats.ticks_served);
+                        let mut by_id: HashMap<u64, Result<Frame, (ErrorCode, String)>> =
+                            HashMap::new();
+                        for (handle, result) in results {
+                            match result {
+                                Ok(outcome) => {
+                                    by_id.insert(handle.id(), Ok(outcome.result));
+                                }
+                                Err(e) => {
+                                    StatsCell::bump(&stats.handles_quarantined);
+                                    logger.log(format!("handle {handle} quarantined: {e}"));
+                                    by_id.insert(
+                                        handle.id(),
+                                        Err((ErrorCode::Quarantined, e.to_string())),
+                                    );
+                                }
+                            }
+                        }
+                        let state = conns.entry(conn).or_default();
+                        let results = state
+                            .handles
+                            .iter()
+                            .filter_map(|(id, _, _)| {
+                                by_id.remove(id).map(|result| TickEntry { handle: *id, result })
+                            })
+                            .collect();
+                        let deferred = std::mem::take(&mut state.deferred);
+                        Response::TickResults { results, deferred }
+                    }
+                };
+                let _ = reply.send(rsp);
+            }
+            EngineCommand::SetPolicy { module, xml, reply } => {
+                let rsp = match parse_policy(&xml) {
+                    Err(e) => Response::Error {
+                        code: ErrorCode::BadRequest,
+                        message: format!("policy parse error: {e}"),
+                    },
+                    Ok(policy) => {
+                        match policy.modules.into_iter().find(|m| m.module_id == module) {
+                            None => Response::Error {
+                                code: ErrorCode::BadRequest,
+                                message: format!("policy XML has no module {module}"),
+                            },
+                            Some(mp) => {
+                                runtime.set_policy(&module, mp);
+                                Response::Ok
+                            }
+                        }
+                    }
+                };
+                let _ = reply.send(rsp);
+            }
+            EngineCommand::RemoveQuery { conn, handle, reply } => {
+                let state = conns.entry(conn).or_default();
+                let rsp = match state.handles.iter().position(|(id, _, _)| *id == handle) {
+                    None => Response::Error {
+                        code: ErrorCode::UnknownHandle,
+                        message: format!("handle {handle} is not owned by this connection"),
+                    },
+                    Some(at) => {
+                        let (_, qh, _) = state.handles.remove(at);
+                        match runtime.remove_query(qh) {
+                            Ok(()) => Response::Ok,
+                            Err(e) => error_response(&e),
+                        }
+                    }
+                };
+                let _ = reply.send(rsp);
+            }
+            EngineCommand::Stats { reply } => {
+                let mut counters = stats.snapshot().named();
+                let rt = runtime.stats();
+                counters.push(("runtime_registered".into(), rt.registered as u64));
+                counters.push(("runtime_ticks".into(), rt.ticks));
+                counters.push(("runtime_shared_plans".into(), rt.shared_plans as u64));
+                if let Some(d) = runtime.durability_stats() {
+                    counters.push(("runtime_wal_commits".into(), d.wal_commits));
+                    counters.push(("runtime_snapshots".into(), d.snapshots));
+                }
+                let _ = reply.send(Response::Stats { counters });
+            }
+            EngineCommand::Disconnect { conn } => {
+                if let Some(state) = conns.remove(&conn) {
+                    for (_, qh, _) in state.handles {
+                        let _ = runtime.remove_query(qh);
+                    }
+                }
+            }
+        }
+    }
+
+    if crash.load(Ordering::SeqCst) {
+        // Emulate `kill -9`: nothing buffered since the last commit
+        // reaches the WAL, and destructors must not run.
+        logger.log("engine: crash requested — leaking runtime without final commit");
+        std::mem::forget(runtime);
+        return None;
+    }
+    if runtime.durability_stats().is_some() {
+        match runtime.snapshot() {
+            Ok(()) => logger.log("engine: final WAL commit + snapshot written"),
+            Err(e) => logger.log(format!("engine: final commit failed: {e}")),
+        }
+    }
+    Some(runtime)
+}
+
+/// Record a deferred ingest error for `conn`, bounded so a wedged
+/// client cannot grow the list without limit.
+fn defer_error(
+    conns: &mut HashMap<u64, ConnState>,
+    stats: &StatsCell,
+    conn: u64,
+    message: String,
+) {
+    StatsCell::bump(&stats.ingest_deferred_errors);
+    let deferred = &mut conns.entry(conn).or_default().deferred;
+    if deferred.len() < MAX_DEFERRED {
+        deferred.push(message);
+    }
+}
+
+/// Map a [`CoreError`] onto the wire failure taxonomy.
+pub(crate) fn error_response(e: &CoreError) -> Response {
+    let code = match e {
+        CoreError::QueryDenied(_) => ErrorCode::PolicyDenied,
+        CoreError::NoPolicy(_) | CoreError::Parse(_) | CoreError::UnsupportedQuery(_) => {
+            ErrorCode::BadRequest
+        }
+        CoreError::UnknownHandle(_) => ErrorCode::UnknownHandle,
+        _ => ErrorCode::Internal,
+    };
+    Response::Error { code, message: e.to_string() }
+}

@@ -1,0 +1,206 @@
+//! Server-side observability: every reject, shed, timeout, and
+//! quarantine increments a counter here, so overload and fault
+//! handling are visible rather than silent.
+//!
+//! Counters live in an internal lock-free [`StatsCell`] shared by the
+//! accept loop, every connection thread, and the engine thread; a
+//! [`ServerStats`] snapshot is a plain value the client can diff.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A point-in-time snapshot of the server's robustness counters,
+/// returned by [`Server::stats`](crate::Server::stats) and over the
+/// wire by the `Stats` request (alongside
+/// [`RuntimeStats`](paradise_core::RuntimeStats) counters).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted into service.
+    pub connections_accepted: u64,
+    /// Connections refused at the accept loop (connection cap).
+    pub connections_rejected: u64,
+    /// Connections currently in service.
+    pub connections_live: u64,
+    /// Connections that ended (any reason).
+    pub connections_closed: u64,
+    /// Connections reaped for idling past the idle timeout.
+    pub idle_reaped: u64,
+    /// Well-formed frames read from clients.
+    pub frames_received: u64,
+    /// Frames written to clients.
+    pub frames_sent: u64,
+    /// Frames dropped for bad magic, bad CRC, undecodable payload, or
+    /// a mid-frame disconnect/timeout (truncated or half-open).
+    pub malformed_frames: u64,
+    /// Frames dropped because the length prefix exceeded the cap.
+    pub oversized_frames: u64,
+    /// Ingest batches accepted into a bounded queue.
+    pub ingest_accepted: u64,
+    /// Ingest batches applied to the runtime.
+    pub ingest_applied: u64,
+    /// Ingest batches shed (full queue under the shed policy).
+    pub ingest_shed: u64,
+    /// Ingest batches refused after a block deadline expired.
+    pub ingest_block_timeouts: u64,
+    /// Ingest batches refused by the per-connection rate limiter.
+    pub ingest_rate_limited: u64,
+    /// Accepted batches whose apply failed (reported in the next tick
+    /// reply as deferred errors).
+    pub ingest_deferred_errors: u64,
+    /// Requests refused by admission control (handle/batch/row caps).
+    pub admission_rejected: u64,
+    /// Ticks executed on behalf of clients.
+    pub ticks_served: u64,
+    /// Per-handle tick failures surfaced as typed quarantine errors
+    /// (the owning tenant sees the error; other tenants' results are
+    /// unaffected).
+    pub handles_quarantined: u64,
+    /// Queued ingest batches applied during graceful shutdown drain.
+    pub drained_at_shutdown: u64,
+}
+
+impl ServerStats {
+    /// The counters as (name, value) pairs, in declaration order —
+    /// the wire representation (name-keyed so old clients tolerate
+    /// new counters).
+    pub fn named(&self) -> Vec<(String, u64)> {
+        [
+            ("connections_accepted", self.connections_accepted),
+            ("connections_rejected", self.connections_rejected),
+            ("connections_live", self.connections_live),
+            ("connections_closed", self.connections_closed),
+            ("idle_reaped", self.idle_reaped),
+            ("frames_received", self.frames_received),
+            ("frames_sent", self.frames_sent),
+            ("malformed_frames", self.malformed_frames),
+            ("oversized_frames", self.oversized_frames),
+            ("ingest_accepted", self.ingest_accepted),
+            ("ingest_applied", self.ingest_applied),
+            ("ingest_shed", self.ingest_shed),
+            ("ingest_block_timeouts", self.ingest_block_timeouts),
+            ("ingest_rate_limited", self.ingest_rate_limited),
+            ("ingest_deferred_errors", self.ingest_deferred_errors),
+            ("admission_rejected", self.admission_rejected),
+            ("ticks_served", self.ticks_served),
+            ("handles_quarantined", self.handles_quarantined),
+            ("drained_at_shutdown", self.drained_at_shutdown),
+        ]
+        .into_iter()
+        .map(|(k, v)| (format!("server_{k}"), v))
+        .collect()
+    }
+
+    /// Rebuild a snapshot from wire pairs, ignoring unknown names
+    /// (forward compatibility) and non-`server_` counters.
+    pub fn from_named(pairs: &[(String, u64)]) -> Self {
+        let mut s = ServerStats::default();
+        for (name, value) in pairs {
+            let field: &mut u64 = match name.as_str() {
+                "server_connections_accepted" => &mut s.connections_accepted,
+                "server_connections_rejected" => &mut s.connections_rejected,
+                "server_connections_live" => &mut s.connections_live,
+                "server_connections_closed" => &mut s.connections_closed,
+                "server_idle_reaped" => &mut s.idle_reaped,
+                "server_frames_received" => &mut s.frames_received,
+                "server_frames_sent" => &mut s.frames_sent,
+                "server_malformed_frames" => &mut s.malformed_frames,
+                "server_oversized_frames" => &mut s.oversized_frames,
+                "server_ingest_accepted" => &mut s.ingest_accepted,
+                "server_ingest_applied" => &mut s.ingest_applied,
+                "server_ingest_shed" => &mut s.ingest_shed,
+                "server_ingest_block_timeouts" => &mut s.ingest_block_timeouts,
+                "server_ingest_rate_limited" => &mut s.ingest_rate_limited,
+                "server_ingest_deferred_errors" => &mut s.ingest_deferred_errors,
+                "server_admission_rejected" => &mut s.admission_rejected,
+                "server_ticks_served" => &mut s.ticks_served,
+                "server_handles_quarantined" => &mut s.handles_quarantined,
+                "server_drained_at_shutdown" => &mut s.drained_at_shutdown,
+                _ => continue,
+            };
+            *field = *value;
+        }
+        s
+    }
+}
+
+macro_rules! stats_cell {
+    ($($field:ident),+ $(,)?) => {
+        /// Shared atomic counters behind [`ServerStats`].
+        #[derive(Default)]
+        pub(crate) struct StatsCell {
+            $(pub(crate) $field: AtomicU64,)+
+        }
+
+        impl StatsCell {
+            pub(crate) fn snapshot(&self) -> ServerStats {
+                ServerStats {
+                    $($field: self.$field.load(Ordering::Relaxed),)+
+                }
+            }
+        }
+    };
+}
+
+stats_cell!(
+    connections_accepted,
+    connections_rejected,
+    connections_live,
+    connections_closed,
+    idle_reaped,
+    frames_received,
+    frames_sent,
+    malformed_frames,
+    oversized_frames,
+    ingest_accepted,
+    ingest_applied,
+    ingest_shed,
+    ingest_block_timeouts,
+    ingest_rate_limited,
+    ingest_deferred_errors,
+    admission_rejected,
+    ticks_served,
+    handles_quarantined,
+    drained_at_shutdown,
+);
+
+impl StatsCell {
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn drop_one(counter: &AtomicU64) {
+        counter.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_roundtrips_through_wire_pairs() {
+        let cell = StatsCell::default();
+        StatsCell::bump(&cell.connections_accepted);
+        for _ in 0..3 {
+            StatsCell::bump(&cell.ingest_shed);
+        }
+        StatsCell::bump(&cell.handles_quarantined);
+        let snap = cell.snapshot();
+        assert_eq!(snap.connections_accepted, 1);
+        assert_eq!(snap.ingest_shed, 3);
+        assert_eq!(snap.handles_quarantined, 1);
+        let named = snap.named();
+        assert_eq!(ServerStats::from_named(&named), snap);
+    }
+
+    #[test]
+    fn unknown_counters_are_ignored() {
+        let pairs = vec![
+            ("server_ticks_served".to_string(), 5),
+            ("server_from_the_future".to_string(), 9),
+            ("runtime_ticks".to_string(), 4),
+        ];
+        let snap = ServerStats::from_named(&pairs);
+        assert_eq!(snap.ticks_served, 5);
+        assert_eq!(snap, ServerStats { ticks_served: 5, ..ServerStats::default() });
+    }
+}

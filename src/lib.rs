@@ -17,6 +17,7 @@
 //! | [`anon`] | k-anonymity, slicing, QID detection, DD/KL metrics, DP |
 //! | [`nodes`] | capability levels E1–E4, processing chain, sensor simulators |
 //! | [`core`] | preprocessor, vertical fragmenter, postprocessor, containment, the continuous-query [`Runtime`](crate::core::Runtime) (and the one-shot [`Processor`](crate::core::Processor)) |
+//! | [`server`] | multi-tenant TCP serving layer: admission control, bounded ingest queues, quarantine, [`Server`](crate::server::Server)/[`Client`](crate::server::Client) |
 //!
 //! ## Quickstart
 //!
@@ -93,12 +94,19 @@
 //! For one-shot/ad-hoc runs the original
 //! [`Processor::run`](crate::core::Processor::run) remains available
 //! (it shares the runtime's execution path).
+//!
+//! To serve a runtime to multiple tenants over TCP — with per-module
+//! admission control, bounded per-connection ingest queues (shed or
+//! block on overload), idle reaping, and per-handle quarantine — wrap
+//! it in a [`Server`](crate::server::Server): see the README's
+//! "Serving" section and `examples/server_client.rs`.
 
 pub use paradise_anon as anon;
 pub use paradise_core as core;
 pub use paradise_engine as engine;
 pub use paradise_nodes as nodes;
 pub use paradise_policy as policy;
+pub use paradise_server as server;
 pub use paradise_sql as sql;
 
 /// The most commonly used items, importable with one `use`.
@@ -124,6 +132,10 @@ pub mod prelude {
     pub use paradise_policy::{
         figure4_policy, parse_policy, policy_to_xml, validate_policy, AggregationSpec,
         AttributeRule, ModulePolicy, Policy, PolicyGenerator, PolicyVersion, FIG4_POLICY_XML,
+    };
+    pub use paradise_server::{
+        AdmissionConfig, Client, ClientError, ErrorCode, IngestAck, OverloadPolicy, Server,
+        ServerConfig, ServerStats, TickReply,
     };
     pub use paradise_sql::{parse_expr, parse_query, Expr, Query};
 }

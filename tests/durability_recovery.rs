@@ -272,7 +272,7 @@ fn recovered_window_matches_eviction_boundaries() {
     let mut rt = Runtime::new(ProcessingChain::apartment())
         .with_retention(400)
         .with_snapshot_every(3)
-        .with_policy("Mod0", policy_variant("Mod0", 2, 50))
+        .with_policy("Mod0", policy_variant("Mod0", 6, 0))
         .durable(&dir)
         .unwrap();
     rt.install_source("motion-sensor", "stream", users(1, 350)).unwrap();
@@ -289,7 +289,7 @@ fn recovered_window_matches_eviction_boundaries() {
 
     let rt = Runtime::new(ProcessingChain::apartment())
         .with_retention(400)
-        .with_policy("Mod0", policy_variant("Mod0", 2, 50))
+        .with_policy("Mod0", policy_variant("Mod0", 6, 0))
         .durable(&dir)
         .unwrap();
     let frame = rt.chain().node("motion-sensor").unwrap().catalog.get("stream").unwrap();
@@ -325,4 +325,123 @@ fn snapshot_requires_durability() {
     let mut rt = configure(1);
     assert!(rt.durability_stats().is_none());
     assert!(matches!(rt.snapshot(), Err(CoreError::Io(_))));
+}
+
+// --------------------------------------------------------------------
+// served crash: `kill -9` while the runtime is being served over TCP,
+// then reopen the directory — recovery must land exactly on the last
+// group commit (control ops and ticked ingest survive; batches
+// buffered since the last tick are lost, like a real crash)
+// --------------------------------------------------------------------
+
+mod served_crash {
+    use super::*;
+    use paradise::server::{Client, OverloadPolicy, Server, ServerConfig};
+    use std::path::PathBuf;
+    use std::time::Duration;
+
+    fn durable_runtime(dir: &PathBuf) -> Runtime {
+        Runtime::new(ProcessingChain::apartment())
+            .with_policy("Mod0", policy_variant("Mod0", 6, 0))
+            .with_snapshot_every(0) // recovery must come from the log
+            .durable(dir)
+            .unwrap()
+    }
+
+    #[test]
+    fn crash_during_serving_recovers_the_last_commit_bitwise() {
+        let dir = scratch("served-crash");
+        let server = Server::start(durable_runtime(&dir), ServerConfig::default()).unwrap();
+
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        client.set_timeout(Some(Duration::from_secs(60))).unwrap();
+        client.hello(OverloadPolicy::Block { deadline: Duration::from_secs(30) }, None).unwrap();
+        client.install_source("motion-sensor", "stream", users(7, 50)).unwrap();
+        let handle = client.register("Mod0", QUERIES[0]).unwrap();
+
+        // committed rounds: each tick group-commits its ingest records
+        let mut committed_rows = Vec::new();
+        for round in 0..3u64 {
+            client.ingest("motion-sensor", "stream", users(100 + round, 40)).unwrap();
+            let reply = client.tick().unwrap();
+            let (id, result) = reply.results.into_iter().next().unwrap();
+            assert_eq!(id, handle);
+            committed_rows = result.expect("healthy handle").to_rows();
+        }
+        assert!(!committed_rows.is_empty());
+
+        // buffered-only tail: accepted and applied in memory, but no
+        // tick follows — a crash must lose exactly these
+        client.ingest("motion-sensor", "stream", users(900, 40)).unwrap();
+        client.ingest("motion-sensor", "stream", users(901, 40)).unwrap();
+        // drain marker: a ping round-trips through the connection after
+        // the ingests were queued; the engine applies FIFO before it
+        client.ping().unwrap();
+
+        // crash with the connection still open: dropping the client
+        // first would send a Disconnect, whose handle release is a
+        // control op that commits the buffered tail
+        server.crash();
+        drop(client);
+
+        // reopen the directory in-process with the same configuration
+        let mut recovered = durable_runtime(&dir);
+        let stats = recovered.durability_stats().unwrap();
+        assert!(stats.recovered, "{stats:?}");
+        assert_eq!(recovered.registered(), 1, "wire registration is a control op: committed");
+
+        let outcomes = recovered.tick().unwrap();
+        assert_eq!(outcomes[0].0.id(), handle, "the caller-held handle survives recovery");
+        assert_eq!(
+            outcomes[0].1.result.to_rows(),
+            committed_rows,
+            "recovery must land bitwise on the last group commit"
+        );
+
+        // the buffered tail must genuinely be gone: re-ingesting it
+        // changes the result (so the equality above is not vacuous)
+        let mut replay = durable_runtime(&scratch("served-crash-ref"));
+        replay.install_source("motion-sensor", "stream", users(7, 50)).unwrap();
+        replay.register("Mod0", &parse_query(QUERIES[0]).unwrap()).unwrap();
+        for round in 0..3u64 {
+            replay.ingest("motion-sensor", "stream", users(100 + round, 40)).unwrap();
+        }
+        replay.ingest("motion-sensor", "stream", users(900, 40)).unwrap();
+        let with_tail = replay.tick().unwrap()[0].1.result.to_rows();
+        assert_ne!(with_tail, committed_rows, "the lost tail is observable when present");
+
+        // graceful path for contrast: shutdown commits the tail
+        let server = Server::start(recovered, ServerConfig::default()).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        client.set_timeout(Some(Duration::from_secs(60))).unwrap();
+        client.ingest("motion-sensor", "stream", users(902, 40)).unwrap();
+        client.ping().unwrap();
+        drop(client);
+        let runtime = server.shutdown().expect("graceful shutdown returns the runtime");
+        let expected = runtime
+            .chain()
+            .node("motion-sensor")
+            .unwrap()
+            .catalog
+            .get("stream")
+            .unwrap()
+            .to_rows();
+        drop(runtime);
+
+        let reopened = durable_runtime(&dir);
+        assert_eq!(
+            reopened
+                .chain()
+                .node("motion-sensor")
+                .unwrap()
+                .catalog
+                .get("stream")
+                .unwrap()
+                .to_rows(),
+            expected,
+            "graceful shutdown commits even un-ticked ingest"
+        );
+        drop(reopened);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

@@ -627,3 +627,264 @@ mod durability {
         let _ = std::fs::remove_dir_all(&dir);
     }
 }
+
+// --------------------------------------------------------------------
+// wire failures: no byte sequence a client can send may panic the
+// server or disturb another tenant's results — faults kill exactly
+// one connection, loudly
+// --------------------------------------------------------------------
+
+mod wire {
+    use super::*;
+    use paradise::server::protocol::{self, Request};
+    use paradise::server::{Client, Server, ServerConfig};
+    use std::io::{Read as _, Write as _};
+    use std::net::{SocketAddr, TcpStream};
+    use std::time::{Duration, Instant};
+
+    fn allow_all(module: &str) -> ModulePolicy {
+        let mut m = ModulePolicy::new(module);
+        for attr in ["x", "y", "z", "t"] {
+            m.attributes.push(AttributeRule::allowed(attr));
+        }
+        m
+    }
+
+    /// Per-test server log under the harness target dir so CI can
+    /// upload it as an artifact when an assertion fails.
+    fn server_log(name: &str) -> std::path::PathBuf {
+        let base = option_env!("CARGO_TARGET_TMPDIR")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(std::env::temp_dir);
+        base.join(format!("server-wire-{}-{name}.log", std::process::id()))
+    }
+
+    /// Server with a fast mid-frame read timeout (so half-open frames
+    /// are reaped quickly) but the default generous idle timeout (so
+    /// the bystander tenant is never reaped while the corpus runs).
+    fn start_server(log: &str) -> Server {
+        let runtime =
+            Runtime::new(ProcessingChain::apartment()).with_policy("M", allow_all("M"));
+        let config = ServerConfig {
+            read_timeout: Duration::from_millis(40),
+            log_path: Some(server_log(log)),
+            ..ServerConfig::default()
+        };
+        Server::start(runtime, config).unwrap()
+    }
+
+    /// One tick through the wire, returning the handle's result rows.
+    fn tick_rows(client: &mut Client, handle: u64) -> Vec<Row> {
+        let reply = client.tick().unwrap();
+        let (got, result) = reply
+            .results
+            .iter()
+            .find(|(id, _)| *id == handle)
+            .cloned()
+            .expect("own handle present in tick reply");
+        assert_eq!(got, handle);
+        result.expect("healthy handle yields a frame").to_rows()
+    }
+
+    /// A raw frame header, with every field under test control.
+    fn header(magic: u32, len: u32, crc: u32) -> [u8; 12] {
+        let mut h = [0u8; 12];
+        h[0..4].copy_from_slice(&magic.to_le_bytes());
+        h[4..8].copy_from_slice(&len.to_le_bytes());
+        h[8..12].copy_from_slice(&crc.to_le_bytes());
+        h
+    }
+
+    /// Drain the socket until the peer closes it (bounded); returns
+    /// the bytes it sent first (a typed error reply, when one fits).
+    fn read_until_close(stream: &mut TcpStream) -> Vec<u8> {
+        stream.set_read_timeout(Some(Duration::from_millis(200))).unwrap();
+        let mut got = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut buf = [0u8; 256];
+        while Instant::now() < deadline {
+            match stream.read(&mut buf) {
+                Ok(0) => return got,
+                Ok(n) => got.extend_from_slice(&buf[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                Err(_) => return got,
+            }
+        }
+        panic!("server never closed the faulty connection");
+    }
+
+    fn wait_for<T: PartialOrd + Copy + std::fmt::Debug>(
+        what: &str,
+        want: T,
+        mut probe: impl FnMut() -> T,
+    ) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let got = probe();
+            if got >= want {
+                return;
+            }
+            if Instant::now() > deadline {
+                panic!("{what}: wanted >= {want:?}, got {got:?}");
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    #[test]
+    fn wire_fault_corpus_kills_one_connection_never_the_server() {
+        let server = start_server("corpus");
+        let addr = server.local_addr();
+
+        // the bystander tenant the corpus must not disturb
+        let mut good = Client::connect(addr).unwrap();
+        good.set_timeout(Some(Duration::from_secs(30))).unwrap();
+        good.install_source("motion-sensor", "stream", stream(30)).unwrap();
+        let handle = good.register("M", "SELECT x, y, z, t FROM stream").unwrap();
+        let baseline = tick_rows(&mut good, handle);
+        assert!(!baseline.is_empty());
+
+        // 1. garbage magic — typed refusal, connection closed
+        {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&header(0xDEAD_BEEF, 0, 0)).unwrap();
+            read_until_close(&mut s);
+        }
+
+        // 2. oversized length prefix — refused before any allocation
+        {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&header(protocol::MAGIC, u32::MAX, 0)).unwrap();
+            read_until_close(&mut s);
+        }
+
+        // 3. truncated frame — header promises more payload than ever
+        // arrives, then a clean FIN mid-frame
+        {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let payload = protocol::encode_request(&Request::Tick);
+            s.write_all(&header(protocol::MAGIC, payload.len() as u32 + 50, 0)).unwrap();
+            s.write_all(&payload).unwrap();
+            drop(s);
+        }
+
+        // 4. half-open connection — half a header, then silence; the
+        // mid-frame read timeout must reap it
+        {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&header(protocol::MAGIC, 4, 0)[..6]).unwrap();
+            read_until_close(&mut s);
+        }
+
+        // 5. disconnect mid-ingest — a well-formed Ingest frame cut
+        // off halfway through its payload
+        {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let payload = protocol::encode_request(&Request::Ingest {
+                node: "motion-sensor".into(),
+                table: "stream".into(),
+                frame: stream(50),
+            });
+            let crc = paradise::core::storage::codec::crc32(&payload);
+            s.write_all(&header(protocol::MAGIC, payload.len() as u32, crc)).unwrap();
+            s.write_all(&payload[..payload.len() / 2]).unwrap();
+            drop(s);
+        }
+
+        // 6. corrupted payload — right length, wrong CRC
+        {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let payload = protocol::encode_request(&Request::Tick);
+            let crc = paradise::core::storage::codec::crc32(&payload) ^ 0xFFFF;
+            s.write_all(&header(protocol::MAGIC, payload.len() as u32, crc)).unwrap();
+            s.write_all(&payload).unwrap();
+            read_until_close(&mut s);
+        }
+
+        // 7. valid CRC, undecodable payload (unknown request tag)
+        {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let payload = vec![0xEEu8, 1, 2, 3];
+            let crc = paradise::core::storage::codec::crc32(&payload);
+            s.write_all(&header(protocol::MAGIC, payload.len() as u32, crc)).unwrap();
+            s.write_all(&payload).unwrap();
+            read_until_close(&mut s);
+        }
+
+        // every faulty connection must unwind cleanly (a panicking
+        // connection thread would never reach its close accounting)
+        wait_for("fault connections closed", 7, || server.stats().connections_closed);
+        let stats = server.stats();
+        assert_eq!(
+            stats.connections_accepted - stats.connections_closed,
+            1,
+            "only the good tenant may remain: {stats:?}"
+        );
+        assert!(stats.malformed_frames >= 5, "{stats:?}");
+        assert!(stats.oversized_frames >= 1, "{stats:?}");
+
+        // the bystander's results are byte-identical after the corpus
+        assert_eq!(tick_rows(&mut good, handle), baseline);
+        good.ping().unwrap();
+
+        let runtime = server.shutdown().expect("graceful shutdown returns the runtime");
+        assert_eq!(runtime.registered(), 0, "disconnect released the good tenant's handle");
+    }
+
+    #[test]
+    fn idle_connections_are_reaped_on_schedule() {
+        let runtime =
+            Runtime::new(ProcessingChain::apartment()).with_policy("M", allow_all("M"));
+        let config = ServerConfig {
+            read_timeout: Duration::from_millis(40),
+            idle_timeout: Duration::from_millis(200),
+            log_path: Some(server_log("idle")),
+            ..ServerConfig::default()
+        };
+        let server = Server::start(runtime, config).unwrap();
+        let mut idle = TcpStream::connect(server.local_addr()).unwrap();
+        // never speaks: the server must close it from its side
+        let closed = read_until_close(&mut idle);
+        assert!(closed.is_empty(), "an idle reap sends nothing");
+        wait_for("idle reap counted", 1, || server.stats().idle_reaped);
+        server.shutdown();
+    }
+
+    #[test]
+    fn over_cap_connections_get_a_typed_admission_refusal() {
+        use paradise::server::{AdmissionConfig, ErrorCode};
+        let runtime =
+            Runtime::new(ProcessingChain::apartment()).with_policy("M", allow_all("M"));
+        let config = ServerConfig {
+            admission: AdmissionConfig { max_connections: 1, ..AdmissionConfig::default() },
+            read_timeout: Duration::from_millis(40),
+            log_path: Some(server_log("overcap")),
+            ..ServerConfig::default()
+        };
+        let server = Server::start(runtime, config).unwrap();
+        let addr: SocketAddr = server.local_addr();
+
+        let mut first = Client::connect(addr).unwrap();
+        first.set_timeout(Some(Duration::from_secs(30))).unwrap();
+        first.ping().unwrap();
+
+        // the second connection is refused with a typed error frame
+        let mut second = Client::connect(addr).unwrap();
+        second.set_timeout(Some(Duration::from_secs(30))).unwrap();
+        match second.ping() {
+            Err(paradise::server::ClientError::Server { code, .. }) => {
+                assert_eq!(code, ErrorCode::Admission)
+            }
+            Err(paradise::server::ClientError::Io(_)) => {
+                // the refusal frame can race the close; either way the
+                // connection is gone and the first tenant unaffected
+            }
+            other => panic!("expected admission refusal, got {other:?}"),
+        }
+        assert!(server.stats().connections_rejected >= 1);
+        first.ping().unwrap();
+        server.shutdown();
+    }
+}

@@ -180,6 +180,72 @@ fn retention_eviction_is_batched_and_deltas_survive_trims() {
     assert_eq!(ticked[0].1.result, expect[0].1.result, "post-trim tick must match rescan");
 }
 
+#[test]
+fn tick_each_quarantines_failing_handles_without_poisoning_the_tick() {
+    let mut runtime = Runtime::new(ProcessingChain::apartment())
+        .with_policy("ActionFilter", figure4_policy().modules.remove(0));
+    let mut other = figure4_policy().modules.remove(0);
+    other.module_id = "Other".into();
+    runtime.set_policy("Other", other);
+    runtime.install_source("motion-sensor", "stream", stream(42, 200)).unwrap();
+
+    let victim = runtime.register("ActionFilter", &parse_query(PAPER_ORIGINAL).unwrap()).unwrap();
+    let bystander =
+        runtime.register("Other", &parse_query("SELECT x, y, z, t FROM stream").unwrap()).unwrap();
+    runtime.tick().unwrap();
+
+    // swap in a policy that denies every attribute of the victim's
+    // query: `tick` (atomic) fails wholesale, `tick_each` isolates
+    let mut deny_all = ModulePolicy::new("ActionFilter");
+    for attr in ["x", "y", "z", "t"] {
+        deny_all.attributes.push(AttributeRule::denied(attr));
+    }
+    runtime.set_policy("ActionFilter", deny_all);
+    assert!(matches!(runtime.tick(), Err(CoreError::QueryDenied(_))));
+
+    for round in 0..3u64 {
+        runtime.ingest("motion-sensor", "stream", stream(500 + round, 10)).unwrap();
+        let per_handle = runtime.tick_each().unwrap();
+        assert_eq!(per_handle.len(), 2, "every live handle reports, round {round}");
+        assert_eq!(per_handle[0].0, victim);
+        assert!(
+            matches!(per_handle[0].1, Err(CoreError::QueryDenied(_))),
+            "quarantined handle carries its typed error, round {round}"
+        );
+        assert_eq!(per_handle[1].0, bystander);
+        assert!(per_handle[1].1.is_ok(), "bystander executes normally, round {round}");
+    }
+
+    // the bystander's results must equal a runtime that never held the
+    // poisoned module at all
+    let retained =
+        runtime.chain().node("motion-sensor").unwrap().catalog.get("stream").unwrap().clone();
+    let mut reference = Runtime::new(ProcessingChain::apartment());
+    let mut other = figure4_policy().modules.remove(0);
+    other.module_id = "Other".into();
+    reference.set_policy("Other", other);
+    reference.install_source("motion-sensor", "stream", retained).unwrap();
+    reference.register("Other", &parse_query("SELECT x, y, z, t FROM stream").unwrap()).unwrap();
+    let expect = reference.tick().unwrap();
+    let per_handle = runtime.tick_each().unwrap();
+    let ok = per_handle[1].1.as_ref().expect("bystander result");
+    assert_eq!(ok.result, expect[0].1.result, "bystander unaffected by the quarantine");
+
+    // quarantine is idempotent: repeated failing ticks move no counters
+    // for the victim (each retry probes the cache, nothing more)
+    let before = runtime.handle_stats(victim).unwrap();
+    runtime.tick_each().unwrap();
+    runtime.tick_each().unwrap();
+    let after = runtime.handle_stats(victim).unwrap();
+    assert_eq!(after.plan, before.plan, "quarantined handle's counters stay put");
+
+    // recovery: a compatible policy swap un-quarantines the victim
+    runtime.set_policy("ActionFilter", figure4_policy().modules.remove(0));
+    let per_handle = runtime.tick_each().unwrap();
+    assert!(per_handle[0].1.is_ok(), "victim recovers after a compatible swap");
+    assert!(per_handle[1].1.is_ok());
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
