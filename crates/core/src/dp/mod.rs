@@ -1,0 +1,373 @@
+//! The differential-privacy rewrite mode (noise-calibrated aggregates).
+//!
+//! When a module's policy carries a [`DpConfig`], the rewrite layer
+//! lowers the query's plain `COUNT`/`SUM`/`AVG` aggregates into a
+//! noise-calibrated form:
+//!
+//! 1. **Clamp lowering** ([`lower_clamps`]): `SUM(x)` / `AVG(x)`
+//!    arguments are wrapped in `CLAMP(x, lo, hi)` — the engine's
+//!    scalar clamp, which has a column-dense fast path — pinning each
+//!    input row to the configured `[clamp_lo, clamp_hi]` range
+//!    *before* the rewritten query is fragmented. The clamp executes
+//!    on the normal compiled/incremental aggregation path and bounds
+//!    the per-row sensitivity the noise scale is calibrated from.
+//! 2. **Noise planning** ([`derive_plan`]): the fragmentation plan's
+//!    aggregation stage is inspected and every plain (non-`DISTINCT`,
+//!    non-windowed) `COUNT`/`SUM`/`AVG` output column gets a
+//!    [`NoiseSpec`] with Laplace scale `sensitivity / ε_col`, where
+//!    the per-tick epsilon is split evenly over the noised columns.
+//! 3. At tick time the runtime applies the specs to the aggregation
+//!    stage's *finalized* output
+//!    ([`paradise_engine::noise::apply_laplace`]) — accumulator state
+//!    and shard merges stay exact and noise-free; only what flows
+//!    downstream (and ultimately leaves the module) is noised.
+//!
+//! Sensitivities are the classic per-row bounds: `COUNT` changes by at
+//! most 1 per row, a clamped `SUM` by at most `max(|lo|, |hi|)`, and
+//! `AVG` is bounded conservatively by the clamp width `hi − lo`.
+//! Unclamped `SUM`/`AVG` under a finite epsilon have unbounded
+//! sensitivity — the scale degenerates to `∞` and the column drowns in
+//! noise, which is the correct fail-closed behaviour for a
+//! mis-configured policy. In the `ε = ∞` limit every scale is 0 and the
+//! results are **bitwise identical** to the exact engine.
+//!
+//! What is *not* protected: group keys pass through exactly (a DP
+//! histogram still reveals which groups exist), `MIN`/`MAX`/windowed/
+//! `DISTINCT` aggregates stay exact (they have unbounded sensitivity
+//! and are not lowered), and `HAVING` filters evaluate on exact
+//! pre-noise aggregates. See the README's differential-privacy section.
+
+use paradise_engine::noise::{NoiseKind, NoiseSpec};
+use paradise_policy::DpConfig;
+use paradise_sql::analysis::is_aggregate_function;
+use paradise_sql::ast::{Expr, FunctionCall, Query, SelectItem, TableRef};
+
+use crate::fragment::FragmentPlan;
+
+/// Per-handle noise plan: which stage's output to noise, and how.
+/// Derived at registration (and at every policy-driven plan rebuild)
+/// from the fragmentation plan and the module's current [`DpConfig`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DpPlan {
+    /// Index of the aggregation stage in the fragment/stage list.
+    pub stage: usize,
+    /// Noise specs for that stage's output columns.
+    pub specs: Vec<NoiseSpec>,
+}
+
+impl DpPlan {
+    /// Does this plan actually add noise (at least one non-zero scale)?
+    /// An all-zero plan (the `ε = ∞` limit) spends no budget and draws
+    /// no noise.
+    pub fn is_noisy(&self) -> bool {
+        self.specs.iter().any(|s| s.scale != 0.0)
+    }
+}
+
+/// Clamp-lower a (policy-rewritten) query in place: every plain
+/// `SUM(x)` / `AVG(x)` argument anywhere in the query tree becomes
+/// `CLAMP(x, lo, hi)` under the config's finite clamp bounds. A config
+/// without finite bounds (or with `ε = ∞`) leaves the query
+/// **untouched** — the AST, and therefore every derived plan-cache
+/// key, stays bitwise identical to the exact path. `NULL` inputs stay
+/// `NULL` (the clamp function propagates nulls), so aggregate
+/// null-skipping semantics are preserved.
+pub fn lower_clamps(query: &mut Query, config: &DpConfig) {
+    if !config.clamps() || config.epsilon_per_tick.is_infinite() {
+        return;
+    }
+    lower_query(query, config);
+}
+
+fn lower_query(query: &mut Query, config: &DpConfig) {
+    for item in &mut query.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            lower_expr(expr, config);
+        }
+    }
+    if let Some(from) = &mut query.from {
+        lower_table(from, config);
+    }
+    if let Some(w) = &mut query.where_clause {
+        lower_expr(w, config);
+    }
+    for g in &mut query.group_by {
+        lower_expr(g, config);
+    }
+    if let Some(h) = &mut query.having {
+        lower_expr(h, config);
+    }
+    for o in &mut query.order_by {
+        lower_expr(&mut o.expr, config);
+    }
+    for (_, u) in &mut query.unions {
+        lower_query(u, config);
+    }
+}
+
+fn lower_table(table: &mut TableRef, config: &DpConfig) {
+    match table {
+        TableRef::Table { .. } => {}
+        TableRef::Subquery { query, .. } => lower_query(query, config),
+        TableRef::Join { left, right, on, .. } => {
+            lower_table(left, config);
+            lower_table(right, config);
+            if let Some(on) = on {
+                lower_expr(on, config);
+            }
+        }
+    }
+}
+
+fn lower_expr(expr: &mut Expr, config: &DpConfig) {
+    match expr {
+        Expr::Function(f) => {
+            let lowers = f.over.is_none()
+                && !f.distinct
+                && f.args.len() == 1
+                && !matches!(f.args[0], Expr::Wildcard)
+                && matches!(f.name.to_ascii_uppercase().as_str(), "SUM" | "AVG");
+            for a in &mut f.args {
+                lower_expr(a, config);
+            }
+            if lowers {
+                let arg = f.args.pop().expect("checked: exactly one argument");
+                f.args.push(clamp_call(arg, config.clamp_lo, config.clamp_hi));
+            }
+        }
+        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::Cast { expr, .. } => {
+            lower_expr(expr, config)
+        }
+        Expr::Binary { left, right, .. } => {
+            lower_expr(left, config);
+            lower_expr(right, config);
+        }
+        Expr::Case { operand, branches, else_result } => {
+            if let Some(op) = operand {
+                lower_expr(op, config);
+            }
+            for b in branches {
+                lower_expr(&mut b.when, config);
+                lower_expr(&mut b.then, config);
+            }
+            if let Some(e) = else_result {
+                lower_expr(e, config);
+            }
+        }
+        Expr::Between { expr, low, high, .. } => {
+            lower_expr(expr, config);
+            lower_expr(low, config);
+            lower_expr(high, config);
+        }
+        Expr::InList { expr, list, .. } => {
+            lower_expr(expr, config);
+            for e in list {
+                lower_expr(e, config);
+            }
+        }
+        Expr::Subquery(q) | Expr::Exists(q) => lower_query(q, config),
+        Expr::Column(_) | Expr::Literal(_) | Expr::Wildcard => {}
+    }
+}
+
+/// `CLAMP(arg, lo, hi)` — evaluates `arg` once per row and takes the
+/// engine's dense numeric path, unlike the equivalent three-branch
+/// `CASE`.
+fn clamp_call(arg: Expr, lo: f64, hi: f64) -> Expr {
+    Expr::Function(FunctionCall::new("CLAMP", vec![arg, Expr::float(lo), Expr::float(hi)]))
+}
+
+/// Derive the noise plan for a fragmented query under `config`.
+///
+/// Returns `None` — the handle runs **exact and spends no budget** —
+/// when the plan has no aggregation stage, when the aggregation
+/// fragment's projection cannot be column-indexed (wildcards), or when
+/// no projected aggregate is a plain `COUNT`/`SUM`/`AVG`. The first
+/// (innermost) aggregating fragment is the noise boundary; anything
+/// stacked above it consumes already-noised values (differential
+/// privacy is closed under post-processing).
+pub fn derive_plan(plan: &FragmentPlan, config: &DpConfig) -> Option<DpPlan> {
+    let stage = plan
+        .fragments
+        .iter()
+        .position(|f| f.query.is_aggregating(&is_aggregate_function))?;
+    let q = &plan.fragments[stage].query;
+    let mut noised: Vec<(usize, NoiseKind, f64)> = Vec::new();
+    for (i, item) in q.items.iter().enumerate() {
+        let SelectItem::Expr { expr, .. } = item else {
+            return None; // wildcard breaks the output-column indexing
+        };
+        let Expr::Function(f) = expr else { continue };
+        if f.over.is_some() || f.distinct {
+            continue;
+        }
+        match f.name.to_ascii_uppercase().as_str() {
+            "COUNT" => noised.push((i, NoiseKind::Count, 1.0)),
+            "SUM" => noised.push((i, NoiseKind::Sum, sum_sensitivity(config))),
+            "AVG" => noised.push((i, NoiseKind::Sum, avg_sensitivity(config))),
+            _ => {}
+        }
+    }
+    if noised.is_empty() {
+        return None;
+    }
+    let epsilon_per_column = config.epsilon_per_tick / noised.len() as f64;
+    let specs = noised
+        .into_iter()
+        .map(|(column, kind, sensitivity)| NoiseSpec {
+            column,
+            scale: laplace_scale(sensitivity, epsilon_per_column),
+            kind,
+        })
+        .collect();
+    Some(DpPlan { stage, specs })
+}
+
+/// `b = Δ/ε`, with the `ε → ∞` limit pinned to exactly 0 (bitwise
+/// equality with the exact engine) even for unbounded sensitivity.
+fn laplace_scale(sensitivity: f64, epsilon: f64) -> f64 {
+    if epsilon.is_infinite() {
+        return 0.0;
+    }
+    sensitivity / epsilon
+}
+
+/// One row changes a clamped `SUM` by at most `max(|lo|, |hi|)`;
+/// unclamped, the sensitivity is unbounded.
+fn sum_sensitivity(config: &DpConfig) -> f64 {
+    if config.clamps() {
+        config.clamp_lo.abs().max(config.clamp_hi.abs())
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Conservative `AVG` bound: one row moves a clamped mean by at most
+/// the clamp width `hi − lo` (tight only for the 1-row group, which is
+/// exactly the group a DP release must defend).
+fn avg_sensitivity(config: &DpConfig) -> f64 {
+    if config.clamps() {
+        config.clamp_hi - config.clamp_lo
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Deterministic per-(handle, tick) noise seed: a splitmix64-style mix
+/// of the handle id and the module ledger's spend sequence number.
+/// Recovery restores the ledger position from the log, so a recovered
+/// runtime derives the same seed for the same logical tick and replays
+/// **bitwise-identical** noisy results.
+pub fn derive_seed(handle_id: u64, ledger_seq: u64) -> u64 {
+    let mut z = 0x6a09_e667_f3bc_c909u64
+        .wrapping_add(handle_id.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(ledger_seq.wrapping_mul(0xd1b5_4a32_d192_ed03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::fragment_query;
+    use paradise_sql::parse_query;
+
+    fn clamped(lo: f64, hi: f64) -> DpConfig {
+        DpConfig::new(1.0, 10.0).with_clamp(lo, hi)
+    }
+
+    #[test]
+    fn clamp_lowering_rewrites_sum_and_avg_args() {
+        let mut q = parse_query(
+            "SELECT x, AVG(z) AS za, SUM(z) AS zs, COUNT(*) AS n, MIN(z) AS zm \
+             FROM s GROUP BY x",
+        )
+        .unwrap();
+        lower_clamps(&mut q, &clamped(0.0, 2.0));
+        let sql = q.to_string();
+        assert_eq!(sql.matches("CLAMP(z").count(), 2, "SUM and AVG args clamp: {sql}");
+        assert!(sql.contains("COUNT(*)"), "COUNT needs no clamp: {sql}");
+        assert!(sql.contains("MIN(z)"), "MIN is not lowered: {sql}");
+    }
+
+    #[test]
+    fn clamp_lowering_reaches_inner_blocks_and_skips_windowed() {
+        let mut q = parse_query(
+            "SELECT SUM(za) OVER (ORDER BY x) FROM \
+             (SELECT x, AVG(z) AS za FROM s GROUP BY x)",
+        )
+        .unwrap();
+        lower_clamps(&mut q, &clamped(0.0, 2.0));
+        let sql = q.to_string();
+        assert_eq!(sql.matches("CLAMP(z").count(), 1, "only the inner AVG clamps: {sql}");
+        assert!(sql.starts_with("SELECT SUM(za) OVER"), "windowed SUM untouched: {sql}");
+    }
+
+    #[test]
+    fn unclamped_or_infinite_epsilon_config_leaves_the_ast_bitwise_alone() {
+        let q = parse_query("SELECT x, SUM(z) AS zs FROM s GROUP BY x").unwrap();
+        let mut unclamped = q.clone();
+        lower_clamps(&mut unclamped, &DpConfig::new(1.0, 10.0));
+        assert_eq!(unclamped, q);
+        let mut open = q.clone();
+        lower_clamps(&mut open, &DpConfig::new(f64::INFINITY, f64::INFINITY).with_clamp(0.0, 1.0));
+        assert_eq!(open, q, "ε=∞ must not perturb plan-cache keys");
+    }
+
+    #[test]
+    fn derive_plan_finds_the_aggregation_stage_and_splits_epsilon() {
+        let q = parse_query(
+            "SELECT x, COUNT(*) AS n, SUM(z) AS zs FROM s WHERE z < 9 GROUP BY x",
+        )
+        .unwrap();
+        let plan = fragment_query(&q).unwrap();
+        let config = DpConfig::new(1.0, 10.0).with_clamp(-2.0, 4.0);
+        let dp = derive_plan(&plan, &config).unwrap();
+        assert_eq!(dp.stage, plan.fragments.len() - 1, "last fragment aggregates");
+        assert_eq!(dp.specs.len(), 2);
+        // ε splits over 2 columns → ε_col = 0.5; COUNT: Δ=1 → b=2;
+        // SUM: Δ=max(|-2|,|4|)=4 → b=8
+        assert_eq!(dp.specs[0], NoiseSpec { column: 1, scale: 2.0, kind: NoiseKind::Count });
+        assert_eq!(dp.specs[1], NoiseSpec { column: 2, scale: 8.0, kind: NoiseKind::Sum });
+        assert!(dp.is_noisy());
+    }
+
+    #[test]
+    fn infinite_epsilon_yields_zero_scales_and_no_noise() {
+        let q = parse_query("SELECT x, AVG(z) AS za FROM s GROUP BY x").unwrap();
+        let plan = fragment_query(&q).unwrap();
+        let config = DpConfig::new(f64::INFINITY, f64::INFINITY).with_clamp(0.0, 1.0);
+        let dp = derive_plan(&plan, &config).unwrap();
+        assert!(dp.specs.iter().all(|s| s.scale == 0.0));
+        assert!(!dp.is_noisy());
+    }
+
+    #[test]
+    fn unclamped_sum_under_finite_epsilon_drowns_in_noise() {
+        let q = parse_query("SELECT x, SUM(z) AS zs FROM s GROUP BY x").unwrap();
+        let plan = fragment_query(&q).unwrap();
+        let dp = derive_plan(&plan, &DpConfig::new(1.0, 10.0)).unwrap();
+        assert!(dp.specs[0].scale.is_infinite(), "unbounded sensitivity fails closed");
+    }
+
+    #[test]
+    fn plans_without_noisable_aggregates_run_exact() {
+        for sql in [
+            "SELECT x, z FROM s WHERE z < 2",
+            "SELECT x, MIN(z) AS zm FROM s GROUP BY x",
+            "SELECT x, COUNT(DISTINCT z) AS n FROM s GROUP BY x",
+        ] {
+            let plan = fragment_query(&parse_query(sql).unwrap()).unwrap();
+            assert_eq!(derive_plan(&plan, &clamped(0.0, 1.0)), None, "{sql}");
+        }
+    }
+
+    #[test]
+    fn seeds_are_deterministic_and_distinct() {
+        assert_eq!(derive_seed(7, 3), derive_seed(7, 3));
+        assert_ne!(derive_seed(7, 3), derive_seed(7, 4), "ticks get fresh draws");
+        assert_ne!(derive_seed(7, 3), derive_seed(8, 3), "handles get distinct streams");
+        assert_ne!(derive_seed(0, 0), 0);
+    }
+}

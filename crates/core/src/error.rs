@@ -44,6 +44,19 @@ pub enum CoreError {
     /// reported as a typed error instead of a panic so a long-running
     /// runtime degrades one tick instead of taking the process down.
     Internal(String),
+    /// The module's differential-privacy budget is exhausted: one more
+    /// noisy tick would spend past the configured total epsilon. The
+    /// module's queries stop producing results until the policy is
+    /// swapped for one with a larger (or infinite) budget — spent
+    /// epsilon is never refunded, not even across crash recovery.
+    BudgetExhausted {
+        /// The module whose budget ran out.
+        module: String,
+        /// Cumulative epsilon already spent.
+        spent: f64,
+        /// The configured total budget.
+        budget: f64,
+    },
     /// The information-gain check failed: the rewritten query would not
     /// retain enough information to be useful (paper §3.1).
     InsufficientInformation {
@@ -71,6 +84,10 @@ impl fmt::Display for CoreError {
             CoreError::Io(msg) => write!(f, "durability I/O error: {msg}"),
             CoreError::Corrupt(msg) => write!(f, "corrupt persistent state: {msg}"),
             CoreError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
+            CoreError::BudgetExhausted { module, spent, budget } => write!(
+                f,
+                "privacy budget exhausted for module {module:?} (spent {spent} of {budget})"
+            ),
             CoreError::InsufficientInformation { divergence, threshold } => write!(
                 f,
                 "rewritten query loses too much information (KL {divergence:.4} > {threshold:.4})"

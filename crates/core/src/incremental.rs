@@ -36,6 +36,7 @@ use paradise_nodes::{
 };
 use paradise_sql::ast::Query;
 
+use crate::dp::DpPlan;
 use crate::error::{CoreError, CoreResult};
 
 /// The cross-handle plan pool: compiled fragment plans keyed by
@@ -122,14 +123,23 @@ pub(crate) fn run_stages_delta(
     hs: &mut HandleDeltaState,
     shared: &SharedPlans,
     shard: Option<&ShardSpec>,
+    dp: Option<(&DpPlan, u64)>,
+    draws: &mut u64,
 ) -> CoreResult<ChainRun> {
-    let result = match try_run_stages_delta(chain, stages, hs, shared, shard) {
+    // count draws per attempt so a StalePlan retry doesn't double-count
+    let mut attempt_draws = 0u64;
+    let result = match try_run_stages_delta(chain, stages, hs, shared, shard, dp, &mut attempt_draws)
+    {
         Err(CoreError::Node(NodeError::Engine(EngineError::StalePlan))) => {
             hs.reset();
-            try_run_stages_delta(chain, stages, hs, shared, shard)
+            attempt_draws = 0;
+            try_run_stages_delta(chain, stages, hs, shared, shard, dp, &mut attempt_draws)
         }
         other => other,
     };
+    if result.is_ok() {
+        *draws += attempt_draws;
+    }
     if result.is_err() {
         // a failing stage may leave upstream states already advanced
         // past the tick's delta (their watermarks committed) while
@@ -147,6 +157,8 @@ fn try_run_stages_delta(
     hs: &mut HandleDeltaState,
     shared: &SharedPlans,
     shard: Option<&ShardSpec>,
+    dp: Option<(&DpPlan, u64)>,
+    draws: &mut u64,
 ) -> CoreResult<ChainRun> {
     if stages.is_empty() {
         return Err(CoreError::Node(NodeError::BadChain("no stages to run".into())));
@@ -281,6 +293,26 @@ fn try_run_stages_delta(
                     }
                 }
             }
+        };
+
+        // the differential-privacy noise boundary: noise the aggregation
+        // stage's *finalized* output before it is reported or shipped
+        // downstream. The accumulator state behind it stays exact (and
+        // shard merges, which happen inside the stage, are pre-noise);
+        // everything from here up consumes only the noised frame. A
+        // noised carry is necessarily `Full` — the noise changes every
+        // tick, so downstream stages cannot fold it as a delta.
+        let next_carry = match (dp, next_carry) {
+            (Some((plan, seed)), produced) if plan.stage == i && plan.is_noisy() => {
+                let full = match produced {
+                    Carry::Delta { full, .. } | Carry::Full(full) => full,
+                    Carry::Start => unreachable!("every stage produces output"),
+                };
+                let (noised, n) = paradise_engine::apply_laplace(&full, &plan.specs, seed);
+                *draws += n;
+                Carry::Full(noised)
+            }
+            (_, produced) => produced,
         };
 
         if i > 0 && input.is_some() && slot.mode == StageMode::Full {

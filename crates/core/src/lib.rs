@@ -47,6 +47,7 @@
 pub mod checks;
 pub mod containment;
 pub mod containment_ext;
+pub mod dp;
 pub mod error;
 pub mod fragment;
 mod incremental;
@@ -64,6 +65,7 @@ pub use checks::{
 };
 pub use containment::{attack_answerable, Atom, ConjunctiveQuery, Term};
 pub use containment_ext::{range_attack_answerable, Interval, RangeQuery};
+pub use dp::{derive_plan as derive_dp_plan, derive_seed as derive_dp_seed, lower_clamps, DpPlan};
 pub use error::{CoreError, CoreResult};
 pub use fragment::{
     assign_to_chain, fragment_query, minimal_level, AssignmentPolicy, Fragment, FragmentPlan,

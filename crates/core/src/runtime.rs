@@ -34,14 +34,18 @@
 
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use minipool::ThreadPool;
 use paradise_engine::{plan as engine_plan, Catalog, Frame, ShardSpec};
 use paradise_nodes::ProcessingChain;
-use paradise_policy::{parse_policy, policy_to_xml, ModulePolicy, Policy, PolicyVersion};
+use paradise_policy::{
+    parse_policy, policy_to_xml, DpConfig, EpsilonLedger, ModulePolicy, Policy, PolicyVersion,
+};
 use paradise_sql::ast::Query;
 
 use crate::checks::information_gain_check;
+use crate::dp::{self, DpPlan};
 use crate::error::{CoreError, CoreResult};
 use crate::fragment::{assign_to_chain, fragment_query, FragmentPlan};
 use crate::incremental::{run_stages_delta, HandleDeltaState, SharedPlans};
@@ -52,8 +56,8 @@ use crate::processor::{
 };
 use crate::remainder::Remainder;
 use crate::storage::{
-    Durability, DurabilityStats, PolicyState, RegistrationState, SnapshotData, TableState,
-    WalRecord, DEFAULT_SNAPSHOT_EVERY,
+    Durability, DurabilityStats, LedgerState, PolicyState, RegistrationState, SnapshotData,
+    TableState, WalRecord, DEFAULT_SNAPSHOT_EVERY,
 };
 
 /// Upper bound on pooled shared plans before an epoch-style reset.
@@ -108,6 +112,12 @@ struct Registered {
     chain: ProcessingChain,
     /// Per-handle rewrite/fragment-plan cache counters.
     stats: PlanCacheStats,
+    /// Differential-privacy noise plan (which stage's output to noise,
+    /// per-column Laplace scales), derived from the module's
+    /// [`DpConfig`] at registration and at every plan rebuild; `None`
+    /// when the module has no DP config or the query has no noisable
+    /// aggregate.
+    dp: Option<DpPlan>,
     /// Per-stage incremental execution state (delta watermarks, cached
     /// append outputs, per-group accumulators), dropped whenever the
     /// rewrite plan is rebuilt.
@@ -136,6 +146,15 @@ pub struct RuntimeStats {
     /// fragments registered by different handles (or modules) compile
     /// once and share one `Arc<CompiledPlan>` from here.
     pub shared_plans: usize,
+    /// Cumulative differential-privacy epsilon spent across all module
+    /// ledgers, in micro-epsilon (`spent × 10⁶`, saturating) — integer
+    /// so the stats struct stays `Copy + Eq`.
+    pub dp_epsilon_spent_micro: u64,
+    /// Laplace noise draws consumed by DP aggregate finalization.
+    pub dp_noise_draws: u64,
+    /// Ticks refused (handle quarantined or tick aborted) because a
+    /// module's epsilon budget was exhausted.
+    pub dp_budget_exhausted: u64,
 }
 
 /// Per-handle counters, from [`Runtime::handle_stats`].
@@ -180,6 +199,15 @@ pub struct Runtime {
     /// fresh number, so versions are unique across modules too.
     version_counter: u64,
     ticks: u64,
+    /// Per-module differential-privacy spend ledgers. Pure spend
+    /// records — budget and per-tick epsilon are read from the
+    /// *current* policy at check time, so a live policy swap
+    /// immediately re-budgets the accumulated spend.
+    ledgers: HashMap<String, EpsilonLedger>,
+    /// Laplace draws consumed runtime-wide (see [`RuntimeStats`]).
+    dp_noise_draws: u64,
+    /// Budget-exhaustion refusals runtime-wide (see [`RuntimeStats`]).
+    dp_budget_exhausted: u64,
     /// The attached durability layer (write-ahead log + snapshots),
     /// `None` for a purely in-memory runtime. See [`Runtime::durable`].
     durability: Option<Durability>,
@@ -204,6 +232,9 @@ impl Runtime {
             next_generation: 0,
             version_counter: 0,
             ticks: 0,
+            ledgers: HashMap::new(),
+            dp_noise_draws: 0,
+            dp_budget_exhausted: 0,
             durability: None,
             snapshot_every: DEFAULT_SNAPSHOT_EVERY,
         }
@@ -416,6 +447,16 @@ impl Runtime {
                 })
             })
             .collect();
+        let mut ledgers: Vec<LedgerState> = self
+            .ledgers
+            .iter()
+            .map(|(module, l)| LedgerState {
+                module: module.clone(),
+                seq: l.seq(),
+                spent: l.spent(),
+            })
+            .collect();
+        ledgers.sort_by(|a, b| a.module.cmp(&b.module));
         SnapshotData {
             generation: 0, // assigned by the durability layer
             tables,
@@ -424,6 +465,7 @@ impl Runtime {
             registrations,
             slots: self.slots.len() as u32,
             next_generation: self.next_generation,
+            ledgers,
         }
     }
 
@@ -438,6 +480,11 @@ impl Runtime {
             self.policies.insert(p.module, (PolicyVersion(p.version), module));
         }
         self.version_counter = snap.version_counter;
+        for l in snap.ledgers {
+            let mut ledger = EpsilonLedger::new();
+            ledger.restore(l.seq, l.spent);
+            self.ledgers.insert(l.module, ledger);
+        }
         for t in snap.tables {
             let node = self.chain.node_mut(&t.node).map_err(|_| {
                 CoreError::Corrupt(format!(
@@ -540,6 +587,19 @@ impl Runtime {
                     )));
                 }
             }
+            WalRecord::SpendEpsilon { module, seq, spent } => {
+                let at = self.ledgers.get(&module).map_or(0, |l| l.seq());
+                if seq <= at {
+                    *skipped += 1;
+                } else if seq == at + 1 {
+                    self.ledgers.entry(module).or_default().restore(seq, spent);
+                } else {
+                    return Err(CoreError::Corrupt(format!(
+                        "log gap: epsilon spend sequence {seq} for module \
+                         {module:?} whose ledger is at {at}"
+                    )));
+                }
+            }
         }
         Ok(())
     }
@@ -561,8 +621,7 @@ impl Runtime {
             .get(module)
             .ok_or_else(|| CoreError::NoPolicy(module.to_string()))?;
         let version = *version;
-        let pre = preprocess(&query, policy, &self.options.preprocess)?;
-        let plan = fragment_query(&pre.query)?;
+        let (pre, plan, dp_plan) = build_plans(&query, policy, &self.options)?;
         let tables = paradise_sql::analysis::base_relations(&query);
         let fingerprint = source_fingerprint(&self.chain, &tables);
         let mut chain = self.chain.clone();
@@ -578,6 +637,7 @@ impl Runtime {
             fingerprint,
             chain,
             stats: PlanCacheStats { hits: 0, misses: 1, invalidations: 0 },
+            dp: dp_plan,
             delta: HandleDeltaState::default(),
             harvested_misses: 0,
         };
@@ -624,6 +684,15 @@ impl Runtime {
         self.policies.get(module_id).map(|(v, _)| *v)
     }
 
+    /// A module's differential-privacy spend ledger (a copy), if the
+    /// module has ever spent. Budget checks always read the *current*
+    /// policy's [`DpConfig`] against this spend, so swapping in a
+    /// larger budget un-quarantines an exhausted module without
+    /// refunding a single spent epsilon.
+    pub fn epsilon_ledger(&self, module_id: &str) -> Option<EpsilonLedger> {
+        self.ledgers.get(module_id).copied()
+    }
+
     /// Register a continuous query for a module: preprocess (policy
     /// rewrite) and fragment **once**, set up the handle's execution
     /// chain, and return the handle. Ticks re-execute the cached plan
@@ -634,8 +703,7 @@ impl Runtime {
             .get(module_id)
             .ok_or_else(|| CoreError::NoPolicy(module_id.to_string()))?;
         let version = *version;
-        let pre = preprocess(query, policy, &self.options.preprocess)?;
-        let plan = fragment_query(&pre.query)?;
+        let (pre, plan, dp_plan) = build_plans(query, policy, &self.options)?;
         let tables = paradise_sql::analysis::base_relations(query);
         let fingerprint = source_fingerprint(&self.chain, &tables);
         let mut chain = self.chain.clone();
@@ -653,6 +721,7 @@ impl Runtime {
             fingerprint,
             chain,
             stats: PlanCacheStats { hits: 0, misses: 1, invalidations: 0 },
+            dp: dp_plan,
             delta: HandleDeltaState::default(),
             harvested_misses: 0,
         };
@@ -831,8 +900,32 @@ impl Runtime {
     ) -> CoreResult<Vec<(QueryHandle, CoreResult<Outcome>)>> {
         enum Rebuild {
             Keep,
-            Fresh(Box<PreprocessOutcome>, FragmentPlan, PolicyVersion, u64),
+            Fresh(Box<PreprocessOutcome>, FragmentPlan, Option<DpPlan>, PolicyVersion, u64),
             Failed(CoreError),
+        }
+
+        /// Would executing a handle with this noise plan overdraw the
+        /// module's epsilon budget? (Non-noisy plans — DP off, ε = ∞,
+        /// or no noisable aggregate — spend nothing and always pass.)
+        fn budget_check(
+            module: &str,
+            dp_plan: Option<&DpPlan>,
+            config: Option<&DpConfig>,
+            ledgers: &HashMap<String, EpsilonLedger>,
+        ) -> CoreResult<()> {
+            let (Some(plan), Some(cfg)) = (dp_plan, config) else { return Ok(()) };
+            if !plan.is_noisy() {
+                return Ok(());
+            }
+            let ledger = ledgers.get(module).copied().unwrap_or_default();
+            if ledger.can_spend(cfg) {
+                return Ok(());
+            }
+            Err(CoreError::BudgetExhausted {
+                module: module.to_string(),
+                spent: ledger.spent(),
+                budget: cfg.budget,
+            })
         }
 
         // phase 1a (serial, read-only): probe every handle's cached
@@ -846,6 +939,7 @@ impl Runtime {
             let policies = &self.policies;
             let chain = &self.chain;
             let options = &self.options;
+            let ledgers = &self.ledgers;
             for slot in &self.slots {
                 let Some(slot) = slot else {
                     rebuilds.push(None);
@@ -863,17 +957,26 @@ impl Runtime {
                         // policy swap or source schema change: rebuild
                         // this handle's rewrite under the current
                         // policy version
-                        let pre = preprocess(&slot.query, policy, &options.preprocess)?;
-                        let plan = fragment_query(&pre.query)?;
-                        Ok(Rebuild::Fresh(Box::new(pre), plan, *version, fingerprint))
+                        let (pre, plan, dp_plan) = build_plans(&slot.query, policy, options)?;
+                        budget_check(&slot.module, dp_plan.as_ref(), policy.dp.as_ref(), ledgers)?;
+                        Ok(Rebuild::Fresh(Box::new(pre), plan, dp_plan, *version, fingerprint))
                     } else {
+                        budget_check(&slot.module, slot.dp.as_ref(), policy.dp.as_ref(), ledgers)?;
                         Ok(Rebuild::Keep)
                     }
                 })();
                 match probed {
                     Ok(rebuild) => rebuilds.push(Some(rebuild)),
-                    Err(e) if isolate => rebuilds.push(Some(Rebuild::Failed(e))),
-                    Err(e) => return Err(e),
+                    Err(e) => {
+                        if matches!(e, CoreError::BudgetExhausted { .. }) {
+                            self.dp_budget_exhausted += 1;
+                        }
+                        if isolate {
+                            rebuilds.push(Some(Rebuild::Failed(e)));
+                        } else {
+                            return Err(e);
+                        }
+                    }
                 }
             }
         }
@@ -893,11 +996,12 @@ impl Runtime {
                     failed[index] = Some(e);
                     continue;
                 }
-                Rebuild::Fresh(pre, plan, version, fingerprint) => {
+                Rebuild::Fresh(pre, plan, dp_plan, version, fingerprint) => {
                     slot.stats.misses += 1;
                     slot.stats.invalidations += 1;
                     slot.pre = *pre;
                     slot.plan = plan;
+                    slot.dp = dp_plan;
                     slot.version = version;
                     slot.fingerprint = fingerprint;
                     // the rewrite changed: every per-stage incremental
@@ -920,6 +1024,52 @@ impl Runtime {
             }
         }
 
+        // phase 1c (serial): spend each DP module's per-tick epsilon —
+        // once per module, however many of its handles will tick — and
+        // derive every noisy handle's noise seed from (handle id,
+        // ledger sequence). The spend is buffered as a log record here
+        // and reaches the OS in phase 6's group commit, i.e. *before*
+        // this tick's results are returned to any caller — so recovery
+        // can never observe released noisy results whose spend (and
+        // seed) it lost. Spends are not refunded if execution later
+        // fails: over-counting spend is privacy-safe, refunding is not.
+        let mut seeds: Vec<u64> = vec![0; self.slots.len()];
+        {
+            let mut spent: HashMap<&str, u64> = HashMap::new();
+            for (index, slot) in self.slots.iter().enumerate() {
+                let Some(reg) = slot else { continue };
+                if failed[index].is_some() {
+                    continue;
+                }
+                if !reg.dp.as_ref().is_some_and(DpPlan::is_noisy) {
+                    continue;
+                }
+                let Some(cfg) = self.policies.get(&reg.module).and_then(|(_, p)| p.dp.as_ref())
+                else {
+                    continue;
+                };
+                let seq = match spent.get(reg.module.as_str()) {
+                    Some(seq) => *seq,
+                    None => {
+                        let ledger = self.ledgers.entry(reg.module.clone()).or_default();
+                        let seq = ledger.spend(cfg.epsilon_per_tick);
+                        if let Some(d) = self.durability.as_mut() {
+                            d.record(&WalRecord::SpendEpsilon {
+                                module: reg.module.clone(),
+                                seq,
+                                spent: ledger.spent(),
+                            });
+                        }
+                        spent.insert(reg.module.as_str(), seq);
+                        seq
+                    }
+                };
+                let handle = QueryHandle { index: index as u32, generation: reg.generation };
+                seeds[index] = dp::derive_seed(handle.id(), seq);
+            }
+        }
+        let noise_draws = AtomicU64::new(0);
+
         // the integrated catalog is only materialised when the
         // information-gain check is on (it reads the raw sources)
         let info_catalog = self.options.info_gain_threshold.map(|_| self.integrated_catalog());
@@ -936,6 +1086,7 @@ impl Runtime {
             let shared = &self.shared;
             let shard = self.partitioning.as_ref();
             let failed = &failed;
+            let noise_draws = &noise_draws;
             ThreadPool::global().scope(|scope| {
                 for (index, (slot, result)) in
                     self.slots.iter_mut().zip(results.iter_mut()).enumerate()
@@ -944,6 +1095,7 @@ impl Runtime {
                     if failed[index].is_some() {
                         continue;
                     }
+                    let dp_seed = seeds[index];
                     scope.spawn(move || {
                         *result = Some(run_handle(
                             reg,
@@ -953,12 +1105,15 @@ impl Runtime {
                             incremental,
                             shared,
                             shard,
+                            dp_seed,
+                            noise_draws,
                         ));
                     });
                 }
             });
         }
         self.ticks += 1;
+        self.dp_noise_draws += noise_draws.load(Ordering::Relaxed);
 
         // phase 3: collect in registration (slot) order. Errors are
         // noted but not returned yet — phases 4/5 must run even on a
@@ -1099,6 +1254,15 @@ impl Runtime {
             registered: self.slots.iter().flatten().count(),
             ticks: self.ticks,
             shared_plans: self.shared.values().map(Vec::len).sum(),
+            // saturating as-cast: an infinite or absurd spend pins to
+            // u64::MAX instead of poisoning the stats struct's Eq
+            dp_epsilon_spent_micro: self
+                .ledgers
+                .values()
+                .map(|l| (l.spent() * 1e6) as u64)
+                .fold(0, u64::saturating_add),
+            dp_noise_draws: self.dp_noise_draws,
+            dp_budget_exhausted: self.dp_budget_exhausted,
             ..RuntimeStats::default()
         };
         for reg in self.slots.iter().flatten() {
@@ -1173,10 +1337,32 @@ impl Drop for Runtime {
     }
 }
 
+/// Rewrite-and-plan one query under a module policy: preprocess (the
+/// policy rewrite), clamp-lower `SUM`/`AVG` arguments under the
+/// module's DP config (so the clamp compiles into the normal
+/// aggregation path), fragment, and derive the noise plan. The clamped
+/// AST flows into every fragment — and therefore into every derived
+/// plan-cache key — so toggling DP on a module can never serve a plan
+/// built for the other mode.
+fn build_plans(
+    query: &Query,
+    policy: &ModulePolicy,
+    options: &ProcessorOptions,
+) -> CoreResult<(PreprocessOutcome, FragmentPlan, Option<DpPlan>)> {
+    let mut pre = preprocess(query, policy, &options.preprocess)?;
+    if let Some(cfg) = &policy.dp {
+        dp::lower_clamps(&mut pre.query, cfg);
+    }
+    let plan = fragment_query(&pre.query)?;
+    let dp_plan = policy.dp.as_ref().and_then(|cfg| dp::derive_plan(&plan, cfg));
+    Ok((pre, plan, dp_plan))
+}
+
 /// One handle's tick: optional information-gain check, then the
 /// Figure 2 execution path over the handle's private chain —
 /// delta-aware by default, full-rescan when incremental execution is
 /// disabled (the equivalence reference).
+#[allow(clippy::too_many_arguments)]
 fn run_handle(
     reg: &mut Registered,
     options: &ProcessorOptions,
@@ -1185,6 +1371,8 @@ fn run_handle(
     incremental: bool,
     shared: &SharedPlans,
     shard: Option<&ShardSpec>,
+    dp_seed: u64,
+    noise_draws: &AtomicU64,
 ) -> CoreResult<Outcome> {
     let information_gain = match (info_catalog, options.info_gain_threshold) {
         (Some(catalog), Some(threshold)) => {
@@ -1192,18 +1380,55 @@ fn run_handle(
         }
         _ => None,
     };
+    let dp = reg.dp.as_ref().filter(|p| p.is_noisy());
     if !incremental {
-        return execute_pipeline(
-            &mut reg.chain,
+        // full-rescan reference path; with DP on, the only difference
+        // is the noise hook at the aggregation stage's finalize
+        let Some(plan) = dp else {
+            return execute_pipeline(
+                &mut reg.chain,
+                reg.pre.clone(),
+                reg.plan.clone(),
+                information_gain,
+                options,
+                remainder,
+            );
+        };
+        let stages = assign_to_chain(&reg.plan, &reg.chain, options.assignment)?;
+        let mut draws = 0u64;
+        let run = reg.chain.run_stages_with(&stages, |i, frame| {
+            if i == plan.stage {
+                let (noised, n) = paradise_engine::apply_laplace(&frame, &plan.specs, dp_seed);
+                draws += n;
+                noised
+            } else {
+                frame
+            }
+        })?;
+        noise_draws.fetch_add(draws, Ordering::Relaxed);
+        return assemble_outcome(
+            &reg.chain,
             reg.pre.clone(),
             reg.plan.clone(),
+            stages,
+            run,
             information_gain,
             options,
             remainder,
         );
     }
     let stages = assign_to_chain(&reg.plan, &reg.chain, options.assignment)?;
-    let run = run_stages_delta(&mut reg.chain, &stages, &mut reg.delta, shared, shard)?;
+    let mut draws = 0u64;
+    let run = run_stages_delta(
+        &mut reg.chain,
+        &stages,
+        &mut reg.delta,
+        shared,
+        shard,
+        dp.map(|p| (p, dp_seed)),
+        &mut draws,
+    )?;
+    noise_draws.fetch_add(draws, Ordering::Relaxed);
     assemble_outcome(
         &reg.chain,
         reg.pre.clone(),

@@ -44,7 +44,7 @@ use std::path::{Path, PathBuf};
 
 use crate::error::{CoreError, CoreResult};
 
-pub use snapshot::{PolicyState, RegistrationState, SnapshotData, TableState};
+pub use snapshot::{LedgerState, PolicyState, RegistrationState, SnapshotData, TableState};
 pub use wal::WalRecord;
 
 use snapshot::{list_generations, read_snapshot, snapshot_path, wal_path, write_snapshot};

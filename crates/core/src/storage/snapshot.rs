@@ -75,6 +75,21 @@ pub struct RegistrationState {
     pub sql: String,
 }
 
+/// One module's differential-privacy epsilon-ledger position. Spent
+/// budget is durable state of the strictest kind: losing it across a
+/// crash would let an adversary re-query for fresh noise draws, so the
+/// ledger is snapshotted here *and* every individual spend is logged
+/// ([`WalRecord::SpendEpsilon`](super::wal::WalRecord::SpendEpsilon)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerState {
+    /// Module id.
+    pub module: String,
+    /// Ledger spend-sequence number (number of noisy ticks so far).
+    pub seq: u64,
+    /// Cumulative epsilon spent.
+    pub spent: f64,
+}
+
 /// The complete durable state of a runtime at a snapshot barrier.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SnapshotData {
@@ -94,6 +109,8 @@ pub struct SnapshotData {
     pub slots: u32,
     /// The next handle generation to assign.
     pub next_generation: u32,
+    /// Every module's epsilon-ledger position, sorted by module id.
+    pub ledgers: Vec<LedgerState>,
 }
 
 /// Path of generation `g`'s snapshot file.
@@ -159,6 +176,12 @@ fn encode(data: &SnapshotData) -> Vec<u8> {
     }
     e.u32(data.slots);
     e.u32(data.next_generation);
+    e.u32(data.ledgers.len() as u32);
+    for l in &data.ledgers {
+        e.str(&l.module);
+        e.u64(l.seq);
+        e.f64(l.spent);
+    }
     e.into_bytes()
 }
 
@@ -190,6 +213,10 @@ fn decode(payload: &[u8]) -> CoreResult<SnapshotData> {
     }
     let slots = d.u32()?;
     let next_generation = d.u32()?;
+    let mut ledgers = Vec::new();
+    for _ in 0..d.u32()? {
+        ledgers.push(LedgerState { module: d.str()?, seq: d.u64()?, spent: d.f64()? });
+    }
     if !d.done() {
         return Err(CoreError::Corrupt("trailing bytes after snapshot payload".to_string()));
     }
@@ -201,6 +228,7 @@ fn decode(payload: &[u8]) -> CoreResult<SnapshotData> {
         registrations,
         slots,
         next_generation,
+        ledgers,
     })
 }
 
@@ -303,6 +331,7 @@ mod tests {
             }],
             slots: 2,
             next_generation: 5,
+            ledgers: vec![LedgerState { module: "ActionFilter".into(), seq: 9, spent: 4.5 }],
         }
     }
 

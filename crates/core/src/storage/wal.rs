@@ -112,6 +112,23 @@ pub enum WalRecord {
         /// `policy_to_xml` rendering of the module policy.
         xml: String,
     },
+    /// One differential-privacy budget spend of a module's epsilon
+    /// ledger (one noisy tick). Carries the **absolute** cumulative
+    /// spend and the ledger sequence number it applies at, following
+    /// the same idempotent-replay discipline as stream positions:
+    /// at-or-below the recovered sequence is skipped, exactly the next
+    /// sequence applies, beyond it is a gap. Recovery therefore never
+    /// regains spent budget — and because the noise seed derives from
+    /// the ledger sequence, a recovered runtime replays bitwise-
+    /// identical noisy results.
+    SpendEpsilon {
+        /// Module whose ledger spent.
+        module: String,
+        /// Ledger sequence number *after* this spend (1-based).
+        seq: u64,
+        /// Absolute cumulative epsilon spent after this spend.
+        spent: f64,
+    },
 }
 
 const TAG_INSTALL: u8 = 1;
@@ -120,6 +137,7 @@ const TAG_EVICT: u8 = 3;
 const TAG_REGISTER: u8 = 4;
 const TAG_REMOVE: u8 = 5;
 const TAG_SET_POLICY: u8 = 6;
+const TAG_SPEND_EPSILON: u8 = 7;
 
 impl WalRecord {
     /// Encode as the framed body (tag + payload), without the
@@ -164,6 +182,12 @@ impl WalRecord {
                 e.str(module);
                 e.str(xml);
             }
+            WalRecord::SpendEpsilon { module, seq, spent } => {
+                e.u8(TAG_SPEND_EPSILON);
+                e.str(module);
+                e.u64(*seq);
+                e.f64(*spent);
+            }
         }
         e.into_bytes()
     }
@@ -200,6 +224,11 @@ impl WalRecord {
                 version: d.u64()?,
                 module: d.str()?,
                 xml: d.str()?,
+            },
+            TAG_SPEND_EPSILON => WalRecord::SpendEpsilon {
+                module: d.str()?,
+                seq: d.u64()?,
+                spent: d.f64()?,
             },
             tag => {
                 return Err(CoreError::Corrupt(format!(

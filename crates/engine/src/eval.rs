@@ -323,13 +323,19 @@ fn eval_case(
 }
 
 pub(crate) fn eval_scalar_function(name: &str, args: &[Value]) -> EngineResult<Value> {
-    let upper = name.to_ascii_uppercase();
+    eval_scalar_function_upper(&name.to_ascii_uppercase(), args)
+}
+
+/// Like [`eval_scalar_function`], but `upper` must already be
+/// ASCII-uppercased: the compiled expression programs fold the name
+/// once at compile time so per-row calls skip the allocation.
+pub(crate) fn eval_scalar_function_upper(upper: &str, args: &[Value]) -> EngineResult<Value> {
     let arity = |expected: &str, ok: bool| -> EngineResult<()> {
         if ok {
             Ok(())
         } else {
             Err(EngineError::WrongArity {
-                function: upper.clone(),
+                function: upper.to_string(),
                 expected: expected.to_string(),
                 got: args.len(),
             })
@@ -344,7 +350,7 @@ pub(crate) fn eval_scalar_function(name: &str, args: &[Value]) -> EngineResult<V
         })?;
         Ok(Value::Float(f(x)))
     };
-    match upper.as_str() {
+    match upper {
         "ABS" => {
             arity("1", args.len() == 1)?;
             match &args[0] {
@@ -445,7 +451,29 @@ pub(crate) fn eval_scalar_function(name: &str, args: &[Value]) -> EngineResult<V
                 Ok(args[0].clone())
             }
         }
-        _ => Err(EngineError::UnknownFunction(name.to_string())),
+        "CLAMP" => {
+            arity("3", args.len() == 3)?;
+            if args.iter().any(Value::is_null) {
+                return Ok(Value::Null);
+            }
+            let num = |i: usize| {
+                args[i].as_f64().ok_or_else(|| {
+                    EngineError::TypeMismatch(format!("CLAMP of {}", args[i]))
+                })
+            };
+            let (x, lo, hi) = (num(0)?, num(1)?, num(2)?);
+            // Out-of-range values take the violated bound (lo wins when
+            // the bounds cross); in-range values keep their original
+            // type, so integer streams stay exactly summable.
+            if x < lo {
+                Ok(Value::Float(lo))
+            } else if x > hi {
+                Ok(Value::Float(hi))
+            } else {
+                Ok(args[0].clone())
+            }
+        }
+        _ => Err(EngineError::UnknownFunction(upper.to_string())),
     }
 }
 
@@ -1106,6 +1134,12 @@ mod tests {
         assert_eq!(eval("NULLIF(2, 2)").unwrap(), Value::Null);
         assert_eq!(eval("NULLIF(3, 2)").unwrap(), Value::Int(3));
         assert_eq!(eval("POWER(2, 10)").unwrap(), Value::Float(1024.0));
+        // CLAMP: violated bounds come back as the (float) bound,
+        // in-range values keep their original type, NULLs propagate.
+        assert_eq!(eval("CLAMP(7, 0, 5.5)").unwrap(), Value::Float(5.5));
+        assert_eq!(eval("CLAMP(-1, 0, 5.5)").unwrap(), Value::Float(0.0));
+        assert_eq!(eval("CLAMP(3, 0, 5.5)").unwrap(), Value::Int(3));
+        assert_eq!(eval("CLAMP(NULL, 0, 1)").unwrap(), Value::Null);
     }
 
     #[test]

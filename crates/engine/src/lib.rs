@@ -33,6 +33,7 @@ pub mod error;
 pub mod eval;
 pub mod exec;
 pub mod frame;
+pub mod noise;
 pub mod plan;
 pub mod schema;
 pub mod stream;
@@ -44,6 +45,7 @@ pub use error::{EngineError, EngineResult};
 pub use exec::aggregate::AggKind;
 pub use exec::{ExecMode, ExecOptions, Executor};
 pub use frame::{Frame, Row};
+pub use noise::{apply_laplace, NoiseKind, NoiseSpec};
 pub use plan::{
     CompiledPlan, DeltaInput, ExprProgram, IncrementalPlan, IncrementalRun, IncrementalState,
     PlanCache, PlanCacheStats, ShardSpec,

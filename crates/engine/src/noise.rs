@@ -1,0 +1,192 @@
+//! The differential-privacy noise kernel: add explicitly-seeded
+//! Laplace noise to selected columns of a finalized aggregate frame.
+//!
+//! This is deliberately a *post-finalize* operator: it never touches
+//! accumulator state, so the incremental and sharded aggregation
+//! paths run exactly as without DP and shard merges happen pre-noise.
+//! Noised columns get **new** buffers; untouched columns share their
+//! `Arc`s with the input frame — the kernel can therefore be applied
+//! to a frame whose buffers are shared with cached per-group state
+//! without corrupting it.
+//!
+//! Determinism contract: for a given `(seed, specs, frame shape)` the
+//! draw schedule is fixed — one Laplace sample per row per spec, in
+//! spec order then row order — so a recovered runtime that derives the
+//! same seed reproduces bitwise-identical noisy results.
+
+use std::sync::Arc;
+
+use rand::distributions::{Distribution, Laplace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::frame::Frame;
+use crate::column::ColumnData;
+use crate::value::{DataType, Value};
+
+/// How a noised column's values are finalized after the noise is
+/// added, matching the aggregate that produced the column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoiseKind {
+    /// `COUNT`: round to the nearest integer and floor at 0 (pure
+    /// post-processing, so the DP guarantee is unaffected).
+    Count,
+    /// `SUM` / `AVG`: keep the raw noisy value (rounded only when the
+    /// output buffer is integer-typed).
+    Sum,
+}
+
+/// One column of a finalized aggregate frame to noise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseSpec {
+    /// Output-column index in the frame.
+    pub column: usize,
+    /// Laplace scale `b = sensitivity / ε` (0 = exact, the ε→∞
+    /// limit: the column is returned bitwise-unchanged).
+    pub scale: f64,
+    /// Post-noise finalization.
+    pub kind: NoiseKind,
+}
+
+/// Add Laplace noise to `specs`' columns of `frame`, drawing from a
+/// `StdRng` seeded with `seed`. Returns the noised frame and the
+/// number of draws consumed. NULL cells stay NULL (their draw is
+/// still consumed, keeping the schedule shape-determined).
+pub fn apply_laplace(frame: &Frame, specs: &[NoiseSpec], seed: u64) -> (Frame, u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut draws = 0u64;
+    let mut columns: Vec<Arc<ColumnData>> =
+        (0..frame.schema.len()).map(|i| frame.column_arc(i)).collect();
+    for spec in specs {
+        if spec.column >= columns.len() {
+            continue;
+        }
+        if spec.scale == 0.0 {
+            // ε → ∞: exact results, bitwise-unchanged (adding 0.0
+            // would still flip -0.0 to +0.0)
+            continue;
+        }
+        let lap = Laplace::new(spec.scale.max(0.0)).unwrap_or_else(|| {
+            // NaN scale (0/0 mis-config): treat as infinite noise
+            Laplace::new(f64::INFINITY).expect("infinite scale is valid")
+        });
+        let source = &columns[spec.column];
+        let integral = source.data_type() == Some(DataType::Integer);
+        let mut out = ColumnData::with_capacity(
+            if integral { DataType::Integer } else { DataType::Float },
+            source.len(),
+        );
+        for i in 0..source.len() {
+            let noise = lap.sample(&mut rng);
+            draws += 1;
+            if source.is_null(i) {
+                out.push(Value::Null);
+                continue;
+            }
+            let Some(v) = source.as_f64(i) else {
+                // non-numeric cell in a supposedly numeric aggregate
+                // column: pass through untouched
+                out.push(source.value(i));
+                continue;
+            };
+            let noisy = v + noise;
+            out.push(finalize(noisy, spec.kind, integral));
+        }
+        columns[spec.column] = Arc::new(out);
+    }
+    let noised = Frame::from_arc_columns(frame.schema.clone(), columns)
+        .expect("noise kernel preserves the frame shape");
+    (noised, draws)
+}
+
+fn finalize(noisy: f64, kind: NoiseKind, integral: bool) -> Value {
+    match kind {
+        NoiseKind::Count => {
+            let c = noisy.round().max(0.0);
+            if integral {
+                Value::Int(c as i64)
+            } else {
+                Value::Float(c)
+            }
+        }
+        NoiseKind::Sum => {
+            if integral {
+                Value::Int(noisy.round() as i64)
+            } else {
+                Value::Float(noisy)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn agg_frame() -> Frame {
+        let schema = Schema::from_pairs(&[
+            ("x", DataType::Integer),
+            ("n", DataType::Integer),
+            ("s", DataType::Float),
+        ]);
+        Frame::new(
+            schema,
+            vec![
+                vec![Value::Int(1), Value::Int(10), Value::Float(100.0)],
+                vec![Value::Int(2), Value::Int(0), Value::Float(-3.5)],
+                vec![Value::Int(3), Value::Null, Value::Null],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_shares_untouched_columns() {
+        let f = agg_frame();
+        let specs = [
+            NoiseSpec { column: 1, scale: 1.0, kind: NoiseKind::Count },
+            NoiseSpec { column: 2, scale: 2.0, kind: NoiseKind::Sum },
+        ];
+        let (a, draws_a) = apply_laplace(&f, &specs, 7);
+        let (b, draws_b) = apply_laplace(&f, &specs, 7);
+        assert_eq!(draws_a, 6, "one draw per row per spec");
+        assert_eq!(draws_a, draws_b);
+        assert_eq!(a.to_rows(), b.to_rows(), "same seed, same noise");
+        let (c, _) = apply_laplace(&f, &specs, 8);
+        assert_ne!(a.to_rows(), c.to_rows(), "different seed, different noise");
+        // the group-key column is the same shared buffer
+        assert!(Arc::ptr_eq(&f.column_arc(0), &a.column_arc(0)));
+        // NULL aggregates stay NULL
+        assert_eq!(a.value(2, 1), Value::Null);
+        assert_eq!(a.value(2, 2), Value::Null);
+    }
+
+    #[test]
+    fn zero_scale_is_bitwise_identity() {
+        let f = agg_frame();
+        let specs = [
+            NoiseSpec { column: 1, scale: 0.0, kind: NoiseKind::Count },
+            NoiseSpec { column: 2, scale: 0.0, kind: NoiseKind::Sum },
+        ];
+        let (out, draws) = apply_laplace(&f, &specs, 42);
+        assert_eq!(draws, 0);
+        assert_eq!(out.to_rows(), f.to_rows());
+        assert!(Arc::ptr_eq(&f.column_arc(1), &out.column_arc(1)));
+    }
+
+    #[test]
+    fn count_floors_at_zero_and_stays_integral() {
+        let f = agg_frame();
+        let specs = [NoiseSpec { column: 1, scale: 5.0, kind: NoiseKind::Count }];
+        for seed in 0..50 {
+            let (out, _) = apply_laplace(&f, &specs, seed);
+            for row in 0..2 {
+                match out.value(row, 1) {
+                    Value::Int(n) => assert!(n >= 0, "noisy count went negative"),
+                    other => panic!("count column lost its type: {other:?}"),
+                }
+            }
+        }
+    }
+}

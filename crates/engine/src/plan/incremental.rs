@@ -566,19 +566,7 @@ pub(super) fn fold_grouped(
         .iter()
         .map(|p| Ok(p.eval(fd, ctx)?.into_column_arc(n)))
         .collect::<EngineResult<_>>()?;
-    let arg_batches: Vec<Vec<Batch>> = body
-        .calls
-        .iter()
-        .map(|call| {
-            call.args
-                .iter()
-                .map(|a| match a {
-                    ArgStep::Star => Ok(Batch::Const(Value::Int(1))),
-                    ArgStep::Prog(p) => p.eval(fd, ctx),
-                })
-                .collect::<EngineResult<_>>()
-        })
-        .collect::<EngineResult<_>>()?;
+    let arg_batches: Vec<Vec<Batch>> = super::eval_call_args(&body.calls, fd, ctx)?;
     let mut folds: Vec<ArgFold<'_>> = body
         .calls
         .iter()

@@ -317,6 +317,39 @@ enum ArgStep {
     Prog(ExprProgram),
 }
 
+/// Batch-evaluate every aggregate call's argument programs over one
+/// frame, running identical argument expressions only once (sharing a
+/// `Batch` is an `Arc` clone). Duplicate arguments are the common case
+/// under the DP rewrite, where clamp lowering gives `SUM(CLAMP(z, …))`
+/// and `AVG(CLAMP(z, …))` the same per-row clamp pass.
+fn eval_call_args(
+    calls: &[AggCallPlan],
+    frame: &Frame,
+    ctx: &EvalContext<'_>,
+) -> EngineResult<Vec<Vec<Batch>>> {
+    let mut shared: Vec<(&ExprProgram, Batch)> = Vec::new();
+    calls
+        .iter()
+        .map(|call| {
+            call.args
+                .iter()
+                .map(|a| {
+                    let p = match a {
+                        ArgStep::Star => return Ok(Batch::Const(Value::Int(1))),
+                        ArgStep::Prog(p) => p,
+                    };
+                    if let Some((_, b)) = shared.iter().find(|(q, _)| q.source() == p.source()) {
+                        return Ok(b.clone());
+                    }
+                    let b = p.eval(frame, ctx)?;
+                    shared.push((p, b.clone()));
+                    Ok(b)
+                })
+                .collect()
+        })
+        .collect()
+}
+
 #[derive(Debug, Clone, Copy)]
 enum WinFunc {
     RowNumber,
@@ -964,21 +997,10 @@ fn exec_agg(exec: &Executor<'_>, body: &AggBody, input: Frame) -> EngineResult<F
     // 2. batch-evaluate the aggregate arguments once over the input
     // (with zero groups nothing consumes them; programs never evaluate
     // over empty frames, so this stays error-free like the interpreter)
-    let mut arg_batches: Vec<Vec<Batch>> = Vec::with_capacity(body.calls.len());
-    {
+    let arg_batches: Vec<Vec<Batch>> = {
         let ctx = EvalContext { schema: &input.schema, subquery: Some(&subquery_fn) };
-        for call in &body.calls {
-            arg_batches.push(
-                call.args
-                    .iter()
-                    .map(|a| match a {
-                        ArgStep::Star => Ok(Batch::Const(Value::Int(1))),
-                        ArgStep::Prog(p) => p.eval(&input, &ctx),
-                    })
-                    .collect::<EngineResult<_>>()?,
-            );
-        }
-    }
+        eval_call_args(&body.calls, &input, &ctx)?
+    };
 
     // 3. accumulate per group (group-parallel over the pool); one value
     // column per aggregate call

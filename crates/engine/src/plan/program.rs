@@ -18,8 +18,8 @@ use paradise_sql::ast::{BinaryOp, Expr, UnaryOp};
 use crate::column::ColumnData;
 use crate::error::{EngineError, EngineResult};
 use crate::eval::{
-    and3, eval_binary_batch, eval_expr, eval_scalar_function, eval_unary, ge3, le3, literal_value,
-    or3, to_bool3, Batch, EvalContext,
+    and3, eval_binary_batch, eval_expr, eval_scalar_function_upper, eval_unary, ge3, le3,
+    literal_value, or3, to_bool3, Batch, EvalContext,
 };
 use crate::frame::{Frame, Row};
 use crate::schema::Schema;
@@ -40,7 +40,9 @@ enum Instr {
     Binary(BinaryOp),
     /// Pop two, three-valued AND/OR (eager, like the batch evaluator).
     Logic { and: bool },
-    /// Pop `argc` arguments, call a scalar function.
+    /// Pop `argc` arguments, call a scalar function. The name is
+    /// ASCII-uppercased at compile time so per-row dispatch never
+    /// re-folds (or re-allocates) it.
     Call { name: String, argc: usize },
     /// Pop one, IS [NOT] NULL.
     IsNull { negated: bool },
@@ -83,6 +85,13 @@ impl ExprProgram {
     /// in its [`EvalContext`])?
     pub fn has_subquery(&self) -> bool {
         self.has_subquery
+    }
+
+    /// The AST the program was compiled from. Aggregation uses it to
+    /// recognise calls whose argument expressions are identical and
+    /// evaluate them once per batch.
+    pub(crate) fn source(&self) -> &Expr {
+        &self.fallback
     }
 
     /// Column ordinals the program reads.
@@ -137,8 +146,10 @@ impl ExprProgram {
                 for a in &call.args {
                     self.push_expr(a, schema)?;
                 }
-                self.instrs
-                    .push(Instr::Call { name: call.name.clone(), argc: call.args.len() });
+                self.instrs.push(Instr::Call {
+                    name: call.name.to_ascii_uppercase(),
+                    argc: call.args.len(),
+                });
             }
             Expr::Case { operand, branches, else_result } => {
                 if let Some(op) = operand {
@@ -283,15 +294,25 @@ impl ExprProgram {
                     let args = split_off(&mut stack, *argc);
                     if args.iter().all(|a| matches!(a, Batch::Const(_))) {
                         let vals: Vec<Value> = args.iter().map(|a| a.value(0)).collect();
-                        stack.push(Batch::Const(eval_scalar_function(name, &vals)?));
+                        stack.push(Batch::Const(eval_scalar_function_upper(name, &vals)?));
                         continue;
+                    }
+                    // Dense path for `CLAMP(col, lo, hi)` — the shape
+                    // the DP rewrite lowers every clamped aggregate
+                    // argument to, so on noisy handles it runs once per
+                    // ingested (and retracted) row.
+                    if name == "CLAMP" && args.len() == 3 {
+                        if let Some(col) = clamp_dense(&args, n) {
+                            stack.push(Batch::Col(Arc::new(col)));
+                            continue;
+                        }
                     }
                     let mut out = ColumnData::with_capacity(DataType::Float, n);
                     let mut vals: Vec<Value> = Vec::with_capacity(args.len());
                     for i in 0..n {
                         vals.clear();
                         vals.extend(args.iter().map(|a| a.value(i)));
-                        out.push(eval_scalar_function(name, &vals)?);
+                        out.push(eval_scalar_function_upper(name, &vals)?);
                     }
                     stack.push(Batch::Col(Arc::new(out)));
                 }
@@ -420,6 +441,43 @@ fn split_off(stack: &mut Vec<Batch>, count: usize) -> Vec<Batch> {
     stack.split_off(stack.len() - count)
 }
 
+/// Column-dense `CLAMP(col, lo, hi)`. Mirrors the scalar function's
+/// semantics exactly — NULL in → NULL out, a violated bound wins (lo
+/// first when the bounds cross), in-range values keep their original
+/// type — without building a per-row `Value` argument vector. Returns
+/// `None` (generic per-row path) for non-numeric columns or non-const
+/// bounds.
+fn clamp_dense(args: &[Batch], n: usize) -> Option<ColumnData> {
+    let (lo, hi) = match (&args[1], &args[2]) {
+        (Batch::Const(lo), Batch::Const(hi)) => (lo.as_f64()?, hi.as_f64()?),
+        _ => return None,
+    };
+    let Batch::Col(c) = &args[0] else { return None };
+    let mut out = ColumnData::with_capacity(DataType::Float, n);
+    if let Some(xs) = c.float_slice() {
+        for x in xs {
+            out.push(match x {
+                None => Value::Null,
+                Some(x) if *x < lo => Value::Float(lo),
+                Some(x) if *x > hi => Value::Float(hi),
+                Some(x) => Value::Float(*x),
+            });
+        }
+    } else if let Some(xs) = c.int_slice() {
+        for v in xs {
+            out.push(match v {
+                None => Value::Null,
+                Some(v) if (*v as f64) < lo => Value::Float(lo),
+                Some(v) if (*v as f64) > hi => Value::Float(hi),
+                Some(v) => Value::Int(*v),
+            });
+        }
+    } else {
+        return None;
+    }
+    Some(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -468,6 +526,9 @@ mod tests {
             "CASE t WHEN 1 THEN 'one' WHEN 2 THEN 'two' END",
             "COALESCE(name, 'missing')",
             "UPPER(name)",
+            "CLAMP(x, 1.6, 1.9)",
+            "CLAMP(t, 1.5, 2.5)",
+            "CLAMP(x, t, 3)",
             "CAST(t AS FLOAT) * 2",
             "-x",
             "name LIKE 'a%'",

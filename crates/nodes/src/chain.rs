@@ -222,6 +222,21 @@ impl ProcessingChain {
     /// installed at stage `i+1`'s node under stage `i`'s `publish_as`
     /// name; the last stage's output is returned.
     pub fn run_stages(&mut self, stages: &[Stage]) -> NodeResult<ChainRun> {
+        self.run_stages_with(stages, |_, frame| frame)
+    }
+
+    /// [`ProcessingChain::run_stages`] with a per-stage post-processing
+    /// hook applied to each stage's finalized output **before** it is
+    /// reported and shipped upward. This is the differential-privacy
+    /// noise boundary: the runtime noises the aggregation stage here, so
+    /// traffic accounting and every downstream node see only the noised
+    /// frame, while the stage's own execution (and any accumulator
+    /// state behind it) stays exact.
+    pub fn run_stages_with(
+        &mut self,
+        stages: &[Stage],
+        mut post: impl FnMut(usize, Frame) -> Frame,
+    ) -> NodeResult<ChainRun> {
         if stages.is_empty() {
             return Err(NodeError::BadChain("no stages to run".into()));
         }
@@ -243,7 +258,7 @@ impl ProcessingChain {
                 self.node_mut(&stage.node)?.install_table(&prev.publish_as, frame);
             }
             let node = self.node_mut(&stage.node)?;
-            let result = node.execute(&stage.fragment)?;
+            let result = post(i, node.execute(&stage.fragment)?);
             reports.push(StageReport {
                 node: node.name.clone(),
                 level: node.level,

@@ -1,0 +1,144 @@
+//! The per-module privacy-budget ledger.
+//!
+//! Differential-privacy budget is an access-control resource owned by
+//! the policy layer: a module's [`DpConfig`]
+//! names the per-tick epsilon and the total budget, and an
+//! [`EpsilonLedger`] records how much has been spent. The ledger is a
+//! pure spend record — it carries no configuration, so the budget it
+//! enforces follows the *current* policy even across live policy
+//! swaps, and a runtime can persist and replay it independently of
+//! the policy XML.
+//!
+//! Spends are sequenced: each successful spend advances a monotonic
+//! sequence number, which is both the idempotency anchor of durable
+//! replay (a spend record at-or-below the ledger position is a
+//! duplicate; one past it applies; further is a gap) and the input to
+//! deterministic per-tick noise-seed derivation — a recovered runtime
+//! resumes at the same position and therefore replays the same draws.
+
+use crate::model::DpConfig;
+
+/// Cumulative privacy spend of one module.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EpsilonLedger {
+    /// Number of successful spends (monotonic; never decreases, and
+    /// in particular is never reset by recovery or policy swaps).
+    seq: u64,
+    /// Cumulative epsilon spent.
+    spent: f64,
+}
+
+impl EpsilonLedger {
+    /// A fresh ledger with nothing spent.
+    pub fn new() -> Self {
+        EpsilonLedger::default()
+    }
+
+    /// The spend sequence number (0 = never spent).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Cumulative epsilon spent so far.
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// Epsilon remaining under `config` (0 when overdrawn; infinite
+    /// budgets never deplete).
+    pub fn remaining(&self, config: &DpConfig) -> f64 {
+        (config.budget - self.spent).max(0.0)
+    }
+
+    /// Would one more spend of `config.epsilon_per_tick` stay within
+    /// `config.budget`?
+    ///
+    /// Uses a relative tolerance so a budget that is an exact multiple
+    /// of the per-tick epsilon permits exactly that many ticks despite
+    /// floating-point accumulation. `ε = ∞` requires an infinite
+    /// budget (any finite budget is instantly exhausted).
+    pub fn can_spend(&self, config: &DpConfig) -> bool {
+        let after = self.spent + config.epsilon_per_tick;
+        after <= config.budget * (1.0 + 1e-9) || after <= config.budget
+    }
+
+    /// Spend one tick's epsilon and return the new sequence number.
+    /// The caller is responsible for checking [`Self::can_spend`]
+    /// first — `spend` itself never refuses, so that durable replay
+    /// (which must reproduce historical spends under whatever policy
+    /// is now installed) cannot diverge.
+    pub fn spend(&mut self, epsilon: f64) -> u64 {
+        self.seq += 1;
+        self.spent += epsilon;
+        self.seq
+    }
+
+    /// Restore the ledger to an absolute recorded position (durable
+    /// recovery). Positions at-or-below the current one are duplicates
+    /// and ignored (returns `false`); exactly one past applies
+    /// (returns `true`); a larger gap is the caller's corruption
+    /// signal (`None` is not used — callers compare `seq()` first).
+    pub fn restore(&mut self, seq: u64, spent: f64) -> bool {
+        if seq <= self.seq {
+            return false;
+        }
+        self.seq = seq;
+        self.spent = spent;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(eps: f64, budget: f64) -> DpConfig {
+        DpConfig::new(eps, budget)
+    }
+
+    #[test]
+    fn spends_to_exactly_the_budget() {
+        let cfg = config(0.1, 1.0);
+        let mut ledger = EpsilonLedger::new();
+        let mut ticks = 0;
+        while ledger.can_spend(&cfg) {
+            ledger.spend(cfg.epsilon_per_tick);
+            ticks += 1;
+            assert!(ticks <= 10, "overspent: {ledger:?}");
+        }
+        assert_eq!(ticks, 10, "1.0 budget at 0.1/tick is exactly 10 ticks");
+        assert_eq!(ledger.seq(), 10);
+        assert!(ledger.remaining(&cfg) < 1e-9);
+    }
+
+    #[test]
+    fn infinite_epsilon_needs_infinite_budget() {
+        let mut ledger = EpsilonLedger::new();
+        assert!(!ledger.can_spend(&config(f64::INFINITY, 1000.0)));
+        let open = config(f64::INFINITY, f64::INFINITY);
+        assert!(ledger.can_spend(&open));
+        ledger.spend(open.epsilon_per_tick);
+        assert!(ledger.can_spend(&open), "infinite budget never depletes");
+    }
+
+    #[test]
+    fn restore_is_idempotent_and_monotonic() {
+        let mut ledger = EpsilonLedger::new();
+        assert!(ledger.restore(1, 0.5));
+        assert!(!ledger.restore(1, 0.5), "duplicate replay is skipped");
+        assert!(!ledger.restore(0, 0.0), "stale replay is skipped");
+        assert!(ledger.restore(2, 1.0));
+        assert_eq!(ledger.seq(), 2);
+        assert_eq!(ledger.spent(), 1.0);
+    }
+
+    #[test]
+    fn budget_follows_the_current_config() {
+        // the ledger itself has no budget: a policy swap that shrinks
+        // the budget takes effect immediately against the same spend
+        let mut ledger = EpsilonLedger::new();
+        ledger.spend(0.5);
+        assert!(ledger.can_spend(&config(0.5, 2.0)));
+        assert!(!ledger.can_spend(&config(0.5, 0.75)));
+    }
+}

@@ -226,6 +226,18 @@ pub fn merge_restrictive(a: &ModulePolicy, b: &ModulePolicy) -> ModulePolicy {
             })
         }
     };
+    out.dp = match (&a.dp, &b.dp) {
+        (None, None) => None,
+        (Some(d), None) | (None, Some(d)) => Some(*d),
+        // smaller epsilon and budget = less leakage; the clamp
+        // intersection bounds each contribution the tightest
+        (Some(da), Some(db)) => Some(crate::model::DpConfig {
+            epsilon_per_tick: da.epsilon_per_tick.min(db.epsilon_per_tick),
+            budget: da.budget.min(db.budget),
+            clamp_lo: da.clamp_lo.max(db.clamp_lo),
+            clamp_hi: da.clamp_hi.min(db.clamp_hi),
+        }),
+    };
     out
 }
 

@@ -17,6 +17,7 @@
 
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod error;
 pub mod generate;
 pub mod model;
@@ -24,13 +25,14 @@ pub mod parse;
 pub mod validate;
 pub mod xml;
 
+pub use budget::EpsilonLedger;
 pub use error::{PolicyError, PolicyResult};
 pub use generate::{
     adapt_to_schema, default_sensitivity, figure4_policy, merge_restrictive, GeneratorOptions,
     PolicyGenerator, Sensitivity,
 };
 pub use model::{
-    AggregationSpec, AttributeRule, ModulePolicy, Policy, PolicyVersion, StreamSettings,
+    AggregationSpec, AttributeRule, DpConfig, ModulePolicy, Policy, PolicyVersion, StreamSettings,
 };
 pub use parse::{parse_policy, policy_to_xml, FIG4_POLICY_XML};
 pub use validate::{has_errors, validate_policy, Severity, ValidationIssue};

@@ -64,12 +64,28 @@ pub struct ModulePolicy {
     pub attributes: Vec<AttributeRule>,
     /// Stream settings (the paper's extension over P3P).
     pub stream: Option<StreamSettings>,
+    /// Differential-privacy settings: when set, the module's
+    /// aggregates are rewritten into clamped, Laplace-noised variants
+    /// and every tick spends from the module's epsilon budget.
+    pub dp: Option<DpConfig>,
 }
 
 impl ModulePolicy {
     /// Empty policy for a module id.
     pub fn new(module_id: impl Into<String>) -> Self {
-        ModulePolicy { module_id: module_id.into(), attributes: Vec::new(), stream: None }
+        ModulePolicy {
+            module_id: module_id.into(),
+            attributes: Vec::new(),
+            stream: None,
+            dp: None,
+        }
+    }
+
+    /// Builder: enable differential privacy for this module.
+    #[must_use]
+    pub fn with_dp(mut self, dp: DpConfig) -> Self {
+        self.dp = Some(dp);
+        self
     }
 
     /// Rule for an attribute name (matched case-insensitively, like SQL
@@ -190,6 +206,59 @@ impl AggregationSpec {
     /// `z` + `AVG` → `zAVG` (paper §4.2).
     pub fn alias_for(&self, attribute: &str) -> String {
         format!("{attribute}{}", self.aggregation_type.to_ascii_uppercase())
+    }
+}
+
+/// Differential-privacy configuration of one module (the Qrlew-style
+/// rewrite mode): when attached to a [`ModulePolicy`], the rewrite
+/// layer lowers the module's plain `COUNT`/`SUM`/`AVG` aggregates into
+/// clamped variants plus Laplace noise calibrated to
+/// `sensitivity / ε`, and every tick spends `epsilon_per_tick` from
+/// the module's budget.
+///
+/// The clamp bounds bound each row's contribution (and therefore the
+/// sensitivity of `SUM`/`AVG`); `COUNT` has sensitivity 1 regardless.
+/// Non-finite bounds leave values unclamped — with a finite epsilon
+/// that makes `SUM`/`AVG` sensitivity infinite, so their noise scale
+/// is infinite too; with `epsilon_per_tick = ∞` the noise scale is 0
+/// and results are exact (the ε→∞ equivalence limit).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DpConfig {
+    /// Epsilon spent per tick by the module (shared across the
+    /// module's noised output columns).
+    pub epsilon_per_tick: f64,
+    /// Total epsilon budget; once `spent + epsilon_per_tick` would
+    /// exceed it, ticks fail with a typed budget-exhausted error.
+    pub budget: f64,
+    /// Lower clamp bound applied to `SUM`/`AVG` arguments.
+    pub clamp_lo: f64,
+    /// Upper clamp bound applied to `SUM`/`AVG` arguments.
+    pub clamp_hi: f64,
+}
+
+impl DpConfig {
+    /// Config with the given per-tick epsilon and total budget, with
+    /// unclamped (infinite) bounds.
+    pub fn new(epsilon_per_tick: f64, budget: f64) -> Self {
+        DpConfig {
+            epsilon_per_tick,
+            budget,
+            clamp_lo: f64::NEG_INFINITY,
+            clamp_hi: f64::INFINITY,
+        }
+    }
+
+    /// Builder: clamp each row's contribution to `[lo, hi]`.
+    #[must_use]
+    pub fn with_clamp(mut self, lo: f64, hi: f64) -> Self {
+        self.clamp_lo = lo;
+        self.clamp_hi = hi;
+        self
+    }
+
+    /// Are the clamp bounds finite (i.e. is clamping active)?
+    pub fn clamps(&self) -> bool {
+        self.clamp_lo.is_finite() && self.clamp_hi.is_finite()
     }
 }
 

@@ -4,7 +4,9 @@
 use paradise_sql::parse_expr;
 
 use crate::error::{PolicyError, PolicyResult};
-use crate::model::{AggregationSpec, AttributeRule, ModulePolicy, Policy, StreamSettings};
+use crate::model::{
+    AggregationSpec, AttributeRule, DpConfig, ModulePolicy, Policy, StreamSettings,
+};
 use crate::xml::{parse_xml, XmlNode};
 
 /// The privacy policy of paper Figure 4, verbatim (entities included).
@@ -85,7 +87,35 @@ fn parse_module(node: &XmlNode) -> PolicyResult<ModulePolicy> {
     if let Some(stream) = node.child("stream") {
         module.stream = Some(parse_stream(stream)?);
     }
+    if let Some(dp) = node.child("dp") {
+        module.dp = Some(parse_dp(dp)?);
+    }
     Ok(module)
+}
+
+fn parse_dp(node: &XmlNode) -> PolicyResult<DpConfig> {
+    let field = |name: &str| -> PolicyResult<f64> {
+        let t = node.child_text(name).ok_or_else(|| {
+            PolicyError::Structure(format!("<dp> lacks <{name}>"))
+        })?;
+        t.trim()
+            .parse::<f64>()
+            .map_err(|_| PolicyError::Structure(format!("bad <{name}> value {t:?}")))
+    };
+    let opt = |name: &str, default: f64| -> PolicyResult<f64> {
+        match node.child_text(name) {
+            None => Ok(default),
+            Some(t) => t.trim().parse::<f64>().map_err(|_| {
+                PolicyError::Structure(format!("bad <{name}> value {t:?}"))
+            }),
+        }
+    };
+    Ok(DpConfig {
+        epsilon_per_tick: field("epsilonPerTick")?,
+        budget: field("budget")?,
+        clamp_lo: opt("clampLo", f64::NEG_INFINITY)?,
+        clamp_hi: opt("clampHi", f64::INFINITY)?,
+    })
 }
 
 fn parse_attribute(node: &XmlNode) -> PolicyResult<AttributeRule> {
@@ -234,6 +264,19 @@ fn module_to_node(module: &ModulePolicy) -> XmlNode {
         }
         node.children.push(s);
     }
+    if let Some(dp) = &module.dp {
+        let mut d = XmlNode::new("dp");
+        d.children
+            .push(XmlNode::new("epsilonPerTick").with_text(dp.epsilon_per_tick.to_string()));
+        d.children.push(XmlNode::new("budget").with_text(dp.budget.to_string()));
+        if dp.clamp_lo.is_finite() {
+            d.children.push(XmlNode::new("clampLo").with_text(dp.clamp_lo.to_string()));
+        }
+        if dp.clamp_hi.is_finite() {
+            d.children.push(XmlNode::new("clampHi").with_text(dp.clamp_hi.to_string()));
+        }
+        node.children.push(d);
+    }
     node
 }
 
@@ -309,6 +352,43 @@ mod tests {
         assert_eq!(s.allowed_aggregation_levels, vec!["second", "minute"]);
         let p2 = parse_policy(&policy_to_xml(&p)).unwrap();
         assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn dp_config_parses_and_roundtrips() {
+        let xml = r#"<module module_ID="M">
+            <attributeList><attribute name="v"><allow>true</allow></attribute></attributeList>
+            <dp>
+                <epsilonPerTick>0.25</epsilonPerTick>
+                <budget>5</budget>
+                <clampLo>-10</clampLo>
+                <clampHi>10</clampHi>
+            </dp>
+        </module>"#;
+        let p = parse_policy(xml).unwrap();
+        let dp = p.modules[0].dp.unwrap();
+        assert_eq!(dp.epsilon_per_tick, 0.25);
+        assert_eq!(dp.budget, 5.0);
+        assert_eq!((dp.clamp_lo, dp.clamp_hi), (-10.0, 10.0));
+        let p2 = parse_policy(&policy_to_xml(&p)).unwrap();
+        assert_eq!(p, p2);
+
+        // unclamped config (infinite bounds, infinite budget) also
+        // survives the round trip — bounds are simply omitted
+        let open = Policy::single(
+            ModulePolicy::new("M").with_dp(DpConfig::new(f64::INFINITY, f64::INFINITY)),
+        );
+        let back = parse_policy(&policy_to_xml(&open)).unwrap();
+        assert_eq!(open, back);
+    }
+
+    #[test]
+    fn dp_with_missing_field_is_structure_error() {
+        let xml = r#"<module module_ID="M">
+            <attributeList/>
+            <dp><budget>5</budget></dp>
+        </module>"#;
+        assert!(matches!(parse_policy(xml), Err(PolicyError::Structure(_))));
     }
 
     #[test]

@@ -189,7 +189,11 @@ pub enum Request {
     /// Evaluate all registered queries; the reply carries this
     /// connection's per-handle results.
     Tick,
-    /// Install or swap a module policy live (PP4SE XML).
+    /// Install or swap a module policy live (PP4SE XML). The XML is
+    /// the full policy surface — including the optional `<dp>` element
+    /// carrying a differential-privacy configuration (epsilon per
+    /// tick, budget, clamp bounds) — so DP can be enabled, retuned,
+    /// or disabled over the wire without a new message type.
     SetPolicy {
         /// Module id.
         module: String,

@@ -608,9 +608,20 @@ fn engine_loop(
                 counters.push(("runtime_registered".into(), rt.registered as u64));
                 counters.push(("runtime_ticks".into(), rt.ticks));
                 counters.push(("runtime_shared_plans".into(), rt.shared_plans as u64));
+                counters.push(("runtime_dp_epsilon_spent_micro".into(), rt.dp_epsilon_spent_micro));
+                counters.push(("runtime_dp_noise_draws".into(), rt.dp_noise_draws));
+                counters.push(("runtime_dp_budget_exhausted".into(), rt.dp_budget_exhausted));
                 if let Some(d) = runtime.durability_stats() {
+                    counters.push(("runtime_wal_generation".into(), d.generation));
+                    counters.push(("runtime_wal_records".into(), d.wal_records));
                     counters.push(("runtime_wal_commits".into(), d.wal_commits));
+                    counters.push(("runtime_wal_bytes".into(), d.wal_bytes));
                     counters.push(("runtime_snapshots".into(), d.snapshots));
+                    counters.push(("runtime_recovered".into(), u64::from(d.recovered)));
+                    counters.push(("runtime_replayed".into(), d.replayed));
+                    counters.push(("runtime_replay_skipped".into(), d.skipped));
+                    counters.push(("runtime_torn_bytes".into(), d.torn_bytes));
+                    counters.push(("runtime_corrupt_snapshots".into(), d.corrupt_snapshots));
                 }
                 let _ = reply.send(Response::Stats { counters });
             }
@@ -663,6 +674,9 @@ pub(crate) fn error_response(e: &CoreError) -> Response {
             ErrorCode::BadRequest
         }
         CoreError::UnknownHandle(_) => ErrorCode::UnknownHandle,
+        // An exhausted privacy budget fails exactly the offending
+        // module's handles, like any other per-handle tick error.
+        CoreError::BudgetExhausted { .. } => ErrorCode::Quarantined,
         _ => ErrorCode::Internal,
     };
     Response::Error { code, message: e.to_string() }

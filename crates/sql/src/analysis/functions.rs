@@ -22,7 +22,7 @@ pub const AGGREGATE_FUNCTIONS: &[&str] = &[
 /// Scalar functions of the subset (matched case-insensitively).
 pub const SCALAR_FUNCTIONS: &[&str] = &[
     "ABS", "ROUND", "FLOOR", "CEIL", "SQRT", "POWER", "LN", "EXP", "LOWER", "UPPER", "LENGTH",
-    "COALESCE", "NULLIF",
+    "COALESCE", "NULLIF", "CLAMP",
 ];
 
 /// Is `name` an aggregate function?

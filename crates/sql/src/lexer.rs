@@ -40,14 +40,43 @@ impl<'a> Lexer<'a> {
         Location { offset: self.pos, line: self.line, column: self.column }
     }
 
+    /// Next unread byte when it is ASCII — the branch-free fast path
+    /// the scanning loops dispatch on (SQL source is overwhelmingly
+    /// ASCII; only string literals and quoted identifiers routinely
+    /// carry multi-byte characters).
+    #[inline]
+    fn peek_ascii(&self) -> Option<u8> {
+        match self.src.as_bytes().get(self.pos) {
+            Some(&b) if b < 0x80 => Some(b),
+            _ => None,
+        }
+    }
+
     fn peek(&self) -> Option<char> {
-        self.src[self.pos..].chars().next()
+        match self.src.as_bytes().get(self.pos) {
+            Some(&b) if b < 0x80 => Some(b as char),
+            Some(_) => self.src[self.pos..].chars().next(),
+            None => None,
+        }
     }
 
     fn peek2(&self) -> Option<char> {
         let mut chars = self.src[self.pos..].chars();
         chars.next();
         chars.next()
+    }
+
+    /// Advance one ASCII byte (caller has already peeked it) without
+    /// re-decoding.
+    #[inline]
+    fn bump_ascii(&mut self, b: u8) {
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
     }
 
     fn bump(&mut self) -> Option<char> {
@@ -64,6 +93,12 @@ impl<'a> Lexer<'a> {
 
     fn skip_trivia(&mut self) -> ParseResult<()> {
         loop {
+            // Tight byte loop over ASCII whitespace — the dominant
+            // trivia. Non-ASCII whitespace falls through to the char
+            // decoder below.
+            while let Some(b @ (b' ' | b'\t' | b'\r' | b'\n')) = self.peek_ascii() {
+                self.bump_ascii(b);
+            }
             match self.peek() {
                 Some(c) if c.is_whitespace() => {
                     self.bump();
@@ -181,11 +216,22 @@ impl<'a> Lexer<'a> {
 
     fn lex_word(&mut self) -> TokenKind {
         let start = self.pos;
-        while let Some(c) = self.peek() {
-            if is_ident_continue(c) {
-                self.bump();
-            } else {
-                break;
+        loop {
+            // ASCII identifier bytes advance without UTF-8 decoding;
+            // only a non-ASCII continuation (Unicode identifiers stay
+            // legal) drops to the char-at-a-time path.
+            while let Some(b) = self.peek_ascii() {
+                if b.is_ascii_alphanumeric() || b == b'_' || b == b'$' {
+                    self.bump_ascii(b);
+                } else {
+                    break;
+                }
+            }
+            match self.peek() {
+                Some(c) if !c.is_ascii() && is_ident_continue(c) => {
+                    self.bump();
+                }
+                _ => break,
             }
         }
         let word = &self.src[start..self.pos];

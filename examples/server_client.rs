@@ -101,10 +101,27 @@ fn main() {
     );
 
     // -- every refusal is a counter, not a mystery --------------------
+    // One scrape carries the whole story: admission/overload state
+    // (server_*), durability progress (runtime_wal_* / snapshots, when
+    // the runtime is durable), and privacy spend (runtime_dp_*).
     let stats = hallway.stats().unwrap();
     println!(
         "server stats: {} sheds, {} quarantined tick(s), {} frames served",
         stats.server.ingest_shed, stats.server.handles_quarantined, stats.server.frames_sent
+    );
+    let runtime_counter = |name: &str| {
+        stats
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    };
+    println!(
+        "runtime stats: {} ticks, {} noise draws, {} µε spent, {} budget exhaustions",
+        runtime_counter("runtime_ticks"),
+        runtime_counter("runtime_dp_noise_draws"),
+        runtime_counter("runtime_dp_epsilon_spent_micro"),
+        runtime_counter("runtime_dp_budget_exhausted"),
     );
 
     // -- graceful shutdown hands the runtime back ---------------------

@@ -100,6 +100,15 @@
 //! block on overload), idle reaping, and per-handle quarantine — wrap
 //! it in a [`Server`](crate::server::Server): see the README's
 //! "Serving" section and `examples/server_client.rs`.
+//!
+//! For noise-calibrated release instead of (or on top of) structural
+//! rewriting, give a module policy a
+//! [`DpConfig`](crate::policy::DpConfig): its COUNT/SUM/AVG results
+//! gain clamped-and-noised differential-privacy variants, with a
+//! per-module epsilon budget that is spent per tick, persists across
+//! crash recovery, and quarantines the module's handles with a typed
+//! `BudgetExhausted` error when it runs out — see the README's
+//! "Differential privacy" section and `examples/dp_rewrite.rs`.
 
 pub use paradise_anon as anon;
 pub use paradise_core as core;
@@ -131,7 +140,8 @@ pub mod prelude {
     };
     pub use paradise_policy::{
         figure4_policy, parse_policy, policy_to_xml, validate_policy, AggregationSpec,
-        AttributeRule, ModulePolicy, Policy, PolicyGenerator, PolicyVersion, FIG4_POLICY_XML,
+        AttributeRule, DpConfig, EpsilonLedger, ModulePolicy, Policy, PolicyGenerator,
+        PolicyVersion, FIG4_POLICY_XML,
     };
     pub use paradise_server::{
         AdmissionConfig, Client, ClientError, ErrorCode, IngestAck, OverloadPolicy, Server,

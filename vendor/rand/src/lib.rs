@@ -84,6 +84,61 @@ fn unit_f64(x: u64) -> f64 {
     (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
+pub mod distributions {
+    //! The non-uniform samplers this workspace uses (a stand-in for
+    //! the `rand_distr` crate's API subset).
+
+    use super::{unit_f64, RngCore};
+
+    /// A distribution that can be sampled with any [`RngCore`].
+    pub trait Distribution<T> {
+        /// Draw one sample.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The Laplace (double-exponential) distribution centred at 0,
+    /// parameterized by its scale `b`: density `exp(-|x|/b) / 2b`.
+    ///
+    /// Sampling is by inverse CDF over one uniform draw, so each
+    /// sample consumes exactly one `next_u64` — callers that need
+    /// reproducible draws can count on a fixed consumption schedule.
+    /// A scale of `0` yields exactly `0.0` (the degenerate
+    /// distribution), which is what a differential-privacy caller
+    /// with `epsilon = ∞` expects.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct Laplace {
+        scale: f64,
+    }
+
+    impl Laplace {
+        /// A Laplace distribution with the given scale `b ≥ 0`.
+        /// Returns `None` for a negative or NaN scale.
+        pub fn new(scale: f64) -> Option<Laplace> {
+            (scale >= 0.0).then_some(Laplace { scale })
+        }
+
+        /// The scale parameter `b`.
+        pub fn scale(&self) -> f64 {
+            self.scale
+        }
+    }
+
+    impl Distribution<f64> for Laplace {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // One uniform in [-0.5, 0.5); u = -0.5 maps to the extreme
+            // negative tail, which `ln(0) = -inf` would turn into
+            // `-inf * scale` — nudge it to the smallest representable
+            // magnitude instead so samples are always finite.
+            let u = unit_f64(rng.next_u64()) - 0.5;
+            if self.scale == 0.0 {
+                return 0.0;
+            }
+            let t = (1.0 - 2.0 * u.abs()).max(f64::MIN_POSITIVE);
+            -self.scale * u.signum() * t.ln()
+        }
+    }
+}
+
 pub mod rngs {
     use super::{RngCore, SeedableRng};
 
@@ -224,6 +279,28 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
         assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn laplace_is_deterministic_symmetric_and_scaled() {
+        use super::distributions::{Distribution, Laplace};
+        let lap = Laplace::new(2.0).unwrap();
+        let mut a = StdRng::seed_from_u64(11);
+        let mut b = StdRng::seed_from_u64(11);
+        let xs: Vec<f64> = (0..10_000).map(|_| lap.sample(&mut a)).collect();
+        let ys: Vec<f64> = (0..10_000).map(|_| lap.sample(&mut b)).collect();
+        assert_eq!(xs, ys, "same seed, same draws");
+        assert!(xs.iter().all(|x| x.is_finite()));
+        // Mean ~ 0, mean |x| ~ scale (Laplace: E|X| = b).
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let mean_abs = xs.iter().map(|x| x.abs()).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.15, "mean {mean} too far from 0");
+        assert!((mean_abs - 2.0).abs() < 0.15, "E|X| {mean_abs} too far from scale");
+        // Zero scale degenerates to exactly 0.
+        let zero = Laplace::new(0.0).unwrap();
+        assert_eq!(zero.sample(&mut a), 0.0);
+        assert!(Laplace::new(-1.0).is_none());
+        assert!(Laplace::new(f64::NAN).is_none());
     }
 
     #[test]
