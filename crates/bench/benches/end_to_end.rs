@@ -335,6 +335,41 @@ fn bench_server_roundtrip(c: &mut Criterion) {
         drop(client);
         server.shutdown();
     });
+    // * `server_retry_roundtrip` — the same ingest + tick round trip
+    //   through the idempotent `RetryClient` (protocol v2 seq stamping,
+    //   session dedup window, tick reply cache on the server side).
+    //   Compare against `server/roundtrip` for the exactly-once tax on
+    //   the happy path (no faults injected here — that's tests/chaos.rs).
+    group.bench_function(BenchmarkId::new("server", "retry_roundtrip"), |b| {
+        use paradise_server::{RetryClient, RetryConfig};
+        let chain = paradise_nodes::ProcessingChain::new(vec![paradise_nodes::Node::new(
+            "server",
+            paradise_nodes::Level::Pc,
+        )])
+        .expect("single-node chain is valid");
+        let mut runtime = paradise_core::Runtime::new(chain)
+            .with_retention(100_000)
+            .with_policy("UserStats", paradise_bench::users_policy(50));
+        runtime.install_source("server", "stream", users_stream(1, 2_000, 500)).unwrap();
+        let server = Server::start(runtime, ServerConfig::default()).expect("server starts");
+        let mut config = RetryConfig::new(0xB0A7);
+        config.request_timeout = Duration::from_secs(60);
+        let mut client =
+            RetryClient::connect(server.local_addr(), config).expect("client connects");
+        client.register("UserStats", "SELECT uid, v FROM stream").unwrap();
+        let batches: Vec<_> = (0..32u64).map(|i| users_stream(100 + i, 100, 500)).collect();
+        client.ingest("server", "stream", &batches[0]).unwrap();
+        client.tick().unwrap();
+        let mut next = 1usize;
+        b.iter(|| {
+            let batch = &batches[next % batches.len()];
+            next += 1;
+            client.ingest("server", "stream", batch).unwrap();
+            black_box(client.tick().unwrap())
+        });
+        drop(client);
+        server.shutdown();
+    });
     group.finish();
 }
 

@@ -57,6 +57,19 @@ pub enum CoreError {
         /// The configured total budget.
         budget: f64,
     },
+    /// The durability layer hit an I/O failure (disk full, write error,
+    /// failed fsync or rename) and the runtime dropped into **degraded
+    /// read-only mode**: ticks keep serving from memory, but ingests,
+    /// registrations and policy swaps are refused so no state change can
+    /// be acknowledged without a committed log record. The buffered
+    /// (uncommitted) records are preserved and
+    /// [`Runtime::resume_durability`](crate::runtime::Runtime::resume_durability)
+    /// retries them once the disk recovers.
+    Degraded(String),
+    /// The durability directory is already attached to another live
+    /// runtime in this process; a second `Runtime::durable` on the same
+    /// directory would interleave two write-ahead logs.
+    Locked(String),
     /// The information-gain check failed: the rewritten query would not
     /// retain enough information to be useful (paper §3.1).
     InsufficientInformation {
@@ -88,6 +101,10 @@ impl fmt::Display for CoreError {
                 f,
                 "privacy budget exhausted for module {module:?} (spent {spent} of {budget})"
             ),
+            CoreError::Degraded(msg) => {
+                write!(f, "durability degraded (read-only until resumed): {msg}")
+            }
+            CoreError::Locked(msg) => write!(f, "durability directory locked: {msg}"),
             CoreError::InsufficientInformation { divergence, threshold } => write!(
                 f,
                 "rewritten query loses too much information (KL {divergence:.4} > {threshold:.4})"

@@ -35,6 +35,7 @@
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use minipool::ThreadPool;
 use paradise_engine::{plan as engine_plan, Catalog, Frame, ShardSpec};
@@ -56,8 +57,8 @@ use crate::processor::{
 };
 use crate::remainder::Remainder;
 use crate::storage::{
-    Durability, DurabilityStats, LedgerState, PolicyState, RegistrationState, SnapshotData,
-    TableState, WalRecord, DEFAULT_SNAPSHOT_EVERY,
+    Durability, DurabilityStats, LedgerState, PolicyState, RegistrationState, SessionMark,
+    SnapshotData, TableState, Vfs, WalRecord, DEFAULT_SNAPSHOT_EVERY,
 };
 
 /// Upper bound on pooled shared plans before an epoch-style reset.
@@ -125,6 +126,11 @@ struct Registered {
     /// Engine-cache miss count at the last shared-plan harvest: steady
     /// ticks (no new compilations) skip the harvest entirely.
     harvested_misses: u64,
+    /// Idempotency origin `(session, seq)` of the registration request,
+    /// `(0, 0)` for direct API registrations. A retried registration
+    /// with the same origin resolves to the slot its first delivery
+    /// created instead of registering twice.
+    origin: (u64, u64),
 }
 
 /// Aggregate cache/tick counters of a [`Runtime`], from
@@ -214,6 +220,18 @@ pub struct Runtime {
     /// Automatic-snapshot cadence in ticks (0 = only on explicit
     /// [`Runtime::snapshot`] calls).
     snapshot_every: u64,
+    /// Degraded read-only mode: set (to the root cause) when a WAL
+    /// commit or snapshot write fails. While set, mutating calls are
+    /// refused with [`CoreError::Degraded`], noisy-DP handles are
+    /// quarantined (their ε-spends could not be made durable), and the
+    /// failed write is not retried until an explicit
+    /// [`Runtime::resume_durability`].
+    degraded: Option<String>,
+    /// Per-session idempotency high-water marks: the highest applied
+    /// request sequence of each client session. Persisted in snapshots
+    /// and advanced by origin-carrying WAL records, so retry dedup
+    /// survives crash recovery.
+    marks: HashMap<u64, u64>,
 }
 
 impl Runtime {
@@ -237,6 +255,8 @@ impl Runtime {
             dp_budget_exhausted: 0,
             durability: None,
             snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+            degraded: None,
+            marks: HashMap::new(),
         }
     }
 
@@ -347,12 +367,24 @@ impl Runtime {
     /// directory — configuration is deliberately not persisted, state
     /// is.
     ///
-    /// Errors: [`CoreError::Io`] on filesystem failures and
-    /// [`CoreError::Corrupt`] when no snapshot generation validates or
-    /// the log is structurally damaged (a torn tail from a crash
-    /// mid-write is *not* corruption and recovers silently).
-    pub fn durable(mut self, dir: impl AsRef<Path>) -> CoreResult<Self> {
-        let opened = Durability::open(dir.as_ref())?;
+    /// Errors: [`CoreError::Io`] on filesystem failures,
+    /// [`CoreError::Locked`] when another live runtime in this process
+    /// already holds the directory, and [`CoreError::Corrupt`] when no
+    /// snapshot generation validates or the log is structurally damaged
+    /// (a torn tail from a crash mid-write is *not* corruption and
+    /// recovers silently).
+    pub fn durable(self, dir: impl AsRef<Path>) -> CoreResult<Self> {
+        self.durable_with(dir, crate::storage::RealVfs::shared())
+    }
+
+    /// [`Runtime::durable`] through an explicit [`Vfs`] — the
+    /// fault-injection entry point. Attach a
+    /// [`FaultVfs`](crate::storage::FaultVfs) to schedule deterministic
+    /// per-operation I/O failures (full disk, I/O errors, torn writes,
+    /// failed fsyncs or renames) against the durability layer and
+    /// observe the typed degraded-mode reaction.
+    pub fn durable_with(mut self, dir: impl AsRef<Path>, vfs: Arc<dyn Vfs>) -> CoreResult<Self> {
+        let opened = Durability::open_with(dir.as_ref(), vfs)?;
         let mut durability = opened.durability;
         durability.snapshot_every = self.snapshot_every;
         if !durability.stats().recovered {
@@ -391,13 +423,127 @@ impl Runtime {
     /// delete generations older than the fallback. Errors with
     /// [`CoreError::Io`] when no durability layer is attached.
     pub fn snapshot(&mut self) -> CoreResult<()> {
+        self.check_not_degraded()?;
         let data = self.snapshot_data();
         let Some(d) = self.durability.as_mut() else {
             return Err(CoreError::Io(
                 "snapshot requested but no durability directory is attached".to_string(),
             ));
         };
-        d.rotate_snapshot(data)
+        match d.rotate_snapshot(data) {
+            Ok(()) => Ok(()),
+            // the previous snapshot generation survives a failed
+            // rotation untouched — recovery keeps a valid fallback
+            Err(e) => Err(self.enter_degraded(e)),
+        }
+    }
+
+    /// The degraded-mode cause, when the runtime is in degraded
+    /// read-only mode (see [`CoreError::Degraded`]); `None` when fully
+    /// operational.
+    pub fn degraded(&self) -> Option<&str> {
+        self.degraded.as_deref()
+    }
+
+    /// Leave degraded mode: repair the write-ahead log (reopening it
+    /// truncated back to the last committed byte, dropping any torn
+    /// prefix of the failed write), re-commit every preserved pending
+    /// record, and re-enable mutations. Fails — staying degraded — if
+    /// the disk still refuses the write. Errors with [`CoreError::Io`]
+    /// when the runtime has no durability layer (a purely in-memory
+    /// runtime can never degrade).
+    pub fn resume_durability(&mut self) -> CoreResult<()> {
+        let Some(d) = self.durability.as_mut() else {
+            return Err(CoreError::Io(
+                "resume requested but no durability directory is attached".to_string(),
+            ));
+        };
+        d.resume()?;
+        self.degraded = None;
+        Ok(())
+    }
+
+    /// Refuse mutations while degraded (see [`CoreError::Degraded`]).
+    fn check_not_degraded(&self) -> CoreResult<()> {
+        match &self.degraded {
+            Some(msg) => Err(CoreError::Degraded(msg.clone())),
+            None => Ok(()),
+        }
+    }
+
+    /// Enter degraded read-only mode (keeping the first cause if
+    /// already degraded) and type the error for the caller.
+    fn enter_degraded(&mut self, cause: CoreError) -> CoreError {
+        let msg = cause.to_string();
+        if self.degraded.is_none() {
+            self.degraded = Some(msg.clone());
+        }
+        CoreError::Degraded(msg)
+    }
+
+    /// Group-commit the WAL, entering degraded mode on failure (the
+    /// pending records are preserved for the resume retry).
+    fn commit_durability(&mut self) -> CoreResult<()> {
+        let Some(d) = self.durability.as_mut() else { return Ok(()) };
+        match d.commit() {
+            Ok(()) => Ok(()),
+            Err(e) => Err(self.enter_degraded(e)),
+        }
+    }
+
+    /// Highest applied request sequence of a client session (0 when the
+    /// session has never applied a mutation) — the serving layer's
+    /// dedup floor when resuming a session after a reconnect.
+    pub fn session_mark(&self, session: u64) -> u64 {
+        self.marks.get(&session).copied().unwrap_or(0)
+    }
+
+    /// Live registrations created by a client session, as `(seq,
+    /// handle, module)` in ascending request order — lets a resumed
+    /// session recover the handles its acknowledged registrations
+    /// produced, across reconnects and server restarts.
+    pub fn session_registrations(&self, session: u64) -> Vec<(u64, QueryHandle, String)> {
+        let mut regs: Vec<(u64, QueryHandle, String)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(index, slot)| {
+                slot.as_ref().filter(|reg| session != 0 && reg.origin.0 == session).map(|reg| {
+                    let handle =
+                        QueryHandle { index: index as u32, generation: reg.generation };
+                    (reg.origin.1, handle, reg.module.clone())
+                })
+            })
+            .collect();
+        regs.sort_by_key(|&(seq, _, _)| seq);
+        regs
+    }
+
+    /// Was `(session, seq)` already applied? Direct API calls carry the
+    /// null origin `(0, 0)` and are never deduplicated.
+    pub fn is_duplicate(&self, session: u64, seq: u64) -> bool {
+        session != 0 && self.marks.get(&session).is_some_and(|&mark| seq <= mark)
+    }
+
+    /// Advance a session's applied high-water mark (no-op for the null
+    /// origin).
+    fn advance_mark(&mut self, session: u64, seq: u64) {
+        if session != 0 {
+            let mark = self.marks.entry(session).or_insert(0);
+            *mark = (*mark).max(seq);
+        }
+    }
+
+    /// Crash emulation for tests and recovery drills: release the
+    /// durability directory's in-process lock, then leak the runtime
+    /// without running destructors — no final commit, exactly like a
+    /// hard kill. The on-disk state is whatever previous commit points
+    /// made durable.
+    pub fn simulate_crash(mut self) {
+        if let Some(d) = self.durability.as_mut() {
+            d.release_lock();
+        }
+        std::mem::forget(self);
     }
 
     /// Durability counters and recovery facts; `None` when the runtime
@@ -444,6 +590,8 @@ impl Runtime {
                     generation: reg.generation,
                     module: reg.module.clone(),
                     sql: reg.query.to_string(),
+                    session: reg.origin.0,
+                    seq: reg.origin.1,
                 })
             })
             .collect();
@@ -457,6 +605,12 @@ impl Runtime {
             })
             .collect();
         ledgers.sort_by(|a, b| a.module.cmp(&b.module));
+        let mut sessions: Vec<SessionMark> = self
+            .marks
+            .iter()
+            .map(|(&session, &seq)| SessionMark { session, seq })
+            .collect();
+        sessions.sort_by_key(|s| s.session);
         SnapshotData {
             generation: 0, // assigned by the durability layer
             tables,
@@ -466,6 +620,7 @@ impl Runtime {
             slots: self.slots.len() as u32,
             next_generation: self.next_generation,
             ledgers,
+            sessions,
         }
     }
 
@@ -496,9 +651,12 @@ impl Runtime {
             })?;
             node.catalog.restore(&t.table, t.frame, t.evicted);
         }
+        for s in snap.sessions {
+            self.marks.insert(s.session, s.seq);
+        }
         self.slots = (0..snap.slots).map(|_| None).collect();
         for r in snap.registrations {
-            self.recover_register(r.slot, r.generation, &r.module, &r.sql)?;
+            self.recover_register(r.slot, r.generation, &r.module, &r.sql, (r.session, r.seq))?;
         }
         self.next_generation = snap.next_generation;
         Ok(())
@@ -513,7 +671,7 @@ impl Runtime {
             WalRecord::InstallSource { node, table, frame } => {
                 self.chain.node_mut(&node)?.install_table(&table, frame);
             }
-            WalRecord::Ingest { node, table, start, frame } => {
+            WalRecord::Ingest { node, table, start, session, seq, frame } => {
                 let wm = self.chain.node(&node)?.catalog.watermark(&table)?;
                 if wm.rows() > start {
                     *skipped += 1;
@@ -528,6 +686,10 @@ impl Runtime {
                         wm.rows()
                     )));
                 }
+                // the origin rides in the same record as the batch, so
+                // a torn tail can never separate the append from its
+                // dedup mark
+                self.advance_mark(session, seq);
             }
             WalRecord::Evict { node, table, evicted_to } => {
                 let wm = self.chain.node(&node)?.catalog.watermark(&table)?;
@@ -544,11 +706,12 @@ impl Runtime {
                     )));
                 }
             }
-            WalRecord::Register { slot, generation, module, sql } => {
+            WalRecord::Register { slot, generation, module, sql, session, seq } => {
+                self.advance_mark(session, seq);
                 if self.next_generation > generation {
                     *skipped += 1;
                 } else if self.next_generation == generation {
-                    self.recover_register(slot, generation, &module, &sql)?;
+                    self.recover_register(slot, generation, &module, &sql, (session, seq))?;
                     self.next_generation = generation + 1;
                 } else {
                     return Err(CoreError::Corrupt(format!(
@@ -570,7 +733,8 @@ impl Runtime {
                     *skipped += 1;
                 }
             }
-            WalRecord::SetPolicy { version, module, xml } => {
+            WalRecord::SetPolicy { version, module, xml, session, seq } => {
+                self.advance_mark(session, seq);
                 if version <= self.version_counter {
                     *skipped += 1;
                 } else if version == self.version_counter + 1 {
@@ -614,6 +778,7 @@ impl Runtime {
         generation: u32,
         module: &str,
         sql: &str,
+        origin: (u64, u64),
     ) -> CoreResult<()> {
         let query = paradise_sql::parse_query(sql)?;
         let (version, policy) = self
@@ -640,6 +805,7 @@ impl Runtime {
             dp: dp_plan,
             delta: HandleDeltaState::default(),
             harvested_misses: 0,
+            origin,
         };
         let index = slot as usize;
         if self.slots.len() <= index {
@@ -670,6 +836,8 @@ impl Runtime {
                 version: version.as_u64(),
                 module: module_id.clone(),
                 xml: policy_to_xml(&Policy::single(policy.clone())),
+                session: 0,
+                seq: 0,
             });
             // committed at the next commit point (tick or control op):
             // this signature predates durability and cannot surface an
@@ -677,6 +845,48 @@ impl Runtime {
         }
         self.policies.insert(module_id, (version, policy));
         version
+    }
+
+    /// [`Runtime::set_policy`] with a client idempotency origin, for
+    /// the serving layer's retry-safe policy installs. A `(session,
+    /// seq)` at or below the session's applied high-water mark is a
+    /// duplicate delivery: nothing is bumped and the module's *current*
+    /// version is returned with `applied = false`. Unlike the plain
+    /// signature this variant commits the record before returning —
+    /// the acknowledgment implies durability — and is refused in
+    /// degraded mode ([`CoreError::Degraded`]).
+    pub fn set_policy_with_origin(
+        &mut self,
+        module_id: impl Into<String>,
+        policy: ModulePolicy,
+        session: u64,
+        seq: u64,
+    ) -> CoreResult<(PolicyVersion, bool)> {
+        self.check_not_degraded()?;
+        let module_id = module_id.into();
+        if self.is_duplicate(session, seq) {
+            let version = self
+                .policies
+                .get(&module_id)
+                .map(|(v, _)| *v)
+                .unwrap_or(PolicyVersion(self.version_counter));
+            return Ok((version, false));
+        }
+        self.version_counter += 1;
+        let version = PolicyVersion(self.version_counter);
+        if let Some(d) = self.durability.as_mut() {
+            d.record(&WalRecord::SetPolicy {
+                version: version.as_u64(),
+                module: module_id.clone(),
+                xml: policy_to_xml(&Policy::single(policy.clone())),
+                session,
+                seq,
+            });
+        }
+        self.policies.insert(module_id, (version, policy));
+        self.advance_mark(session, seq);
+        self.commit_durability()?;
+        Ok((version, true))
     }
 
     /// The installed policy version of a module, if any.
@@ -698,6 +908,35 @@ impl Runtime {
     /// chain, and return the handle. Ticks re-execute the cached plan
     /// until the module's policy or a source schema changes.
     pub fn register(&mut self, module_id: &str, query: &Query) -> CoreResult<QueryHandle> {
+        self.register_with_origin(module_id, query, 0, 0).map(|(handle, _)| handle)
+    }
+
+    /// [`Runtime::register`] with a client idempotency origin. A
+    /// `(session, seq)` at or below the session's applied high-water
+    /// mark is a duplicate delivery: the handle the first delivery
+    /// created is returned with `applied = false` (or
+    /// [`CoreError::UnknownHandle`] if that registration was since
+    /// removed) — a wire-level retry can never register the same query
+    /// twice. Refused in degraded mode ([`CoreError::Degraded`]): the
+    /// acknowledgment implies the registration is durable.
+    pub fn register_with_origin(
+        &mut self,
+        module_id: &str,
+        query: &Query,
+        session: u64,
+        seq: u64,
+    ) -> CoreResult<(QueryHandle, bool)> {
+        self.check_not_degraded()?;
+        if self.is_duplicate(session, seq) {
+            for (index, slot) in self.slots.iter().enumerate() {
+                if let Some(reg) = slot.as_ref().filter(|r| r.origin == (session, seq)) {
+                    let handle =
+                        QueryHandle { index: index as u32, generation: reg.generation };
+                    return Ok((handle, false));
+                }
+            }
+            return Err(CoreError::UnknownHandle(0));
+        }
         let (version, policy) = self
             .policies
             .get(module_id)
@@ -724,6 +963,7 @@ impl Runtime {
             dp: dp_plan,
             delta: HandleDeltaState::default(),
             harvested_misses: 0,
+            origin: (session, seq),
         };
         let index = match self.slots.iter().position(Option::is_none) {
             Some(free) => {
@@ -741,15 +981,19 @@ impl Runtime {
                 generation,
                 module: module_id.to_string(),
                 sql: query.to_string(),
+                session,
+                seq,
             });
-            d.commit()?;
         }
-        Ok(QueryHandle { index: index as u32, generation })
+        self.advance_mark(session, seq);
+        self.commit_durability()?;
+        Ok((QueryHandle { index: index as u32, generation }, true))
     }
 
     /// Deregister a query; its handle becomes invalid and its execution
     /// state is dropped.
     pub fn remove_query(&mut self, handle: QueryHandle) -> CoreResult<()> {
+        self.check_not_degraded()?;
         self.resolve(handle)?;
         self.slots[handle.index as usize] = None;
         if let Some(d) = self.durability.as_mut() {
@@ -757,15 +1001,15 @@ impl Runtime {
                 slot: handle.index,
                 generation: handle.generation,
             });
-            d.commit()?;
         }
-        Ok(())
+        self.commit_durability()
     }
 
     /// Install (or replace) source data at a chain node. Replacing a
     /// table under a *different* schema invalidates the affected
     /// handles' plans on their next tick.
     pub fn install_source(&mut self, node: &str, table: &str, frame: Frame) -> CoreResult<()> {
+        self.check_not_degraded()?;
         // the clone is per-column Arc bumps, no cell copies
         let logged = self.durability.is_some().then(|| frame.clone());
         self.chain.node_mut(node)?.install_table(table, frame);
@@ -775,9 +1019,8 @@ impl Runtime {
                 table: table.to_string(),
                 frame,
             });
-            d.commit()?;
         }
-        Ok(())
+        self.commit_durability()
     }
 
     /// Append a stream batch to a source table — the per-tick data path
@@ -793,6 +1036,31 @@ impl Runtime {
     /// their watermarks at each trim and stay purely incremental
     /// in between.
     pub fn ingest(&mut self, node: &str, table: &str, batch: Frame) -> CoreResult<()> {
+        self.ingest_with_origin(node, table, batch, 0, 0).map(|_| ())
+    }
+
+    /// [`Runtime::ingest`] with a client idempotency origin. A
+    /// `(session, seq)` at or below the session's applied high-water
+    /// mark means an earlier delivery of the same request already
+    /// appended this batch: it is skipped and `Ok(false)` returned, so
+    /// a wire-level retry can never double-append. The origin rides
+    /// inside the same WAL record as the batch (single-record
+    /// atomicity: a torn log tail can never separate an append from
+    /// its dedup mark). Refused in degraded mode
+    /// ([`CoreError::Degraded`]): an accepted batch must be backed by
+    /// an appendable log.
+    pub fn ingest_with_origin(
+        &mut self,
+        node: &str,
+        table: &str,
+        batch: Frame,
+        session: u64,
+        seq: u64,
+    ) -> CoreResult<bool> {
+        self.check_not_degraded()?;
+        if self.is_duplicate(session, seq) {
+            return Ok(false);
+        }
         // capture the append position and batch before they move: the
         // log record carries the absolute start row (replay's
         // idempotency anchor), and the clone is per-column Arc bumps
@@ -810,9 +1078,12 @@ impl Runtime {
                 node: node.to_string(),
                 table: table.to_string(),
                 start,
+                session,
+                seq,
                 frame,
             });
         }
+        self.advance_mark(session, seq);
         if let Some(max) = self.retention {
             let catalog = &mut self.chain.node_mut(node)?.catalog;
             let len = catalog.get(table)?.len();
@@ -828,7 +1099,7 @@ impl Runtime {
                 }
             }
         }
-        Ok(())
+        Ok(true)
     }
 
     /// Evaluate every registered query against the current stream state:
@@ -928,6 +1199,21 @@ impl Runtime {
             })
         }
 
+        /// In degraded mode a noisy handle cannot tick: its ε-spend
+        /// record could not be made durable, and releasing noisy
+        /// results whose spend a crash could lose breaks the privacy
+        /// accounting. Non-noisy handles keep serving from memory.
+        fn degraded_check(degraded: Option<&str>, dp_plan: Option<&DpPlan>) -> CoreResult<()> {
+            match degraded {
+                Some(msg) if dp_plan.is_some_and(DpPlan::is_noisy) => {
+                    Err(CoreError::Degraded(format!(
+                        "cannot persist this tick's epsilon spend: {msg}"
+                    )))
+                }
+                _ => Ok(()),
+            }
+        }
+
         // phase 1a (serial, read-only): probe every handle's cached
         // rewrite+fragment plan and precompute the rebuilds. Nothing is
         // mutated until all rebuilds have succeeded (or, isolating,
@@ -940,6 +1226,7 @@ impl Runtime {
             let chain = &self.chain;
             let options = &self.options;
             let ledgers = &self.ledgers;
+            let degraded = self.degraded.as_deref();
             for slot in &self.slots {
                 let Some(slot) = slot else {
                     rebuilds.push(None);
@@ -959,9 +1246,11 @@ impl Runtime {
                         // policy version
                         let (pre, plan, dp_plan) = build_plans(&slot.query, policy, options)?;
                         budget_check(&slot.module, dp_plan.as_ref(), policy.dp.as_ref(), ledgers)?;
+                        degraded_check(degraded, dp_plan.as_ref())?;
                         Ok(Rebuild::Fresh(Box::new(pre), plan, dp_plan, *version, fingerprint))
                     } else {
                         budget_check(&slot.module, slot.dp.as_ref(), policy.dp.as_ref(), ledgers)?;
+                        degraded_check(degraded, slot.dp.as_ref())?;
                         Ok(Rebuild::Keep)
                     }
                 })();
@@ -1223,13 +1512,23 @@ impl Runtime {
         // even when some handle was quarantined — a durability fault is
         // global, a tenant fault is not.
         let any_handle_error = out.iter().any(|(_, r)| r.is_err());
-        if let Some(d) = self.durability.as_mut() {
-            let committed = d.commit();
-            if global_error.is_none() && (isolate || !any_handle_error) {
-                committed?;
+        if self.degraded.is_none() {
+            if let Some(d) = self.durability.as_mut() {
+                if let Err(e) = d.commit() {
+                    // enter degraded mode: pending records (including
+                    // any buffered ε-spend) are preserved for the
+                    // resume retry, and the tick's results are withheld
+                    // — a noisy result must never be released before
+                    // its spend reaches the log
+                    let e = self.enter_degraded(e);
+                    if global_error.is_none() && (isolate || !any_handle_error) {
+                        return Err(e);
+                    }
+                }
             }
         }
         let auto_snapshot = global_error.is_none()
+            && self.degraded.is_none()
             && (isolate || !any_handle_error)
             && self.durability.as_mut().is_some_and(|d| {
                 d.ticks_since_snapshot += 1;

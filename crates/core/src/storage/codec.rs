@@ -124,6 +124,13 @@ impl<'a> Dec<'a> {
         self.at == self.bytes.len()
     }
 
+    /// Bytes left to read — decoders bound declared element counts by
+    /// this before pre-allocating, so a corrupt length prefix yields
+    /// [`CoreError::Corrupt`] instead of a multi-gigabyte allocation.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.at
+    }
+
     fn take(&mut self, n: usize) -> CoreResult<&'a [u8]> {
         let end = self.at.checked_add(n).ok_or_else(|| corrupt("length overflow"))?;
         if end > self.bytes.len() {
@@ -377,6 +384,20 @@ pub fn enc_frame(e: &mut Enc, frame: &Frame) {
 pub fn dec_frame(d: &mut Dec<'_>) -> CoreResult<Frame> {
     let schema = dec_schema(d)?;
     let rows = d.u32()? as usize;
+    // defensive allocation bound: every encoded cell costs at least one
+    // byte (presence or value tag), so a row count the remaining
+    // payload cannot possibly hold is a corrupt length prefix — reject
+    // it before `with_capacity` turns it into a huge allocation. A
+    // zero-column frame has no cells to bound with, so its row count is
+    // capped outright (it only carries cardinality).
+    const MAX_ZERO_COLUMN_ROWS: usize = 1 << 24;
+    if schema.is_empty() {
+        if rows > MAX_ZERO_COLUMN_ROWS {
+            return Err(corrupt("implausible zero-column row count"));
+        }
+    } else if rows.checked_mul(schema.len()).is_none_or(|cells| cells > d.remaining()) {
+        return Err(corrupt("frame row count exceeds payload size"));
+    }
     let mut columns = Vec::with_capacity(schema.len());
     for col in schema.columns() {
         let c = dec_column(d, rows, col.data_type)?;
@@ -508,6 +529,27 @@ mod tests {
         // zero-column frames keep their cardinality
         let zero = Frame::new(Schema::default(), vec![vec![], vec![]]).unwrap();
         assert_eq!(roundtrip_frame(&zero).len(), 2);
+    }
+
+    #[test]
+    fn corrupt_row_count_is_rejected_before_allocating() {
+        // one int column, but a row count claiming ~4 billion rows:
+        // the payload can't hold that many cells, so decode must
+        // return Corrupt without attempting the allocation
+        let mut e = Enc::new();
+        enc_schema(&mut e, &Schema::from_pairs(&[("x", DataType::Integer)]));
+        e.u32(u32::MAX);
+        e.u8(COL_INT);
+        let bytes = e.into_bytes();
+        assert!(matches!(dec_frame(&mut Dec::new(&bytes)), Err(CoreError::Corrupt(_))));
+
+        // zero-column frames have no cells to bound with; implausible
+        // cardinality is rejected outright
+        let mut e = Enc::new();
+        enc_schema(&mut e, &Schema::default());
+        e.u32(u32::MAX);
+        let bytes = e.into_bytes();
+        assert!(matches!(dec_frame(&mut Dec::new(&bytes)), Err(CoreError::Corrupt(_))));
     }
 
     #[test]

@@ -38,13 +38,18 @@
 
 pub mod codec;
 pub mod snapshot;
+pub mod vfs;
 pub mod wal;
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use crate::error::{CoreError, CoreResult};
 
-pub use snapshot::{LedgerState, PolicyState, RegistrationState, SnapshotData, TableState};
+pub use snapshot::{
+    LedgerState, PolicyState, RegistrationState, SessionMark, SnapshotData, TableState,
+};
+pub use vfs::{DirLock, FaultKind, FaultOp, FaultStats, FaultVfs, RealVfs, Vfs, VfsFile};
 pub use wal::WalRecord;
 
 use snapshot::{list_generations, read_snapshot, snapshot_path, wal_path, write_snapshot};
@@ -97,7 +102,11 @@ pub struct Opened {
 #[derive(Debug)]
 pub struct Durability {
     dir: PathBuf,
+    vfs: Arc<dyn Vfs>,
     wal: Wal,
+    /// The in-process exclusive claim on `dir` (released on drop, or
+    /// explicitly by the crash-emulation path).
+    lock: Option<DirLock>,
     generation: u64,
     /// Take a snapshot automatically every this many ticks
     /// (0 = only on explicit request).
@@ -107,14 +116,22 @@ pub struct Durability {
 }
 
 impl Durability {
-    /// Attach to `dir` (created if missing). A directory with prior
-    /// state yields the recovered snapshot + replay records; a fresh
-    /// directory yields neither, and the caller checkpoints its
-    /// current state via [`Durability::initial_snapshot`].
+    /// Attach to `dir` (created if missing) through the real file
+    /// system. A directory with prior state yields the recovered
+    /// snapshot + replay records; a fresh directory yields neither, and
+    /// the caller checkpoints its current state via
+    /// [`Durability::initial_snapshot`].
     pub fn open(dir: &Path) -> CoreResult<Opened> {
-        std::fs::create_dir_all(dir)
+        Durability::open_with(dir, RealVfs::shared())
+    }
+
+    /// [`Durability::open`] through an explicit [`Vfs`] — the
+    /// fault-injection entry point.
+    pub fn open_with(dir: &Path, vfs: Arc<dyn Vfs>) -> CoreResult<Opened> {
+        vfs.create_dir_all(dir)
             .map_err(|e| io_err("create durability directory", dir, &e))?;
-        let (snaps, wals) = list_generations(dir)?;
+        let lock = Some(DirLock::acquire(dir)?);
+        let (snaps, wals) = list_generations(&vfs, dir)?;
 
         if snaps.is_empty() && wals.is_empty() {
             // fresh directory: generation 1 starts with the caller's
@@ -122,7 +139,9 @@ impl Durability {
             // crash between the two still recovers
             let durability = Durability {
                 dir: dir.to_path_buf(),
-                wal: Wal::create(&wal_path(dir, 1))?,
+                wal: Wal::create(&vfs, &wal_path(dir, 1))?,
+                vfs,
+                lock,
                 generation: 1,
                 snapshot_every: DEFAULT_SNAPSHOT_EVERY,
                 ticks_since_snapshot: 0,
@@ -143,7 +162,7 @@ impl Durability {
         let mut chosen: Option<SnapshotData> = None;
         let mut last_err = None;
         for &g in snaps.iter().rev() {
-            match read_snapshot(&snapshot_path(dir, g)) {
+            match read_snapshot(&vfs, &snapshot_path(dir, g)) {
                 Ok(data) => {
                     chosen = Some(data);
                     break;
@@ -173,14 +192,14 @@ impl Durability {
         let mut torn_bytes = 0u64;
         let mut resume_at = (base, 0u64);
         for &g in wals.iter().filter(|&&g| g >= base) {
-            let contents = read_wal(&wal_path(dir, g))?;
+            let contents = read_wal(&vfs, &wal_path(dir, g))?;
             torn_bytes += contents.torn_bytes;
             records.extend(contents.records);
             resume_at = (g, contents.valid_bytes);
         }
         let (resume_gen, valid_bytes) = resume_at;
         let generation = resume_gen.max(base);
-        let wal = Wal::resume(&wal_path(dir, generation), valid_bytes)?;
+        let wal = Wal::resume(&vfs, &wal_path(dir, generation), valid_bytes)?;
 
         let stats = DurabilityStats {
             generation,
@@ -193,6 +212,8 @@ impl Durability {
         let durability = Durability {
             dir: dir.to_path_buf(),
             wal,
+            vfs,
+            lock,
             generation,
             snapshot_every: DEFAULT_SNAPSHOT_EVERY,
             ticks_since_snapshot: 0,
@@ -215,11 +236,37 @@ impl Durability {
         Ok(())
     }
 
+    /// Repair after a failed commit or snapshot: reopen the log
+    /// truncated back to its last known-good length (dropping any torn
+    /// prefix of the failed write) and retry the pending buffer. This
+    /// is the disk-recovered half of
+    /// [`Runtime::resume_durability`](crate::runtime::Runtime::resume_durability).
+    pub fn resume(&mut self) -> CoreResult<()> {
+        self.wal.repair()?;
+        self.commit()
+    }
+
+    /// Records buffered but not yet committed (non-zero after a failed
+    /// commit — degraded mode preserves them for the resume retry).
+    pub fn pending_records(&self) -> u64 {
+        self.wal.pending_records()
+    }
+
+    /// Release the in-process directory lock without dropping the
+    /// layer. Used by crash-emulation paths that deliberately leak the
+    /// runtime (`std::mem::forget`) — the lock must not leak with it,
+    /// or the same process could never reopen the directory.
+    pub fn release_lock(&mut self) {
+        if let Some(mut lock) = self.lock.take() {
+            lock.release();
+        }
+    }
+
     /// The first checkpoint of a fresh directory: written at the
     /// current generation, no rotation.
     pub fn initial_snapshot(&mut self, mut data: SnapshotData) -> CoreResult<()> {
         data.generation = self.generation;
-        write_snapshot(&self.dir, &data)?;
+        write_snapshot(&self.vfs, &self.dir, &data)?;
         self.stats.snapshots += 1;
         Ok(())
     }
@@ -233,20 +280,27 @@ impl Durability {
         self.wal.sync()?;
         let next = self.generation + 1;
         data.generation = next;
-        write_snapshot(&self.dir, &data)?;
-        self.wal = Wal::create(&wal_path(&self.dir, next))?;
+        // create the next log *before* publishing the snapshot: if the
+        // snapshot write fails, appends keep going to the current log,
+        // which recovery still replays (a stray empty wal.<g+1> is
+        // harmless). Publishing first would route post-failure records
+        // to a log older than the newest snapshot — invisible to
+        // recovery.
+        let wal = Wal::create(&self.vfs, &wal_path(&self.dir, next))?;
+        write_snapshot(&self.vfs, &self.dir, &data)?;
+        self.wal = wal;
         let old = self.generation;
         self.generation = next;
         self.stats.generation = next;
         self.stats.snapshots += 1;
         self.ticks_since_snapshot = 0;
         // best-effort cleanup: a leftover file is re-deleted next time
-        if let Ok((snaps, wals)) = list_generations(&self.dir) {
+        if let Ok((snaps, wals)) = list_generations(&self.vfs, &self.dir) {
             for g in snaps.into_iter().filter(|&g| g < old) {
-                let _ = std::fs::remove_file(snapshot_path(&self.dir, g));
+                let _ = self.vfs.remove_file(&snapshot_path(&self.dir, g));
             }
             for g in wals.into_iter().filter(|&g| g < old) {
-                let _ = std::fs::remove_file(wal_path(&self.dir, g));
+                let _ = self.vfs.remove_file(&wal_path(&self.dir, g));
             }
         }
         Ok(())
@@ -282,7 +336,13 @@ mod tests {
         assert!(opened.snapshot.is_none());
         let mut d = opened.durability;
         d.initial_snapshot(SnapshotData::default()).unwrap();
-        d.record(&WalRecord::SetPolicy { version: 1, module: "M".into(), xml: "<x/>".into() });
+        d.record(&WalRecord::SetPolicy {
+            version: 1,
+            module: "M".into(),
+            xml: "<x/>".into(),
+            session: 0,
+            seq: 0,
+        });
         d.record(&WalRecord::RemoveQuery { slot: 0, generation: 0 });
         d.commit().unwrap();
         drop(d);
@@ -307,7 +367,7 @@ mod tests {
         d.rotate_snapshot(SnapshotData::default()).unwrap(); // gen 3
         drop(d);
 
-        let (snaps, wals) = list_generations(&dir).unwrap();
+        let (snaps, wals) = list_generations(&RealVfs::shared(), &dir).unwrap();
         assert_eq!(snaps, vec![2, 3], "generation 1 was cleaned up");
         assert_eq!(wals, vec![2, 3]);
 
@@ -336,6 +396,20 @@ mod tests {
         std::fs::write(snapshot_path(&dir, 1), b"").unwrap();
         std::fs::write(snapshot_path(&dir, 2), b"bad").unwrap();
         assert!(matches!(Durability::open(&dir), Err(CoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn second_open_of_a_live_directory_is_locked() {
+        let dir = tmp("locked");
+        let mut d = Durability::open(&dir).unwrap().durability;
+        d.initial_snapshot(SnapshotData::default()).unwrap();
+        assert!(matches!(Durability::open(&dir), Err(CoreError::Locked(_))));
+        drop(d);
+        // released on drop: reopen works (and a failed open released
+        // its own claim too)
+        let mut d = Durability::open(&dir).unwrap().durability;
+        d.release_lock();
+        drop(Durability::open(&dir).unwrap().durability);
     }
 
     #[test]

@@ -23,14 +23,15 @@
 //!
 //! [`Runtime`]: crate::runtime::Runtime
 
-use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use paradise_engine::Frame;
 
 use crate::error::{CoreError, CoreResult};
 
 use super::codec::{crc32, dec_frame, enc_frame, Dec, Enc};
+use super::vfs::Vfs;
 use super::wal::io_err;
 
 /// `b"PDS1"` little-endian: magic + format version of snapshot files.
@@ -73,6 +74,22 @@ pub struct RegistrationState {
     pub module: String,
     /// The query as SQL text.
     pub sql: String,
+    /// Client session that registered it (0 = none) — a resumed
+    /// session recovers its handles from this after a restart.
+    pub session: u64,
+    /// The session request sequence that registered it (0 = none).
+    pub seq: u64,
+}
+
+/// One client session's durable idempotency mark: the highest request
+/// sequence number whose effect is part of this snapshot. A retried
+/// mutating request at-or-below the mark is a no-op after recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionMark {
+    /// Client-assigned session id (never 0).
+    pub session: u64,
+    /// Highest applied request sequence.
+    pub seq: u64,
 }
 
 /// One module's differential-privacy epsilon-ledger position. Spent
@@ -111,6 +128,8 @@ pub struct SnapshotData {
     pub next_generation: u32,
     /// Every module's epsilon-ledger position, sorted by module id.
     pub ledgers: Vec<LedgerState>,
+    /// Every client session's idempotency mark, sorted by session id.
+    pub sessions: Vec<SessionMark>,
 }
 
 /// Path of generation `g`'s snapshot file.
@@ -130,15 +149,13 @@ fn generation_of(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
 
 /// The snapshot and log generations present in `dir`, each sorted
 /// ascending.
-pub fn list_generations(dir: &Path) -> CoreResult<(Vec<u64>, Vec<u64>)> {
+pub fn list_generations(vfs: &Arc<dyn Vfs>, dir: &Path) -> CoreResult<(Vec<u64>, Vec<u64>)> {
     let mut snapshots = Vec::new();
     let mut wals = Vec::new();
-    let entries =
-        std::fs::read_dir(dir).map_err(|e| io_err("list durability directory", dir, &e))?;
-    for entry in entries {
-        let entry = entry.map_err(|e| io_err("list durability directory", dir, &e))?;
-        let name = entry.file_name();
-        let Some(name) = name.to_str() else { continue };
+    let names = vfs
+        .read_dir_names(dir)
+        .map_err(|e| io_err("list durability directory", dir, &e))?;
+    for name in &names {
         if let Some(g) = generation_of(name, "snapshot.", ".pds") {
             snapshots.push(g);
         } else if let Some(g) = generation_of(name, "wal.", ".log") {
@@ -173,6 +190,8 @@ fn encode(data: &SnapshotData) -> Vec<u8> {
         e.u32(r.generation);
         e.str(&r.module);
         e.str(&r.sql);
+        e.u64(r.session);
+        e.u64(r.seq);
     }
     e.u32(data.slots);
     e.u32(data.next_generation);
@@ -181,6 +200,11 @@ fn encode(data: &SnapshotData) -> Vec<u8> {
         e.str(&l.module);
         e.u64(l.seq);
         e.f64(l.spent);
+    }
+    e.u32(data.sessions.len() as u32);
+    for s in &data.sessions {
+        e.u64(s.session);
+        e.u64(s.seq);
     }
     e.into_bytes()
 }
@@ -209,6 +233,8 @@ fn decode(payload: &[u8]) -> CoreResult<SnapshotData> {
             generation: d.u32()?,
             module: d.str()?,
             sql: d.str()?,
+            session: d.u64()?,
+            seq: d.u64()?,
         });
     }
     let slots = d.u32()?;
@@ -216,6 +242,10 @@ fn decode(payload: &[u8]) -> CoreResult<SnapshotData> {
     let mut ledgers = Vec::new();
     for _ in 0..d.u32()? {
         ledgers.push(LedgerState { module: d.str()?, seq: d.u64()?, spent: d.f64()? });
+    }
+    let mut sessions = Vec::new();
+    for _ in 0..d.u32()? {
+        sessions.push(SessionMark { session: d.u64()?, seq: d.u64()? });
     }
     if !d.done() {
         return Err(CoreError::Corrupt("trailing bytes after snapshot payload".to_string()));
@@ -229,12 +259,13 @@ fn decode(payload: &[u8]) -> CoreResult<SnapshotData> {
         slots,
         next_generation,
         ledgers,
+        sessions,
     })
 }
 
 /// Write `data` as generation `data.generation`'s snapshot, atomically
 /// (tmp + `fsync` + rename + directory `fsync`).
-pub fn write_snapshot(dir: &Path, data: &SnapshotData) -> CoreResult<()> {
+pub fn write_snapshot(vfs: &Arc<dyn Vfs>, dir: &Path, data: &SnapshotData) -> CoreResult<()> {
     let payload = encode(data);
     let mut bytes = Vec::with_capacity(payload.len() + 12);
     bytes.extend_from_slice(&MAGIC.to_le_bytes());
@@ -243,18 +274,16 @@ pub fn write_snapshot(dir: &Path, data: &SnapshotData) -> CoreResult<()> {
     bytes.extend_from_slice(&payload);
 
     let tmp = dir.join("snapshot.tmp");
-    let mut file = std::fs::File::create(&tmp)
-        .map_err(|e| io_err("create snapshot temp file", &tmp, &e))?;
+    let mut file =
+        vfs.create(&tmp).map_err(|e| io_err("create snapshot temp file", &tmp, &e))?;
     file.write_all(&bytes).map_err(|e| io_err("write snapshot", &tmp, &e))?;
     file.sync_all().map_err(|e| io_err("sync snapshot", &tmp, &e))?;
     drop(file);
 
     let target = snapshot_path(dir, data.generation);
-    std::fs::rename(&tmp, &target).map_err(|e| io_err("install snapshot", &target, &e))?;
+    vfs.rename(&tmp, &target).map_err(|e| io_err("install snapshot", &target, &e))?;
     // make the rename itself durable (best-effort off unixes)
-    if let Ok(d) = std::fs::File::open(dir) {
-        let _ = d.sync_all();
-    }
+    let _ = vfs.sync_dir(dir);
     Ok(())
 }
 
@@ -262,8 +291,8 @@ pub fn write_snapshot(dir: &Path, data: &SnapshotData) -> CoreResult<()> {
 /// short, bad magic, CRC mismatch, undecodable payload — is
 /// [`CoreError::Corrupt`] (or [`CoreError::Io`]), and the caller falls
 /// back to the previous generation.
-pub fn read_snapshot(path: &Path) -> CoreResult<SnapshotData> {
-    let bytes = std::fs::read(path).map_err(|e| io_err("read snapshot", path, &e))?;
+pub fn read_snapshot(vfs: &Arc<dyn Vfs>, path: &Path) -> CoreResult<SnapshotData> {
+    let bytes = vfs.read(path).map_err(|e| io_err("read snapshot", path, &e))?;
     if bytes.len() < 12 {
         return Err(CoreError::Corrupt(format!(
             "snapshot {} is truncated ({} bytes)",
@@ -295,7 +324,12 @@ pub fn read_snapshot(path: &Path) -> CoreResult<SnapshotData> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::storage::vfs::RealVfs;
     use paradise_engine::{DataType, Schema, Value};
+
+    fn vfs() -> Arc<dyn Vfs> {
+        RealVfs::shared()
+    }
 
     fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir()
@@ -328,10 +362,13 @@ mod tests {
                 generation: 4,
                 module: "ActionFilter".into(),
                 sql: "SELECT x FROM stream".into(),
+                session: 11,
+                seq: 6,
             }],
             slots: 2,
             next_generation: 5,
             ledgers: vec![LedgerState { module: "ActionFilter".into(), seq: 9, spent: 4.5 }],
+            sessions: vec![SessionMark { session: 11, seq: 6 }],
         }
     }
 
@@ -339,14 +376,14 @@ mod tests {
     fn write_read_roundtrip_and_listing() {
         let dir = tmp("roundtrip");
         let data = sample();
-        write_snapshot(&dir, &data).unwrap();
-        let back = read_snapshot(&snapshot_path(&dir, 3)).unwrap();
+        write_snapshot(&vfs(), &dir, &data).unwrap();
+        let back = read_snapshot(&vfs(), &snapshot_path(&dir, 3)).unwrap();
         assert_eq!(back, data);
         assert!(!dir.join("snapshot.tmp").exists(), "tmp is renamed away");
 
         std::fs::write(wal_path(&dir, 3), b"").unwrap();
         std::fs::write(wal_path(&dir, 2), b"").unwrap();
-        let (snaps, wals) = list_generations(&dir).unwrap();
+        let (snaps, wals) = list_generations(&vfs(), &dir).unwrap();
         assert_eq!(snaps, vec![3]);
         assert_eq!(wals, vec![2, 3]);
     }
@@ -356,24 +393,24 @@ mod tests {
         let dir = tmp("short");
         let path = snapshot_path(&dir, 1);
         std::fs::write(&path, b"").unwrap();
-        assert!(matches!(read_snapshot(&path), Err(CoreError::Corrupt(_))));
+        assert!(matches!(read_snapshot(&vfs(), &path), Err(CoreError::Corrupt(_))));
 
-        write_snapshot(&dir, &sample()).unwrap();
+        write_snapshot(&vfs(), &dir, &sample()).unwrap();
         let full = std::fs::read(snapshot_path(&dir, 3)).unwrap();
         std::fs::write(&path, &full[..full.len() / 2]).unwrap();
-        assert!(matches!(read_snapshot(&path), Err(CoreError::Corrupt(_))));
+        assert!(matches!(read_snapshot(&vfs(), &path), Err(CoreError::Corrupt(_))));
     }
 
     #[test]
     fn bit_flip_fails_the_checksum() {
         let dir = tmp("flip");
-        write_snapshot(&dir, &sample()).unwrap();
+        write_snapshot(&vfs(), &dir, &sample()).unwrap();
         let path = snapshot_path(&dir, 3);
         let mut bytes = std::fs::read(&path).unwrap();
         let at = bytes.len() - 5;
         bytes[at] ^= 1;
         std::fs::write(&path, &bytes).unwrap();
-        assert!(matches!(read_snapshot(&path), Err(CoreError::Corrupt(_))));
+        assert!(matches!(read_snapshot(&vfs(), &path), Err(CoreError::Corrupt(_))));
     }
 
     #[test]
@@ -381,6 +418,6 @@ mod tests {
         let dir = tmp("magic");
         let path = snapshot_path(&dir, 1);
         std::fs::write(&path, b"NOPE00000000u-wot").unwrap();
-        assert!(matches!(read_snapshot(&path), Err(CoreError::Corrupt(_))));
+        assert!(matches!(read_snapshot(&vfs(), &path), Err(CoreError::Corrupt(_))));
     }
 }

@@ -1,0 +1,473 @@
+//! The virtual file system the durability layer does all its I/O
+//! through, plus the deterministic fault injector the fault-tolerance
+//! suites drive it with.
+//!
+//! Production code uses [`RealVfs`] (a thin veneer over `std::fs`).
+//! Tests wrap it in a [`FaultVfs`] carrying a per-operation fault
+//! schedule — "the 3rd write fails with ENOSPC", "the next fsync
+//! fails", "the 2nd write tears after 11 bytes" — so every disk-failure
+//! path of the WAL/snapshot machinery is reachable deterministically,
+//! without actually filling a disk. Injected faults are counted in
+//! [`FaultStats`] so a chaos schedule can assert that every planned
+//! fault actually fired.
+//!
+//! This module also owns the in-process durability-directory lock
+//! registry: two live runtimes attached to the same directory would
+//! interleave their write-ahead logs, so the second
+//! [`DirLock::acquire`] yields [`CoreError::Locked`]. The lock is
+//! process-local by design — cross-process exclusion is documented as
+//! out of scope (advisory file locks don't survive `kill -9`
+//! faithfully and the vendored std has no `flock` wrapper).
+
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Seek, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::error::{CoreError, CoreResult};
+
+/// File-system operations the durability layer needs. Deliberately
+/// tiny: whole-file reads, append-oriented writes, atomic rename, and
+/// the two fsync shapes — nothing else touches disk.
+pub trait Vfs: Send + Sync + std::fmt::Debug {
+    /// `std::fs::create_dir_all`.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// Read a whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// File names (not paths) directly inside `dir`.
+    fn read_dir_names(&self, dir: &Path) -> io::Result<Vec<String>>;
+    /// Create (truncating) a file for writing.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Open an existing file for appending, first truncating it to
+    /// `valid_bytes` (recovery's torn-tail repair). Creates the file if
+    /// missing.
+    fn open_append(&self, path: &Path, valid_bytes: u64) -> io::Result<Box<dyn VfsFile>>;
+    /// Atomic rename.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Delete a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Best-effort directory fsync (making a rename durable).
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+}
+
+/// An open writable file handle behind the [`Vfs`].
+pub trait VfsFile: Send + std::fmt::Debug {
+    /// Write the whole buffer.
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// `fdatasync`.
+    fn sync_data(&mut self) -> io::Result<()>;
+    /// `fsync`.
+    fn sync_all(&mut self) -> io::Result<()>;
+}
+
+// ------------------------------------------------------------------
+// Real implementation
+// ------------------------------------------------------------------
+
+/// The production [`Vfs`]: plain `std::fs`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealVfs;
+
+impl RealVfs {
+    /// The shared production instance.
+    pub fn shared() -> Arc<dyn Vfs> {
+        Arc::new(RealVfs)
+    }
+}
+
+#[derive(Debug)]
+struct RealFile(File);
+
+impl VfsFile for RealFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.0.write_all(buf)
+    }
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.0.sync_data()
+    }
+    fn sync_all(&mut self) -> io::Result<()> {
+        self.0.sync_all()
+    }
+}
+
+impl Vfs for RealVfs {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+    fn read_dir_names(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            if let Some(name) = entry?.file_name().to_str() {
+                names.push(name.to_string());
+            }
+        }
+        Ok(names)
+    }
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let file =
+            OpenOptions::new().create(true).write(true).truncate(true).open(path)?;
+        Ok(Box::new(RealFile(file)))
+    }
+    fn open_append(&self, path: &Path, valid_bytes: u64) -> io::Result<Box<dyn VfsFile>> {
+        let mut file =
+            OpenOptions::new().create(true).write(true).truncate(false).open(path)?;
+        file.set_len(valid_bytes)?;
+        file.seek(io::SeekFrom::End(0))?;
+        Ok(Box::new(RealFile(file)))
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        File::open(dir)?.sync_all()
+    }
+}
+
+// ------------------------------------------------------------------
+// Fault injection
+// ------------------------------------------------------------------
+
+/// Which I/O operation a scheduled fault targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultOp {
+    /// A `write_all` on any open file (WAL commit or snapshot body).
+    Write,
+    /// `sync_data` / `sync_all` on a file (the fsync shapes).
+    Sync,
+    /// Creating / truncating a file.
+    Create,
+    /// The snapshot-install rename.
+    Rename,
+    /// A whole-file read.
+    Read,
+}
+
+/// How the scheduled operation fails.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// `ENOSPC`: the write is refused, nothing reaches the file.
+    Enospc,
+    /// A generic `EIO`.
+    Eio,
+    /// A torn write: only the first `keep` bytes reach the file, then
+    /// the write errors — the shape a crash or a lost sector leaves.
+    Torn {
+        /// Bytes that do land before the failure.
+        keep: usize,
+    },
+}
+
+/// Counters of injected faults, by category — the chaos suites assert
+/// these against the schedule so a silently-unreachable fault site
+/// fails the test instead of weakening it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Writes refused with `ENOSPC`.
+    pub enospc: u64,
+    /// Operations failed with a generic `EIO` (reads/writes/creates).
+    pub eio: u64,
+    /// Writes torn partway through.
+    pub torn_writes: u64,
+    /// `sync_data`/`sync_all` calls that failed.
+    pub fsync_failures: u64,
+    /// Renames that failed.
+    pub rename_failures: u64,
+}
+
+impl FaultStats {
+    /// Total faults injected.
+    pub fn total(&self) -> u64 {
+        self.enospc + self.eio + self.torn_writes + self.fsync_failures + self.rename_failures
+    }
+}
+
+#[derive(Debug)]
+struct FaultState {
+    /// Remaining scheduled faults: (op, remaining occurrences of that
+    /// op before firing, kind). Counted down per matching op; fires at
+    /// zero and is removed.
+    plan: Vec<(FaultOp, u64, FaultKind)>,
+    stats: FaultStats,
+}
+
+/// Deterministic fault-injecting [`Vfs`] wrapper. Faults are scheduled
+/// per operation kind by occurrence index ("the nth write from now
+/// fails like X") and fire exactly once each.
+#[derive(Debug)]
+pub struct FaultVfs {
+    inner: Arc<dyn Vfs>,
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultVfs {
+    /// A fault injector over the real file system with an empty
+    /// schedule (behaves exactly like [`RealVfs`] until armed).
+    pub fn new() -> Arc<FaultVfs> {
+        Arc::new(FaultVfs {
+            inner: Arc::new(RealVfs),
+            state: Arc::new(Mutex::new(FaultState {
+                plan: Vec::new(),
+                stats: FaultStats::default(),
+            })),
+        })
+    }
+
+    /// Schedule: the `nth` next occurrence (0 = the very next) of `op`
+    /// fails as `kind`.
+    pub fn schedule(&self, op: FaultOp, nth: u64, kind: FaultKind) {
+        self.state.lock().expect("fault state lock").plan.push((op, nth, kind));
+    }
+
+    /// Injected-fault counters so far.
+    pub fn stats(&self) -> FaultStats {
+        self.state.lock().expect("fault state lock").stats
+    }
+
+    /// Scheduled faults that have not fired yet.
+    pub fn pending_faults(&self) -> usize {
+        self.state.lock().expect("fault state lock").plan.len()
+    }
+
+    fn arm(&self, op: FaultOp) -> Option<FaultKind> {
+        arm(&self.state, op)
+    }
+}
+
+/// Check the schedule for `op`: count down every matching entry, fire
+/// (remove + count) the first that reaches zero.
+fn arm(state: &Mutex<FaultState>, op: FaultOp) -> Option<FaultKind> {
+    let mut state = state.lock().expect("fault state lock");
+    let mut fired = None;
+    for entry in state.plan.iter_mut() {
+        if entry.0 != op {
+            continue;
+        }
+        if entry.1 == 0 && fired.is_none() {
+            fired = Some(entry.2);
+            entry.1 = u64::MAX; // tombstone, removed below
+        } else if entry.1 != u64::MAX {
+            entry.1 -= 1;
+        }
+    }
+    if let Some(kind) = fired {
+        state.plan.retain(|e| e.1 != u64::MAX);
+        let stats = &mut state.stats;
+        match (op, kind) {
+            (FaultOp::Sync, _) => stats.fsync_failures += 1,
+            (FaultOp::Rename, _) => stats.rename_failures += 1,
+            (_, FaultKind::Enospc) => stats.enospc += 1,
+            (_, FaultKind::Torn { .. }) => stats.torn_writes += 1,
+            (_, FaultKind::Eio) => stats.eio += 1,
+        }
+    }
+    fired
+}
+
+fn fault_error(kind: FaultKind) -> io::Error {
+    match kind {
+        FaultKind::Enospc => {
+            io::Error::new(io::ErrorKind::StorageFull, "injected ENOSPC: no space left")
+        }
+        FaultKind::Eio => io::Error::other("injected EIO"),
+        FaultKind::Torn { keep } => {
+            io::Error::other(format!("injected torn write after {keep} bytes"))
+        }
+    }
+}
+
+/// A file handle whose writes/syncs consult the shared fault schedule.
+#[derive(Debug)]
+struct FaultFile {
+    inner: Box<dyn VfsFile>,
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl VfsFile for FaultFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        match arm(&self.state, FaultOp::Write) {
+            None => self.inner.write_all(buf),
+            Some(FaultKind::Torn { keep }) => {
+                let keep = keep.min(buf.len());
+                self.inner.write_all(&buf[..keep])?;
+                Err(fault_error(FaultKind::Torn { keep }))
+            }
+            Some(kind) => Err(fault_error(kind)),
+        }
+    }
+    fn sync_data(&mut self) -> io::Result<()> {
+        match arm(&self.state, FaultOp::Sync) {
+            None => self.inner.sync_data(),
+            Some(kind) => Err(fault_error(kind)),
+        }
+    }
+    fn sync_all(&mut self) -> io::Result<()> {
+        match arm(&self.state, FaultOp::Sync) {
+            None => self.inner.sync_all(),
+            Some(kind) => Err(fault_error(kind)),
+        }
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(path)
+    }
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        match self.arm(FaultOp::Read) {
+            None => self.inner.read(path),
+            Some(kind) => Err(fault_error(kind)),
+        }
+    }
+    fn read_dir_names(&self, dir: &Path) -> io::Result<Vec<String>> {
+        self.inner.read_dir_names(dir)
+    }
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        match self.arm(FaultOp::Create) {
+            None => Ok(Box::new(FaultFile {
+                inner: self.inner.create(path)?,
+                state: Arc::clone(&self.state),
+            })),
+            Some(kind) => Err(fault_error(kind)),
+        }
+    }
+    fn open_append(&self, path: &Path, valid_bytes: u64) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(FaultFile {
+            inner: self.inner.open_append(path, valid_bytes)?,
+            state: Arc::clone(&self.state),
+        }))
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        match self.arm(FaultOp::Rename) {
+            None => self.inner.rename(from, to),
+            Some(kind) => Err(fault_error(kind)),
+        }
+    }
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove_file(path)
+    }
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        // directory syncs are best-effort in the write protocol; faults
+        // target the file-level syncs
+        self.inner.sync_dir(dir)
+    }
+}
+
+// ------------------------------------------------------------------
+// In-process durability-directory locks
+// ------------------------------------------------------------------
+
+fn dir_locks() -> &'static Mutex<HashSet<PathBuf>> {
+    static LOCKS: OnceLock<Mutex<HashSet<PathBuf>>> = OnceLock::new();
+    LOCKS.get_or_init(|| Mutex::new(HashSet::new()))
+}
+
+/// Exclusive in-process claim on a durability directory, released on
+/// drop (or explicitly by the crash-emulation path, which leaks the
+/// runtime on purpose and must not leak the lock with it).
+#[derive(Debug)]
+pub struct DirLock {
+    path: Option<PathBuf>,
+}
+
+impl DirLock {
+    /// Claim `dir` (which must exist). A second claim on the same
+    /// directory while the first is live is [`CoreError::Locked`].
+    pub fn acquire(dir: &Path) -> CoreResult<DirLock> {
+        let canonical = dir
+            .canonicalize()
+            .map_err(|e| CoreError::Io(format!("canonicalize {}: {e}", dir.display())))?;
+        let mut locks = dir_locks().lock().expect("dir-lock registry");
+        if !locks.insert(canonical.clone()) {
+            return Err(CoreError::Locked(format!(
+                "{} is already attached to a live runtime in this process",
+                dir.display()
+            )));
+        }
+        Ok(DirLock { path: Some(canonical) })
+    }
+
+    /// Release now (idempotent; also happens on drop).
+    pub fn release(&mut self) {
+        if let Some(path) = self.path.take() {
+            dir_locks().lock().expect("dir-lock registry").remove(&path);
+        }
+    }
+}
+
+impl Drop for DirLock {
+    fn drop(&mut self) {
+        self.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("paradise-vfs-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn fault_schedule_fires_once_at_the_scheduled_occurrence() {
+        let dir = tmp("sched");
+        let vfs = FaultVfs::new();
+        vfs.schedule(FaultOp::Write, 1, FaultKind::Enospc);
+        let mut f = Vfs::create(&*vfs,&dir.join("a")).unwrap();
+        f.write_all(b"first").unwrap();
+        let err = f.write_all(b"second").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        f.write_all(b"third").unwrap();
+        assert_eq!(vfs.stats().enospc, 1);
+        assert_eq!(vfs.pending_faults(), 0);
+        assert_eq!(std::fs::read(dir.join("a")).unwrap(), b"firstthird");
+    }
+
+    #[test]
+    fn torn_write_lands_a_prefix_then_errors() {
+        let dir = tmp("torn");
+        let vfs = FaultVfs::new();
+        vfs.schedule(FaultOp::Write, 0, FaultKind::Torn { keep: 3 });
+        let mut f = Vfs::create(&*vfs,&dir.join("t")).unwrap();
+        assert!(f.write_all(b"abcdef").is_err());
+        assert_eq!(std::fs::read(dir.join("t")).unwrap(), b"abc");
+        assert_eq!(vfs.stats().torn_writes, 1);
+    }
+
+    #[test]
+    fn sync_and_rename_faults_are_categorised() {
+        let dir = tmp("cats");
+        let vfs = FaultVfs::new();
+        vfs.schedule(FaultOp::Sync, 0, FaultKind::Eio);
+        vfs.schedule(FaultOp::Rename, 0, FaultKind::Eio);
+        let mut f = Vfs::create(&*vfs,&dir.join("s")).unwrap();
+        assert!(f.sync_all().is_err());
+        assert!(Vfs::rename(&*vfs,&dir.join("s"), &dir.join("s2")).is_err());
+        let stats = vfs.stats();
+        assert_eq!(stats.fsync_failures, 1);
+        assert_eq!(stats.rename_failures, 1);
+        assert_eq!(stats.total(), 2);
+    }
+
+    #[test]
+    fn dir_lock_excludes_and_releases() {
+        let dir = tmp("lock");
+        let mut lock = DirLock::acquire(&dir).unwrap();
+        assert!(matches!(DirLock::acquire(&dir), Err(CoreError::Locked(_))));
+        lock.release();
+        let again = DirLock::acquire(&dir).unwrap();
+        drop(again);
+        drop(DirLock::acquire(&dir).unwrap());
+    }
+}

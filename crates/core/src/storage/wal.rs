@@ -24,15 +24,15 @@
 //! decode — unknown tag, trailing garbage — is real corruption and
 //! surfaces as [`CoreError::Corrupt`].
 
-use std::fs::{File, OpenOptions};
-use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use paradise_engine::Frame;
 
 use crate::error::{CoreError, CoreResult};
 
 use super::codec::{crc32, dec_frame, enc_frame, Dec, Enc};
+use super::vfs::{Vfs, VfsFile};
 
 /// Format an I/O failure as the typed core error (carrying the
 /// operation and path, since `std::io::Error` is not `Clone`).
@@ -68,6 +68,15 @@ pub enum WalRecord {
         /// Absolute stream row the batch starts at (the table's high
         /// watermark when it was appended).
         start: u64,
+        /// Client session the batch originated from (0 = none); with
+        /// `seq`, the runtime's durable dedup mark — a retried batch
+        /// whose `(session, seq)` is at-or-below the session's mark is
+        /// a no-op, even across crash recovery. Embedded in the record
+        /// itself (not a companion record) so a torn tail can never
+        /// separate a batch from its idempotency mark.
+        session: u64,
+        /// Session-monotonic request sequence number (0 = none).
+        seq: u64,
         /// The batch itself.
         frame: Frame,
     },
@@ -93,6 +102,11 @@ pub enum WalRecord {
         module: String,
         /// The query, rendered as SQL.
         sql: String,
+        /// Originating client session (0 = none) — lets a resumed
+        /// session recover its handles after a server restart.
+        session: u64,
+        /// Session-monotonic request sequence number (0 = none).
+        seq: u64,
     },
     /// `Runtime::remove_query`.
     RemoveQuery {
@@ -111,6 +125,10 @@ pub enum WalRecord {
         module: String,
         /// `policy_to_xml` rendering of the module policy.
         xml: String,
+        /// Originating client session (0 = none).
+        session: u64,
+        /// Session-monotonic request sequence number (0 = none).
+        seq: u64,
     },
     /// One differential-privacy budget spend of a module's epsilon
     /// ledger (one noisy tick). Carries the **absolute** cumulative
@@ -151,11 +169,13 @@ impl WalRecord {
                 e.str(table);
                 enc_frame(&mut e, frame);
             }
-            WalRecord::Ingest { node, table, start, frame } => {
+            WalRecord::Ingest { node, table, start, session, seq, frame } => {
                 e.u8(TAG_INGEST);
                 e.str(node);
                 e.str(table);
                 e.u64(*start);
+                e.u64(*session);
+                e.u64(*seq);
                 enc_frame(&mut e, frame);
             }
             WalRecord::Evict { node, table, evicted_to } => {
@@ -164,23 +184,27 @@ impl WalRecord {
                 e.str(table);
                 e.u64(*evicted_to);
             }
-            WalRecord::Register { slot, generation, module, sql } => {
+            WalRecord::Register { slot, generation, module, sql, session, seq } => {
                 e.u8(TAG_REGISTER);
                 e.u32(*slot);
                 e.u32(*generation);
                 e.str(module);
                 e.str(sql);
+                e.u64(*session);
+                e.u64(*seq);
             }
             WalRecord::RemoveQuery { slot, generation } => {
                 e.u8(TAG_REMOVE);
                 e.u32(*slot);
                 e.u32(*generation);
             }
-            WalRecord::SetPolicy { version, module, xml } => {
+            WalRecord::SetPolicy { version, module, xml, session, seq } => {
                 e.u8(TAG_SET_POLICY);
                 e.u64(*version);
                 e.str(module);
                 e.str(xml);
+                e.u64(*session);
+                e.u64(*seq);
             }
             WalRecord::SpendEpsilon { module, seq, spent } => {
                 e.u8(TAG_SPEND_EPSILON);
@@ -206,6 +230,8 @@ impl WalRecord {
                 node: d.str()?,
                 table: d.str()?,
                 start: d.u64()?,
+                session: d.u64()?,
+                seq: d.u64()?,
                 frame: dec_frame(&mut d)?,
             },
             TAG_EVICT => WalRecord::Evict {
@@ -218,12 +244,16 @@ impl WalRecord {
                 generation: d.u32()?,
                 module: d.str()?,
                 sql: d.str()?,
+                session: d.u64()?,
+                seq: d.u64()?,
             },
             TAG_REMOVE => WalRecord::RemoveQuery { slot: d.u32()?, generation: d.u32()? },
             TAG_SET_POLICY => WalRecord::SetPolicy {
                 version: d.u64()?,
                 module: d.str()?,
                 xml: d.str()?,
+                session: d.u64()?,
+                seq: d.u64()?,
             },
             TAG_SPEND_EPSILON => WalRecord::SpendEpsilon {
                 module: d.str()?,
@@ -248,11 +278,17 @@ impl WalRecord {
 /// An open write-ahead log file with its group-commit buffer.
 #[derive(Debug)]
 pub struct Wal {
-    file: File,
+    file: Box<dyn VfsFile>,
+    vfs: Arc<dyn Vfs>,
     path: PathBuf,
-    /// Encoded-but-unwritten records (the group-commit buffer).
+    /// Encoded-but-unwritten records (the group-commit buffer). On a
+    /// failed commit the buffer is **preserved** — degraded mode keeps
+    /// accumulating and [`Wal::repair`] + a retried commit drain it.
     pending: Vec<u8>,
     pending_records: u64,
+    /// Committed (known-good) length of the file in bytes — the repair
+    /// truncation point after a possibly-torn failed write.
+    file_len: u64,
     /// Records written to the OS since this `Wal` was opened.
     committed_records: u64,
     /// `commit` calls that actually wrote something.
@@ -263,41 +299,30 @@ pub struct Wal {
 
 impl Wal {
     /// Create a fresh (truncated) log at `path`.
-    pub fn create(path: &Path) -> CoreResult<Self> {
-        let file = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(true)
-            .open(path)
-            .map_err(|e| io_err("create write-ahead log", path, &e))?;
-        Ok(Wal::over(file, path))
+    pub fn create(vfs: &Arc<dyn Vfs>, path: &Path) -> CoreResult<Self> {
+        let file =
+            vfs.create(path).map_err(|e| io_err("create write-ahead log", path, &e))?;
+        Ok(Wal::over(file, vfs, path, 0))
     }
 
     /// Reopen an existing log for appending after recovery, truncating
     /// it to `valid_bytes` first (dropping any torn tail the reader
     /// found).
-    pub fn resume(path: &Path, valid_bytes: u64) -> CoreResult<Self> {
-        let file = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(false) // the valid prefix survives; set_len drops the tail
-            .open(path)
+    pub fn resume(vfs: &Arc<dyn Vfs>, path: &Path, valid_bytes: u64) -> CoreResult<Self> {
+        let file = vfs
+            .open_append(path, valid_bytes)
             .map_err(|e| io_err("open write-ahead log", path, &e))?;
-        file.set_len(valid_bytes)
-            .map_err(|e| io_err("truncate write-ahead log", path, &e))?;
-        use std::io::Seek;
-        let mut file = file;
-        file.seek(std::io::SeekFrom::End(0))
-            .map_err(|e| io_err("seek write-ahead log", path, &e))?;
-        Ok(Wal::over(file, path))
+        Ok(Wal::over(file, vfs, path, valid_bytes))
     }
 
-    fn over(file: File, path: &Path) -> Self {
+    fn over(file: Box<dyn VfsFile>, vfs: &Arc<dyn Vfs>, path: &Path, file_len: u64) -> Self {
         Wal {
             file,
+            vfs: Arc::clone(vfs),
             path: path.to_path_buf(),
             pending: Vec::new(),
             pending_records: 0,
+            file_len,
             committed_records: 0,
             commits: 0,
             committed_bytes: 0,
@@ -317,7 +342,9 @@ impl Wal {
 
     /// Write every buffered record to the OS in order (the group
     /// commit). No `fsync` — stable-media durability is the snapshot
-    /// barrier's job ([`Wal::sync`]).
+    /// barrier's job ([`Wal::sync`]). On failure the buffer is kept
+    /// intact: the file may hold a torn prefix of it, which
+    /// [`Wal::repair`] truncates away before the commit is retried.
     pub fn commit(&mut self) -> CoreResult<()> {
         if self.pending.is_empty() {
             return Ok(());
@@ -325,6 +352,7 @@ impl Wal {
         self.file
             .write_all(&self.pending)
             .map_err(|e| io_err("append to write-ahead log", &self.path, &e))?;
+        self.file_len += self.pending.len() as u64;
         self.committed_bytes += self.pending.len() as u64;
         self.committed_records += self.pending_records;
         self.commits += 1;
@@ -333,8 +361,27 @@ impl Wal {
         Ok(())
     }
 
+    /// Recover from a failed commit: reopen the file truncated back to
+    /// its last known-good length, dropping whatever prefix of the
+    /// failed write (possibly torn mid-record) reached the disk. The
+    /// pending buffer still holds every uncommitted record, so a
+    /// subsequent [`Wal::commit`] writes them cleanly — nothing is
+    /// duplicated and nothing is lost.
+    pub fn repair(&mut self) -> CoreResult<()> {
+        self.file = self
+            .vfs
+            .open_append(&self.path, self.file_len)
+            .map_err(|e| io_err("repair write-ahead log", &self.path, &e))?;
+        Ok(())
+    }
+
+    /// Records buffered but not yet committed.
+    pub fn pending_records(&self) -> u64 {
+        self.pending_records
+    }
+
     /// Force everything committed so far to stable media.
-    pub fn sync(&self) -> CoreResult<()> {
+    pub fn sync(&mut self) -> CoreResult<()> {
         self.file.sync_data().map_err(|e| io_err("sync write-ahead log", &self.path, &e))
     }
 
@@ -371,8 +418,8 @@ pub struct WalContents {
 /// tail, error only on structural corruption inside a CRC-valid
 /// record. A missing file reads as empty (a crash can land between
 /// snapshot rename and log rotation).
-pub fn read_wal(path: &Path) -> CoreResult<WalContents> {
-    let bytes = match std::fs::read(path) {
+pub fn read_wal(vfs: &Arc<dyn Vfs>, path: &Path) -> CoreResult<WalContents> {
+    let bytes = match vfs.read(path) {
         Ok(b) => b,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
         Err(e) => return Err(io_err("read write-ahead log", path, &e)),
@@ -405,6 +452,7 @@ pub fn read_wal(path: &Path) -> CoreResult<WalContents> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::storage::vfs::RealVfs;
     use paradise_engine::{DataType, Schema, Value};
 
     fn tmp(name: &str) -> PathBuf {
@@ -417,6 +465,10 @@ mod tests {
         dir.join("wal.log")
     }
 
+    fn vfs() -> Arc<dyn Vfs> {
+        RealVfs::shared()
+    }
+
     fn sample_records() -> Vec<WalRecord> {
         let schema = Schema::from_pairs(&[("x", DataType::Integer)]);
         let frame = Frame::new(schema, vec![vec![Value::Int(1)], vec![Value::Int(2)]]).unwrap();
@@ -426,17 +478,27 @@ mod tests {
                 table: "stream".into(),
                 frame: frame.clone(),
             },
-            WalRecord::SetPolicy { version: 3, module: "M".into(), xml: "<module/>".into() },
+            WalRecord::SetPolicy {
+                version: 3,
+                module: "M".into(),
+                xml: "<module/>".into(),
+                session: 0,
+                seq: 0,
+            },
             WalRecord::Register {
                 slot: 0,
                 generation: 0,
                 module: "M".into(),
                 sql: "SELECT x FROM stream".into(),
+                session: 7,
+                seq: 2,
             },
             WalRecord::Ingest {
                 node: "motion-sensor".into(),
                 table: "stream".into(),
                 start: 2,
+                session: 7,
+                seq: 3,
                 frame,
             },
             WalRecord::Evict { node: "motion-sensor".into(), table: "stream".into(), evicted_to: 1 },
@@ -447,7 +509,7 @@ mod tests {
     #[test]
     fn append_commit_read_roundtrip() {
         let path = tmp("roundtrip");
-        let mut wal = Wal::create(&path).unwrap();
+        let mut wal = Wal::create(&vfs(), &path).unwrap();
         let records = sample_records();
         for r in &records {
             wal.append(r);
@@ -459,7 +521,7 @@ mod tests {
         wal.commit().unwrap();
         assert_eq!(wal.commits(), 1, "empty commit is free");
 
-        let read = read_wal(&path).unwrap();
+        let read = read_wal(&vfs(), &path).unwrap();
         assert_eq!(read.records, records);
         assert_eq!(read.torn_bytes, 0);
         assert_eq!(read.valid_bytes, wal.committed_bytes());
@@ -468,7 +530,7 @@ mod tests {
     #[test]
     fn torn_tail_is_truncated_not_fatal() {
         let path = tmp("torn");
-        let mut wal = Wal::create(&path).unwrap();
+        let mut wal = Wal::create(&vfs(), &path).unwrap();
         for r in sample_records() {
             wal.append(&r);
         }
@@ -476,15 +538,15 @@ mod tests {
         let full = std::fs::read(&path).unwrap();
         // chop the last record mid-body
         std::fs::write(&path, &full[..full.len() - 3]).unwrap();
-        let read = read_wal(&path).unwrap();
+        let read = read_wal(&vfs(), &path).unwrap();
         assert_eq!(read.records.len(), sample_records().len() - 1);
         assert!(read.torn_bytes > 0);
 
         // resume truncates the tail and appending continues cleanly
-        let mut wal = Wal::resume(&path, read.valid_bytes).unwrap();
+        let mut wal = Wal::resume(&vfs(), &path, read.valid_bytes).unwrap();
         wal.append(&WalRecord::RemoveQuery { slot: 9, generation: 9 });
         wal.commit().unwrap();
-        let read = read_wal(&path).unwrap();
+        let read = read_wal(&vfs(), &path).unwrap();
         assert_eq!(read.torn_bytes, 0);
         assert_eq!(
             read.records.last(),
@@ -495,7 +557,7 @@ mod tests {
     #[test]
     fn bit_flip_truncates_from_the_damage() {
         let path = tmp("bitflip");
-        let mut wal = Wal::create(&path).unwrap();
+        let mut wal = Wal::create(&vfs(), &path).unwrap();
         for r in sample_records() {
             wal.append(&r);
         }
@@ -504,7 +566,7 @@ mod tests {
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x40;
         std::fs::write(&path, &bytes).unwrap();
-        let read = read_wal(&path).unwrap();
+        let read = read_wal(&vfs(), &path).unwrap();
         assert!(read.records.len() < sample_records().len());
         assert!(read.torn_bytes > 0);
     }
@@ -519,13 +581,46 @@ mod tests {
         bytes.extend_from_slice(&crc32(&body).to_le_bytes());
         bytes.extend_from_slice(&body);
         std::fs::write(&path, &bytes).unwrap();
-        assert!(matches!(read_wal(&path), Err(CoreError::Corrupt(_))));
+        assert!(matches!(read_wal(&vfs(), &path), Err(CoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn failed_commit_keeps_pending_and_repair_retries_cleanly() {
+        use crate::storage::vfs::{FaultKind, FaultOp, FaultVfs};
+        let path = tmp("repair");
+        let fault = FaultVfs::new();
+        let as_vfs: Arc<dyn Vfs> = Arc::clone(&fault) as Arc<dyn Vfs>;
+        let mut wal = Wal::create(&as_vfs, &path).unwrap();
+        wal.append(&WalRecord::RemoveQuery { slot: 1, generation: 1 });
+        wal.commit().unwrap();
+
+        // the next commit tears mid-write; the buffer must survive
+        fault.schedule(FaultOp::Write, 0, FaultKind::Torn { keep: 5 });
+        wal.append(&WalRecord::RemoveQuery { slot: 2, generation: 2 });
+        wal.append(&WalRecord::RemoveQuery { slot: 3, generation: 3 });
+        assert!(matches!(wal.commit(), Err(CoreError::Io(_))));
+        assert_eq!(wal.pending_records(), 2, "failed commit keeps the buffer");
+
+        // the file now ends in a torn prefix of the failed write;
+        // repair truncates it and the retry lands every record once
+        wal.repair().unwrap();
+        wal.commit().unwrap();
+        let read = read_wal(&vfs(), &path).unwrap();
+        assert_eq!(read.torn_bytes, 0);
+        assert_eq!(
+            read.records,
+            vec![
+                WalRecord::RemoveQuery { slot: 1, generation: 1 },
+                WalRecord::RemoveQuery { slot: 2, generation: 2 },
+                WalRecord::RemoveQuery { slot: 3, generation: 3 },
+            ]
+        );
     }
 
     #[test]
     fn missing_file_reads_empty() {
         let path = tmp("missing").with_extension("nope");
-        let read = read_wal(&path).unwrap();
+        let read = read_wal(&vfs(), &path).unwrap();
         assert!(read.records.is_empty());
         assert_eq!(read.valid_bytes, 0);
     }

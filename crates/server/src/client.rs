@@ -123,24 +123,41 @@ impl Client {
     }
 
     /// Configure this connection's overload policy and, optionally,
-    /// its ingest queue capacity.
+    /// its ingest queue capacity (anonymous session).
     pub fn hello(
         &mut self,
         policy: OverloadPolicy,
         queue_capacity: Option<u32>,
     ) -> Result<(), ClientError> {
+        self.hello_session(policy, queue_capacity, 0).map(|_| ())
+    }
+
+    /// Like [`Client::hello`], but binds this connection to the named
+    /// session `session_id` (when non-zero). Returns the server's
+    /// dedup high-water mark for the session — the highest client
+    /// `seq` already applied, `0` for a fresh session.
+    pub fn hello_session(
+        &mut self,
+        policy: OverloadPolicy,
+        queue_capacity: Option<u32>,
+        session_id: u64,
+    ) -> Result<u64, ClientError> {
         let (shed, block_ms) = match policy {
             OverloadPolicy::Shed => (true, 0),
             OverloadPolicy::Block { deadline } => (false, deadline.as_millis() as u64),
         };
         let req = Request::Hello {
+            version: protocol::PROTOCOL_VERSION,
+            session_id,
             shed,
             block_ms,
             queue_capacity: queue_capacity.unwrap_or(QUEUE_CAPACITY_DEFAULT),
         };
         match self.call(&req)? {
-            Response::Ok => Ok(()),
-            other => Err(unexpected("Ok", other)),
+            Response::Welcome { last_seq, .. } => Ok(last_seq),
+            // Tolerate plain Ok for forward compatibility.
+            Response::Ok => Ok(0),
+            other => Err(unexpected("Welcome", other)),
         }
     }
 
@@ -162,7 +179,13 @@ impl Client {
     /// Register a continuous query; the returned id names the handle
     /// in [`TickReply::results`] and [`Client::remove_query`].
     pub fn register(&mut self, module: &str, sql: &str) -> Result<u64, ClientError> {
-        let req = Request::Register { module: module.into(), sql: sql.into() };
+        self.register_seq(module, sql, 0)
+    }
+
+    /// [`Client::register`] with a client-assigned dedup sequence
+    /// (exactly-once on a named session; `0` disables dedup).
+    pub fn register_seq(&mut self, module: &str, sql: &str, seq: u64) -> Result<u64, ClientError> {
+        let req = Request::Register { module: module.into(), sql: sql.into(), seq };
         match self.call(&req)? {
             Response::Registered { handle } => Ok(handle),
             other => Err(unexpected("Registered", other)),
@@ -177,7 +200,19 @@ impl Client {
         table: &str,
         frame: Frame,
     ) -> Result<IngestAck, ClientError> {
-        let req = Request::Ingest { node: node.into(), table: table.into(), frame };
+        self.ingest_seq(node, table, frame, 0)
+    }
+
+    /// [`Client::ingest`] with a client-assigned dedup sequence
+    /// (exactly-once on a named session; `0` disables dedup).
+    pub fn ingest_seq(
+        &mut self,
+        node: &str,
+        table: &str,
+        frame: Frame,
+        seq: u64,
+    ) -> Result<IngestAck, ClientError> {
+        let req = Request::Ingest { node: node.into(), table: table.into(), frame, seq };
         match self.call(&req)? {
             Response::Accepted { depth } => Ok(IngestAck::Accepted { depth }),
             Response::Overloaded { reason } => Ok(IngestAck::Overloaded { reason }),
@@ -188,7 +223,14 @@ impl Client {
     /// Evaluate all registered queries and fetch this connection's
     /// per-handle results.
     pub fn tick(&mut self) -> Result<TickReply, ClientError> {
-        match self.call(&Request::Tick)? {
+        self.tick_seq(0)
+    }
+
+    /// [`Client::tick`] with a client-assigned dedup sequence: on a
+    /// named session a retried tick returns the server's cached reply
+    /// instead of evaluating (and billing ε for) a second tick.
+    pub fn tick_seq(&mut self, seq: u64) -> Result<TickReply, ClientError> {
+        match self.call(&Request::Tick { seq })? {
             Response::TickResults { results, deferred } => Ok(TickReply {
                 results: results
                     .into_iter()
@@ -202,7 +244,13 @@ impl Client {
 
     /// Install or swap a module policy (PP4SE XML) live.
     pub fn set_policy(&mut self, module: &str, xml: &str) -> Result<(), ClientError> {
-        let req = Request::SetPolicy { module: module.into(), xml: xml.into() };
+        self.set_policy_seq(module, xml, 0)
+    }
+
+    /// [`Client::set_policy`] with a client-assigned dedup sequence
+    /// (exactly-once on a named session; `0` disables dedup).
+    pub fn set_policy_seq(&mut self, module: &str, xml: &str, seq: u64) -> Result<(), ClientError> {
+        let req = Request::SetPolicy { module: module.into(), xml: xml.into(), seq };
         match self.call(&req)? {
             Response::Ok => Ok(()),
             other => Err(unexpected("Ok", other)),

@@ -19,7 +19,7 @@ use crate::protocol::{
     self, ErrorCode, Request, Response, WireError, QUEUE_CAPACITY_DEFAULT,
 };
 use crate::queue::{Admit, IngestGate, OverloadPolicy};
-use crate::server::{EngineCommand, Logger, ServerConfig};
+use crate::server::{EngineCommand, Logger, ServerConfig, SessKey};
 use crate::stats::StatsCell;
 
 /// Everything a connection thread needs from the server.
@@ -48,7 +48,8 @@ pub(crate) fn serve_connection(mut stream: TcpStream, ctx: ConnCtx) {
     let _ = stream.set_write_timeout(Some(ctx.config.write_timeout));
     let _ = stream.set_nodelay(true);
 
-    let close = connection_loop(&mut stream, &ctx);
+    let mut sess = SessKey::Conn(ctx.id);
+    let close = connection_loop(&mut stream, &ctx, &mut sess);
     let reason = match &close {
         Close::PeerClosed => "peer closed".to_string(),
         Close::IdleReaped => "idle reaped".to_string(),
@@ -61,14 +62,15 @@ pub(crate) fn serve_connection(mut stream: TcpStream, ctx: ConnCtx) {
         StatsCell::bump(&ctx.stats.idle_reaped);
     }
     // On shutdown the engine still drains queued ingest; Disconnect
-    // afterwards releases this connection's handles.
-    let _ = ctx.tx.send(EngineCommand::Disconnect { conn: ctx.id });
+    // afterwards releases an anonymous session's handles (a named
+    // session keeps its state so the client can resume).
+    let _ = ctx.tx.send(EngineCommand::Disconnect { sess });
     let _ = stream.shutdown(std::net::Shutdown::Both);
     StatsCell::drop_one(&ctx.stats.connections_live);
     StatsCell::bump(&ctx.stats.connections_closed);
 }
 
-fn connection_loop(stream: &mut TcpStream, ctx: &ConnCtx) -> Close {
+fn connection_loop(stream: &mut TcpStream, ctx: &ConnCtx, sess: &mut SessKey) -> Close {
     let mut policy = ctx.config.overload;
     let mut gate = Arc::new(IngestGate::new(ctx.config.queue_capacity));
     let mut bucket = TokenBucket::new(ctx.config.admission.max_rows_per_sec);
@@ -114,7 +116,24 @@ fn connection_loop(stream: &mut TcpStream, ctx: &ConnCtx) -> Close {
 
         let response = match request {
             Request::Ping => Response::Pong,
-            Request::Hello { shed, block_ms, queue_capacity } => {
+            Request::Hello { version, session_id, shed, block_ms, queue_capacity } => {
+                if version != protocol::PROTOCOL_VERSION {
+                    // A peer speaking another protocol version gets a
+                    // typed refusal and a clean close — its later
+                    // frames must never be misinterpreted.
+                    StatsCell::bump(&ctx.stats.version_rejected);
+                    let msg = format!(
+                        "unsupported protocol version {version} (server speaks {})",
+                        protocol::PROTOCOL_VERSION
+                    );
+                    let _ = send_response(
+                        stream,
+                        ctx,
+                        &Response::Error { code: ErrorCode::Version, message: msg.clone() },
+                    );
+                    ctx.logger.log(format!("conn {}: version rejected ({msg})", ctx.id));
+                    return Close::WireFault(msg);
+                }
                 policy = if shed {
                     OverloadPolicy::Shed
                 } else {
@@ -125,29 +144,45 @@ fn connection_loop(stream: &mut TcpStream, ctx: &ConnCtx) -> Close {
                     // gate, so swapping is safe at any time.
                     gate = Arc::new(IngestGate::new(queue_capacity as usize));
                 }
+                *sess = if session_id != 0 {
+                    SessKey::Named(session_id)
+                } else {
+                    SessKey::Conn(ctx.id)
+                };
                 ctx.logger.log(format!(
-                    "conn {}: hello ({})",
+                    "conn {}: hello (session {session_id}, {})",
                     ctx.id,
                     if shed { "shed".to_string() } else { format!("block {block_ms}ms") }
                 ));
-                Response::Ok
+                if session_id != 0 {
+                    let sess = *sess;
+                    roundtrip(ctx, |reply| EngineCommand::Resume { sess, reply })
+                } else {
+                    Response::Welcome { session_id: 0, last_seq: 0 }
+                }
             }
-            Request::Ingest { node, table, frame } => {
-                handle_ingest(ctx, &gate, policy, &mut bucket, node, table, frame)
+            Request::Ingest { node, table, frame, seq } => {
+                handle_ingest(ctx, *sess, &gate, policy, &mut bucket, node, table, frame, seq)
             }
             Request::InstallSource { node, table, frame } => {
                 roundtrip(ctx, |reply| EngineCommand::InstallSource { node, table, frame, reply })
             }
-            Request::Register { module, sql } => roundtrip(ctx, |reply| {
-                EngineCommand::Register { conn: ctx.id, module, sql, reply }
-            }),
-            Request::Tick => roundtrip(ctx, |reply| EngineCommand::Tick { conn: ctx.id, reply }),
-            Request::SetPolicy { module, xml } => {
-                roundtrip(ctx, |reply| EngineCommand::SetPolicy { module, xml, reply })
+            Request::Register { module, sql, seq } => {
+                let sess = *sess;
+                roundtrip(ctx, |reply| EngineCommand::Register { sess, module, sql, seq, reply })
             }
-            Request::RemoveQuery { handle } => roundtrip(ctx, |reply| {
-                EngineCommand::RemoveQuery { conn: ctx.id, handle, reply }
-            }),
+            Request::Tick { seq } => {
+                let sess = *sess;
+                roundtrip(ctx, |reply| EngineCommand::Tick { sess, seq, reply })
+            }
+            Request::SetPolicy { module, xml, seq } => {
+                let sess = *sess;
+                roundtrip(ctx, |reply| EngineCommand::SetPolicy { sess, module, xml, seq, reply })
+            }
+            Request::RemoveQuery { handle } => {
+                let sess = *sess;
+                roundtrip(ctx, |reply| EngineCommand::RemoveQuery { sess, handle, reply })
+            }
             Request::Stats => roundtrip(ctx, |reply| EngineCommand::Stats { reply }),
         };
 
@@ -158,14 +193,17 @@ fn connection_loop(stream: &mut TcpStream, ctx: &ConnCtx) -> Close {
 }
 
 /// Edge checks + bounded enqueue for one ingest batch.
+#[allow(clippy::too_many_arguments)]
 fn handle_ingest(
     ctx: &ConnCtx,
+    sess: SessKey,
     gate: &Arc<IngestGate>,
     policy: OverloadPolicy,
     bucket: &mut TokenBucket,
     node: String,
     table: String,
     frame: paradise_engine::Frame,
+    seq: u64,
 ) -> Response {
     let rows = frame.len();
     if rows > ctx.config.admission.max_batch_rows {
@@ -198,10 +236,11 @@ fn handle_ingest(
         }
         Admit::Enter { depth } => {
             let cmd = EngineCommand::Ingest {
-                conn: ctx.id,
+                sess,
                 node,
                 table,
                 frame,
+                seq,
                 gate: Arc::clone(gate),
             };
             match ctx.tx.send(cmd) {

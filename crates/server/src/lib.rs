@@ -32,6 +32,12 @@
 //!   commits the WAL, composing with
 //!   [`Runtime::durable`](paradise_core::Runtime::durable);
 //!   [`Server::crash`] emulates `kill -9` for recovery tests.
+//! * **Exactly-once retries** — mutating requests carry a
+//!   client-assigned `(session_id, seq)`; the server's WAL-durable
+//!   per-session dedup window means the bundled [`RetryClient`]
+//!   (bounded exponential backoff + jitter, reconnect + session
+//!   resumption at `Hello`) can blindly re-send after a timeout or
+//!   mid-frame disconnect without double-applying anything.
 //!
 //! ```no_run
 //! use paradise_core::{ProcessingChain, Runtime};
@@ -57,6 +63,7 @@ mod client;
 mod connection;
 pub mod protocol;
 mod queue;
+mod retry;
 mod server;
 mod stats;
 
@@ -64,5 +71,6 @@ pub use admission::AdmissionConfig;
 pub use client::{Client, ClientError, HandleResult, IngestAck, StatsReply, TickReply};
 pub use protocol::{ErrorCode, WireError};
 pub use queue::OverloadPolicy;
+pub use retry::{RetryClient, RetryConfig, RetryStats};
 pub use server::{Server, ServerConfig};
 pub use stats::ServerStats;

@@ -30,6 +30,17 @@ use paradise_engine::Frame;
 /// Frame magic: "PDS1" little-endian.
 pub const MAGIC: u32 = 0x5044_5331;
 
+/// The protocol version both sides must speak. A [`Request::Hello`]
+/// carrying any other version is answered with a typed
+/// [`ErrorCode::Version`] error and a clean close — never silent
+/// misinterpretation of newer frames.
+///
+/// v2 added client sessions: `Hello` carries `(version, session_id)`,
+/// mutating requests carry a client-assigned `seq`, and the server
+/// deduplicates `(session_id, seq)` so a retried mutation is applied
+/// at most once.
+pub const PROTOCOL_VERSION: u32 = 2;
+
 /// Default cap on one frame's payload (16 MiB) — see
 /// [`ServerConfig::max_frame_bytes`](crate::ServerConfig::max_frame_bytes).
 pub const DEFAULT_MAX_FRAME_BYTES: usize = 16 << 20;
@@ -103,6 +114,12 @@ pub enum ErrorCode {
     Internal,
     /// The server is shutting down.
     ShuttingDown,
+    /// The client's [`PROTOCOL_VERSION`] does not match the server's.
+    Version,
+    /// The server's durability layer failed and it is serving reads
+    /// only; mutations are refused until an operator resumes
+    /// durability (disk faults are not silently dropped).
+    Degraded,
 }
 
 impl ErrorCode {
@@ -115,6 +132,8 @@ impl ErrorCode {
             ErrorCode::Quarantined => 5,
             ErrorCode::Internal => 6,
             ErrorCode::ShuttingDown => 7,
+            ErrorCode::Version => 8,
+            ErrorCode::Degraded => 9,
         }
     }
 
@@ -127,6 +146,8 @@ impl ErrorCode {
             5 => ErrorCode::Quarantined,
             6 => ErrorCode::Internal,
             7 => ErrorCode::ShuttingDown,
+            8 => ErrorCode::Version,
+            9 => ErrorCode::Degraded,
             _ => return Err(WireError::Malformed(format!("unknown error code {tag}"))),
         })
     }
@@ -142,6 +163,8 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::Quarantined => "quarantined",
             ErrorCode::Internal => "internal",
             ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::Version => "version-mismatch",
+            ErrorCode::Degraded => "degraded",
         };
         f.write_str(s)
     }
@@ -150,10 +173,21 @@ impl std::fmt::Display for ErrorCode {
 /// A client→server message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// Per-connection configuration: overload policy (shed vs. block
+    /// Per-connection configuration: protocol version handshake,
+    /// optional session resumption, overload policy (shed vs. block
     /// with a deadline) and an optional ingest-queue capacity override
     /// ([`QUEUE_CAPACITY_DEFAULT`] keeps the server default).
     Hello {
+        /// Must equal [`PROTOCOL_VERSION`]; any other value is
+        /// answered with [`ErrorCode::Version`] and a close.
+        version: u32,
+        /// Client-chosen session id, or `0` for an anonymous
+        /// connection-scoped session. A non-zero id names a durable
+        /// session: its registered handles and dedup window survive
+        /// disconnects (and — for the dedup window — server
+        /// restarts), and the server replies [`Response::Welcome`]
+        /// with the highest `seq` it has already applied.
+        session_id: u64,
         /// `true` = shed on a full queue, `false` = block.
         shed: bool,
         /// Block deadline in milliseconds (ignored when shedding).
@@ -176,6 +210,9 @@ pub enum Request {
         module: String,
         /// The query SQL.
         sql: String,
+        /// Client-assigned sequence number for exactly-once retry
+        /// (`0` = no dedup; only meaningful on a named session).
+        seq: u64,
     },
     /// Append a stream batch (queued through the bounded ingest gate).
     Ingest {
@@ -185,10 +222,21 @@ pub enum Request {
         table: String,
         /// The batch.
         frame: Frame,
+        /// Client-assigned sequence number for exactly-once retry
+        /// (`0` = no dedup; only meaningful on a named session).
+        seq: u64,
     },
     /// Evaluate all registered queries; the reply carries this
-    /// connection's per-handle results.
-    Tick,
+    /// session's per-handle results.
+    Tick {
+        /// Client-assigned sequence number. On a named session a
+        /// retried `Tick` with an already-served `seq` returns the
+        /// cached reply instead of running (and billing ε for) a
+        /// second evaluation — but the cache is in-memory only, so a
+        /// tick retried across a server crash re-executes (see the
+        /// fault-tolerance notes in the README).
+        seq: u64,
+    },
     /// Install or swap a module policy live (PP4SE XML). The XML is
     /// the full policy surface — including the optional `<dp>` element
     /// carrying a differential-privacy configuration (epsilon per
@@ -199,6 +247,9 @@ pub enum Request {
         module: String,
         /// Policy XML.
         xml: String,
+        /// Client-assigned sequence number for exactly-once retry
+        /// (`0` = no dedup; only meaningful on a named session).
+        seq: u64,
     },
     /// Deregister one of this connection's handles.
     RemoveQuery {
@@ -225,6 +276,15 @@ pub struct TickEntry {
 pub enum Response {
     /// Generic success.
     Ok,
+    /// Reply to [`Request::Hello`]: the handshake succeeded.
+    Welcome {
+        /// Echo of the client's session id (`0` for anonymous).
+        session_id: u64,
+        /// Highest `seq` the server has already applied for this
+        /// session — a resuming client skips everything at or below
+        /// it instead of retrying blind.
+        last_seq: u64,
+    },
     /// A query was registered; the id names it in tick results and
     /// [`Request::RemoveQuery`].
     Registered {
@@ -285,13 +345,16 @@ const RSP_ERROR: u8 = 132;
 const RSP_TICK: u8 = 133;
 const RSP_STATS: u8 = 134;
 const RSP_PONG: u8 = 135;
+const RSP_WELCOME: u8 = 136;
 
 /// Encode a request payload (without the frame header).
 pub fn encode_request(req: &Request) -> Vec<u8> {
     let mut e = Enc::new();
     match req {
-        Request::Hello { shed, block_ms, queue_capacity } => {
+        Request::Hello { version, session_id, shed, block_ms, queue_capacity } => {
             e.u8(REQ_HELLO);
+            e.u32(*version);
+            e.u64(*session_id);
             e.u8(u8::from(*shed));
             e.u64(*block_ms);
             e.u32(*queue_capacity);
@@ -302,22 +365,28 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             e.str(table);
             enc_frame(&mut e, frame);
         }
-        Request::Register { module, sql } => {
+        Request::Register { module, sql, seq } => {
             e.u8(REQ_REGISTER);
             e.str(module);
             e.str(sql);
+            e.u64(*seq);
         }
-        Request::Ingest { node, table, frame } => {
+        Request::Ingest { node, table, frame, seq } => {
             e.u8(REQ_INGEST);
             e.str(node);
             e.str(table);
             enc_frame(&mut e, frame);
+            e.u64(*seq);
         }
-        Request::Tick => e.u8(REQ_TICK),
-        Request::SetPolicy { module, xml } => {
+        Request::Tick { seq } => {
+            e.u8(REQ_TICK);
+            e.u64(*seq);
+        }
+        Request::SetPolicy { module, xml, seq } => {
             e.u8(REQ_SET_POLICY);
             e.str(module);
             e.str(xml);
+            e.u64(*seq);
         }
         Request::RemoveQuery { handle } => {
             e.u8(REQ_REMOVE);
@@ -335,6 +404,8 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
     let mut d = Dec::new(payload);
     let req = match d.u8()? {
         REQ_HELLO => Request::Hello {
+            version: d.u32()?,
+            session_id: d.u64()?,
             shed: d.u8()? != 0,
             block_ms: d.u64()?,
             queue_capacity: d.u32()?,
@@ -344,14 +415,15 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
             table: d.str()?,
             frame: dec_frame(&mut d)?,
         },
-        REQ_REGISTER => Request::Register { module: d.str()?, sql: d.str()? },
+        REQ_REGISTER => Request::Register { module: d.str()?, sql: d.str()?, seq: d.u64()? },
         REQ_INGEST => Request::Ingest {
             node: d.str()?,
             table: d.str()?,
             frame: dec_frame(&mut d)?,
+            seq: d.u64()?,
         },
-        REQ_TICK => Request::Tick,
-        REQ_SET_POLICY => Request::SetPolicy { module: d.str()?, xml: d.str()? },
+        REQ_TICK => Request::Tick { seq: d.u64()? },
+        REQ_SET_POLICY => Request::SetPolicy { module: d.str()?, xml: d.str()?, seq: d.u64()? },
         REQ_REMOVE => Request::RemoveQuery { handle: d.u64()? },
         REQ_STATS => Request::Stats,
         REQ_PING => Request::Ping,
@@ -368,6 +440,11 @@ pub fn encode_response(rsp: &Response) -> Vec<u8> {
     let mut e = Enc::new();
     match rsp {
         Response::Ok => e.u8(RSP_OK),
+        Response::Welcome { session_id, last_seq } => {
+            e.u8(RSP_WELCOME);
+            e.u64(*session_id);
+            e.u64(*last_seq);
+        }
         Response::Registered { handle } => {
             e.u8(RSP_REGISTERED);
             e.u64(*handle);
@@ -425,6 +502,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
     let mut d = Dec::new(payload);
     let rsp = match d.u8()? {
         RSP_OK => Response::Ok,
+        RSP_WELCOME => Response::Welcome { session_id: d.u64()?, last_seq: d.u64()? },
         RSP_REGISTERED => Response::Registered { handle: d.u64()? },
         RSP_ACCEPTED => Response::Accepted { depth: d.u32()? },
         RSP_OVERLOADED => Response::Overloaded { reason: d.str()? },
@@ -556,16 +634,31 @@ mod tests {
     #[test]
     fn requests_roundtrip() {
         for req in [
-            Request::Hello { shed: true, block_ms: 250, queue_capacity: 4 },
+            Request::Hello {
+                version: PROTOCOL_VERSION,
+                session_id: 0x1234_5678_9ABC_DEF0,
+                shed: true,
+                block_ms: 250,
+                queue_capacity: 4,
+            },
             Request::InstallSource {
                 node: "pc".into(),
                 table: "stream".into(),
                 frame: sample_frame(),
             },
-            Request::Register { module: "Mod".into(), sql: "SELECT x FROM stream".into() },
-            Request::Ingest { node: "pc".into(), table: "stream".into(), frame: sample_frame() },
-            Request::Tick,
-            Request::SetPolicy { module: "Mod".into(), xml: "<module/>".into() },
+            Request::Register {
+                module: "Mod".into(),
+                sql: "SELECT x FROM stream".into(),
+                seq: 3,
+            },
+            Request::Ingest {
+                node: "pc".into(),
+                table: "stream".into(),
+                frame: sample_frame(),
+                seq: 4,
+            },
+            Request::Tick { seq: 5 },
+            Request::SetPolicy { module: "Mod".into(), xml: "<module/>".into(), seq: 6 },
             Request::RemoveQuery { handle: 0xDEAD_BEEF },
             Request::Stats,
             Request::Ping,
@@ -579,6 +672,7 @@ mod tests {
     fn responses_roundtrip() {
         for rsp in [
             Response::Ok,
+            Response::Welcome { session_id: 42, last_seq: 17 },
             Response::Registered { handle: 7 },
             Response::Accepted { depth: 3 },
             Response::Overloaded { reason: "queue full".into() },
@@ -603,7 +697,7 @@ mod tests {
 
     #[test]
     fn frames_roundtrip_through_a_byte_pipe() {
-        let payload = encode_request(&Request::Tick);
+        let payload = encode_request(&Request::Tick { seq: 0 });
         let mut wire = Vec::new();
         write_frame(&mut wire, &payload).unwrap();
         let mut r = wire.as_slice();
@@ -647,7 +741,7 @@ mod tests {
 
     #[test]
     fn trailing_bytes_are_malformed() {
-        let mut bytes = encode_request(&Request::Tick);
+        let mut bytes = encode_request(&Request::Tick { seq: 0 });
         bytes.push(0xFF);
         assert!(matches!(decode_request(&bytes), Err(WireError::Malformed(_))));
         let mut bytes = encode_response(&Response::Pong);

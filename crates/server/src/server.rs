@@ -12,7 +12,7 @@
 //! drained batches — and, when the runtime is durable, commits the
 //! WAL with a final snapshot before handing the runtime back.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fs::File;
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -102,6 +102,29 @@ impl Logger {
     }
 }
 
+/// Engine-side identity of a client: either the connection itself
+/// (anonymous `Hello`, state dies with the socket) or a client-chosen
+/// named session (state survives disconnects so a retrying client can
+/// resume where it left off).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum SessKey {
+    /// Anonymous session scoped to one connection id.
+    Conn(u64),
+    /// Durable session named by the client at `Hello`.
+    Named(u64),
+}
+
+impl SessKey {
+    /// The session id used for WAL-durable `(session, seq)` dedup —
+    /// `0` (no dedup) for anonymous connections.
+    fn session_id(self) -> u64 {
+        match self {
+            SessKey::Named(s) => s,
+            SessKey::Conn(_) => 0,
+        }
+    }
+}
+
 /// A command from a connection thread to the engine thread. Replies
 /// travel over a per-request channel; `Ingest` replies `Accepted`
 /// from the connection immediately (apply is asynchronous, failures
@@ -118,50 +141,69 @@ pub(crate) enum EngineCommand {
         /// Reply channel.
         reply: Sender<Response>,
     },
-    /// Register a query for a connection.
+    /// Resume (or create) a named session at `Hello` and report its
+    /// dedup high-water mark back to the client.
+    Resume {
+        /// The named session.
+        sess: SessKey,
+        /// Reply channel (a `Welcome`).
+        reply: Sender<Response>,
+    },
+    /// Register a query for a session.
     Register {
-        /// Owning connection.
-        conn: u64,
+        /// Owning session.
+        sess: SessKey,
         /// Module id.
         module: String,
         /// Query SQL.
         sql: String,
+        /// Client-assigned dedup sequence (`0` = none).
+        seq: u64,
         /// Reply channel.
         reply: Sender<Response>,
     },
     /// Apply one accepted ingest batch.
     Ingest {
-        /// Owning connection (deferred errors land in its state).
-        conn: u64,
+        /// Owning session (deferred errors land in its state).
+        sess: SessKey,
         /// Chain node name.
         node: String,
         /// Table name.
         table: String,
         /// The batch.
         frame: Frame,
+        /// Client-assigned dedup sequence (`0` = none).
+        seq: u64,
         /// The connection's gate; one slot is released after apply.
         gate: Arc<IngestGate>,
     },
     /// Run one tick and reply with the caller's per-handle results.
     Tick {
-        /// Calling connection.
-        conn: u64,
+        /// Calling session.
+        sess: SessKey,
+        /// Client-assigned dedup sequence (`0` = none); a repeat
+        /// returns the cached reply instead of re-ticking.
+        seq: u64,
         /// Reply channel.
         reply: Sender<Response>,
     },
     /// Install or swap a module policy.
     SetPolicy {
+        /// Calling session.
+        sess: SessKey,
         /// Module id (must match a module in the XML).
         module: String,
         /// PP4SE policy XML.
         xml: String,
+        /// Client-assigned dedup sequence (`0` = none).
+        seq: u64,
         /// Reply channel.
         reply: Sender<Response>,
     },
     /// Deregister one of the caller's handles.
     RemoveQuery {
-        /// Calling connection.
-        conn: u64,
+        /// Calling session.
+        sess: SessKey,
         /// Handle id from `Registered`.
         handle: u64,
         /// Reply channel.
@@ -172,23 +214,30 @@ pub(crate) enum EngineCommand {
         /// Reply channel.
         reply: Sender<Response>,
     },
-    /// A connection ended; release everything it owned.
+    /// A connection ended; anonymous sessions release everything they
+    /// owned, named sessions keep their state for resumption.
     Disconnect {
-        /// The connection.
-        conn: u64,
+        /// The session.
+        sess: SessKey,
     },
 }
 
-/// Engine-side per-connection state.
+/// Engine-side per-session state.
 #[derive(Default)]
 struct ConnState {
     /// `(wire id, runtime handle, module)` in registration order.
     handles: Vec<(u64, paradise_core::QueryHandle, String)>,
     /// Ingest-apply errors awaiting the next tick reply (bounded).
     deferred: Vec<String>,
+    /// Recent `(seq, reply)` pairs for ticks served to a named
+    /// session: a retried tick returns its cached reply instead of
+    /// re-evaluating (and re-billing ε for) the same tick. In-memory
+    /// only — the cache does not survive a server crash.
+    tick_replies: VecDeque<(u64, Response)>,
 }
 
 const MAX_DEFERRED: usize = 32;
+const MAX_TICK_REPLIES: usize = 32;
 
 /// A multi-tenant TCP front end over one [`Runtime`].
 ///
@@ -431,7 +480,7 @@ fn engine_loop(
     crash: Arc<AtomicBool>,
     logger: Arc<Logger>,
 ) -> Option<Runtime> {
-    let mut conns: HashMap<u64, ConnState> = HashMap::new();
+    let mut conns: HashMap<SessKey, ConnState> = HashMap::new();
     let mut retained_rows: u64 = 0;
 
     while let Ok(cmd) = rx.recv() {
@@ -449,16 +498,42 @@ fn engine_loop(
                 };
                 let _ = reply.send(rsp);
             }
-            EngineCommand::Register { conn, module, sql, reply } => {
+            EngineCommand::Resume { sess, reply } => {
+                let session = sess.session_id();
+                let state = conns.entry(sess).or_default();
+                if state.handles.is_empty() {
+                    // Server restarted since this session registered:
+                    // reattach its durably-recovered handles.
+                    state.handles = runtime
+                        .session_registrations(session)
+                        .into_iter()
+                        .map(|(_, qh, module)| (qh.id(), qh, module))
+                        .collect();
+                }
+                let last_seq = runtime.session_mark(session);
+                if last_seq > 0 || !state.handles.is_empty() {
+                    StatsCell::bump(&stats.sessions_resumed);
+                    logger.log(format!(
+                        "session {session}: resumed (last_seq {last_seq}, {} handles)",
+                        state.handles.len()
+                    ));
+                }
+                let _ = reply.send(Response::Welcome { session_id: session, last_seq });
+            }
+            EngineCommand::Register { sess, module, sql, seq, reply } => {
+                // A retried Register that already applied must return
+                // its handle even if the module has since reached its
+                // cap — dedup takes precedence over admission.
+                let dup = runtime.is_duplicate(sess.session_id(), seq);
                 let live = conns
                     .values()
                     .flat_map(|c| c.handles.iter())
                     .filter(|(_, _, m)| *m == module)
                     .count();
-                let rsp = if live >= admission.max_handles_per_module {
+                let rsp = if !dup && live >= admission.max_handles_per_module {
                     StatsCell::bump(&stats.admission_rejected);
                     logger.log(format!(
-                        "conn {conn}: register rejected (module {module} handle cap)"
+                        "session {sess:?}: register rejected (module {module} handle cap)"
                     ));
                     Response::Error {
                         code: ErrorCode::Admission,
@@ -473,31 +548,45 @@ fn engine_loop(
                             code: ErrorCode::BadRequest,
                             message: format!("parse error: {e}"),
                         },
-                        Ok(query) => match runtime.register(&module, &query) {
-                            Ok(handle) => {
-                                conns.entry(conn).or_default().handles.push((
-                                    handle.id(),
-                                    handle,
-                                    module,
-                                ));
-                                Response::Registered { handle: handle.id() }
+                        Ok(query) => {
+                            match runtime.register_with_origin(
+                                &module,
+                                &query,
+                                sess.session_id(),
+                                seq,
+                            ) {
+                                Ok((handle, applied)) => {
+                                    if !applied {
+                                        StatsCell::bump(&stats.dedup_hits);
+                                    }
+                                    let state = conns.entry(sess).or_default();
+                                    if !state.handles.iter().any(|(id, _, _)| *id == handle.id())
+                                    {
+                                        state.handles.push((handle.id(), handle, module));
+                                    }
+                                    Response::Registered { handle: handle.id() }
+                                }
+                                Err(e) => error_response(&e),
                             }
-                            Err(e) => error_response(&e),
-                        },
+                        }
                     }
                 };
                 let _ = reply.send(rsp);
             }
-            EngineCommand::Ingest { conn, node, table, frame, gate } => {
+            EngineCommand::Ingest { sess, node, table, frame, seq, gate } => {
                 let rows = frame.len() as u64;
-                let over_retention = admission.max_retained_rows != 0
+                // A duplicate re-send holds no new rows, so it must
+                // not be refused by the retention cap.
+                let dup = runtime.is_duplicate(sess.session_id(), seq);
+                let over_retention = !dup
+                    && admission.max_retained_rows != 0
                     && retained_rows + rows > admission.max_retained_rows as u64;
                 if over_retention {
                     StatsCell::bump(&stats.admission_rejected);
                     defer_error(
                         &mut conns,
                         &stats,
-                        conn,
+                        sess,
                         format!(
                             "ingest into {node}.{table} rejected: retained-row cap \
                              ({}) exceeded",
@@ -505,19 +594,23 @@ fn engine_loop(
                         ),
                     );
                 } else {
-                    match runtime.ingest(&node, &table, frame) {
-                        Ok(()) => {
+                    match runtime.ingest_with_origin(&node, &table, frame, sess.session_id(), seq)
+                    {
+                        Ok(true) => {
                             retained_rows += rows;
                             StatsCell::bump(&stats.ingest_applied);
                             if shutdown.load(Ordering::SeqCst) {
                                 StatsCell::bump(&stats.drained_at_shutdown);
                             }
                         }
+                        Ok(false) => {
+                            StatsCell::bump(&stats.dedup_hits);
+                        }
                         Err(e) => {
                             defer_error(
                                 &mut conns,
                                 &stats,
-                                conn,
+                                sess,
                                 format!("ingest into {node}.{table} failed: {e}"),
                             );
                         }
@@ -525,46 +618,72 @@ fn engine_loop(
                 }
                 gate.leave();
             }
-            EngineCommand::Tick { conn, reply } => {
-                let rsp = match runtime.tick_each() {
-                    Err(e) => {
-                        logger.log(format!("tick failed globally: {e}"));
-                        error_response(&e)
-                    }
-                    Ok(results) => {
-                        StatsCell::bump(&stats.ticks_served);
-                        let mut by_id: HashMap<u64, Result<Frame, (ErrorCode, String)>> =
-                            HashMap::new();
-                        for (handle, result) in results {
-                            match result {
-                                Ok(outcome) => {
-                                    by_id.insert(handle.id(), Ok(outcome.result));
-                                }
-                                Err(e) => {
-                                    StatsCell::bump(&stats.handles_quarantined);
-                                    logger.log(format!("handle {handle} quarantined: {e}"));
-                                    by_id.insert(
-                                        handle.id(),
-                                        Err((ErrorCode::Quarantined, e.to_string())),
-                                    );
+            EngineCommand::Tick { sess, seq, reply } => {
+                let cached = if seq != 0 && sess.session_id() != 0 {
+                    conns.get(&sess).and_then(|s| {
+                        s.tick_replies.iter().find(|(q, _)| *q == seq).map(|(_, r)| r.clone())
+                    })
+                } else {
+                    None
+                };
+                let rsp = if let Some(rsp) = cached {
+                    // A retried tick must not re-run the evaluation:
+                    // DP modules would bill ε a second time for the
+                    // same logical request.
+                    StatsCell::bump(&stats.dedup_hits);
+                    logger.log(format!("session {sess:?}: tick seq {seq} served from cache"));
+                    rsp
+                } else {
+                    let rsp = match runtime.tick_each() {
+                        Err(e) => {
+                            logger.log(format!("tick failed globally: {e}"));
+                            error_response(&e)
+                        }
+                        Ok(results) => {
+                            StatsCell::bump(&stats.ticks_served);
+                            let mut by_id: HashMap<u64, Result<Frame, (ErrorCode, String)>> =
+                                HashMap::new();
+                            for (handle, result) in results {
+                                match result {
+                                    Ok(outcome) => {
+                                        by_id.insert(handle.id(), Ok(outcome.result));
+                                    }
+                                    Err(e) => {
+                                        StatsCell::bump(&stats.handles_quarantined);
+                                        logger.log(format!("handle {handle} quarantined: {e}"));
+                                        by_id.insert(
+                                            handle.id(),
+                                            Err((ErrorCode::Quarantined, e.to_string())),
+                                        );
+                                    }
                                 }
                             }
+                            let state = conns.entry(sess).or_default();
+                            let results = state
+                                .handles
+                                .iter()
+                                .filter_map(|(id, _, _)| {
+                                    by_id
+                                        .remove(id)
+                                        .map(|result| TickEntry { handle: *id, result })
+                                })
+                                .collect();
+                            let deferred = std::mem::take(&mut state.deferred);
+                            Response::TickResults { results, deferred }
                         }
-                        let state = conns.entry(conn).or_default();
-                        let results = state
-                            .handles
-                            .iter()
-                            .filter_map(|(id, _, _)| {
-                                by_id.remove(id).map(|result| TickEntry { handle: *id, result })
-                            })
-                            .collect();
-                        let deferred = std::mem::take(&mut state.deferred);
-                        Response::TickResults { results, deferred }
+                    };
+                    if seq != 0 && sess.session_id() != 0 {
+                        let replies = &mut conns.entry(sess).or_default().tick_replies;
+                        replies.push_back((seq, rsp.clone()));
+                        if replies.len() > MAX_TICK_REPLIES {
+                            replies.pop_front();
+                        }
                     }
+                    rsp
                 };
                 let _ = reply.send(rsp);
             }
-            EngineCommand::SetPolicy { module, xml, reply } => {
+            EngineCommand::SetPolicy { sess, module, xml, seq, reply } => {
                 let rsp = match parse_policy(&xml) {
                     Err(e) => Response::Error {
                         code: ErrorCode::BadRequest,
@@ -577,20 +696,32 @@ fn engine_loop(
                                 message: format!("policy XML has no module {module}"),
                             },
                             Some(mp) => {
-                                runtime.set_policy(&module, mp);
-                                Response::Ok
+                                match runtime.set_policy_with_origin(
+                                    &module,
+                                    mp,
+                                    sess.session_id(),
+                                    seq,
+                                ) {
+                                    Ok((_, applied)) => {
+                                        if !applied {
+                                            StatsCell::bump(&stats.dedup_hits);
+                                        }
+                                        Response::Ok
+                                    }
+                                    Err(e) => error_response(&e),
+                                }
                             }
                         }
                     }
                 };
                 let _ = reply.send(rsp);
             }
-            EngineCommand::RemoveQuery { conn, handle, reply } => {
-                let state = conns.entry(conn).or_default();
+            EngineCommand::RemoveQuery { sess, handle, reply } => {
+                let state = conns.entry(sess).or_default();
                 let rsp = match state.handles.iter().position(|(id, _, _)| *id == handle) {
                     None => Response::Error {
                         code: ErrorCode::UnknownHandle,
-                        message: format!("handle {handle} is not owned by this connection"),
+                        message: format!("handle {handle} is not owned by this session"),
                     },
                     Some(at) => {
                         let (_, qh, _) = state.handles.remove(at);
@@ -625,10 +756,20 @@ fn engine_loop(
                 }
                 let _ = reply.send(Response::Stats { counters });
             }
-            EngineCommand::Disconnect { conn } => {
-                if let Some(state) = conns.remove(&conn) {
-                    for (_, qh, _) in state.handles {
-                        let _ = runtime.remove_query(qh);
+            EngineCommand::Disconnect { sess } => {
+                match sess {
+                    SessKey::Conn(_) => {
+                        // Anonymous: the socket was the session.
+                        if let Some(state) = conns.remove(&sess) {
+                            for (_, qh, _) in state.handles {
+                                let _ = runtime.remove_query(qh);
+                            }
+                        }
+                    }
+                    SessKey::Named(_) => {
+                        // Named sessions outlive their sockets — the
+                        // client may reconnect and resume. Handles
+                        // stay registered; state stays for dedup.
                     }
                 }
             }
@@ -637,9 +778,11 @@ fn engine_loop(
 
     if crash.load(Ordering::SeqCst) {
         // Emulate `kill -9`: nothing buffered since the last commit
-        // reaches the WAL, and destructors must not run.
+        // reaches the WAL, and destructors must not run. (The
+        // durability directory's in-process lock is released first —
+        // a real kill would release an OS lock too.)
         logger.log("engine: crash requested — leaking runtime without final commit");
-        std::mem::forget(runtime);
+        runtime.simulate_crash();
         return None;
     }
     if runtime.durability_stats().is_some() {
@@ -654,13 +797,13 @@ fn engine_loop(
 /// Record a deferred ingest error for `conn`, bounded so a wedged
 /// client cannot grow the list without limit.
 fn defer_error(
-    conns: &mut HashMap<u64, ConnState>,
+    conns: &mut HashMap<SessKey, ConnState>,
     stats: &StatsCell,
-    conn: u64,
+    sess: SessKey,
     message: String,
 ) {
     StatsCell::bump(&stats.ingest_deferred_errors);
-    let deferred = &mut conns.entry(conn).or_default().deferred;
+    let deferred = &mut conns.entry(sess).or_default().deferred;
     if deferred.len() < MAX_DEFERRED {
         deferred.push(message);
     }
@@ -677,6 +820,9 @@ pub(crate) fn error_response(e: &CoreError) -> Response {
         // An exhausted privacy budget fails exactly the offending
         // module's handles, like any other per-handle tick error.
         CoreError::BudgetExhausted { .. } => ErrorCode::Quarantined,
+        // Durability failed; the runtime refuses mutations until an
+        // operator resumes it — a retriable condition, not a bug.
+        CoreError::Degraded(_) => ErrorCode::Degraded,
         _ => ErrorCode::Internal,
     };
     Response::Error { code, message: e.to_string() }

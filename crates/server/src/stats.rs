@@ -56,6 +56,16 @@ pub struct ServerStats {
     pub handles_quarantined: u64,
     /// Queued ingest batches applied during graceful shutdown drain.
     pub drained_at_shutdown: u64,
+    /// Hellos refused for a protocol-version mismatch (typed
+    /// [`ErrorCode::Version`](crate::ErrorCode::Version) reply, then
+    /// close).
+    pub version_rejected: u64,
+    /// Retried mutations suppressed by the per-session dedup window —
+    /// each one is a re-send the server saw twice and applied once.
+    pub dedup_hits: u64,
+    /// Hellos that resumed a named session with prior state (durable
+    /// registrations or an advanced dedup mark).
+    pub sessions_resumed: u64,
 }
 
 impl ServerStats {
@@ -83,6 +93,9 @@ impl ServerStats {
             ("ticks_served", self.ticks_served),
             ("handles_quarantined", self.handles_quarantined),
             ("drained_at_shutdown", self.drained_at_shutdown),
+            ("version_rejected", self.version_rejected),
+            ("dedup_hits", self.dedup_hits),
+            ("sessions_resumed", self.sessions_resumed),
         ]
         .into_iter()
         .map(|(k, v)| (format!("server_{k}"), v))
@@ -114,6 +127,9 @@ impl ServerStats {
                 "server_ticks_served" => &mut s.ticks_served,
                 "server_handles_quarantined" => &mut s.handles_quarantined,
                 "server_drained_at_shutdown" => &mut s.drained_at_shutdown,
+                "server_version_rejected" => &mut s.version_rejected,
+                "server_dedup_hits" => &mut s.dedup_hits,
+                "server_sessions_resumed" => &mut s.sessions_resumed,
                 _ => continue,
             };
             *field = *value;
@@ -160,6 +176,9 @@ stats_cell!(
     ticks_served,
     handles_quarantined,
     drained_at_shutdown,
+    version_rejected,
+    dedup_hits,
+    sessions_resumed,
 );
 
 impl StatsCell {

@@ -144,8 +144,8 @@ pub mod prelude {
         PolicyVersion, FIG4_POLICY_XML,
     };
     pub use paradise_server::{
-        AdmissionConfig, Client, ClientError, ErrorCode, IngestAck, OverloadPolicy, Server,
-        ServerConfig, ServerStats, TickReply,
+        AdmissionConfig, Client, ClientError, ErrorCode, IngestAck, OverloadPolicy, RetryClient,
+        RetryConfig, RetryStats, Server, ServerConfig, ServerStats, TickReply,
     };
     pub use paradise_sql::{parse_expr, parse_query, Expr, Query};
 }

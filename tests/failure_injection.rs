@@ -764,7 +764,7 @@ mod wire {
         // arrives, then a clean FIN mid-frame
         {
             let mut s = TcpStream::connect(addr).unwrap();
-            let payload = protocol::encode_request(&Request::Tick);
+            let payload = protocol::encode_request(&Request::Tick { seq: 0 });
             s.write_all(&header(protocol::MAGIC, payload.len() as u32 + 50, 0)).unwrap();
             s.write_all(&payload).unwrap();
             drop(s);
@@ -786,6 +786,7 @@ mod wire {
                 node: "motion-sensor".into(),
                 table: "stream".into(),
                 frame: stream(50),
+                seq: 0,
             });
             let crc = paradise::core::storage::codec::crc32(&payload);
             s.write_all(&header(protocol::MAGIC, payload.len() as u32, crc)).unwrap();
@@ -796,7 +797,7 @@ mod wire {
         // 6. corrupted payload — right length, wrong CRC
         {
             let mut s = TcpStream::connect(addr).unwrap();
-            let payload = protocol::encode_request(&Request::Tick);
+            let payload = protocol::encode_request(&Request::Tick { seq: 0 });
             let crc = paradise::core::storage::codec::crc32(&payload) ^ 0xFFFF;
             s.write_all(&header(protocol::MAGIC, payload.len() as u32, crc)).unwrap();
             s.write_all(&payload).unwrap();
